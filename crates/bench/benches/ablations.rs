@@ -1,0 +1,231 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §5:
+//! each one toggles a single sharing mechanism and measures the end-to-end
+//! effect on a small fixed workload.
+//!
+//! * `predicate_index`: rule sσ's hash index vs one-by-one evaluation of
+//!   the same selections (the naive m-op reference).
+//! * `ai_index`: the shared sequence m-op's instance hash index vs the
+//!   linear instance scan of the reference executor.
+//! * `shared_join`: one max-window join state (rule s⋈) vs independent
+//!   per-query join states.
+//! * `channel_overhead`: a capacity-1 channel (the degenerate "plain
+//!   stream" case) vs true per-stream emission — the §3.2 time-overhead
+//!   trade-off at its break-even point.
+//! * `rule_order`: optimizer cost and plan quality with the full rule set
+//!   vs individually disabled rules (pushdown, channels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rumor_core::logical::{JoinSpec, OpDef, SeqSpec};
+use rumor_core::{
+    ChannelTuple, CountingEmit, MopContext, MopKind, Optimizer, OptimizerConfig, PlanGraph,
+};
+use rumor_expr::{CmpOp, Expr, Predicate};
+use rumor_ops::{instantiate, naive::NaiveMop};
+use rumor_core::MultiOp;
+use rumor_types::{PortId, Schema, Tuple};
+
+/// Builds a merged m-op context over `defs` (all reading the same streams).
+fn merged_ctx(defs: Vec<OpDef>, kind: MopKind) -> MopContext {
+    let arity = defs[0].arity();
+    let mut plan = PlanGraph::new();
+    plan.add_source("S", Schema::ints(3), None).unwrap();
+    let s = plan.source_by_name("S").unwrap().stream;
+    let t = if arity == 2 {
+        plan.add_source("T", Schema::ints(3), None).unwrap();
+        Some(plan.source_by_name("T").unwrap().stream)
+    } else {
+        None
+    };
+    let nodes: Vec<_> = defs
+        .into_iter()
+        .map(|def| {
+            let mut inputs = vec![s];
+            if let Some(t) = t {
+                inputs.push(t);
+            }
+            plan.add_op(def, inputs).unwrap().0
+        })
+        .collect();
+    let merged = plan.merge_mops(&nodes, kind).unwrap();
+    MopContext::build(&plan, merged).unwrap()
+}
+
+fn drive_unary(op: &mut dyn MultiOp, n: u64) -> usize {
+    let mut sink = CountingEmit::default();
+    for ts in 0..n {
+        let t = Tuple::ints(ts, &[(ts % 64) as i64, (ts % 7) as i64, 0]);
+        op.process(PortId::LEFT, &ChannelTuple::solo(t), &mut sink);
+    }
+    sink.calls
+}
+
+fn drive_binary(op: &mut dyn MultiOp, n: u64) -> usize {
+    let mut sink = CountingEmit::default();
+    for ts in 0..n {
+        let port = PortId((ts % 2) as u8);
+        let t = Tuple::ints(ts, &[(ts % 32) as i64, (ts % 5) as i64, 0]);
+        op.process(port, &ChannelTuple::solo(t), &mut sink);
+    }
+    sink.calls
+}
+
+fn bench_predicate_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predicate_index");
+    group.sample_size(20);
+    for &n_preds in &[16usize, 64, 256] {
+        let defs: Vec<OpDef> = (0..n_preds)
+            .map(|i| OpDef::Select(Predicate::attr_eq_const(0, i as i64)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("indexed", n_preds), &defs, |b, defs| {
+            let ctx = merged_ctx(defs.clone(), MopKind::IndexedSelect);
+            b.iter(|| {
+                let mut op = instantiate(&ctx).unwrap();
+                drive_unary(op.as_mut(), 2000)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n_preds), &defs, |b, defs| {
+            let ctx = merged_ctx(defs.clone(), MopKind::Naive);
+            b.iter(|| {
+                let mut op = NaiveMop::new(&ctx).unwrap();
+                drive_unary(&mut op, 2000)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ai_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ai_index");
+    group.sample_size(10);
+    let spec = SeqSpec {
+        predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+        window: 2000,
+    };
+    let defs = vec![OpDef::Sequence(spec)];
+    group.bench_function("indexed", |b| {
+        let ctx = merged_ctx(defs.clone(), MopKind::SharedSequence);
+        b.iter(|| {
+            let mut op = instantiate(&ctx).unwrap();
+            drive_binary(op.as_mut(), 4000)
+        });
+    });
+    group.bench_function("scan", |b| {
+        let ctx = merged_ctx(defs.clone(), MopKind::Naive);
+        b.iter(|| {
+            // The reference executor scans all stored instances per event.
+            let mut op = NaiveMop::new(&ctx).unwrap();
+            drive_binary(&mut op, 4000)
+        });
+    });
+    group.finish();
+}
+
+fn bench_shared_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shared_join");
+    group.sample_size(10);
+    for &n_queries in &[4usize, 16] {
+        let defs: Vec<OpDef> = (0..n_queries)
+            .map(|i| {
+                OpDef::Join(JoinSpec {
+                    predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                    window: 50 + 50 * i as u64,
+                })
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("shared", n_queries), &defs, |b, defs| {
+            let ctx = merged_ctx(defs.clone(), MopKind::SharedJoin);
+            b.iter(|| {
+                let mut op = instantiate(&ctx).unwrap();
+                drive_binary(op.as_mut(), 2000)
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("independent", n_queries),
+            &defs,
+            |b, defs| {
+                let ctx = merged_ctx(defs.clone(), MopKind::Naive);
+                b.iter(|| {
+                    let mut op = NaiveMop::new(&ctx).unwrap();
+                    drive_binary(&mut op, 2000)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_channel_overhead(c: &mut Criterion) {
+    // The same selection evaluated through the channelized implementation
+    // (capacity-1 membership bookkeeping) vs the plain indexed one.
+    let mut group = c.benchmark_group("channel_overhead");
+    group.sample_size(20);
+    let defs = vec![OpDef::Select(Predicate::attr_eq_const(0, 1i64))];
+    group.bench_function("plain_stream", |b| {
+        let ctx = merged_ctx(defs.clone(), MopKind::IndexedSelect);
+        b.iter(|| {
+            let mut op = instantiate(&ctx).unwrap();
+            drive_unary(op.as_mut(), 4000)
+        });
+    });
+    group.bench_function("capacity1_channel", |b| {
+        let ctx = merged_ctx(defs.clone(), MopKind::ChannelSelect);
+        b.iter(|| {
+            let mut op = instantiate(&ctx).unwrap();
+            drive_unary(op.as_mut(), 4000)
+        });
+    });
+    group.finish();
+}
+
+fn w1_style_plan() -> PlanGraph {
+    let mut plan = PlanGraph::new();
+    plan.add_source("S", Schema::ints(3), None).unwrap();
+    plan.add_source("T", Schema::ints(3), None).unwrap();
+    for i in 0..64i64 {
+        plan.add_query(
+            &rumor_core::LogicalPlan::source("S")
+                .select(Predicate::attr_eq_const(0, i % 16))
+                .followed_by(
+                    rumor_core::LogicalPlan::source("T"),
+                    SeqSpec {
+                        predicate: Predicate::cmp(CmpOp::Eq, Expr::rcol(0), Expr::lit(i % 8)),
+                        window: 100,
+                    },
+                ),
+        )
+        .unwrap();
+    }
+    plan
+}
+
+fn bench_rule_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule_order");
+    group.sample_size(20);
+    let configs: Vec<(&str, OptimizerConfig)> = vec![
+        ("full", OptimizerConfig::default()),
+        ("no_pushdown", OptimizerConfig::default().disable("seq_pushdown")),
+        ("no_channels", OptimizerConfig::without_channels()),
+        ("unoptimized", OptimizerConfig::unoptimized()),
+    ];
+    for (name, config) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut plan = w1_style_plan();
+                Optimizer::new(config.clone()).optimize(&mut plan).unwrap();
+                (plan.mop_count(), plan.member_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_predicate_index,
+    bench_ai_index,
+    bench_shared_join,
+    bench_channel_overhead,
+    bench_rule_order
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Micro-benchmarks of the core data-plane primitives: the membership bit
+//! vector (the channel tuple's per-tuple overhead, §3.2), predicate
+//! evaluation, and tuple fan-out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rumor_expr::{CmpOp, EvalCtx, Expr, Predicate};
+use rumor_types::{Membership, Tuple};
+
+fn bench_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership");
+    for &n in &[10usize, 25, 200] {
+        let a = Membership::from_indices((0..n).filter(|i| i % 2 == 0));
+        let b = Membership::from_indices((0..n).filter(|i| i % 3 == 0));
+        group.bench_with_input(BenchmarkId::new("intersect", n), &(a, b), |bench, (a, b)| {
+            bench.iter(|| a.intersect(b));
+        });
+        let a = Membership::from_indices((0..n).filter(|i| i % 2 == 0));
+        let b = Membership::from_indices((0..n).filter(|i| i % 3 == 0));
+        group.bench_with_input(BenchmarkId::new("union", n), &(a, b), |bench, (a, b)| {
+            bench.iter(|| a.union(b));
+        });
+        let m = Membership::all(n);
+        group.bench_with_input(BenchmarkId::new("iter", n), &m, |bench, m| {
+            bench.iter(|| m.iter().sum::<usize>());
+        });
+    }
+    group.finish();
+}
+
+fn bench_predicates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predicate_eval");
+    let tuple = Tuple::ints(0, &[3, 14, 15, 92, 65, 35, 89, 79, 32, 38]);
+    let eq = Predicate::attr_eq_const(0, 3i64);
+    group.bench_function("eq_const", |b| {
+        b.iter(|| eq.eval(&EvalCtx::unary(&tuple)));
+    });
+    let conj = Predicate::and(vec![
+        Predicate::attr_eq_const(0, 3i64),
+        Predicate::cmp(CmpOp::Gt, Expr::col(1), Expr::lit(10i64)),
+        Predicate::cmp(CmpOp::Lt, Expr::col(2), Expr::lit(100i64)),
+    ]);
+    group.bench_function("conjunction3", |b| {
+        b.iter(|| conj.eval(&EvalCtx::unary(&tuple)));
+    });
+    let arith = Predicate::cmp(
+        CmpOp::Gt,
+        Expr::col(1).mul(Expr::lit(3i64)).add(Expr::col(2)),
+        Expr::lit(40i64),
+    );
+    group.bench_function("arithmetic", |b| {
+        b.iter(|| arith.eval(&EvalCtx::unary(&tuple)));
+    });
+    group.finish();
+}
+
+fn bench_tuple_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tuple");
+    let wide = Tuple::ints(0, &[0; 10]);
+    group.bench_function("clone_is_refcount", |b| {
+        b.iter(|| wide.clone());
+    });
+    let l = Tuple::ints(0, &[1; 10]);
+    let r = Tuple::ints(1, &[2; 10]);
+    group.bench_function("concat", |b| {
+        b.iter(|| l.concat(&r));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_membership, bench_predicates, bench_tuple_ops);
+criterion_main!(benches);

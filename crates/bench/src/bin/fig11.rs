@@ -1,0 +1,14 @@
+//! Regenerates Figure 11. Usage: `fig11 [a|b] [quick|full]`.
+use rumor_bench::{fig11, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let panels = args.get(1).cloned().unwrap_or_else(|| "ab".to_string());
+    let scale = args
+        .get(2)
+        .and_then(|s| Scale::parse(s))
+        .unwrap_or(Scale::Quick);
+    for p in panels.chars() {
+        fig11::run(&p.to_string(), scale);
+    }
+}

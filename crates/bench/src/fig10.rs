@@ -1,0 +1,226 @@
+//! Figure 10: Workload 2 (the AI-index templates `S ;θ1∧θ2 T` and
+//! `S µθ1∧θ2,θ3 T`, RUMOR vs Cayuga, normalized) and Workload 3 (channel
+//! sharing across sharable streams, absolute throughput with vs without
+//! channels).
+
+use rumor_core::{OptimizerConfig, PlanGraph};
+use rumor_types::{Membership, Schema};
+use rumor_workloads::synth::{st_events, w3_channel_events, w3_round_robin_events, StTag, W3Event};
+use rumor_workloads::{workload2, workload3, Params};
+
+use crate::{measure_cayuga, measure_rumor, normalize, print_table, FeedEvent, RunStats, Scale};
+
+fn measure_w2(params: &Params, mu: bool, runs: usize) -> (RunStats, RunStats) {
+    let queries = if mu {
+        workload2::generate_mu(params)
+    } else {
+        workload2::generate_seq(params)
+    };
+    let mut plan = PlanGraph::new();
+    let s = plan
+        .add_source("S", Schema::ints(params.num_attrs), None)
+        .unwrap();
+    let t = plan
+        .add_source("T", Schema::ints(params.num_attrs), None)
+        .unwrap();
+    let plan = crate::optimized_plan(
+        plan,
+        queries.iter().map(|q| q.plan.clone()),
+        OptimizerConfig::default(),
+    );
+    let events = st_events(params);
+    let feed: Vec<FeedEvent> = events
+        .iter()
+        .map(|e| match e.tag {
+            StTag::S => FeedEvent::Plain(s, e.tuple.clone()),
+            StTag::T => FeedEvent::Plain(t, e.tuple.clone()),
+        })
+        .collect();
+    let rumor = measure_rumor(&plan, &feed, 1, runs);
+
+    let automata: Vec<_> = queries.iter().map(|q| q.automaton.clone()).collect();
+    let cayuga_events: Vec<(&'static str, _)> = events
+        .iter()
+        .map(|e| {
+            (
+                match e.tag {
+                    StTag::S => "S",
+                    StTag::T => "T",
+                },
+                e.tuple.clone(),
+            )
+        })
+        .collect();
+    let cayuga = measure_cayuga(&automata, &cayuga_events, 1, runs);
+    (rumor, cayuga)
+}
+
+fn w2_sweep(scale: Scale, mu: bool, title: &str) {
+    let runs = scale.runs();
+    let mut xs = Vec::new();
+    let mut rumor = Vec::new();
+    let mut cayuga = Vec::new();
+    for n in scale.query_counts() {
+        // The µ workload is substantially heavier (§5.2: "µ is a more
+        // expensive operator to evaluate"); the paper's sweep stops at 10k.
+        if n > 10_000 {
+            continue;
+        }
+        let params = Params::default().with_queries(n).with_tuples(scale.tuples());
+        let (r, c) = measure_w2(&params, mu, runs);
+        eprintln!(
+            "  queries={n}: rumor {:.0} ev/s ({} results), cayuga {:.0} ev/s ({} results)",
+            r.throughput, r.results, c.throughput, c.results
+        );
+        xs.push(n.to_string());
+        rumor.push(r.throughput);
+        cayuga.push(c.throughput);
+    }
+    print_table(
+        title,
+        "queries",
+        &xs,
+        &[
+            ("RUMOR Query Plan (norm.)".to_string(), normalize(&rumor)),
+            ("Cayuga Automata (norm.)".to_string(), normalize(&cayuga)),
+        ],
+    );
+}
+
+/// Measures Workload 3 at one point: (with channel, without channel),
+/// absolute throughput (both sides run on the same RUMOR infrastructure,
+/// as in the paper).
+pub fn measure_w3(params: &Params, capacity: usize, runs: usize) -> (RunStats, RunStats) {
+    let queries = workload3::generate(params, capacity);
+
+    // Channel mode: one channel source C encoding `capacity` streams.
+    let mut plan = PlanGraph::new();
+    let c = plan
+        .add_source_group("C", Schema::ints(params.num_attrs), capacity)
+        .unwrap();
+    let t = plan
+        .add_source("T", Schema::ints(params.num_attrs), None)
+        .unwrap();
+    let plan = crate::optimized_plan(
+        plan,
+        queries.iter().map(|q| q.channel_plan.clone()),
+        OptimizerConfig::default(),
+    );
+    let feed: Vec<FeedEvent> = w3_channel_events(params, capacity)
+        .into_iter()
+        .map(|ev| match ev {
+            W3Event::Channel(tuple) => FeedEvent::Channel(c, tuple, Membership::all(capacity)),
+            W3Event::T(tuple) => FeedEvent::Plain(t, tuple),
+            W3Event::Si(..) => unreachable!("channel feed has no Si events"),
+        })
+        .collect();
+    let with_channel = measure_rumor(&plan, &feed, 1, runs);
+
+    // Round-robin mode: `capacity` plain sources, channels disabled.
+    let mut plan = PlanGraph::new();
+    let mut sis = Vec::new();
+    for i in 0..capacity {
+        sis.push(
+            plan.add_source(
+                format!("S{i}"),
+                Schema::ints(params.num_attrs),
+                Some("w3".to_string()),
+            )
+            .unwrap(),
+        );
+    }
+    let t = plan
+        .add_source("T", Schema::ints(params.num_attrs), None)
+        .unwrap();
+    let plan = crate::optimized_plan(
+        plan,
+        queries.iter().map(|q| q.plain_plan.clone()),
+        OptimizerConfig::without_channels(),
+    );
+    let feed: Vec<FeedEvent> = w3_round_robin_events(params, capacity)
+        .into_iter()
+        .map(|ev| match ev {
+            W3Event::Si(i, tuple) => FeedEvent::Plain(sis[i], tuple),
+            W3Event::T(tuple) => FeedEvent::Plain(t, tuple),
+            W3Event::Channel(_) => unreachable!("round-robin feed has no channel events"),
+        })
+        .collect();
+    let without_channel = measure_rumor(&plan, &feed, 1, runs);
+    (with_channel, without_channel)
+}
+
+fn w3_query_sweep(scale: Scale) {
+    let runs = scale.runs();
+    let mut xs = Vec::new();
+    let mut with_ch = Vec::new();
+    let mut without_ch = Vec::new();
+    for n in scale.query_counts() {
+        if n > 10_000 {
+            continue;
+        }
+        let params = Params::default().with_queries(n).with_tuples(scale.tuples());
+        let (w, wo) = measure_w3(&params, 10, runs);
+        eprintln!(
+            "  queries={n}: with channel {:.0} ev/s, without {:.0} ev/s",
+            w.throughput, wo.throughput
+        );
+        xs.push(n.to_string());
+        with_ch.push(w.throughput);
+        without_ch.push(wo.throughput);
+    }
+    print_table(
+        "Figure 10(c): Workload 3, throughput (events/s), varying the number of queries",
+        "queries",
+        &xs,
+        &[
+            ("Seq With Channel".to_string(), with_ch),
+            ("Seq W/o Channel".to_string(), without_ch),
+        ],
+    );
+}
+
+fn w3_capacity_sweep(scale: Scale) {
+    let runs = scale.runs();
+    let mut xs = Vec::new();
+    let mut with_ch = Vec::new();
+    let mut without_ch = Vec::new();
+    for capacity in [5usize, 10, 15, 20, 25] {
+        let params = Params::default().with_tuples(scale.tuples());
+        let (w, wo) = measure_w3(&params, capacity, runs);
+        eprintln!(
+            "  capacity={capacity}: with channel {:.0} ev/s, without {:.0} ev/s",
+            w.throughput, wo.throughput
+        );
+        xs.push(capacity.to_string());
+        with_ch.push(w.throughput);
+        without_ch.push(wo.throughput);
+    }
+    print_table(
+        "Figure 10(d): Workload 3, throughput (events/s), varying the channel capacity",
+        "channel capacity",
+        &xs,
+        &[
+            ("Seq With Channel".to_string(), with_ch),
+            ("Seq W/o Channel".to_string(), without_ch),
+        ],
+    );
+}
+
+/// Runs one panel of Figure 10.
+pub fn run(panel: &str, scale: Scale) {
+    match panel {
+        "a" => w2_sweep(
+            scale,
+            false,
+            "Figure 10(a): Workload 2 sequence queries, varying the number of queries",
+        ),
+        "b" => w2_sweep(
+            scale,
+            true,
+            "Figure 10(b): Workload 2 µ queries, varying the number of queries",
+        ),
+        "c" => w3_query_sweep(scale),
+        "d" => w3_capacity_sweep(scale),
+        other => eprintln!("unknown panel `{other}` (use a|b|c|d)"),
+    }
+}

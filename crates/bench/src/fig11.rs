@@ -1,0 +1,94 @@
+//! Figure 11: the hybrid query workload (§5.3) over the simulated
+//! performance-counter dataset D1 — n instances of Query 2 (each monitoring
+//! all processes), with vs without channels, absolute throughput.
+
+use rumor_core::{OptimizerConfig, PlanGraph};
+use rumor_types::Schema;
+use rumor_workloads::hybrid;
+use rumor_workloads::perfmon::{generate, PerfmonConfig};
+
+use crate::{measure_rumor, print_table, FeedEvent, RunStats, Scale};
+
+/// Measures one (n queries, sel) point with and without channels.
+pub fn measure_point(
+    trace: &[rumor_types::Tuple],
+    n: usize,
+    sel: f64,
+    runs: usize,
+) -> (RunStats, RunStats) {
+    let run_with = |config: OptimizerConfig| {
+        let mut plan = PlanGraph::new();
+        let cpu = plan.add_source("CPU", Schema::ints(2), None).unwrap();
+        let plan = crate::optimized_plan(
+            plan,
+            hybrid::generate(n, sel).into_iter().map(|q| q.plan),
+            config,
+        );
+        let feed: Vec<FeedEvent> = trace
+            .iter()
+            .map(|t| FeedEvent::Plain(cpu, t.clone()))
+            .collect();
+        measure_rumor(&plan, &feed, 1, runs)
+    };
+    let with_channel = run_with(OptimizerConfig::default());
+    let without_channel = run_with(OptimizerConfig::without_channels());
+    (with_channel, without_channel)
+}
+
+/// Runs one panel of Figure 11.
+pub fn run(panel: &str, scale: Scale) {
+    let trace = generate(&PerfmonConfig::d1(scale.perfmon_secs()));
+    let runs = scale.runs();
+    match panel {
+        "a" => {
+            let mut xs = Vec::new();
+            let mut with_ch = Vec::new();
+            let mut without_ch = Vec::new();
+            for n in [5usize, 10, 15, 20, 25] {
+                let (w, wo) = measure_point(&trace, n, 0.5, runs);
+                eprintln!(
+                    "  queries={n}: with channel {:.0} ev/s ({} results), without {:.0} ev/s ({} results)",
+                    w.throughput, w.results, wo.throughput, wo.results
+                );
+                xs.push(n.to_string());
+                with_ch.push(w.throughput);
+                without_ch.push(wo.throughput);
+            }
+            print_table(
+                "Figure 11(a): hybrid queries over D1 (sel = 0.5), throughput (events/s)",
+                "hybrid queries",
+                &xs,
+                &[
+                    ("Hybrid With Channel".to_string(), with_ch),
+                    ("Hybrid W/o Channel".to_string(), without_ch),
+                ],
+            );
+        }
+        "b" => {
+            let mut xs = Vec::new();
+            let mut with_ch = Vec::new();
+            let mut without_ch = Vec::new();
+            for sel10 in [0usize, 2, 4, 6, 8, 10] {
+                let sel = sel10 as f64 / 10.0;
+                let (w, wo) = measure_point(&trace, 10, sel, runs);
+                eprintln!(
+                    "  sel={sel:.1}: with channel {:.0} ev/s ({} results), without {:.0} ev/s ({} results)",
+                    w.throughput, w.results, wo.throughput, wo.results
+                );
+                xs.push(format!("{sel:.1}"));
+                with_ch.push(w.throughput);
+                without_ch.push(wo.throughput);
+            }
+            print_table(
+                "Figure 11(b): hybrid queries over D1 (n = 10), varying starting-condition selectivity",
+                "sel",
+                &xs,
+                &[
+                    ("Hybrid With Channel".to_string(), with_ch),
+                    ("Hybrid W/o Channel".to_string(), without_ch),
+                ],
+            );
+        }
+        other => eprintln!("unknown panel `{other}` (use a|b)"),
+    }
+}

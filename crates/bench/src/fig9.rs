@@ -1,0 +1,130 @@
+//! Figure 9: the Workload 1 event-pattern sweep (σθ1(S) ;θ2∧θ3 T) —
+//! normalized throughput of RUMOR query plans vs Cayuga automata while
+//! varying (a) the number of queries, (b) the constant domain size, (c) the
+//! window-length domain size, and (d) the Zipf parameter.
+
+use rumor_core::{OptimizerConfig, PlanGraph};
+use rumor_types::Schema;
+use rumor_workloads::synth::{st_events, StTag};
+use rumor_workloads::{workload1, Params};
+
+use crate::{measure_cayuga, measure_rumor, normalize, print_table, FeedEvent, RunStats, Scale};
+
+/// Measures one parameter point on both engines.
+pub fn measure_point(params: &Params, runs: usize) -> (RunStats, RunStats) {
+    let queries = workload1::generate(params);
+
+    // RUMOR side.
+    let mut plan = PlanGraph::new();
+    let s = plan
+        .add_source("S", Schema::ints(params.num_attrs), None)
+        .unwrap();
+    let t = plan
+        .add_source("T", Schema::ints(params.num_attrs), None)
+        .unwrap();
+    let plan = crate::optimized_plan(
+        plan,
+        queries.iter().map(|q| q.plan.clone()),
+        OptimizerConfig::default(),
+    );
+    let events = st_events(params);
+    let feed: Vec<FeedEvent> = events
+        .iter()
+        .map(|e| match e.tag {
+            StTag::S => FeedEvent::Plain(s, e.tuple.clone()),
+            StTag::T => FeedEvent::Plain(t, e.tuple.clone()),
+        })
+        .collect();
+    let rumor = measure_rumor(&plan, &feed, 1, runs);
+
+    // Cayuga side (same queries, same events).
+    let automata: Vec<_> = queries.iter().map(|q| q.automaton.clone()).collect();
+    let cayuga_events: Vec<(&'static str, _)> = events
+        .iter()
+        .map(|e| {
+            (
+                match e.tag {
+                    StTag::S => "S",
+                    StTag::T => "T",
+                },
+                e.tuple.clone(),
+            )
+        })
+        .collect();
+    let cayuga = measure_cayuga(&automata, &cayuga_events, 1, runs);
+    (rumor, cayuga)
+}
+
+fn sweep(points: Vec<(String, Params)>, runs: usize, title: &str, xlabel: &str) {
+    let mut xs = Vec::new();
+    let mut rumor = Vec::new();
+    let mut cayuga = Vec::new();
+    for (label, params) in points {
+        let (r, c) = measure_point(&params, runs);
+        eprintln!(
+            "  {xlabel}={label}: rumor {:.0} ev/s ({} results), cayuga {:.0} ev/s ({} results)",
+            r.throughput, r.results, c.throughput, c.results
+        );
+        xs.push(label);
+        rumor.push(r.throughput);
+        cayuga.push(c.throughput);
+    }
+    print_table(
+        title,
+        xlabel,
+        &xs,
+        &[
+            ("RUMOR Query Plan (norm.)".to_string(), normalize(&rumor)),
+            ("Cayuga Automata (norm.)".to_string(), normalize(&cayuga)),
+        ],
+    );
+}
+
+/// Runs one panel of Figure 9.
+pub fn run(panel: &str, scale: Scale) {
+    let base = Params::default().with_tuples(scale.tuples());
+    let runs = scale.runs();
+    match panel {
+        "a" => sweep(
+            scale
+                .query_counts()
+                .into_iter()
+                .map(|n| (n.to_string(), base.clone().with_queries(n)))
+                .collect(),
+            runs,
+            "Figure 9(a): Workload 1, varying the number of queries",
+            "queries",
+        ),
+        "b" => sweep(
+            scale
+                .domains()
+                .into_iter()
+                .map(|d| (d.to_string(), base.clone().with_const_domain(d)))
+                .collect(),
+            runs,
+            "Figure 9(b): Workload 1, varying the constant domain size",
+            "constant domain",
+        ),
+        "c" => sweep(
+            scale
+                .domains()
+                .into_iter()
+                .map(|d| (d.to_string(), base.clone().with_window_domain(d as u64)))
+                .collect(),
+            runs,
+            "Figure 9(c): Workload 1, varying the window length domain size",
+            "window domain",
+        ),
+        "d" => sweep(
+            scale
+                .zipfs()
+                .into_iter()
+                .map(|z| (format!("{z:.1}"), base.clone().with_zipf(z)))
+                .collect(),
+            runs,
+            "Figure 9(d): Workload 1, varying the Zipf parameter",
+            "zipf",
+        ),
+        other => eprintln!("unknown panel `{other}` (use a|b|c|d)"),
+    }
+}

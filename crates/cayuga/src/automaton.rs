@@ -1,0 +1,242 @@
+//! Cayuga-style automata (§4.2 of the paper, after \[7, 8\]).
+//!
+//! An automaton is a DAG of states. Each state reads one input stream and
+//! holds *instances* (partially matched patterns). A state has up to three
+//! edge types:
+//!
+//! * a **filter** edge (self-loop): the instance stays unchanged;
+//! * a **rebind** edge (self-loop): the instance is updated by a schema map
+//!   and stays (the µ iteration);
+//! * **forward** edges: the instance is transformed and moves to the next
+//!   state; reaching a final state emits a query result.
+//!
+//! Durations ("duration predicates" in Cayuga terminology) are modeled as
+//! explicit per-edge windows, matching the RUMOR operators.
+//!
+//! Determinized match-consumption: the engine implements the sequence
+//! semantics the paper relies on in §5.2 — an instance is consumed *per
+//! forward edge* on that edge's first match (so sharing a state between
+//! queries cannot leak matches across queries), stays while the filter edge
+//! allows, and is deleted when no edge applies.
+
+use rumor_expr::{Predicate, SchemaMap};
+use rumor_types::{QueryId, Schema};
+
+/// Index of a state within an [`Automaton`] (or the engine's forest).
+pub type StateId = usize;
+
+/// A forward edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardEdge {
+    /// Edge predicate θ over (instance, event).
+    pub predicate: Predicate,
+    /// Duration window: the edge can only fire within `dur` time units of
+    /// the instance's first event.
+    pub dur: u64,
+    /// Schema map F applied to (instance, event) to build the moved
+    /// instance (or the query output when the target is final).
+    pub map: SchemaMap,
+    /// Target state (`None` = final: emit a result).
+    pub target: Option<StateId>,
+}
+
+/// The rebind self-loop of a µ-style state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebindEdge {
+    /// Rebind predicate θr.
+    pub predicate: Predicate,
+    /// Duration window for iterating.
+    pub dur: u64,
+    /// Rebind map Fr: (instance, event) → instance (schema preserving).
+    pub map: SchemaMap,
+    /// Emit the rebound instance as a query result on each rebind (used by
+    /// the µ query workloads, which observe every extension).
+    pub emit: Option<QueryId>,
+}
+
+/// One automaton state.
+#[derive(Debug, Clone)]
+pub struct State {
+    /// Name of the stream this state subscribes to.
+    pub input: String,
+    /// Filter-edge predicate θf (`Predicate::False` = no filter edge). On
+    /// start states this is ignored — start states hold no instances.
+    pub filter: Predicate,
+    /// Optional rebind edge.
+    pub rebind: Option<RebindEdge>,
+    /// Forward edges; each may carry the query that completes there.
+    pub forward: Vec<(ForwardEdge, Option<QueryId>)>,
+    /// Schema of instances stored at this state.
+    pub schema: Schema,
+    /// True for start states (no instances; forward edges fire on the bare
+    /// event, building the initial instance from the event alone).
+    pub is_start: bool,
+}
+
+/// A single-query automaton: a chain/DAG of states with one start state.
+#[derive(Debug, Clone)]
+pub struct Automaton {
+    /// States; index 0 is the start state.
+    pub states: Vec<State>,
+}
+
+impl Automaton {
+    /// Builds a two-state sequence automaton for the template
+    /// `σ[start_pred](S) ; T` — the Workload 1 / Workload 2 shape (§5.2):
+    ///
+    /// * the start state reads `first`, its forward edge requires
+    ///   `start_pred` on the event and stores it (identity map);
+    /// * the middle state reads `second`; its forward edge carries the
+    ///   pairwise `match_pred` and duration `dur`, completing the query.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sequence(
+        first: &str,
+        first_schema: &Schema,
+        start_pred: Predicate,
+        second: &str,
+        second_schema: &Schema,
+        match_pred: Predicate,
+        dur: u64,
+        query: QueryId,
+    ) -> Automaton {
+        let store_map = SchemaMap::identity_of(first_schema);
+        let out_map = SchemaMap::concat(first_schema, second_schema);
+        Automaton {
+            states: vec![
+                State {
+                    input: first.to_string(),
+                    filter: Predicate::False,
+                    rebind: None,
+                    forward: vec![(
+                        ForwardEdge {
+                            predicate: start_pred,
+                            dur: u64::MAX,
+                            map: store_map,
+                            target: Some(1),
+                        },
+                        None,
+                    )],
+                    schema: first_schema.clone(),
+                    is_start: true,
+                },
+                State {
+                    input: second.to_string(),
+                    filter: Predicate::True,
+                    rebind: None,
+                    forward: vec![(
+                        ForwardEdge {
+                            predicate: match_pred,
+                            dur,
+                            map: out_map,
+                            target: None,
+                        },
+                        Some(query),
+                    )],
+                    schema: first_schema.clone(),
+                    is_start: false,
+                },
+            ],
+        }
+    }
+
+    /// Builds a two-state iteration automaton for the template
+    /// `σ[start_pred](S) µ(filter, rebind, map) T`, emitting on each rebind
+    /// (the Workload 2 µ variant and the Query 1/2 ramp pattern).
+    #[allow(clippy::too_many_arguments)]
+    pub fn iterate(
+        first: &str,
+        first_schema: &Schema,
+        start_pred: Predicate,
+        second: &str,
+        filter: Predicate,
+        rebind: Predicate,
+        rebind_map: SchemaMap,
+        dur: u64,
+        query: QueryId,
+    ) -> Automaton {
+        let store_map = SchemaMap::identity_of(first_schema);
+        Automaton {
+            states: vec![
+                State {
+                    input: first.to_string(),
+                    filter: Predicate::False,
+                    rebind: None,
+                    forward: vec![(
+                        ForwardEdge {
+                            predicate: start_pred,
+                            dur: u64::MAX,
+                            map: store_map,
+                            target: Some(1),
+                        },
+                        None,
+                    )],
+                    schema: first_schema.clone(),
+                    is_start: true,
+                },
+                State {
+                    input: second.to_string(),
+                    filter,
+                    rebind: Some(RebindEdge {
+                        predicate: rebind,
+                        dur,
+                        map: rebind_map,
+                        emit: Some(query),
+                    }),
+                    forward: Vec::new(),
+                    schema: first_schema.clone(),
+                    is_start: false,
+                },
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_expr::{CmpOp, Expr};
+
+    #[test]
+    fn sequence_shape() {
+        let schema = Schema::ints(2);
+        let a = Automaton::sequence(
+            "S",
+            &schema,
+            Predicate::attr_eq_const(0, 1i64),
+            "T",
+            &schema,
+            Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+            100,
+            QueryId(0),
+        );
+        assert_eq!(a.states.len(), 2);
+        assert!(a.states[0].is_start);
+        assert_eq!(a.states[0].forward[0].0.target, Some(1));
+        let (edge, q) = &a.states[1].forward[0];
+        assert_eq!(edge.target, None, "completes the query");
+        assert_eq!(*q, Some(QueryId(0)));
+        assert_eq!(edge.dur, 100);
+        // The output map concatenates instance and event schemas.
+        assert_eq!(edge.map.arity(), 4);
+    }
+
+    #[test]
+    fn iterate_shape() {
+        let schema = Schema::ints(2);
+        let a = Automaton::iterate(
+            "S",
+            &schema,
+            Predicate::True,
+            "T",
+            Predicate::cmp(CmpOp::Ne, Expr::col(0), Expr::rcol(0)),
+            Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+            SchemaMap::identity(2),
+            50,
+            QueryId(3),
+        );
+        let rebind = a.states[1].rebind.as_ref().unwrap();
+        assert_eq!(rebind.emit, Some(QueryId(3)));
+        assert_eq!(rebind.dur, 50);
+        assert!(a.states[1].forward.is_empty());
+    }
+}

@@ -1,0 +1,1004 @@
+//! The Cayuga-style automaton engine — the event-engine baseline the paper
+//! compares RUMOR against in §5.2.
+//!
+//! MQO techniques implemented, mirroring §4.3:
+//!
+//! * **Prefix state merging**: automata are inserted into a shared forest;
+//!   states reachable by identical edge chains are merged, and identical
+//!   final edges complete multiple queries at once (the automaton
+//!   counterpart of common subexpression elimination).
+//! * **FR index**: per state, forward/rebind edges whose predicates compare
+//!   an event attribute with a constant are hash-indexed, so an event
+//!   retrieves its satisfied edges by lookup instead of scanning all edges.
+//! * **AN index**: an event only visits states that subscribe to its stream
+//!   and are *active* (start states, or states holding live instances).
+//! * **AI index**: per state, instances are hash-indexed by the
+//!   instance-side attributes of the edge predicates' equi-join conjuncts,
+//!   so an event probes a bucket instead of scanning all instances.
+//!
+//! Sequence consumption semantics follow §5.2: an instance is consumed per
+//! forward edge on that edge's first match; it stays while the filter edge
+//! allows and dies when all forward edges are consumed or no edge applies.
+
+use std::collections::HashMap;
+
+use rumor_expr::{EvalCtx, Predicate, SchemaMap};
+use rumor_types::{Membership, QueryId, Timestamp, Tuple, Value, ValueKey};
+
+use crate::automaton::{Automaton, StateId};
+
+/// Runtime forward edge (possibly completing several merged queries).
+///
+/// Final edges with identical predicate and map merge across queries even
+/// when their duration windows differ (the \[12\]-style sharing RUMOR gets
+/// from per-member windows): `dur` is the maximum, and each completion
+/// carries its own window so emissions are filtered by match age.
+#[derive(Debug, Clone)]
+struct RtEdge {
+    predicate: Predicate,
+    dur: u64,
+    map: SchemaMap,
+    target: Option<StateId>,
+    /// `(query, duration)` completed when this edge reaches a final target.
+    queries: Vec<(QueryId, u64)>,
+}
+
+#[derive(Debug, Clone)]
+struct RtRebind {
+    predicate: Predicate,
+    /// Maximum duration across the merged queries.
+    dur: u64,
+    map: SchemaMap,
+    /// `(query, duration)` notified on each rebind within its window.
+    queries: Vec<(QueryId, u64)>,
+}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    start_ts: Timestamp,
+    tuple: Tuple,
+    /// Forward edges already consumed by this instance.
+    consumed: Membership,
+}
+
+#[derive(Debug, Default)]
+struct InstanceSet {
+    /// Keyed storage (AI index) or a single scan bucket under key `vec![]`.
+    buckets: HashMap<Vec<ValueKey>, Vec<Instance>>,
+    live: usize,
+}
+
+struct RtState {
+    input: String,
+    filter: Predicate,
+    rebind: Option<RtRebind>,
+    forward: Vec<RtEdge>,
+    is_start: bool,
+    max_dur: u64,
+    /// FR index: attr → constant → forward-edge indices (+ per-edge residual).
+    fr_index: Vec<(usize, HashMap<ValueKey, Vec<u32>>)>,
+    fr_residuals: Vec<Predicate>,
+    fr_scan: Vec<u32>,
+    index_dirty: bool,
+    /// AI index: (instance attr, event attr) pairs; empty = scan.
+    ai_keys: Vec<(usize, usize)>,
+    instances: InstanceSet,
+    events_since_sweep: u32,
+}
+
+impl RtState {
+    fn new(input: String, filter: Predicate, rebind: Option<RtRebind>, is_start: bool) -> Self {
+        RtState {
+            input,
+            filter,
+            rebind,
+            forward: Vec::new(),
+            is_start,
+            max_dur: 0,
+            fr_index: Vec::new(),
+            fr_residuals: Vec::new(),
+            fr_scan: Vec::new(),
+            index_dirty: true,
+            ai_keys: Vec::new(),
+            instances: InstanceSet::default(),
+            events_since_sweep: 0,
+        }
+    }
+
+    fn rebind_def_matches(&self, other: &Option<RtRebind>) -> bool {
+        match (&self.rebind, other) {
+            (None, None) => true,
+            // Durations merge (per-query windows), so only the formula
+            // identity matters for state merging.
+            (Some(a), Some(b)) => a.predicate == b.predicate && a.map == b.map,
+            _ => false,
+        }
+    }
+
+    /// Rebuilds the FR index (constant predicates of forward edges) and the
+    /// AI key set (equi conjuncts shared by all pair-wise edge predicates).
+    fn rebuild_indexes(&mut self) {
+        self.fr_index.clear();
+        self.fr_scan.clear();
+        self.fr_residuals = vec![Predicate::True; self.forward.len()];
+        let mut by_attr: HashMap<usize, HashMap<ValueKey, Vec<u32>>> = HashMap::new();
+        for (i, edge) in self.forward.iter().enumerate() {
+            // On start states edge predicates are unary over the event
+            // (left side); on inner states they are pairwise, so constant
+            // conjuncts live on the right (event) side. Normalize to a
+            // left-side predicate for index extraction.
+            let pred = if self.is_start {
+                edge.predicate.clone()
+            } else {
+                event_only_part(&edge.predicate)
+            };
+            match index_split_left(&pred) {
+                Some((attr, key, residual)) => {
+                    by_attr.entry(attr).or_default().entry(key).or_default().push(i as u32);
+                    if self.is_start {
+                        self.fr_residuals[i] = residual;
+                    } else {
+                        // Residual = full predicate minus nothing (we only
+                        // used the index to find candidates; re-check all).
+                        self.fr_residuals[i] = edge.predicate.clone();
+                    }
+                }
+                None => self.fr_scan.push(i as u32),
+            }
+        }
+        self.fr_index = by_attr.into_iter().collect();
+        self.fr_index.sort_by_key(|(a, _)| *a);
+
+        // AI keys: intersection of the equi-key sets of every pairwise
+        // predicate (forward and rebind) — keys every edge agrees on.
+        let mut key_sets: Vec<Vec<(usize, usize)>> = Vec::new();
+        if !self.is_start {
+            for edge in &self.forward {
+                key_sets.push(edge.predicate.split_equi_join().0);
+            }
+            if let Some(r) = &self.rebind {
+                key_sets.push(r.predicate.split_equi_join().0);
+            }
+        }
+        self.ai_keys = match key_sets.split_first() {
+            Some((first, rest)) => first
+                .iter()
+                .copied()
+                .filter(|k| rest.iter().all(|s| s.contains(k)))
+                .collect(),
+            None => Vec::new(),
+        };
+        // Keyed iteration must not skip instances the filter could delete:
+        // sound iff the filter passes every non-key event.
+        if !self.ai_keys.is_empty() && !filter_safe_for_keys(&self.filter, &self.ai_keys) {
+            self.ai_keys.clear();
+        }
+        self.max_dur = self
+            .forward
+            .iter()
+            .map(|e| e.dur)
+            .chain(self.rebind.iter().map(|r| r.dur))
+            .max()
+            .unwrap_or(0);
+        self.index_dirty = false;
+    }
+
+    fn instance_key(&self, tuple: &Tuple) -> Vec<ValueKey> {
+        self.ai_keys
+            .iter()
+            .map(|&(l, _)| tuple.value(l).cloned().unwrap_or(Value::Null).group_key())
+            .collect()
+    }
+
+    fn event_key(&self, tuple: &Tuple) -> Vec<ValueKey> {
+        self.ai_keys
+            .iter()
+            .map(|&(_, r)| tuple.value(r).cloned().unwrap_or(Value::Null).group_key())
+            .collect()
+    }
+}
+
+/// `attr = const` extraction over the left side (see `rumor-ops`' predicate
+/// index); duplicated here because the baseline engine must not depend on
+/// the RUMOR operator crate.
+fn index_split_left(pred: &Predicate) -> Option<(usize, ValueKey, Predicate)> {
+    if let Some(eq) = pred.as_eq_const() {
+        return Some((eq.attr, eq.value.group_key(), Predicate::True));
+    }
+    if let Predicate::And(conjuncts) = pred {
+        for (i, c) in conjuncts.iter().enumerate() {
+            if let Some(eq) = c.as_eq_const() {
+                let mut rest = conjuncts.clone();
+                rest.remove(i);
+                return Some((eq.attr, eq.value.group_key(), Predicate::and(rest)));
+            }
+        }
+    }
+    None
+}
+
+/// Extracts the event-only conjuncts of a pairwise predicate, rewritten to
+/// the left side (for FR indexing of inner states).
+fn event_only_part(pred: &Predicate) -> Predicate {
+    use rumor_expr::Side;
+    let conjuncts: Vec<Predicate> = match pred {
+        Predicate::And(ps) => ps.clone(),
+        p => vec![p.clone()],
+    };
+    Predicate::and(
+        conjuncts
+            .into_iter()
+            .filter(|c| c.references(Side::Right) && !c.references(Side::Left))
+            .map(|c| c.shift_side(Side::Right, 0, Side::Left))
+            .collect(),
+    )
+}
+
+fn filter_safe_for_keys(filter: &Predicate, keys: &[(usize, usize)]) -> bool {
+    use rumor_expr::{CmpOp, Expr, Side};
+    match filter {
+        Predicate::True => true,
+        Predicate::Cmp {
+            op: CmpOp::Ne,
+            lhs,
+            rhs,
+        } if keys.len() == 1 => {
+            let (l, r) = keys[0];
+            matches!(
+                (lhs, rhs),
+                (
+                    Expr::Col { side: Side::Left, index: li },
+                    Expr::Col { side: Side::Right, index: ri },
+                ) if *li == l && *ri == r
+            ) || matches!(
+                (lhs, rhs),
+                (
+                    Expr::Col { side: Side::Right, index: ri },
+                    Expr::Col { side: Side::Left, index: li },
+                ) if *li == l && *ri == r
+            )
+        }
+        _ => false,
+    }
+}
+
+/// Per-stream Active-Node index (§4.3): maps an event to the candidate
+/// states that could react to it. States whose edges are all hash-indexable
+/// event-constant predicates (and whose filter edge is `True`, so skipping
+/// them can never miss a deletion) are reached only via constant lookup;
+/// every other state is always visited when active.
+#[derive(Debug, Default)]
+struct StreamIndex {
+    /// States that must be visited for every event of the stream.
+    always: Vec<StateId>,
+    /// attr → constant → states with a matching indexable edge.
+    indexed: Vec<(usize, HashMap<ValueKey, Vec<StateId>>)>,
+    dirty: bool,
+}
+
+/// The Cayuga engine: a merged forest of automata.
+pub struct CayugaEngine {
+    states: Vec<RtState>,
+    /// AN index, level 1: stream name → subscribed states.
+    by_stream: HashMap<String, Vec<StateId>>,
+    /// AN index, level 2: per-stream candidate-state index.
+    stream_index: HashMap<String, StreamIndex>,
+    /// Merged start state per stream.
+    start_of: HashMap<String, StateId>,
+    /// Total events processed.
+    pub events_in: u64,
+}
+
+impl Default for CayugaEngine {
+    fn default() -> Self {
+        CayugaEngine::new()
+    }
+}
+
+impl CayugaEngine {
+    /// Empty engine.
+    pub fn new() -> Self {
+        CayugaEngine {
+            states: Vec::new(),
+            by_stream: HashMap::new(),
+            stream_index: HashMap::new(),
+            start_of: HashMap::new(),
+            events_in: 0,
+        }
+    }
+
+    /// Number of states in the merged forest.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Total live instances across states.
+    pub fn instance_count(&self) -> usize {
+        self.states.iter().map(|s| s.instances.live).sum()
+    }
+
+    fn new_state(
+        &mut self,
+        input: String,
+        filter: Predicate,
+        rebind: Option<RtRebind>,
+        is_start: bool,
+    ) -> StateId {
+        let id = self.states.len();
+        self.by_stream.entry(input.clone()).or_default().push(id);
+        self.stream_index.entry(input.clone()).or_default().dirty = true;
+        self.states.push(RtState::new(input, filter, rebind, is_start));
+        id
+    }
+
+    /// Rebuilds one stream's AN index from its states' edge predicates.
+    fn rebuild_stream_index(&mut self, stream: &str) {
+        let Some(state_ids) = self.by_stream.get(stream) else { return };
+        let state_ids = state_ids.clone();
+        let mut always = Vec::new();
+        let mut by_attr: HashMap<usize, HashMap<ValueKey, Vec<StateId>>> = HashMap::new();
+        for &sid in &state_ids {
+            if self.states[sid].index_dirty {
+                self.states[sid].rebuild_indexes();
+            }
+            let st = &self.states[sid];
+            // A state is skippable-by-index only if missing an edge can
+            // never change its instances: filter == True (nothing deleted
+            // on non-match), no rebind edge, and every forward edge has an
+            // indexable event-constant conjunct.
+            let skippable = st.rebind.is_none()
+                && (st.is_start || st.filter == Predicate::True)
+                && st.fr_scan.is_empty()
+                && !st.forward.is_empty();
+            if !skippable {
+                always.push(sid);
+                continue;
+            }
+            for (attr, map) in &st.fr_index {
+                for key in map.keys() {
+                    let states = by_attr
+                        .entry(*attr)
+                        .or_default()
+                        .entry(key.clone())
+                        .or_default();
+                    if !states.contains(&sid) {
+                        states.push(sid);
+                    }
+                }
+            }
+        }
+        let mut indexed: Vec<(usize, HashMap<ValueKey, Vec<StateId>>)> =
+            by_attr.into_iter().collect();
+        indexed.sort_by_key(|(a, _)| *a);
+        let entry = self.stream_index.entry(stream.to_string()).or_default();
+        entry.always = always;
+        entry.indexed = indexed;
+        entry.dirty = false;
+    }
+
+    /// Adds an automaton to the forest with prefix state merging (§4.3).
+    pub fn add_automaton(&mut self, automaton: &Automaton) {
+        let mut mapping: HashMap<StateId, StateId> = HashMap::new();
+        // Insert states in topological (index) order; the start is index 0.
+        for (aid, astate) in automaton.states.iter().enumerate() {
+            let engine_id = if astate.is_start {
+                match self.start_of.get(&astate.input) {
+                    Some(&id) => id,
+                    None => {
+                        let id =
+                            self.new_state(astate.input.clone(), Predicate::False, None, true);
+                        self.start_of.insert(astate.input.clone(), id);
+                        id
+                    }
+                }
+            } else {
+                // Created on demand when the incoming edge is processed; a
+                // non-start state unreachable from the start is dropped.
+                match mapping.get(&aid) {
+                    Some(&id) => id,
+                    None => continue,
+                }
+            };
+            mapping.insert(aid, engine_id);
+
+            // Rebind edge: merge identical definitions, otherwise the state
+            // must have been created fresh (see edge handling below).
+            if let Some(rb) = &astate.rebind {
+                let rt = RtRebind {
+                    predicate: rb.predicate.clone(),
+                    dur: rb.dur,
+                    map: rb.map.clone(),
+                    queries: rb.emit.map(|q| (q, rb.dur)).into_iter().collect(),
+                };
+                let state = &mut self.states[engine_id];
+                match &mut state.rebind {
+                    Some(existing)
+                        if existing.predicate == rt.predicate && existing.map == rt.map =>
+                    {
+                        existing.dur = existing.dur.max(rt.dur);
+                        for q in rt.queries {
+                            if !existing.queries.contains(&q) {
+                                existing.queries.push(q);
+                            }
+                        }
+                    }
+                    None => state.rebind = Some(rt),
+                    Some(_) => {
+                        // Incompatible rebind: this should have prevented
+                        // state merging; keep both automata correct by
+                        // leaving the existing rebind (callers construct
+                        // automata via the builders, which cannot hit this).
+                    }
+                }
+                self.states[engine_id].index_dirty = true;
+            }
+
+            // Forward edges.
+            for (edge, query) in &astate.forward {
+                let target_state = edge.target.map(|t| &automaton.states[t]);
+                // Look for an existing identical edge whose target matches
+                // the prefix-merge criteria.
+                let mut reused = None;
+                for (ei, existing) in self.states[engine_id].forward.iter().enumerate() {
+                    if existing.predicate != edge.predicate || existing.map != edge.map {
+                        continue;
+                    }
+                    // Interior edges must agree on duration (the moved
+                    // instance is shared downstream); final edges merge
+                    // across durations with per-query filtering.
+                    if existing.target.is_some() && existing.dur != edge.dur {
+                        continue;
+                    }
+                    match (existing.target, target_state) {
+                        (None, None) => {
+                            reused = Some((ei, None));
+                            break;
+                        }
+                        (Some(tid), Some(tstate)) => {
+                            let t = &self.states[tid];
+                            let rt_rebind = tstate.rebind.as_ref().map(|rb| RtRebind {
+                                predicate: rb.predicate.clone(),
+                                dur: rb.dur,
+                                map: rb.map.clone(),
+                                queries: Vec::new(),
+                            });
+                            if t.input == tstate.input
+                                && t.filter == tstate.filter
+                                && t.rebind_def_matches(&rt_rebind)
+                            {
+                                reused = Some((ei, Some(tid)));
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                match reused {
+                    Some((ei, target)) => {
+                        let e = &mut self.states[engine_id].forward[ei];
+                        e.dur = e.dur.max(edge.dur);
+                        if let Some(q) = query {
+                            if !e.queries.iter().any(|(qq, _)| qq == q) {
+                                e.queries.push((*q, edge.dur));
+                            }
+                        }
+                        if let (Some(tid), Some(t)) = (target, edge.target) {
+                            mapping.insert(t, tid);
+                        }
+                    }
+                    None => {
+                        let target_id = match (edge.target, target_state) {
+                            (Some(t), Some(tstate)) => {
+                                let rebind = tstate.rebind.as_ref().map(|rb| RtRebind {
+                                    predicate: rb.predicate.clone(),
+                                    dur: rb.dur,
+                                    map: rb.map.clone(),
+                                    queries: rb.emit.map(|q| (q, rb.dur)).into_iter().collect(),
+                                });
+                                let id = self.new_state(
+                                    tstate.input.clone(),
+                                    tstate.filter.clone(),
+                                    rebind,
+                                    false,
+                                );
+                                mapping.insert(t, id);
+                                Some(id)
+                            }
+                            _ => None,
+                        };
+                        let state = &mut self.states[engine_id];
+                        state.forward.push(RtEdge {
+                            predicate: edge.predicate.clone(),
+                            dur: edge.dur,
+                            map: edge.map.clone(),
+                            target: target_id,
+                            queries: query.iter().map(|&q| (q, edge.dur)).collect(),
+                        });
+                        state.index_dirty = true;
+                    }
+                }
+            }
+            self.states[engine_id].index_dirty = true;
+        }
+    }
+
+    /// Processes one event, reporting results through `sink`.
+    pub fn on_event(
+        &mut self,
+        stream: &str,
+        tuple: &Tuple,
+        sink: &mut dyn FnMut(QueryId, &Tuple),
+    ) {
+        self.events_in += 1;
+        if !self.by_stream.contains_key(stream) {
+            return;
+        }
+        if self.stream_index.get(stream).is_none_or(|i| i.dirty) {
+            self.rebuild_stream_index(stream);
+        }
+        // AN index probe: always-visited states plus constant-index hits.
+        let index = &self.stream_index[stream];
+        let mut candidates: Vec<StateId> = index.always.clone();
+        for (attr, map) in &index.indexed {
+            if let Some(v) = tuple.value(*attr) {
+                if let Some(states) = map.get(&v.group_key()) {
+                    candidates.extend_from_slice(states);
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        // Moves emit instances into downstream states *after* this event is
+        // fully processed (an event never interacts with the instances it
+        // creates — timestamps are strictly interleaved across streams).
+        let mut moves: Vec<(StateId, Instance)> = Vec::new();
+        for sid in candidates {
+            if self.states[sid].index_dirty {
+                self.states[sid].rebuild_indexes();
+            }
+            if self.states[sid].is_start {
+                self.process_start(sid, tuple, &mut moves, sink);
+            } else if self.states[sid].instances.live > 0 {
+                // AN index level 1: inactive states are skipped entirely.
+                self.process_inner(sid, tuple, &mut moves, sink);
+            }
+        }
+        for (target, inst) in moves {
+            let state = &mut self.states[target];
+            if state.index_dirty {
+                state.rebuild_indexes();
+            }
+            let key = state.instance_key(&inst.tuple);
+            state.instances.buckets.entry(key).or_default().push(inst);
+            state.instances.live += 1;
+        }
+    }
+
+    fn process_start(
+        &mut self,
+        sid: StateId,
+        event: &Tuple,
+        moves: &mut Vec<(StateId, Instance)>,
+        sink: &mut dyn FnMut(QueryId, &Tuple),
+    ) {
+        let ctx = EvalCtx::unary(event);
+        let state = &self.states[sid];
+        let mut fired: Vec<u32> = Vec::new();
+        for (attr, map) in &state.fr_index {
+            if let Some(v) = event.value(*attr) {
+                if let Some(edges) = map.get(&v.group_key()) {
+                    for &e in edges {
+                        if state.fr_residuals[e as usize].eval(&ctx) {
+                            fired.push(e);
+                        }
+                    }
+                }
+            }
+        }
+        for &e in &state.fr_scan {
+            if state.forward[e as usize].predicate.eval(&ctx) {
+                fired.push(e);
+            }
+        }
+        fired.sort_unstable();
+        for e in fired {
+            let edge = &state.forward[e as usize];
+            let out = edge.map.apply_unary(event);
+            match edge.target {
+                Some(target) => moves.push((
+                    target,
+                    Instance {
+                        start_ts: event.ts,
+                        tuple: out,
+                        consumed: Membership::empty(),
+                    },
+                )),
+                None => {
+                    for &(q, _) in &edge.queries {
+                        sink(q, &out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn process_inner(
+        &mut self,
+        sid: StateId,
+        event: &Tuple,
+        moves: &mut Vec<(StateId, Instance)>,
+        sink: &mut dyn FnMut(QueryId, &Tuple),
+    ) {
+        let state = &mut self.states[sid];
+        state.events_since_sweep += 1;
+        let horizon = event.ts.saturating_sub(state.max_dur);
+        if state.events_since_sweep >= 1024 {
+            state.events_since_sweep = 0;
+            for bucket in state.instances.buckets.values_mut() {
+                let before = bucket.len();
+                bucket.retain(|i| i.start_ts >= horizon);
+                state.instances.live -= before - bucket.len();
+            }
+            state.instances.buckets.retain(|_, b| !b.is_empty());
+        }
+
+        // FR index probe, once per event: only edges whose event-constant
+        // conjunct matches (plus unindexable edges) can fire on any instance.
+        let mut edge_candidates: Vec<u32> = state.fr_scan.clone();
+        for (attr, map) in &state.fr_index {
+            if let Some(v) = event.value(*attr) {
+                if let Some(edges) = map.get(&v.group_key()) {
+                    edge_candidates.extend_from_slice(edges);
+                }
+            }
+        }
+        edge_candidates.sort_unstable();
+
+        let keyed = !state.ai_keys.is_empty();
+        let keys: Vec<Vec<ValueKey>> = if keyed {
+            vec![state.event_key(event)]
+        } else {
+            state.instances.buckets.keys().cloned().collect()
+        };
+        for key in keys {
+            let Some(mut bucket) = state.instances.buckets.remove(&key) else {
+                continue;
+            };
+            let initial = bucket.len();
+            let mut survivors: Vec<Instance> = Vec::with_capacity(initial);
+            for mut inst in bucket.drain(..) {
+                if inst.start_ts < horizon {
+                    state.instances.live -= 1;
+                    continue;
+                }
+                if inst.start_ts >= event.ts {
+                    survivors.push(inst);
+                    continue;
+                }
+                let age = event.ts - inst.start_ts;
+                let ctx = EvalCtx::binary(&inst.tuple, event);
+                let mut edge_applied = false;
+                // Forward edges (per-edge consumption).
+                for &ei in &edge_candidates {
+                    let e = ei as usize;
+                    let edge = &state.forward[e];
+                    if inst.consumed.contains(e) || age > edge.dur {
+                        continue;
+                    }
+                    if edge.predicate.eval(&ctx) {
+                        edge_applied = true;
+                        inst.consumed.insert(e);
+                        let out = edge.map.apply_binary(&inst.tuple, event);
+                        match edge.target {
+                            Some(target) => moves.push((
+                                target,
+                                Instance {
+                                    start_ts: event.ts,
+                                    tuple: out,
+                                    consumed: Membership::empty(),
+                                },
+                            )),
+                            None => {
+                                for &(q, dur) in &edge.queries {
+                                    if age <= dur {
+                                        sink(q, &out);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                // Rebind edge.
+                let mut rebound: Option<Tuple> = None;
+                if let Some(rb) = &state.rebind {
+                    if age <= rb.dur && rb.predicate.eval(&ctx) {
+                        edge_applied = true;
+                        let out = rb.map.apply_binary(&inst.tuple, event);
+                        for &(q, dur) in &rb.queries {
+                            if age <= dur {
+                                sink(q, &out);
+                            }
+                        }
+                        rebound = Some(out);
+                    }
+                }
+                let filter_holds = state.filter.eval(&ctx);
+                let all_consumed = !state.forward.is_empty()
+                    && inst.consumed.len() == state.forward.len()
+                    && state.rebind.is_none();
+                match rebound {
+                    Some(out) => {
+                        if filter_holds {
+                            // Non-determinism: keep the unchanged copy too.
+                            survivors.push(inst.clone());
+                        }
+                        let new_key_differs = keyed && state.instance_key(&out) != key;
+                        let new_inst = Instance {
+                            start_ts: inst.start_ts,
+                            tuple: out,
+                            consumed: inst.consumed,
+                        };
+                        if new_key_differs {
+                            let k = state.instance_key(&new_inst.tuple);
+                            state.instances.buckets.entry(k).or_default().push(new_inst);
+                        } else {
+                            survivors.push(new_inst);
+                        }
+                        if filter_holds {
+                            state.instances.live += 1;
+                        }
+                    }
+                    None => {
+                        if (filter_holds || edge_applied) && !all_consumed {
+                            survivors.push(inst);
+                        } else {
+                            state.instances.live -= 1;
+                        }
+                    }
+                }
+            }
+            if !survivors.is_empty() {
+                state.instances.buckets.insert(key, survivors);
+            }
+        }
+    }
+
+    /// Feeds an instance directly (used by tests).
+    #[doc(hidden)]
+    pub fn debug_state_instances(&self, sid: StateId) -> usize {
+        self.states[sid].instances.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_expr::{CmpOp, Expr};
+    use rumor_types::Schema;
+
+    fn collect(engine: &mut CayugaEngine, events: &[(&str, Tuple)]) -> Vec<(QueryId, Tuple)> {
+        let mut out = Vec::new();
+        for (stream, tuple) in events {
+            engine.on_event(stream, tuple, &mut |q, t| out.push((q, t.clone())));
+        }
+        out
+    }
+
+    fn seq_automaton(c: i64, dur: u64, q: u32) -> Automaton {
+        let schema = Schema::ints(2);
+        Automaton::sequence(
+            "S",
+            &schema,
+            Predicate::attr_eq_const(0, c),
+            "T",
+            &schema,
+            Predicate::cmp(CmpOp::Eq, Expr::rcol(1), Expr::lit(5i64)),
+            dur,
+            QueryId(q),
+        )
+    }
+
+    #[test]
+    fn sequence_matches_and_consumes() {
+        let mut e = CayugaEngine::new();
+        e.add_automaton(&seq_automaton(1, 10, 0));
+        let results = collect(
+            &mut e,
+            &[
+                ("S", Tuple::ints(0, &[1, 9])), // starts an instance
+                ("T", Tuple::ints(1, &[0, 5])), // matches -> q0
+                ("T", Tuple::ints(2, &[0, 5])), // instance consumed
+            ],
+        );
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, QueryId(0));
+        assert_eq!(results[0].1, Tuple::ints(1, &[1, 9, 0, 5]));
+    }
+
+    #[test]
+    fn duration_expiry() {
+        let mut e = CayugaEngine::new();
+        e.add_automaton(&seq_automaton(1, 3, 0));
+        let results = collect(
+            &mut e,
+            &[
+                ("S", Tuple::ints(0, &[1, 9])),
+                ("T", Tuple::ints(10, &[0, 5])), // too late
+            ],
+        );
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn prefix_merging_shares_start_state() {
+        let mut e = CayugaEngine::new();
+        for c in 0..5 {
+            e.add_automaton(&seq_automaton(c, 10, c as u32));
+        }
+        // One shared start state + five middle states (θ1 differs).
+        assert_eq!(e.state_count(), 6);
+
+        // Two queries with identical θ1 but then identical match predicates
+        // merge completely (CSE): the final edge completes both.
+        let mut e2 = CayugaEngine::new();
+        e2.add_automaton(&seq_automaton(1, 10, 0));
+        e2.add_automaton(&seq_automaton(1, 10, 1));
+        assert_eq!(e2.state_count(), 2, "full prefix merge");
+        let results = collect(
+            &mut e2,
+            &[("S", Tuple::ints(0, &[1, 9])), ("T", Tuple::ints(1, &[0, 5]))],
+        );
+        assert_eq!(results.len(), 2, "both queries complete");
+        assert_ne!(results[0].0, results[1].0);
+    }
+
+    #[test]
+    fn fr_index_on_start_state() {
+        let mut e = CayugaEngine::new();
+        for c in 0..50 {
+            e.add_automaton(&seq_automaton(c, 10, c as u32));
+        }
+        // Feed one S event: only the matching automaton starts an instance.
+        let mut out = Vec::new();
+        e.on_event("S", &Tuple::ints(0, &[7, 0]), &mut |q, t| {
+            out.push((q, t.clone()))
+        });
+        let middle_instances: usize = (0..e.state_count())
+            .map(|s| e.debug_state_instances(s))
+            .sum();
+        assert_eq!(middle_instances, 1, "FR index admits exactly one edge");
+    }
+
+    #[test]
+    fn iterate_monotone_pattern() {
+        let schema = Schema::ints(2);
+        let a = Automaton::iterate(
+            "S",
+            &schema,
+            Predicate::attr_eq_const(0, 7i64),
+            "T",
+            Predicate::cmp(CmpOp::Ne, Expr::col(0), Expr::rcol(0)),
+            Predicate::and(vec![
+                Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                Predicate::cmp(CmpOp::Gt, Expr::rcol(1), Expr::col(1)),
+            ]),
+            SchemaMap::new(vec![
+                rumor_expr::NamedExpr::new("a0", Expr::col(0)),
+                rumor_expr::NamedExpr::new("a1", Expr::rcol(1)),
+            ]),
+            100,
+            QueryId(0),
+        );
+        let mut e = CayugaEngine::new();
+        e.add_automaton(&a);
+        let results = collect(
+            &mut e,
+            &[
+                ("S", Tuple::ints(0, &[7, 10])),
+                ("T", Tuple::ints(1, &[7, 15])), // rebind, emit
+                ("T", Tuple::ints(2, &[8, 99])), // other key, filter
+                ("T", Tuple::ints(3, &[7, 20])), // rebind, emit
+                ("T", Tuple::ints(4, &[7, 1])),  // kills the pattern
+                ("T", Tuple::ints(5, &[7, 50])), // nothing left
+            ],
+        );
+        assert_eq!(
+            results,
+            vec![
+                (QueryId(0), Tuple::ints(1, &[7, 15])),
+                (QueryId(0), Tuple::ints(3, &[7, 20])),
+            ]
+        );
+        assert_eq!(e.instance_count(), 0);
+    }
+
+    #[test]
+    fn merged_final_edges_filter_by_per_query_duration() {
+        // Two queries identical except duration: the merged final edge must
+        // complete only the query whose window covers the match age.
+        let schema = Schema::ints(2);
+        let mk = |dur, q| {
+            Automaton::sequence(
+                "S",
+                &schema,
+                Predicate::attr_eq_const(0, 1i64),
+                "T",
+                &schema,
+                Predicate::cmp(CmpOp::Eq, Expr::rcol(1), Expr::lit(5i64)),
+                dur,
+                QueryId(q),
+            )
+        };
+        let mut e = CayugaEngine::new();
+        e.add_automaton(&mk(2, 0));
+        e.add_automaton(&mk(10, 1));
+        assert_eq!(e.state_count(), 2, "states merge across durations");
+        let results = collect(
+            &mut e,
+            &[
+                ("S", Tuple::ints(0, &[1, 9])),
+                ("T", Tuple::ints(5, &[0, 5])), // age 5: only q1's window covers
+            ],
+        );
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, QueryId(1));
+    }
+
+    #[test]
+    fn merged_rebind_filters_by_per_query_duration() {
+        let schema = Schema::ints(2);
+        let mk = |dur, q| {
+            Automaton::iterate(
+                "S",
+                &schema,
+                Predicate::attr_eq_const(0, 7i64),
+                "T",
+                Predicate::cmp(CmpOp::Ne, Expr::col(0), Expr::rcol(0)),
+                Predicate::and(vec![
+                    Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                    Predicate::cmp(CmpOp::Gt, Expr::rcol(1), Expr::col(1)),
+                ]),
+                SchemaMap::new(vec![
+                    rumor_expr::NamedExpr::new("a0", Expr::col(0)),
+                    rumor_expr::NamedExpr::new("a1", Expr::rcol(1)),
+                ]),
+                dur,
+                QueryId(q),
+            )
+        };
+        let mut e = CayugaEngine::new();
+        e.add_automaton(&mk(3, 0));
+        e.add_automaton(&mk(100, 1));
+        assert_eq!(e.state_count(), 2, "µ states merge across durations");
+        let results = collect(
+            &mut e,
+            &[
+                ("S", Tuple::ints(0, &[7, 10])),
+                ("T", Tuple::ints(2, &[7, 15])), // age 2: both emit
+                ("T", Tuple::ints(8, &[7, 20])), // age 8: only q1 emits
+            ],
+        );
+        let q0: Vec<_> = results.iter().filter(|(q, _)| *q == QueryId(0)).collect();
+        let q1: Vec<_> = results.iter().filter(|(q, _)| *q == QueryId(1)).collect();
+        assert_eq!(q0.len(), 1);
+        assert_eq!(q1.len(), 2);
+    }
+
+    #[test]
+    fn an_index_skips_empty_states() {
+        let mut e = CayugaEngine::new();
+        e.add_automaton(&seq_automaton(1, 10, 0));
+        // No instance yet: a T event must do nothing (and not crash).
+        let results = collect(&mut e, &[("T", Tuple::ints(0, &[0, 5]))]);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn unknown_stream_ignored() {
+        let mut e = CayugaEngine::new();
+        e.add_automaton(&seq_automaton(1, 10, 0));
+        let results = collect(&mut e, &[("X", Tuple::ints(0, &[1, 1]))]);
+        assert!(results.is_empty());
+        assert_eq!(e.events_in, 1);
+    }
+}

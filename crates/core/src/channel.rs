@@ -1,0 +1,69 @@
+//! Channel tuples — stream tuples tagged with a membership component (§3.1).
+
+use rumor_types::{Membership, Tuple};
+
+/// A tuple flowing through a channel.
+///
+/// A channel is logically the union of a set of streams; each channel tuple
+/// carries a [`Membership`] bit vector recording the subset of encoded
+/// streams the tuple belongs to. For a plain stream (a channel of capacity
+/// one — the degenerate, zero-overhead case) the membership is always
+/// `{0}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelTuple {
+    /// The payload tuple. Reference counted: cloning a channel tuple for
+    /// fan-out to several consumers shares the value storage.
+    pub tuple: Tuple,
+    /// Which encoded streams (by position within the channel) this tuple
+    /// belongs to.
+    pub membership: Membership,
+}
+
+impl ChannelTuple {
+    /// A tuple of a single-stream channel.
+    pub fn solo(tuple: Tuple) -> Self {
+        ChannelTuple {
+            tuple,
+            membership: Membership::singleton(0),
+        }
+    }
+
+    /// A tuple with explicit membership.
+    pub fn new(tuple: Tuple, membership: Membership) -> Self {
+        ChannelTuple { tuple, membership }
+    }
+
+    /// Whether the tuple belongs to the stream at channel position `pos` —
+    /// the *decoding step* of m-op processing (§3.1).
+    pub fn belongs_to(&self, pos: usize) -> bool {
+        self.membership.contains(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_types::Membership;
+
+    #[test]
+    fn solo_belongs_to_position_zero() {
+        let ct = ChannelTuple::solo(Tuple::ints(0, &[1]));
+        assert!(ct.belongs_to(0));
+        assert!(!ct.belongs_to(1));
+    }
+
+    #[test]
+    fn explicit_membership() {
+        let ct = ChannelTuple::new(Tuple::ints(0, &[1]), Membership::from_indices([1, 3]));
+        assert!(!ct.belongs_to(0));
+        assert!(ct.belongs_to(1));
+        assert!(ct.belongs_to(3));
+    }
+
+    #[test]
+    fn clone_shares_payload() {
+        let ct = ChannelTuple::solo(Tuple::ints(0, &[1, 2, 3]));
+        let cu = ct.clone();
+        assert!(ct.tuple.shares_storage(&cu.tuple));
+    }
+}

@@ -1,0 +1,184 @@
+//! Lightweight plan-cost annotations — the beginning of the cost-based
+//! rule driver the paper lists as future work (§7).
+//!
+//! The estimates are deliberately coarse: they model the *per-input-event
+//! work* of each m-op kind as a function of its member count and channel
+//! capacities, enough to (a) explain in diagnostics why a rewrite helped
+//! and (b) compare rule orderings in the ablation benchmarks. They are not
+//! used to veto rewrites (the §3.2 sharing criteria already encode the
+//! paper's lightweight heuristic); a true cost-driven optimizer would
+//! thread selectivity estimates through the plan, which remains future
+//! work here too.
+
+use crate::plan::{MopKind, PlanGraph};
+
+/// Cost summary of one m-op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MopCost {
+    /// The node's kind.
+    pub kind: MopKind,
+    /// Number of member operators implemented.
+    pub members: usize,
+    /// Estimated evaluations per input tuple: how many member-level
+    /// predicate/aggregate evaluations one arriving tuple triggers.
+    pub evals_per_tuple: f64,
+    /// Estimated state copies kept per logical input tuple (1.0 = stored
+    /// once; `n` = each member keeps its own copy).
+    pub state_copies: f64,
+}
+
+/// Cost summary of a whole plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanCost {
+    /// Live m-ops.
+    pub mops: usize,
+    /// Total member operators.
+    pub members: usize,
+    /// Sum of per-node estimated evaluations per tuple.
+    pub evals_per_tuple: f64,
+    /// Sum of per-node state copies.
+    pub state_copies: f64,
+    /// Per-node details, in topological order.
+    pub nodes: Vec<MopCost>,
+}
+
+/// Estimates the per-event cost profile of a plan.
+///
+/// Model assumptions, per kind:
+///
+/// * `Naive`: every member evaluates every tuple — `n` evaluations, `n`
+///   state copies.
+/// * `IndexedSelect`: a hash probe replaces the indexable members (O(1)
+///   amortized, counted as 1) plus one evaluation per unindexable member.
+/// * shared/channel kinds: one evaluation per *distinct definition* and a
+///   single shared state copy; channelized kinds add a constant membership
+///   decode/encode overhead (the §3.2 time overhead), counted as 0.1.
+pub fn estimate(plan: &PlanGraph) -> PlanCost {
+    let mut total = PlanCost::default();
+    let order = plan.topo_order().unwrap_or_default();
+    for id in order {
+        let node = plan.mop(id);
+        let n = node.members.len() as f64;
+        let mut distinct_defs: Vec<&crate::logical::OpDef> = Vec::new();
+        for m in &node.members {
+            if !distinct_defs.contains(&&m.def) {
+                distinct_defs.push(&m.def);
+            }
+        }
+        let d = distinct_defs.len() as f64;
+        let (evals, copies) = match node.kind {
+            MopKind::Naive => (n, n),
+            MopKind::IndexedSelect => {
+                let unindexable = node
+                    .members
+                    .iter()
+                    .filter(|m| match &m.def {
+                        crate::logical::OpDef::Select(p) => {
+                            p.as_eq_const().is_none()
+                                && !matches!(p, rumor_expr::Predicate::And(_))
+                        }
+                        _ => true,
+                    })
+                    .count() as f64;
+                (1.0 + unindexable, n)
+            }
+            MopKind::SharedProject => (d, n),
+            MopKind::SharedAggregate => (1.0 + n, 1.0), // shared buffer, per-member groups
+            MopKind::SharedJoin | MopKind::SharedSequence | MopKind::SharedIterate => {
+                (1.0, 1.0) // one probe/evaluation; shared state
+            }
+            MopKind::ChannelSelect
+            | MopKind::ChannelProject
+            | MopKind::FragmentAggregate
+            | MopKind::PrecisionJoin
+            | MopKind::ChannelSequence
+            | MopKind::ChannelIterate => (d + 0.1, 1.0),
+        };
+        total.mops += 1;
+        total.members += node.members.len();
+        total.evals_per_tuple += evals;
+        total.state_copies += copies;
+        total.nodes.push(MopCost {
+            kind: node.kind,
+            members: node.members.len(),
+            evals_per_tuple: evals,
+            state_copies: copies,
+        });
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::LogicalPlan;
+    use crate::rules::{Optimizer, OptimizerConfig};
+    use rumor_expr::Predicate;
+    use rumor_types::Schema;
+
+    fn selections(n: i64) -> PlanGraph {
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(2), None).unwrap();
+        for c in 0..n {
+            plan.add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(0, c)))
+                .unwrap();
+        }
+        plan
+    }
+
+    #[test]
+    fn optimization_reduces_estimated_cost() {
+        let mut plan = selections(16);
+        let before = estimate(&plan);
+        assert_eq!(before.evals_per_tuple, 16.0);
+        Optimizer::new(OptimizerConfig::default())
+            .optimize(&mut plan)
+            .unwrap();
+        let after = estimate(&plan);
+        assert_eq!(after.mops, 1);
+        assert_eq!(after.members, 16);
+        assert!(
+            after.evals_per_tuple < before.evals_per_tuple / 4.0,
+            "index should collapse evaluations: {after:?}"
+        );
+    }
+
+    #[test]
+    fn shared_state_counted_once() {
+        use crate::logical::SeqSpec;
+        use rumor_expr::{CmpOp, Expr};
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(2), None).unwrap();
+        plan.add_source("T", Schema::ints(2), None).unwrap();
+        for w in [10u64, 20, 30] {
+            plan.add_query(&LogicalPlan::source("S").followed_by(
+                LogicalPlan::source("T"),
+                SeqSpec {
+                    predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                    window: w,
+                },
+            ))
+            .unwrap();
+        }
+        let before = estimate(&plan);
+        assert_eq!(before.state_copies, 3.0);
+        Optimizer::new(OptimizerConfig::default())
+            .optimize(&mut plan)
+            .unwrap();
+        let after = estimate(&plan);
+        assert_eq!(after.state_copies, 1.0, "one shared instance store");
+    }
+
+    #[test]
+    fn node_details_in_topo_order() {
+        let mut plan = selections(2);
+        let cost = estimate(&plan);
+        assert_eq!(cost.nodes.len(), 2);
+        Optimizer::new(OptimizerConfig::default())
+            .optimize(&mut plan)
+            .unwrap();
+        let cost = estimate(&plan);
+        assert_eq!(cost.nodes.len(), 1);
+        assert_eq!(cost.nodes[0].members, 2);
+    }
+}

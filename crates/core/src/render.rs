@@ -1,0 +1,170 @@
+//! Plan rendering: ASCII summaries and Graphviz DOT output, for producing
+//! Figure 1 / Figure 6 / Figure 8-style pictures of rewritten plans.
+
+use std::fmt::Write as _;
+
+use crate::plan::{MopKind, PlanGraph, Producer};
+
+fn kind_label(kind: MopKind) -> &'static str {
+    match kind {
+        MopKind::Naive => "naive",
+        MopKind::IndexedSelect => "σ-index",
+        MopKind::SharedProject => "π-shared",
+        MopKind::SharedAggregate => "α-shared",
+        MopKind::SharedJoin => "⋈-shared",
+        MopKind::SharedSequence => ";-shared",
+        MopKind::SharedIterate => "µ-shared",
+        MopKind::ChannelSelect => "σ-channel",
+        MopKind::ChannelProject => "π-channel",
+        MopKind::FragmentAggregate => "α-fragment",
+        MopKind::PrecisionJoin => "⋈-precision",
+        MopKind::ChannelSequence => ";-channel",
+        MopKind::ChannelIterate => "µ-channel",
+    }
+}
+
+/// Renders a compact, deterministic text listing of the plan: sources,
+/// m-ops (kind, members, inputs, outputs) and multi-stream channels.
+pub fn render_text(plan: &PlanGraph) -> String {
+    let mut out = String::new();
+    for src in plan.sources() {
+        let _ = writeln!(
+            out,
+            "source {} `{}` -> {} {}",
+            src.id, src.name, src.stream, src.schema
+        );
+    }
+    let mut order = plan.topo_order().unwrap_or_default();
+    order.sort();
+    for id in order {
+        let node = plan.mop(id);
+        let _ = writeln!(out, "mop {} [{}]", node.id, kind_label(node.kind));
+        for m in &node.members {
+            let ins: Vec<String> = m.inputs.iter().map(|s| s.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "  {} ({}) -> {}",
+                m.def,
+                ins.join(", "),
+                m.output
+            );
+        }
+    }
+    for ch in plan.channels() {
+        if ch.capacity() > 1 {
+            let streams: Vec<String> = ch.streams.iter().map(|s| s.to_string()).collect();
+            let _ = writeln!(out, "channel {} encodes [{}]", ch.id, streams.join(", "));
+        }
+    }
+    for &(q, s) in plan.query_outputs() {
+        let _ = writeln!(out, "query {q} <- {s}");
+    }
+    out
+}
+
+/// Renders the plan as a Graphviz DOT digraph. Channels of capacity > 1 are
+/// drawn as dashed edges, as in the paper's figures.
+pub fn render_dot(plan: &PlanGraph) -> String {
+    let mut out = String::from("digraph rumor {\n  rankdir=BT;\n");
+    for src in plan.sources() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=ellipse,label=\"{}\"];",
+            src.stream, src.name
+        );
+    }
+    for node in plan.mops() {
+        let defs: Vec<String> = node
+            .members
+            .iter()
+            .map(|m| m.def.symbol().to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=box,label=\"{} {{{}}} ({})\"];",
+            node.id,
+            node.id,
+            defs.join(","),
+            kind_label(node.kind)
+        );
+        for m in &node.members {
+            for &s in &m.inputs {
+                let cap = plan.channel(plan.channel_of(s)).capacity();
+                let style = if cap > 1 { "dashed" } else { "solid" };
+                let from: String = match plan.stream(s).producer {
+                    Producer::Source(_) => format!("{s}"),
+                    Producer::Mop { mop, .. } => format!("{mop}"),
+                };
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"{}\" [style={},label=\"{}\"];",
+                    from, node.id, style, s
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::LogicalPlan;
+    use rumor_expr::Predicate;
+    use rumor_types::Schema;
+
+    fn sample_plan() -> PlanGraph {
+        let mut p = PlanGraph::new();
+        p.add_source("S", Schema::ints(2), None).unwrap();
+        p.add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64)))
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn text_lists_sources_mops_queries() {
+        let txt = render_text(&sample_plan());
+        assert!(txt.contains("source src0 `S`"));
+        assert!(txt.contains("[naive]"));
+        assert!(txt.contains("query q0"));
+    }
+
+    #[test]
+    fn dot_marks_channels_dashed() {
+        use crate::logical::{AggFunc, AggSpec};
+        use rumor_expr::Expr;
+        let mut p = PlanGraph::new();
+        p.add_source("S", Schema::ints(2), None).unwrap();
+        let agg = AggSpec {
+            func: AggFunc::Sum,
+            input: Expr::col(1),
+            group_by: vec![],
+            window: 5,
+        };
+        for c in 0..2i64 {
+            p.add_query(
+                &LogicalPlan::source("S")
+                    .select(Predicate::attr_eq_const(0, c))
+                    .aggregate(agg.clone()),
+            )
+            .unwrap();
+        }
+        crate::rules::Optimizer::new(crate::rules::OptimizerConfig::default())
+            .optimize(&mut p)
+            .unwrap();
+        let dot = render_dot(&p);
+        assert!(dot.contains("style=dashed"), "channel edges drawn dashed:\n{dot}");
+        let txt = render_text(&p);
+        assert!(txt.contains("channel"), "multi-stream channels listed:\n{txt}");
+    }
+
+    #[test]
+    fn dot_is_wellformed() {
+        let dot = render_dot(&sample_plan());
+        assert!(dot.starts_with("digraph rumor {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+    }
+}

@@ -1,0 +1,270 @@
+//! The m-rule framework (§2.3) and the rule-driven optimizer.
+//!
+//! An m-rule is a pair of *condition* and *action* functions on the query
+//! plan. The condition identifies a set of m-ops with a sharing opportunity;
+//! the action replaces them with a single target m-op implementing the same
+//! members more efficiently. Because a rule's condition formally ranges over
+//! the powerset of all m-ops, a practical rule also provides a *grouping*
+//! function that partitions candidate m-ops by a hash key in O(n), so the
+//! optimizer never enumerates subsets.
+//!
+//! Conflict resolution (§7 future work, implemented here): rules carry a
+//! total priority order, groups are processed deterministically, and every
+//! application is recorded in a [`RewriteTrace`] so plans are reproducible.
+
+pub mod catalog;
+
+use std::collections::HashSet;
+
+use rumor_types::{MopId, Result};
+
+use crate::plan::PlanGraph;
+use crate::sharable::Sharability;
+
+/// A multi-query transformation rule.
+pub trait MRule: Send + Sync {
+    /// Stable rule name (Table 1 uses e.g. `s_sigma`, `c_mu`).
+    fn name(&self) -> &'static str;
+
+    /// Priority: lower runs earlier. Establishes the total order that
+    /// removes nondeterminism from rule application (§7).
+    fn priority(&self) -> u32;
+
+    /// Minimum group size for the action to be worthwhile (1 for
+    /// single-query rewrites like predicate pushdown, 2 for merges).
+    fn min_group(&self) -> usize {
+        2
+    }
+
+    /// Partitions candidate m-ops into groups that the condition may accept.
+    fn find_groups(&self, plan: &PlanGraph, sharable: &Sharability) -> Vec<Vec<MopId>>;
+
+    /// The condition function: may this exact set of m-ops be merged?
+    fn condition(&self, plan: &PlanGraph, sharable: &Sharability, group: &[MopId]) -> bool;
+
+    /// The action function: merges the group, returning the target m-op.
+    fn apply(&self, plan: &mut PlanGraph, group: &[MopId]) -> Result<MopId>;
+}
+
+/// One recorded rule application.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// Rule name.
+    pub rule: &'static str,
+    /// The merged group.
+    pub group: Vec<MopId>,
+    /// The target m-op produced by the action.
+    pub target: MopId,
+}
+
+/// The full record of an optimization run.
+#[derive(Debug, Clone, Default)]
+pub struct RewriteTrace {
+    /// Applications in order.
+    pub entries: Vec<TraceEntry>,
+    /// Number of fixpoint passes executed.
+    pub passes: usize,
+}
+
+impl RewriteTrace {
+    /// Number of applications of a given rule.
+    pub fn count(&self, rule: &str) -> usize {
+        self.entries.iter().filter(|e| e.rule == rule).count()
+    }
+}
+
+/// Optimizer configuration: which rule families run.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Enable single-query rewrites (sequence predicate pushdown).
+    pub enable_pushdown: bool,
+    /// Enable the same-stream sharing rules (sσ, sπ, sα, s⋈, s;, sµ).
+    pub enable_sharing: bool,
+    /// Enable the channel rules (cσ, cπ, cα, c⋈, c;, cµ) — §3.3/§4.4.
+    pub enable_channels: bool,
+    /// Individually disabled rule names (for ablations).
+    pub disabled_rules: HashSet<String>,
+    /// Fixpoint pass budget.
+    pub max_passes: usize,
+    /// Run full plan validation after every pass (tests/debug).
+    pub validate_each_pass: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            enable_pushdown: true,
+            enable_sharing: true,
+            enable_channels: true,
+            disabled_rules: HashSet::new(),
+            max_passes: 64,
+            validate_each_pass: cfg!(debug_assertions),
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// No optimization at all — the naive one-plan-per-query baseline.
+    pub fn unoptimized() -> Self {
+        OptimizerConfig {
+            enable_pushdown: false,
+            enable_sharing: false,
+            enable_channels: false,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    /// Sharing rules but no channels — the "W/o Channel" configuration of
+    /// Figures 10(c,d) and 11.
+    pub fn without_channels() -> Self {
+        OptimizerConfig {
+            enable_channels: false,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    /// Disables one rule by name (ablations).
+    pub fn disable(mut self, rule: &str) -> Self {
+        self.disabled_rules.insert(rule.to_string());
+        self
+    }
+}
+
+/// The rule-driven multi-query optimizer.
+pub struct Optimizer {
+    rules: Vec<Box<dyn MRule>>,
+    config: OptimizerConfig,
+}
+
+impl Optimizer {
+    /// Builds the optimizer with the standard rule catalogue (Table 1).
+    pub fn new(config: OptimizerConfig) -> Self {
+        let rules = catalog::standard_rules(&config);
+        Optimizer::with_rules(rules, config)
+    }
+
+    /// Builds an optimizer over an explicit rule set.
+    pub fn with_rules(mut rules: Vec<Box<dyn MRule>>, config: OptimizerConfig) -> Self {
+        rules.sort_by_key(|r| r.priority());
+        Optimizer { rules, config }
+    }
+
+    /// Registered rule names in priority order.
+    pub fn rule_names(&self) -> Vec<&'static str> {
+        self.rules.iter().map(|r| r.name()).collect()
+    }
+
+    /// Runs the rules to fixpoint over the plan.
+    ///
+    /// Each pass recomputes the sharable-streams analysis, then runs the
+    /// rules in priority order; the first rule that fires applies *all* its
+    /// (disjoint) groups, then the pass restarts so later rules observe the
+    /// rewritten plan. Terminates when a full pass fires nothing.
+    pub fn optimize(&self, plan: &mut PlanGraph) -> Result<RewriteTrace> {
+        let mut trace = RewriteTrace::default();
+        'passes: for _pass in 0..self.config.max_passes {
+            trace.passes += 1;
+            let sharable = Sharability::analyze(plan);
+            for rule in &self.rules {
+                if self.config.disabled_rules.contains(rule.name()) {
+                    continue;
+                }
+                let groups = rule.find_groups(plan, &sharable);
+                let mut fired = false;
+                for group in groups {
+                    if group.len() < rule.min_group() {
+                        continue;
+                    }
+                    if group.iter().any(|&id| plan.mop_opt(id).is_none()) {
+                        continue;
+                    }
+                    if !rule.condition(plan, &sharable, &group) {
+                        continue;
+                    }
+                    let target = rule.apply(plan, &group)?;
+                    trace.entries.push(TraceEntry {
+                        rule: rule.name(),
+                        group,
+                        target,
+                    });
+                    fired = true;
+                }
+                if fired {
+                    if self.config.validate_each_pass {
+                        plan.validate()?;
+                    }
+                    continue 'passes;
+                }
+            }
+            return Ok(trace); // full pass fired nothing: fixpoint
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::LogicalPlan;
+    use rumor_expr::Predicate;
+    use rumor_types::Schema;
+
+    #[test]
+    fn unoptimized_config_runs_no_rules() {
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(2), None).unwrap();
+        for c in 0..4 {
+            plan.add_query(
+                &LogicalPlan::source("S").select(Predicate::attr_eq_const(0, c as i64)),
+            )
+            .unwrap();
+        }
+        let opt = Optimizer::new(OptimizerConfig::unoptimized());
+        let trace = opt.optimize(&mut plan).unwrap();
+        assert!(trace.entries.is_empty());
+        assert_eq!(plan.mop_count(), 4);
+    }
+
+    #[test]
+    fn incremental_reoptimization_merges_into_existing_mops() {
+        // Register + optimize, then register more queries and re-optimize:
+        // the new selections must join the existing indexed m-op (the
+        // incremental registration story of §1: queries arrive over time).
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(2), None).unwrap();
+        for c in 0..3 {
+            plan.add_query(
+                &LogicalPlan::source("S").select(Predicate::attr_eq_const(0, c as i64)),
+            )
+            .unwrap();
+        }
+        let opt = Optimizer::new(OptimizerConfig::default());
+        opt.optimize(&mut plan).unwrap();
+        assert_eq!(plan.mop_count(), 1);
+
+        for c in 3..6 {
+            plan.add_query(
+                &LogicalPlan::source("S").select(Predicate::attr_eq_const(0, c as i64)),
+            )
+            .unwrap();
+        }
+        assert_eq!(plan.mop_count(), 4);
+        let trace = opt.optimize(&mut plan).unwrap();
+        assert_eq!(trace.count("s_sigma"), 1, "new nodes join the old m-op");
+        assert_eq!(plan.mop_count(), 1);
+        assert_eq!(plan.mops().next().unwrap().members.len(), 6);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn trace_counts() {
+        let mut t = RewriteTrace::default();
+        t.entries.push(TraceEntry {
+            rule: "s_sigma",
+            group: vec![],
+            target: rumor_types::MopId(0),
+        });
+        assert_eq!(t.count("s_sigma"), 1);
+        assert_eq!(t.count("c_mu"), 0);
+    }
+}

@@ -1,0 +1,425 @@
+//! The push-based executor.
+//!
+//! The engine mirrors the paper's prototype: a single-threaded, push-based
+//! interpreter that feeds externally-arriving tuples (in global timestamp
+//! order) through the optimized m-op DAG. M-ops are "the basic scheduling
+//! and execution units in the engine" (§2.1); routing between them is by
+//! channel.
+
+use std::collections::{HashMap, VecDeque};
+
+use rumor_core::{ChannelTuple, Emit, MopContext, PlanGraph};
+use rumor_ops::instantiate;
+use rumor_types::{
+    ChannelId, Membership, MopId, PortId, QueryId, Result, RumorError, SourceId, Tuple,
+};
+
+/// Receives query results during execution.
+pub trait QuerySink {
+    /// Called once per (query, result tuple).
+    fn on_result(&mut self, query: QueryId, tuple: &Tuple);
+
+    /// Whether the sink needs the per-query [`QuerySink::on_result`] calls.
+    /// Counting sinks return `false` and receive [`QuerySink::on_batch`]
+    /// instead, letting the engine deliver one *channel tuple* shared by
+    /// many queries in O(1) — the channel delivery granularity the paper's
+    /// throughput numbers assume (one output event per channel tuple, not
+    /// one per query).
+    fn wants_tuples(&self) -> bool {
+        true
+    }
+
+    /// Batch notification: `n` query results materialized by one channel
+    /// tuple. Only called when [`QuerySink::wants_tuples`] is `false`.
+    fn on_batch(&mut self, n: u64, _tuple: &Tuple) {
+        let _ = n;
+    }
+}
+
+/// Discards results (throughput measurements).
+#[derive(Debug, Default)]
+pub struct DiscardSink;
+
+impl QuerySink for DiscardSink {
+    fn on_result(&mut self, _query: QueryId, _tuple: &Tuple) {}
+
+    fn wants_tuples(&self) -> bool {
+        false
+    }
+}
+
+/// Counts results per query.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    counts: HashMap<QueryId, u64>,
+    /// Total results across queries.
+    pub total: u64,
+}
+
+impl CountingSink {
+    /// Result count for one query.
+    pub fn count(&self, query: QueryId) -> u64 {
+        self.counts.get(&query).copied().unwrap_or(0)
+    }
+}
+
+impl QuerySink for CountingSink {
+    fn on_result(&mut self, query: QueryId, _tuple: &Tuple) {
+        *self.counts.entry(query).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    fn wants_tuples(&self) -> bool {
+        false
+    }
+
+    fn on_batch(&mut self, n: u64, _tuple: &Tuple) {
+        self.total += n;
+    }
+}
+
+/// Collects `(query, tuple)` pairs — integration tests compare these.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    /// Results in arrival order.
+    pub results: Vec<(QueryId, Tuple)>,
+}
+
+impl CollectingSink {
+    /// The results of one query, in order.
+    pub fn of(&self, query: QueryId) -> Vec<&Tuple> {
+        self.results
+            .iter()
+            .filter(|(q, _)| *q == query)
+            .map(|(_, t)| t)
+            .collect()
+    }
+}
+
+impl QuerySink for CollectingSink {
+    fn on_result(&mut self, query: QueryId, tuple: &Tuple) {
+        self.results.push((query, tuple.clone()));
+    }
+}
+
+/// An emitted event waiting to be routed.
+type Pending = VecDeque<(ChannelId, ChannelTuple)>;
+
+struct QueueEmit<'a> {
+    pending: &'a mut Pending,
+}
+
+impl Emit for QueueEmit<'_> {
+    fn emit(&mut self, channel: ChannelId, tuple: Tuple, membership: Membership) {
+        self.pending.push_back((channel, ChannelTuple::new(tuple, membership)));
+    }
+}
+
+/// The compiled, executable form of a plan.
+pub struct ExecutablePlan {
+    ops: Vec<Box<dyn rumor_core::MultiOp>>,
+    /// Parallel to `ops`: the plan node each op implements (diagnostics).
+    op_ids: Vec<MopId>,
+    /// channel index → (exec index, port) consumers, in topological order.
+    consumers: Vec<Vec<(usize, PortId)>>,
+    /// channel index → [(position, queries listening on that stream)].
+    query_taps: Vec<Vec<(usize, Vec<QueryId>)>>,
+    /// channel index → (positions-with-queries mask, queries per position if
+    /// uniform) — the O(1) batch-delivery fast path for counting sinks.
+    tap_masks: Vec<Option<(Membership, Option<u64>)>>,
+    /// source index → its base stream's channel.
+    source_channels: Vec<ChannelId>,
+    pending: Pending,
+    /// Total tuples pushed.
+    pub events_in: u64,
+}
+
+impl ExecutablePlan {
+    /// Compiles a plan: instantiates every m-op and builds routing tables.
+    pub fn new(plan: &PlanGraph) -> Result<Self> {
+        let order = plan.topo_order()?;
+        let mut topo_rank: HashMap<MopId, usize> = HashMap::new();
+        for (rank, &id) in order.iter().enumerate() {
+            topo_rank.insert(id, rank);
+        }
+        let mut ops = Vec::with_capacity(order.len());
+        let mut op_ids = Vec::with_capacity(order.len());
+        let mut exec_index: HashMap<MopId, usize> = HashMap::new();
+        for &id in &order {
+            let ctx = MopContext::build(plan, id)?;
+            exec_index.insert(id, ops.len());
+            op_ids.push(id);
+            ops.push(instantiate(&ctx)?);
+        }
+
+        // Channel consumer lists: an m-op consumes channel `c` on port `p`
+        // iff its node lists `c` at that port.
+        let mut consumers: Vec<Vec<(usize, PortId)>> = vec![Vec::new(); plan.channel_slots()];
+        for &id in &order {
+            let node = plan.mop(id);
+            for (p, &ch) in node.inputs.iter().enumerate() {
+                consumers[ch.index()].push((exec_index[&id], PortId(p as u8)));
+            }
+        }
+        for list in &mut consumers {
+            list.sort_by_key(|&(idx, port)| (idx, port));
+            list.dedup();
+        }
+
+        // Query taps: (channel, position) → queries.
+        let mut query_taps: Vec<Vec<(usize, Vec<QueryId>)>> =
+            vec![Vec::new(); plan.channel_slots()];
+        for &(q, stream) in plan.query_outputs() {
+            let ch = plan.channel_of(stream);
+            let pos = plan.position_in_channel(stream);
+            let taps = &mut query_taps[ch.index()];
+            match taps.iter_mut().find(|(p, _)| *p == pos) {
+                Some((_, qs)) => qs.push(q),
+                None => taps.push((pos, vec![q])),
+            }
+        }
+
+        let source_channels = plan
+            .sources()
+            .iter()
+            .map(|s| plan.channel_of(s.stream))
+            .collect();
+
+        let tap_masks = query_taps
+            .iter()
+            .map(|taps| {
+                if taps.is_empty() {
+                    return None;
+                }
+                let mask = Membership::from_indices(taps.iter().map(|(p, _)| *p));
+                let first = taps[0].1.len() as u64;
+                let uniform = taps
+                    .iter()
+                    .all(|(_, qs)| qs.len() as u64 == first)
+                    .then_some(first);
+                Some((mask, uniform))
+            })
+            .collect();
+
+        Ok(ExecutablePlan {
+            ops,
+            op_ids,
+            consumers,
+            query_taps,
+            tap_masks,
+            source_channels,
+            pending: VecDeque::new(),
+            events_in: 0,
+        })
+    }
+
+    /// Number of compiled m-ops.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Names of the compiled implementations in topological order.
+    pub fn op_names(&self) -> Vec<(MopId, &'static str)> {
+        self.op_ids
+            .iter()
+            .zip(&self.ops)
+            .map(|(&id, op)| (id, op.name()))
+            .collect()
+    }
+
+    /// Pushes one channel tuple on a channel source (Workload 3's input
+    /// shape): the membership says which of the source's streams the tuple
+    /// belongs to.
+    pub fn push_channel(
+        &mut self,
+        source: SourceId,
+        tuple: Tuple,
+        membership: Membership,
+        sink: &mut dyn QuerySink,
+    ) -> Result<()> {
+        let channel = *self
+            .source_channels
+            .get(source.index())
+            .ok_or_else(|| RumorError::exec(format!("unknown source {source}")))?;
+        self.events_in += 1;
+        self.pending
+            .push_back((channel, ChannelTuple::new(tuple, membership)));
+        self.drain(sink);
+        Ok(())
+    }
+
+    fn drain(&mut self, sink: &mut dyn QuerySink) {
+        let detailed = sink.wants_tuples();
+        while let Some((ch, ct)) = self.pending.pop_front() {
+            // Query taps first: results are observable even when further
+            // operators also consume the stream.
+            if detailed {
+                for (pos, queries) in &self.query_taps[ch.index()] {
+                    if ct.belongs_to(*pos) {
+                        for &q in queries {
+                            sink.on_result(q, &ct.tuple);
+                        }
+                    }
+                }
+            } else if let Some((mask, uniform)) = &self.tap_masks[ch.index()] {
+                // Channel-granularity delivery: one intersection instead of
+                // a per-query fan-out.
+                let hits = ct.membership.intersect(mask);
+                if !hits.is_empty() {
+                    let n = match uniform {
+                        Some(per_pos) => hits.len() as u64 * per_pos,
+                        None => self.query_taps[ch.index()]
+                            .iter()
+                            .filter(|(p, _)| hits.contains(*p))
+                            .map(|(_, qs)| qs.len() as u64)
+                            .sum(),
+                    };
+                    sink.on_batch(n, &ct.tuple);
+                }
+            }
+            for &(idx, port) in &self.consumers[ch.index()] {
+                let mut emit = QueueEmit {
+                    pending: &mut self.pending,
+                };
+                self.ops[idx].process(port, &ct, &mut emit);
+            }
+        }
+    }
+
+    /// Pushes one source tuple through the plan, draining all downstream
+    /// work before returning. Tuples must arrive in global timestamp order.
+    pub fn push(
+        &mut self,
+        source: SourceId,
+        tuple: Tuple,
+        sink: &mut dyn QuerySink,
+    ) -> Result<()> {
+        let channel = *self
+            .source_channels
+            .get(source.index())
+            .ok_or_else(|| RumorError::exec(format!("unknown source {source}")))?;
+        self.events_in += 1;
+        self.pending
+            .push_back((channel, ChannelTuple::solo(tuple)));
+        self.drain(sink);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_core::{LogicalPlan, Optimizer, OptimizerConfig, SeqSpec};
+    use rumor_expr::{CmpOp, Expr, Predicate};
+    use rumor_types::Schema;
+
+    fn feed_interleaved(
+        exec: &mut ExecutablePlan,
+        s: SourceId,
+        t: SourceId,
+        n: u64,
+        sink: &mut impl QuerySink,
+    ) {
+        // S gets even timestamps, T odd — the paper's §5.1 interleaving.
+        for ts in 0..n {
+            let src = if ts % 2 == 0 { s } else { t };
+            exec.push(src, Tuple::ints(ts, &[(ts % 5) as i64, ts as i64]), sink)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn selection_query_end_to_end() {
+        let mut plan = PlanGraph::new();
+        let s = plan.add_source("S", Schema::ints(2), None).unwrap();
+        let q = plan
+            .add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 3i64)))
+            .unwrap();
+        let mut exec = ExecutablePlan::new(&plan).unwrap();
+        let mut sink = CollectingSink::default();
+        for ts in 0..10u64 {
+            exec.push(s, Tuple::ints(ts, &[(ts % 5) as i64, 0]), &mut sink)
+                .unwrap();
+        }
+        // a0 == 3 at ts 3 and 8.
+        let got = sink.of(q);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].ts, 3);
+        assert_eq!(got[1].ts, 8);
+        assert_eq!(exec.events_in, 10);
+    }
+
+    #[test]
+    fn optimized_and_naive_plans_agree() {
+        // Two identical queries + one different; the optimized plan must
+        // produce exactly the same per-query results.
+        let build = || {
+            let mut plan = PlanGraph::new();
+            plan.add_source("S", Schema::ints(2), None).unwrap();
+            plan.add_source("T", Schema::ints(2), None).unwrap();
+            let mk = |c: i64| {
+                LogicalPlan::source("S")
+                    .select(Predicate::attr_eq_const(0, c))
+                    .followed_by(
+                        LogicalPlan::source("T"),
+                        SeqSpec {
+                            predicate: Predicate::cmp(CmpOp::Eq, Expr::col(1), Expr::rcol(1)),
+                            window: 6,
+                        },
+                    )
+            };
+            let qs: Vec<QueryId> = (0..3)
+                .map(|i| plan.add_query(&mk(i % 2)).unwrap())
+                .collect();
+            (plan, qs)
+        };
+
+        let (naive_plan, qs) = build();
+        let (mut opt_plan, qs2) = build();
+        assert_eq!(qs, qs2);
+        Optimizer::new(OptimizerConfig::default())
+            .optimize(&mut opt_plan)
+            .unwrap();
+        assert!(opt_plan.mop_count() < naive_plan.mop_count());
+
+        let run = |plan: &PlanGraph| {
+            let mut exec = ExecutablePlan::new(plan).unwrap();
+            let mut sink = CollectingSink::default();
+            let s = plan.source_by_name("S").unwrap().id;
+            let t = plan.source_by_name("T").unwrap().id;
+            feed_interleaved(&mut exec, s, t, 60, &mut sink);
+            let mut per_query: Vec<Vec<String>> = Vec::new();
+            for &q in &qs {
+                let mut v: Vec<String> =
+                    sink.of(q).iter().map(|t| t.to_string()).collect();
+                v.sort();
+                per_query.push(v);
+            }
+            per_query
+        };
+        assert_eq!(run(&naive_plan), run(&opt_plan));
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut sink = CountingSink::default();
+        sink.on_result(QueryId(0), &Tuple::ints(0, &[1]));
+        sink.on_result(QueryId(0), &Tuple::ints(1, &[1]));
+        sink.on_result(QueryId(1), &Tuple::ints(1, &[1]));
+        assert_eq!(sink.count(QueryId(0)), 2);
+        assert_eq!(sink.count(QueryId(1)), 1);
+        assert_eq!(sink.count(QueryId(9)), 0);
+        assert_eq!(sink.total, 3);
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(1), None).unwrap();
+        let mut exec = ExecutablePlan::new(&plan).unwrap();
+        let mut sink = DiscardSink;
+        assert!(exec
+            .push(SourceId(9), Tuple::ints(0, &[1]), &mut sink)
+            .is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! # rumor-engine
+//!
+//! The RUMOR runtime: registers continuous queries (as logical plans or
+//! query-language scripts), runs the rule-based multi-query optimizer, and
+//! executes the resulting shared plan over pushed stream tuples.
+//!
+//! ```
+//! use rumor_engine::{Rumor, CollectingSink};
+//! use rumor_core::OptimizerConfig;
+//! use rumor_types::Tuple;
+//!
+//! let mut rumor = Rumor::new(OptimizerConfig::default());
+//! rumor
+//!     .execute(
+//!         "CREATE STREAM s (a0 INT, a1 INT);
+//!          QUERY q0 AS SELECT * FROM s WHERE a0 = 1;
+//!          QUERY q1 AS SELECT * FROM s WHERE a0 = 2;",
+//!     )
+//!     .unwrap();
+//! let trace = rumor.optimize().unwrap();
+//! assert_eq!(trace.count("s_sigma"), 1); // both selections share one index
+//!
+//! let mut rt = rumor.runtime().unwrap();
+//! let mut sink = CollectingSink::default();
+//! let s = rumor.source_id("s").unwrap();
+//! for ts in 0..4u64 {
+//!     rt.push(s, Tuple::ints(ts, &[ts as i64 % 3, 0]), &mut sink).unwrap();
+//! }
+//! assert_eq!(sink.results.len(), 2); // a0=1 at ts 1, a0=2 at ts 2
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod metrics;
+pub mod pipeline;
+
+pub use exec::{CollectingSink, CountingSink, DiscardSink, ExecutablePlan, QuerySink};
+pub use metrics::{measure, InputEvent, Measurement, Protocol};
+
+use std::collections::HashMap;
+
+use rumor_core::{
+    LogicalPlan, Optimizer, OptimizerConfig, PlanGraph, RewriteTrace,
+};
+use rumor_lang::{parse_script, Lowerer, LoweredStatement};
+use rumor_types::{QueryId, Result, RumorError, Schema, SourceId};
+
+/// The top-level engine facade.
+pub struct Rumor {
+    plan: PlanGraph,
+    lowerer: Lowerer,
+    config: OptimizerConfig,
+    query_names: HashMap<String, QueryId>,
+    optimized: bool,
+}
+
+impl Rumor {
+    /// Creates an engine with the given optimizer configuration.
+    pub fn new(config: OptimizerConfig) -> Self {
+        Rumor {
+            plan: PlanGraph::new(),
+            lowerer: Lowerer::new(),
+            config,
+            query_names: HashMap::new(),
+            optimized: false,
+        }
+    }
+
+    /// Registers a source stream programmatically.
+    pub fn add_source(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        sharable_label: Option<String>,
+    ) -> Result<SourceId> {
+        let id = self.plan.add_source(name, schema.clone(), sharable_label)?;
+        self.lowerer.add_source(name, schema);
+        Ok(id)
+    }
+
+    /// Registers a logical query programmatically.
+    pub fn register(&mut self, plan: &LogicalPlan) -> Result<QueryId> {
+        if self.optimized {
+            return Err(RumorError::plan(
+                "cannot register queries after optimize(); build a new engine".to_string(),
+            ));
+        }
+        self.plan.add_query(plan)
+    }
+
+    /// Executes a script of `CREATE STREAM` / `DEFINE` / query statements,
+    /// returning the ids of registered queries in statement order.
+    pub fn execute(&mut self, script: &str) -> Result<Vec<QueryId>> {
+        let statements = parse_script(script)?;
+        let mut registered = Vec::new();
+        for stmt in &statements {
+            match self.lowerer.lower(stmt)? {
+                LoweredStatement::CreateStream {
+                    name,
+                    schema,
+                    sharable_label,
+                } => {
+                    self.plan.add_source(name, schema, sharable_label)?;
+                }
+                LoweredStatement::Defined { .. } => {}
+                LoweredStatement::Register { name, plan, .. } => {
+                    if self.optimized {
+                        return Err(RumorError::plan(
+                            "cannot register queries after optimize()".to_string(),
+                        ));
+                    }
+                    let q = self.plan.add_query(&plan)?;
+                    if let Some(n) = name {
+                        self.query_names.insert(n, q);
+                    }
+                    registered.push(q);
+                }
+            }
+        }
+        Ok(registered)
+    }
+
+    /// Runs the rule-based optimizer over the registered queries.
+    pub fn optimize(&mut self) -> Result<RewriteTrace> {
+        let optimizer = Optimizer::new(self.config.clone());
+        let trace = optimizer.optimize(&mut self.plan)?;
+        self.optimized = true;
+        Ok(trace)
+    }
+
+    /// The current (possibly optimized) plan.
+    pub fn plan(&self) -> &PlanGraph {
+        &self.plan
+    }
+
+    /// Source id by name.
+    pub fn source_id(&self, name: &str) -> Option<SourceId> {
+        self.plan.source_by_name(name).map(|s| s.id)
+    }
+
+    /// Query id by registered name (`QUERY name AS ...`).
+    pub fn query_id(&self, name: &str) -> Option<QueryId> {
+        self.query_names.get(name).copied()
+    }
+
+    /// Compiles the plan into an executable runtime. The plan is used
+    /// as-is: call [`Rumor::optimize`] first to get the shared plan.
+    pub fn runtime(&self) -> Result<ExecutablePlan> {
+        ExecutablePlan::new(&self.plan)
+    }
+
+    /// Renders the current plan as text (diagnostics).
+    pub fn render_plan(&self) -> String {
+        rumor_core::render::render_text(&self.plan)
+    }
+
+    /// Estimated cost profile of the current plan (see
+    /// [`rumor_core::cost`]): useful for comparing the effect of different
+    /// optimizer configurations on the same query set.
+    pub fn plan_cost(&self) -> rumor_core::PlanCost {
+        rumor_core::estimate_cost(&self.plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_types::Tuple;
+
+    #[test]
+    fn script_end_to_end_with_optimizer() {
+        let mut rumor = Rumor::new(OptimizerConfig::default());
+        let queries = rumor
+            .execute(
+                "CREATE STREAM cpu (pid INT, load INT);
+                 QUERY a AS SELECT * FROM cpu WHERE pid = 1;
+                 QUERY b AS SELECT * FROM cpu WHERE pid = 2;
+                 QUERY c AS SELECT * FROM cpu WHERE pid = 1;",
+            )
+            .unwrap();
+        assert_eq!(queries.len(), 3);
+        let trace = rumor.optimize().unwrap();
+        assert_eq!(trace.count("s_sigma"), 1);
+        assert_eq!(rumor.plan().mop_count(), 1);
+
+        let mut rt = rumor.runtime().unwrap();
+        let mut sink = CollectingSink::default();
+        let cpu = rumor.source_id("cpu").unwrap();
+        for ts in 0..6u64 {
+            rt.push(cpu, Tuple::ints(ts, &[(ts % 3) as i64, 0]), &mut sink)
+                .unwrap();
+        }
+        let a = rumor.query_id("a").unwrap();
+        let b = rumor.query_id("b").unwrap();
+        let c = rumor.query_id("c").unwrap();
+        assert_eq!(sink.of(a).len(), 2);
+        assert_eq!(sink.of(b).len(), 2);
+        // Identical queries a and c were CSE-merged but both still report.
+        assert_eq!(sink.of(a), sink.of(c));
+    }
+
+    #[test]
+    fn plan_cost_drops_after_optimize() {
+        let mut rumor = Rumor::new(OptimizerConfig::default());
+        rumor
+            .execute(
+                "CREATE STREAM s (a INT);
+                 SELECT * FROM s WHERE a = 1;
+                 SELECT * FROM s WHERE a = 2;
+                 SELECT * FROM s WHERE a = 3;",
+            )
+            .unwrap();
+        let before = rumor.plan_cost();
+        rumor.optimize().unwrap();
+        let after = rumor.plan_cost();
+        assert!(after.evals_per_tuple < before.evals_per_tuple);
+        assert_eq!(after.members, before.members);
+    }
+
+    #[test]
+    fn register_after_optimize_rejected() {
+        let mut rumor = Rumor::new(OptimizerConfig::default());
+        rumor
+            .execute("CREATE STREAM s (a INT); SELECT * FROM s;")
+            .unwrap();
+        rumor.optimize().unwrap();
+        assert!(rumor.execute("SELECT * FROM s;").is_err());
+        assert!(rumor.register(&LogicalPlan::source("s")).is_err());
+    }
+
+    #[test]
+    fn hybrid_script_query1() {
+        // Query 1 of §4.1 end to end: smoothing aggregate + µ pattern +
+        // stopping condition.
+        let mut rumor = Rumor::new(OptimizerConfig::default());
+        rumor
+            .execute(
+                "CREATE STREAM cpu (pid INT, load INT);
+                 DEFINE smoothed AS
+                   SELECT pid, AVG(load) AS load FROM cpu [RANGE 5] GROUP BY pid;
+                 DEFINE ramp AS
+                   PATTERN smoothed AS x WHERE x.load < 20.0
+                   THEN ITERATE smoothed AS y
+                   FILTER x.pid != y.pid
+                   REBIND x.pid = y.pid AND y.load > x.load
+                   SET load = y.load
+                   WITHIN 100;
+                 QUERY alerts AS SELECT * FROM ramp WHERE load > 90.0;",
+            )
+            .unwrap();
+        rumor.optimize().unwrap();
+        let mut rt = rumor.runtime().unwrap();
+        let mut sink = CollectingSink::default();
+        let cpu = rumor.source_id("cpu").unwrap();
+        // Process 7 ramps from 10 upward in steps of 20; process 8 stays flat.
+        let mut ts = 0u64;
+        for step in 0..10i64 {
+            rt.push(cpu, Tuple::ints(ts, &[7, 10 + step * 20]), &mut sink)
+                .unwrap();
+            ts += 1;
+            rt.push(cpu, Tuple::ints(ts, &[8, 50]), &mut sink).unwrap();
+            ts += 1;
+        }
+        let alerts = rumor.query_id("alerts").unwrap();
+        let got = sink.of(alerts);
+        assert!(!got.is_empty(), "ramping process must trigger the alert");
+        // Every alert is for process 7 with smoothed load > 90.
+        for t in got {
+            assert_eq!(t.value(0), Some(&rumor_types::Value::Int(7)));
+            assert!(t.value(1).unwrap().as_float().unwrap() > 90.0);
+        }
+    }
+}

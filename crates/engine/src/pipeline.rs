@@ -1,0 +1,296 @@
+//! Optional multi-threaded pipeline runner (an extension beyond the paper's
+//! single-threaded prototype).
+//!
+//! The plan's m-ops are partitioned into pipeline *stages* by topological
+//! depth; each stage runs on its own thread connected by bounded
+//! crossbeam channels. M-ops keep all state thread-local, so the only
+//! synchronization is the inter-stage queues. Within a stage, events are
+//! processed in arrival order; stages preserve order end-to-end, so results
+//! match the single-threaded engine exactly (tests cross-check).
+
+use std::collections::HashMap;
+use std::thread;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+
+use rumor_core::{ChannelTuple, Emit, MopContext, PlanGraph, Producer};
+use rumor_ops::instantiate;
+use rumor_types::{
+    ChannelId, Membership, MopId, PortId, QueryId, Result, RumorError, SourceId, Tuple,
+};
+
+use crate::exec::QuerySink;
+
+/// A message flowing between stages.
+#[derive(Debug, Clone)]
+enum Msg {
+    Event(ChannelId, ChannelTuple),
+    Flush,
+}
+
+/// Runs a plan over a prepared input, spreading stages across threads.
+/// Returns the `(query, tuple)` results in deterministic per-query order.
+pub fn run_pipelined(
+    plan: &PlanGraph,
+    events: &[(SourceId, Tuple)],
+    stage_count: usize,
+) -> Result<Vec<(QueryId, Tuple)>> {
+    let order = plan.topo_order()?;
+    if order.is_empty() || stage_count < 2 {
+        // Degenerate: fall back to the single-threaded engine.
+        let mut exec = crate::exec::ExecutablePlan::new(plan)?;
+        let mut sink = Collect::default();
+        for (src, tuple) in events {
+            exec.push(*src, tuple.clone(), &mut sink)?;
+        }
+        return Ok(sink.0);
+    }
+
+    // Depth = longest producer chain; stage = depth scaled into stage_count.
+    let mut depth: HashMap<MopId, usize> = HashMap::new();
+    let mut max_depth = 0usize;
+    for &id in &order {
+        let node = plan.mop(id);
+        let mut d = 0usize;
+        for m in &node.members {
+            for &s in &m.inputs {
+                if let Producer::Mop { mop, .. } = plan.stream(s).producer {
+                    d = d.max(depth.get(&mop).copied().unwrap_or(0) + 1);
+                }
+            }
+        }
+        depth.insert(id, d);
+        max_depth = max_depth.max(d);
+    }
+    let stages = stage_count.min(max_depth + 1).max(1);
+    let stage_of = |id: MopId| -> usize {
+        (depth[&id] * (stages - 1)).checked_div(max_depth).unwrap_or(0)
+    };
+
+    // Per stage: ops (topological order within stage), channel routing.
+    let mut stage_ops: Vec<Vec<(usize, Box<dyn rumor_core::MultiOp>)>> =
+        (0..stages).map(|_| Vec::new()).collect();
+    let mut consumers: Vec<Vec<(usize, usize, PortId)>> = vec![Vec::new(); plan.channel_slots()];
+    let mut exec_index: HashMap<MopId, usize> = HashMap::new();
+    for (i, &id) in order.iter().enumerate() {
+        exec_index.insert(id, i);
+        let ctx = MopContext::build(plan, id)?;
+        let op = instantiate(&ctx)?;
+        let s = stage_of(id);
+        stage_ops[s].push((i, op));
+        let node = plan.mop(id);
+        for (p, &ch) in node.inputs.iter().enumerate() {
+            consumers[ch.index()].push((s, i, PortId(p as u8)));
+        }
+    }
+    for list in &mut consumers {
+        list.sort();
+        list.dedup();
+    }
+    let mut query_taps: Vec<Vec<(usize, Vec<QueryId>)>> = vec![Vec::new(); plan.channel_slots()];
+    for &(q, stream) in plan.query_outputs() {
+        let ch = plan.channel_of(stream);
+        let pos = plan.position_in_channel(stream);
+        let taps = &mut query_taps[ch.index()];
+        match taps.iter_mut().find(|(p, _)| *p == pos) {
+            Some((_, qs)) => qs.push(q),
+            None => taps.push((pos, vec![q])),
+        }
+    }
+
+    let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) =
+        (0..stages).map(|_| bounded::<Msg>(1024)).unzip();
+    let (result_tx, result_rx) = bounded::<(QueryId, Tuple)>(4096);
+
+    thread::scope(|scope| -> Result<()> {
+        for (s, ops) in stage_ops.into_iter().enumerate() {
+            let rx = rxs[s].clone();
+            let downstream: Vec<Sender<Msg>> = txs[s + 1..].to_vec();
+            let my_tx = txs[s].clone();
+            let consumers = &consumers;
+            let query_taps = &query_taps;
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                stage_worker(
+                    s,
+                    ops,
+                    rx,
+                    my_tx,
+                    downstream,
+                    consumers,
+                    query_taps,
+                    result_tx,
+                );
+            });
+        }
+        drop(result_tx);
+
+        // Feed the sources into stage 0 (routing forwards as needed).
+        let feeder = txs[0].clone();
+        let source_channels: Vec<ChannelId> = plan
+            .sources()
+            .iter()
+            .map(|src| plan.channel_of(src.stream))
+            .collect();
+        for (src, tuple) in events {
+            let ch = *source_channels
+                .get(src.index())
+                .ok_or_else(|| RumorError::exec(format!("unknown source {src}")))?;
+            feeder
+                .send(Msg::Event(ch, ChannelTuple::solo(tuple.clone())))
+                .map_err(|_| RumorError::exec("pipeline stage died".to_string()))?;
+        }
+        feeder
+            .send(Msg::Flush)
+            .map_err(|_| RumorError::exec("pipeline stage died".to_string()))?;
+        drop(feeder);
+        drop(txs);
+        Ok(())
+    })?;
+
+    let mut results: Vec<(QueryId, Tuple)> = result_rx.iter().collect();
+    results.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.ts.cmp(&b.1.ts)));
+    Ok(results)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stage_worker(
+    stage: usize,
+    mut ops: Vec<(usize, Box<dyn rumor_core::MultiOp>)>,
+    rx: Receiver<Msg>,
+    _my_tx: Sender<Msg>,
+    downstream: Vec<Sender<Msg>>,
+    consumers: &[Vec<(usize, usize, PortId)>],
+    query_taps: &[Vec<(usize, Vec<QueryId>)>],
+    result_tx: Sender<(QueryId, Tuple)>,
+) {
+    drop(_my_tx); // the worker never sends to itself across the channel
+    let mut local: std::collections::VecDeque<(ChannelId, ChannelTuple)> =
+        std::collections::VecDeque::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Flush => {
+                if let Some(next) = downstream.first() {
+                    let _ = next.send(Msg::Flush);
+                }
+                break;
+            }
+            Msg::Event(ch, ct) => {
+                local.push_back((ch, ct));
+                while let Some((ch, ct)) = local.pop_front() {
+                    for (pos, queries) in &query_taps[ch.index()] {
+                        if ct.belongs_to(*pos) {
+                            for &q in queries {
+                                let _ = result_tx.send((q, ct.tuple.clone()));
+                            }
+                        }
+                    }
+                    let mut forward_to: Option<usize> = None;
+                    for &(target_stage, op_idx, port) in &consumers[ch.index()] {
+                        if target_stage == stage {
+                            if let Some(slot) =
+                                ops.iter_mut().find(|(i, _)| *i == op_idx)
+                            {
+                                let mut emit = LocalEmit { queue: &mut local };
+                                slot.1.process(port, &ct, &mut emit);
+                            }
+                        } else if target_stage > stage {
+                            forward_to = Some(match forward_to {
+                                Some(existing) => existing.min(target_stage),
+                                None => target_stage,
+                            });
+                        }
+                    }
+                    if let Some(target) = forward_to {
+                        // Send to the first downstream stage that needs it;
+                        // intermediate stages forward transparently.
+                        let idx = target - stage - 1;
+                        if let Some(tx) = downstream.get(idx.min(downstream.len() - 1)) {
+                            let _ = tx.send(Msg::Event(ch, ct));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Drain any remaining messages so senders never block forever.
+    for msg in rx.try_iter() {
+        if let Msg::Flush = msg {
+            if let Some(next) = downstream.first() {
+                let _ = next.send(Msg::Flush);
+            }
+        }
+    }
+}
+
+struct LocalEmit<'a> {
+    queue: &'a mut std::collections::VecDeque<(ChannelId, ChannelTuple)>,
+}
+
+impl Emit for LocalEmit<'_> {
+    fn emit(&mut self, channel: ChannelId, tuple: Tuple, membership: Membership) {
+        self.queue
+            .push_back((channel, ChannelTuple::new(tuple, membership)));
+    }
+}
+
+#[derive(Default)]
+struct Collect(Vec<(QueryId, Tuple)>);
+
+impl QuerySink for Collect {
+    fn on_result(&mut self, query: QueryId, tuple: &Tuple) {
+        self.0.push((query, tuple.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_core::{LogicalPlan, Optimizer, OptimizerConfig};
+    use rumor_expr::Predicate;
+    use rumor_types::Schema;
+
+    fn chain_plan() -> (PlanGraph, SourceId) {
+        let mut plan = PlanGraph::new();
+        let s = plan.add_source("S", Schema::ints(2), None).unwrap();
+        for c in 0..4i64 {
+            plan.add_query(
+                &LogicalPlan::source("S")
+                    .select(Predicate::attr_eq_const(0, c))
+                    .select(Predicate::attr_eq_const(1, 1i64)),
+            )
+            .unwrap();
+        }
+        Optimizer::new(OptimizerConfig::default())
+            .optimize(&mut plan)
+            .unwrap();
+        (plan, s)
+    }
+
+    #[test]
+    fn pipelined_matches_single_threaded() {
+        let (plan, s) = chain_plan();
+        let events: Vec<(SourceId, Tuple)> = (0..200u64)
+            .map(|ts| (s, Tuple::ints(ts, &[(ts % 5) as i64, (ts % 2) as i64])))
+            .collect();
+
+        let mut exec = crate::exec::ExecutablePlan::new(&plan).unwrap();
+        let mut sink = Collect::default();
+        for (src, tuple) in &events {
+            exec.push(*src, tuple.clone(), &mut sink).unwrap();
+        }
+        let mut single = sink.0;
+        single.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.ts.cmp(&b.1.ts)));
+
+        let pipelined = run_pipelined(&plan, &events, 3).unwrap();
+        assert_eq!(pipelined, single);
+    }
+
+    #[test]
+    fn degenerate_single_stage_falls_back() {
+        let (plan, s) = chain_plan();
+        let events = vec![(s, Tuple::ints(0, &[0, 1]))];
+        let results = run_pipelined(&plan, &events, 1).unwrap();
+        assert_eq!(results.len(), 1);
+    }
+}

@@ -1,0 +1,441 @@
+//! Scalar expressions over one or two input tuples.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use rumor_types::{Result, RumorError, Schema, Tuple, Value, ValueType};
+
+/// Which input tuple an attribute reference resolves against.
+///
+/// Unary operators (selection, projection, aggregation input expressions)
+/// evaluate against a single tuple — always [`Side::Left`]. Binary operators
+/// (join predicates, and the Cayuga `;`/`µ` edge predicates which reference
+/// "attributes of both the incoming event as well as the instance", §4.2)
+/// additionally see a right tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The left/instance tuple.
+    Left,
+    /// The right/event tuple.
+    Right,
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Left => write!(f, "l"),
+            Side::Right => write!(f, "r"),
+        }
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (int/int is integer division; by-zero is NULL).
+    Div,
+    /// Remainder (NULL except for int/int with nonzero divisor).
+    Rem,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Rem => "%",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Attribute reference by position within the `side` tuple.
+    Col {
+        /// Which input tuple.
+        side: Side,
+        /// Attribute position.
+        index: usize,
+    },
+    /// The timestamp of the `side` tuple (exposed as an `Int`).
+    Ts(Side),
+    /// A literal constant.
+    Lit(Value),
+    /// Binary arithmetic.
+    Bin {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // add/sub/mul/div are AST builders
+// (they construct expression nodes), not arithmetic on `Expr` values.
+impl Expr {
+    /// Left-side attribute reference.
+    pub fn col(index: usize) -> Expr {
+        Expr::Col {
+            side: Side::Left,
+            index,
+        }
+    }
+
+    /// Right-side attribute reference.
+    pub fn rcol(index: usize) -> Expr {
+        Expr::Col {
+            side: Side::Right,
+            index,
+        }
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self + other`.
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Bin {
+            op: ArithOp::Add,
+            lhs: Box::new(self),
+            rhs: Box::new(other),
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Bin {
+            op: ArithOp::Sub,
+            lhs: Box::new(self),
+            rhs: Box::new(other),
+        }
+    }
+
+    /// `self * other`.
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Bin {
+            op: ArithOp::Mul,
+            lhs: Box::new(self),
+            rhs: Box::new(other),
+        }
+    }
+
+    /// `self / other`.
+    pub fn div(self, other: Expr) -> Expr {
+        Expr::Bin {
+            op: ArithOp::Div,
+            lhs: Box::new(self),
+            rhs: Box::new(other),
+        }
+    }
+
+    /// Evaluates against an evaluation context.
+    pub fn eval(&self, ctx: &EvalCtx<'_>) -> Value {
+        match self {
+            Expr::Col { side, index } => match ctx.tuple(*side) {
+                Some(t) => t.value(*index).cloned().unwrap_or(Value::Null),
+                None => Value::Null,
+            },
+            Expr::Ts(side) => match ctx.tuple(*side) {
+                Some(t) => Value::Int(t.ts as i64),
+                None => Value::Null,
+            },
+            Expr::Lit(v) => v.clone(),
+            Expr::Bin { op, lhs, rhs } => {
+                let l = lhs.eval(ctx);
+                let r = rhs.eval(ctx);
+                match op {
+                    ArithOp::Add => l.add(&r),
+                    ArithOp::Sub => l.sub(&r),
+                    ArithOp::Mul => l.mul(&r),
+                    ArithOp::Div => l.div(&r),
+                    ArithOp::Rem => l.rem(&r),
+                }
+            }
+            Expr::Neg(e) => Value::Int(0).sub(&e.eval(ctx)),
+        }
+    }
+
+    /// Static type of the expression given input schemas, or an error for
+    /// out-of-range column references.
+    pub fn infer_type(&self, left: &Schema, right: Option<&Schema>) -> Result<ValueType> {
+        match self {
+            Expr::Col { side, index } => {
+                let schema = match side {
+                    Side::Left => left,
+                    Side::Right => right.ok_or_else(|| {
+                        RumorError::expr("right-side column in unary context")
+                    })?,
+                };
+                schema
+                    .field(*index)
+                    .map(|f| f.ty)
+                    .ok_or_else(|| RumorError::expr(format!("column {index} out of range")))
+            }
+            Expr::Ts(side) => {
+                if *side == Side::Right && right.is_none() {
+                    return Err(RumorError::expr("right-side ts in unary context"));
+                }
+                Ok(ValueType::Int)
+            }
+            Expr::Lit(v) => match v {
+                Value::Int(_) => Ok(ValueType::Int),
+                Value::Float(_) => Ok(ValueType::Float),
+                Value::Bool(_) => Ok(ValueType::Bool),
+                Value::Str(_) => Ok(ValueType::Str),
+                Value::Null => Ok(ValueType::Int),
+            },
+            Expr::Bin { op, lhs, rhs } => {
+                let lt = lhs.infer_type(left, right)?;
+                let rt = rhs.infer_type(left, right)?;
+                match (lt, rt) {
+                    (ValueType::Int, ValueType::Int) => Ok(ValueType::Int),
+                    (ValueType::Int | ValueType::Float, ValueType::Int | ValueType::Float) => {
+                        Ok(ValueType::Float)
+                    }
+                    _ => Err(RumorError::expr(format!(
+                        "arithmetic `{op}` on non-numeric operands {lt}/{rt}"
+                    ))),
+                }
+            }
+            Expr::Neg(e) => {
+                let t = e.infer_type(left, right)?;
+                match t {
+                    ValueType::Int | ValueType::Float => Ok(t),
+                    _ => Err(RumorError::expr("negation of non-numeric operand")),
+                }
+            }
+        }
+    }
+
+    /// True if the expression references the given side.
+    pub fn references(&self, side: Side) -> bool {
+        match self {
+            Expr::Col { side: s, .. } | Expr::Ts(s) => *s == side,
+            Expr::Lit(_) => false,
+            Expr::Bin { lhs, rhs, .. } => lhs.references(side) || rhs.references(side),
+            Expr::Neg(e) => e.references(side),
+        }
+    }
+
+    /// Rewrites every column/ts reference on `side` by shifting its index,
+    /// used when embedding an expression into a concatenated schema.
+    pub fn shift_side(&self, side: Side, offset: usize, new_side: Side) -> Expr {
+        match self {
+            Expr::Col { side: s, index } if *s == side => Expr::Col {
+                side: new_side,
+                index: index + offset,
+            },
+            Expr::Ts(s) if *s == side => Expr::Ts(new_side),
+            Expr::Col { .. } | Expr::Ts(_) | Expr::Lit(_) => self.clone(),
+            Expr::Bin { op, lhs, rhs } => Expr::Bin {
+                op: *op,
+                lhs: Box::new(lhs.shift_side(side, offset, new_side)),
+                rhs: Box::new(rhs.shift_side(side, offset, new_side)),
+            },
+            Expr::Neg(e) => Expr::Neg(Box::new(e.shift_side(side, offset, new_side))),
+        }
+    }
+}
+
+// Structural equality: `PartialEq` is derived; float literals use IEEE
+// equality, which is total on the values that can appear in query text.
+// `Eq` is asserted so definitions can key hash maps during rule matching.
+impl Eq for Expr {}
+
+impl Hash for Expr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Expr::Col { side, index } => {
+                0u8.hash(state);
+                side.hash(state);
+                index.hash(state);
+            }
+            Expr::Ts(side) => {
+                1u8.hash(state);
+                side.hash(state);
+            }
+            Expr::Lit(v) => {
+                2u8.hash(state);
+                v.group_key().hash(state);
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                3u8.hash(state);
+                op.hash(state);
+                lhs.hash(state);
+                rhs.hash(state);
+            }
+            Expr::Neg(e) => {
+                4u8.hash(state);
+                e.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col { side, index } => write!(f, "{side}.a{index}"),
+            Expr::Ts(side) => write!(f, "{side}.ts"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Bin { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            Expr::Neg(e) => write!(f, "(-{e})"),
+        }
+    }
+}
+
+/// Evaluation context: a left tuple and, for binary operators, a right tuple.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalCtx<'a> {
+    left: &'a Tuple,
+    right: Option<&'a Tuple>,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Unary context.
+    pub fn unary(left: &'a Tuple) -> Self {
+        EvalCtx { left, right: None }
+    }
+
+    /// Binary context (instance/event, or join left/right).
+    pub fn binary(left: &'a Tuple, right: &'a Tuple) -> Self {
+        EvalCtx {
+            left,
+            right: Some(right),
+        }
+    }
+
+    /// The tuple for a side, if present.
+    pub fn tuple(&self, side: Side) -> Option<&'a Tuple> {
+        match side {
+            Side::Left => Some(self.left),
+            Side::Right => self.right,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(e: &Expr) -> u64 {
+        let mut s = DefaultHasher::new();
+        e.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn eval_columns_and_literals() {
+        let t = Tuple::ints(3, &[10, 20]);
+        let ctx = EvalCtx::unary(&t);
+        assert_eq!(Expr::col(1).eval(&ctx), Value::Int(20));
+        assert_eq!(Expr::lit(5i64).eval(&ctx), Value::Int(5));
+        assert_eq!(Expr::Ts(Side::Left).eval(&ctx), Value::Int(3));
+        // Out-of-range column is NULL, missing right side is NULL.
+        assert_eq!(Expr::col(9).eval(&ctx), Value::Null);
+        assert_eq!(Expr::rcol(0).eval(&ctx), Value::Null);
+    }
+
+    #[test]
+    fn eval_binary_context() {
+        let l = Tuple::ints(1, &[10]);
+        let r = Tuple::ints(2, &[20]);
+        let ctx = EvalCtx::binary(&l, &r);
+        assert_eq!(Expr::col(0).eval(&ctx), Value::Int(10));
+        assert_eq!(Expr::rcol(0).eval(&ctx), Value::Int(20));
+        assert_eq!(
+            Expr::col(0).add(Expr::rcol(0)).eval(&ctx),
+            Value::Int(30)
+        );
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        let t = Tuple::ints(0, &[7]);
+        let ctx = EvalCtx::unary(&t);
+        assert_eq!(Expr::col(0).mul(Expr::lit(3i64)).eval(&ctx), Value::Int(21));
+        assert_eq!(Expr::col(0).div(Expr::lit(2i64)).eval(&ctx), Value::Int(3));
+        assert_eq!(
+            Expr::Neg(Box::new(Expr::col(0))).eval(&ctx),
+            Value::Int(-7)
+        );
+    }
+
+    #[test]
+    fn infer_types() {
+        let s = Schema::ints(2);
+        assert_eq!(
+            Expr::col(0).infer_type(&s, None).unwrap(),
+            ValueType::Int
+        );
+        assert_eq!(
+            Expr::col(0)
+                .add(Expr::lit(1.5f64))
+                .infer_type(&s, None)
+                .unwrap(),
+            ValueType::Float
+        );
+        assert!(Expr::col(5).infer_type(&s, None).is_err());
+        assert!(Expr::rcol(0).infer_type(&s, None).is_err());
+        assert_eq!(
+            Expr::rcol(0).infer_type(&s, Some(&s)).unwrap(),
+            ValueType::Int
+        );
+        assert!(Expr::lit("x")
+            .add(Expr::lit(1i64))
+            .infer_type(&s, None)
+            .is_err());
+    }
+
+    #[test]
+    fn structural_hash_eq() {
+        let a = Expr::col(1).add(Expr::lit(5i64));
+        let b = Expr::col(1).add(Expr::lit(5i64));
+        let c = Expr::col(1).add(Expr::lit(6i64));
+        assert_eq!(a, b);
+        assert_eq!(h(&a), h(&b));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn references_sides() {
+        let e = Expr::col(0).add(Expr::rcol(1));
+        assert!(e.references(Side::Left));
+        assert!(e.references(Side::Right));
+        assert!(!Expr::lit(1i64).references(Side::Left));
+        assert!(Expr::Ts(Side::Right).references(Side::Right));
+    }
+
+    #[test]
+    fn shift_side_rewrites_references() {
+        // Embed `r.a1` into a concatenated schema where the right tuple
+        // starts at offset 3 of the left side.
+        let e = Expr::col(0).add(Expr::rcol(1));
+        let shifted = e.shift_side(Side::Right, 3, Side::Left);
+        assert_eq!(shifted, Expr::col(0).add(Expr::col(4)));
+    }
+
+    #[test]
+    fn display() {
+        let e = Expr::col(0).add(Expr::lit(2i64));
+        assert_eq!(e.to_string(), "(l.a0 + 2)");
+        assert_eq!(Expr::Ts(Side::Right).to_string(), "r.ts");
+    }
+}

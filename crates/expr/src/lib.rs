@@ -1,0 +1,30 @@
+//! # rumor-expr
+//!
+//! The expression layer of RUMOR: scalar [`Expr`]essions, boolean
+//! [`Predicate`]s, and [`SchemaMap`]s (the paper's *schema map functions*,
+//! §4.2 — SQL-SELECT-style projections that can rename, drop, and compute
+//! attributes).
+//!
+//! Two aspects matter beyond plain evaluation:
+//!
+//! 1. **Structural identity.** Multi-query rewrite rules (m-rules) decide
+//!    sharability by comparing operator *definitions* — "two selection
+//!    operators with the same predicate", "two aggregation operators with the
+//!    same aggregate function and group-by" (§3.2). All expression types here
+//!    implement `Eq + Hash` structurally so rule engines can group candidate
+//!    operators with a hash map in O(n).
+//! 2. **Index analysis.** The predicate-indexing m-op (rule sσ) needs to know
+//!    whether a predicate is an equality comparison of an attribute with a
+//!    constant ([`Predicate::as_eq_const`]); the AI-index of the shared
+//!    sequence m-op needs the equi-join conjuncts of a pairwise predicate
+//!    ([`Predicate::split_equi_join`]).
+
+#![warn(missing_docs)]
+
+mod expr;
+mod predicate;
+mod schema_map;
+
+pub use expr::{ArithOp, EvalCtx, Expr, Side};
+pub use predicate::{CmpOp, EqConst, Predicate};
+pub use schema_map::{NamedExpr, SchemaMap};

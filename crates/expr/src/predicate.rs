@@ -1,0 +1,527 @@
+//! Boolean predicates with three-valued (SQL-style) evaluation and the
+//! structural analyses used by the MQO rules.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use rumor_types::{Schema, Value};
+
+use crate::expr::{EvalCtx, Expr, Side};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn test(&self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// The operator with swapped operands (`a < b` ⇔ `b > a`).
+    pub fn flip(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A boolean predicate over one or two tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// Comparison of two scalar expressions.
+    Cmp {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Expr,
+        /// Right operand.
+        rhs: Expr,
+    },
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `lhs op rhs`.
+    pub fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> Predicate {
+        Predicate::Cmp { op, lhs, rhs }
+    }
+
+    /// Left attribute equals integer constant — the indexable shape of the
+    /// paper's Workload 1 predicates (`a\[0\] = c`, §5.2).
+    pub fn attr_eq_const(index: usize, value: impl Into<Value>) -> Predicate {
+        Predicate::cmp(CmpOp::Eq, Expr::col(index), Expr::Lit(value.into()))
+    }
+
+    /// Conjunction of predicates, flattening trivial cases.
+    pub fn and(preds: Vec<Predicate>) -> Predicate {
+        let mut out = Vec::with_capacity(preds.len());
+        for p in preds {
+            match p {
+                Predicate::True => {}
+                Predicate::False => return Predicate::False,
+                Predicate::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Predicate::True,
+            1 => out.pop().unwrap(),
+            _ => Predicate::And(out),
+        }
+    }
+
+    /// Disjunction of predicates, flattening trivial cases.
+    pub fn or(preds: Vec<Predicate>) -> Predicate {
+        let mut out = Vec::with_capacity(preds.len());
+        for p in preds {
+            match p {
+                Predicate::False => {}
+                Predicate::True => return Predicate::True,
+                Predicate::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Predicate::False,
+            1 => out.pop().unwrap(),
+            _ => Predicate::Or(out),
+        }
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)] // associated constructor, not `!`
+    pub fn not(p: Predicate) -> Predicate {
+        match p {
+            Predicate::True => Predicate::False,
+            Predicate::False => Predicate::True,
+            Predicate::Not(inner) => *inner,
+            other => Predicate::Not(Box::new(other)),
+        }
+    }
+
+    /// Three-valued evaluation: `None` is SQL UNKNOWN (e.g. comparisons
+    /// against NULL or across incomparable types).
+    pub fn eval3(&self, ctx: &EvalCtx<'_>) -> Option<bool> {
+        match self {
+            Predicate::True => Some(true),
+            Predicate::False => Some(false),
+            Predicate::Cmp { op, lhs, rhs } => {
+                let l = lhs.eval(ctx);
+                let r = rhs.eval(ctx);
+                l.compare(&r).map(|ord| op.test(ord))
+            }
+            Predicate::And(ps) => {
+                let mut unknown = false;
+                for p in ps {
+                    match p.eval3(ctx) {
+                        Some(false) => return Some(false),
+                        None => unknown = true,
+                        Some(true) => {}
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(true)
+                }
+            }
+            Predicate::Or(ps) => {
+                let mut unknown = false;
+                for p in ps {
+                    match p.eval3(ctx) {
+                        Some(true) => return Some(true),
+                        None => unknown = true,
+                        Some(false) => {}
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            Predicate::Not(p) => p.eval3(ctx).map(|b| !b),
+        }
+    }
+
+    /// Two-valued evaluation: UNKNOWN filters out (SQL WHERE semantics).
+    pub fn eval(&self, ctx: &EvalCtx<'_>) -> bool {
+        self.eval3(ctx) == Some(true)
+    }
+
+    /// If the predicate is exactly `left.a[i] = constant` (either operand
+    /// order), returns the attribute index and constant. This is the shape
+    /// the predicate-indexing m-op (rule sσ) hashes on \[10, 16\].
+    pub fn as_eq_const(&self) -> Option<EqConst> {
+        let Predicate::Cmp { op: CmpOp::Eq, lhs, rhs } = self else {
+            return None;
+        };
+        match (lhs, rhs) {
+            (Expr::Col { side: Side::Left, index }, Expr::Lit(v))
+            | (Expr::Lit(v), Expr::Col { side: Side::Left, index }) => Some(EqConst {
+                attr: *index,
+                value: v.clone(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Splits a (possibly conjunctive) pairwise predicate into its equi-join
+    /// conjuncts `left.a[i] = right.a[j]` and the residual predicate.
+    ///
+    /// The shared sequence/iterate m-op builds its Active-Instance (AI) index
+    /// on the left attributes of these conjuncts (§5.2 Workload 2:
+    /// `S.a\[0\] = T.a\[0\]`), and the shared join m-op hashes on them.
+    pub fn split_equi_join(&self) -> (Vec<(usize, usize)>, Predicate) {
+        let conjuncts: Vec<Predicate> = match self {
+            Predicate::And(ps) => ps.clone(),
+            other => vec![other.clone()],
+        };
+        let mut keys = Vec::new();
+        let mut residual = Vec::new();
+        for c in conjuncts {
+            if let Predicate::Cmp { op: CmpOp::Eq, lhs, rhs } = &c {
+                match (lhs, rhs) {
+                    (
+                        Expr::Col { side: Side::Left, index: li },
+                        Expr::Col { side: Side::Right, index: ri },
+                    )
+                    | (
+                        Expr::Col { side: Side::Right, index: ri },
+                        Expr::Col { side: Side::Left, index: li },
+                    ) => {
+                        keys.push((*li, *ri));
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            residual.push(c);
+        }
+        (keys, Predicate::and(residual))
+    }
+
+    /// True if the predicate references the given side.
+    pub fn references(&self, side: Side) -> bool {
+        match self {
+            Predicate::True | Predicate::False => false,
+            Predicate::Cmp { lhs, rhs, .. } => lhs.references(side) || rhs.references(side),
+            Predicate::And(ps) | Predicate::Or(ps) => ps.iter().any(|p| p.references(side)),
+            Predicate::Not(p) => p.references(side),
+        }
+    }
+
+    /// Rewrites side references, mirroring [`Expr::shift_side`].
+    pub fn shift_side(&self, side: Side, offset: usize, new_side: Side) -> Predicate {
+        match self {
+            Predicate::True => Predicate::True,
+            Predicate::False => Predicate::False,
+            Predicate::Cmp { op, lhs, rhs } => Predicate::Cmp {
+                op: *op,
+                lhs: lhs.shift_side(side, offset, new_side),
+                rhs: rhs.shift_side(side, offset, new_side),
+            },
+            Predicate::And(ps) => {
+                Predicate::And(ps.iter().map(|p| p.shift_side(side, offset, new_side)).collect())
+            }
+            Predicate::Or(ps) => {
+                Predicate::Or(ps.iter().map(|p| p.shift_side(side, offset, new_side)).collect())
+            }
+            Predicate::Not(p) => {
+                Predicate::Not(Box::new(p.shift_side(side, offset, new_side)))
+            }
+        }
+    }
+
+    /// Validates column references against the given schemas.
+    pub fn check_types(
+        &self,
+        left: &Schema,
+        right: Option<&Schema>,
+    ) -> rumor_types::Result<()> {
+        match self {
+            Predicate::True | Predicate::False => Ok(()),
+            Predicate::Cmp { lhs, rhs, .. } => {
+                lhs.infer_type(left, right)?;
+                rhs.infer_type(left, right)?;
+                Ok(())
+            }
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                ps.iter().try_for_each(|p| p.check_types(left, right))
+            }
+            Predicate::Not(p) => p.check_types(left, right),
+        }
+    }
+}
+
+impl Eq for Predicate {}
+
+impl Hash for Predicate {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Predicate::True => 0u8.hash(state),
+            Predicate::False => 1u8.hash(state),
+            Predicate::Cmp { op, lhs, rhs } => {
+                2u8.hash(state);
+                op.hash(state);
+                lhs.hash(state);
+                rhs.hash(state);
+            }
+            Predicate::And(ps) => {
+                3u8.hash(state);
+                ps.hash(state);
+            }
+            Predicate::Or(ps) => {
+                4u8.hash(state);
+                ps.hash(state);
+            }
+            Predicate::Not(p) => {
+                5u8.hash(state);
+                p.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::False => write!(f, "false"),
+            Predicate::Cmp { op, lhs, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Predicate::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Or(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Not(p) => write!(f, "NOT {p}"),
+        }
+    }
+}
+
+/// Result of [`Predicate::as_eq_const`]: `left.a[attr] = value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EqConst {
+    /// Attribute position on the left tuple.
+    pub attr: usize,
+    /// The constant compared against.
+    pub value: Value,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_types::Tuple;
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::ints(0, vals)
+    }
+
+    #[test]
+    fn cmp_eval() {
+        let tup = t(&[5, 10]);
+        let ctx = EvalCtx::unary(&tup);
+        assert!(Predicate::attr_eq_const(0, 5i64).eval(&ctx));
+        assert!(!Predicate::attr_eq_const(0, 6i64).eval(&ctx));
+        assert!(Predicate::cmp(CmpOp::Lt, Expr::col(0), Expr::col(1)).eval(&ctx));
+        assert!(Predicate::cmp(CmpOp::Ge, Expr::col(1), Expr::lit(10i64)).eval(&ctx));
+    }
+
+    #[test]
+    fn three_valued_null_semantics() {
+        let tup = t(&[5]);
+        let ctx = EvalCtx::unary(&tup);
+        // a9 is out of range -> NULL -> comparison UNKNOWN.
+        let unknown = Predicate::attr_eq_const(9, 5i64);
+        assert_eq!(unknown.eval3(&ctx), None);
+        assert!(!unknown.eval(&ctx));
+        // NOT UNKNOWN is still UNKNOWN (not true).
+        assert!(!Predicate::not(unknown.clone()).eval(&ctx));
+        // UNKNOWN OR TRUE is TRUE; UNKNOWN AND TRUE is UNKNOWN.
+        assert!(Predicate::or(vec![unknown.clone(), Predicate::True]).eval(&ctx));
+        assert_eq!(
+            Predicate::And(vec![unknown, Predicate::True]).eval3(&ctx),
+            None
+        );
+    }
+
+    #[test]
+    fn and_or_flattening() {
+        let p = Predicate::attr_eq_const(0, 1i64);
+        assert_eq!(Predicate::and(vec![]), Predicate::True);
+        assert_eq!(Predicate::and(vec![p.clone()]), p.clone());
+        assert_eq!(
+            Predicate::and(vec![Predicate::True, p.clone()]),
+            p.clone()
+        );
+        assert_eq!(
+            Predicate::and(vec![Predicate::False, p.clone()]),
+            Predicate::False
+        );
+        assert_eq!(Predicate::or(vec![]), Predicate::False);
+        assert_eq!(
+            Predicate::or(vec![Predicate::True, p.clone()]),
+            Predicate::True
+        );
+        // Nested And flattens.
+        let nested = Predicate::and(vec![
+            Predicate::And(vec![p.clone(), p.clone()]),
+            p.clone(),
+        ]);
+        assert_eq!(nested, Predicate::And(vec![p.clone(), p.clone(), p]));
+    }
+
+    #[test]
+    fn not_simplification() {
+        assert_eq!(Predicate::not(Predicate::True), Predicate::False);
+        let p = Predicate::attr_eq_const(0, 1i64);
+        assert_eq!(Predicate::not(Predicate::not(p.clone())), p);
+    }
+
+    #[test]
+    fn as_eq_const_detects_both_orders() {
+        let p = Predicate::attr_eq_const(3, 42i64);
+        let e = p.as_eq_const().unwrap();
+        assert_eq!(e.attr, 3);
+        assert_eq!(e.value, Value::Int(42));
+
+        let flipped = Predicate::cmp(CmpOp::Eq, Expr::lit(42i64), Expr::col(3));
+        assert_eq!(flipped.as_eq_const().unwrap().attr, 3);
+
+        // Not an equality, not a constant comparison, wrong side.
+        assert!(Predicate::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(1i64))
+            .as_eq_const()
+            .is_none());
+        assert!(Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::col(1))
+            .as_eq_const()
+            .is_none());
+        assert!(Predicate::cmp(CmpOp::Eq, Expr::rcol(0), Expr::lit(1i64))
+            .as_eq_const()
+            .is_none());
+    }
+
+    #[test]
+    fn split_equi_join() {
+        // S.a0 = T.a0 AND S.a1 > 5  (Workload 2 + residual)
+        let p = Predicate::and(vec![
+            Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+            Predicate::cmp(CmpOp::Gt, Expr::col(1), Expr::lit(5i64)),
+        ]);
+        let (keys, residual) = p.split_equi_join();
+        assert_eq!(keys, vec![(0, 0)]);
+        assert_eq!(
+            residual,
+            Predicate::cmp(CmpOp::Gt, Expr::col(1), Expr::lit(5i64))
+        );
+
+        // Flipped operand order also detected.
+        let p2 = Predicate::cmp(CmpOp::Eq, Expr::rcol(2), Expr::col(1));
+        let (keys2, residual2) = p2.split_equi_join();
+        assert_eq!(keys2, vec![(1, 2)]);
+        assert_eq!(residual2, Predicate::True);
+    }
+
+    #[test]
+    fn flip_op() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.flip(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn display() {
+        let p = Predicate::and(vec![
+            Predicate::attr_eq_const(0, 1i64),
+            Predicate::cmp(CmpOp::Gt, Expr::rcol(1), Expr::lit(2i64)),
+        ]);
+        assert_eq!(p.to_string(), "(l.a0 = 1 AND r.a1 > 2)");
+    }
+
+    #[test]
+    fn check_types() {
+        let s = Schema::ints(2);
+        assert!(Predicate::attr_eq_const(0, 1i64).check_types(&s, None).is_ok());
+        assert!(Predicate::attr_eq_const(5, 1i64).check_types(&s, None).is_err());
+        assert!(Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0))
+            .check_types(&s, None)
+            .is_err());
+        assert!(Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0))
+            .check_types(&s, Some(&s))
+            .is_ok());
+    }
+
+    #[test]
+    fn binary_predicate_eval() {
+        let l = Tuple::ints(0, &[7, 1]);
+        let r = Tuple::ints(1, &[7, 9]);
+        let ctx = EvalCtx::binary(&l, &r);
+        let p = Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0));
+        assert!(p.eval(&ctx));
+        let q = Predicate::cmp(CmpOp::Gt, Expr::rcol(1), Expr::col(1));
+        assert!(q.eval(&ctx));
+    }
+}

@@ -1,0 +1,240 @@
+//! Schema map functions (the paper's `F` on automaton edges, §4.2) — the
+//! expressive SQL-SELECT-clause projection operator `π` of RUMOR plans.
+
+use std::fmt;
+
+use rumor_types::{Field, Result, Schema, Tuple};
+
+use crate::expr::{EvalCtx, Expr, Side};
+
+/// A named output expression of a schema map.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NamedExpr {
+    /// Output attribute name.
+    pub name: String,
+    /// Defining expression.
+    pub expr: Expr,
+}
+
+impl NamedExpr {
+    /// Creates a named expression.
+    pub fn new(name: impl Into<String>, expr: Expr) -> Self {
+        NamedExpr {
+            name: name.into(),
+            expr,
+        }
+    }
+}
+
+/// A schema map: renames, drops, reorders, and computes attributes.
+///
+/// "A schema map function can rename and project attributes, as well as
+/// introducing new attributes via simple arithmetic computation [...]. It is
+/// similar to a SQL projection operator (which implements the SQL SELECT
+/// clause)." (§4.2)
+///
+/// Unary contexts (a plan `π`) evaluate against the left tuple; binary
+/// contexts (forward/rebind edge maps applied to the concatenation of an
+/// instance and an event) also see the right tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SchemaMap {
+    /// Output attributes in order.
+    pub outputs: Vec<NamedExpr>,
+}
+
+impl SchemaMap {
+    /// Creates a schema map from named expressions.
+    pub fn new(outputs: Vec<NamedExpr>) -> Self {
+        SchemaMap { outputs }
+    }
+
+    /// The identity map for a unary input with `n` attributes named
+    /// `a0..a{n-1}`.
+    pub fn identity(n: usize) -> Self {
+        SchemaMap {
+            outputs: (0..n)
+                .map(|i| NamedExpr::new(format!("a{i}"), Expr::col(i)))
+                .collect(),
+        }
+    }
+
+    /// Identity map that preserves the names of `schema`.
+    pub fn identity_of(schema: &Schema) -> Self {
+        SchemaMap {
+            outputs: schema
+                .fields()
+                .iter()
+                .enumerate()
+                .map(|(i, f)| NamedExpr::new(f.name.clone(), Expr::col(i)))
+                .collect(),
+        }
+    }
+
+    /// The map that concatenates left and right tuples — the default
+    /// behaviour of the `;` operator's forward edge.
+    pub fn concat(left: &Schema, right: &Schema) -> Self {
+        let out_schema = left.concat(right);
+        let mut outputs = Vec::with_capacity(out_schema.len());
+        for (i, f) in out_schema.fields().iter().enumerate() {
+            let expr = if i < left.len() {
+                Expr::col(i)
+            } else {
+                Expr::rcol(i - left.len())
+            };
+            outputs.push(NamedExpr::new(f.name.clone(), expr));
+        }
+        SchemaMap { outputs }
+    }
+
+    /// Number of output attributes.
+    pub fn arity(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Whether this is an identity passthrough of the left input (used to
+    /// skip no-op projections during plan construction).
+    pub fn is_identity_for(&self, schema: &Schema) -> bool {
+        self.outputs.len() == schema.len()
+            && self.outputs.iter().enumerate().all(|(i, ne)| {
+                ne.expr
+                    == Expr::Col {
+                        side: Side::Left,
+                        index: i,
+                    }
+                    && schema.field(i).is_some_and(|f| f.name == ne.name)
+            })
+    }
+
+    /// Applies the map to produce the output value row.
+    pub fn apply(&self, ctx: &EvalCtx<'_>) -> Vec<rumor_types::Value> {
+        self.outputs.iter().map(|ne| ne.expr.eval(ctx)).collect()
+    }
+
+    /// Applies to a unary input tuple, keeping its timestamp.
+    pub fn apply_unary(&self, tuple: &Tuple) -> Tuple {
+        let ctx = EvalCtx::unary(tuple);
+        tuple.with_values(self.apply(&ctx))
+    }
+
+    /// Applies to a binary (instance, event) pair; the output carries the
+    /// event's (right) timestamp, matching Cayuga edge semantics.
+    pub fn apply_binary(&self, left: &Tuple, right: &Tuple) -> Tuple {
+        let ctx = EvalCtx::binary(left, right);
+        Tuple::new(right.ts, self.apply(&ctx))
+    }
+
+    /// Infers the output schema; errors on out-of-range references or
+    /// duplicate output names.
+    pub fn output_schema(&self, left: &Schema, right: Option<&Schema>) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(self.outputs.len());
+        for ne in &self.outputs {
+            let ty = ne.expr.infer_type(left, right)?;
+            fields.push(Field::new(ne.name.clone(), ty));
+        }
+        Schema::new(fields)
+    }
+}
+
+impl fmt::Display for SchemaMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "π[")?;
+        for (i, ne) in self.outputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} := {}", ne.name, ne.expr)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_types::{Value, ValueType};
+
+    #[test]
+    fn identity_passthrough() {
+        let m = SchemaMap::identity(3);
+        let t = Tuple::ints(7, &[1, 2, 3]);
+        let out = m.apply_unary(&t);
+        assert_eq!(out.ts, 7);
+        assert_eq!(out.values(), t.values());
+        assert!(m.is_identity_for(&Schema::ints(3)));
+        assert!(!m.is_identity_for(&Schema::ints(2)));
+    }
+
+    #[test]
+    fn identity_of_preserves_names() {
+        let s = Schema::new(vec![
+            Field::new("pid", ValueType::Int),
+            Field::new("load", ValueType::Float),
+        ])
+        .unwrap();
+        let m = SchemaMap::identity_of(&s);
+        assert!(m.is_identity_for(&s));
+        assert_eq!(m.output_schema(&s, None).unwrap(), s);
+    }
+
+    #[test]
+    fn computed_attribute() {
+        let m = SchemaMap::new(vec![
+            NamedExpr::new("double", Expr::col(0).mul(Expr::lit(2i64))),
+            NamedExpr::new("orig", Expr::col(0)),
+        ]);
+        let t = Tuple::ints(0, &[21]);
+        let out = m.apply_unary(&t);
+        assert_eq!(out.values(), &[Value::Int(42), Value::Int(21)]);
+        let schema = m.output_schema(&Schema::ints(1), None).unwrap();
+        assert_eq!(schema.index_of("double"), Some(0));
+        assert_eq!(schema.field(0).unwrap().ty, ValueType::Int);
+    }
+
+    #[test]
+    fn concat_map_matches_tuple_concat() {
+        let ls = Schema::ints(2);
+        let rs = Schema::ints(1);
+        let m = SchemaMap::concat(&ls, &rs);
+        let l = Tuple::ints(1, &[10, 20]);
+        let r = Tuple::ints(5, &[30]);
+        let out = m.apply_binary(&l, &r);
+        assert_eq!(out, l.concat(&r));
+        let schema = m.output_schema(&ls, Some(&rs)).unwrap();
+        assert_eq!(schema.len(), 3);
+        assert_eq!(schema.index_of("r.a0"), Some(2));
+    }
+
+    #[test]
+    fn binary_output_takes_right_timestamp() {
+        let m = SchemaMap::new(vec![NamedExpr::new("x", Expr::rcol(0))]);
+        let l = Tuple::ints(1, &[0]);
+        let r = Tuple::ints(9, &[5]);
+        assert_eq!(m.apply_binary(&l, &r).ts, 9);
+    }
+
+    #[test]
+    fn output_schema_rejects_bad_refs_and_dups() {
+        let m = SchemaMap::new(vec![NamedExpr::new("x", Expr::col(5))]);
+        assert!(m.output_schema(&Schema::ints(2), None).is_err());
+        let dup = SchemaMap::new(vec![
+            NamedExpr::new("x", Expr::col(0)),
+            NamedExpr::new("x", Expr::col(1)),
+        ]);
+        assert!(dup.output_schema(&Schema::ints(2), None).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let m = SchemaMap::new(vec![NamedExpr::new("x", Expr::col(0))]);
+        assert_eq!(m.to_string(), "π[x := l.a0]");
+    }
+
+    #[test]
+    fn structural_equality() {
+        let a = SchemaMap::identity(2);
+        let b = SchemaMap::identity(2);
+        let c = SchemaMap::identity(3);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,200 @@
+//! Abstract syntax for the RUMOR query language.
+//!
+//! The AST is name-based (attribute references are unresolved identifiers);
+//! [`crate::lower::Lowerer`] resolves them against stream schemas.
+
+use rumor_core::AggFunc;
+use rumor_expr::CmpOp;
+use rumor_types::{Schema, Value};
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE STREAM name (field type, ...);`
+    CreateStream {
+        /// Stream name.
+        name: String,
+        /// Declared schema.
+        schema: Schema,
+        /// Optional `SHARABLE WITH 'label'` marker (§3.2 base case 2).
+        sharable_label: Option<String>,
+    },
+    /// `DEFINE name AS <query>;` — a named derived stream.
+    Define {
+        /// Derived stream name.
+        name: String,
+        /// Defining query.
+        query: QueryExpr,
+    },
+    /// A registered continuous query (optionally named).
+    Register {
+        /// Optional `QUERY name AS` prefix.
+        name: Option<String>,
+        /// The query.
+        query: QueryExpr,
+    },
+}
+
+/// A query expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryExpr {
+    /// `SELECT items FROM input [WHERE pred] [GROUP BY cols]`
+    Select {
+        /// Projection / aggregation list.
+        items: Vec<SelectItem>,
+        /// Input relation.
+        input: StreamInput,
+        /// Filter predicate.
+        predicate: Option<ExprAst>,
+        /// Group-by column names.
+        group_by: Vec<String>,
+    },
+    /// `SELECT * FROM a JOIN b ON pred WITHIN n [WHERE pred]`
+    Join {
+        /// Left input.
+        left: StreamInput,
+        /// Right input.
+        right: StreamInput,
+        /// Join predicate.
+        on: ExprAst,
+        /// Window length.
+        within: u64,
+        /// Post-join filter.
+        predicate: Option<ExprAst>,
+    },
+    /// `PATTERN a AS x [WHERE p] THEN b AS y [WHERE q] WITHIN n`
+    Sequence {
+        /// First (instance) input with alias.
+        first: AliasedInput,
+        /// Filter on the first input alone.
+        first_where: Option<ExprAst>,
+        /// Second (event) input with alias.
+        second: AliasedInput,
+        /// Pairwise predicate over both aliases.
+        pair_where: Option<ExprAst>,
+        /// Duration window.
+        within: u64,
+    },
+    /// `PATTERN a AS x [WHERE p] THEN ITERATE b AS y [FILTER f] REBIND r
+    ///  [SET col = expr, ...] WITHIN n`
+    Iterate {
+        /// First (instance) input with alias.
+        first: AliasedInput,
+        /// Filter on the first input alone.
+        first_where: Option<ExprAst>,
+        /// Event input with alias.
+        second: AliasedInput,
+        /// Filter-edge predicate θf.
+        filter: Option<ExprAst>,
+        /// Rebind-edge predicate θr.
+        rebind: ExprAst,
+        /// Rebind map updates: instance columns set from expressions over
+        /// both aliases; unlisted columns keep their value.
+        set: Vec<(String, ExprAst)>,
+        /// Duration window.
+        within: u64,
+    },
+}
+
+/// A stream reference in FROM position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamInput {
+    /// Referenced stream name (source or DEFINEd).
+    pub name: String,
+    /// Optional `[RANGE n]` window annotation (required for aggregation).
+    pub range: Option<u64>,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+/// A stream reference with a mandatory alias (pattern queries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasedInput {
+    /// Referenced stream name.
+    pub name: String,
+    /// Alias binding the tuple in predicates.
+    pub alias: String,
+}
+
+/// One SELECT-list item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS name]`
+    Expr {
+        /// The expression.
+        expr: ExprAst,
+        /// Output name (defaults to a derived name).
+        alias: Option<String>,
+    },
+    /// `FUNC(expr) [AS name]` / `COUNT(*)`
+    Agg {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Aggregated expression (`None` for `COUNT(*)`).
+        expr: Option<ExprAst>,
+        /// Output name.
+        alias: Option<String>,
+    },
+}
+
+/// Unresolved expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprAst {
+    /// Bare or qualified column reference (`load`, `x.load`).
+    Column {
+        /// Optional qualifier (stream alias).
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Literal.
+    Lit(Value),
+    /// Arithmetic.
+    Arith {
+        /// Operator symbol: `+ - * / %`.
+        op: char,
+        /// Left operand.
+        lhs: Box<ExprAst>,
+        /// Right operand.
+        rhs: Box<ExprAst>,
+    },
+    /// Unary negation.
+    Neg(Box<ExprAst>),
+    /// Comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Box<ExprAst>,
+        /// Right operand.
+        rhs: Box<ExprAst>,
+    },
+    /// Conjunction.
+    And(Vec<ExprAst>),
+    /// Disjunction.
+    Or(Vec<ExprAst>),
+    /// Negation.
+    Not(Box<ExprAst>),
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+}
+
+impl ExprAst {
+    /// Column shorthand.
+    pub fn col(name: &str) -> ExprAst {
+        ExprAst::Column {
+            qualifier: None,
+            name: name.to_string(),
+        }
+    }
+
+    /// Qualified column shorthand.
+    pub fn qcol(qualifier: &str, name: &str) -> ExprAst {
+        ExprAst::Column {
+            qualifier: Some(qualifier.to_string()),
+            name: name.to_string(),
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # rumor-lang
+//!
+//! A small continuous-query language for RUMOR covering both CQL-style
+//! relational stream queries and Cayuga-style event pattern queries — the
+//! two query classes whose MQO techniques the paper unifies, plus the
+//! *hybrid* queries of §4.1 that combine them.
+//!
+//! ## Statements
+//!
+//! ```text
+//! CREATE STREAM cpu (pid INT, load FLOAT);
+//!
+//! -- named derived stream (reusable subplan; sharing happens via m-rules)
+//! DEFINE smoothed AS
+//!   SELECT pid, AVG(load) AS load FROM cpu [RANGE 5] GROUP BY pid;
+//!
+//! -- CQL-style queries
+//! SELECT * FROM cpu WHERE pid = 42;
+//! SELECT pid, load * 2 AS double FROM cpu;
+//! SELECT * FROM s JOIN t ON s.a0 = t.a0 WITHIN 100;
+//!
+//! -- event pattern queries (Cayuga ; and µ)
+//! PATTERN s AS x THEN t AS y WHERE x.a0 = y.a0 WITHIN 100;
+//! PATTERN smoothed AS x WHERE x.load < 20
+//!   THEN ITERATE smoothed AS y
+//!   FILTER x.pid != y.pid
+//!   REBIND x.pid = y.pid AND y.load > x.load SET load = y.load
+//!   WITHIN 300;
+//! ```
+//!
+//! `parse_script` produces [`ast::Statement`]s; [`lower::Lowerer`] resolves
+//! names/schemas and emits [`rumor_core::LogicalPlan`]s ready for
+//! registration in a plan graph.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use ast::{QueryExpr, SelectItem, Statement};
+pub use lower::{LoweredStatement, Lowerer};
+pub use parser::parse_script;

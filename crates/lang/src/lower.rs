@@ -1,0 +1,738 @@
+//! Lowering: resolves the parsed AST against stream schemas and produces
+//! [`LogicalPlan`]s.
+
+use std::collections::HashMap;
+
+use rumor_core::{AggSpec, IterSpec, JoinSpec, LogicalPlan, SeqSpec};
+use rumor_expr::{ArithOp, Expr, NamedExpr, Predicate, SchemaMap, Side};
+use rumor_types::{Result, RumorError, Schema};
+
+use crate::ast::{ExprAst, QueryExpr, SelectItem, Statement, StreamInput};
+
+/// A lowered statement, ready for the engine.
+#[derive(Debug, Clone)]
+pub enum LoweredStatement {
+    /// Declare a source stream.
+    CreateStream {
+        /// Source name.
+        name: String,
+        /// Schema.
+        schema: Schema,
+        /// Sharable label (§3.2).
+        sharable_label: Option<String>,
+    },
+    /// A DEFINE was recorded in the lowerer's catalog; nothing to execute.
+    Defined {
+        /// The defined name.
+        name: String,
+    },
+    /// Register a continuous query.
+    Register {
+        /// Optional query name.
+        name: Option<String>,
+        /// The logical plan.
+        plan: LogicalPlan,
+        /// Output schema.
+        schema: Schema,
+    },
+}
+
+/// Resolution context for expressions: schemas plus the alias each side
+/// answers to.
+struct Scope<'a> {
+    left: (&'a Schema, Vec<String>),
+    right: Option<(&'a Schema, Vec<String>)>,
+}
+
+impl<'a> Scope<'a> {
+    fn unary(schema: &'a Schema, aliases: Vec<String>) -> Self {
+        Scope {
+            left: (schema, aliases),
+            right: None,
+        }
+    }
+
+    fn binary(
+        left: &'a Schema,
+        left_aliases: Vec<String>,
+        right: &'a Schema,
+        right_aliases: Vec<String>,
+    ) -> Self {
+        Scope {
+            left: (left, left_aliases),
+            right: Some((right, right_aliases)),
+        }
+    }
+
+    fn resolve_column(&self, qualifier: Option<&str>, name: &str) -> Result<(Side, usize)> {
+        if let Some(q) = qualifier {
+            if self.left.1.iter().any(|a| a == q) {
+                return self
+                    .left
+                    .0
+                    .index_of(name)
+                    .map(|i| (Side::Left, i))
+                    .ok_or_else(|| RumorError::unknown(format!("column `{q}.{name}`")));
+            }
+            if let Some((schema, aliases)) = &self.right {
+                if aliases.iter().any(|a| a == q) {
+                    return schema
+                        .index_of(name)
+                        .map(|i| (Side::Right, i))
+                        .ok_or_else(|| RumorError::unknown(format!("column `{q}.{name}`")));
+                }
+            }
+            return Err(RumorError::unknown(format!("stream alias `{q}`")));
+        }
+        let in_left = self.left.0.index_of(name);
+        let in_right = self.right.as_ref().and_then(|(s, _)| s.index_of(name));
+        match (in_left, in_right) {
+            (Some(i), None) => Ok((Side::Left, i)),
+            (None, Some(i)) => Ok((Side::Right, i)),
+            (Some(_), Some(_)) => Err(RumorError::expr(format!(
+                "ambiguous column `{name}`: qualify it with a stream alias"
+            ))),
+            (None, None) => Err(RumorError::unknown(format!("column `{name}`"))),
+        }
+    }
+
+    fn lower_scalar(&self, e: &ExprAst) -> Result<Expr> {
+        match e {
+            ExprAst::Column { qualifier, name } => {
+                let (side, index) = self.resolve_column(qualifier.as_deref(), name)?;
+                Ok(Expr::Col { side, index })
+            }
+            ExprAst::Lit(v) => Ok(Expr::Lit(v.clone())),
+            ExprAst::Arith { op, lhs, rhs } => {
+                let op = match op {
+                    '+' => ArithOp::Add,
+                    '-' => ArithOp::Sub,
+                    '*' => ArithOp::Mul,
+                    '/' => ArithOp::Div,
+                    '%' => ArithOp::Rem,
+                    other => {
+                        return Err(RumorError::expr(format!("unknown operator `{other}`")))
+                    }
+                };
+                Ok(Expr::Bin {
+                    op,
+                    lhs: Box::new(self.lower_scalar(lhs)?),
+                    rhs: Box::new(self.lower_scalar(rhs)?),
+                })
+            }
+            ExprAst::Neg(inner) => Ok(Expr::Neg(Box::new(self.lower_scalar(inner)?))),
+            other => Err(RumorError::expr(format!(
+                "expected a scalar expression, found a boolean one: {other:?}"
+            ))),
+        }
+    }
+
+    fn lower_pred(&self, e: &ExprAst) -> Result<Predicate> {
+        match e {
+            ExprAst::Bool(true) => Ok(Predicate::True),
+            ExprAst::Bool(false) => Ok(Predicate::False),
+            ExprAst::Cmp { op, lhs, rhs } => Ok(Predicate::Cmp {
+                op: *op,
+                lhs: self.lower_scalar(lhs)?,
+                rhs: self.lower_scalar(rhs)?,
+            }),
+            ExprAst::And(parts) => Ok(Predicate::and(
+                parts.iter().map(|p| self.lower_pred(p)).collect::<Result<_>>()?,
+            )),
+            ExprAst::Or(parts) => Ok(Predicate::or(
+                parts.iter().map(|p| self.lower_pred(p)).collect::<Result<_>>()?,
+            )),
+            ExprAst::Not(inner) => Ok(Predicate::not(self.lower_pred(inner)?)),
+            other => Err(RumorError::expr(format!(
+                "expected a boolean expression: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Resolves statements against a catalog of known streams.
+#[derive(Default)]
+pub struct Lowerer {
+    catalog: HashMap<String, (LogicalPlan, Schema)>,
+}
+
+impl Lowerer {
+    /// Empty lowerer.
+    pub fn new() -> Self {
+        Lowerer::default()
+    }
+
+    /// Registers an externally created source (equivalent to processing a
+    /// `CREATE STREAM`).
+    pub fn add_source(&mut self, name: impl Into<String>, schema: Schema) {
+        let name = name.into();
+        self.catalog
+            .insert(name.clone(), (LogicalPlan::source(name), schema));
+    }
+
+    /// Whether a stream name is known.
+    pub fn knows(&self, name: &str) -> bool {
+        self.catalog.contains_key(name)
+    }
+
+    /// Lowers one statement, updating the catalog as needed.
+    pub fn lower(&mut self, stmt: &Statement) -> Result<LoweredStatement> {
+        match stmt {
+            Statement::CreateStream {
+                name,
+                schema,
+                sharable_label,
+            } => {
+                if self.catalog.contains_key(name) {
+                    return Err(RumorError::plan(format!("duplicate stream `{name}`")));
+                }
+                self.add_source(name.clone(), schema.clone());
+                Ok(LoweredStatement::CreateStream {
+                    name: name.clone(),
+                    schema: schema.clone(),
+                    sharable_label: sharable_label.clone(),
+                })
+            }
+            Statement::Define { name, query } => {
+                if self.catalog.contains_key(name) {
+                    return Err(RumorError::plan(format!("duplicate stream `{name}`")));
+                }
+                let (plan, schema) = self.lower_query(query)?;
+                self.catalog.insert(name.clone(), (plan, schema));
+                Ok(LoweredStatement::Defined { name: name.clone() })
+            }
+            Statement::Register { name, query } => {
+                let (plan, schema) = self.lower_query(query)?;
+                Ok(LoweredStatement::Register {
+                    name: name.clone(),
+                    plan,
+                    schema,
+                })
+            }
+        }
+    }
+
+    fn resolve_input(&self, input: &StreamInput) -> Result<(LogicalPlan, Schema, Vec<String>)> {
+        let (plan, schema) = self
+            .catalog
+            .get(&input.name)
+            .cloned()
+            .ok_or_else(|| RumorError::unknown(format!("stream `{}`", input.name)))?;
+        let mut aliases = vec![input.name.clone()];
+        if let Some(a) = &input.alias {
+            aliases.push(a.clone());
+        }
+        Ok((plan, schema, aliases))
+    }
+
+    fn resolve_aliased(
+        &self,
+        input: &crate::ast::AliasedInput,
+    ) -> Result<(LogicalPlan, Schema, Vec<String>)> {
+        let (plan, schema) = self
+            .catalog
+            .get(&input.name)
+            .cloned()
+            .ok_or_else(|| RumorError::unknown(format!("stream `{}`", input.name)))?;
+        Ok((plan, schema, vec![input.name.clone(), input.alias.clone()]))
+    }
+
+    /// Lowers a query expression to `(plan, output schema)`.
+    pub fn lower_query(&self, query: &QueryExpr) -> Result<(LogicalPlan, Schema)> {
+        match query {
+            QueryExpr::Select {
+                items,
+                input,
+                predicate,
+                group_by,
+            } => self.lower_select(items, input, predicate.as_ref(), group_by),
+            QueryExpr::Join {
+                left,
+                right,
+                on,
+                within,
+                predicate,
+            } => self.lower_join(left, right, on, *within, predicate.as_ref()),
+            QueryExpr::Sequence {
+                first,
+                first_where,
+                second,
+                pair_where,
+                within,
+            } => self.lower_sequence(first, first_where.as_ref(), second, pair_where.as_ref(), *within),
+            QueryExpr::Iterate {
+                first,
+                first_where,
+                second,
+                filter,
+                rebind,
+                set,
+                within,
+            } => self.lower_iterate(
+                first,
+                first_where.as_ref(),
+                second,
+                filter.as_ref(),
+                rebind,
+                set,
+                *within,
+            ),
+        }
+    }
+
+    fn lower_select(
+        &self,
+        items: &[SelectItem],
+        input: &StreamInput,
+        predicate: Option<&ExprAst>,
+        group_by: &[String],
+    ) -> Result<(LogicalPlan, Schema)> {
+        let (mut plan, schema, aliases) = self.resolve_input(input)?;
+        let scope = Scope::unary(&schema, aliases);
+        if let Some(p) = predicate {
+            plan = plan.select(scope.lower_pred(p)?);
+        }
+        let aggs: Vec<&SelectItem> = items
+            .iter()
+            .filter(|i| matches!(i, SelectItem::Agg { .. }))
+            .collect();
+        if aggs.is_empty() {
+            if group_by.is_empty() {
+                if matches!(items, [SelectItem::Wildcard]) {
+                    // Pure selection (or passthrough). A passthrough with no
+                    // predicate still needs a node so the query has an
+                    // output stream distinct from the source.
+                    if predicate.is_none() {
+                        plan = plan.select(Predicate::True);
+                    }
+                    return Ok((plan, schema));
+                }
+                let mut outputs = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    match item {
+                        SelectItem::Wildcard => {
+                            for (idx, f) in schema.fields().iter().enumerate() {
+                                outputs.push(NamedExpr::new(f.name.clone(), Expr::col(idx)));
+                            }
+                        }
+                        SelectItem::Expr { expr, alias } => {
+                            let lowered = scope.lower_scalar(expr)?;
+                            let name = alias.clone().unwrap_or_else(|| match expr {
+                                ExprAst::Column { name, .. } => name.clone(),
+                                _ => format!("expr{i}"),
+                            });
+                            outputs.push(NamedExpr::new(name, lowered));
+                        }
+                        SelectItem::Agg { .. } => unreachable!("no aggs here"),
+                    }
+                }
+                let map = SchemaMap::new(outputs);
+                let out_schema = map.output_schema(&schema, None)?;
+                return Ok((plan.project(map), out_schema));
+            }
+            return Err(RumorError::plan(
+                "GROUP BY requires an aggregate in the SELECT list".to_string(),
+            ));
+        }
+        if aggs.len() != 1 {
+            return Err(RumorError::plan(
+                "exactly one aggregate per query is supported".to_string(),
+            ));
+        }
+        let window = input.range.ok_or_else(|| {
+            RumorError::plan("aggregation requires a [RANGE n] window".to_string())
+        })?;
+        let SelectItem::Agg { func, expr, alias } = aggs[0] else {
+            unreachable!()
+        };
+        let agg_input = match expr {
+            Some(e) => scope.lower_scalar(e)?,
+            None => Expr::lit(1i64), // COUNT(*)
+        };
+        let group_positions: Vec<usize> = group_by
+            .iter()
+            .map(|g| {
+                schema
+                    .index_of(g)
+                    .ok_or_else(|| RumorError::unknown(format!("group-by column `{g}`")))
+            })
+            .collect::<Result<_>>()?;
+        // Non-aggregate items must be group-by columns, in group-by order.
+        let mut listed = Vec::new();
+        for item in items {
+            if let SelectItem::Expr { expr, .. } = item {
+                match expr {
+                    ExprAst::Column { name, .. } if group_by.contains(name) => {
+                        listed.push(name.clone());
+                    }
+                    other => {
+                        return Err(RumorError::plan(format!(
+                            "non-aggregate SELECT item must be a group-by column: {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        let spec = AggSpec {
+            func: *func,
+            input: agg_input,
+            group_by: group_positions,
+            window,
+        };
+        let out_schema = spec.output_schema(&schema)?;
+        plan = plan.aggregate(spec);
+        // Rename the aggregate column if aliased.
+        if let Some(alias) = alias {
+            let mut outputs: Vec<NamedExpr> = out_schema
+                .fields()
+                .iter()
+                .enumerate()
+                .map(|(i, f)| NamedExpr::new(f.name.clone(), Expr::col(i)))
+                .collect();
+            let last = outputs.len() - 1;
+            outputs[last].name = alias.clone();
+            let map = SchemaMap::new(outputs);
+            let renamed = map.output_schema(&out_schema, None)?;
+            return Ok((plan.project(map), renamed));
+        }
+        Ok((plan, out_schema))
+    }
+
+    fn lower_join(
+        &self,
+        left: &StreamInput,
+        right: &StreamInput,
+        on: &ExprAst,
+        within: u64,
+        predicate: Option<&ExprAst>,
+    ) -> Result<(LogicalPlan, Schema)> {
+        let (lplan, lschema, laliases) = self.resolve_input(left)?;
+        let (rplan, rschema, raliases) = self.resolve_input(right)?;
+        let scope = Scope::binary(&lschema, laliases.clone(), &rschema, raliases.clone());
+        let on_pred = scope.lower_pred(on)?;
+        let spec = JoinSpec {
+            predicate: on_pred,
+            window: within,
+        };
+        let out_schema = lschema.concat(&rschema);
+        let mut plan = lplan.join(rplan, spec);
+        if let Some(p) = predicate {
+            // Post-join filter resolves against the concatenated schema;
+            // qualified names still work because left columns keep their
+            // positions and right columns are shifted.
+            let shifted = Scope::binary(&lschema, laliases, &rschema, raliases)
+                .lower_pred(p)?
+                .shift_side(Side::Right, lschema.len(), Side::Left);
+            plan = plan.select(shifted);
+        }
+        Ok((plan, out_schema))
+    }
+
+    fn lower_sequence(
+        &self,
+        first: &crate::ast::AliasedInput,
+        first_where: Option<&ExprAst>,
+        second: &crate::ast::AliasedInput,
+        pair_where: Option<&ExprAst>,
+        within: u64,
+    ) -> Result<(LogicalPlan, Schema)> {
+        let (mut lplan, lschema, laliases) = self.resolve_aliased(first)?;
+        let (rplan, rschema, raliases) = self.resolve_aliased(second)?;
+        if let Some(p) = first_where {
+            let scope = Scope::unary(&lschema, laliases.clone());
+            lplan = lplan.select(scope.lower_pred(p)?);
+        }
+        let pred = match pair_where {
+            Some(p) => {
+                Scope::binary(&lschema, laliases, &rschema, raliases).lower_pred(p)?
+            }
+            None => Predicate::True,
+        };
+        let out_schema = lschema.concat(&rschema);
+        Ok((
+            lplan.followed_by(
+                rplan,
+                SeqSpec {
+                    predicate: pred,
+                    window: within,
+                },
+            ),
+            out_schema,
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_iterate(
+        &self,
+        first: &crate::ast::AliasedInput,
+        first_where: Option<&ExprAst>,
+        second: &crate::ast::AliasedInput,
+        filter: Option<&ExprAst>,
+        rebind: &ExprAst,
+        set: &[(String, ExprAst)],
+        within: u64,
+    ) -> Result<(LogicalPlan, Schema)> {
+        let (mut lplan, lschema, laliases) = self.resolve_aliased(first)?;
+        let (rplan, rschema, raliases) = self.resolve_aliased(second)?;
+        if let Some(p) = first_where {
+            let scope = Scope::unary(&lschema, laliases.clone());
+            lplan = lplan.select(scope.lower_pred(p)?);
+        }
+        let scope = Scope::binary(&lschema, laliases, &rschema, raliases);
+        let filter_pred = match filter {
+            Some(p) => scope.lower_pred(p)?,
+            None => Predicate::True,
+        };
+        let rebind_pred = scope.lower_pred(rebind)?;
+        // Rebind map: identity over the instance schema with SET overrides.
+        let mut outputs: Vec<NamedExpr> = lschema
+            .fields()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| NamedExpr::new(f.name.clone(), Expr::col(i)))
+            .collect();
+        for (col, expr) in set {
+            let idx = lschema.index_of(col).ok_or_else(|| {
+                RumorError::unknown(format!("SET column `{col}` not in instance schema"))
+            })?;
+            outputs[idx].expr = scope.lower_scalar(expr)?;
+        }
+        let spec = IterSpec {
+            filter: filter_pred,
+            rebind: rebind_pred,
+            rebind_map: SchemaMap::new(outputs),
+            window: within,
+        };
+        Ok((lplan.iterate(rplan, spec), lschema))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_script;
+    use rumor_expr::CmpOp;
+    use rumor_core::{AggFunc, OpDef, PlanGraph};
+    use rumor_types::{Field, ValueType};
+
+    fn lowerer() -> Lowerer {
+        let mut l = Lowerer::new();
+        l.add_source(
+            "cpu",
+            Schema::new(vec![
+                Field::new("pid", ValueType::Int),
+                Field::new("load", ValueType::Float),
+            ])
+            .unwrap(),
+        );
+        l.add_source("s", Schema::ints(3));
+        l.add_source("t", Schema::ints(3));
+        l
+    }
+
+    fn lower_one(l: &mut Lowerer, text: &str) -> LoweredStatement {
+        let stmts = parse_script(text).unwrap();
+        l.lower(&stmts[0]).unwrap()
+    }
+
+    #[test]
+    fn select_lowered_to_selection() {
+        let mut l = lowerer();
+        let LoweredStatement::Register { plan, schema, .. } =
+            lower_one(&mut l, "SELECT * FROM cpu WHERE pid = 42;")
+        else {
+            panic!()
+        };
+        assert_eq!(schema.index_of("load"), Some(1));
+        match plan {
+            LogicalPlan::Select { predicate, .. } => {
+                assert_eq!(predicate, Predicate::attr_eq_const(0, 42i64));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn projection_with_computed_column() {
+        let mut l = lowerer();
+        let LoweredStatement::Register { plan, schema, .. } =
+            lower_one(&mut l, "SELECT pid, load * 2 AS double FROM cpu;")
+        else {
+            panic!()
+        };
+        assert_eq!(schema.field(1).unwrap().name, "double");
+        assert_eq!(schema.field(1).unwrap().ty, ValueType::Float);
+        assert!(matches!(plan, LogicalPlan::Project { .. }));
+    }
+
+    #[test]
+    fn aggregation_with_rename() {
+        let mut l = lowerer();
+        let LoweredStatement::Register { plan, schema, .. } = lower_one(
+            &mut l,
+            "SELECT pid, AVG(load) AS load FROM cpu [RANGE 60] GROUP BY pid;",
+        ) else {
+            panic!()
+        };
+        assert_eq!(schema.field(0).unwrap().name, "pid");
+        assert_eq!(schema.field(1).unwrap().name, "load");
+        // Project(rename) over Aggregate.
+        match plan {
+            LogicalPlan::Project { input, .. } => match *input {
+                LogicalPlan::Aggregate { spec, .. } => {
+                    assert_eq!(spec.func, AggFunc::Avg);
+                    assert_eq!(spec.window, 60);
+                    assert_eq!(spec.group_by, vec![0]);
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregation_without_range_is_error() {
+        let mut l = lowerer();
+        let stmts = parse_script("SELECT AVG(load) FROM cpu;").unwrap();
+        assert!(l.lower(&stmts[0]).is_err());
+    }
+
+    #[test]
+    fn join_with_qualified_columns() {
+        let mut l = lowerer();
+        let LoweredStatement::Register { plan, schema, .. } = lower_one(
+            &mut l,
+            "SELECT * FROM s JOIN t ON s.a0 = t.a0 WITHIN 100 WHERE t.a1 > 5;",
+        ) else {
+            panic!()
+        };
+        assert_eq!(schema.len(), 6);
+        // Select above Join; the right-side column shifted into the
+        // concatenated schema.
+        match plan {
+            LogicalPlan::Select { predicate, input } => {
+                assert!(matches!(*input, LogicalPlan::Join { .. }));
+                assert_eq!(
+                    predicate,
+                    Predicate::cmp(CmpOp::Gt, Expr::col(4), Expr::lit(5i64))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequence_pattern_lowering() {
+        let mut l = lowerer();
+        let LoweredStatement::Register { plan, .. } = lower_one(
+            &mut l,
+            "PATTERN s AS x WHERE x.a0 = 1 THEN t AS y WHERE x.a1 = y.a1 WITHIN 50;",
+        ) else {
+            panic!()
+        };
+        match plan {
+            LogicalPlan::Sequence { left, spec, .. } => {
+                assert!(matches!(*left, LogicalPlan::Select { .. }));
+                assert_eq!(spec.window, 50);
+                let (keys, _) = spec.predicate.split_equi_join();
+                assert_eq!(keys, vec![(1, 1)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iterate_pattern_lowering() {
+        let mut l = lowerer();
+        let LoweredStatement::Register { plan, schema, .. } = lower_one(
+            &mut l,
+            "PATTERN cpu AS x WHERE x.load < 20.0 THEN ITERATE cpu AS y \
+             FILTER x.pid != y.pid \
+             REBIND x.pid = y.pid AND y.load > x.load \
+             SET load = y.load WITHIN 300;",
+        ) else {
+            panic!()
+        };
+        assert_eq!(schema.index_of("load"), Some(1));
+        match plan {
+            LogicalPlan::Iterate { spec, .. } => {
+                assert_eq!(spec.window, 300);
+                // Rebind map: pid passthrough, load from the event.
+                assert_eq!(spec.rebind_map.outputs[0].expr, Expr::col(0));
+                assert_eq!(spec.rebind_map.outputs[1].expr, Expr::rcol(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn define_then_use() {
+        let mut l = lowerer();
+        let stmts = parse_script(
+            "DEFINE sm AS SELECT pid, AVG(load) AS load FROM cpu [RANGE 5] GROUP BY pid;\n\
+             SELECT * FROM sm WHERE load > 90.0;",
+        )
+        .unwrap();
+        l.lower(&stmts[0]).unwrap();
+        assert!(l.knows("sm"));
+        let LoweredStatement::Register { plan, .. } = l.lower(&stmts[1]).unwrap() else {
+            panic!()
+        };
+        // The query's plan embeds the DEFINEd subplan.
+        match plan {
+            LogicalPlan::Select { input, .. } => {
+                assert!(matches!(*input, LogicalPlan::Project { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let mut l = lowerer();
+        let stmts = parse_script("SELECT * FROM nope;").unwrap();
+        assert!(l.lower(&stmts[0]).is_err());
+        let stmts = parse_script("SELECT * FROM cpu WHERE wat = 1;").unwrap();
+        assert!(l.lower(&stmts[0]).is_err());
+        let stmts = parse_script("SELECT * FROM s JOIN t ON x.a0 = t.a0 WITHIN 5;").unwrap();
+        assert!(l.lower(&stmts[0]).is_err());
+    }
+
+    #[test]
+    fn ambiguous_column_error() {
+        let mut l = lowerer();
+        let stmts = parse_script("SELECT * FROM s JOIN t ON a0 = 1 WITHIN 5;").unwrap();
+        assert!(l.lower(&stmts[0]).is_err());
+    }
+
+    #[test]
+    fn lowered_plans_register_in_plan_graph() {
+        // End-to-end: parse, lower, build the naive plan.
+        let mut l = Lowerer::new();
+        let mut p = PlanGraph::new();
+        let stmts = parse_script(
+            "CREATE STREAM cpu (pid INT, load FLOAT);\n\
+             SELECT * FROM cpu WHERE pid = 3;",
+        )
+        .unwrap();
+        for stmt in &stmts {
+            match l.lower(stmt).unwrap() {
+                LoweredStatement::CreateStream {
+                    name,
+                    schema,
+                    sharable_label,
+                } => {
+                    p.add_source(name, schema, sharable_label).unwrap();
+                }
+                LoweredStatement::Register { plan, .. } => {
+                    p.add_query(&plan).unwrap();
+                }
+                LoweredStatement::Defined { .. } => {}
+            }
+        }
+        assert_eq!(p.mop_count(), 1);
+        let node = p.mops().next().unwrap();
+        assert!(matches!(node.members[0].def, OpDef::Select(_)));
+        p.validate().unwrap();
+    }
+}

@@ -1,0 +1,810 @@
+//! Recursive-descent parser for the RUMOR query language.
+
+use rumor_core::AggFunc;
+use rumor_expr::CmpOp;
+use rumor_types::{Field, Result, RumorError, Schema, Value, ValueType};
+
+use crate::ast::{AliasedInput, ExprAst, QueryExpr, SelectItem, Statement, StreamInput};
+use crate::token::{tokenize, Token, TokenKind};
+
+/// Parses a semicolon-separated script into statements.
+pub fn parse_script(input: &str) -> Result<Vec<Statement>> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut statements = Vec::new();
+    loop {
+        while p.eat_symbol(&TokenKind::Semicolon) {}
+        if p.at_eof() {
+            break;
+        }
+        statements.push(p.statement()?);
+        if !p.at_eof() && !p.eat_symbol(&TokenKind::Semicolon) {
+            return Err(p.err("expected `;` after statement"));
+        }
+    }
+    Ok(statements)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> RumorError {
+        let t = self.peek();
+        RumorError::parse(
+            format!("{} (found {:?})", msg.into(), t.kind),
+            t.line,
+            t.column,
+        )
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        self.peek().kind.is_kw(kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", kw.to_uppercase())))
+        }
+    }
+
+    fn eat_symbol(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.eat_symbol(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{what}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    fn integer(&mut self) -> Result<u64> {
+        match self.peek().kind {
+            TokenKind::Int(v) if v >= 0 => {
+                self.bump();
+                Ok(v as u64)
+            }
+            _ => Err(self.err("expected non-negative integer")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.at_kw("create") {
+            return self.create_stream();
+        }
+        if self.at_kw("define") {
+            self.bump();
+            let name = self.ident()?;
+            self.expect_kw("as")?;
+            let query = self.query_expr()?;
+            return Ok(Statement::Define { name, query });
+        }
+        if self.at_kw("query") {
+            self.bump();
+            let name = self.ident()?;
+            self.expect_kw("as")?;
+            let query = self.query_expr()?;
+            return Ok(Statement::Register {
+                name: Some(name),
+                query,
+            });
+        }
+        let query = self.query_expr()?;
+        Ok(Statement::Register { name: None, query })
+    }
+
+    fn create_stream(&mut self) -> Result<Statement> {
+        self.expect_kw("create")?;
+        self.expect_kw("stream")?;
+        let name = self.ident()?;
+        self.expect_symbol(&TokenKind::LParen, "(")?;
+        let mut fields = Vec::new();
+        loop {
+            let fname = self.ident()?;
+            let tname = self.ident()?;
+            let ty = match tname.to_ascii_lowercase().as_str() {
+                "int" | "integer" | "bigint" => ValueType::Int,
+                "float" | "double" | "real" => ValueType::Float,
+                "bool" | "boolean" => ValueType::Bool,
+                "str" | "string" | "text" | "varchar" => ValueType::Str,
+                other => return Err(self.err(format!("unknown type `{other}`"))),
+            };
+            fields.push(Field::new(fname, ty));
+            if !self.eat_symbol(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(&TokenKind::RParen, ")")?;
+        let sharable_label = if self.eat_kw("sharable") {
+            self.expect_kw("with")?;
+            match self.bump().kind {
+                TokenKind::Str(s) => Some(s),
+                _ => return Err(self.err("expected sharable label string")),
+            }
+        } else {
+            None
+        };
+        Ok(Statement::CreateStream {
+            name,
+            schema: Schema::new(fields)?,
+            sharable_label,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Query expressions
+    // ------------------------------------------------------------------
+
+    fn query_expr(&mut self) -> Result<QueryExpr> {
+        if self.at_kw("pattern") {
+            return self.pattern_query();
+        }
+        if self.at_kw("select") {
+            return self.select_query();
+        }
+        Err(self.err("expected SELECT or PATTERN"))
+    }
+
+    fn select_query(&mut self) -> Result<QueryExpr> {
+        self.expect_kw("select")?;
+        let items = self.select_items()?;
+        self.expect_kw("from")?;
+        let left = self.stream_input()?;
+        if self.eat_kw("join") {
+            let right = self.stream_input()?;
+            self.expect_kw("on")?;
+            let on = self.expr()?;
+            self.expect_kw("within")?;
+            let within = self.integer()?;
+            let predicate = if self.eat_kw("where") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            if !matches!(items.as_slice(), [SelectItem::Wildcard]) {
+                return Err(self.err("join queries currently require SELECT *"));
+            }
+            return Ok(QueryExpr::Join {
+                left,
+                right,
+                on,
+                within,
+                predicate,
+            });
+        }
+        let predicate = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.ident()?);
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(QueryExpr::Select {
+            items,
+            input: left,
+            predicate,
+            group_by,
+        })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat_symbol(&TokenKind::Star) {
+                items.push(SelectItem::Wildcard);
+            } else if let Some(func) = self.peek_agg_func() {
+                self.bump();
+                self.expect_symbol(&TokenKind::LParen, "(")?;
+                let expr = if self.eat_symbol(&TokenKind::Star) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_symbol(&TokenKind::RParen, ")")?;
+                let alias = self.optional_alias()?;
+                items.push(SelectItem::Agg { func, expr, alias });
+            } else {
+                let expr = self.expr()?;
+                let alias = self.optional_alias()?;
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_symbol(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn peek_agg_func(&self) -> Option<AggFunc> {
+        // Only treat as aggregate when followed by `(`.
+        let TokenKind::Ident(name) = &self.peek().kind else {
+            return None;
+        };
+        if self.tokens.get(self.pos + 1).map(|t| &t.kind) != Some(&TokenKind::LParen) {
+            return None;
+        }
+        match name.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    fn optional_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw("as") {
+            Ok(Some(self.ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn stream_input(&mut self) -> Result<StreamInput> {
+        let name = self.ident()?;
+        let range = if self.eat_symbol(&TokenKind::LBracket) {
+            self.expect_kw("range")?;
+            let n = self.integer()?;
+            self.expect_symbol(&TokenKind::RBracket, "]")?;
+            Some(n)
+        } else {
+            None
+        };
+        // Alias: `AS x` or a bare identifier that is not a clause keyword.
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else {
+            match &self.peek().kind {
+                TokenKind::Ident(s)
+                    if !["join", "on", "where", "group", "within", "then"]
+                        .iter()
+                        .any(|kw| s.eq_ignore_ascii_case(kw)) =>
+                {
+                    Some(self.ident()?)
+                }
+                _ => None,
+            }
+        };
+        Ok(StreamInput { name, range, alias })
+    }
+
+    fn aliased_input(&mut self) -> Result<AliasedInput> {
+        let name = self.ident()?;
+        self.expect_kw("as")?;
+        let alias = self.ident()?;
+        Ok(AliasedInput { name, alias })
+    }
+
+    fn pattern_query(&mut self) -> Result<QueryExpr> {
+        self.expect_kw("pattern")?;
+        let first = self.aliased_input()?;
+        let first_where = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect_kw("then")?;
+        if self.eat_kw("iterate") {
+            let second = self.aliased_input()?;
+            let filter = if self.eat_kw("filter") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_kw("rebind")?;
+            let rebind = self.expr()?;
+            let mut set = Vec::new();
+            if self.eat_kw("set") {
+                loop {
+                    let col = self.ident()?;
+                    self.expect_symbol(&TokenKind::Eq, "=")?;
+                    let expr = self.expr()?;
+                    set.push((col, expr));
+                    if !self.eat_symbol(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect_kw("within")?;
+            let within = self.integer()?;
+            Ok(QueryExpr::Iterate {
+                first,
+                first_where,
+                second,
+                filter,
+                rebind,
+                set,
+                within,
+            })
+        } else {
+            let second = self.aliased_input()?;
+            let pair_where = if self.eat_kw("where") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_kw("within")?;
+            let within = self.integer()?;
+            Ok(QueryExpr::Sequence {
+                first,
+                first_where,
+                second,
+                pair_where,
+                within,
+            })
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<ExprAst> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<ExprAst> {
+        let mut parts = vec![self.and_expr()?];
+        while self.eat_kw("or") {
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            ExprAst::Or(parts)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<ExprAst> {
+        let mut parts = vec![self.not_expr()?];
+        while self.eat_kw("and") {
+            parts.push(self.not_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            ExprAst::And(parts)
+        })
+    }
+
+    fn not_expr(&mut self) -> Result<ExprAst> {
+        if self.eat_kw("not") {
+            Ok(ExprAst::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<ExprAst> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => Some(CmpOp::Eq),
+            TokenKind::Ne => Some(CmpOp::Ne),
+            TokenKind::Lt => Some(CmpOp::Lt),
+            TokenKind::Le => Some(CmpOp::Le),
+            TokenKind::Gt => Some(CmpOp::Gt),
+            TokenKind::Ge => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(ExprAst::Cmp {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<ExprAst> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => '+',
+                TokenKind::Minus => '-',
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = ExprAst::Arith {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<ExprAst> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => '*',
+                TokenKind::Slash => '/',
+                TokenKind::Percent => '%',
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = ExprAst::Arith {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<ExprAst> {
+        if self.eat_symbol(&TokenKind::Minus) {
+            Ok(ExprAst::Neg(Box::new(self.unary_expr()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<ExprAst> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(ExprAst::Lit(Value::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(ExprAst::Lit(Value::Float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(ExprAst::Lit(Value::str(s)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_symbol(&TokenKind::RParen, ")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if name.eq_ignore_ascii_case("true") {
+                    self.bump();
+                    return Ok(ExprAst::Bool(true));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    self.bump();
+                    return Ok(ExprAst::Bool(false));
+                }
+                self.bump();
+                if self.eat_symbol(&TokenKind::Dot) {
+                    let col = self.ident()?;
+                    Ok(ExprAst::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    })
+                } else {
+                    Ok(ExprAst::Column {
+                        qualifier: None,
+                        name,
+                    })
+                }
+            }
+            _ => Err(self.err("expected expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(input: &str) -> Statement {
+        let mut stmts = parse_script(input).unwrap();
+        assert_eq!(stmts.len(), 1, "expected one statement");
+        stmts.pop().unwrap()
+    }
+
+    #[test]
+    fn create_stream() {
+        let s = one("CREATE STREAM cpu (pid INT, load FLOAT);");
+        match s {
+            Statement::CreateStream { name, schema, sharable_label } => {
+                assert_eq!(name, "cpu");
+                assert_eq!(schema.len(), 2);
+                assert_eq!(schema.field(1).unwrap().ty, ValueType::Float);
+                assert!(sharable_label.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_stream_sharable() {
+        let s = one("CREATE STREAM s1 (a INT) SHARABLE WITH 'grp';");
+        match s {
+            Statement::CreateStream { sharable_label, .. } => {
+                assert_eq!(sharable_label.as_deref(), Some("grp"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_select() {
+        let s = one("SELECT * FROM cpu WHERE pid = 42;");
+        match s {
+            Statement::Register { name: None, query: QueryExpr::Select { items, input, predicate, group_by } } => {
+                assert_eq!(items, vec![SelectItem::Wildcard]);
+                assert_eq!(input.name, "cpu");
+                assert!(group_by.is_empty());
+                assert_eq!(
+                    predicate.unwrap(),
+                    ExprAst::Cmp {
+                        op: CmpOp::Eq,
+                        lhs: Box::new(ExprAst::col("pid")),
+                        rhs: Box::new(ExprAst::Lit(Value::Int(42))),
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_select() {
+        let s = one("SELECT pid, AVG(load) AS load FROM cpu [RANGE 60] GROUP BY pid;");
+        match s {
+            Statement::Register { query: QueryExpr::Select { items, input, group_by, .. }, .. } => {
+                assert_eq!(items.len(), 2);
+                assert!(matches!(
+                    &items[1],
+                    SelectItem::Agg { func: AggFunc::Avg, alias: Some(a), .. } if a == "load"
+                ));
+                assert_eq!(input.range, Some(60));
+                assert_eq!(group_by, vec!["pid".to_string()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star() {
+        let s = one("SELECT COUNT(*) FROM s [RANGE 5];");
+        match s {
+            Statement::Register { query: QueryExpr::Select { items, .. }, .. } => {
+                assert!(matches!(
+                    &items[0],
+                    SelectItem::Agg { func: AggFunc::Count, expr: None, .. }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_query() {
+        let s = one("SELECT * FROM s JOIN t ON s.a0 = t.a0 WITHIN 100;");
+        match s {
+            Statement::Register { query: QueryExpr::Join { left, right, within, .. }, .. } => {
+                assert_eq!(left.name, "s");
+                assert_eq!(right.name, "t");
+                assert_eq!(within, 100);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequence_pattern() {
+        let s = one("PATTERN s AS x WHERE x.a0 = 1 THEN t AS y WHERE x.a1 = y.a1 WITHIN 50;");
+        match s {
+            Statement::Register { query: QueryExpr::Sequence { first, second, within, first_where, pair_where }, .. } => {
+                assert_eq!(first.alias, "x");
+                assert_eq!(second.alias, "y");
+                assert_eq!(within, 50);
+                assert!(first_where.is_some());
+                assert!(pair_where.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iterate_pattern() {
+        let s = one(
+            "PATTERN sm AS x WHERE x.load < 20 THEN ITERATE sm AS y \
+             FILTER x.pid != y.pid \
+             REBIND x.pid = y.pid AND y.load > x.load \
+             SET load = y.load WITHIN 300;",
+        );
+        match s {
+            Statement::Register { query: QueryExpr::Iterate { first, second, filter, set, within, .. }, .. } => {
+                assert_eq!(first.alias, "x");
+                assert_eq!(second.alias, "y");
+                assert!(filter.is_some());
+                assert_eq!(set.len(), 1);
+                assert_eq!(set[0].0, "load");
+                assert_eq!(within, 300);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn define_and_named_query() {
+        let stmts = parse_script(
+            "DEFINE sm AS SELECT pid, AVG(load) AS load FROM cpu [RANGE 5] GROUP BY pid;\n\
+             QUERY q1 AS SELECT * FROM sm WHERE load > 90;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert!(matches!(&stmts[0], Statement::Define { name, .. } if name == "sm"));
+        assert!(matches!(
+            &stmts[1],
+            Statement::Register { name: Some(n), .. } if n == "q1"
+        ));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let s = one("SELECT a + b * 2 AS x FROM s;");
+        match s {
+            Statement::Register { query: QueryExpr::Select { items, .. }, .. } => {
+                let SelectItem::Expr { expr, .. } = &items[0] else { panic!() };
+                // a + (b * 2)
+                assert_eq!(
+                    *expr,
+                    ExprAst::Arith {
+                        op: '+',
+                        lhs: Box::new(ExprAst::col("a")),
+                        rhs: Box::new(ExprAst::Arith {
+                            op: '*',
+                            lhs: Box::new(ExprAst::col("b")),
+                            rhs: Box::new(ExprAst::Lit(Value::Int(2))),
+                        }),
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_precedence() {
+        let s = one("SELECT * FROM s WHERE a = 1 OR b = 2 AND NOT c = 3;");
+        match s {
+            Statement::Register { query: QueryExpr::Select { predicate, .. }, .. } => {
+                // OR(a=1, AND(b=2, NOT c=3))
+                match predicate.unwrap() {
+                    ExprAst::Or(parts) => {
+                        assert_eq!(parts.len(), 2);
+                        assert!(matches!(&parts[1], ExprAst::And(ps) if ps.len() == 2));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse_script("SELECT FROM;").unwrap_err();
+        match err {
+            RumorError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_script("PATTERN s THEN t AS y WITHIN 5;").is_err());
+        assert!(parse_script("CREATE STREAM s (a WAT);").is_err());
+        assert!(parse_script("SELECT * FROM s WHERE a = ;").is_err());
+    }
+
+    #[test]
+    fn nested_parens_and_unary_minus() {
+        let s = one("SELECT -(a + 2) * 3 AS x FROM s;");
+        match s {
+            Statement::Register { query: QueryExpr::Select { items, .. }, .. } => {
+                let SelectItem::Expr { expr, .. } = &items[0] else { panic!() };
+                assert!(matches!(
+                    expr,
+                    ExprAst::Arith { op: '*', lhs, .. } if matches!(**lhs, ExprAst::Neg(_))
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn modulo_and_float_literals() {
+        let s = one("SELECT * FROM s WHERE a % 2 = 0 AND b < 1.5;");
+        match s {
+            Statement::Register { query: QueryExpr::Select { predicate, .. }, .. } => {
+                let ExprAst::And(parts) = predicate.unwrap() else { panic!() };
+                assert_eq!(parts.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn within_required_for_patterns() {
+        assert!(parse_script("PATTERN a AS x THEN b AS y;").is_err());
+        assert!(parse_script("SELECT * FROM a JOIN b ON a.x = b.x;").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        // `FROM s extra` parses (alias), but stray tokens do not.
+        assert!(parse_script("SELECT * FROM s WHERE a = 1 2;").is_err());
+        assert!(parse_script("SELECT * FROM s GROUP;").is_err());
+    }
+
+    #[test]
+    fn multiple_statements_and_comments() {
+        let stmts = parse_script(
+            "-- setup\nCREATE STREAM s (a INT);\n\nSELECT * FROM s; SELECT * FROM s;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+}

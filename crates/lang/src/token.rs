@@ -1,0 +1,297 @@
+//! Lexer for the RUMOR query language.
+
+use rumor_types::{Result, RumorError};
+
+/// A lexical token with its source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub column: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are matched case-insensitively by
+    /// the parser; the original spelling is preserved here).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Whether this is the identifier `kw` (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes a script. `--` starts a line comment.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                column: col,
+            });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push!(TokenKind::LParen, 1),
+            ')' => push!(TokenKind::RParen, 1),
+            '[' => push!(TokenKind::LBracket, 1),
+            ']' => push!(TokenKind::RBracket, 1),
+            ',' => push!(TokenKind::Comma, 1),
+            ';' => push!(TokenKind::Semicolon, 1),
+            '.' => push!(TokenKind::Dot, 1),
+            '*' => push!(TokenKind::Star, 1),
+            '/' => push!(TokenKind::Slash, 1),
+            '%' => push!(TokenKind::Percent, 1),
+            '+' => push!(TokenKind::Plus, 1),
+            '-' => push!(TokenKind::Minus, 1),
+            '=' => push!(TokenKind::Eq, 1),
+            '!' if bytes.get(i + 1) == Some(&b'=') => push!(TokenKind::Ne, 2),
+            '<' if bytes.get(i + 1) == Some(&b'=') => push!(TokenKind::Le, 2),
+            '<' if bytes.get(i + 1) == Some(&b'>') => push!(TokenKind::Ne, 2),
+            '<' => push!(TokenKind::Lt, 1),
+            '>' if bytes.get(i + 1) == Some(&b'=') => push!(TokenKind::Ge, 2),
+            '>' => push!(TokenKind::Gt, 1),
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(RumorError::parse("unterminated string", line, col));
+                }
+                let s = input[start..j].to_string();
+                let len = j + 1 - i;
+                push!(TokenKind::Str(s), len);
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text = &input[start..j];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        RumorError::parse(format!("bad float `{text}`"), line, col)
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| {
+                        RumorError::parse(format!("bad integer `{text}`"), line, col)
+                    })?)
+                };
+                let len = j - start;
+                push!(kind, len);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let text = input[start..j].to_string();
+                let len = j - start;
+                push!(TokenKind::Ident(text), len);
+            }
+            other => {
+                return Err(RumorError::parse(
+                    format!("unexpected character `{other}`"),
+                    line,
+                    col,
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        column: col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("select * from s;"),
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Star,
+                TokenKind::Ident("from".into()),
+                TokenKind::Ident("s".into()),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.5"),
+            vec![TokenKind::Int(42), TokenKind::Float(3.5), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            kinds("= != <> < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        assert_eq!(
+            kinds("'hello' -- comment\n7"),
+            vec![
+                TokenKind::Str("hello".into()),
+                TokenKind::Int(7),
+                TokenKind::Eof
+            ]
+        );
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn keyword_match_is_case_insensitive() {
+        let toks = tokenize("SeLeCt").unwrap();
+        assert!(toks[0].kind.is_kw("select"));
+        assert!(!toks[0].kind.is_kw("from"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("a ? b").is_err());
+    }
+
+    #[test]
+    fn minus_and_comment_disambiguation() {
+        // A single minus is an operator; two minuses start a comment.
+        assert_eq!(
+            kinds("1 - 2"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Minus,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(kinds("1 --x\n"), vec![TokenKind::Int(1), TokenKind::Eof]);
+    }
+}

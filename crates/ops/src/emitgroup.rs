@@ -1,0 +1,196 @@
+//! Output-channel grouping: the *encoding step* of §3.1, shared by all m-op
+//! implementations.
+//!
+//! Each member operator owns one output stream, which lives at a fixed
+//! position of some output channel. When several members of an m-op emit
+//! the *same* payload tuple (selections that passed, identical projections,
+//! pattern matches fanned out to many queries), the m-op should write one
+//! channel tuple per output channel with the union membership, not one
+//! tuple per member — that is where the channel space/time sharing comes
+//! from.
+
+use std::collections::HashMap;
+
+use rumor_core::{Emit, MemberCtx};
+use rumor_types::{ChannelId, Membership, Tuple};
+
+/// Precomputed output routing for an m-op's members.
+#[derive(Debug)]
+pub struct OutputGroups {
+    /// Per member: (output channel, position within it).
+    per_member: Vec<(ChannelId, usize)>,
+    /// True if every member's output channel has capacity 1 — the fast path
+    /// where no membership grouping is ever needed.
+    all_singleton: bool,
+    /// All members share one output channel (the common case after a
+    /// channel rule encoded the outputs): membership is built directly.
+    uniform_channel: Option<ChannelId>,
+    /// Scratch map reused across calls to avoid per-tuple allocation.
+    scratch: HashMap<ChannelId, Membership>,
+}
+
+impl OutputGroups {
+    /// Builds routing from member contexts.
+    pub fn new(members: &[MemberCtx]) -> Self {
+        let per_member = members
+            .iter()
+            .map(|m| (m.out_channel, m.out_position))
+            .collect();
+        let all_singleton = members.iter().all(|m| m.out_capacity == 1);
+        let uniform_channel = match members.first() {
+            Some(first)
+                if members.iter().all(|m| m.out_channel == first.out_channel) =>
+            {
+                Some(first.out_channel)
+            }
+            _ => None,
+        };
+        OutputGroups {
+            per_member,
+            all_singleton,
+            uniform_channel,
+            scratch: HashMap::new(),
+        }
+    }
+
+    /// Number of members routed.
+    pub fn len(&self) -> usize {
+        self.per_member.len()
+    }
+
+    /// True when no members are routed.
+    pub fn is_empty(&self) -> bool {
+        self.per_member.is_empty()
+    }
+
+    /// Emits `tuple` on behalf of the listed members (the same payload for
+    /// each), grouping members that share an output channel into a single
+    /// channel tuple.
+    pub fn emit_members(&mut self, out: &mut dyn Emit, tuple: &Tuple, members: &[usize]) {
+        match members {
+            [] => {}
+            [m] => {
+                let (ch, pos) = self.per_member[*m];
+                out.emit(ch, tuple.clone(), Membership::singleton(pos));
+            }
+            _ if self.all_singleton => {
+                for &m in members {
+                    let (ch, pos) = self.per_member[m];
+                    out.emit(ch, tuple.clone(), Membership::singleton(pos));
+                }
+            }
+            _ if self.uniform_channel.is_some() => {
+                let ch = self.uniform_channel.expect("checked");
+                let membership =
+                    Membership::from_indices(members.iter().map(|&m| self.per_member[m].1));
+                out.emit(ch, tuple.clone(), membership);
+            }
+            _ => {
+                for &m in members {
+                    let (ch, pos) = self.per_member[m];
+                    self.scratch.entry(ch).or_default().insert(pos);
+                }
+                for (ch, membership) in self.scratch.drain() {
+                    out.emit(ch, tuple.clone(), membership);
+                }
+            }
+        }
+    }
+
+    /// Emits `tuple` for a single member.
+    pub fn emit_one(&self, out: &mut dyn Emit, tuple: Tuple, member: usize) {
+        let (ch, pos) = self.per_member[member];
+        out.emit(ch, tuple, Membership::singleton(pos));
+    }
+
+    /// The single output channel shared by all members, if any.
+    pub fn uniform_channel(&self) -> Option<ChannelId> {
+        self.uniform_channel
+    }
+
+    /// The out position of one member.
+    pub fn position_of(&self, member: usize) -> usize {
+        self.per_member[member].1
+    }
+
+    /// Emits an already-built output membership on the uniform channel.
+    /// Callers must have constructed `membership` from member out
+    /// positions; panics if there is no uniform channel.
+    pub fn emit_premapped(&self, out: &mut dyn Emit, tuple: Tuple, membership: Membership) {
+        let ch = self.uniform_channel.expect("premapped emission needs a uniform channel");
+        out.emit(ch, tuple, membership);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_core::logical::OpDef;
+    use rumor_core::{MopContext, MopKind, PlanGraph, VecEmit};
+    use rumor_expr::Predicate;
+    use rumor_types::Schema;
+
+    /// Two members with channel-encoded outputs and one with a singleton.
+    fn groups() -> (OutputGroups, Vec<ChannelId>) {
+        let mut p = PlanGraph::new();
+        p.add_source("S", Schema::ints(1), None).unwrap();
+        let s = p.source_by_name("S").unwrap().stream;
+        let (a, oa) = p
+            .add_op(OpDef::Select(Predicate::attr_eq_const(0, 1i64)), vec![s])
+            .unwrap();
+        let (b, ob) = p
+            .add_op(OpDef::Select(Predicate::attr_eq_const(0, 2i64)), vec![s])
+            .unwrap();
+        let (c, _oc) = p
+            .add_op(OpDef::Select(Predicate::attr_eq_const(0, 3i64)), vec![s])
+            .unwrap();
+        let merged = p.merge_mops(&[a, b, c], MopKind::IndexedSelect).unwrap();
+        p.encode_channel(&[oa, ob]).unwrap();
+        let ctx = MopContext::build(&p, merged).unwrap();
+        let channels = ctx.members.iter().map(|m| m.out_channel).collect();
+        (OutputGroups::new(&ctx.members), channels)
+    }
+
+    #[test]
+    fn groups_shared_channels() {
+        let (mut og, channels) = groups();
+        assert!(!og.is_empty());
+        assert_eq!(og.len(), 3);
+        let mut sink = VecEmit::default();
+        let t = Tuple::ints(0, &[1]);
+        og.emit_members(&mut sink, &t, &[0, 1, 2]);
+        // Members 0 and 1 share a channel -> one tuple with membership {0,1};
+        // member 2 gets its own.
+        assert_eq!(sink.out.len(), 2);
+        let grouped = sink
+            .out
+            .iter()
+            .find(|(ch, _, _)| *ch == channels[0])
+            .unwrap();
+        assert_eq!(grouped.2, Membership::from_indices([0, 1]));
+        let solo = sink
+            .out
+            .iter()
+            .find(|(ch, _, _)| *ch == channels[2])
+            .unwrap();
+        assert_eq!(solo.2, Membership::singleton(0));
+    }
+
+    #[test]
+    fn single_member_fast_path() {
+        let (mut og, channels) = groups();
+        let mut sink = VecEmit::default();
+        og.emit_members(&mut sink, &Tuple::ints(0, &[1]), &[1]);
+        assert_eq!(sink.out.len(), 1);
+        assert_eq!(sink.out[0].0, channels[1]);
+        assert_eq!(sink.out[0].2, Membership::singleton(1));
+    }
+
+    #[test]
+    fn empty_member_list_emits_nothing() {
+        let (mut og, _) = groups();
+        let mut sink = VecEmit::default();
+        og.emit_members(&mut sink, &Tuple::ints(0, &[1]), &[]);
+        assert!(sink.out.is_empty());
+    }
+}

@@ -1,0 +1,506 @@
+//! Shared window-join m-ops.
+//!
+//! * [`SharedJoin`] — rule s⋈ \[12\]: joins with the same predicate but
+//!   different window lengths over the same stream pair. One hash-indexed
+//!   state sized to the *maximum* window serves every member; an output
+//!   pair is routed to exactly the members whose window covers the
+//!   timestamp distance.
+//! * [`PrecisionJoin`] — rule c⋈ \[14\]: identical joins whose left inputs
+//!   are sharable streams encoded by a channel. Left state stores each
+//!   channel tuple once with its membership; matches propagate the
+//!   membership to the output — "precision sharing": no duplicated state,
+//!   no false positives.
+
+use std::collections::{HashMap, VecDeque};
+
+use rumor_core::logical::JoinSpec;
+use rumor_core::{ChannelTuple, Emit, MopContext, MultiOp};
+use rumor_expr::{EvalCtx, Predicate};
+use rumor_types::{Membership, PortId, Result, RumorError, Timestamp, Tuple, ValueKey};
+
+use crate::emitgroup::OutputGroups;
+use crate::single::concat_with_ts;
+
+fn extract_join(ctx: &MopContext) -> Result<Vec<JoinSpec>> {
+    ctx.members
+        .iter()
+        .map(|m| match &m.def {
+            rumor_core::OpDef::Join(spec) => Ok(spec.clone()),
+            other => Err(RumorError::exec(format!(
+                "join m-op given non-join member {other}"
+            ))),
+        })
+        .collect()
+}
+
+fn key_of(tuple: &Tuple, attrs: &[usize]) -> Vec<ValueKey> {
+    attrs
+        .iter()
+        .map(|&i| {
+            tuple
+                .value(i)
+                .cloned()
+                .unwrap_or(rumor_types::Value::Null)
+                .group_key()
+        })
+        .collect()
+}
+
+/// One side of a hash-indexed window-join state with FIFO eviction.
+struct SideState<T> {
+    buckets: HashMap<Vec<ValueKey>, VecDeque<T>>,
+    fifo: VecDeque<(Timestamp, Vec<ValueKey>)>,
+}
+
+impl<T> SideState<T> {
+    fn new() -> Self {
+        SideState {
+            buckets: HashMap::new(),
+            fifo: VecDeque::new(),
+        }
+    }
+
+    fn insert(&mut self, ts: Timestamp, key: Vec<ValueKey>, item: T) {
+        self.buckets.entry(key.clone()).or_default().push_back(item);
+        self.fifo.push_back((ts, key));
+    }
+
+    fn evict(&mut self, horizon: Timestamp) {
+        while self.fifo.front().is_some_and(|(ts, _)| *ts < horizon) {
+            let (_, key) = self.fifo.pop_front().expect("checked front");
+            if let Some(bucket) = self.buckets.get_mut(&key) {
+                bucket.pop_front();
+                if bucket.is_empty() {
+                    self.buckets.remove(&key);
+                }
+            }
+        }
+    }
+
+    fn probe(&self, key: &[ValueKey]) -> impl Iterator<Item = &T> {
+        self.buckets.get(key).into_iter().flatten()
+    }
+}
+
+/// Shared window join across window lengths (rule s⋈).
+pub struct SharedJoin {
+    /// Equi-key attribute positions: (left attr, right attr) pairs.
+    keys: Vec<(usize, usize)>,
+    residual: Predicate,
+    /// `(window, member)` sorted by window descending: emission walks the
+    /// prefix whose windows cover the pair's timestamp distance.
+    members_by_window: Vec<(u64, usize)>,
+    max_window: u64,
+    in_positions: [usize; 2],
+    left: SideState<Tuple>,
+    right: SideState<Tuple>,
+    outputs: OutputGroups,
+}
+
+impl SharedJoin {
+    /// Builds the shared join.
+    pub fn new(ctx: &MopContext) -> Result<Self> {
+        let specs = extract_join(ctx)?;
+        let first = specs
+            .first()
+            .ok_or_else(|| RumorError::exec("empty join m-op".to_string()))?;
+        if specs.iter().any(|s| s.predicate != first.predicate) {
+            return Err(RumorError::exec(
+                "s⋈ members must share the join predicate".to_string(),
+            ));
+        }
+        let (keys, residual) = first.predicate.split_equi_join();
+        let mut members_by_window: Vec<(u64, usize)> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.window, i))
+            .collect();
+        members_by_window.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let max_window = members_by_window.first().map(|&(w, _)| w).unwrap_or(0);
+        Ok(SharedJoin {
+            keys,
+            residual,
+            members_by_window,
+            max_window,
+            in_positions: [
+                ctx.members[0].input_positions[0],
+                ctx.members[0].input_positions[1],
+            ],
+            left: SideState::new(),
+            right: SideState::new(),
+            outputs: OutputGroups::new(&ctx.members),
+        })
+    }
+
+    fn emit_match(
+        outputs: &mut OutputGroups,
+        members_by_window: &[(u64, usize)],
+        out: &mut dyn Emit,
+        left: &Tuple,
+        right: &Tuple,
+        now: Timestamp,
+        dt: u64,
+    ) {
+        for &(window, member) in members_by_window {
+            if window < dt {
+                break; // windows sorted descending
+            }
+            outputs.emit_one(out, concat_with_ts(left, right, now), member);
+        }
+    }
+}
+
+impl MultiOp for SharedJoin {
+    fn process(&mut self, port: PortId, input: &ChannelTuple, out: &mut dyn Emit) {
+        let p = port.index();
+        if !input.belongs_to(self.in_positions[p]) {
+            return;
+        }
+        let tuple = &input.tuple;
+        let now = tuple.ts;
+        let horizon = now.saturating_sub(self.max_window);
+        self.left.evict(horizon);
+        self.right.evict(horizon);
+
+        let (left_attrs, right_attrs): (Vec<usize>, Vec<usize>) =
+            self.keys.iter().copied().unzip();
+        if p == 0 {
+            let key = key_of(tuple, &left_attrs);
+            for r in self.right.probe(&key) {
+                if self.residual.eval(&EvalCtx::binary(tuple, r)) {
+                    let dt = now - r.ts;
+                    Self::emit_match(
+                        &mut self.outputs,
+                        &self.members_by_window,
+                        out,
+                        tuple,
+                        r,
+                        now,
+                        dt,
+                    );
+                }
+            }
+            self.left.insert(now, key, tuple.clone());
+        } else {
+            let key = key_of(tuple, &right_attrs);
+            for l in self.left.probe(&key) {
+                if self.residual.eval(&EvalCtx::binary(l, tuple)) {
+                    let dt = now - l.ts;
+                    Self::emit_match(
+                        &mut self.outputs,
+                        &self.members_by_window,
+                        out,
+                        l,
+                        tuple,
+                        now,
+                        dt,
+                    );
+                }
+            }
+            self.right.insert(now, key, tuple.clone());
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "shared-join"
+    }
+}
+
+/// Precision-sharing join over a channel (rule c⋈).
+pub struct PrecisionJoin {
+    keys: Vec<(usize, usize)>,
+    residual: Predicate,
+    window: u64,
+    /// Per member: position of its left stream in the left channel.
+    left_positions: Vec<usize>,
+    right_position: usize,
+    left: SideState<(Tuple, Membership)>,
+    right: SideState<Tuple>,
+    outputs: OutputGroups,
+    satisfied: Vec<usize>,
+}
+
+impl PrecisionJoin {
+    /// Builds the precision-sharing join.
+    pub fn new(ctx: &MopContext) -> Result<Self> {
+        let specs = extract_join(ctx)?;
+        let first = specs
+            .first()
+            .ok_or_else(|| RumorError::exec("empty join m-op".to_string()))?
+            .clone();
+        if specs.iter().any(|s| *s != first) {
+            return Err(RumorError::exec(
+                "c⋈ members must have identical definitions".to_string(),
+            ));
+        }
+        let (keys, residual) = first.predicate.split_equi_join();
+        Ok(PrecisionJoin {
+            keys,
+            residual,
+            window: first.window,
+            left_positions: ctx.members.iter().map(|m| m.input_positions[0]).collect(),
+            right_position: ctx.members[0].input_positions[1],
+            left: SideState::new(),
+            right: SideState::new(),
+            outputs: OutputGroups::new(&ctx.members),
+            satisfied: Vec::new(),
+        })
+    }
+
+    fn emit_with_membership(
+        &mut self,
+        out: &mut dyn Emit,
+        l: &Tuple,
+        membership: &Membership,
+        r: &Tuple,
+        now: Timestamp,
+    ) {
+        self.satisfied.clear();
+        for (m, &pos) in self.left_positions.iter().enumerate() {
+            if membership.contains(pos) {
+                self.satisfied.push(m);
+            }
+        }
+        if self.satisfied.is_empty() {
+            return;
+        }
+        let row = concat_with_ts(l, r, now);
+        let satisfied = std::mem::take(&mut self.satisfied);
+        self.outputs.emit_members(out, &row, &satisfied);
+        self.satisfied = satisfied;
+    }
+}
+
+impl MultiOp for PrecisionJoin {
+    fn process(&mut self, port: PortId, input: &ChannelTuple, out: &mut dyn Emit) {
+        let tuple = &input.tuple;
+        let now = tuple.ts;
+        let horizon = now.saturating_sub(self.window);
+        self.left.evict(horizon);
+        self.right.evict(horizon);
+        let (left_attrs, right_attrs): (Vec<usize>, Vec<usize>) =
+            self.keys.iter().copied().unzip();
+        if port.index() == 0 {
+            let key = key_of(tuple, &left_attrs);
+            let matches: Vec<Tuple> = self
+                .right
+                .probe(&key)
+                .filter(|r| self.residual.eval(&EvalCtx::binary(tuple, r)))
+                .cloned()
+                .collect();
+            for r in matches {
+                self.emit_with_membership(out, tuple, &input.membership.clone(), &r, now);
+            }
+            self.left
+                .insert(now, key, (tuple.clone(), input.membership.clone()));
+        } else {
+            if !input.belongs_to(self.right_position) {
+                return;
+            }
+            let key = key_of(tuple, &right_attrs);
+            let matches: Vec<(Tuple, Membership)> = self
+                .left
+                .probe(&key)
+                .filter(|(l, _)| self.residual.eval(&EvalCtx::binary(l, tuple)))
+                .cloned()
+                .collect();
+            for (l, membership) in matches {
+                self.emit_with_membership(out, &l, &membership, tuple, now);
+            }
+            self.right.insert(now, key, tuple.clone());
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "precision-join"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_core::logical::OpDef;
+    use rumor_core::{MopKind, PlanGraph, VecEmit};
+    use rumor_expr::{CmpOp, Expr};
+    use rumor_types::Schema;
+
+    fn equi_pred() -> Predicate {
+        Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0))
+    }
+
+    fn shared_ctx(windows: &[u64]) -> MopContext {
+        let mut p = PlanGraph::new();
+        p.add_source("S", Schema::ints(2), None).unwrap();
+        p.add_source("T", Schema::ints(2), None).unwrap();
+        let s = p.source_by_name("S").unwrap().stream;
+        let t = p.source_by_name("T").unwrap().stream;
+        let ids: Vec<_> = windows
+            .iter()
+            .map(|&w| {
+                p.add_op(
+                    OpDef::Join(JoinSpec {
+                        predicate: equi_pred(),
+                        window: w,
+                    }),
+                    vec![s, t],
+                )
+                .unwrap()
+                .0
+            })
+            .collect();
+        let merged = p.merge_mops(&ids, MopKind::SharedJoin).unwrap();
+        MopContext::build(&p, merged).unwrap()
+    }
+
+    #[test]
+    fn shared_join_routes_by_window() {
+        let ctx = shared_ctx(&[2, 10]);
+        let mut op = SharedJoin::new(&ctx).unwrap();
+        let mut sink = VecEmit::default();
+        op.process(
+            PortId::LEFT,
+            &ChannelTuple::solo(Tuple::ints(0, &[7, 1])),
+            &mut sink,
+        );
+        // dt = 1: both windows cover.
+        op.process(
+            PortId::RIGHT,
+            &ChannelTuple::solo(Tuple::ints(1, &[7, 2])),
+            &mut sink,
+        );
+        assert_eq!(sink.out.len(), 2);
+        // dt = 5: only the window-10 member.
+        op.process(
+            PortId::RIGHT,
+            &ChannelTuple::solo(Tuple::ints(5, &[7, 3])),
+            &mut sink,
+        );
+        assert_eq!(sink.out.len(), 3);
+        assert_eq!(sink.out[2].0, ctx.members[1].out_channel);
+        // dt = 11: nobody.
+        op.process(
+            PortId::RIGHT,
+            &ChannelTuple::solo(Tuple::ints(11, &[7, 4])),
+            &mut sink,
+        );
+        assert_eq!(sink.out.len(), 3);
+    }
+
+    #[test]
+    fn shared_join_key_mismatch_no_probe_hit() {
+        let ctx = shared_ctx(&[10]);
+        let mut op = SharedJoin::new(&ctx).unwrap();
+        let mut sink = VecEmit::default();
+        op.process(
+            PortId::LEFT,
+            &ChannelTuple::solo(Tuple::ints(0, &[7, 1])),
+            &mut sink,
+        );
+        op.process(
+            PortId::RIGHT,
+            &ChannelTuple::solo(Tuple::ints(1, &[8, 2])),
+            &mut sink,
+        );
+        assert!(sink.out.is_empty());
+    }
+
+    #[test]
+    fn shared_join_right_then_left() {
+        let ctx = shared_ctx(&[10]);
+        let mut op = SharedJoin::new(&ctx).unwrap();
+        let mut sink = VecEmit::default();
+        op.process(
+            PortId::RIGHT,
+            &ChannelTuple::solo(Tuple::ints(0, &[3, 9])),
+            &mut sink,
+        );
+        op.process(
+            PortId::LEFT,
+            &ChannelTuple::solo(Tuple::ints(2, &[3, 8])),
+            &mut sink,
+        );
+        assert_eq!(sink.out.len(), 1);
+        // Left columns first.
+        assert_eq!(sink.out[0].1, Tuple::ints(2, &[3, 8, 3, 9]));
+    }
+
+    fn precision_ctx(n: usize) -> (PlanGraph, MopContext) {
+        let mut p = PlanGraph::new();
+        p.add_source("S", Schema::ints(2), None).unwrap();
+        p.add_source("T", Schema::ints(2), None).unwrap();
+        let s = p.source_by_name("S").unwrap().stream;
+        let t = p.source_by_name("T").unwrap().stream;
+        let mut ups = Vec::new();
+        let mut outs = Vec::new();
+        for i in 0..n {
+            let (id, o) = p
+                .add_op(
+                    OpDef::Select(Predicate::attr_eq_const(1, i as i64)),
+                    vec![s],
+                )
+                .unwrap();
+            ups.push(id);
+            outs.push(o);
+        }
+        p.merge_mops(&ups, MopKind::IndexedSelect).unwrap();
+        let joins: Vec<_> = outs
+            .iter()
+            .map(|&o| {
+                p.add_op(
+                    OpDef::Join(JoinSpec {
+                        predicate: equi_pred(),
+                        window: 10,
+                    }),
+                    vec![o, t],
+                )
+                .unwrap()
+                .0
+            })
+            .collect();
+        p.encode_channel(&outs).unwrap();
+        let merged = p.merge_mops(&joins, MopKind::PrecisionJoin).unwrap();
+        let down_outs: Vec<_> = p.mop(merged).output_streams().collect();
+        p.encode_channel(&down_outs).unwrap();
+        let ctx = MopContext::build(&p, merged).unwrap();
+        (p, ctx)
+    }
+
+    #[test]
+    fn precision_join_propagates_membership() {
+        let (_, ctx) = precision_ctx(3);
+        let mut op = PrecisionJoin::new(&ctx).unwrap();
+        let mut sink = VecEmit::default();
+        // Left channel tuple on streams {0, 2}.
+        op.process(
+            PortId::LEFT,
+            &ChannelTuple::new(Tuple::ints(0, &[7, 0]), Membership::from_indices([0, 2])),
+            &mut sink,
+        );
+        op.process(
+            PortId::RIGHT,
+            &ChannelTuple::solo(Tuple::ints(1, &[7, 5])),
+            &mut sink,
+        );
+        assert_eq!(sink.out.len(), 1, "one stored copy, one output tuple");
+        assert_eq!(sink.out[0].2, Membership::from_indices([0, 2]));
+        assert_eq!(sink.out[0].1, Tuple::ints(1, &[7, 0, 7, 5]));
+    }
+
+    #[test]
+    fn precision_join_window_expiry() {
+        let (_, ctx) = precision_ctx(2);
+        let mut op = PrecisionJoin::new(&ctx).unwrap();
+        let mut sink = VecEmit::default();
+        op.process(
+            PortId::LEFT,
+            &ChannelTuple::new(Tuple::ints(0, &[7, 0]), Membership::all(2)),
+            &mut sink,
+        );
+        op.process(
+            PortId::RIGHT,
+            &ChannelTuple::solo(Tuple::ints(20, &[7, 5])),
+            &mut sink,
+        );
+        assert!(sink.out.is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! The reference m-op: one-by-one execution of the member operators.
+//!
+//! §2.2 *defines* m-op semantics as "conceptually execut\[ing\] all its
+//! operators that have input stream S [...] without sharing state".
+//! `NaiveMop` is that definition made executable: a vector of independent
+//! single-operator executors, each with its own state. Every shared
+//! implementation in this crate is property-tested for I/O equivalence
+//! against it.
+
+use rumor_core::{ChannelTuple, Emit, MopContext, MultiOp};
+use rumor_types::{PortId, Result, Tuple};
+
+use crate::emitgroup::OutputGroups;
+use crate::single::SingleOp;
+
+/// Vector-of-operators m-op (the reference implementation).
+pub struct NaiveMop {
+    execs: Vec<SingleOp>,
+    /// Per member, per port: position within the port's input channel.
+    positions: Vec<Vec<usize>>,
+    outputs: OutputGroups,
+    buf: Vec<Tuple>,
+}
+
+impl NaiveMop {
+    /// Builds the reference implementation for an m-op context.
+    pub fn new(ctx: &MopContext) -> Result<Self> {
+        Ok(NaiveMop {
+            execs: ctx.members.iter().map(|m| SingleOp::new(&m.def)).collect(),
+            positions: ctx
+                .members
+                .iter()
+                .map(|m| m.input_positions.clone())
+                .collect(),
+            outputs: OutputGroups::new(&ctx.members),
+            buf: Vec::new(),
+        })
+    }
+}
+
+impl MultiOp for NaiveMop {
+    fn process(&mut self, port: PortId, input: &ChannelTuple, out: &mut dyn Emit) {
+        let p = port.index();
+        for (idx, exec) in self.execs.iter_mut().enumerate() {
+            let Some(&pos) = self.positions[idx].get(p) else {
+                continue; // member has no such port
+            };
+            if !input.belongs_to(pos) {
+                continue; // decoding step: tuple not on this member's stream
+            }
+            exec.process(p, &input.tuple, &mut self.buf);
+            for t in self.buf.drain(..) {
+                self.outputs.emit_one(out, t, idx);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_core::logical::OpDef;
+    use rumor_core::{MopContext, MopKind, PlanGraph, VecEmit};
+    use rumor_expr::Predicate;
+    use rumor_types::{Membership, Schema};
+
+    #[test]
+    fn runs_members_independently() {
+        let mut p = PlanGraph::new();
+        p.add_source("S", Schema::ints(1), None).unwrap();
+        let s = p.source_by_name("S").unwrap().stream;
+        let (a, _) = p
+            .add_op(OpDef::Select(Predicate::attr_eq_const(0, 1i64)), vec![s])
+            .unwrap();
+        let (b, _) = p
+            .add_op(OpDef::Select(Predicate::attr_eq_const(0, 2i64)), vec![s])
+            .unwrap();
+        let merged = p.merge_mops(&[a, b], MopKind::Naive).unwrap();
+        let ctx = MopContext::build(&p, merged).unwrap();
+        let mut op = NaiveMop::new(&ctx).unwrap();
+
+        let mut sink = VecEmit::default();
+        op.process(
+            PortId::LEFT,
+            &ChannelTuple::solo(Tuple::ints(0, &[1])),
+            &mut sink,
+        );
+        assert_eq!(sink.out.len(), 1, "only the first predicate matches");
+        assert_eq!(sink.out[0].0, ctx.members[0].out_channel);
+    }
+
+    #[test]
+    fn respects_channel_decoding() {
+        // Build a channel of two selection outputs, consumed by two
+        // downstream selects; a tuple belonging only to stream 1 must only
+        // reach member 1.
+        let mut p = PlanGraph::new();
+        p.add_source("S", Schema::ints(1), None).unwrap();
+        let s = p.source_by_name("S").unwrap().stream;
+        let (a, oa) = p
+            .add_op(OpDef::Select(Predicate::attr_eq_const(0, 1i64)), vec![s])
+            .unwrap();
+        let (b, ob) = p
+            .add_op(OpDef::Select(Predicate::attr_eq_const(0, 2i64)), vec![s])
+            .unwrap();
+        let _sel = p.merge_mops(&[a, b], MopKind::IndexedSelect).unwrap();
+        let (c1, _) = p.add_op(OpDef::Select(Predicate::True), vec![oa]).unwrap();
+        let (c2, _) = p.add_op(OpDef::Select(Predicate::True), vec![ob]).unwrap();
+        p.encode_channel(&[oa, ob]).unwrap();
+        let down = p.merge_mops(&[c1, c2], MopKind::Naive).unwrap();
+        let ctx = MopContext::build(&p, down).unwrap();
+        let mut op = NaiveMop::new(&ctx).unwrap();
+
+        let mut sink = VecEmit::default();
+        op.process(
+            PortId::LEFT,
+            &ChannelTuple::new(Tuple::ints(0, &[5]), Membership::singleton(1)),
+            &mut sink,
+        );
+        assert_eq!(sink.out.len(), 1);
+        assert_eq!(sink.out[0].0, ctx.members[1].out_channel);
+    }
+}

@@ -1,0 +1,226 @@
+//! Shared projection m-ops.
+//!
+//! * [`SharedProject`] — rule sπ: projections reading the same stream.
+//!   Each *distinct* schema map is evaluated once per tuple and fanned out
+//!   to every member using it.
+//! * [`ChannelProject`] — rule cπ: the §3.1 example — n projections with the
+//!   same specification reading n sharable streams encoded by one channel.
+//!   The map runs once and the output keeps the input membership intact.
+
+use rumor_core::{ChannelTuple, Emit, MopContext, MultiOp};
+use rumor_expr::SchemaMap;
+use rumor_types::{PortId, Result, RumorError};
+
+use crate::emitgroup::OutputGroups;
+
+fn extract_project(ctx: &MopContext) -> Result<Vec<SchemaMap>> {
+    ctx.members
+        .iter()
+        .map(|m| match &m.def {
+            rumor_core::OpDef::Project(map) => Ok(map.clone()),
+            other => Err(RumorError::exec(format!(
+                "projection m-op given non-project member {other}"
+            ))),
+        })
+        .collect()
+}
+
+fn def_groups(maps: &[SchemaMap]) -> Vec<(SchemaMap, Vec<usize>)> {
+    let mut groups: Vec<(SchemaMap, Vec<usize>)> = Vec::new();
+    for (i, m) in maps.iter().enumerate() {
+        match groups.iter_mut().find(|(g, _)| g == m) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((m.clone(), vec![i])),
+        }
+    }
+    groups
+}
+
+/// Shared projection over one stream (rule sπ).
+pub struct SharedProject {
+    groups: Vec<(SchemaMap, Vec<usize>)>,
+    in_position: usize,
+    outputs: OutputGroups,
+}
+
+impl SharedProject {
+    /// Builds the shared projection.
+    pub fn new(ctx: &MopContext) -> Result<Self> {
+        let maps = extract_project(ctx)?;
+        let in_position = ctx
+            .members
+            .first()
+            .map(|m| m.input_positions[0])
+            .unwrap_or(0);
+        if ctx.members.iter().any(|m| m.input_positions[0] != in_position) {
+            return Err(RumorError::exec(
+                "sπ members must read the same stream".to_string(),
+            ));
+        }
+        Ok(SharedProject {
+            groups: def_groups(&maps),
+            in_position,
+            outputs: OutputGroups::new(&ctx.members),
+        })
+    }
+
+    /// Number of distinct projection definitions.
+    pub fn distinct_defs(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+impl MultiOp for SharedProject {
+    fn process(&mut self, _port: PortId, input: &ChannelTuple, out: &mut dyn Emit) {
+        if !input.belongs_to(self.in_position) {
+            return;
+        }
+        for gi in 0..self.groups.len() {
+            let mapped = self.groups[gi].0.apply_unary(&input.tuple);
+            let members = std::mem::take(&mut self.groups[gi].1);
+            self.outputs.emit_members(out, &mapped, &members);
+            self.groups[gi].1 = members;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "shared-project"
+    }
+}
+
+/// Channelized shared projection (rule cπ).
+pub struct ChannelProject {
+    groups: Vec<(SchemaMap, Vec<usize>)>,
+    in_positions: Vec<usize>,
+    outputs: OutputGroups,
+    satisfied: Vec<usize>,
+}
+
+impl ChannelProject {
+    /// Builds the channelized projection.
+    pub fn new(ctx: &MopContext) -> Result<Self> {
+        let maps = extract_project(ctx)?;
+        Ok(ChannelProject {
+            groups: def_groups(&maps),
+            in_positions: ctx.members.iter().map(|m| m.input_positions[0]).collect(),
+            outputs: OutputGroups::new(&ctx.members),
+            satisfied: Vec::new(),
+        })
+    }
+}
+
+impl MultiOp for ChannelProject {
+    fn process(&mut self, _port: PortId, input: &ChannelTuple, out: &mut dyn Emit) {
+        for gi in 0..self.groups.len() {
+            self.satisfied.clear();
+            for &m in &self.groups[gi].1 {
+                if input.belongs_to(self.in_positions[m]) {
+                    self.satisfied.push(m);
+                }
+            }
+            if self.satisfied.is_empty() {
+                continue;
+            }
+            // Perform the projection only once per definition (§3.1), and
+            // emit a single channel tuple with the membership intact.
+            let mapped = self.groups[gi].0.apply_unary(&input.tuple);
+            let satisfied = std::mem::take(&mut self.satisfied);
+            self.outputs.emit_members(out, &mapped, &satisfied);
+            self.satisfied = satisfied;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "channel-project"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_core::logical::OpDef;
+    use rumor_core::{MopKind, PlanGraph, VecEmit};
+    use rumor_expr::{Expr, NamedExpr, Predicate};
+    use rumor_types::{Membership, Schema, Tuple};
+
+    fn map_double() -> SchemaMap {
+        SchemaMap::new(vec![NamedExpr::new(
+            "x",
+            Expr::col(0).mul(Expr::lit(2i64)),
+        )])
+    }
+
+    fn map_triple() -> SchemaMap {
+        SchemaMap::new(vec![NamedExpr::new(
+            "x",
+            Expr::col(0).mul(Expr::lit(3i64)),
+        )])
+    }
+
+    #[test]
+    fn shared_project_fans_out_distinct_maps() {
+        let mut p = PlanGraph::new();
+        p.add_source("S", Schema::ints(1), None).unwrap();
+        let s = p.source_by_name("S").unwrap().stream;
+        let (a, _) = p.add_op(OpDef::Project(map_double()), vec![s]).unwrap();
+        let (b, _) = p.add_op(OpDef::Project(map_triple()), vec![s]).unwrap();
+        let merged = p.merge_mops(&[a, b], MopKind::SharedProject).unwrap();
+        let ctx = MopContext::build(&p, merged).unwrap();
+        let mut op = SharedProject::new(&ctx).unwrap();
+        assert_eq!(op.distinct_defs(), 2);
+        let mut sink = VecEmit::default();
+        op.process(
+            PortId::LEFT,
+            &ChannelTuple::solo(Tuple::ints(0, &[10])),
+            &mut sink,
+        );
+        assert_eq!(sink.out.len(), 2);
+        assert_eq!(sink.out[0].1, Tuple::ints(0, &[20]));
+        assert_eq!(sink.out[1].1, Tuple::ints(0, &[30]));
+    }
+
+    #[test]
+    fn channel_project_single_output_tuple() {
+        // The §3.1 example: identical projections over a channel emit one
+        // tuple with the membership intact.
+        let mut p = PlanGraph::new();
+        p.add_source("S", Schema::ints(1), None).unwrap();
+        let s = p.source_by_name("S").unwrap().stream;
+        let mut ups = Vec::new();
+        let mut outs = Vec::new();
+        for i in 0..3i64 {
+            let (id, o) = p
+                .add_op(OpDef::Select(Predicate::attr_eq_const(0, i)), vec![s])
+                .unwrap();
+            ups.push(id);
+            outs.push(o);
+        }
+        p.merge_mops(&ups, MopKind::IndexedSelect).unwrap();
+        let downs: Vec<_> = outs
+            .iter()
+            .map(|&o| p.add_op(OpDef::Project(map_double()), vec![o]).unwrap().0)
+            .collect();
+        p.encode_channel(&outs).unwrap();
+        let merged = p.merge_mops(&downs, MopKind::ChannelProject).unwrap();
+        let down_outs: Vec<_> = p.mop(merged).output_streams().collect();
+        p.encode_channel(&down_outs).unwrap();
+        let ctx = MopContext::build(&p, merged).unwrap();
+        let mut op = ChannelProject::new(&ctx).unwrap();
+        let mut sink = VecEmit::default();
+        op.process(
+            PortId::LEFT,
+            &ChannelTuple::new(Tuple::ints(0, &[4]), Membership::from_indices([0, 2])),
+            &mut sink,
+        );
+        assert_eq!(sink.out.len(), 1, "one evaluation, one channel tuple");
+        assert_eq!(sink.out[0].1, Tuple::ints(0, &[8]));
+        assert_eq!(sink.out[0].2, Membership::from_indices([0, 2]));
+        // Tuple belonging to no member stream: nothing.
+        op.process(
+            PortId::LEFT,
+            &ChannelTuple::new(Tuple::ints(1, &[4]), Membership::empty()),
+            &mut sink,
+        );
+        assert_eq!(sink.out.len(), 1);
+    }
+}

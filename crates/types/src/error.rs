@@ -1,0 +1,125 @@
+//! Shared error type.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, RumorError>;
+
+/// Errors produced while building schemas, parsing queries, constructing
+/// plans, applying rewrite rules, or executing them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RumorError {
+    /// Schema construction or compatibility failure.
+    Schema(String),
+    /// Query-language parse error with 1-based line/column position.
+    Parse {
+        /// Human-readable message.
+        message: String,
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        column: u32,
+    },
+    /// Expression / predicate type or arity error.
+    Expr(String),
+    /// Plan construction or validation failure.
+    Plan(String),
+    /// Rewrite-rule application failure.
+    Rule(String),
+    /// Runtime execution failure.
+    Exec(String),
+    /// Unknown name (stream, query, attribute...).
+    Unknown(String),
+}
+
+impl RumorError {
+    /// Schema error constructor.
+    pub fn schema(msg: impl Into<String>) -> Self {
+        RumorError::Schema(msg.into())
+    }
+
+    /// Expression error constructor.
+    pub fn expr(msg: impl Into<String>) -> Self {
+        RumorError::Expr(msg.into())
+    }
+
+    /// Plan error constructor.
+    pub fn plan(msg: impl Into<String>) -> Self {
+        RumorError::Plan(msg.into())
+    }
+
+    /// Rule error constructor.
+    pub fn rule(msg: impl Into<String>) -> Self {
+        RumorError::Rule(msg.into())
+    }
+
+    /// Execution error constructor.
+    pub fn exec(msg: impl Into<String>) -> Self {
+        RumorError::Exec(msg.into())
+    }
+
+    /// Unknown-name error constructor.
+    pub fn unknown(msg: impl Into<String>) -> Self {
+        RumorError::Unknown(msg.into())
+    }
+
+    /// Parse error constructor.
+    pub fn parse(msg: impl Into<String>, line: u32, column: u32) -> Self {
+        RumorError::Parse {
+            message: msg.into(),
+            line,
+            column,
+        }
+    }
+}
+
+impl fmt::Display for RumorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RumorError::Schema(m) => write!(f, "schema error: {m}"),
+            RumorError::Parse {
+                message,
+                line,
+                column,
+            } => write!(f, "parse error at {line}:{column}: {message}"),
+            RumorError::Expr(m) => write!(f, "expression error: {m}"),
+            RumorError::Plan(m) => write!(f, "plan error: {m}"),
+            RumorError::Rule(m) => write!(f, "rule error: {m}"),
+            RumorError::Exec(m) => write!(f, "execution error: {m}"),
+            RumorError::Unknown(m) => write!(f, "unknown name: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RumorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            RumorError::schema("dup").to_string(),
+            "schema error: dup"
+        );
+        assert_eq!(
+            RumorError::parse("bad token", 2, 7).to_string(),
+            "parse error at 2:7: bad token"
+        );
+        assert_eq!(RumorError::plan("cycle").to_string(), "plan error: cycle");
+        assert_eq!(RumorError::exec("boom").to_string(), "execution error: boom");
+        assert_eq!(RumorError::rule("nope").to_string(), "rule error: nope");
+        assert_eq!(
+            RumorError::unknown("stream X").to_string(),
+            "unknown name: stream X"
+        );
+        assert_eq!(RumorError::expr("arity").to_string(), "expression error: arity");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&RumorError::plan("x"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Newtype identifiers for plan-graph and runtime entities.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            pub fn from_index(idx: usize) -> Self {
+                $name(u32::try_from(idx).expect("id index overflow"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a (logical) stream in the plan catalog. In RUMOR, streams
+    /// remain the unit of query semantics; channels encode sets of streams.
+    StreamId,
+    "s"
+);
+id_type!(
+    /// Identifies a channel — the generalization of a stream that serves as
+    /// m-op input/output in RUMOR (§3.1).
+    ChannelId,
+    "c"
+);
+id_type!(
+    /// Identifies a physical multi-operator (m-op) node in the plan graph.
+    MopId,
+    "op"
+);
+id_type!(
+    /// Identifies a registered continuous query.
+    QueryId,
+    "q"
+);
+id_type!(
+    /// Identifies an external stream source feeding the engine.
+    SourceId,
+    "src"
+);
+
+/// An input port of an m-op. Binary operators such as the window join and
+/// the Cayuga `;` / `µ` operators distinguish their first (left) and second
+/// (right) input; unary operators use port 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u8);
+
+impl PortId {
+    /// Port 0 — the only port of unary operators; the left input of binaries.
+    pub const LEFT: PortId = PortId(0);
+    /// Port 1 — the right input of binary operators.
+    pub const RIGHT: PortId = PortId(1);
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(StreamId(3).to_string(), "s3");
+        assert_eq!(ChannelId(1).to_string(), "c1");
+        assert_eq!(MopId(0).to_string(), "op0");
+        assert_eq!(QueryId(9).to_string(), "q9");
+        assert_eq!(SourceId(2).to_string(), "src2");
+        assert_eq!(PortId::RIGHT.to_string(), "p1");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let id = StreamId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, StreamId(42));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(MopId(1) < MopId(2));
+        assert!(PortId::LEFT < PortId::RIGHT);
+    }
+}

@@ -1,0 +1,40 @@
+//! # rumor-types
+//!
+//! Foundation types for the RUMOR rule-based multi-query optimization
+//! framework (Hong et al., *Rule-Based Multi-Query Optimization*, EDBT 2009).
+//!
+//! This crate contains the data-plane vocabulary shared by every other crate
+//! in the workspace:
+//!
+//! * [`Value`] — dynamically typed attribute values carried by stream tuples.
+//! * [`Schema`] / [`Field`] — stream schemas, including the union-compatible
+//!   padding used when several streams are encoded into one channel (§3.1 of
+//!   the paper).
+//! * [`Tuple`] — an immutable, cheaply clonable stream tuple with the
+//!   mandatory timestamp attribute.
+//! * [`Membership`] — the *membership component* bit vector a channel tuple
+//!   carries to record which encoded streams it belongs to.
+//! * id newtypes ([`StreamId`], [`ChannelId`], [`MopId`], [`QueryId`], ...)
+//!   used by the plan graph and runtime.
+//! * [`RumorError`] — the shared error type.
+//!
+//! Everything here is deliberately engine-agnostic: both the RUMOR query-plan
+//! engine and the Cayuga-style automaton baseline are built on these types so
+//! cross-engine comparisons (Figures 9 and 10 of the paper) share one data
+//! representation.
+
+#![warn(missing_docs)]
+
+mod error;
+mod ids;
+mod membership;
+mod schema;
+mod tuple;
+mod value;
+
+pub use error::{Result, RumorError};
+pub use ids::{ChannelId, MopId, PortId, QueryId, SourceId, StreamId};
+pub use membership::Membership;
+pub use schema::{Field, Schema, ValueType};
+pub use tuple::{Timestamp, Tuple};
+pub use value::{OrdValue, Value, ValueKey};

@@ -1,0 +1,326 @@
+//! The membership component of channel tuples (§3.1 of the paper).
+//!
+//! A channel encodes a set of streams; each channel tuple carries a
+//! *membership component* that records the subset of encoded streams the
+//! tuple belongs to. The paper implements it as a bit vector "for
+//! efficiency"; we do the same, with a small-size optimization: memberships
+//! over at most 64 streams (by far the common case — channel capacities in
+//! the paper's experiments range from 5 to 25) are a single inline `u64`
+//! with no heap allocation.
+
+use std::fmt;
+
+/// A set of stream positions within a channel, implemented as a bit vector.
+///
+/// Positions are indices into the channel's encoded stream list, *not*
+/// global [`crate::StreamId`]s; the channel definition owns that mapping.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Membership {
+    /// Bit `i` set means the tuple belongs to encoded stream `i` (i < 64).
+    Inline(u64),
+    /// Spilled representation for channels encoding more than 64 streams.
+    /// Invariant: the vector never has trailing zero words and always has
+    /// more than one word (otherwise the inline representation is used).
+    Heap(Vec<u64>),
+}
+
+impl Membership {
+    /// The empty membership (belongs to no stream).
+    pub fn empty() -> Self {
+        Membership::Inline(0)
+    }
+
+    /// Membership containing only stream position `idx`.
+    pub fn singleton(idx: usize) -> Self {
+        let mut m = Membership::empty();
+        m.insert(idx);
+        m
+    }
+
+    /// Membership containing positions `0..n` (a tuple belonging to *all*
+    /// streams of a capacity-`n` channel, as in Workload 3 of §5.2).
+    pub fn all(n: usize) -> Self {
+        let mut m = Membership::empty();
+        for i in 0..n {
+            m.insert(i);
+        }
+        m
+    }
+
+    /// Builds a membership from stream positions.
+    pub fn from_indices(indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut m = Membership::empty();
+        for i in indices {
+            m.insert(i);
+        }
+        m
+    }
+
+    fn words(&self) -> &[u64] {
+        match self {
+            Membership::Inline(w) => std::slice::from_ref(w),
+            Membership::Heap(v) => v,
+        }
+    }
+
+    fn normalize(words: Vec<u64>) -> Membership {
+        let mut words = words;
+        while words.len() > 1 && *words.last().unwrap() == 0 {
+            words.pop();
+        }
+        if words.len() == 1 {
+            Membership::Inline(words[0])
+        } else {
+            Membership::Heap(words)
+        }
+    }
+
+    /// Adds stream position `idx`.
+    pub fn insert(&mut self, idx: usize) {
+        let word = idx / 64;
+        let bit = 1u64 << (idx % 64);
+        match self {
+            Membership::Inline(w) if word == 0 => *w |= bit,
+            Membership::Inline(w) => {
+                let mut v = vec![*w];
+                v.resize(word + 1, 0);
+                v[word] |= bit;
+                *self = Membership::Heap(v);
+            }
+            Membership::Heap(v) => {
+                if v.len() <= word {
+                    v.resize(word + 1, 0);
+                }
+                v[word] |= bit;
+            }
+        }
+    }
+
+    /// Removes stream position `idx`.
+    pub fn remove(&mut self, idx: usize) {
+        let word = idx / 64;
+        let bit = 1u64 << (idx % 64);
+        match self {
+            Membership::Inline(w) => {
+                if word == 0 {
+                    *w &= !bit;
+                }
+            }
+            Membership::Heap(v) => {
+                if word < v.len() {
+                    v[word] &= !bit;
+                    *self = Membership::normalize(std::mem::take(v));
+                }
+            }
+        }
+    }
+
+    /// Whether stream position `idx` is a member.
+    pub fn contains(&self, idx: usize) -> bool {
+        let word = idx / 64;
+        let bit = 1u64 << (idx % 64);
+        self.words().get(word).is_some_and(|w| w & bit != 0)
+    }
+
+    /// True if no stream position is set.
+    pub fn is_empty(&self) -> bool {
+        self.words().iter().all(|&w| w == 0)
+    }
+
+    /// Number of member stream positions.
+    pub fn len(&self) -> usize {
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Set union: membership in either input.
+    pub fn union(&self, other: &Membership) -> Membership {
+        let (long, short) = if self.words().len() >= other.words().len() {
+            (self.words(), other.words())
+        } else {
+            (other.words(), self.words())
+        };
+        let mut out = long.to_vec();
+        for (o, s) in out.iter_mut().zip(short) {
+            *o |= s;
+        }
+        Membership::normalize(out)
+    }
+
+    /// Set intersection: membership in both inputs.
+    ///
+    /// This is the core channel operation: e.g. the channelized stopping
+    /// condition m-op (§4.4) intersects a pattern instance's membership with
+    /// the set of queries whose predicate the closing event satisfies.
+    pub fn intersect(&self, other: &Membership) -> Membership {
+        let n = self.words().len().min(other.words().len());
+        let out: Vec<u64> = self.words()[..n]
+            .iter()
+            .zip(&other.words()[..n])
+            .map(|(a, b)| a & b)
+            .collect();
+        Membership::normalize(if out.is_empty() { vec![0] } else { out })
+    }
+
+    /// Set difference: members of `self` not in `other`.
+    pub fn difference(&self, other: &Membership) -> Membership {
+        let mut out = self.words().to_vec();
+        for (o, s) in out.iter_mut().zip(other.words()) {
+            *o &= !s;
+        }
+        Membership::normalize(out)
+    }
+
+    /// Whether every member of `self` is also in `other`.
+    pub fn is_subset(&self, other: &Membership) -> bool {
+        self.difference(other).is_empty()
+    }
+
+    /// Iterates member stream positions in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words().iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+impl Default for Membership {
+    fn default() -> Self {
+        Membership::empty()
+    }
+}
+
+impl fmt::Debug for Membership {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, idx) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{idx}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<usize> for Membership {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        Membership::from_indices(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Membership::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let s = Membership::singleton(7);
+        assert!(s.contains(7));
+        assert!(!s.contains(6));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn insert_remove_inline() {
+        let mut m = Membership::empty();
+        m.insert(0);
+        m.insert(63);
+        assert_eq!(m.len(), 2);
+        m.remove(0);
+        assert!(!m.contains(0));
+        assert!(m.contains(63));
+        m.remove(63);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn spills_to_heap_and_normalizes_back() {
+        let mut m = Membership::singleton(3);
+        m.insert(130);
+        assert!(matches!(m, Membership::Heap(_)));
+        assert!(m.contains(3));
+        assert!(m.contains(130));
+        assert_eq!(m.len(), 2);
+        m.remove(130);
+        assert!(matches!(m, Membership::Inline(_)));
+        assert_eq!(m, Membership::singleton(3));
+    }
+
+    #[test]
+    fn equality_is_representation_independent() {
+        let mut a = Membership::singleton(1);
+        a.insert(200);
+        a.remove(200);
+        let b = Membership::singleton(1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_covers_prefix() {
+        let m = Membership::all(10);
+        assert_eq!(m.len(), 10);
+        assert!(m.contains(0));
+        assert!(m.contains(9));
+        assert!(!m.contains(10));
+        let big = Membership::all(100);
+        assert_eq!(big.len(), 100);
+        assert!(big.contains(99));
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = Membership::from_indices([0, 2, 70]);
+        let b = Membership::from_indices([2, 3]);
+        assert_eq!(a.union(&b), Membership::from_indices([0, 2, 3, 70]));
+        assert_eq!(a.intersect(&b), Membership::from_indices([2]));
+        assert_eq!(a.difference(&b), Membership::from_indices([0, 70]));
+        assert_eq!(b.difference(&a), Membership::from_indices([3]));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let a = Membership::from_indices([0, 1]);
+        let b = Membership::from_indices([2, 3]);
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn subset() {
+        let a = Membership::from_indices([1, 2]);
+        let b = Membership::from_indices([0, 1, 2, 3]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(Membership::empty().is_subset(&a));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let m = Membership::from_indices([130, 0, 64, 5]);
+        let v: Vec<usize> = m.iter().collect();
+        assert_eq!(v, vec![0, 5, 64, 130]);
+    }
+
+    #[test]
+    fn debug_format() {
+        let m = Membership::from_indices([1, 2]);
+        assert_eq!(format!("{m:?}"), "[1,2]");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let m: Membership = [3usize, 1].into_iter().collect();
+        assert_eq!(m, Membership::from_indices([1, 3]));
+    }
+}

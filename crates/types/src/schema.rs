@@ -1,0 +1,280 @@
+//! Stream schemas.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{Result, RumorError, Value};
+
+/// The type of a single schema field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// UTF-8 string.
+    Str,
+}
+
+impl ValueType {
+    /// Whether `value` conforms to this type (`Null` conforms to every type).
+    pub fn admits(&self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (ValueType::Int, Value::Int(_))
+                | (ValueType::Float, Value::Float(_))
+                | (ValueType::Bool, Value::Bool(_))
+                | (ValueType::Str, Value::Str(_))
+        )
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Int => "INT",
+            ValueType::Float => "FLOAT",
+            ValueType::Bool => "BOOL",
+            ValueType::Str => "STR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A named, typed schema field.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute type.
+    pub ty: ValueType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// A stream schema: an ordered list of named, typed fields.
+///
+/// Every stream tuple additionally carries the required timestamp attribute
+/// (`ts` in the paper), which is *not* part of the field list — it is stored
+/// out-of-band on [`crate::Tuple`].
+///
+/// Schemas are reference counted internally so plan nodes and operators can
+/// share them without copying.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    fields: Arc<[Field]>,
+}
+
+impl Schema {
+    /// Creates a schema from fields. Field names must be unique.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(RumorError::schema(format!(
+                    "duplicate field name `{}`",
+                    f.name
+                )));
+            }
+        }
+        Ok(Schema {
+            fields: fields.into(),
+        })
+    }
+
+    /// Convenience constructor for the paper's synthetic benchmark schema:
+    /// `n` integer attributes named `a0..a{n-1}` (§5.1 uses `n = 10`).
+    pub fn ints(n: usize) -> Self {
+        let fields = (0..n)
+            .map(|i| Field::new(format!("a{i}"), ValueType::Int))
+            .collect();
+        Schema { fields }
+    }
+
+    /// The empty schema.
+    pub fn empty() -> Self {
+        Schema { fields: Arc::from([]) }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Index of the field with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field at `idx`.
+    pub fn field(&self, idx: usize) -> Option<&Field> {
+        self.fields.get(idx)
+    }
+
+    /// Whether a row of values conforms to this schema (arity and types).
+    pub fn admits(&self, values: &[Value]) -> bool {
+        values.len() == self.fields.len()
+            && self
+                .fields
+                .iter()
+                .zip(values)
+                .all(|(f, v)| f.ty.admits(v))
+    }
+
+    /// Union compatibility (§3.1): channels may only encode streams whose
+    /// schemas are union-compatible. We require identical field types in
+    /// order; names may differ (the paper allows renaming/padding).
+    pub fn union_compatible(&self, other: &Schema) -> bool {
+        self.fields.len() == other.fields.len()
+            && self
+                .fields
+                .iter()
+                .zip(other.fields.iter())
+                .all(|(a, b)| a.ty == b.ty)
+    }
+
+    /// Concatenates two schemas, prefixing right-side duplicate names.
+    ///
+    /// Used by the binary `;`, `µ`, and join operators whose outputs range
+    /// over the concatenation of both input schemas.
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut fields: Vec<Field> = self.fields.to_vec();
+        for f in other.fields.iter() {
+            let mut name = f.name.clone();
+            if fields.iter().any(|g| g.name == name) {
+                name = format!("r.{name}");
+                let mut k = 1;
+                while fields.iter().any(|g| g.name == name) {
+                    name = format!("r{k}.{}", f.name);
+                    k += 1;
+                }
+            }
+            fields.push(Field::new(name, f.ty));
+        }
+        Schema {
+            fields: fields.into(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_schema_names_and_types() {
+        let s = Schema::ints(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("a0"), Some(0));
+        assert_eq!(s.index_of("a2"), Some(2));
+        assert_eq!(s.index_of("a3"), None);
+        assert_eq!(s.field(1).unwrap().ty, ValueType::Int);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let fields = vec![
+            Field::new("x", ValueType::Int),
+            Field::new("x", ValueType::Float),
+        ];
+        assert!(Schema::new(fields).is_err());
+    }
+
+    #[test]
+    fn admits_checks_arity_and_types() {
+        let s = Schema::ints(2);
+        assert!(s.admits(&[Value::Int(1), Value::Int(2)]));
+        assert!(s.admits(&[Value::Int(1), Value::Null]));
+        assert!(!s.admits(&[Value::Int(1)]));
+        assert!(!s.admits(&[Value::Int(1), Value::Float(2.0)]));
+    }
+
+    #[test]
+    fn union_compatibility_ignores_names() {
+        let a = Schema::new(vec![
+            Field::new("x", ValueType::Int),
+            Field::new("y", ValueType::Float),
+        ])
+        .unwrap();
+        let b = Schema::new(vec![
+            Field::new("u", ValueType::Int),
+            Field::new("v", ValueType::Float),
+        ])
+        .unwrap();
+        let c = Schema::new(vec![
+            Field::new("u", ValueType::Float),
+            Field::new("v", ValueType::Int),
+        ])
+        .unwrap();
+        assert!(a.union_compatible(&b));
+        assert!(!a.union_compatible(&c));
+        assert!(!a.union_compatible(&Schema::ints(3)));
+    }
+
+    #[test]
+    fn concat_renames_duplicates() {
+        let a = Schema::ints(2);
+        let b = Schema::ints(2);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.index_of("a0"), Some(0));
+        assert_eq!(c.index_of("r.a0"), Some(2));
+        assert_eq!(c.index_of("r.a1"), Some(3));
+    }
+
+    #[test]
+    fn concat_triple_renames() {
+        let a = Schema::ints(1);
+        let c = a.concat(&a).concat(&a);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.index_of("a0"), Some(0));
+        assert_eq!(c.index_of("r.a0"), Some(1));
+        assert_eq!(c.index_of("r1.a0"), Some(2));
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let s = Schema::ints(2);
+        assert_eq!(s.to_string(), "(a0: INT, a1: INT)");
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::empty();
+        assert!(s.is_empty());
+        assert!(s.admits(&[]));
+    }
+}

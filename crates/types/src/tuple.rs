@@ -1,0 +1,146 @@
+//! Stream tuples.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::Value;
+
+/// Discrete event timestamps, as in the paper's benchmark streams (§5.1)
+/// which use consecutive integer timestamps starting from 0.
+pub type Timestamp = u64;
+
+/// An immutable stream tuple: a timestamp plus a row of attribute values.
+///
+/// Tuples are reference counted, so fanning a tuple out to many consumer
+/// operators (the common case in multi-query plans) costs one atomic
+/// increment, not a copy. This mirrors the space-sharing motivation behind
+/// channels (§3.1): a channel tuple shared by many streams is stored once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    /// The required timestamp attribute (`ts` in the paper).
+    pub ts: Timestamp,
+    values: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Creates a tuple from a timestamp and values.
+    pub fn new(ts: Timestamp, values: Vec<Value>) -> Self {
+        Tuple {
+            ts,
+            values: values.into(),
+        }
+    }
+
+    /// Creates an integer tuple — the shape used throughout the paper's
+    /// synthetic benchmark (10 integer attributes, §5.1).
+    pub fn ints(ts: Timestamp, values: &[i64]) -> Self {
+        Tuple {
+            ts,
+            values: values.iter().map(|&v| Value::Int(v)).collect(),
+        }
+    }
+
+    /// The attribute values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Attribute at position `idx`.
+    pub fn value(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Number of attributes (excluding the timestamp).
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Concatenates this tuple with another, keeping `other`'s timestamp.
+    ///
+    /// This is the event-concatenation step of the Cayuga `;`/`µ` operators:
+    /// the composite event is stamped with the time of its *last*
+    /// constituent event.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple {
+            ts: other.ts,
+            values: values.into(),
+        }
+    }
+
+    /// Returns a copy with a replaced value vector, keeping the timestamp.
+    pub fn with_values(&self, values: Vec<Value>) -> Tuple {
+        Tuple {
+            ts: self.ts,
+            values: values.into(),
+        }
+    }
+
+    /// Shares the underlying value storage (pointer equality), used by tests
+    /// asserting that fan-out does not copy payloads.
+    pub fn shares_storage(&self, other: &Tuple) -> bool {
+        Arc::ptr_eq(&self.values, &other.values)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} [", self.ts)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_builder() {
+        let t = Tuple::ints(5, &[1, 2, 3]);
+        assert_eq!(t.ts, 5);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.value(1), Some(&Value::Int(2)));
+        assert_eq!(t.value(3), None);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let t = Tuple::ints(0, &[1, 2]);
+        let u = t.clone();
+        assert!(t.shares_storage(&u));
+    }
+
+    #[test]
+    fn concat_takes_right_timestamp() {
+        let a = Tuple::ints(1, &[10]);
+        let b = Tuple::ints(9, &[20, 30]);
+        let c = a.concat(&b);
+        assert_eq!(c.ts, 9);
+        assert_eq!(
+            c.values(),
+            &[Value::Int(10), Value::Int(20), Value::Int(30)]
+        );
+    }
+
+    #[test]
+    fn with_values_keeps_timestamp() {
+        let t = Tuple::ints(7, &[1]);
+        let u = t.with_values(vec![Value::Bool(true)]);
+        assert_eq!(u.ts, 7);
+        assert_eq!(u.values(), &[Value::Bool(true)]);
+    }
+
+    #[test]
+    fn display() {
+        let t = Tuple::ints(3, &[1, 2]);
+        assert_eq!(t.to_string(), "@3 [1, 2]");
+    }
+}

@@ -1,0 +1,370 @@
+//! Dynamically typed attribute values.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single attribute value inside a stream tuple.
+///
+/// The paper's synthetic benchmark (§5.1) uses integer attributes only, but
+/// the library supports the usual scalar types so the performance-monitoring
+/// scenario (§4.1) can carry floating-point CPU loads and process names.
+///
+/// `Value` is cheap to clone: strings are reference counted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Interned UTF-8 string.
+    Str(Arc<str>),
+    /// SQL-style NULL. Comparisons against `Null` are always false.
+    Null,
+}
+
+#[allow(clippy::should_implement_trait)] // add/sub/mul/div are evaluation
+// helpers with SQL NULL semantics, not operator-trait candidates.
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Returns the integer payload if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, coercing integers.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Three-valued comparison used by predicate evaluation.
+    ///
+    /// Numeric types compare with coercion (`Int` vs `Float` compares as
+    /// floats); any comparison involving `Null`, NaN, or mismatched
+    /// non-numeric types yields `None` (unknown), which predicates treat as
+    /// *false* — the usual SQL semantics.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Str(a), Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            _ => None,
+        }
+    }
+
+    /// Checked addition with numeric coercion. `Null` is absorbing.
+    pub fn add(&self, other: &Value) -> Value {
+        self.arith(other, |a, b| a.wrapping_add(b), |a, b| a + b)
+    }
+
+    /// Checked subtraction with numeric coercion. `Null` is absorbing.
+    pub fn sub(&self, other: &Value) -> Value {
+        self.arith(other, |a, b| a.wrapping_sub(b), |a, b| a - b)
+    }
+
+    /// Checked multiplication with numeric coercion. `Null` is absorbing.
+    pub fn mul(&self, other: &Value) -> Value {
+        self.arith(other, |a, b| a.wrapping_mul(b), |a, b| a * b)
+    }
+
+    /// Division with numeric coercion; integer division by zero yields `Null`.
+    pub fn div(&self, other: &Value) -> Value {
+        use Value::*;
+        match (self, other) {
+            (Int(_), Int(0)) => Null,
+            (Int(a), Int(b)) => Int(a.wrapping_div(*b)),
+            (a, b) => match (a.as_float(), b.as_float()) {
+                (Some(x), Some(y)) if y != 0.0 => Float(x / y),
+                _ => Null,
+            },
+        }
+    }
+
+    /// Modulo with numeric coercion; by-zero yields `Null`.
+    pub fn rem(&self, other: &Value) -> Value {
+        use Value::*;
+        match (self, other) {
+            (Int(_), Int(0)) => Null,
+            (Int(a), Int(b)) => Int(a.wrapping_rem(*b)),
+            _ => Null,
+        }
+    }
+
+    fn arith(
+        &self,
+        other: &Value,
+        int_op: impl Fn(i64, i64) -> i64,
+        float_op: impl Fn(f64, f64) -> f64,
+    ) -> Value {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Int(int_op(*a, *b)),
+            (a, b) => match (a.as_float(), b.as_float()) {
+                (Some(x), Some(y)) => Float(float_op(x, y)),
+                _ => Null,
+            },
+        }
+    }
+
+    /// A hashable key for grouping (group-by, hash joins, predicate indexes).
+    ///
+    /// Floats are keyed by bit pattern, which is adequate for grouping: two
+    /// floats group together iff they are bitwise identical.
+    pub fn group_key(&self) -> ValueKey {
+        match self {
+            Value::Int(v) => ValueKey::Int(*v),
+            Value::Float(v) => ValueKey::Float(v.to_bits()),
+            Value::Bool(v) => ValueKey::Bool(*v),
+            Value::Str(s) => ValueKey::Str(s.clone()),
+            Value::Null => ValueKey::Null,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// A [`Value`] wrapper with a *total* order, for ordered containers
+/// (min/max multisets under sliding-window eviction).
+///
+/// Order: `Null < Bool < Int/Float (numeric, coerced) < Str`. Floats use
+/// IEEE `total_cmp`, so NaN is ordered (after +∞) instead of poisoning the
+/// container.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrdValue(pub Value);
+
+impl OrdValue {
+    fn rank(&self) -> u8 {
+        match &self.0 {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+}
+
+impl Eq for OrdValue {}
+
+impl PartialOrd for OrdValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (&self.0, &other.0) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (Null, Null) => Ordering::Equal,
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+/// Hashable, totally equatable projection of a [`Value`] used as a map key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValueKey {
+    /// Integer key.
+    Int(i64),
+    /// Float key by bit pattern.
+    Float(u64),
+    /// Boolean key.
+    Bool(bool),
+    /// String key.
+    Str(Arc<str>),
+    /// Null key.
+    Null,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_numeric_coercion() {
+        assert_eq!(
+            Value::Int(3).compare(&Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(2.5).compare(&Value::Int(3)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Int(4).compare(&Value::Int(3)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn compare_null_and_mismatch_is_unknown() {
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).compare(&Value::Null), None);
+        assert_eq!(Value::str("a").compare(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).compare(&Value::Float(1.0)), None);
+    }
+
+    #[test]
+    fn compare_nan_is_unknown() {
+        assert_eq!(Value::Float(f64::NAN).compare(&Value::Float(1.0)), None);
+    }
+
+    #[test]
+    fn string_compare() {
+        assert_eq!(
+            Value::str("abc").compare(&Value::str("abd")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn arithmetic_int() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)), Value::Int(5));
+        assert_eq!(Value::Int(2).sub(&Value::Int(3)), Value::Int(-1));
+        assert_eq!(Value::Int(2).mul(&Value::Int(3)), Value::Int(6));
+        assert_eq!(Value::Int(7).div(&Value::Int(2)), Value::Int(3));
+        assert_eq!(Value::Int(7).rem(&Value::Int(2)), Value::Int(1));
+    }
+
+    #[test]
+    fn arithmetic_mixed_coerces_to_float() {
+        assert_eq!(Value::Int(2).add(&Value::Float(0.5)), Value::Float(2.5));
+        assert_eq!(Value::Float(1.0).div(&Value::Int(4)), Value::Float(0.25));
+    }
+
+    #[test]
+    fn arithmetic_null_absorbs() {
+        assert_eq!(Value::Null.add(&Value::Int(1)), Value::Null);
+        assert_eq!(Value::Int(1).mul(&Value::Null), Value::Null);
+        assert_eq!(Value::str("x").add(&Value::Int(1)), Value::Null);
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        assert_eq!(Value::Int(1).div(&Value::Int(0)), Value::Null);
+        assert_eq!(Value::Float(1.0).div(&Value::Int(0)), Value::Null);
+        assert_eq!(Value::Int(1).rem(&Value::Int(0)), Value::Null);
+    }
+
+    #[test]
+    fn group_keys_distinguish_types() {
+        assert_ne!(Value::Int(1).group_key(), Value::Bool(true).group_key());
+        assert_ne!(Value::Int(0).group_key(), Value::Null.group_key());
+        assert_eq!(Value::str("a").group_key(), Value::str("a").group_key());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::Int(2).as_float(), Some(2.0));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("hi").as_str(), Some("hi"));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::str("hi").as_int(), None);
+    }
+
+    #[test]
+    fn ord_value_total_order() {
+        let mut v = [
+            OrdValue(Value::Float(2.5)),
+            OrdValue(Value::Int(3)),
+            OrdValue(Value::Int(1)),
+            OrdValue(Value::Null),
+            OrdValue(Value::Float(-1.0)),
+        ];
+        v.sort();
+        assert_eq!(v[0], OrdValue(Value::Null));
+        assert_eq!(v[1], OrdValue(Value::Float(-1.0)));
+        assert_eq!(v[2], OrdValue(Value::Int(1)));
+        assert_eq!(v[3], OrdValue(Value::Float(2.5)));
+        assert_eq!(v[4], OrdValue(Value::Int(3)));
+        // NaN is ordered, not poisonous.
+        assert!(OrdValue(Value::Float(f64::NAN)) > OrdValue(Value::Float(f64::INFINITY)));
+    }
+
+    #[test]
+    fn from_impls_and_display() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::str("a").to_string(), "\"a\"");
+    }
+}

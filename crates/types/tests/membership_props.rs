@@ -1,0 +1,110 @@
+//! Property-based tests for the membership bit vector: the channel
+//! membership component must behave exactly like a set of small integers,
+//! across both the inline and spilled representations.
+
+use proptest::prelude::*;
+use rumor_types::Membership;
+use std::collections::BTreeSet;
+
+fn idx() -> impl Strategy<Value = usize> {
+    // Cover both the inline (<64) and heap (>=64) representations.
+    prop_oneof![0usize..64, 64usize..300]
+}
+
+fn index_set() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(idx(), 0..40)
+}
+
+fn model(v: &[usize]) -> BTreeSet<usize> {
+    v.iter().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn matches_btreeset_membership(a in index_set(), probe in idx()) {
+        let m = Membership::from_indices(a.iter().copied());
+        let s = model(&a);
+        prop_assert_eq!(m.contains(probe), s.contains(&probe));
+        prop_assert_eq!(m.len(), s.len());
+        prop_assert_eq!(m.is_empty(), s.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_sorted_model(a in index_set()) {
+        let m = Membership::from_indices(a.iter().copied());
+        let got: Vec<usize> = m.iter().collect();
+        let want: Vec<usize> = model(&a).into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn union_intersect_difference_match_model(a in index_set(), b in index_set()) {
+        let ma = Membership::from_indices(a.iter().copied());
+        let mb = Membership::from_indices(b.iter().copied());
+        let sa = model(&a);
+        let sb = model(&b);
+
+        let union: Vec<usize> = ma.union(&mb).iter().collect();
+        let want_union: Vec<usize> = sa.union(&sb).copied().collect();
+        prop_assert_eq!(union, want_union);
+
+        let inter: Vec<usize> = ma.intersect(&mb).iter().collect();
+        let want_inter: Vec<usize> = sa.intersection(&sb).copied().collect();
+        prop_assert_eq!(inter, want_inter);
+
+        let diff: Vec<usize> = ma.difference(&mb).iter().collect();
+        let want_diff: Vec<usize> = sa.difference(&sb).copied().collect();
+        prop_assert_eq!(diff, want_diff);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip(a in index_set(), x in idx()) {
+        let mut m = Membership::from_indices(a.iter().copied());
+        let before = m.clone();
+        let was_member = m.contains(x);
+        m.insert(x);
+        prop_assert!(m.contains(x));
+        if !was_member {
+            m.remove(x);
+            prop_assert_eq!(m, before);
+        }
+    }
+
+    #[test]
+    fn equality_independent_of_insertion_order(a in index_set()) {
+        let m1 = Membership::from_indices(a.iter().copied());
+        let mut rev = a.clone();
+        rev.reverse();
+        let m2 = Membership::from_indices(rev);
+        prop_assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn subset_laws(a in index_set(), b in index_set()) {
+        let ma = Membership::from_indices(a.iter().copied());
+        let mb = Membership::from_indices(b.iter().copied());
+        let inter = ma.intersect(&mb);
+        prop_assert!(inter.is_subset(&ma));
+        prop_assert!(inter.is_subset(&mb));
+        prop_assert!(ma.is_subset(&ma.union(&mb)));
+        prop_assert_eq!(ma.is_subset(&mb) && mb.is_subset(&ma), ma == mb);
+    }
+
+    #[test]
+    fn union_laws(a in index_set(), b in index_set(), c in index_set()) {
+        let ma = Membership::from_indices(a.iter().copied());
+        let mb = Membership::from_indices(b.iter().copied());
+        let mc = Membership::from_indices(c.iter().copied());
+        // Commutativity and associativity.
+        prop_assert_eq!(ma.union(&mb), mb.union(&ma));
+        prop_assert_eq!(ma.union(&mb).union(&mc), ma.union(&mb.union(&mc)));
+        // Identity and idempotence.
+        prop_assert_eq!(ma.union(&Membership::empty()), ma.clone());
+        prop_assert_eq!(ma.union(&ma), ma.clone());
+        // Distributivity of intersection over union.
+        prop_assert_eq!(
+            ma.intersect(&mb.union(&mc)),
+            ma.intersect(&mb).union(&ma.intersect(&mc))
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! The hybrid query workload of §5.3 (Figure 11): n instances of Query 2
+//! over the simulated performance-counter stream.
+//!
+//! Each query, following the paper's modifications of Query 1/2:
+//!
+//! * smooths every process's CPU load with a 60-second sliding average
+//!   (shared across all queries via rule sα);
+//! * applies a *starting condition* with selectivity `sel` — deliberately
+//!   not hash-indexable (an inequality), and structurally distinct per
+//!   query so the m-op evaluates each member (the paper: "we assume these
+//!   starting conditions are not indexable ... but still use the m-rule sσ
+//!   to map all of them to an m-op");
+//! * builds the monotone ramp-up pattern with µ (per-process matching);
+//! * applies the stopping condition `load > 10`.
+//!
+//! With channels, the starting-condition m-op emits one channel tuple per
+//! SMOOTHED tuple, one shared µ instance serves all queries, and the
+//! stopping condition decodes the membership (Figure 6(c)); without
+//! channels every query keeps its own µ and stopping operator (Figure
+//! 6(b)).
+
+use rumor_core::{AggFunc, AggSpec, IterSpec, LogicalPlan};
+use rumor_expr::{CmpOp, Expr, NamedExpr, Predicate, SchemaMap};
+
+/// A generated hybrid query (one "query" = n-processes instance of Query 2).
+#[derive(Debug, Clone)]
+pub struct HybridQuery {
+    /// Starting-condition threshold (selectivity control).
+    pub threshold: f64,
+    /// The logical plan.
+    pub plan: LogicalPlan,
+}
+
+/// The shared smoothing subplan: `SELECT pid, AVG(load) FROM CPU [RANGE 60]
+/// GROUP BY pid` (§5.3 raises Query 1's window from 5 to 60 seconds).
+pub fn smoothed() -> LogicalPlan {
+    LogicalPlan::source("CPU").aggregate(AggSpec {
+        func: AggFunc::Avg,
+        input: Expr::col(1),
+        group_by: vec![0],
+        window: 60,
+    })
+}
+
+/// Generates `n` hybrid queries with starting-condition selectivity `sel`.
+///
+/// Smoothed loads range over `0..=100`; a threshold of `sel * 100` gives
+/// the starting condition selectivity ≈ `sel` under the perfmon load
+/// distribution. Each query's predicate carries an extra always-true,
+/// query-specific inequality so the conditions are structurally distinct
+/// (they cannot collapse by CSE), exactly like the paper's per-query θs.
+pub fn generate(n: usize, sel: f64) -> Vec<HybridQuery> {
+    let threshold = sel * 100.0;
+    (0..n)
+        .map(|i| {
+            // Starting condition: load < threshold AND pid != -(i+1).
+            let start = Predicate::and(vec![
+                Predicate::cmp(CmpOp::Lt, Expr::col(1), Expr::lit(threshold)),
+                Predicate::cmp(CmpOp::Ne, Expr::col(0), Expr::lit(-(i as i64) - 1)),
+            ]);
+            // Ramp pattern: per-pid monotone increase of the smoothed load.
+            let mu = IterSpec {
+                filter: Predicate::cmp(CmpOp::Ne, Expr::col(0), Expr::rcol(0)),
+                rebind: Predicate::and(vec![
+                    Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                    Predicate::cmp(CmpOp::Gt, Expr::rcol(1), Expr::col(1)),
+                ]),
+                rebind_map: SchemaMap::new(vec![
+                    NamedExpr::new("pid", Expr::col(0)),
+                    NamedExpr::new("load", Expr::rcol(1)),
+                ]),
+                window: 300,
+            };
+            // Stopping condition (§5.3: load > 10, less selective than
+            // Query 1's load > 90).
+            let stop = Predicate::cmp(CmpOp::Gt, Expr::col(1), Expr::lit(10.0f64));
+            let plan = smoothed()
+                .select(start)
+                .iterate(smoothed(), mu)
+                .select(stop);
+            HybridQuery {
+                threshold,
+                plan,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_core::{MopKind, Optimizer, OptimizerConfig, PlanGraph};
+    use rumor_types::Schema;
+
+    fn build(n: usize, sel: f64, channels: bool) -> PlanGraph {
+        let mut plan = PlanGraph::new();
+        plan.add_source("CPU", Schema::ints(2), None).unwrap();
+        for q in generate(n, sel) {
+            plan.add_query(&q.plan).unwrap();
+        }
+        let config = if channels {
+            OptimizerConfig::default()
+        } else {
+            OptimizerConfig::without_channels()
+        };
+        Optimizer::new(config).optimize(&mut plan).unwrap();
+        plan.validate().unwrap();
+        plan
+    }
+
+    #[test]
+    fn with_channels_matches_figure_6c() {
+        let plan = build(8, 0.5, true);
+        // α, σ{s1..sn}, µ{1..n}, σ{e} — four m-ops as in Figure 6(c).
+        assert_eq!(plan.mop_count(), 4);
+        let kinds: Vec<MopKind> = plan.mops().map(|n| n.kind).collect();
+        assert!(kinds.contains(&MopKind::ChannelIterate));
+        assert!(kinds.contains(&MopKind::ChannelSelect));
+        assert!(kinds.contains(&MopKind::IndexedSelect));
+    }
+
+    #[test]
+    fn without_channels_matches_figure_6b() {
+        let n = 8;
+        let plan = build(n, 0.5, false);
+        // α + σ{s} shared; per-query µ and σe remain: 2 + 2n m-ops.
+        assert_eq!(plan.mop_count(), 2 + 2 * n);
+    }
+
+    #[test]
+    fn starting_conditions_structurally_distinct() {
+        let qs = generate(5, 0.3);
+        let mut plans: Vec<String> = qs.iter().map(|q| format!("{:?}", q.plan)).collect();
+        plans.dedup();
+        assert_eq!(plans.len(), 5, "no two queries may collapse by CSE");
+    }
+}

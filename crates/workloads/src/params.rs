@@ -1,0 +1,100 @@
+//! Experimental parameters — Table 3 of the paper.
+
+/// Workload generation parameters with the paper's default values.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Number of queries (Table 3 default: 1000).
+    pub num_queries: usize,
+    /// Number of integer attributes in the stream schemas (default: 10).
+    pub num_attrs: usize,
+    /// Constant domain size: predicate constants are drawn from
+    /// `0..const_domain` (default: 1000).
+    pub const_domain: i64,
+    /// Window length domain size: windows are drawn from
+    /// `1..=window_domain` (default: 1000).
+    pub window_domain: u64,
+    /// Zipfian parameter for constants and window lengths (default: 1.5).
+    pub zipf: f64,
+    /// Total input tuples per run (§5.1: "at least 100000").
+    pub num_tuples: usize,
+    /// RNG seed for reproducible workloads.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            num_queries: 1000,
+            num_attrs: 10,
+            const_domain: 1000,
+            window_domain: 1000,
+            zipf: 1.5,
+            num_tuples: 100_000,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl Params {
+    /// Builder-style override of the query count.
+    pub fn with_queries(mut self, n: usize) -> Self {
+        self.num_queries = n;
+        self
+    }
+
+    /// Builder-style override of the constant domain.
+    pub fn with_const_domain(mut self, d: i64) -> Self {
+        self.const_domain = d;
+        self
+    }
+
+    /// Builder-style override of the window domain.
+    pub fn with_window_domain(mut self, d: u64) -> Self {
+        self.window_domain = d;
+        self
+    }
+
+    /// Builder-style override of the Zipf parameter.
+    pub fn with_zipf(mut self, z: f64) -> Self {
+        self.zipf = z;
+        self
+    }
+
+    /// Builder-style override of the input size.
+    pub fn with_tuples(mut self, n: usize) -> Self {
+        self.num_tuples = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 3: the default values are exactly the paper's.
+    #[test]
+    fn table3_defaults() {
+        let p = Params::default();
+        assert_eq!(p.num_queries, 1000);
+        assert_eq!(p.num_attrs, 10);
+        assert_eq!(p.const_domain, 1000);
+        assert_eq!(p.window_domain, 1000);
+        assert_eq!(p.zipf, 1.5);
+        assert!(p.num_tuples >= 100_000, "§5.1: at least 100000 tuples");
+    }
+
+    #[test]
+    fn builders() {
+        let p = Params::default()
+            .with_queries(10)
+            .with_const_domain(10)
+            .with_window_domain(20)
+            .with_zipf(2.0)
+            .with_tuples(500);
+        assert_eq!(p.num_queries, 10);
+        assert_eq!(p.const_domain, 10);
+        assert_eq!(p.window_domain, 20);
+        assert_eq!(p.zipf, 2.0);
+        assert_eq!(p.num_tuples, 500);
+    }
+}

@@ -1,0 +1,157 @@
+//! Synthetic stream generation (§5.1): two streams S and T with the schema
+//! of Table 3 (10 integer attributes plus the timestamp), consecutive
+//! timestamps starting from 0, attribute values uniform in
+//! `0..const_domain`, and tuple generation interleaved — even timestamps
+//! belong to S, odd timestamps to T.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rumor_types::Tuple;
+
+use crate::params::Params;
+
+/// Which stream an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StTag {
+    /// The S stream (even timestamps).
+    S,
+    /// The T stream (odd timestamps).
+    T,
+}
+
+/// A generated input event.
+#[derive(Debug, Clone)]
+pub struct StEvent {
+    /// Stream tag.
+    pub tag: StTag,
+    /// The tuple.
+    pub tuple: Tuple,
+}
+
+fn random_tuple(rng: &mut StdRng, ts: u64, attrs: usize, domain: i64) -> Tuple {
+    let values: Vec<i64> = (0..attrs).map(|_| rng.gen_range(0..domain.max(1))).collect();
+    Tuple::ints(ts, &values)
+}
+
+/// Generates the interleaved S/T input of §5.1.
+pub fn st_events(params: &Params) -> Vec<StEvent> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    (0..params.num_tuples as u64)
+        .map(|ts| StEvent {
+            tag: if ts % 2 == 0 { StTag::S } else { StTag::T },
+            tuple: random_tuple(&mut rng, ts, params.num_attrs, params.const_domain),
+        })
+        .collect()
+}
+
+/// An event of the Workload 3 feeds (§5.2): either a channel tuple shared
+/// by all of S1..Sk, a single-stream tuple Si (round-robin mode), or a T
+/// tuple.
+#[derive(Debug, Clone)]
+pub enum W3Event {
+    /// A tuple belonging to all `k` encoded streams (channel mode).
+    Channel(Tuple),
+    /// A tuple of one specific stream (round-robin, no-channel mode).
+    Si(usize, Tuple),
+    /// A T tuple.
+    T(Tuple),
+}
+
+/// Generates the Workload 3 input in *channel* form: tuples alternate
+/// between one channel tuple (belonging to all k streams) and one T tuple.
+pub fn w3_channel_events(params: &Params, _k: usize) -> Vec<W3Event> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    (0..params.num_tuples as u64)
+        .map(|ts| {
+            let tuple = random_tuple(&mut rng, ts, params.num_attrs, params.const_domain);
+            if ts % 2 == 0 {
+                W3Event::Channel(tuple)
+            } else {
+                W3Event::T(tuple)
+            }
+        })
+        .collect()
+}
+
+/// Generates the Workload 3 input in *round-robin* form: each round emits
+/// `k` copies of the same content (one per stream Si, same timestamp) and
+/// then one T tuple, so the two variants carry exactly the same content
+/// (§5.2: "To ensure fairness in the comparison...").
+pub fn w3_round_robin_events(params: &Params, k: usize) -> Vec<W3Event> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut out = Vec::new();
+    let mut ts = 0u64;
+    // Match the channel variant's content: the round's shared tuple is the
+    // channel tuple, the round's T tuple is the same T tuple.
+    while out.len() < params.num_tuples * (k + 1) / 2 {
+        let shared = random_tuple(&mut rng, ts, params.num_attrs, params.const_domain);
+        for i in 0..k {
+            out.push(W3Event::Si(i, shared.with_values(shared.values().to_vec())));
+        }
+        ts += 1;
+        let t = random_tuple(&mut rng, ts, params.num_attrs, params.const_domain);
+        out.push(W3Event::T(t));
+        ts += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn st_interleaving_and_domains() {
+        let p = Params::default().with_tuples(100).with_const_domain(10);
+        let events = st_events(&p);
+        assert_eq!(events.len(), 100);
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.tuple.ts, i as u64, "consecutive timestamps");
+            let expect = if i % 2 == 0 { StTag::S } else { StTag::T };
+            assert_eq!(ev.tag, expect);
+            assert_eq!(ev.tuple.arity(), 10);
+            for v in ev.tuple.values() {
+                let x = v.as_int().unwrap();
+                assert!((0..10).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let p = Params::default().with_tuples(50);
+        let a = st_events(&p);
+        let b = st_events(&p);
+        assert_eq!(
+            a.iter().map(|e| e.tuple.clone()).collect::<Vec<_>>(),
+            b.iter().map(|e| e.tuple.clone()).collect::<Vec<_>>()
+        );
+        let mut p2 = p.clone();
+        p2.seed += 1;
+        let c = st_events(&p2);
+        assert_ne!(
+            a.iter().map(|e| e.tuple.clone()).collect::<Vec<_>>(),
+            c.iter().map(|e| e.tuple.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn w3_variants_share_content() {
+        let p = Params::default().with_tuples(20);
+        let k = 3;
+        let ch = w3_channel_events(&p, k);
+        let rr = w3_round_robin_events(&p, k);
+        // Channel mode: alternating channel/T.
+        assert!(matches!(ch[0], W3Event::Channel(_)));
+        assert!(matches!(ch[1], W3Event::T(_)));
+        // Round-robin: k copies with identical content then a T tuple.
+        let W3Event::Si(0, ref first) = rr[0] else { panic!() };
+        let W3Event::Si(1, ref second) = rr[1] else { panic!() };
+        assert_eq!(first.values(), second.values());
+        assert_eq!(first.ts, second.ts);
+        assert!(matches!(rr[k], W3Event::T(_)));
+        // Same content as the channel variant's first round.
+        let W3Event::Channel(ref cfirst) = ch[0] else { panic!() };
+        assert_eq!(cfirst.values(), first.values());
+    }
+}

@@ -1,0 +1,126 @@
+//! Workload 1 (§5.2): queries of template `σθ1(S) ;θ2∧θ3 T`.
+//!
+//! θ1 is `S.a\[0\] = c1`, θ3 is `T.a\[0\] = c3` (both constants Zipfian), and
+//! θ2 is the duration window (Zipfian, favoring large windows). This
+//! workload exercises Cayuga's FR index (the θ1s) and AN index (the θ3s);
+//! in RUMOR both surface as predicate-indexed selection m-ops — the θ1
+//! index directly via rule sσ, the θ3 index after the `seq_pushdown`
+//! rewrite.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rumor_cayuga::Automaton;
+use rumor_core::{LogicalPlan, SeqSpec};
+use rumor_expr::{CmpOp, Expr, Predicate};
+use rumor_types::{QueryId, Schema};
+
+use crate::params::Params;
+use crate::zipf::Zipf;
+
+/// One generated query, in both engine representations.
+#[derive(Debug, Clone)]
+pub struct W1Query {
+    /// θ1 constant.
+    pub c1: i64,
+    /// θ3 constant.
+    pub c3: i64,
+    /// θ2 window.
+    pub window: u64,
+    /// RUMOR logical plan.
+    pub plan: LogicalPlan,
+    /// Equivalent Cayuga automaton.
+    pub automaton: Automaton,
+}
+
+/// Generates the Workload 1 query set.
+pub fn generate(params: &Params) -> Vec<W1Query> {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x57_01);
+    let consts = Zipf::new(params.const_domain.max(1) as usize, params.zipf);
+    let windows = Zipf::new(params.window_domain.max(1) as usize, params.zipf);
+    let schema = Schema::ints(params.num_attrs);
+    (0..params.num_queries)
+        .map(|i| {
+            let c1 = consts.sample_constant(&mut rng);
+            let c3 = consts.sample_constant(&mut rng);
+            let window = windows.sample_window(&mut rng);
+            let theta1 = Predicate::attr_eq_const(0, c1);
+            // θ3 evaluated on each T tuple: an event-only predicate inside
+            // the sequence operator (pushed down by `seq_pushdown`).
+            let theta3 = Predicate::cmp(CmpOp::Eq, Expr::rcol(0), Expr::lit(c3));
+            let plan = LogicalPlan::source("S")
+                .select(theta1.clone())
+                .followed_by(
+                    LogicalPlan::source("T"),
+                    SeqSpec {
+                        predicate: theta3.clone(),
+                        window,
+                    },
+                );
+            let automaton = Automaton::sequence(
+                "S",
+                &schema,
+                theta1,
+                "T",
+                &schema,
+                theta3,
+                window,
+                QueryId(i as u32),
+            );
+            W1Query {
+                c1,
+                c3,
+                window,
+                plan,
+                automaton,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_core::{Optimizer, OptimizerConfig, PlanGraph};
+
+    #[test]
+    fn constants_and_windows_in_domain() {
+        let p = Params::default()
+            .with_queries(50)
+            .with_const_domain(20)
+            .with_window_domain(30);
+        for q in generate(&p) {
+            assert!((0..20).contains(&q.c1));
+            assert!((0..20).contains(&q.c3));
+            assert!((1..=30).contains(&q.window));
+        }
+    }
+
+    #[test]
+    fn optimizer_builds_two_indexes() {
+        let p = Params::default().with_queries(40);
+        let queries = generate(&p);
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(10), None).unwrap();
+        plan.add_source("T", Schema::ints(10), None).unwrap();
+        for q in &queries {
+            plan.add_query(&q.plan).unwrap();
+        }
+        let trace = Optimizer::new(OptimizerConfig::default())
+            .optimize(&mut plan)
+            .unwrap();
+        assert_eq!(trace.count("seq_pushdown"), 40);
+        assert_eq!(trace.count("s_sigma"), 2, "FR index on S, AN index on T");
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn zipf_commonality_appears() {
+        // With high skew, many queries share θ1 — the prefix-merging /
+        // CSE opportunity the paper's Figure 9(d) varies.
+        let p = Params::default().with_queries(100).with_zipf(2.0);
+        let queries = generate(&p);
+        let zero_c1 = queries.iter().filter(|q| q.c1 == 0).count();
+        assert!(zero_c1 > 10, "hot constant must repeat, got {zero_c1}");
+    }
+}

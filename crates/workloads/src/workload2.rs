@@ -1,0 +1,176 @@
+//! Workload 2 (§5.2): parameter-free join-style event patterns that
+//! exercise the Active Instance (AI) index.
+//!
+//! * Sequence template `S ;θ1∧θ2 T` with `θ1 = S.a\[0\] = T.a\[0\]` and θ2 the
+//!   Zipfian duration window (Figure 10(a)): every S tuple enters the
+//!   operator state and every T tuple probes it by `a\[0\]`.
+//! * Iteration template `S µθ1∧θ2,θ3 T` with the rebind predicate
+//!   `θ3 = T.a\[1\] > last.a\[1\]` (Figure 10(b)): each query looks for an S
+//!   tuple followed by a sequence of T tuples with increasing `a\[1\]`,
+//!   per-key (`a\[0\]`) matching.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rumor_cayuga::Automaton;
+use rumor_core::{IterSpec, LogicalPlan, SeqSpec};
+use rumor_expr::{CmpOp, Expr, NamedExpr, Predicate, SchemaMap};
+use rumor_types::{QueryId, Schema};
+
+use crate::params::Params;
+use crate::zipf::Zipf;
+
+/// A generated Workload 2 query.
+#[derive(Debug, Clone)]
+pub struct W2Query {
+    /// Duration window.
+    pub window: u64,
+    /// RUMOR logical plan.
+    pub plan: LogicalPlan,
+    /// Equivalent Cayuga automaton.
+    pub automaton: Automaton,
+}
+
+/// The pairwise equi predicate `S.a\[0\] = T.a\[0\]`.
+pub fn theta1() -> Predicate {
+    Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0))
+}
+
+/// Generates the sequence variant (`;`).
+pub fn generate_seq(params: &Params) -> Vec<W2Query> {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x57_02);
+    let windows = Zipf::new(params.window_domain.max(1) as usize, params.zipf);
+    let schema = Schema::ints(params.num_attrs);
+    (0..params.num_queries)
+        .map(|i| {
+            let window = windows.sample_window(&mut rng);
+            let plan = LogicalPlan::source("S").followed_by(
+                LogicalPlan::source("T"),
+                SeqSpec {
+                    predicate: theta1(),
+                    window,
+                },
+            );
+            let automaton = Automaton::sequence(
+                "S",
+                &schema,
+                Predicate::True,
+                "T",
+                &schema,
+                theta1(),
+                window,
+                QueryId(i as u32),
+            );
+            W2Query {
+                window,
+                plan,
+                automaton,
+            }
+        })
+        .collect()
+}
+
+/// The µ rebind predicate `S.a\[0\] = T.a\[0\] AND T.a\[1\] > last.a\[1\]` and its
+/// rebind map (`a\[1\] := T.a\[1\]`, everything else kept).
+pub fn mu_parts(num_attrs: usize) -> (Predicate, Predicate, SchemaMap) {
+    let filter = Predicate::cmp(CmpOp::Ne, Expr::col(0), Expr::rcol(0));
+    let rebind = Predicate::and(vec![
+        theta1(),
+        Predicate::cmp(CmpOp::Gt, Expr::rcol(1), Expr::col(1)),
+    ]);
+    let map = SchemaMap::new(
+        (0..num_attrs)
+            .map(|i| {
+                let expr = if i == 1 { Expr::rcol(1) } else { Expr::col(i) };
+                NamedExpr::new(format!("a{i}"), expr)
+            })
+            .collect(),
+    );
+    (filter, rebind, map)
+}
+
+/// Generates the iteration variant (`µ`).
+pub fn generate_mu(params: &Params) -> Vec<W2Query> {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x57_03);
+    let windows = Zipf::new(params.window_domain.max(1) as usize, params.zipf);
+    let schema = Schema::ints(params.num_attrs);
+    let (filter, rebind, map) = mu_parts(params.num_attrs);
+    (0..params.num_queries)
+        .map(|i| {
+            let window = windows.sample_window(&mut rng);
+            let plan = LogicalPlan::source("S").iterate(
+                LogicalPlan::source("T"),
+                IterSpec {
+                    filter: filter.clone(),
+                    rebind: rebind.clone(),
+                    rebind_map: map.clone(),
+                    window,
+                },
+            );
+            let automaton = Automaton::iterate(
+                "S",
+                &schema,
+                Predicate::True,
+                "T",
+                filter.clone(),
+                rebind.clone(),
+                map.clone(),
+                window,
+                QueryId(i as u32),
+            );
+            W2Query {
+                window,
+                plan,
+                automaton,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_core::{MopKind, Optimizer, OptimizerConfig, PlanGraph};
+
+    fn optimize(queries: &[W2Query]) -> PlanGraph {
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(10), None).unwrap();
+        plan.add_source("T", Schema::ints(10), None).unwrap();
+        for q in queries {
+            plan.add_query(&q.plan).unwrap();
+        }
+        Optimizer::new(OptimizerConfig::default())
+            .optimize(&mut plan)
+            .unwrap();
+        plan.validate().unwrap();
+        plan
+    }
+
+    #[test]
+    fn seq_queries_share_one_mop() {
+        let p = Params::default().with_queries(30);
+        let plan = optimize(&generate_seq(&p));
+        // All queries share the predicate; only windows differ, so rule s;
+        // leaves exactly one shared sequence m-op.
+        assert_eq!(plan.mop_count(), 1);
+        let node = plan.mops().next().unwrap();
+        assert_eq!(node.kind, MopKind::SharedSequence);
+        assert!(node.members.len() <= 30);
+    }
+
+    #[test]
+    fn mu_queries_share_one_mop() {
+        let p = Params::default().with_queries(30);
+        let plan = optimize(&generate_mu(&p));
+        assert_eq!(plan.mop_count(), 1);
+        assert_eq!(plan.mops().next().unwrap().kind, MopKind::SharedIterate);
+    }
+
+    #[test]
+    fn identical_windows_deduplicate() {
+        let p = Params::default().with_queries(200).with_window_domain(5);
+        let plan = optimize(&generate_seq(&p));
+        // At most 5 distinct windows exist, so CSE bounds the members.
+        assert!(plan.member_count() <= 5);
+    }
+}

@@ -1,0 +1,179 @@
+//! Workload 3 (§5.2): channel-based sharing across sharable first-input
+//! streams.
+//!
+//! The template is `Si ;θ1∧θ2 T`: the Si are k different but sharable
+//! streams (k = *channel capacity*, default 10), T is common to all
+//! queries, θ1 is `Si.a\[0\] = T.a\[0\]`, and θ2 the Zipfian window. In channel
+//! mode the Si arrive as one externally-fed channel whose tuples belong to
+//! all k streams; rule c; then shares one instance store across all
+//! queries. In the no-channel baseline the same content arrives as k
+//! separate streams (round-robin, §5.2) and only same-stream sharing
+//! applies.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rumor_core::{IterSpec, LogicalPlan, SeqSpec};
+use rumor_types::QueryId;
+
+use crate::params::Params;
+use crate::workload2::{mu_parts, theta1};
+use crate::zipf::Zipf;
+
+/// A generated Workload 3 query.
+#[derive(Debug, Clone)]
+pub struct W3Query {
+    /// Which of the k sharable streams the query reads.
+    pub stream_index: usize,
+    /// Duration window.
+    pub window: u64,
+    /// Plan for the channel-mode setup (reads `C.{i}`).
+    pub channel_plan: LogicalPlan,
+    /// Plan for the no-channel setup (reads `S{i}`).
+    pub plain_plan: LogicalPlan,
+    /// Query id (same in both setups).
+    pub query: QueryId,
+}
+
+/// Generates the Workload 3 query set over `k` sharable streams.
+pub fn generate(params: &Params, k: usize) -> Vec<W3Query> {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x57_04);
+    let windows = Zipf::new(params.window_domain.max(1) as usize, params.zipf);
+    (0..params.num_queries)
+        .map(|i| {
+            let stream_index = i % k.max(1);
+            let window = windows.sample_window(&mut rng);
+            let spec = SeqSpec {
+                predicate: theta1(),
+                window,
+            };
+            let channel_plan = LogicalPlan::source(format!("C.{stream_index}"))
+                .followed_by(LogicalPlan::source("T"), spec.clone());
+            let plain_plan = LogicalPlan::source(format!("S{stream_index}"))
+                .followed_by(LogicalPlan::source("T"), spec);
+            W3Query {
+                stream_index,
+                window,
+                channel_plan,
+                plain_plan,
+                query: QueryId(i as u32),
+            }
+        })
+        .collect()
+}
+
+/// Generates the µ variant of Workload 3 (`Si µθ1∧θ2,θ3 T`, §5.2's
+/// closing remark: "we also performed experiments on channels with query
+/// template Si µ T, and obtained similar results").
+pub fn generate_mu(params: &Params, k: usize) -> Vec<W3Query> {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x57_05);
+    let windows = Zipf::new(params.window_domain.max(1) as usize, params.zipf);
+    let (filter, rebind, map) = mu_parts(params.num_attrs);
+    (0..params.num_queries)
+        .map(|i| {
+            let stream_index = i % k.max(1);
+            let window = windows.sample_window(&mut rng);
+            let spec = IterSpec {
+                filter: filter.clone(),
+                rebind: rebind.clone(),
+                rebind_map: map.clone(),
+                window,
+            };
+            let channel_plan = LogicalPlan::source(format!("C.{stream_index}"))
+                .iterate(LogicalPlan::source("T"), spec.clone());
+            let plain_plan = LogicalPlan::source(format!("S{stream_index}"))
+                .iterate(LogicalPlan::source("T"), spec);
+            W3Query {
+                stream_index,
+                window,
+                channel_plan,
+                plain_plan,
+                query: QueryId(i as u32),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_core::{MopKind, Optimizer, OptimizerConfig, PlanGraph};
+    use rumor_types::Schema;
+
+    fn channel_plan_graph(n_queries: usize, k: usize) -> PlanGraph {
+        let p = Params::default().with_queries(n_queries);
+        let queries = generate(&p, k);
+        let mut plan = PlanGraph::new();
+        plan.add_source_group("C", Schema::ints(10), k).unwrap();
+        plan.add_source("T", Schema::ints(10), None).unwrap();
+        for q in &queries {
+            plan.add_query(&q.channel_plan).unwrap();
+        }
+        Optimizer::new(OptimizerConfig::default())
+            .optimize(&mut plan)
+            .unwrap();
+        plan.validate().unwrap();
+        plan
+    }
+
+    #[test]
+    fn channel_mode_merges_across_streams() {
+        let plan = channel_plan_graph(40, 10);
+        // One channel-shared sequence m-op across all 10 streams.
+        assert_eq!(plan.mop_count(), 1);
+        let node = plan.mops().next().unwrap();
+        assert_eq!(node.kind, MopKind::ChannelSequence);
+        // The input channel is the source channel of capacity 10.
+        assert_eq!(plan.channel(node.inputs[0]).capacity(), 10);
+    }
+
+    #[test]
+    fn no_channel_mode_shares_per_stream_only() {
+        let p = Params::default().with_queries(40);
+        let queries = generate(&p, 10);
+        let mut plan = PlanGraph::new();
+        for i in 0..10 {
+            plan.add_source(format!("S{i}"), Schema::ints(10), Some("w3".into()))
+                .unwrap();
+        }
+        plan.add_source("T", Schema::ints(10), None).unwrap();
+        for q in &queries {
+            plan.add_query(&q.plain_plan).unwrap();
+        }
+        Optimizer::new(OptimizerConfig::without_channels())
+            .optimize(&mut plan)
+            .unwrap();
+        plan.validate().unwrap();
+        // Rule s; shares within each stream but not across: 10 m-ops.
+        assert_eq!(plan.mop_count(), 10);
+        assert!(plan.mops().all(|n| n.kind == MopKind::SharedSequence));
+    }
+
+    #[test]
+    fn mu_variant_merges_under_c_mu() {
+        let p = Params::default().with_queries(30);
+        let queries = generate_mu(&p, 10);
+        let mut plan = PlanGraph::new();
+        plan.add_source_group("C", Schema::ints(10), 10).unwrap();
+        plan.add_source("T", Schema::ints(10), None).unwrap();
+        for q in &queries {
+            plan.add_query(&q.channel_plan).unwrap();
+        }
+        Optimizer::new(OptimizerConfig::default())
+            .optimize(&mut plan)
+            .unwrap();
+        plan.validate().unwrap();
+        assert_eq!(plan.mop_count(), 1);
+        assert_eq!(plan.mops().next().unwrap().kind, MopKind::ChannelIterate);
+    }
+
+    #[test]
+    fn queries_cycle_over_streams() {
+        let p = Params::default().with_queries(25);
+        let queries = generate(&p, 10);
+        assert_eq!(queries[0].stream_index, 0);
+        assert_eq!(queries[9].stream_index, 9);
+        assert_eq!(queries[10].stream_index, 0);
+        assert_eq!(queries[24].stream_index, 4);
+    }
+}

@@ -1,0 +1,129 @@
+//! Zipfian sampling for query parameters (§5.1): "Each window length is
+//! chosen with a Zipfian distribution, favoring larger windows [...]. The
+//! Zipfian distribution is to model commonality among queries that is often
+//! observed in real, large-scale workloads."
+
+use rand::Rng;
+
+/// A Zipf(s) sampler over ranks `0..n` (rank 0 is the most likely).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler: `P(rank = k) ∝ 1 / (k+1)^s`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "empty Zipf domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the domain is a single rank.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Samples a predicate constant from `0..domain` (rank 0 ↦ 0, the most
+    /// common constant).
+    pub fn sample_constant(&self, rng: &mut impl Rng) -> i64 {
+        self.sample(rng) as i64
+    }
+
+    /// Samples a window length from `1..=domain`, favoring *larger* windows
+    /// (rank 0 ↦ the full domain, as in §5.1: "a window of length 1000 is
+    /// most likely to be chosen").
+    pub fn sample_window(&self, rng: &mut impl Rng) -> u64 {
+        (self.cdf.len() - self.sample(rng)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rank_zero_is_most_likely() {
+        let z = Zipf::new(100, 1.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[10]);
+        // Rough check of the head mass: for s=1.5, P(0) ≈ 0.38.
+        let p0 = counts[0] as f64 / 20_000.0;
+        assert!((0.30..0.48).contains(&p0), "p0 = {p0}");
+    }
+
+    #[test]
+    fn window_sampling_favors_large() {
+        let z = Zipf::new(1000, 1.5);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut big = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let w = z.sample_window(&mut rng);
+            assert!((1..=1000).contains(&w));
+            if w == 1000 {
+                big += 1;
+            }
+        }
+        assert!(big > n / 4, "window 1000 must dominate, got {big}/{n}");
+    }
+
+    #[test]
+    fn constants_in_domain() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let c = z.sample_constant(&mut rng);
+            assert!((0..50).contains(&c));
+        }
+    }
+
+    #[test]
+    fn higher_skew_concentrates_mass() {
+        let lo = Zipf::new(100, 1.2);
+        let hi = Zipf::new(100, 2.0);
+        let mut rng = StdRng::seed_from_u64(10);
+        let head = |z: &Zipf, rng: &mut StdRng| {
+            (0..10_000).filter(|_| z.sample(rng) == 0).count()
+        };
+        let lo_head = head(&lo, &mut rng);
+        let hi_head = head(&hi, &mut rng);
+        assert!(hi_head > lo_head);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty Zipf domain")]
+    fn empty_domain_panics() {
+        let _ = Zipf::new(0, 1.5);
+    }
+}

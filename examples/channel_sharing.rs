@@ -1,0 +1,109 @@
+//! Channel-based sharing (§3 and §4.4): Workload 3's template
+//! `Si ;θ T` over ten *sharable* streams, evaluated once with channels and
+//! once without, over identical input content — the experiment behind
+//! Figures 10(c) and 10(d).
+//!
+//! Run with `cargo run --release --example channel_sharing`.
+
+use std::time::Instant;
+
+use rumor::workloads::synth::{w3_channel_events, w3_round_robin_events, W3Event};
+use rumor::workloads::{workload3, Params};
+use rumor::{Membership, Optimizer, OptimizerConfig, PlanGraph, Schema};
+use rumor_engine::exec::{CountingSink, ExecutablePlan};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let capacity = 10;
+    let params = Params::default().with_queries(100).with_tuples(40_000);
+    let queries = workload3::generate(&params, capacity);
+
+    // ------------------------------------------------------------------
+    // Channel mode: the ten sharable streams arrive as ONE channel; rule c;
+    // merges all sequence operators into a single channel m-op.
+    // ------------------------------------------------------------------
+    let mut plan = PlanGraph::new();
+    let c = plan.add_source_group("C", Schema::ints(10), capacity)?;
+    let t = plan.add_source("T", Schema::ints(10), None)?;
+    for q in &queries {
+        plan.add_query(&q.channel_plan)?;
+    }
+    let trace = Optimizer::new(OptimizerConfig::default()).optimize(&mut plan)?;
+    println!(
+        "channel plan: {} m-ops ({} rewrites, c_seq fired {} times)",
+        plan.mop_count(),
+        trace.entries.len(),
+        trace.count("c_seq")
+    );
+
+    let mut exec = ExecutablePlan::new(&plan)?;
+    let mut sink = CountingSink::default();
+    let start = Instant::now();
+    let channel_events = w3_channel_events(&params, capacity);
+    for ev in &channel_events {
+        match ev {
+            W3Event::Channel(tuple) => {
+                exec.push_channel(c, tuple.clone(), Membership::all(capacity), &mut sink)?
+            }
+            W3Event::T(tuple) => exec.push(t, tuple.clone(), &mut sink)?,
+            W3Event::Si(..) => unreachable!(),
+        }
+    }
+    // Count logical stream tuples: one channel tuple on k streams is k
+    // tuples (§3.1), which keeps the two feeds comparable.
+    let logical: usize = channel_events
+        .iter()
+        .map(|e| match e {
+            W3Event::Channel(_) => capacity,
+            _ => 1,
+        })
+        .sum();
+    let with_rate = logical as f64 / start.elapsed().as_secs_f64();
+    println!(
+        "  with channel:    {:>10.0} events/s ({} results)",
+        with_rate, sink.total
+    );
+    let with_results = sink.total;
+
+    // ------------------------------------------------------------------
+    // No-channel baseline: the same content as ten separate streams fed
+    // round-robin (§5.2's fairness protocol).
+    // ------------------------------------------------------------------
+    let mut plan = PlanGraph::new();
+    let mut sis = Vec::new();
+    for i in 0..capacity {
+        sis.push(plan.add_source(format!("S{i}"), Schema::ints(10), Some("w3".into()))?);
+    }
+    let t = plan.add_source("T", Schema::ints(10), None)?;
+    for q in &queries {
+        plan.add_query(&q.plain_plan)?;
+    }
+    Optimizer::new(OptimizerConfig::without_channels()).optimize(&mut plan)?;
+    println!("plain plan:   {} m-ops (one shared ; per stream)", plan.mop_count());
+
+    let mut exec = ExecutablePlan::new(&plan)?;
+    let mut sink = CountingSink::default();
+    let start = Instant::now();
+    let rr_events = w3_round_robin_events(&params, capacity);
+    for ev in &rr_events {
+        match ev {
+            W3Event::Si(i, tuple) => exec.push(sis[*i], tuple.clone(), &mut sink)?,
+            W3Event::T(tuple) => exec.push(t, tuple.clone(), &mut sink)?,
+            W3Event::Channel(_) => unreachable!(),
+        }
+    }
+    let without_rate = rr_events.len() as f64 / start.elapsed().as_secs_f64();
+    println!(
+        "  without channel: {:>10.0} events/s ({} results)",
+        without_rate, sink.total
+    );
+
+    assert_eq!(
+        with_results, sink.total,
+        "both plans must produce identical result counts"
+    );
+    println!(
+        "\nchannel speedup: {:.1}x on identical content (paper reports roughly an order of magnitude, Figure 10(c))",
+        with_rate / without_rate
+    );
+    Ok(())
+}

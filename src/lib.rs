@@ -1,0 +1,78 @@
+//! # RUMOR — Rule-Based Multi-Query Optimization
+//!
+//! A from-scratch Rust implementation of the RUMOR framework from
+//! *Rule-Based Multi-Query Optimization* (Hong, Riedewald, Koch, Gehrke,
+//! Demers — EDBT 2009): a stream-processing engine in which **one** query
+//! plan implements **all** registered continuous queries, and a rule-based
+//! optimizer merges operators that can share state and computation.
+//!
+//! ## The three RUMOR abstractions (Table 2 of the paper)
+//!
+//! | traditional          | RUMOR                            |
+//! |----------------------|----------------------------------|
+//! | physical operator    | physical multi-operator (m-op)   |
+//! | transformation rule  | multi-query rule (m-rule)        |
+//! | stream               | channel (+ membership component) |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rumor::{OptimizerConfig, Rumor, CollectingSink, Tuple};
+//!
+//! let mut engine = Rumor::new(OptimizerConfig::default());
+//! engine
+//!     .execute(
+//!         "CREATE STREAM sensors (station INT, temp INT);
+//!          QUERY hot  AS SELECT * FROM sensors WHERE temp > 35;
+//!          QUERY s7   AS SELECT * FROM sensors WHERE station = 7;
+//!          QUERY s9   AS SELECT * FROM sensors WHERE station = 9;",
+//!     )
+//!     .unwrap();
+//! // One predicate-indexed m-op now serves all three selections.
+//! let trace = engine.optimize().unwrap();
+//! assert_eq!(trace.count("s_sigma"), 1);
+//!
+//! let mut rt = engine.runtime().unwrap();
+//! let mut sink = CollectingSink::default();
+//! let src = engine.source_id("sensors").unwrap();
+//! rt.push(src, Tuple::ints(0, &[7, 40]), &mut sink).unwrap();
+//! assert_eq!(sink.results.len(), 2); // `hot` and `s7` both fire
+//! ```
+//!
+//! ## Crate map
+//!
+//! * `rumor-types` — values, tuples, schemas, membership bit vectors.
+//! * `rumor-expr` — expressions, predicates, schema maps.
+//! * `rumor-core` — plan graph, m-ops, channels, the m-rule optimizer.
+//! * `rumor-lang` — the CQL-style + event-pattern query language.
+//! * `rumor-ops` — physical implementations of every shared m-op.
+//! * `rumor-engine` — the push-based runtime ([`Rumor`] facade).
+//! * `rumor-cayuga` — the Cayuga-style automaton baseline engine (§4/§5).
+//! * `rumor-workloads` — the paper's benchmark workloads (§5).
+
+#![warn(missing_docs)]
+
+pub use rumor_cayuga::{Automaton, CayugaEngine};
+pub use rumor_core::{
+    AggFunc, AggSpec, ChannelTuple, IterSpec, JoinSpec, LogicalPlan, MopKind, OpDef, Optimizer,
+    OptimizerConfig, PlanGraph, RewriteTrace, SeqSpec,
+};
+pub use rumor_engine::{
+    CollectingSink, CountingSink, DiscardSink, ExecutablePlan, QuerySink, Rumor,
+};
+pub use rumor_expr::{CmpOp, EvalCtx, Expr, NamedExpr, Predicate, SchemaMap};
+pub use rumor_types::{
+    ChannelId, Field, Membership, MopId, QueryId, Schema, SourceId, StreamId, Timestamp, Tuple,
+    Value, ValueType,
+};
+
+/// Workload generators for the paper's evaluation (re-exported for
+/// examples and downstream experimentation).
+pub mod workloads {
+    pub use rumor_workloads::*;
+}
+
+/// The query language layer (parsing and lowering).
+pub mod lang {
+    pub use rumor_lang::*;
+}

@@ -1,0 +1,152 @@
+//! Integration tests spanning the full stack through the query language:
+//! parse → lower → register → optimize → execute → observe results.
+
+use rumor::{CollectingSink, OptimizerConfig, Rumor, Tuple, Value};
+
+fn engine(script: &str) -> Rumor {
+    let mut r = Rumor::new(OptimizerConfig::default());
+    r.execute(script).unwrap();
+    r.optimize().unwrap();
+    r
+}
+
+#[test]
+fn projection_computes_values() {
+    let r = engine(
+        "CREATE STREAM s (a INT, b INT);
+         QUERY q AS SELECT b, a * 10 + b AS combo FROM s WHERE a > 1;",
+    );
+    let mut rt = r.runtime().unwrap();
+    let mut sink = CollectingSink::default();
+    let src = r.source_id("s").unwrap();
+    rt.push(src, Tuple::ints(0, &[1, 5]), &mut sink).unwrap(); // filtered
+    rt.push(src, Tuple::ints(1, &[3, 7]), &mut sink).unwrap();
+    let q = r.query_id("q").unwrap();
+    let got = sink.of(q);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].values(), &[Value::Int(7), Value::Int(37)]);
+}
+
+#[test]
+fn join_within_window() {
+    let r = engine(
+        "CREATE STREAM l (k INT, x INT);
+         CREATE STREAM r (k INT, y INT);
+         QUERY j AS SELECT * FROM l JOIN r ON l.k = r.k WITHIN 5;",
+    );
+    let mut rt = r.runtime().unwrap();
+    let mut sink = CollectingSink::default();
+    let ls = r.source_id("l").unwrap();
+    let rs = r.source_id("r").unwrap();
+    rt.push(ls, Tuple::ints(0, &[7, 1]), &mut sink).unwrap();
+    rt.push(rs, Tuple::ints(2, &[7, 2]), &mut sink).unwrap(); // joins
+    rt.push(rs, Tuple::ints(9, &[7, 3]), &mut sink).unwrap(); // expired
+    let q = r.query_id("j").unwrap();
+    let got = sink.of(q);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0], &Tuple::ints(2, &[7, 1, 7, 2]));
+}
+
+#[test]
+fn group_by_aggregate_stream() {
+    let r = engine(
+        "CREATE STREAM m (node INT, v INT);
+         QUERY peak AS SELECT node, MAX(v) AS peak FROM m [RANGE 10] GROUP BY node;",
+    );
+    let mut rt = r.runtime().unwrap();
+    let mut sink = CollectingSink::default();
+    let src = r.source_id("m").unwrap();
+    for (ts, node, v) in [(0, 1, 5), (1, 2, 9), (2, 1, 3), (15, 1, 1)] {
+        rt.push(src, Tuple::ints(ts, &[node, v]), &mut sink).unwrap();
+    }
+    let q = r.query_id("peak").unwrap();
+    let got = sink.of(q);
+    assert_eq!(got.len(), 4);
+    assert_eq!(got[0], &Tuple::ints(0, &[1, 5]));
+    assert_eq!(got[1], &Tuple::ints(1, &[2, 9]));
+    assert_eq!(got[2], &Tuple::ints(2, &[1, 5])); // max(5, 3)
+    assert_eq!(got[3], &Tuple::ints(15, &[1, 1])); // window slid past 5
+}
+
+#[test]
+fn sequence_pattern_via_language() {
+    let r = engine(
+        "CREATE STREAM a (k INT);
+         CREATE STREAM b (k INT);
+         QUERY p AS PATTERN a AS x WHERE x.k = 1 THEN b AS y WHERE x.k = y.k WITHIN 10;",
+    );
+    let mut rt = r.runtime().unwrap();
+    let mut sink = CollectingSink::default();
+    let sa = r.source_id("a").unwrap();
+    let sb = r.source_id("b").unwrap();
+    rt.push(sa, Tuple::ints(0, &[1]), &mut sink).unwrap();
+    rt.push(sb, Tuple::ints(1, &[1]), &mut sink).unwrap(); // match + consume
+    rt.push(sb, Tuple::ints(2, &[1]), &mut sink).unwrap(); // no instance left
+    let q = r.query_id("p").unwrap();
+    assert_eq!(sink.of(q).len(), 1);
+}
+
+#[test]
+fn shared_script_workload_counts() {
+    // Many similar queries via the language; sharing must not change what
+    // each query sees.
+    let mut script = String::from("CREATE STREAM s (a INT, b INT);\n");
+    for c in 0..8 {
+        script.push_str(&format!(
+            "QUERY q{c} AS SELECT * FROM s WHERE a = {c};\n"
+        ));
+    }
+    let r = engine(&script);
+    assert_eq!(r.plan().mop_count(), 1, "all selections share one m-op");
+    let mut rt = r.runtime().unwrap();
+    let mut sink = CollectingSink::default();
+    let src = r.source_id("s").unwrap();
+    for ts in 0..80u64 {
+        rt.push(src, Tuple::ints(ts, &[(ts % 8) as i64, 0]), &mut sink)
+            .unwrap();
+    }
+    for c in 0..8 {
+        let q = r.query_id(&format!("q{c}")).unwrap();
+        assert_eq!(sink.of(q).len(), 10, "query {c}");
+    }
+}
+
+#[test]
+fn define_subplans_share_via_rules() {
+    // Two queries over the same DEFINE: the aggregation runs once.
+    let r = engine(
+        "CREATE STREAM cpu (pid INT, load INT);
+         DEFINE sm AS SELECT pid, AVG(load) AS load FROM cpu [RANGE 5] GROUP BY pid;
+         QUERY hot  AS SELECT * FROM sm WHERE load > 80.0;
+         QUERY cold AS SELECT * FROM sm WHERE load < 5.0;",
+    );
+    // α (+rename π) shared via CSE; both selections indexed together.
+    let aggs = r
+        .plan()
+        .mops()
+        .filter(|n| {
+            n.members
+                .iter()
+                .any(|m| matches!(m.def, rumor::OpDef::Aggregate(_)))
+        })
+        .count();
+    assert_eq!(aggs, 1, "one shared aggregation");
+    let mut rt = r.runtime().unwrap();
+    let mut sink = CollectingSink::default();
+    let src = r.source_id("cpu").unwrap();
+    rt.push(src, Tuple::ints(0, &[1, 90]), &mut sink).unwrap();
+    rt.push(src, Tuple::ints(1, &[2, 1]), &mut sink).unwrap();
+    assert_eq!(sink.of(r.query_id("hot").unwrap()).len(), 1);
+    assert_eq!(sink.of(r.query_id("cold").unwrap()).len(), 1);
+}
+
+#[test]
+fn parse_errors_surface_cleanly() {
+    let mut r = Rumor::new(OptimizerConfig::default());
+    let err = r.execute("SELECT FROM nowhere").unwrap_err();
+    assert!(matches!(err, rumor_types::RumorError::Parse { .. }));
+    let err = r
+        .execute("CREATE STREAM s (a INT); SELECT * FROM unknown_stream;")
+        .unwrap_err();
+    assert!(matches!(err, rumor_types::RumorError::Unknown(_)));
+}

@@ -1,0 +1,128 @@
+//! End-to-end optimizer soundness: for random multi-query workloads, the
+//! fully optimized plan (all rules, channels included) must produce exactly
+//! the same per-query results as the naive one-operator-chain-per-query
+//! plan — §2.2's input/output-equivalence obligation lifted from single
+//! m-ops to whole plans.
+
+use proptest::prelude::*;
+
+use rumor::{
+    AggFunc, AggSpec, CollectingSink, IterSpec, JoinSpec, LogicalPlan, Optimizer,
+    OptimizerConfig, PlanGraph, Predicate, QueryId, Schema, SeqSpec, Tuple,
+};
+use rumor_engine::ExecutablePlan;
+use rumor_expr::{CmpOp, Expr, NamedExpr, SchemaMap};
+
+/// A small randomized query template pool: selections, aggregates over a
+/// (selected) stream, sequences and iterations with per-query windows, and
+/// window joins — enough to exercise every rule in Table 1.
+fn query_strategy() -> impl Strategy<Value = LogicalPlan> {
+    let sel = (0usize..3, 0i64..4)
+        .prop_map(|(a, c)| LogicalPlan::source("S").select(Predicate::attr_eq_const(a, c)));
+    let agg = (0i64..4, prop_oneof![Just(AggFunc::Sum), Just(AggFunc::Max)], 1u64..20)
+        .prop_map(|(c, func, w)| {
+            LogicalPlan::source("S")
+                .select(Predicate::attr_eq_const(0, c))
+                .aggregate(AggSpec {
+                    func,
+                    input: Expr::col(1),
+                    group_by: vec![2],
+                    window: w,
+                })
+        });
+    let join = (1u64..20).prop_map(|w| {
+        LogicalPlan::source("S").join(
+            LogicalPlan::source("T"),
+            JoinSpec {
+                predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                window: w,
+            },
+        )
+    });
+    let seq = (0i64..4, 1u64..20).prop_map(|(c, w)| {
+        LogicalPlan::source("S")
+            .select(Predicate::attr_eq_const(0, c))
+            .followed_by(
+                LogicalPlan::source("T"),
+                SeqSpec {
+                    predicate: Predicate::cmp(CmpOp::Eq, Expr::rcol(1), Expr::lit(c)),
+                    window: w,
+                },
+            )
+    });
+    let mu = (0i64..4, 1u64..20).prop_map(|(c, w)| {
+        LogicalPlan::source("S")
+            .select(Predicate::attr_eq_const(0, c))
+            .iterate(
+                LogicalPlan::source("T"),
+                IterSpec {
+                    filter: Predicate::cmp(CmpOp::Ne, Expr::col(2), Expr::rcol(2)),
+                    rebind: Predicate::and(vec![
+                        Predicate::cmp(CmpOp::Eq, Expr::col(2), Expr::rcol(2)),
+                        Predicate::cmp(CmpOp::Gt, Expr::rcol(1), Expr::col(1)),
+                    ]),
+                    rebind_map: SchemaMap::new(vec![
+                        NamedExpr::new("a0", Expr::col(0)),
+                        NamedExpr::new("a1", Expr::rcol(1)),
+                        NamedExpr::new("a2", Expr::col(2)),
+                    ]),
+                    window: w,
+                },
+            )
+    });
+    prop_oneof![sel, agg, join, seq, mu]
+}
+
+fn events_strategy() -> impl Strategy<Value = Vec<(bool, Tuple)>> {
+    prop::collection::vec((any::<bool>(), prop::collection::vec(0i64..4, 3)), 1..100).prop_map(
+        |items| {
+            items
+                .into_iter()
+                .enumerate()
+                .map(|(ts, (is_s, vals))| (is_s, Tuple::ints(ts as u64, &vals)))
+                .collect()
+        },
+    )
+}
+
+fn run_plan(
+    queries: &[LogicalPlan],
+    config: OptimizerConfig,
+    events: &[(bool, Tuple)],
+) -> Vec<Vec<String>> {
+    let mut plan = PlanGraph::new();
+    let s = plan.add_source("S", Schema::ints(3), None).unwrap();
+    let t = plan.add_source("T", Schema::ints(3), None).unwrap();
+    let qids: Vec<QueryId> = queries.iter().map(|q| plan.add_query(q).unwrap()).collect();
+    Optimizer::new(config).optimize(&mut plan).unwrap();
+    plan.validate().unwrap();
+    let mut exec = ExecutablePlan::new(&plan).unwrap();
+    let mut sink = CollectingSink::default();
+    for (is_s, tuple) in events {
+        let src = if *is_s { s } else { t };
+        exec.push(src, tuple.clone(), &mut sink).unwrap();
+    }
+    qids.iter()
+        .map(|&q| {
+            let mut v: Vec<String> = sink.of(q).iter().map(|t| t.to_string()).collect();
+            v.sort();
+            v
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn optimized_equals_unoptimized(
+        queries in prop::collection::vec(query_strategy(), 1..10),
+        events in events_strategy(),
+    ) {
+        let naive = run_plan(&queries, OptimizerConfig::unoptimized(), &events);
+        let shared = run_plan(&queries, OptimizerConfig::without_channels(), &events);
+        prop_assert_eq!(&naive, &shared, "s-rules changed results");
+        let channel = run_plan(&queries, OptimizerConfig::default(), &events);
+        prop_assert_eq!(&naive, &channel, "c-rules changed results");
+    }
+}
