@@ -17,12 +17,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use rumor_core::logical::{JoinSpec, OpDef, SeqSpec};
+use rumor_core::MultiOp;
 use rumor_core::{
     ChannelTuple, CountingEmit, MopContext, MopKind, Optimizer, OptimizerConfig, PlanGraph,
 };
 use rumor_expr::{CmpOp, Expr, Predicate};
 use rumor_ops::{instantiate, naive::NaiveMop};
-use rumor_core::MultiOp;
 use rumor_types::{PortId, Schema, Tuple};
 
 /// Builds a merged m-op context over `defs` (all reading the same streams).
@@ -204,7 +204,10 @@ fn bench_rule_order(c: &mut Criterion) {
     group.sample_size(20);
     let configs: Vec<(&str, OptimizerConfig)> = vec![
         ("full", OptimizerConfig::default()),
-        ("no_pushdown", OptimizerConfig::default().disable("seq_pushdown")),
+        (
+            "no_pushdown",
+            OptimizerConfig::default().disable("seq_pushdown"),
+        ),
         ("no_channels", OptimizerConfig::without_channels()),
         ("unoptimized", OptimizerConfig::unoptimized()),
     ];

@@ -12,9 +12,13 @@ fn bench_membership(c: &mut Criterion) {
     for &n in &[10usize, 25, 200] {
         let a = Membership::from_indices((0..n).filter(|i| i % 2 == 0));
         let b = Membership::from_indices((0..n).filter(|i| i % 3 == 0));
-        group.bench_with_input(BenchmarkId::new("intersect", n), &(a, b), |bench, (a, b)| {
-            bench.iter(|| a.intersect(b));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("intersect", n),
+            &(a, b),
+            |bench, (a, b)| {
+                bench.iter(|| a.intersect(b));
+            },
+        );
         let a = Membership::from_indices((0..n).filter(|i| i % 2 == 0));
         let b = Membership::from_indices((0..n).filter(|i| i % 3 == 0));
         group.bench_with_input(BenchmarkId::new("union", n), &(a, b), |bench, (a, b)| {

@@ -1,0 +1,41 @@
+//! Regenerates `BENCH_throughput.json`: per-event vs batched vs pipelined
+//! engine throughput.
+//!
+//! ```text
+//! cargo run --release -p rumor-bench --bin throughput [quick|full] [out.json]
+//! ```
+
+use rumor_bench::throughput::{render_json, run_all};
+use rumor_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .first()
+        .map(|s| Scale::parse(s).expect("scale is `quick` or `full`"))
+        .unwrap_or(Scale::Quick);
+    let out_path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+
+    let reports = run_all(scale);
+    for w in &reports {
+        println!(
+            "{} ({} queries, {} events, {} m-ops, batch_safe={})",
+            w.name, w.queries, w.events, w.mops, w.batch_safe
+        );
+        for p in &w.paths {
+            println!(
+                "  {:<28} {:>12.0} ev/s  ({:.2}x, {} results)",
+                p.path,
+                p.events_per_sec,
+                w.speedup(&p.path).unwrap_or(1.0),
+                p.results_out
+            );
+        }
+    }
+    let json = render_json(&reports, scale);
+    std::fs::write(&out_path, json).expect("write report");
+    println!("wrote {out_path}");
+}

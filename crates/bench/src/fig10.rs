@@ -66,7 +66,9 @@ fn w2_sweep(scale: Scale, mu: bool, title: &str) {
         if n > 10_000 {
             continue;
         }
-        let params = Params::default().with_queries(n).with_tuples(scale.tuples());
+        let params = Params::default()
+            .with_queries(n)
+            .with_tuples(scale.tuples());
         let (r, c) = measure_w2(&params, mu, runs);
         eprintln!(
             "  queries={n}: rumor {:.0} ev/s ({} results), cayuga {:.0} ev/s ({} results)",
@@ -158,7 +160,9 @@ fn w3_query_sweep(scale: Scale) {
         if n > 10_000 {
             continue;
         }
-        let params = Params::default().with_queries(n).with_tuples(scale.tuples());
+        let params = Params::default()
+            .with_queries(n)
+            .with_tuples(scale.tuples());
         let (w, wo) = measure_w3(&params, 10, runs);
         eprintln!(
             "  queries={n}: with channel {:.0} ev/s, without {:.0} ev/s",

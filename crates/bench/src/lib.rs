@@ -21,6 +21,7 @@
 pub mod fig10;
 pub mod fig11;
 pub mod fig9;
+pub mod throughput;
 
 use std::time::Instant;
 
@@ -211,7 +212,9 @@ pub fn optimized_plan(
     for q in queries {
         plan.add_query(&q).expect("register query");
     }
-    Optimizer::new(config).optimize(&mut plan).expect("optimize");
+    Optimizer::new(config)
+        .optimize(&mut plan)
+        .expect("optimize");
     plan
 }
 

@@ -134,7 +134,12 @@ impl RtState {
             };
             match index_split_left(&pred) {
                 Some((attr, key, residual)) => {
-                    by_attr.entry(attr).or_default().entry(key).or_default().push(i as u32);
+                    by_attr
+                        .entry(attr)
+                        .or_default()
+                        .entry(key)
+                        .or_default()
+                        .push(i as u32);
                     if self.is_start {
                         self.fr_residuals[i] = residual;
                     } else {
@@ -327,13 +332,16 @@ impl CayugaEngine {
         let id = self.states.len();
         self.by_stream.entry(input.clone()).or_default().push(id);
         self.stream_index.entry(input.clone()).or_default().dirty = true;
-        self.states.push(RtState::new(input, filter, rebind, is_start));
+        self.states
+            .push(RtState::new(input, filter, rebind, is_start));
         id
     }
 
     /// Rebuilds one stream's AN index from its states' edge predicates.
     fn rebuild_stream_index(&mut self, stream: &str) {
-        let Some(state_ids) = self.by_stream.get(stream) else { return };
+        let Some(state_ids) = self.by_stream.get(stream) else {
+            return;
+        };
         let state_ids = state_ids.clone();
         let mut always = Vec::new();
         let mut by_attr: HashMap<usize, HashMap<ValueKey, Vec<StateId>>> = HashMap::new();
@@ -385,8 +393,7 @@ impl CayugaEngine {
                 match self.start_of.get(&astate.input) {
                     Some(&id) => id,
                     None => {
-                        let id =
-                            self.new_state(astate.input.clone(), Predicate::False, None, true);
+                        let id = self.new_state(astate.input.clone(), Predicate::False, None, true);
                         self.start_of.insert(astate.input.clone(), id);
                         id
                     }
@@ -523,12 +530,7 @@ impl CayugaEngine {
     }
 
     /// Processes one event, reporting results through `sink`.
-    pub fn on_event(
-        &mut self,
-        stream: &str,
-        tuple: &Tuple,
-        sink: &mut dyn FnMut(QueryId, &Tuple),
-    ) {
+    pub fn on_event(&mut self, stream: &str, tuple: &Tuple, sink: &mut dyn FnMut(QueryId, &Tuple)) {
         self.events_in += 1;
         if !self.by_stream.contains_key(stream) {
             return;
@@ -846,7 +848,10 @@ mod tests {
         assert_eq!(e2.state_count(), 2, "full prefix merge");
         let results = collect(
             &mut e2,
-            &[("S", Tuple::ints(0, &[1, 9])), ("T", Tuple::ints(1, &[0, 5]))],
+            &[
+                ("S", Tuple::ints(0, &[1, 9])),
+                ("T", Tuple::ints(1, &[0, 5])),
+            ],
         );
         assert_eq!(results.len(), 2, "both queries complete");
         assert_ne!(results[0].0, results[1].0);

@@ -54,9 +54,8 @@ pub fn translate(
                 translate_state(automaton, schemas, target, plan, schema, &mut outputs)?
             }
             None => {
-                let q = query.ok_or_else(|| {
-                    RumorError::plan("final edge without a query".to_string())
-                })?;
+                let q = query
+                    .ok_or_else(|| RumorError::plan("final edge without a query".to_string()))?;
                 outputs.push((q, plan));
             }
         }
@@ -91,9 +90,9 @@ fn translate_state(
             window: rebind.dur,
         };
         let plan = left.iterate(LogicalPlan::source(&state.input), spec);
-        let q = rebind.emit.ok_or_else(|| {
-            RumorError::plan("µ state without an emitting query".to_string())
-        })?;
+        let q = rebind
+            .emit
+            .ok_or_else(|| RumorError::plan("µ state without an emitting query".to_string()))?;
         outputs.push((q, plan));
         return Ok(());
     }
@@ -119,7 +118,8 @@ fn translate_state(
                     .map(|ne| {
                         rumor_expr::NamedExpr::new(
                             ne.name.clone(),
-                            ne.expr.shift_side(Side::Right, left_schema.len(), Side::Left),
+                            ne.expr
+                                .shift_side(Side::Right, left_schema.len(), Side::Left),
                         )
                     })
                     .collect(),
@@ -128,13 +128,10 @@ fn translate_state(
             plan = plan.project(unary);
         }
         match edge.target {
-            Some(target) => {
-                translate_state(automaton, schemas, target, plan, schema, outputs)?
-            }
+            Some(target) => translate_state(automaton, schemas, target, plan, schema, outputs)?,
             None => {
-                let q = query.ok_or_else(|| {
-                    RumorError::plan("final edge without a query".to_string())
-                })?;
+                let q = query
+                    .ok_or_else(|| RumorError::plan("final edge without a query".to_string()))?;
                 outputs.push((q, plan));
             }
         }

@@ -74,8 +74,7 @@ pub fn estimate(plan: &PlanGraph) -> PlanCost {
                     .iter()
                     .filter(|m| match &m.def {
                         crate::logical::OpDef::Select(p) => {
-                            p.as_eq_const().is_none()
-                                && !matches!(p, rumor_expr::Predicate::And(_))
+                            p.as_eq_const().is_none() && !matches!(p, rumor_expr::Predicate::And(_))
                         }
                         _ => true,
                     })

@@ -90,7 +90,10 @@ impl AggSpec {
             fields.push(f.clone());
         }
         let in_ty = self.input.infer_type(input, None)?;
-        fields.push(Field::new(self.func.to_string(), self.func.output_type(in_ty)));
+        fields.push(Field::new(
+            self.func.to_string(),
+            self.func.output_type(in_ty),
+        ));
         Schema::new(fields)
     }
 }

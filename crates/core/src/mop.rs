@@ -59,9 +59,43 @@ impl Emit for VecEmit {
 ///
 /// The engine calls [`MultiOp::process`] once per input channel tuple, in
 /// global timestamp order. All state lives inside the operator.
+///
+/// Batched execution: engines that route events at batch granularity call
+/// [`MultiOp::process_batch`] with a run of consecutive tuples from one
+/// input channel. The default implementation falls back to per-tuple
+/// processing; implementations override it to hoist routing, lookup, and
+/// allocation work out of the per-tuple loop. Overrides must stay
+/// observationally equivalent to the per-tuple loop (the §2.2 obligation
+/// extends to batching).
 pub trait MultiOp: Send {
     /// Processes one input tuple arriving on `port`, writing any outputs.
     fn process(&mut self, port: PortId, input: &ChannelTuple, out: &mut dyn Emit);
+
+    /// Processes an ordered run of tuples from `port`'s input channel.
+    ///
+    /// Equivalent to calling [`MultiOp::process`] once per tuple in order,
+    /// up to the interleaving of emissions across *different* output
+    /// channel positions (per-position output order and content must be
+    /// identical — that is what downstream decoding and query delivery
+    /// observe). Overridden by hot operators to amortize per-tuple
+    /// overhead.
+    fn process_batch(&mut self, port: PortId, inputs: &[ChannelTuple], out: &mut dyn Emit) {
+        for input in inputs {
+            self.process(port, input, out);
+        }
+    }
+
+    /// True when the operator keeps no state across input tuples, so its
+    /// outputs depend only on each single input tuple.
+    ///
+    /// When *every* operator of a plan is stateless the engine may relax
+    /// strict global timestamp-order delivery into channel-run-batched
+    /// delivery (which reorders tuples *across* channels but never within
+    /// one), unlocking the batched fast path. Stateful operators (windowed
+    /// joins, sequences, aggregates, iterations) must return `false`.
+    fn is_stateless(&self) -> bool {
+        false
+    }
 
     /// Implementation name for diagnostics.
     fn name(&self) -> &'static str;
@@ -165,9 +199,7 @@ impl MopContext {
     /// Whether all members share one definition (the channelized m-ops
     /// exploit this to evaluate once per tuple).
     pub fn uniform_def(&self) -> bool {
-        self.members
-            .windows(2)
-            .all(|w| w[0].def == w[1].def)
+        self.members.windows(2).all(|w| w[0].def == w[1].def)
     }
 }
 

@@ -10,9 +10,7 @@
 
 use std::collections::HashMap;
 
-use rumor_types::{
-    ChannelId, MopId, QueryId, Result, RumorError, Schema, SourceId, StreamId,
-};
+use rumor_types::{ChannelId, MopId, QueryId, Result, RumorError, Schema, SourceId, StreamId};
 
 use crate::logical::{LogicalPlan, OpDef};
 
@@ -226,14 +224,15 @@ impl PlanGraph {
             return Err(RumorError::plan(format!("duplicate source `{name}`")));
         }
         if k == 0 {
-            return Err(RumorError::plan("channel source needs >= 1 stream".to_string()));
+            return Err(RumorError::plan(
+                "channel source needs >= 1 stream".to_string(),
+            ));
         }
         let id = SourceId::from_index(self.sources.len());
         let mut streams = Vec::with_capacity(k);
         for i in 0..k {
             let s = self.new_stream(schema.clone(), Producer::Source(id));
-            self.group_stream_names
-                .insert(format!("{name}.{i}"), s);
+            self.group_stream_names.insert(format!("{name}.{i}"), s);
             streams.push(s);
         }
         // Re-encode the member streams into one channel (they were created
@@ -267,7 +266,9 @@ impl PlanGraph {
 
     /// Looks up a source by name.
     pub fn source_by_name(&self, name: &str) -> Option<&SourceDef> {
-        self.source_by_name.get(name).map(|&id| &self.sources[id.index()])
+        self.source_by_name
+            .get(name)
+            .map(|&id| &self.sources[id.index()])
     }
 
     /// All sources.
@@ -374,8 +375,7 @@ impl PlanGraph {
         // producer reference is valid.
         self.mops.push(None);
         let output = self.new_stream(out_schema, Producer::Mop { mop: id, member: 0 });
-        let input_channels: Vec<ChannelId> =
-            inputs.iter().map(|&s| self.channel_of(s)).collect();
+        let input_channels: Vec<ChannelId> = inputs.iter().map(|&s| self.channel_of(s)).collect();
         let node = MopNode {
             id,
             kind: MopKind::Naive,
@@ -551,8 +551,7 @@ impl PlanGraph {
                 }
             }
         }
-        let member_inputs: Vec<Vec<StreamId>> =
-            members.iter().map(|m| m.inputs.clone()).collect();
+        let member_inputs: Vec<Vec<StreamId>> = members.iter().map(|m| m.inputs.clone()).collect();
         self.mops.push(Some(MopNode {
             id: new_id,
             kind,
@@ -753,8 +752,11 @@ impl PlanGraph {
             .members
             .get(member)
             .ok_or_else(|| RumorError::plan(format!("{mop}: no member {member}")))?;
-        let in_schemas: Vec<&Schema> =
-            m.inputs.iter().map(|&s| &self.streams[s.index()].schema).collect();
+        let in_schemas: Vec<&Schema> = m
+            .inputs
+            .iter()
+            .map(|&s| &self.streams[s.index()].schema)
+            .collect();
         let new_schema = def.output_schema(&in_schemas)?;
         if new_schema != self.streams[m.output.index()].schema {
             return Err(RumorError::plan(format!(
@@ -1006,11 +1008,17 @@ mod tests {
         // Output streams survive with rewired producers.
         assert_eq!(
             p.stream(out_a).producer,
-            Producer::Mop { mop: merged, member: 0 }
+            Producer::Mop {
+                mop: merged,
+                member: 0
+            }
         );
         assert_eq!(
             p.stream(out_b).producer,
-            Producer::Mop { mop: merged, member: 1 }
+            Producer::Mop {
+                mop: merged,
+                member: 1
+            }
         );
         assert_eq!(p.consumers_of(s), &[merged]);
         p.validate().unwrap();
@@ -1024,7 +1032,10 @@ mod tests {
         let (b, out_b) = p.add_op(OpDef::Select(pred.clone()), vec![s]).unwrap();
         // Downstream consumer of the second output.
         let (c, _) = p
-            .add_op(OpDef::Select(Predicate::attr_eq_const(1, 2i64)), vec![out_b])
+            .add_op(
+                OpDef::Select(Predicate::attr_eq_const(1, 2i64)),
+                vec![out_b],
+            )
             .unwrap();
         let merged = p.merge_mops(&[a, b], MopKind::IndexedSelect).unwrap();
         let node = p.mop(merged);
@@ -1042,7 +1053,10 @@ mod tests {
             .add_op(OpDef::Select(Predicate::attr_eq_const(0, 1i64)), vec![s])
             .unwrap();
         let (b, _) = p
-            .add_op(OpDef::Select(Predicate::attr_eq_const(0, 2i64)), vec![out_a])
+            .add_op(
+                OpDef::Select(Predicate::attr_eq_const(0, 2i64)),
+                vec![out_a],
+            )
             .unwrap();
         assert!(p.merge_mops(&[a, b], MopKind::IndexedSelect).is_err());
     }
@@ -1068,10 +1082,7 @@ mod tests {
         let (mut p, s) = plan_with_source();
         let (_, sel_out) = p.add_op(OpDef::Select(Predicate::True), vec![s]).unwrap();
         let (_, proj_out) = p
-            .add_op(
-                OpDef::Project(rumor_expr::SchemaMap::identity(1)),
-                vec![s],
-            )
+            .add_op(OpDef::Project(rumor_expr::SchemaMap::identity(1)), vec![s])
             .unwrap();
         assert!(p.alias_stream(sel_out, proj_out).is_err());
     }
@@ -1088,10 +1099,16 @@ mod tests {
             .unwrap();
         let sel = p.merge_mops(&[a, b], MopKind::IndexedSelect).unwrap();
         let (c1, _) = p
-            .add_op(OpDef::Select(Predicate::attr_eq_const(1, 3i64)), vec![out_a])
+            .add_op(
+                OpDef::Select(Predicate::attr_eq_const(1, 3i64)),
+                vec![out_a],
+            )
             .unwrap();
         let (c2, _) = p
-            .add_op(OpDef::Select(Predicate::attr_eq_const(1, 3i64)), vec![out_b])
+            .add_op(
+                OpDef::Select(Predicate::attr_eq_const(1, 3i64)),
+                vec![out_b],
+            )
             .unwrap();
         let ch = p.encode_channel(&[out_a, out_b]).unwrap();
         assert_eq!(p.channel_of(out_a), ch);
@@ -1129,7 +1146,9 @@ mod tests {
         let (b, out_b) = p
             .add_op(OpDef::Select(Predicate::True), vec![out_a])
             .unwrap();
-        let (c, _) = p.add_op(OpDef::Select(Predicate::True), vec![out_b]).unwrap();
+        let (c, _) = p
+            .add_op(OpDef::Select(Predicate::True), vec![out_b])
+            .unwrap();
         let order = p.topo_order().unwrap();
         let pos = |id: MopId| order.iter().position(|&x| x == id).unwrap();
         assert!(pos(a) < pos(b));

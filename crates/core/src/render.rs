@@ -41,13 +41,7 @@ pub fn render_text(plan: &PlanGraph) -> String {
         let _ = writeln!(out, "mop {} [{}]", node.id, kind_label(node.kind));
         for m in &node.members {
             let ins: Vec<String> = m.inputs.iter().map(|s| s.to_string()).collect();
-            let _ = writeln!(
-                out,
-                "  {} ({}) -> {}",
-                m.def,
-                ins.join(", "),
-                m.output
-            );
+            let _ = writeln!(out, "  {} ({}) -> {}", m.def, ins.join(", "), m.output);
         }
     }
     for ch in plan.channels() {
@@ -154,9 +148,15 @@ mod tests {
             .optimize(&mut p)
             .unwrap();
         let dot = render_dot(&p);
-        assert!(dot.contains("style=dashed"), "channel edges drawn dashed:\n{dot}");
+        assert!(
+            dot.contains("style=dashed"),
+            "channel edges drawn dashed:\n{dot}"
+        );
         let txt = render_text(&p);
-        assert!(txt.contains("channel"), "multi-stream channels listed:\n{txt}");
+        assert!(
+            txt.contains("channel"),
+            "multi-stream channels listed:\n{txt}"
+        );
     }
 
     #[test]

@@ -34,20 +34,92 @@ pub fn standard_rules(config: &OptimizerConfig) -> Vec<Box<dyn MRule>> {
         rules.push(Box::new(SeqPushdown));
     }
     if config.enable_sharing {
-        rules.push(merge_rule("s_sigma", 10, MopKind::IndexedSelect, false, classify_s_sigma));
-        rules.push(merge_rule("s_pi", 11, MopKind::SharedProject, false, classify_s_pi));
-        rules.push(merge_rule("s_alpha", 12, MopKind::SharedAggregate, false, classify_s_alpha));
-        rules.push(merge_rule("s_join", 13, MopKind::SharedJoin, false, classify_s_join));
-        rules.push(merge_rule("s_seq", 14, MopKind::SharedSequence, false, classify_s_seq));
-        rules.push(merge_rule("s_mu", 15, MopKind::SharedIterate, false, classify_s_mu));
+        rules.push(merge_rule(
+            "s_sigma",
+            10,
+            MopKind::IndexedSelect,
+            false,
+            classify_s_sigma,
+        ));
+        rules.push(merge_rule(
+            "s_pi",
+            11,
+            MopKind::SharedProject,
+            false,
+            classify_s_pi,
+        ));
+        rules.push(merge_rule(
+            "s_alpha",
+            12,
+            MopKind::SharedAggregate,
+            false,
+            classify_s_alpha,
+        ));
+        rules.push(merge_rule(
+            "s_join",
+            13,
+            MopKind::SharedJoin,
+            false,
+            classify_s_join,
+        ));
+        rules.push(merge_rule(
+            "s_seq",
+            14,
+            MopKind::SharedSequence,
+            false,
+            classify_s_seq,
+        ));
+        rules.push(merge_rule(
+            "s_mu",
+            15,
+            MopKind::SharedIterate,
+            false,
+            classify_s_mu,
+        ));
     }
     if config.enable_channels {
-        rules.push(merge_rule("c_sigma", 20, MopKind::ChannelSelect, true, classify_c_sigma));
-        rules.push(merge_rule("c_pi", 21, MopKind::ChannelProject, true, classify_c_pi));
-        rules.push(merge_rule("c_alpha", 22, MopKind::FragmentAggregate, true, classify_c_alpha));
-        rules.push(merge_rule("c_join", 23, MopKind::PrecisionJoin, true, classify_c_join));
-        rules.push(merge_rule("c_seq", 24, MopKind::ChannelSequence, true, classify_c_seq));
-        rules.push(merge_rule("c_mu", 25, MopKind::ChannelIterate, true, classify_c_mu));
+        rules.push(merge_rule(
+            "c_sigma",
+            20,
+            MopKind::ChannelSelect,
+            true,
+            classify_c_sigma,
+        ));
+        rules.push(merge_rule(
+            "c_pi",
+            21,
+            MopKind::ChannelProject,
+            true,
+            classify_c_pi,
+        ));
+        rules.push(merge_rule(
+            "c_alpha",
+            22,
+            MopKind::FragmentAggregate,
+            true,
+            classify_c_alpha,
+        ));
+        rules.push(merge_rule(
+            "c_join",
+            23,
+            MopKind::PrecisionJoin,
+            true,
+            classify_c_join,
+        ));
+        rules.push(merge_rule(
+            "c_seq",
+            24,
+            MopKind::ChannelSequence,
+            true,
+            classify_c_seq,
+        ));
+        rules.push(merge_rule(
+            "c_mu",
+            25,
+            MopKind::ChannelIterate,
+            true,
+            classify_c_mu,
+        ));
     }
     rules
 }
@@ -277,7 +349,9 @@ fn classify_s_alpha(_: &PlanGraph, _: &Sharability, node: &MopNode) -> Option<Gr
     let stream = uniform_port_stream(node, 0)?;
     let mut shared: Option<(AggFunc, &Expr, u64)> = None;
     for m in &node.members {
-        let OpDef::Aggregate(spec) = &m.def else { return None };
+        let OpDef::Aggregate(spec) = &m.def else {
+            return None;
+        };
         let key = spec.shared_key();
         match &shared {
             None => shared = Some(key),
@@ -294,7 +368,9 @@ fn classify_s_join(_: &PlanGraph, _: &Sharability, node: &MopNode) -> Option<Gro
     let r = uniform_port_stream(node, 1)?;
     let mut pred: Option<&Predicate> = None;
     for m in &node.members {
-        let OpDef::Join(spec) = &m.def else { return None };
+        let OpDef::Join(spec) = &m.def else {
+            return None;
+        };
         match pred {
             None => pred = Some(&spec.predicate),
             Some(p) if *p == spec.predicate => {}
@@ -309,7 +385,9 @@ fn classify_s_seq(_: &PlanGraph, _: &Sharability, node: &MopNode) -> Option<Grou
     let r = uniform_port_stream(node, 1)?;
     let mut pred: Option<&Predicate> = None;
     for m in &node.members {
-        let OpDef::Sequence(spec) = &m.def else { return None };
+        let OpDef::Sequence(spec) = &m.def else {
+            return None;
+        };
         match pred {
             None => pred = Some(&spec.predicate),
             Some(p) if *p == spec.predicate => {}
@@ -324,7 +402,9 @@ fn classify_s_mu(_: &PlanGraph, _: &Sharability, node: &MopNode) -> Option<Group
     let r = uniform_port_stream(node, 1)?;
     let mut def: Option<(&Predicate, &Predicate, &SchemaMap)> = None;
     for m in &node.members {
-        let OpDef::Iterate(spec) = &m.def else { return None };
+        let OpDef::Iterate(spec) = &m.def else {
+            return None;
+        };
         let key = (&spec.filter, &spec.rebind, &spec.rebind_map);
         match &def {
             None => def = Some(key),
@@ -333,7 +413,13 @@ fn classify_s_mu(_: &PlanGraph, _: &Sharability, node: &MopNode) -> Option<Group
         }
     }
     let (f, r_, m) = def?;
-    Some(GroupKey::SamePairIter(l, r, f.clone(), r_.clone(), m.clone()))
+    Some(GroupKey::SamePairIter(
+        l,
+        r,
+        f.clone(),
+        r_.clone(),
+        m.clone(),
+    ))
 }
 
 // ----------------------------------------------------------------------
@@ -664,7 +750,11 @@ mod tests {
         assert_eq!(trace.count("s_join"), 1);
         let node = p.mops().next().unwrap();
         assert_eq!(node.kind, MopKind::SharedJoin);
-        assert_eq!(node.members.len(), 3, "different windows stay distinct members");
+        assert_eq!(
+            node.members.len(),
+            3,
+            "different windows stay distinct members"
+        );
         p.validate().unwrap();
     }
 
@@ -690,14 +780,18 @@ mod tests {
             .mops()
             .find(|n| matches!(n.members[0].def, OpDef::Sequence(_)))
             .unwrap();
-        let OpDef::Sequence(spec) = &seq.members[0].def else { unreachable!() };
+        let OpDef::Sequence(spec) = &seq.members[0].def else {
+            unreachable!()
+        };
         assert_eq!(spec.predicate, Predicate::True);
         let t = p.source_by_name("T").unwrap().stream;
         let sel = p
             .mops()
             .find(|n| matches!(n.members[0].def, OpDef::Select(_)) && n.members[0].inputs[0] == t)
             .unwrap();
-        let OpDef::Select(sp) = &sel.members[0].def else { unreachable!() };
+        let OpDef::Select(sp) = &sel.members[0].def else {
+            unreachable!()
+        };
         assert_eq!(sp, &Predicate::attr_eq_const(0, 5i64));
         p.validate().unwrap();
     }
@@ -715,11 +809,7 @@ mod tests {
                 .followed_by(
                     LogicalPlan::source("T"),
                     SeqSpec {
-                        predicate: Predicate::cmp(
-                            CmpOp::Eq,
-                            Expr::rcol(0),
-                            Expr::lit(c),
-                        ),
+                        predicate: Predicate::cmp(CmpOp::Eq, Expr::rcol(0), Expr::lit(c)),
                         window: 100,
                     },
                 );
@@ -831,9 +921,10 @@ mod tests {
         let n = 4i64;
         for c in 0..n {
             // Starting condition differs per query; the rest is identical.
-            let start = smoothed
-                .clone()
-                .select(Predicate::cmp(CmpOp::Lt, Expr::col(1), Expr::lit(c * 10)));
+            let start =
+                smoothed
+                    .clone()
+                    .select(Predicate::cmp(CmpOp::Lt, Expr::col(1), Expr::lit(c * 10)));
             let mu = start.iterate(
                 smoothed.clone(),
                 IterSpec {

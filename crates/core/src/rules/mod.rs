@@ -214,10 +214,8 @@ mod tests {
         let mut plan = PlanGraph::new();
         plan.add_source("S", Schema::ints(2), None).unwrap();
         for c in 0..4 {
-            plan.add_query(
-                &LogicalPlan::source("S").select(Predicate::attr_eq_const(0, c as i64)),
-            )
-            .unwrap();
+            plan.add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(0, c as i64)))
+                .unwrap();
         }
         let opt = Optimizer::new(OptimizerConfig::unoptimized());
         let trace = opt.optimize(&mut plan).unwrap();
@@ -233,20 +231,16 @@ mod tests {
         let mut plan = PlanGraph::new();
         plan.add_source("S", Schema::ints(2), None).unwrap();
         for c in 0..3 {
-            plan.add_query(
-                &LogicalPlan::source("S").select(Predicate::attr_eq_const(0, c as i64)),
-            )
-            .unwrap();
+            plan.add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(0, c as i64)))
+                .unwrap();
         }
         let opt = Optimizer::new(OptimizerConfig::default());
         opt.optimize(&mut plan).unwrap();
         assert_eq!(plan.mop_count(), 1);
 
         for c in 3..6 {
-            plan.add_query(
-                &LogicalPlan::source("S").select(Predicate::attr_eq_const(0, c as i64)),
-            )
-            .unwrap();
+            plan.add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(0, c as i64)))
+                .unwrap();
         }
         assert_eq!(plan.mop_count(), 4);
         let trace = opt.optimize(&mut plan).unwrap();

@@ -71,7 +71,9 @@ impl Sharability {
                     .iter()
                     .map(|s| sig_of_stream.get(s).copied())
                     .collect();
-                let Some(input_sigs) = input_sigs else { continue };
+                let Some(input_sigs) = input_sigs else {
+                    continue;
+                };
                 let sig = if member.def.is_select() {
                     // Special case for selection (§3.2): σ(T) ~ T.
                     input_sigs[0]
@@ -176,8 +178,10 @@ mod tests {
     #[test]
     fn labeled_sources_are_sharable() {
         let mut p = PlanGraph::new();
-        p.add_source("S1", Schema::ints(1), Some("grp".into())).unwrap();
-        p.add_source("S2", Schema::ints(1), Some("grp".into())).unwrap();
+        p.add_source("S1", Schema::ints(1), Some("grp".into()))
+            .unwrap();
+        p.add_source("S2", Schema::ints(1), Some("grp".into()))
+            .unwrap();
         p.add_source("T", Schema::ints(1), None).unwrap();
         let s1 = p.source_by_name("S1").unwrap().stream;
         let s2 = p.source_by_name("S2").unwrap().stream;

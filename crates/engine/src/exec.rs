@@ -49,9 +49,14 @@ impl QuerySink for DiscardSink {
 }
 
 /// Counts results per query.
+///
+/// Query ids are dense plan indices, so the per-query counters live in a
+/// plain `Vec` indexed by [`QueryId`] — this sink sits on the result hot
+/// path of every throughput run, and the previous `HashMap` paid a hash
+/// per result.
 #[derive(Debug, Default)]
 pub struct CountingSink {
-    counts: HashMap<QueryId, u64>,
+    counts: Vec<u64>,
     /// Total results across queries.
     pub total: u64,
 }
@@ -59,13 +64,17 @@ pub struct CountingSink {
 impl CountingSink {
     /// Result count for one query.
     pub fn count(&self, query: QueryId) -> u64 {
-        self.counts.get(&query).copied().unwrap_or(0)
+        self.counts.get(query.index()).copied().unwrap_or(0)
     }
 }
 
 impl QuerySink for CountingSink {
     fn on_result(&mut self, query: QueryId, _tuple: &Tuple) {
-        *self.counts.entry(query).or_insert(0) += 1;
+        let i = query.index();
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
         self.total += 1;
     }
 
@@ -102,6 +111,12 @@ impl QuerySink for CollectingSink {
     }
 }
 
+/// Source events per internal drain wave of
+/// [`ExecutablePlan::push_batch`]: large enough to amortize routing and
+/// dispatch over long channel runs, small enough that a wave's level
+/// buffers stay in cache.
+const BATCH_CHUNK: usize = 1024;
+
 /// An emitted event waiting to be routed.
 type Pending = VecDeque<(ChannelId, ChannelTuple)>;
 
@@ -111,7 +126,44 @@ struct QueueEmit<'a> {
 
 impl Emit for QueueEmit<'_> {
     fn emit(&mut self, channel: ChannelId, tuple: Tuple, membership: Membership) {
-        self.pending.push_back((channel, ChannelTuple::new(tuple, membership)));
+        self.pending
+            .push_back((channel, ChannelTuple::new(tuple, membership)));
+    }
+}
+
+/// One side of the batched drain's double buffer: parallel channel/tuple
+/// vectors, so a run of same-channel events forms a contiguous
+/// `&[ChannelTuple]` slice for [`rumor_core::MultiOp::process_batch`].
+#[derive(Debug, Default)]
+struct EventBuf {
+    chans: Vec<ChannelId>,
+    tuples: Vec<ChannelTuple>,
+}
+
+impl EventBuf {
+    fn push(&mut self, channel: ChannelId, tuple: ChannelTuple) {
+        self.chans.push(channel);
+        self.tuples.push(tuple);
+    }
+
+    fn clear(&mut self) {
+        self.chans.clear();
+        self.tuples.clear();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.chans.is_empty()
+    }
+}
+
+/// Emit adapter appending into the *next* level's [`EventBuf`].
+struct BufEmit<'a> {
+    buf: &'a mut EventBuf,
+}
+
+impl Emit for BufEmit<'_> {
+    fn emit(&mut self, channel: ChannelId, tuple: Tuple, membership: Membership) {
+        self.buf.push(channel, ChannelTuple::new(tuple, membership));
     }
 }
 
@@ -130,6 +182,12 @@ pub struct ExecutablePlan {
     /// source index → its base stream's channel.
     source_channels: Vec<ChannelId>,
     pending: Pending,
+    /// Every compiled op is stateless, so [`ExecutablePlan::push_batch`]
+    /// may run the channel-batched drain (see [`rumor_core::MultiOp::is_stateless`]).
+    batch_safe: bool,
+    /// Double buffers of the batched drain, reused across calls.
+    cur: EventBuf,
+    nxt: EventBuf,
     /// Total tuples pushed.
     pub events_in: u64,
 }
@@ -201,6 +259,7 @@ impl ExecutablePlan {
             })
             .collect();
 
+        let batch_safe = ops.iter().all(|op| op.is_stateless());
         Ok(ExecutablePlan {
             ops,
             op_ids,
@@ -209,6 +268,9 @@ impl ExecutablePlan {
             tap_masks,
             source_channels,
             pending: VecDeque::new(),
+            batch_safe,
+            cur: EventBuf::default(),
+            nxt: EventBuf::default(),
             events_in: 0,
         })
     }
@@ -288,21 +350,146 @@ impl ExecutablePlan {
 
     /// Pushes one source tuple through the plan, draining all downstream
     /// work before returning. Tuples must arrive in global timestamp order.
-    pub fn push(
-        &mut self,
-        source: SourceId,
-        tuple: Tuple,
-        sink: &mut dyn QuerySink,
-    ) -> Result<()> {
+    pub fn push(&mut self, source: SourceId, tuple: Tuple, sink: &mut dyn QuerySink) -> Result<()> {
         let channel = *self
             .source_channels
             .get(source.index())
             .ok_or_else(|| RumorError::exec(format!("unknown source {source}")))?;
         self.events_in += 1;
-        self.pending
-            .push_back((channel, ChannelTuple::solo(tuple)));
+        self.pending.push_back((channel, ChannelTuple::solo(tuple)));
         self.drain(sink);
         Ok(())
+    }
+
+    /// Whether this plan qualifies for the channel-batched fast path (all
+    /// compiled m-ops are stateless).
+    pub fn is_batch_safe(&self) -> bool {
+        self.batch_safe
+    }
+
+    /// Pushes a timestamp-ordered slice of source events through the plan.
+    ///
+    /// Per-query results are identical to pushing the events one at a time
+    /// with [`ExecutablePlan::push`]. On stateless plans (see
+    /// [`ExecutablePlan::is_batch_safe`]) events are routed at *run*
+    /// granularity: consecutive same-channel events form one
+    /// [`rumor_core::MultiOp::process_batch`] call per consumer, amortizing
+    /// routing, dispatch, and queue bookkeeping over the run. Stateful
+    /// plans fall back to the per-event drain, which preserves strict
+    /// global timestamp order (windowed operators rely on it).
+    pub fn push_batch(
+        &mut self,
+        events: &[(SourceId, Tuple)],
+        sink: &mut dyn QuerySink,
+    ) -> Result<()> {
+        if !self.batch_safe {
+            for (source, tuple) in events {
+                self.push(*source, tuple.clone(), sink)?;
+            }
+            return Ok(());
+        }
+        // Drain in bounded chunks so the level buffers stay cache-resident:
+        // one wave over the whole input would materialize every derived
+        // level in full, trading the per-event queue overhead for memory
+        // traffic.
+        for chunk in events.chunks(BATCH_CHUNK) {
+            // On an unknown source, match `push`: the valid prefix is
+            // fully processed (drained, counted) before the error — no
+            // staged events may leak into a later call.
+            let mut bad_source = None;
+            for (source, tuple) in chunk {
+                match self.source_channels.get(source.index()) {
+                    Some(&channel) => {
+                        self.cur.push(channel, ChannelTuple::solo(tuple.clone()));
+                        self.events_in += 1;
+                    }
+                    None => {
+                        bad_source = Some(*source);
+                        break;
+                    }
+                }
+            }
+            self.drain_batched(sink);
+            if let Some(source) = bad_source {
+                return Err(RumorError::exec(format!("unknown source {source}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Level-order batched drain: consumes the whole current buffer (runs
+    /// of consecutive same-channel events feed each consumer through one
+    /// `process_batch` call), with all emissions collected into the next
+    /// buffer; then the buffers swap. Per-channel event order is preserved,
+    /// which is all stateless consumers and query delivery observe.
+    fn drain_batched(&mut self, sink: &mut dyn QuerySink) {
+        let detailed = sink.wants_tuples();
+        while !self.cur.is_empty() {
+            // Split the borrow: the ops read `cur` while emitting into
+            // `nxt` through the adapter.
+            let cur = std::mem::take(&mut self.cur);
+            let mut i = 0;
+            while i < cur.chans.len() {
+                let ch = cur.chans[i];
+                let mut j = i + 1;
+                while j < cur.chans.len() && cur.chans[j] == ch {
+                    j += 1;
+                }
+                let run = &cur.tuples[i..j];
+                self.deliver_taps(ch, run, detailed, sink);
+                for &(idx, port) in &self.consumers[ch.index()] {
+                    let mut emit = BufEmit { buf: &mut self.nxt };
+                    self.ops[idx].process_batch(port, run, &mut emit);
+                }
+                i = j;
+            }
+            // Recycle the consumed buffer's allocation, then promote the
+            // freshly emitted level.
+            self.cur = cur;
+            self.cur.clear();
+            std::mem::swap(&mut self.cur, &mut self.nxt);
+        }
+    }
+
+    /// Query-tap delivery for one run (identical per-query ordering to the
+    /// per-event drain).
+    fn deliver_taps(
+        &self,
+        ch: ChannelId,
+        run: &[ChannelTuple],
+        detailed: bool,
+        sink: &mut dyn QuerySink,
+    ) {
+        if detailed {
+            let taps = &self.query_taps[ch.index()];
+            if taps.is_empty() {
+                return;
+            }
+            for ct in run {
+                for (pos, queries) in taps {
+                    if ct.belongs_to(*pos) {
+                        for &q in queries {
+                            sink.on_result(q, &ct.tuple);
+                        }
+                    }
+                }
+            }
+        } else if let Some((mask, uniform)) = &self.tap_masks[ch.index()] {
+            for ct in run {
+                let hits = ct.membership.intersect(mask);
+                if !hits.is_empty() {
+                    let n = match uniform {
+                        Some(per_pos) => hits.len() as u64 * per_pos,
+                        None => self.query_taps[ch.index()]
+                            .iter()
+                            .filter(|(p, _)| hits.contains(*p))
+                            .map(|(_, qs)| qs.len() as u64)
+                            .sum(),
+                    };
+                    sink.on_batch(n, &ct.tuple);
+                }
+            }
+        }
     }
 }
 
@@ -390,8 +577,7 @@ mod tests {
             feed_interleaved(&mut exec, s, t, 60, &mut sink);
             let mut per_query: Vec<Vec<String>> = Vec::new();
             for &q in &qs {
-                let mut v: Vec<String> =
-                    sink.of(q).iter().map(|t| t.to_string()).collect();
+                let mut v: Vec<String> = sink.of(q).iter().map(|t| t.to_string()).collect();
                 v.sort();
                 per_query.push(v);
             }
@@ -413,6 +599,106 @@ mod tests {
     }
 
     #[test]
+    fn push_batch_matches_push_on_stateless_plan() {
+        // Shared selections: stateless, so the run-batched drain engages.
+        let build = || {
+            let mut plan = PlanGraph::new();
+            plan.add_source("S", Schema::ints(2), None).unwrap();
+            let qs: Vec<QueryId> = (0..6)
+                .map(|c| {
+                    plan.add_query(
+                        &LogicalPlan::source("S").select(Predicate::attr_eq_const(0, c % 4)),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            Optimizer::new(OptimizerConfig::default())
+                .optimize(&mut plan)
+                .unwrap();
+            (plan, qs)
+        };
+        let (plan, qs) = build();
+        let s = plan.source_by_name("S").unwrap().id;
+        let events: Vec<(SourceId, Tuple)> = (0..200u64)
+            .map(|ts| (s, Tuple::ints(ts, &[(ts % 7) as i64, ts as i64])))
+            .collect();
+
+        let mut exec_a = ExecutablePlan::new(&plan).unwrap();
+        assert!(exec_a.is_batch_safe());
+        let mut a = CollectingSink::default();
+        for (src, t) in &events {
+            exec_a.push(*src, t.clone(), &mut a).unwrap();
+        }
+
+        let mut exec_b = ExecutablePlan::new(&plan).unwrap();
+        let mut b = CollectingSink::default();
+        exec_b.push_batch(&events, &mut b).unwrap();
+
+        assert_eq!(exec_a.events_in, exec_b.events_in);
+        for &q in &qs {
+            assert_eq!(a.of(q), b.of(q), "query {q} diverged under push_batch");
+        }
+
+        // Counting delivery agrees too.
+        let mut exec_c = ExecutablePlan::new(&plan).unwrap();
+        let mut c = CountingSink::default();
+        exec_c.push_batch(&events, &mut c).unwrap();
+        assert_eq!(c.total, a.results.len() as u64);
+    }
+
+    #[test]
+    fn push_batch_falls_back_on_stateful_plan() {
+        // A sequence query makes the plan stateful: push_batch must take
+        // the strict per-event path and still match push exactly.
+        let build = || {
+            let mut plan = PlanGraph::new();
+            plan.add_source("S", Schema::ints(2), None).unwrap();
+            plan.add_source("T", Schema::ints(2), None).unwrap();
+            let q = plan
+                .add_query(
+                    &LogicalPlan::source("S")
+                        .select(Predicate::attr_eq_const(0, 1i64))
+                        .followed_by(
+                            LogicalPlan::source("T"),
+                            SeqSpec {
+                                predicate: Predicate::cmp(CmpOp::Eq, Expr::col(1), Expr::rcol(1)),
+                                window: 8,
+                            },
+                        ),
+                )
+                .unwrap();
+            Optimizer::new(OptimizerConfig::default())
+                .optimize(&mut plan)
+                .unwrap();
+            (plan, q)
+        };
+        let (plan, q) = build();
+        let s = plan.source_by_name("S").unwrap().id;
+        let t = plan.source_by_name("T").unwrap().id;
+        let events: Vec<(SourceId, Tuple)> = (0..120u64)
+            .map(|ts| {
+                let src = if ts % 2 == 0 { s } else { t };
+                (
+                    src,
+                    Tuple::ints(ts, &[(ts % 3) as i64, ((ts / 2) % 4) as i64]),
+                )
+            })
+            .collect();
+
+        let mut exec_a = ExecutablePlan::new(&plan).unwrap();
+        assert!(!exec_a.is_batch_safe());
+        let mut a = CollectingSink::default();
+        for (src, tu) in &events {
+            exec_a.push(*src, tu.clone(), &mut a).unwrap();
+        }
+        let mut exec_b = ExecutablePlan::new(&plan).unwrap();
+        let mut b = CollectingSink::default();
+        exec_b.push_batch(&events, &mut b).unwrap();
+        assert!(!a.of(q).is_empty(), "workload must produce matches");
+        assert_eq!(a.of(q), b.of(q));
+    }
+
+    #[test]
     fn unknown_source_rejected() {
         let mut plan = PlanGraph::new();
         plan.add_source("S", Schema::ints(1), None).unwrap();
@@ -421,5 +707,33 @@ mod tests {
         assert!(exec
             .push(SourceId(9), Tuple::ints(0, &[1]), &mut sink)
             .is_err());
+    }
+
+    #[test]
+    fn push_batch_unknown_source_processes_valid_prefix_and_leaks_nothing() {
+        let mut plan = PlanGraph::new();
+        let s = plan.add_source("S", Schema::ints(1), None).unwrap();
+        let q = plan
+            .add_query(&LogicalPlan::source("S").select(Predicate::True))
+            .unwrap();
+        let mut exec = ExecutablePlan::new(&plan).unwrap();
+        assert!(exec.is_batch_safe());
+        let mut sink = CollectingSink::default();
+        let events = vec![
+            (s, Tuple::ints(0, &[1])),
+            (SourceId(9), Tuple::ints(1, &[2])),
+            (s, Tuple::ints(2, &[3])),
+        ];
+        assert!(exec.push_batch(&events, &mut sink).is_err());
+        // The valid prefix was fully processed (matching `push` semantics)...
+        assert_eq!(sink.of(q).len(), 1);
+        assert_eq!(exec.events_in, 1);
+        // ...and nothing from the failed call leaks into the next one.
+        let mut sink2 = CollectingSink::default();
+        exec.push_batch(&[(s, Tuple::ints(3, &[4]))], &mut sink2)
+            .unwrap();
+        assert_eq!(sink2.of(q).len(), 1);
+        assert_eq!(sink2.of(q)[0].ts, 3);
+        assert_eq!(exec.events_in, 2);
     }
 }

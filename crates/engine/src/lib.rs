@@ -36,14 +36,15 @@ pub mod metrics;
 pub mod pipeline;
 
 pub use exec::{CollectingSink, CountingSink, DiscardSink, ExecutablePlan, QuerySink};
-pub use metrics::{measure, InputEvent, Measurement, Protocol};
+pub use metrics::{
+    measure, measure_batched, measure_mode, FeedMode, InputEvent, Measurement, Protocol,
+};
+pub use pipeline::{run_pipelined, run_pipelined_config, PipelineConfig};
 
 use std::collections::HashMap;
 
-use rumor_core::{
-    LogicalPlan, Optimizer, OptimizerConfig, PlanGraph, RewriteTrace,
-};
-use rumor_lang::{parse_script, Lowerer, LoweredStatement};
+use rumor_core::{LogicalPlan, Optimizer, OptimizerConfig, PlanGraph, RewriteTrace};
+use rumor_lang::{parse_script, LoweredStatement, Lowerer};
 use rumor_types::{QueryId, Result, RumorError, Schema, SourceId};
 
 /// The top-level engine facade.

@@ -85,7 +85,7 @@ pub enum Expr {
 }
 
 #[allow(clippy::should_implement_trait)] // add/sub/mul/div are AST builders
-// (they construct expression nodes), not arithmetic on `Expr` values.
+                                         // (they construct expression nodes), not arithmetic on `Expr` values.
 impl Expr {
     /// Left-side attribute reference.
     pub fn col(index: usize) -> Expr {
@@ -178,9 +178,8 @@ impl Expr {
             Expr::Col { side, index } => {
                 let schema = match side {
                     Side::Left => left,
-                    Side::Right => right.ok_or_else(|| {
-                        RumorError::expr("right-side column in unary context")
-                    })?,
+                    Side::Right => right
+                        .ok_or_else(|| RumorError::expr("right-side column in unary context"))?,
                 };
                 schema
                     .field(*index)
@@ -360,10 +359,7 @@ mod tests {
         let ctx = EvalCtx::binary(&l, &r);
         assert_eq!(Expr::col(0).eval(&ctx), Value::Int(10));
         assert_eq!(Expr::rcol(0).eval(&ctx), Value::Int(20));
-        assert_eq!(
-            Expr::col(0).add(Expr::rcol(0)).eval(&ctx),
-            Value::Int(30)
-        );
+        assert_eq!(Expr::col(0).add(Expr::rcol(0)).eval(&ctx), Value::Int(30));
     }
 
     #[test]
@@ -372,19 +368,13 @@ mod tests {
         let ctx = EvalCtx::unary(&t);
         assert_eq!(Expr::col(0).mul(Expr::lit(3i64)).eval(&ctx), Value::Int(21));
         assert_eq!(Expr::col(0).div(Expr::lit(2i64)).eval(&ctx), Value::Int(3));
-        assert_eq!(
-            Expr::Neg(Box::new(Expr::col(0))).eval(&ctx),
-            Value::Int(-7)
-        );
+        assert_eq!(Expr::Neg(Box::new(Expr::col(0))).eval(&ctx), Value::Int(-7));
     }
 
     #[test]
     fn infer_types() {
         let s = Schema::ints(2);
-        assert_eq!(
-            Expr::col(0).infer_type(&s, None).unwrap(),
-            ValueType::Int
-        );
+        assert_eq!(Expr::col(0).infer_type(&s, None).unwrap(), ValueType::Int);
         assert_eq!(
             Expr::col(0)
                 .add(Expr::lit(1.5f64))

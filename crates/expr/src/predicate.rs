@@ -202,12 +202,29 @@ impl Predicate {
     /// order), returns the attribute index and constant. This is the shape
     /// the predicate-indexing m-op (rule sσ) hashes on \[10, 16\].
     pub fn as_eq_const(&self) -> Option<EqConst> {
-        let Predicate::Cmp { op: CmpOp::Eq, lhs, rhs } = self else {
+        let Predicate::Cmp {
+            op: CmpOp::Eq,
+            lhs,
+            rhs,
+        } = self
+        else {
             return None;
         };
         match (lhs, rhs) {
-            (Expr::Col { side: Side::Left, index }, Expr::Lit(v))
-            | (Expr::Lit(v), Expr::Col { side: Side::Left, index }) => Some(EqConst {
+            (
+                Expr::Col {
+                    side: Side::Left,
+                    index,
+                },
+                Expr::Lit(v),
+            )
+            | (
+                Expr::Lit(v),
+                Expr::Col {
+                    side: Side::Left,
+                    index,
+                },
+            ) => Some(EqConst {
                 attr: *index,
                 value: v.clone(),
             }),
@@ -229,15 +246,32 @@ impl Predicate {
         let mut keys = Vec::new();
         let mut residual = Vec::new();
         for c in conjuncts {
-            if let Predicate::Cmp { op: CmpOp::Eq, lhs, rhs } = &c {
+            if let Predicate::Cmp {
+                op: CmpOp::Eq,
+                lhs,
+                rhs,
+            } = &c
+            {
                 match (lhs, rhs) {
                     (
-                        Expr::Col { side: Side::Left, index: li },
-                        Expr::Col { side: Side::Right, index: ri },
+                        Expr::Col {
+                            side: Side::Left,
+                            index: li,
+                        },
+                        Expr::Col {
+                            side: Side::Right,
+                            index: ri,
+                        },
                     )
                     | (
-                        Expr::Col { side: Side::Right, index: ri },
-                        Expr::Col { side: Side::Left, index: li },
+                        Expr::Col {
+                            side: Side::Right,
+                            index: ri,
+                        },
+                        Expr::Col {
+                            side: Side::Left,
+                            index: li,
+                        },
                     ) => {
                         keys.push((*li, *ri));
                         continue;
@@ -270,24 +304,22 @@ impl Predicate {
                 lhs: lhs.shift_side(side, offset, new_side),
                 rhs: rhs.shift_side(side, offset, new_side),
             },
-            Predicate::And(ps) => {
-                Predicate::And(ps.iter().map(|p| p.shift_side(side, offset, new_side)).collect())
-            }
-            Predicate::Or(ps) => {
-                Predicate::Or(ps.iter().map(|p| p.shift_side(side, offset, new_side)).collect())
-            }
-            Predicate::Not(p) => {
-                Predicate::Not(Box::new(p.shift_side(side, offset, new_side)))
-            }
+            Predicate::And(ps) => Predicate::And(
+                ps.iter()
+                    .map(|p| p.shift_side(side, offset, new_side))
+                    .collect(),
+            ),
+            Predicate::Or(ps) => Predicate::Or(
+                ps.iter()
+                    .map(|p| p.shift_side(side, offset, new_side))
+                    .collect(),
+            ),
+            Predicate::Not(p) => Predicate::Not(Box::new(p.shift_side(side, offset, new_side))),
         }
     }
 
     /// Validates column references against the given schemas.
-    pub fn check_types(
-        &self,
-        left: &Schema,
-        right: Option<&Schema>,
-    ) -> rumor_types::Result<()> {
+    pub fn check_types(&self, left: &Schema, right: Option<&Schema>) -> rumor_types::Result<()> {
         match self {
             Predicate::True | Predicate::False => Ok(()),
             Predicate::Cmp { lhs, rhs, .. } => {
@@ -414,10 +446,7 @@ mod tests {
         let p = Predicate::attr_eq_const(0, 1i64);
         assert_eq!(Predicate::and(vec![]), Predicate::True);
         assert_eq!(Predicate::and(vec![p.clone()]), p.clone());
-        assert_eq!(
-            Predicate::and(vec![Predicate::True, p.clone()]),
-            p.clone()
-        );
+        assert_eq!(Predicate::and(vec![Predicate::True, p.clone()]), p.clone());
         assert_eq!(
             Predicate::and(vec![Predicate::False, p.clone()]),
             Predicate::False
@@ -428,10 +457,7 @@ mod tests {
             Predicate::True
         );
         // Nested And flattens.
-        let nested = Predicate::and(vec![
-            Predicate::And(vec![p.clone(), p.clone()]),
-            p.clone(),
-        ]);
+        let nested = Predicate::and(vec![Predicate::And(vec![p.clone(), p.clone()]), p.clone()]);
         assert_eq!(nested, Predicate::And(vec![p.clone(), p.clone(), p]));
     }
 
@@ -504,8 +530,12 @@ mod tests {
     #[test]
     fn check_types() {
         let s = Schema::ints(2);
-        assert!(Predicate::attr_eq_const(0, 1i64).check_types(&s, None).is_ok());
-        assert!(Predicate::attr_eq_const(5, 1i64).check_types(&s, None).is_err());
+        assert!(Predicate::attr_eq_const(0, 1i64)
+            .check_types(&s, None)
+            .is_ok());
+        assert!(Predicate::attr_eq_const(5, 1i64)
+            .check_types(&s, None)
+            .is_err());
         assert!(Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0))
             .check_types(&s, None)
             .is_err());

@@ -110,9 +110,7 @@ impl<'a> Scope<'a> {
                     '*' => ArithOp::Mul,
                     '/' => ArithOp::Div,
                     '%' => ArithOp::Rem,
-                    other => {
-                        return Err(RumorError::expr(format!("unknown operator `{other}`")))
-                    }
+                    other => return Err(RumorError::expr(format!("unknown operator `{other}`"))),
                 };
                 Ok(Expr::Bin {
                     op,
@@ -137,10 +135,16 @@ impl<'a> Scope<'a> {
                 rhs: self.lower_scalar(rhs)?,
             }),
             ExprAst::And(parts) => Ok(Predicate::and(
-                parts.iter().map(|p| self.lower_pred(p)).collect::<Result<_>>()?,
+                parts
+                    .iter()
+                    .map(|p| self.lower_pred(p))
+                    .collect::<Result<_>>()?,
             )),
             ExprAst::Or(parts) => Ok(Predicate::or(
-                parts.iter().map(|p| self.lower_pred(p)).collect::<Result<_>>()?,
+                parts
+                    .iter()
+                    .map(|p| self.lower_pred(p))
+                    .collect::<Result<_>>()?,
             )),
             ExprAst::Not(inner) => Ok(Predicate::not(self.lower_pred(inner)?)),
             other => Err(RumorError::expr(format!(
@@ -259,7 +263,13 @@ impl Lowerer {
                 second,
                 pair_where,
                 within,
-            } => self.lower_sequence(first, first_where.as_ref(), second, pair_where.as_ref(), *within),
+            } => self.lower_sequence(
+                first,
+                first_where.as_ref(),
+                second,
+                pair_where.as_ref(),
+                *within,
+            ),
             QueryExpr::Iterate {
                 first,
                 first_where,
@@ -443,9 +453,7 @@ impl Lowerer {
             lplan = lplan.select(scope.lower_pred(p)?);
         }
         let pred = match pair_where {
-            Some(p) => {
-                Scope::binary(&lschema, laliases, &rschema, raliases).lower_pred(p)?
-            }
+            Some(p) => Scope::binary(&lschema, laliases, &rschema, raliases).lower_pred(p)?,
             None => Predicate::True,
         };
         let out_schema = lschema.concat(&rschema);
@@ -511,8 +519,8 @@ impl Lowerer {
 mod tests {
     use super::*;
     use crate::parse_script;
-    use rumor_expr::CmpOp;
     use rumor_core::{AggFunc, OpDef, PlanGraph};
+    use rumor_expr::CmpOp;
     use rumor_types::{Field, ValueType};
 
     fn lowerer() -> Lowerer {

@@ -568,7 +568,11 @@ mod tests {
     fn create_stream() {
         let s = one("CREATE STREAM cpu (pid INT, load FLOAT);");
         match s {
-            Statement::CreateStream { name, schema, sharable_label } => {
+            Statement::CreateStream {
+                name,
+                schema,
+                sharable_label,
+            } => {
                 assert_eq!(name, "cpu");
                 assert_eq!(schema.len(), 2);
                 assert_eq!(schema.field(1).unwrap().ty, ValueType::Float);
@@ -593,7 +597,16 @@ mod tests {
     fn simple_select() {
         let s = one("SELECT * FROM cpu WHERE pid = 42;");
         match s {
-            Statement::Register { name: None, query: QueryExpr::Select { items, input, predicate, group_by } } => {
+            Statement::Register {
+                name: None,
+                query:
+                    QueryExpr::Select {
+                        items,
+                        input,
+                        predicate,
+                        group_by,
+                    },
+            } => {
                 assert_eq!(items, vec![SelectItem::Wildcard]);
                 assert_eq!(input.name, "cpu");
                 assert!(group_by.is_empty());
@@ -614,7 +627,16 @@ mod tests {
     fn aggregate_select() {
         let s = one("SELECT pid, AVG(load) AS load FROM cpu [RANGE 60] GROUP BY pid;");
         match s {
-            Statement::Register { query: QueryExpr::Select { items, input, group_by, .. }, .. } => {
+            Statement::Register {
+                query:
+                    QueryExpr::Select {
+                        items,
+                        input,
+                        group_by,
+                        ..
+                    },
+                ..
+            } => {
                 assert_eq!(items.len(), 2);
                 assert!(matches!(
                     &items[1],
@@ -631,10 +653,17 @@ mod tests {
     fn count_star() {
         let s = one("SELECT COUNT(*) FROM s [RANGE 5];");
         match s {
-            Statement::Register { query: QueryExpr::Select { items, .. }, .. } => {
+            Statement::Register {
+                query: QueryExpr::Select { items, .. },
+                ..
+            } => {
                 assert!(matches!(
                     &items[0],
-                    SelectItem::Agg { func: AggFunc::Count, expr: None, .. }
+                    SelectItem::Agg {
+                        func: AggFunc::Count,
+                        expr: None,
+                        ..
+                    }
                 ));
             }
             other => panic!("unexpected {other:?}"),
@@ -645,7 +674,16 @@ mod tests {
     fn join_query() {
         let s = one("SELECT * FROM s JOIN t ON s.a0 = t.a0 WITHIN 100;");
         match s {
-            Statement::Register { query: QueryExpr::Join { left, right, within, .. }, .. } => {
+            Statement::Register {
+                query:
+                    QueryExpr::Join {
+                        left,
+                        right,
+                        within,
+                        ..
+                    },
+                ..
+            } => {
                 assert_eq!(left.name, "s");
                 assert_eq!(right.name, "t");
                 assert_eq!(within, 100);
@@ -658,7 +696,17 @@ mod tests {
     fn sequence_pattern() {
         let s = one("PATTERN s AS x WHERE x.a0 = 1 THEN t AS y WHERE x.a1 = y.a1 WITHIN 50;");
         match s {
-            Statement::Register { query: QueryExpr::Sequence { first, second, within, first_where, pair_where }, .. } => {
+            Statement::Register {
+                query:
+                    QueryExpr::Sequence {
+                        first,
+                        second,
+                        within,
+                        first_where,
+                        pair_where,
+                    },
+                ..
+            } => {
                 assert_eq!(first.alias, "x");
                 assert_eq!(second.alias, "y");
                 assert_eq!(within, 50);
@@ -671,14 +719,23 @@ mod tests {
 
     #[test]
     fn iterate_pattern() {
-        let s = one(
-            "PATTERN sm AS x WHERE x.load < 20 THEN ITERATE sm AS y \
+        let s = one("PATTERN sm AS x WHERE x.load < 20 THEN ITERATE sm AS y \
              FILTER x.pid != y.pid \
              REBIND x.pid = y.pid AND y.load > x.load \
-             SET load = y.load WITHIN 300;",
-        );
+             SET load = y.load WITHIN 300;");
         match s {
-            Statement::Register { query: QueryExpr::Iterate { first, second, filter, set, within, .. }, .. } => {
+            Statement::Register {
+                query:
+                    QueryExpr::Iterate {
+                        first,
+                        second,
+                        filter,
+                        set,
+                        within,
+                        ..
+                    },
+                ..
+            } => {
                 assert_eq!(first.alias, "x");
                 assert_eq!(second.alias, "y");
                 assert!(filter.is_some());
@@ -709,8 +766,13 @@ mod tests {
     fn expression_precedence() {
         let s = one("SELECT a + b * 2 AS x FROM s;");
         match s {
-            Statement::Register { query: QueryExpr::Select { items, .. }, .. } => {
-                let SelectItem::Expr { expr, .. } = &items[0] else { panic!() };
+            Statement::Register {
+                query: QueryExpr::Select { items, .. },
+                ..
+            } => {
+                let SelectItem::Expr { expr, .. } = &items[0] else {
+                    panic!()
+                };
                 // a + (b * 2)
                 assert_eq!(
                     *expr,
@@ -733,7 +795,10 @@ mod tests {
     fn boolean_precedence() {
         let s = one("SELECT * FROM s WHERE a = 1 OR b = 2 AND NOT c = 3;");
         match s {
-            Statement::Register { query: QueryExpr::Select { predicate, .. }, .. } => {
+            Statement::Register {
+                query: QueryExpr::Select { predicate, .. },
+                ..
+            } => {
                 // OR(a=1, AND(b=2, NOT c=3))
                 match predicate.unwrap() {
                     ExprAst::Or(parts) => {
@@ -763,8 +828,13 @@ mod tests {
     fn nested_parens_and_unary_minus() {
         let s = one("SELECT -(a + 2) * 3 AS x FROM s;");
         match s {
-            Statement::Register { query: QueryExpr::Select { items, .. }, .. } => {
-                let SelectItem::Expr { expr, .. } = &items[0] else { panic!() };
+            Statement::Register {
+                query: QueryExpr::Select { items, .. },
+                ..
+            } => {
+                let SelectItem::Expr { expr, .. } = &items[0] else {
+                    panic!()
+                };
                 assert!(matches!(
                     expr,
                     ExprAst::Arith { op: '*', lhs, .. } if matches!(**lhs, ExprAst::Neg(_))
@@ -778,8 +848,13 @@ mod tests {
     fn modulo_and_float_literals() {
         let s = one("SELECT * FROM s WHERE a % 2 = 0 AND b < 1.5;");
         match s {
-            Statement::Register { query: QueryExpr::Select { predicate, .. }, .. } => {
-                let ExprAst::And(parts) = predicate.unwrap() else { panic!() };
+            Statement::Register {
+                query: QueryExpr::Select { predicate, .. },
+                ..
+            } => {
+                let ExprAst::And(parts) = predicate.unwrap() else {
+                    panic!()
+                };
                 assert_eq!(parts.len(), 2);
             }
             other => panic!("unexpected {other:?}"),
@@ -801,10 +876,9 @@ mod tests {
 
     #[test]
     fn multiple_statements_and_comments() {
-        let stmts = parse_script(
-            "-- setup\nCREATE STREAM s (a INT);\n\nSELECT * FROM s; SELECT * FROM s;",
-        )
-        .unwrap();
+        let stmts =
+            parse_script("-- setup\nCREATE STREAM s (a INT);\n\nSELECT * FROM s; SELECT * FROM s;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 }

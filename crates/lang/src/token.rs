@@ -159,15 +159,16 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     }
                 }
                 let text = &input[start..j];
-                let kind = if is_float {
-                    TokenKind::Float(text.parse().map_err(|_| {
-                        RumorError::parse(format!("bad float `{text}`"), line, col)
-                    })?)
-                } else {
-                    TokenKind::Int(text.parse().map_err(|_| {
-                        RumorError::parse(format!("bad integer `{text}`"), line, col)
-                    })?)
-                };
+                let kind =
+                    if is_float {
+                        TokenKind::Float(text.parse().map_err(|_| {
+                            RumorError::parse(format!("bad float `{text}`"), line, col)
+                        })?)
+                    } else {
+                        TokenKind::Int(text.parse().map_err(|_| {
+                            RumorError::parse(format!("bad integer `{text}`"), line, col)
+                        })?)
+                    };
                 let len = j - start;
                 push!(kind, len);
             }
@@ -205,7 +206,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -13,12 +13,10 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use rumor_core::logical::AggSpec;
 use rumor_core::{ChannelTuple, Emit, MopContext, MultiOp};
 use rumor_expr::EvalCtx;
-use rumor_core::logical::AggSpec;
-use rumor_types::{
-    Membership, PortId, Result, RumorError, Timestamp, Tuple, Value, ValueKey,
-};
+use rumor_types::{Membership, PortId, Result, RumorError, Timestamp, Tuple, Value, ValueKey};
 
 use crate::emitgroup::OutputGroups;
 use crate::single::{group_key, GroupState};
@@ -70,7 +68,11 @@ impl SharedAggregate {
             ));
         }
         let in_position = ctx.members[0].input_positions[0];
-        if ctx.members.iter().any(|m| m.input_positions[0] != in_position) {
+        if ctx
+            .members
+            .iter()
+            .any(|m| m.input_positions[0] != in_position)
+        {
             return Err(RumorError::exec(
                 "sα members must read the same stream".to_string(),
             ));
@@ -115,8 +117,7 @@ impl MultiOp for SharedAggregate {
         // The input expression is evaluated once for all members.
         let v = self.specs[0].input.eval(&EvalCtx::unary(tuple));
         self.window.push_back((tuple.ts, tuple.clone(), v.clone()));
-        for (idx, (spec, groups)) in self.specs.iter().zip(self.groups.iter_mut()).enumerate()
-        {
+        for (idx, (spec, groups)) in self.specs.iter().zip(self.groups.iter_mut()).enumerate() {
             let key = group_key(tuple, &spec.group_by);
             let g = groups.entry(key).or_default();
             g.add(&v);
@@ -165,13 +166,10 @@ impl FragmentAggregate {
     fn evict(&mut self, now: Timestamp) {
         while let Some((ts, _, _, _)) = self.window.front() {
             if now.saturating_sub(self.spec.window) > *ts || self.spec.window == 0 {
-                let (_, tuple, v, membership) =
-                    self.window.pop_front().expect("checked front");
+                let (_, tuple, v, membership) = self.window.pop_front().expect("checked front");
                 let key = group_key(&tuple, &self.spec.group_by);
                 if let Some(frags) = self.fragments.get_mut(&key) {
-                    if let Some((_, g)) =
-                        frags.iter_mut().find(|(m, _)| *m == membership)
-                    {
+                    if let Some((_, g)) = frags.iter_mut().find(|(m, _)| *m == membership) {
                         g.remove(&v);
                     }
                     frags.retain(|(_, g)| !g.is_empty());
@@ -210,10 +208,7 @@ impl MultiOp for FragmentAggregate {
         // Fold the tuple into its (group, fragment) partial exactly once —
         // this is the space and computation sharing of [15].
         let frags = self.fragments.entry(key.clone()).or_default();
-        match frags
-            .iter_mut()
-            .find(|(m, _)| *m == input.membership)
-        {
+        match frags.iter_mut().find(|(m, _)| *m == input.membership) {
             Some((_, g)) => g.add(&v),
             None => {
                 let mut g = GroupState::new();

@@ -38,9 +38,7 @@ impl OutputGroups {
             .collect();
         let all_singleton = members.iter().all(|m| m.out_capacity == 1);
         let uniform_channel = match members.first() {
-            Some(first)
-                if members.iter().all(|m| m.out_channel == first.out_channel) =>
-            {
+            Some(first) if members.iter().all(|m| m.out_channel == first.out_channel) => {
                 Some(first.out_channel)
             }
             _ => None,
@@ -117,7 +115,9 @@ impl OutputGroups {
     /// Callers must have constructed `membership` from member out
     /// positions; panics if there is no uniform channel.
     pub fn emit_premapped(&self, out: &mut dyn Emit, tuple: Tuple, membership: Membership) {
-        let ch = self.uniform_channel.expect("premapped emission needs a uniform channel");
+        let ch = self
+            .uniform_channel
+            .expect("premapped emission needs a uniform channel");
         out.emit(ch, tuple, membership);
     }
 }

@@ -129,9 +129,7 @@ impl SharedIterate {
             .ok_or_else(|| RumorError::exec("empty iterate m-op".to_string()))?
             .clone();
         let same_core = specs.iter().all(|s| {
-            s.filter == first.filter
-                && s.rebind == first.rebind
-                && s.rebind_map == first.rebind_map
+            s.filter == first.filter && s.rebind == first.rebind && s.rebind_map == first.rebind_map
         });
         if !same_core {
             return Err(RumorError::exec(
@@ -156,28 +154,26 @@ impl SharedIterate {
         members_by_window.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         let max_window = members_by_window.first().map(|&(w, _)| w).unwrap_or(0);
         let outputs = OutputGroups::new(&ctx.members);
-        let left_positions: Vec<usize> =
-            ctx.members.iter().map(|m| m.input_positions[0]).collect();
-        let (windows_desc, prefix_masks, pos_out_masks) = if channel_mode
-            && outputs.uniform_channel().is_some()
-        {
-            let windows_desc: Vec<u64> = members_by_window.iter().map(|&(w, _)| w).collect();
-            let mut prefix_masks = Vec::with_capacity(members_by_window.len() + 1);
-            let mut acc = Membership::empty();
-            prefix_masks.push(acc.clone());
-            for &(_, m) in &members_by_window {
-                acc.insert(outputs.position_of(m));
+        let left_positions: Vec<usize> = ctx.members.iter().map(|m| m.input_positions[0]).collect();
+        let (windows_desc, prefix_masks, pos_out_masks) =
+            if channel_mode && outputs.uniform_channel().is_some() {
+                let windows_desc: Vec<u64> = members_by_window.iter().map(|&(w, _)| w).collect();
+                let mut prefix_masks = Vec::with_capacity(members_by_window.len() + 1);
+                let mut acc = Membership::empty();
                 prefix_masks.push(acc.clone());
-            }
-            let max_pos = left_positions.iter().copied().max().unwrap_or(0);
-            let mut pos_out_masks = vec![Membership::empty(); max_pos + 1];
-            for (m, &pos) in left_positions.iter().enumerate() {
-                pos_out_masks[pos].insert(outputs.position_of(m));
-            }
-            (windows_desc, prefix_masks, pos_out_masks)
-        } else {
-            (Vec::new(), Vec::new(), Vec::new())
-        };
+                for &(_, m) in &members_by_window {
+                    acc.insert(outputs.position_of(m));
+                    prefix_masks.push(acc.clone());
+                }
+                let max_pos = left_positions.iter().copied().max().unwrap_or(0);
+                let mut pos_out_masks = vec![Membership::empty(); max_pos + 1];
+                for (m, &pos) in left_positions.iter().enumerate() {
+                    pos_out_masks[pos].insert(outputs.position_of(m));
+                }
+                (windows_desc, prefix_masks, pos_out_masks)
+            } else {
+                (Vec::new(), Vec::new(), Vec::new())
+            };
         Ok(SharedIterate {
             spec: first,
             members_by_window,
@@ -222,7 +218,13 @@ impl SharedIterate {
             .collect()
     }
 
-    fn emit_rebound(&mut self, out: &mut dyn Emit, rebound: &Tuple, membership: &Membership, dt: u64) {
+    fn emit_rebound(
+        &mut self,
+        out: &mut dyn Emit,
+        rebound: &Tuple,
+        membership: &Membership,
+        dt: u64,
+    ) {
         if self.channel_mode {
             // Membership routing intersected with per-member window
             // coverage (see the sequence m-op for the exactness argument).
@@ -422,11 +424,7 @@ impl MultiOp for SharedIterate {
     fn process(&mut self, port: PortId, input: &ChannelTuple, out: &mut dyn Emit) {
         if port.index() == 0 {
             if self.channel_mode {
-                if !self
-                    .left_positions
-                    .iter()
-                    .any(|&pos| input.belongs_to(pos))
-                {
+                if !self.left_positions.iter().any(|&pos| input.belongs_to(pos)) {
                     return;
                 }
             } else if !input.belongs_to(self.left_positions[0]) {
@@ -531,9 +529,10 @@ mod tests {
         let ctx = ctx_with(&[100]);
         let mut op = SharedIterate::new(&ctx).unwrap();
         let mut sink = VecEmit::default();
-        let feed = |op: &mut SharedIterate, port: PortId, ts: u64, vals: &[i64], sink: &mut VecEmit| {
-            op.process(port, &ChannelTuple::solo(Tuple::ints(ts, vals)), sink);
-        };
+        let feed =
+            |op: &mut SharedIterate, port: PortId, ts: u64, vals: &[i64], sink: &mut VecEmit| {
+                op.process(port, &ChannelTuple::solo(Tuple::ints(ts, vals)), sink);
+            };
         feed(&mut op, PortId::LEFT, 0, &[7, 10], &mut sink);
         feed(&mut op, PortId::RIGHT, 1, &[7, 15], &mut sink); // rebind
         feed(&mut op, PortId::RIGHT, 2, &[8, 99], &mut sink); // other key

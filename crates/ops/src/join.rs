@@ -84,8 +84,10 @@ impl<T> SideState<T> {
 
 /// Shared window join across window lengths (rule s⋈).
 pub struct SharedJoin {
-    /// Equi-key attribute positions: (left attr, right attr) pairs.
-    keys: Vec<(usize, usize)>,
+    /// Left-side equi-key attribute positions.
+    left_attrs: Vec<usize>,
+    /// Right-side equi-key attribute positions, parallel to `left_attrs`.
+    right_attrs: Vec<usize>,
     residual: Predicate,
     /// `(window, member)` sorted by window descending: emission walks the
     /// prefix whose windows cover the pair's timestamp distance.
@@ -110,6 +112,9 @@ impl SharedJoin {
             ));
         }
         let (keys, residual) = first.predicate.split_equi_join();
+        // Hoisted out of the per-tuple loop: `process` used to unzip the
+        // key pairs into two fresh Vecs per input tuple.
+        let (left_attrs, right_attrs) = keys.into_iter().unzip();
         let mut members_by_window: Vec<(u64, usize)> = specs
             .iter()
             .enumerate()
@@ -118,7 +123,8 @@ impl SharedJoin {
         members_by_window.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         let max_window = members_by_window.first().map(|&(w, _)| w).unwrap_or(0);
         Ok(SharedJoin {
-            keys,
+            left_attrs,
+            right_attrs,
             residual,
             members_by_window,
             max_window,
@@ -150,9 +156,9 @@ impl SharedJoin {
     }
 }
 
-impl MultiOp for SharedJoin {
-    fn process(&mut self, port: PortId, input: &ChannelTuple, out: &mut dyn Emit) {
-        let p = port.index();
+impl SharedJoin {
+    #[inline]
+    fn process_one(&mut self, p: usize, input: &ChannelTuple, out: &mut dyn Emit) {
         if !input.belongs_to(self.in_positions[p]) {
             return;
         }
@@ -162,13 +168,11 @@ impl MultiOp for SharedJoin {
         self.left.evict(horizon);
         self.right.evict(horizon);
 
-        let (left_attrs, right_attrs): (Vec<usize>, Vec<usize>) =
-            self.keys.iter().copied().unzip();
         if p == 0 {
-            let key = key_of(tuple, &left_attrs);
+            let key = key_of(tuple, &self.left_attrs);
             for r in self.right.probe(&key) {
                 if self.residual.eval(&EvalCtx::binary(tuple, r)) {
-                    let dt = now - r.ts;
+                    let dt = now.abs_diff(r.ts);
                     Self::emit_match(
                         &mut self.outputs,
                         &self.members_by_window,
@@ -182,10 +186,10 @@ impl MultiOp for SharedJoin {
             }
             self.left.insert(now, key, tuple.clone());
         } else {
-            let key = key_of(tuple, &right_attrs);
+            let key = key_of(tuple, &self.right_attrs);
             for l in self.left.probe(&key) {
                 if self.residual.eval(&EvalCtx::binary(l, tuple)) {
-                    let dt = now - l.ts;
+                    let dt = now.abs_diff(l.ts);
                     Self::emit_match(
                         &mut self.outputs,
                         &self.members_by_window,
@@ -200,6 +204,21 @@ impl MultiOp for SharedJoin {
             self.right.insert(now, key, tuple.clone());
         }
     }
+}
+
+impl MultiOp for SharedJoin {
+    fn process(&mut self, port: PortId, input: &ChannelTuple, out: &mut dyn Emit) {
+        self.process_one(port.index(), input, out);
+    }
+
+    fn process_batch(&mut self, port: PortId, inputs: &[ChannelTuple], out: &mut dyn Emit) {
+        // One port bounds-check and vtable dispatch per run; probe/insert
+        // stays per-tuple because the state mutates between tuples.
+        let p = port.index();
+        for input in inputs {
+            self.process_one(p, input, out);
+        }
+    }
 
     fn name(&self) -> &'static str {
         "shared-join"
@@ -208,7 +227,10 @@ impl MultiOp for SharedJoin {
 
 /// Precision-sharing join over a channel (rule c⋈).
 pub struct PrecisionJoin {
-    keys: Vec<(usize, usize)>,
+    /// Left-side equi-key attribute positions.
+    left_attrs: Vec<usize>,
+    /// Right-side equi-key attribute positions, parallel to `left_attrs`.
+    right_attrs: Vec<usize>,
     residual: Predicate,
     window: u64,
     /// Per member: position of its left stream in the left channel.
@@ -234,8 +256,10 @@ impl PrecisionJoin {
             ));
         }
         let (keys, residual) = first.predicate.split_equi_join();
+        let (left_attrs, right_attrs) = keys.into_iter().unzip();
         Ok(PrecisionJoin {
-            keys,
+            left_attrs,
+            right_attrs,
             residual,
             window: first.window,
             left_positions: ctx.members.iter().map(|m| m.input_positions[0]).collect(),
@@ -271,17 +295,16 @@ impl PrecisionJoin {
     }
 }
 
-impl MultiOp for PrecisionJoin {
-    fn process(&mut self, port: PortId, input: &ChannelTuple, out: &mut dyn Emit) {
+impl PrecisionJoin {
+    #[inline]
+    fn process_one(&mut self, p: usize, input: &ChannelTuple, out: &mut dyn Emit) {
         let tuple = &input.tuple;
         let now = tuple.ts;
         let horizon = now.saturating_sub(self.window);
         self.left.evict(horizon);
         self.right.evict(horizon);
-        let (left_attrs, right_attrs): (Vec<usize>, Vec<usize>) =
-            self.keys.iter().copied().unzip();
-        if port.index() == 0 {
-            let key = key_of(tuple, &left_attrs);
+        if p == 0 {
+            let key = key_of(tuple, &self.left_attrs);
             let matches: Vec<Tuple> = self
                 .right
                 .probe(&key)
@@ -297,7 +320,7 @@ impl MultiOp for PrecisionJoin {
             if !input.belongs_to(self.right_position) {
                 return;
             }
-            let key = key_of(tuple, &right_attrs);
+            let key = key_of(tuple, &self.right_attrs);
             let matches: Vec<(Tuple, Membership)> = self
                 .left
                 .probe(&key)
@@ -308,6 +331,19 @@ impl MultiOp for PrecisionJoin {
                 self.emit_with_membership(out, &l, &membership, tuple, now);
             }
             self.right.insert(now, key, tuple.clone());
+        }
+    }
+}
+
+impl MultiOp for PrecisionJoin {
+    fn process(&mut self, port: PortId, input: &ChannelTuple, out: &mut dyn Emit) {
+        self.process_one(port.index(), input, out);
+    }
+
+    fn process_batch(&mut self, port: PortId, inputs: &[ChannelTuple], out: &mut dyn Emit) {
+        let p = port.index();
+        for input in inputs {
+            self.process_one(p, input, out);
         }
     }
 

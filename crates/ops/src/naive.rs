@@ -7,6 +7,7 @@
 //! implementation in this crate is property-tested for I/O equivalence
 //! against it.
 
+use rumor_core::logical::OpDef;
 use rumor_core::{ChannelTuple, Emit, MopContext, MultiOp};
 use rumor_types::{PortId, Result, Tuple};
 
@@ -20,6 +21,8 @@ pub struct NaiveMop {
     positions: Vec<Vec<usize>>,
     outputs: OutputGroups,
     buf: Vec<Tuple>,
+    /// All members are selections/projections: no cross-tuple state.
+    stateless: bool,
 }
 
 impl NaiveMop {
@@ -34,6 +37,10 @@ impl NaiveMop {
                 .collect(),
             outputs: OutputGroups::new(&ctx.members),
             buf: Vec::new(),
+            stateless: ctx
+                .members
+                .iter()
+                .all(|m| matches!(m.def, OpDef::Select(_) | OpDef::Project(_))),
         })
     }
 }
@@ -53,6 +60,10 @@ impl MultiOp for NaiveMop {
                 self.outputs.emit_one(out, t, idx);
             }
         }
+    }
+
+    fn is_stateless(&self) -> bool {
+        self.stateless
     }
 
     fn name(&self) -> &'static str {

@@ -52,7 +52,11 @@ impl SharedProject {
             .first()
             .map(|m| m.input_positions[0])
             .unwrap_or(0);
-        if ctx.members.iter().any(|m| m.input_positions[0] != in_position) {
+        if ctx
+            .members
+            .iter()
+            .any(|m| m.input_positions[0] != in_position)
+        {
             return Err(RumorError::exec(
                 "sπ members must read the same stream".to_string(),
             ));
@@ -83,6 +87,27 @@ impl MultiOp for SharedProject {
         }
     }
 
+    fn process_batch(&mut self, _port: PortId, inputs: &[ChannelTuple], out: &mut dyn Emit) {
+        // Iterate definition-major: the whole group list is taken once per
+        // run (no per-tuple — or per-group — cloning), and each schema
+        // map's evaluation loop runs over the full run.
+        let groups = std::mem::take(&mut self.groups);
+        for (map, members) in &groups {
+            for input in inputs {
+                if !input.belongs_to(self.in_position) {
+                    continue;
+                }
+                let mapped = map.apply_unary(&input.tuple);
+                self.outputs.emit_members(out, &mapped, members);
+            }
+        }
+        self.groups = groups;
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "shared-project"
     }
@@ -92,6 +117,12 @@ impl MultiOp for SharedProject {
 pub struct ChannelProject {
     groups: Vec<(SchemaMap, Vec<usize>)>,
     in_positions: Vec<usize>,
+    /// Union of all member input positions (batch fast-path decode mask).
+    member_mask: rumor_types::Membership,
+    /// Member `m` reads position `m` and writes position `m` of one shared
+    /// output channel — the strict cπ shape (see [`ChannelSelect`]'s
+    /// equivalent flag in `select.rs`).
+    identity_mapped: bool,
     outputs: OutputGroups,
     satisfied: Vec<usize>,
 }
@@ -100,17 +131,26 @@ impl ChannelProject {
     /// Builds the channelized projection.
     pub fn new(ctx: &MopContext) -> Result<Self> {
         let maps = extract_project(ctx)?;
+        let in_positions: Vec<usize> = ctx.members.iter().map(|m| m.input_positions[0]).collect();
+        let member_mask = rumor_types::Membership::from_indices(in_positions.iter().copied());
+        let outputs = OutputGroups::new(&ctx.members);
+        let identity_mapped = outputs.uniform_channel().is_some()
+            && in_positions
+                .iter()
+                .enumerate()
+                .all(|(m, &pos)| pos == m && outputs.position_of(m) == m);
         Ok(ChannelProject {
             groups: def_groups(&maps),
-            in_positions: ctx.members.iter().map(|m| m.input_positions[0]).collect(),
-            outputs: OutputGroups::new(&ctx.members),
+            in_positions,
+            member_mask,
+            identity_mapped,
+            outputs,
             satisfied: Vec::new(),
         })
     }
-}
 
-impl MultiOp for ChannelProject {
-    fn process(&mut self, _port: PortId, input: &ChannelTuple, out: &mut dyn Emit) {
+    #[inline]
+    fn process_one(&mut self, input: &ChannelTuple, out: &mut dyn Emit) {
         for gi in 0..self.groups.len() {
             self.satisfied.clear();
             for &m in &self.groups[gi].1 {
@@ -129,6 +169,37 @@ impl MultiOp for ChannelProject {
             self.satisfied = satisfied;
         }
     }
+}
+
+impl MultiOp for ChannelProject {
+    fn process(&mut self, _port: PortId, input: &ChannelTuple, out: &mut dyn Emit) {
+        self.process_one(input, out);
+    }
+
+    fn process_batch(&mut self, _port: PortId, inputs: &[ChannelTuple], out: &mut dyn Emit) {
+        // The strict cπ case: one definition over identity-mapped members —
+        // apply the map once per tuple and pass the membership through by
+        // mask intersection, skipping the per-member decode loop.
+        if self.groups.len() == 1 && self.identity_mapped {
+            let map = &self.groups[0].0;
+            for input in inputs {
+                let membership = input.membership.intersect(&self.member_mask);
+                if membership.is_empty() {
+                    continue;
+                }
+                let mapped = map.apply_unary(&input.tuple);
+                self.outputs.emit_premapped(out, mapped, membership);
+            }
+            return;
+        }
+        for input in inputs {
+            self.process_one(input, out);
+        }
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
+    }
 
     fn name(&self) -> &'static str {
         "channel-project"
@@ -144,17 +215,11 @@ mod tests {
     use rumor_types::{Membership, Schema, Tuple};
 
     fn map_double() -> SchemaMap {
-        SchemaMap::new(vec![NamedExpr::new(
-            "x",
-            Expr::col(0).mul(Expr::lit(2i64)),
-        )])
+        SchemaMap::new(vec![NamedExpr::new("x", Expr::col(0).mul(Expr::lit(2i64)))])
     }
 
     fn map_triple() -> SchemaMap {
-        SchemaMap::new(vec![NamedExpr::new(
-            "x",
-            Expr::col(0).mul(Expr::lit(3i64)),
-        )])
+        SchemaMap::new(vec![NamedExpr::new("x", Expr::col(0).mul(Expr::lit(3i64)))])
     }
 
     #[test]

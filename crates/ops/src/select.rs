@@ -76,7 +76,11 @@ impl IndexedSelect {
             .first()
             .map(|m| m.input_positions[0])
             .unwrap_or(0);
-        if ctx.members.iter().any(|m| m.input_positions[0] != in_position) {
+        if ctx
+            .members
+            .iter()
+            .any(|m| m.input_positions[0] != in_position)
+        {
             return Err(RumorError::exec(
                 "sσ members must read the same stream".to_string(),
             ));
@@ -98,8 +102,7 @@ impl IndexedSelect {
                 None => scan.push(i as u32),
             }
         }
-        let mut indexes: Vec<(usize, HashMap<ValueKey, Vec<u32>>)> =
-            by_attr.into_iter().collect();
+        let mut indexes: Vec<(usize, HashMap<ValueKey, Vec<u32>>)> = by_attr.into_iter().collect();
         indexes.sort_by_key(|(attr, _)| *attr);
         Ok(IndexedSelect {
             in_position,
@@ -118,8 +121,10 @@ impl IndexedSelect {
     }
 }
 
-impl MultiOp for IndexedSelect {
-    fn process(&mut self, _port: PortId, input: &ChannelTuple, out: &mut dyn Emit) {
+impl IndexedSelect {
+    /// The per-tuple core, shared by the single and batched entry points.
+    #[inline]
+    fn process_one(&mut self, input: &ChannelTuple, out: &mut dyn Emit) {
         if !input.belongs_to(self.in_position) {
             return;
         }
@@ -148,6 +153,51 @@ impl MultiOp for IndexedSelect {
         self.outputs.emit_members(out, tuple, &satisfied);
         self.satisfied = satisfied;
     }
+}
+
+impl MultiOp for IndexedSelect {
+    fn process(&mut self, _port: PortId, input: &ChannelTuple, out: &mut dyn Emit) {
+        self.process_one(input, out);
+    }
+
+    fn process_batch(&mut self, _port: PortId, inputs: &[ChannelTuple], out: &mut dyn Emit) {
+        // One virtual dispatch per run; the single-index single-member
+        // common case (sσ over one plain stream with pure `attr = const`
+        // predicates) additionally skips the residual/scan machinery.
+        if self.scan.is_empty() && self.indexes.len() == 1 {
+            let (attr, map) = &self.indexes[0];
+            let attr = *attr;
+            for input in inputs {
+                if !input.belongs_to(self.in_position) {
+                    continue;
+                }
+                let tuple = &input.tuple;
+                let Some(v) = tuple.value(attr) else { continue };
+                let Some(candidates) = map.get(&v.group_key()) else {
+                    continue;
+                };
+                let ctx = EvalCtx::unary(tuple);
+                self.satisfied.clear();
+                for &m in candidates {
+                    if self.residuals[m as usize].eval(&ctx) {
+                        self.satisfied.push(m as usize);
+                    }
+                }
+                self.satisfied.sort_unstable();
+                let satisfied = std::mem::take(&mut self.satisfied);
+                self.outputs.emit_members(out, tuple, &satisfied);
+                self.satisfied = satisfied;
+            }
+            return;
+        }
+        for input in inputs {
+            self.process_one(input, out);
+        }
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
+    }
 
     fn name(&self) -> &'static str {
         "indexed-select"
@@ -160,6 +210,12 @@ pub struct ChannelSelect {
     def_groups: Vec<(Predicate, Vec<u32>)>,
     /// Per member: position of its input stream within the input channel.
     in_positions: Vec<usize>,
+    /// Union of all member input positions (batch fast-path decode mask).
+    member_mask: rumor_types::Membership,
+    /// Whether member `m` reads input position `m` and writes output
+    /// position `m` on one shared channel — the strict cσ shape, where the
+    /// batch path can pass memberships through by intersection.
+    identity_mapped: bool,
     outputs: OutputGroups,
     satisfied: Vec<usize>,
 }
@@ -175,10 +231,20 @@ impl ChannelSelect {
                 None => def_groups.push((p.clone(), vec![i as u32])),
             }
         }
+        let in_positions: Vec<usize> = ctx.members.iter().map(|m| m.input_positions[0]).collect();
+        let member_mask = rumor_types::Membership::from_indices(in_positions.iter().copied());
+        let outputs = OutputGroups::new(&ctx.members);
+        let identity_mapped = outputs.uniform_channel().is_some()
+            && in_positions
+                .iter()
+                .enumerate()
+                .all(|(m, &pos)| pos == m && outputs.position_of(m) == m);
         Ok(ChannelSelect {
             def_groups,
-            in_positions: ctx.members.iter().map(|m| m.input_positions[0]).collect(),
-            outputs: OutputGroups::new(&ctx.members),
+            in_positions,
+            member_mask,
+            identity_mapped,
+            outputs,
             satisfied: Vec::new(),
         })
     }
@@ -190,8 +256,9 @@ impl ChannelSelect {
     }
 }
 
-impl MultiOp for ChannelSelect {
-    fn process(&mut self, _port: PortId, input: &ChannelTuple, out: &mut dyn Emit) {
+impl ChannelSelect {
+    #[inline]
+    fn process_one(&mut self, input: &ChannelTuple, out: &mut dyn Emit) {
         let ctx = EvalCtx::unary(&input.tuple);
         for (pred, members) in &self.def_groups {
             // Decode: members of this definition whose stream carries the
@@ -212,6 +279,40 @@ impl MultiOp for ChannelSelect {
             self.outputs.emit_members(out, &input.tuple, &satisfied);
             self.satisfied = satisfied;
         }
+    }
+}
+
+impl MultiOp for ChannelSelect {
+    fn process(&mut self, _port: PortId, input: &ChannelTuple, out: &mut dyn Emit) {
+        self.process_one(input, out);
+    }
+
+    fn process_batch(&mut self, _port: PortId, inputs: &[ChannelTuple], out: &mut dyn Emit) {
+        // The strict cσ case (one shared definition, members identity-
+        // mapped onto one output channel): evaluate the predicate once per
+        // tuple and pass the membership through by mask intersection,
+        // skipping the per-member decode loop entirely.
+        if self.def_groups.len() == 1 && self.identity_mapped {
+            let pred = &self.def_groups[0].0;
+            for input in inputs {
+                let membership = input.membership.intersect(&self.member_mask);
+                if membership.is_empty() {
+                    continue;
+                }
+                if pred.eval(&EvalCtx::unary(&input.tuple)) {
+                    self.outputs
+                        .emit_premapped(out, input.tuple.clone(), membership);
+                }
+            }
+            return;
+        }
+        for input in inputs {
+            self.process_one(input, out);
+        }
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -254,7 +355,10 @@ mod tests {
         ]);
         let (attr, _, res) = index_split(&conj).unwrap();
         assert_eq!(attr, 0);
-        assert_eq!(res, Predicate::cmp(CmpOp::Gt, Expr::col(1), Expr::lit(3i64)));
+        assert_eq!(
+            res,
+            Predicate::cmp(CmpOp::Gt, Expr::col(1), Expr::lit(3i64))
+        );
 
         assert!(index_split(&Predicate::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(1i64))).is_none());
     }
@@ -372,7 +476,10 @@ mod tests {
         // output channel tuple with the same membership (on out positions).
         op.process(
             PortId::LEFT,
-            &ChannelTuple::new(Tuple::ints(0, &[0, 11, 0]), Membership::from_indices([0, 2])),
+            &ChannelTuple::new(
+                Tuple::ints(0, &[0, 11, 0]),
+                Membership::from_indices([0, 2]),
+            ),
             &mut sink,
         );
         assert_eq!(sink.out.len(), 1);
@@ -382,7 +489,10 @@ mod tests {
         // Failing tuple: nothing.
         op.process(
             PortId::LEFT,
-            &ChannelTuple::new(Tuple::ints(1, &[0, 5, 0]), Membership::from_indices([0, 1, 2])),
+            &ChannelTuple::new(
+                Tuple::ints(1, &[0, 5, 0]),
+                Membership::from_indices([0, 1, 2]),
+            ),
             &mut sink,
         );
         assert_eq!(sink.out.len(), 1);

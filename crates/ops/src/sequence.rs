@@ -76,7 +76,13 @@ impl InstanceStore {
         s.gen == gen && s.alive
     }
 
-    fn insert(&mut self, start_ts: Timestamp, tuple: Tuple, membership: Membership, key: Vec<ValueKey>) {
+    fn insert(
+        &mut self,
+        start_ts: Timestamp,
+        tuple: Tuple,
+        membership: Membership,
+        key: Vec<ValueKey>,
+    ) {
         let slot = match self.free.pop() {
             Some(slot) => {
                 let s = &mut self.slots[slot as usize];
@@ -207,28 +213,26 @@ impl SharedSequence {
         members_by_window.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         let max_window = members_by_window.first().map(|&(w, _)| w).unwrap_or(0);
         let outputs = OutputGroups::new(&ctx.members);
-        let left_positions: Vec<usize> =
-            ctx.members.iter().map(|m| m.input_positions[0]).collect();
-        let (windows_desc, prefix_masks, pos_out_masks) = if channel_mode
-            && outputs.uniform_channel().is_some()
-        {
-            let windows_desc: Vec<u64> = members_by_window.iter().map(|&(w, _)| w).collect();
-            let mut prefix_masks = Vec::with_capacity(members_by_window.len() + 1);
-            let mut acc = Membership::empty();
-            prefix_masks.push(acc.clone());
-            for &(_, m) in &members_by_window {
-                acc.insert(outputs.position_of(m));
+        let left_positions: Vec<usize> = ctx.members.iter().map(|m| m.input_positions[0]).collect();
+        let (windows_desc, prefix_masks, pos_out_masks) =
+            if channel_mode && outputs.uniform_channel().is_some() {
+                let windows_desc: Vec<u64> = members_by_window.iter().map(|&(w, _)| w).collect();
+                let mut prefix_masks = Vec::with_capacity(members_by_window.len() + 1);
+                let mut acc = Membership::empty();
                 prefix_masks.push(acc.clone());
-            }
-            let max_pos = left_positions.iter().copied().max().unwrap_or(0);
-            let mut pos_out_masks = vec![Membership::empty(); max_pos + 1];
-            for (m, &pos) in left_positions.iter().enumerate() {
-                pos_out_masks[pos].insert(outputs.position_of(m));
-            }
-            (windows_desc, prefix_masks, pos_out_masks)
-        } else {
-            (Vec::new(), Vec::new(), Vec::new())
-        };
+                for &(_, m) in &members_by_window {
+                    acc.insert(outputs.position_of(m));
+                    prefix_masks.push(acc.clone());
+                }
+                let max_pos = left_positions.iter().copied().max().unwrap_or(0);
+                let mut pos_out_masks = vec![Membership::empty(); max_pos + 1];
+                for (m, &pos) in left_positions.iter().enumerate() {
+                    pos_out_masks[pos].insert(outputs.position_of(m));
+                }
+                (windows_desc, prefix_masks, pos_out_masks)
+            } else {
+                (Vec::new(), Vec::new(), Vec::new())
+            };
         Ok(SharedSequence {
             keyed: !keys.is_empty(),
             keys,
@@ -358,12 +362,10 @@ impl SharedSequence {
                 }
                 let (start_ts, matched, tuple, membership) = {
                     let s = &self.store.slots[slot as usize];
-                    let in_window = s.start_ts < event.ts
-                        && event.ts - s.start_ts <= self.max_window;
-                    let matched = in_window
-                        && self
-                            .residual
-                            .eval(&EvalCtx::binary(&s.tuple, event));
+                    let in_window =
+                        s.start_ts < event.ts && event.ts - s.start_ts <= self.max_window;
+                    let matched =
+                        in_window && self.residual.eval(&EvalCtx::binary(&s.tuple, event));
                     (s.start_ts, matched, s.tuple.clone(), s.membership.clone())
                 };
                 if matched {
@@ -387,12 +389,10 @@ impl SharedSequence {
                 }
                 let (start_ts, matched, tuple, membership) = {
                     let s = &self.store.slots[slot as usize];
-                    let in_window = s.start_ts < event.ts
-                        && event.ts - s.start_ts <= self.max_window;
-                    let matched = in_window
-                        && self
-                            .residual
-                            .eval(&EvalCtx::binary(&s.tuple, event));
+                    let in_window =
+                        s.start_ts < event.ts && event.ts - s.start_ts <= self.max_window;
+                    let matched =
+                        in_window && self.residual.eval(&EvalCtx::binary(&s.tuple, event));
                     (s.start_ts, matched, s.tuple.clone(), s.membership.clone())
                 };
                 if matched {
@@ -403,7 +403,6 @@ impl SharedSequence {
             }
         }
     }
-
 }
 
 impl MultiOp for SharedSequence {
@@ -411,17 +410,15 @@ impl MultiOp for SharedSequence {
         if port.index() == 0 {
             // Instance arrival.
             if self.channel_mode {
-                let relevant = self
-                    .left_positions
-                    .iter()
-                    .any(|&pos| input.belongs_to(pos));
+                let relevant = self.left_positions.iter().any(|&pos| input.belongs_to(pos));
                 if !relevant {
                     return;
                 }
             } else if !input.belongs_to(self.left_positions[0]) {
                 return;
             }
-            self.store.evict(input.tuple.ts.saturating_sub(self.max_window));
+            self.store
+                .evict(input.tuple.ts.saturating_sub(self.max_window));
             let key = self.instance_key(&input.tuple);
             self.store.insert(
                 input.tuple.ts,

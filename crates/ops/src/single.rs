@@ -333,22 +333,14 @@ impl JoinExec {
         }
         if port == 0 {
             for r in &self.right {
-                if self
-                    .spec
-                    .predicate
-                    .eval(&EvalCtx::binary(tuple, r))
-                {
+                if self.spec.predicate.eval(&EvalCtx::binary(tuple, r)) {
                     out.push(concat_with_ts(tuple, r, tuple.ts));
                 }
             }
             self.left.push_back(tuple.clone());
         } else {
             for l in &self.left {
-                if self
-                    .spec
-                    .predicate
-                    .eval(&EvalCtx::binary(l, tuple))
-                {
+                if self.spec.predicate.eval(&EvalCtx::binary(l, tuple)) {
                     out.push(concat_with_ts(l, tuple, tuple.ts));
                 }
             }
@@ -391,11 +383,8 @@ impl SeqExec {
         }
         let mut survivors = VecDeque::with_capacity(self.instances.len());
         for inst in self.instances.drain(..) {
-            let matched = inst.ts < tuple.ts
-                && self
-                    .spec
-                    .predicate
-                    .eval(&EvalCtx::binary(&inst, tuple));
+            let matched =
+                inst.ts < tuple.ts && self.spec.predicate.eval(&EvalCtx::binary(&inst, tuple));
             if matched {
                 out.push(concat_with_ts(&inst, tuple, tuple.ts));
             } else {
@@ -502,7 +491,11 @@ mod tests {
         let mut op = SingleOp::new(&OpDef::Select(Predicate::attr_eq_const(0, 1i64)));
         let out = run_unary(
             &mut op,
-            &[Tuple::ints(0, &[1]), Tuple::ints(1, &[2]), Tuple::ints(2, &[1])],
+            &[
+                Tuple::ints(0, &[1]),
+                Tuple::ints(1, &[2]),
+                Tuple::ints(2, &[1]),
+            ],
         );
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].ts, 0);
@@ -552,7 +545,11 @@ mod tests {
         let mut op = SingleOp::new(&OpDef::Aggregate(spec));
         let out = run_unary(
             &mut op,
-            &[Tuple::ints(0, &[1]), Tuple::ints(1, &[2]), Tuple::ints(2, &[1])],
+            &[
+                Tuple::ints(0, &[1]),
+                Tuple::ints(1, &[2]),
+                Tuple::ints(2, &[1]),
+            ],
         );
         assert_eq!(out[0], Tuple::ints(0, &[1, 1]));
         assert_eq!(out[1], Tuple::ints(1, &[2, 1]));
@@ -692,7 +689,10 @@ mod tests {
         op.process(1, &Tuple::ints(1, &[7, 15]), &mut out); // rebind -> 15
         op.process(1, &Tuple::ints(2, &[8, 99]), &mut out); // other key: filter
         op.process(1, &Tuple::ints(3, &[7, 20]), &mut out); // rebind -> 20
-        assert_eq!(out, vec![Tuple::ints(1, &[7, 15]), Tuple::ints(3, &[7, 20])]);
+        assert_eq!(
+            out,
+            vec![Tuple::ints(1, &[7, 15]), Tuple::ints(3, &[7, 20])]
+        );
         // Non-increasing same-key event kills the instance.
         op.process(1, &Tuple::ints(4, &[7, 5]), &mut out);
         op.process(1, &Tuple::ints(5, &[7, 30]), &mut out);

@@ -205,12 +205,7 @@ fn agg_func() -> impl Strategy<Value = AggFunc> {
 }
 
 fn group_by() -> impl Strategy<Value = Vec<usize>> {
-    prop_oneof![
-        Just(vec![]),
-        Just(vec![0]),
-        Just(vec![1]),
-        Just(vec![0, 1]),
-    ]
+    prop_oneof![Just(vec![]), Just(vec![0]), Just(vec![1]), Just(vec![0, 1]),]
 }
 
 proptest! {

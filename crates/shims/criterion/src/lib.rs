@@ -1,0 +1,207 @@
+//! Offline shim of the `criterion` benchmark harness.
+//!
+//! Implements the subset the workspace's benches use — groups,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `sample_size`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — with
+//! a plain wall-clock measurement loop: a warmup pass, then `sample_size`
+//! timed samples whose median and spread are printed to stdout. No
+//! statistics beyond that, no HTML reports, no CLI filtering.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`: one warmup call, then `sample_size` measured calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measured sample count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let mut s = b.samples;
+        if s.is_empty() {
+            println!("{}/{}: no samples", self.name, id);
+            return;
+        }
+        s.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+        let median = s[s.len() / 2];
+        let (lo, hi) = (s[0], s[s.len() - 1]);
+        println!(
+            "{}/{}: median {} (min {}, max {}, n={})",
+            self.name,
+            id,
+            fmt_time(median),
+            fmt_time(lo),
+            fmt_time(hi),
+            s.len()
+        );
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        self.run_one(id, f);
+    }
+
+    /// Benchmarks a closure taking a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.name.clone();
+        self.run_one(&name, |b| f(b, input));
+    }
+
+    /// Ends the group (printing happens eagerly; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Applies CLI configuration (accepted and ignored by the shim).
+    pub fn configure_from_args(mut self) -> Self {
+        self.default_sample_size = 10;
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 {
+            10
+        } else {
+            self.default_sample_size
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        group.finish();
+        // 1 warmup + 3 samples.
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn id_formats() {
+        let id = BenchmarkId::new("indexed", 64);
+        assert_eq!(id.name, "indexed/64");
+    }
+}

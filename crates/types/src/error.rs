@@ -99,22 +99,25 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert_eq!(
-            RumorError::schema("dup").to_string(),
-            "schema error: dup"
-        );
+        assert_eq!(RumorError::schema("dup").to_string(), "schema error: dup");
         assert_eq!(
             RumorError::parse("bad token", 2, 7).to_string(),
             "parse error at 2:7: bad token"
         );
         assert_eq!(RumorError::plan("cycle").to_string(), "plan error: cycle");
-        assert_eq!(RumorError::exec("boom").to_string(), "execution error: boom");
+        assert_eq!(
+            RumorError::exec("boom").to_string(),
+            "execution error: boom"
+        );
         assert_eq!(RumorError::rule("nope").to_string(), "rule error: nope");
         assert_eq!(
             RumorError::unknown("stream X").to_string(),
             "unknown name: stream X"
         );
-        assert_eq!(RumorError::expr("arity").to_string(), "expression error: arity");
+        assert_eq!(
+            RumorError::expr("arity").to_string(),
+            "expression error: arity"
+        );
     }
 
     #[test]

@@ -103,7 +103,9 @@ impl Schema {
 
     /// The empty schema.
     pub fn empty() -> Self {
-        Schema { fields: Arc::from([]) }
+        Schema {
+            fields: Arc::from([]),
+        }
     }
 
     /// Number of fields.
@@ -134,11 +136,7 @@ impl Schema {
     /// Whether a row of values conforms to this schema (arity and types).
     pub fn admits(&self, values: &[Value]) -> bool {
         values.len() == self.fields.len()
-            && self
-                .fields
-                .iter()
-                .zip(values)
-                .all(|(f, v)| f.ty.admits(v))
+            && self.fields.iter().zip(values).all(|(f, v)| f.ty.admits(v))
     }
 
     /// Union compatibility (§3.1): channels may only encode streams whose

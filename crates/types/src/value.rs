@@ -26,7 +26,7 @@ pub enum Value {
 }
 
 #[allow(clippy::should_implement_trait)] // add/sub/mul/div are evaluation
-// helpers with SQL NULL semantics, not operator-trait candidates.
+                                         // helpers with SQL NULL semantics, not operator-trait candidates.
 impl Value {
     /// Builds a string value.
     pub fn str(s: impl AsRef<str>) -> Self {
@@ -268,7 +268,10 @@ mod tests {
             Value::Float(2.5).compare(&Value::Int(3)),
             Some(Ordering::Less)
         );
-        assert_eq!(Value::Int(4).compare(&Value::Int(3)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Int(4).compare(&Value::Int(3)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]

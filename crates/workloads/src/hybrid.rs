@@ -78,10 +78,7 @@ pub fn generate(n: usize, sel: f64) -> Vec<HybridQuery> {
                 .select(start)
                 .iterate(smoothed(), mu)
                 .select(stop);
-            HybridQuery {
-                threshold,
-                plan,
-            }
+            HybridQuery { threshold, plan }
         })
         .collect()
 }

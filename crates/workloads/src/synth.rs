@@ -29,7 +29,9 @@ pub struct StEvent {
 }
 
 fn random_tuple(rng: &mut StdRng, ts: u64, attrs: usize, domain: i64) -> Tuple {
-    let values: Vec<i64> = (0..attrs).map(|_| rng.gen_range(0..domain.max(1))).collect();
+    let values: Vec<i64> = (0..attrs)
+        .map(|_| rng.gen_range(0..domain.max(1)))
+        .collect();
     Tuple::ints(ts, &values)
 }
 
@@ -145,13 +147,19 @@ mod tests {
         assert!(matches!(ch[0], W3Event::Channel(_)));
         assert!(matches!(ch[1], W3Event::T(_)));
         // Round-robin: k copies with identical content then a T tuple.
-        let W3Event::Si(0, ref first) = rr[0] else { panic!() };
-        let W3Event::Si(1, ref second) = rr[1] else { panic!() };
+        let W3Event::Si(0, ref first) = rr[0] else {
+            panic!()
+        };
+        let W3Event::Si(1, ref second) = rr[1] else {
+            panic!()
+        };
         assert_eq!(first.values(), second.values());
         assert_eq!(first.ts, second.ts);
         assert!(matches!(rr[k], W3Event::T(_)));
         // Same content as the channel variant's first round.
-        let W3Event::Channel(ref cfirst) = ch[0] else { panic!() };
+        let W3Event::Channel(ref cfirst) = ch[0] else {
+            panic!()
+        };
         assert_eq!(cfirst.values(), first.values());
     }
 }

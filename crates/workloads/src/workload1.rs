@@ -48,15 +48,13 @@ pub fn generate(params: &Params) -> Vec<W1Query> {
             // θ3 evaluated on each T tuple: an event-only predicate inside
             // the sequence operator (pushed down by `seq_pushdown`).
             let theta3 = Predicate::cmp(CmpOp::Eq, Expr::rcol(0), Expr::lit(c3));
-            let plan = LogicalPlan::source("S")
-                .select(theta1.clone())
-                .followed_by(
-                    LogicalPlan::source("T"),
-                    SeqSpec {
-                        predicate: theta3.clone(),
-                        window,
-                    },
-                );
+            let plan = LogicalPlan::source("S").select(theta1.clone()).followed_by(
+                LogicalPlan::source("T"),
+                SeqSpec {
+                    predicate: theta3.clone(),
+                    window,
+                },
+            );
             let automaton = Automaton::sequence(
                 "S",
                 &schema,

@@ -113,9 +113,7 @@ mod tests {
         let lo = Zipf::new(100, 1.2);
         let hi = Zipf::new(100, 2.0);
         let mut rng = StdRng::seed_from_u64(10);
-        let head = |z: &Zipf, rng: &mut StdRng| {
-            (0..10_000).filter(|_| z.sample(rng) == 0).count()
-        };
+        let head = |z: &Zipf, rng: &mut StdRng| (0..10_000).filter(|_| z.sample(rng) == 0).count();
         let lo_head = head(&lo, &mut rng);
         let hi_head = head(&hi, &mut rng);
         assert!(hi_head > lo_head);

@@ -78,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.add_query(&q.plain_plan)?;
     }
     Optimizer::new(OptimizerConfig::without_channels()).optimize(&mut plan)?;
-    println!("plain plan:   {} m-ops (one shared ; per stream)", plan.mop_count());
+    println!(
+        "plain plan:   {} m-ops (one shared ; per stream)",
+        plan.mop_count()
+    );
 
     let mut exec = ExecutablePlan::new(&plan)?;
     let mut sink = CountingSink::default();

@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Optimize once with the full rule set (channels on) and once without.
     for (label, config) in [
         ("with channels (Figure 6(c))", OptimizerConfig::default()),
-        ("without channels (Figure 6(b))", OptimizerConfig::without_channels()),
+        (
+            "without channels (Figure 6(b))",
+            OptimizerConfig::without_channels(),
+        ),
     ] {
         let mut engine = build(n, config)?;
         let trace = engine.optimize()?;
@@ -54,11 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{label}: {} m-ops, {} member operators, rules fired: {:?}",
             engine.plan().mop_count(),
             engine.plan().member_count(),
-            trace
-                .entries
-                .iter()
-                .map(|e| e.rule)
-                .collect::<Vec<_>>()
+            trace.entries.iter().map(|e| e.rule).collect::<Vec<_>>()
         );
     }
 

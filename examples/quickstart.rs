@@ -27,7 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = engine.optimize()?;
     println!("rewrites applied: {}", trace.entries.len());
     for entry in &trace.entries {
-        println!("  {} merged {} m-ops -> {}", entry.rule, entry.group.len(), entry.target);
+        println!(
+            "  {} merged {} m-ops -> {}",
+            entry.rule,
+            entry.group.len(),
+            entry.target
+        );
     }
     println!(
         "plan: {} member operators in {} m-ops (was {} separate operators)\n",

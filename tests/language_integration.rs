@@ -57,7 +57,8 @@ fn group_by_aggregate_stream() {
     let mut sink = CollectingSink::default();
     let src = r.source_id("m").unwrap();
     for (ts, node, v) in [(0, 1, 5), (1, 2, 9), (2, 1, 3), (15, 1, 1)] {
-        rt.push(src, Tuple::ints(ts, &[node, v]), &mut sink).unwrap();
+        rt.push(src, Tuple::ints(ts, &[node, v]), &mut sink)
+            .unwrap();
     }
     let q = r.query_id("peak").unwrap();
     let got = sink.of(q);
@@ -92,9 +93,7 @@ fn shared_script_workload_counts() {
     // each query sees.
     let mut script = String::from("CREATE STREAM s (a INT, b INT);\n");
     for c in 0..8 {
-        script.push_str(&format!(
-            "QUERY q{c} AS SELECT * FROM s WHERE a = {c};\n"
-        ));
+        script.push_str(&format!("QUERY q{c} AS SELECT * FROM s WHERE a = {c};\n"));
     }
     let r = engine(&script);
     assert_eq!(r.plan().mop_count(), 1, "all selections share one m-op");

@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 
 use rumor::{
-    AggFunc, AggSpec, CollectingSink, IterSpec, JoinSpec, LogicalPlan, Optimizer,
-    OptimizerConfig, PlanGraph, Predicate, QueryId, Schema, SeqSpec, Tuple,
+    AggFunc, AggSpec, CollectingSink, IterSpec, JoinSpec, LogicalPlan, Optimizer, OptimizerConfig,
+    PlanGraph, Predicate, QueryId, Schema, SeqSpec, Tuple,
 };
 use rumor_engine::ExecutablePlan;
 use rumor_expr::{CmpOp, Expr, NamedExpr, SchemaMap};
@@ -19,7 +19,11 @@ use rumor_expr::{CmpOp, Expr, NamedExpr, SchemaMap};
 fn query_strategy() -> impl Strategy<Value = LogicalPlan> {
     let sel = (0usize..3, 0i64..4)
         .prop_map(|(a, c)| LogicalPlan::source("S").select(Predicate::attr_eq_const(a, c)));
-    let agg = (0i64..4, prop_oneof![Just(AggFunc::Sum), Just(AggFunc::Max)], 1u64..20)
+    let agg = (
+        0i64..4,
+        prop_oneof![Just(AggFunc::Sum), Just(AggFunc::Max)],
+        1u64..20,
+    )
         .prop_map(|(c, func, w)| {
             LogicalPlan::source("S")
                 .select(Predicate::attr_eq_const(0, c))

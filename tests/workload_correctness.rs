@@ -24,10 +24,7 @@ fn small_params() -> Params {
         .with_tuples(600)
 }
 
-fn run_rumor_st(
-    queries: &[rumor::LogicalPlan],
-    params: &Params,
-) -> HashMap<QueryId, Vec<String>> {
+fn run_rumor_st(queries: &[rumor::LogicalPlan], params: &Params) -> HashMap<QueryId, Vec<String>> {
     let mut plan = PlanGraph::new();
     let s = plan
         .add_source("S", Schema::ints(params.num_attrs), None)
@@ -59,10 +56,7 @@ fn run_rumor_st(
         .collect()
 }
 
-fn run_cayuga_st(
-    automata: &[rumor::Automaton],
-    params: &Params,
-) -> HashMap<QueryId, Vec<String>> {
+fn run_cayuga_st(automata: &[rumor::Automaton], params: &Params) -> HashMap<QueryId, Vec<String>> {
     let mut engine = CayugaEngine::new();
     for a in automata {
         engine.add_automaton(a);
@@ -92,7 +86,10 @@ fn workload1_engines_agree() {
         &params,
     );
     let cayuga = run_cayuga_st(
-        &queries.iter().map(|q| q.automaton.clone()).collect::<Vec<_>>(),
+        &queries
+            .iter()
+            .map(|q| q.automaton.clone())
+            .collect::<Vec<_>>(),
         &params,
     );
     let mut total = 0;
@@ -115,7 +112,10 @@ fn workload2_seq_engines_agree() {
         &params,
     );
     let cayuga = run_cayuga_st(
-        &queries.iter().map(|q| q.automaton.clone()).collect::<Vec<_>>(),
+        &queries
+            .iter()
+            .map(|q| q.automaton.clone())
+            .collect::<Vec<_>>(),
         &params,
     );
     for i in 0..queries.len() {
@@ -137,7 +137,10 @@ fn workload2_mu_engines_agree() {
         &params,
     );
     let cayuga = run_cayuga_st(
-        &queries.iter().map(|q| q.automaton.clone()).collect::<Vec<_>>(),
+        &queries
+            .iter()
+            .map(|q| q.automaton.clone())
+            .collect::<Vec<_>>(),
         &params,
     );
     for i in 0..queries.len() {
