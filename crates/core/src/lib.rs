@@ -27,6 +27,7 @@ pub mod channel;
 pub mod cost;
 pub mod logical;
 pub mod mop;
+pub mod partition;
 pub mod plan;
 pub mod render;
 pub mod rules;
@@ -36,6 +37,10 @@ pub use channel::ChannelTuple;
 pub use cost::{estimate as estimate_cost, MopCost, PlanCost};
 pub use logical::{AggFunc, AggSpec, IterSpec, JoinSpec, LogicalPlan, OpDef, SeqSpec};
 pub use mop::{CountingEmit, Emit, MemberCtx, MopContext, MultiOp, VecEmit};
+pub use partition::{
+    analyze as analyze_partitioning, ComponentReport, PartitionKeys, PartitionScheme, SourceRoute,
+    Verdict,
+};
 pub use plan::{ChannelDef, Member, MopKind, MopNode, PlanGraph, Producer, SourceDef, StreamDef};
 pub use rules::{MRule, Optimizer, OptimizerConfig, RewriteTrace, TraceEntry};
 pub use sharable::{Sharability, SigId};

@@ -97,6 +97,22 @@ pub trait MultiOp: Send {
         false
     }
 
+    /// How this operator's state is keyed over its input attributes — the
+    /// introspection behind the partitioning analysis
+    /// ([`crate::partition::analyze`]). Stateless operators are transparent
+    /// to partitioning; stateful implementations override this to report
+    /// their equi keys (joins, AI-indexed sequences, keyed iterations) or
+    /// group-by attributes (window aggregates). The default is maximally
+    /// conservative: stateful operators that do not report a key structure
+    /// are treated as opaque and pin their plan component to one worker.
+    fn partition_keys(&self) -> crate::partition::PartitionKeys {
+        if self.is_stateless() {
+            crate::partition::PartitionKeys::Stateless
+        } else {
+            crate::partition::PartitionKeys::Opaque
+        }
+    }
+
     /// Implementation name for diagnostics.
     fn name(&self) -> &'static str;
 }

@@ -8,7 +8,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use rumor_core::{ChannelTuple, Emit, MopContext, PlanGraph};
+use rumor_core::{ChannelTuple, Emit, MopContext, MopKind, PartitionKeys, PlanGraph};
 use rumor_ops::instantiate;
 use rumor_types::{
     ChannelId, Membership, MopId, PortId, QueryId, Result, RumorError, SourceId, Tuple,
@@ -66,6 +66,18 @@ impl CountingSink {
     pub fn count(&self, query: QueryId) -> u64 {
         self.counts.get(query.index()).copied().unwrap_or(0)
     }
+
+    /// Folds another counting sink into this one (sharded workers each own
+    /// a sink; the runtime merges them at drain time).
+    pub fn merge(&mut self, other: CountingSink) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, c) in other.counts.into_iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+    }
 }
 
 impl QuerySink for CountingSink {
@@ -102,6 +114,18 @@ impl CollectingSink {
             .filter(|(q, _)| *q == query)
             .map(|(_, t)| t)
             .collect()
+    }
+
+    /// Folds another collecting sink into this one, re-establishing a
+    /// deterministic global order (by timestamp, then query id — the order
+    /// is independent of how results were distributed across sharded
+    /// workers; the sort is stable, so same-key results keep their
+    /// per-worker arrival order, worker 0 first). Repeated folds stay
+    /// cheap: the stable sort is adaptive, and after the first fold each
+    /// call merges two already-sorted runs in near-linear time.
+    pub fn merge(&mut self, other: CollectingSink) {
+        self.results.extend(other.results);
+        self.results.sort_by_key(|(q, t)| (t.ts, *q));
     }
 }
 
@@ -174,6 +198,12 @@ pub struct ExecutablePlan {
     op_ids: Vec<MopId>,
     /// channel index → (exec index, port) consumers, in topological order.
     consumers: Vec<Vec<(usize, PortId)>>,
+    /// channel index → stateless consumers only (the hybrid drain routes
+    /// these at run granularity).
+    batch_consumers: Vec<Vec<(usize, PortId)>>,
+    /// channel index → stateful consumers only (the hybrid drain delivers
+    /// these per-event, in timestamp order).
+    strict_consumers: Vec<Vec<(usize, PortId)>>,
     /// channel index → [(position, queries listening on that stream)].
     query_taps: Vec<Vec<(usize, Vec<QueryId>)>>,
     /// channel index → (positions-with-queries mask, queries per position if
@@ -185,9 +215,14 @@ pub struct ExecutablePlan {
     /// Every compiled op is stateless, so [`ExecutablePlan::push_batch`]
     /// may run the channel-batched drain (see [`rumor_core::MultiOp::is_stateless`]).
     batch_safe: bool,
+    /// The plan is stateful but its stateless *prefix* may still be
+    /// run-batched (see [`ExecutablePlan::is_prefix_batch_safe`]).
+    prefix_batch_safe: bool,
     /// Double buffers of the batched drain, reused across calls.
     cur: EventBuf,
     nxt: EventBuf,
+    /// Events bound for stateful consumers, staged by the hybrid drain.
+    strict: Vec<(ChannelId, ChannelTuple)>,
     /// Total tuples pushed.
     pub events_in: u64,
 }
@@ -260,17 +295,106 @@ impl ExecutablePlan {
             .collect();
 
         let batch_safe = ops.iter().all(|op| op.is_stateless());
+
+        // --- hybrid (stateless-prefix) batching gate ---------------------
+        // Split each channel's consumers into stateless (run-batchable) and
+        // stateful (strict, per-event in timestamp order) sets, then decide
+        // whether the hybrid drain reproduces the per-event engine exactly:
+        //
+        // 1. No stateful op may consume anything derived from a stateful
+        //    op's output: stateful cascades are processed inline per seed,
+        //    which can reorder equal-timestamp deliveries between siblings.
+        // 2. Every channel feeding a stateful op must carry at most one
+        //    event per source event along its stateless ancestry (one
+        //    emission per member stream, or one channelized tuple), so the
+        //    stable timestamp sort of staged strict events reproduces the
+        //    per-event delivery order exactly.
+        //
+        // Runs with equal timestamps inside one chunk are handled at push
+        // time (that chunk falls back to the per-event drain).
+        let stateless_op: Vec<bool> = ops.iter().map(|op| op.is_stateless()).collect();
+        let mut batch_consumers: Vec<Vec<(usize, PortId)>> = vec![Vec::new(); plan.channel_slots()];
+        let mut strict_consumers: Vec<Vec<(usize, PortId)>> =
+            vec![Vec::new(); plan.channel_slots()];
+        for (ch, list) in consumers.iter().enumerate() {
+            for &(idx, port) in list {
+                if stateless_op[idx] {
+                    batch_consumers[ch].push((idx, port));
+                } else {
+                    strict_consumers[ch].push((idx, port));
+                }
+            }
+        }
+        // Producing m-op (exec index) per channel; sources produce the rest.
+        let mut producer_of: Vec<Option<usize>> = vec![None; plan.channel_slots()];
+        for &id in &order {
+            let node = plan.mop(id);
+            for m in &node.members {
+                producer_of[plan.channel_of(m.output).index()] = Some(exec_index[&id]);
+            }
+        }
+        // Condition 1: no stateful op downstream of a stateful op.
+        let mut tainted = vec![false; plan.channel_slots()];
+        let mut cascade = false;
+        for &id in &order {
+            let node = plan.mop(id);
+            let idx = exec_index[&id];
+            let in_tainted = node.inputs.iter().any(|c| tainted[c.index()]);
+            if in_tainted && !stateless_op[idx] {
+                cascade = true;
+            }
+            if in_tainted || !stateless_op[idx] {
+                for m in &node.members {
+                    tainted[plan.channel_of(m.output).index()] = true;
+                }
+            }
+        }
+        // Condition 2: ≤1 event per (source event, channel) upstream of
+        // every strict channel.
+        let single_emission = |ch: usize| -> bool {
+            let mut stack = vec![ch];
+            let mut seen = vec![false; plan.channel_slots()];
+            while let Some(c) = stack.pop() {
+                if std::mem::replace(&mut seen[c], true) {
+                    continue;
+                }
+                let Some(p) = producer_of[c] else {
+                    continue; // source-fed channel: one event per push
+                };
+                let node = plan.mop(op_ids[p]);
+                let channelized =
+                    matches!(node.kind, MopKind::ChannelSelect | MopKind::ChannelProject);
+                if plan.channel(ChannelId::from_index(c)).capacity() > 1 && !channelized {
+                    return false; // several members may emit per input event
+                }
+                stack.extend(node.inputs.iter().map(|i| i.index()));
+            }
+            true
+        };
+        let prefix_batch_safe = !batch_safe
+            && stateless_op.iter().any(|&s| s)
+            && !cascade
+            && strict_consumers
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| !l.is_empty())
+                .all(|(ch, _)| single_emission(ch));
+
         Ok(ExecutablePlan {
             ops,
             op_ids,
             consumers,
+            batch_consumers,
+            strict_consumers,
             query_taps,
             tap_masks,
             source_channels,
             pending: VecDeque::new(),
             batch_safe,
+            prefix_batch_safe,
             cur: EventBuf::default(),
             nxt: EventBuf::default(),
+            strict: Vec::new(),
             events_in: 0,
         })
     }
@@ -367,6 +491,29 @@ impl ExecutablePlan {
         self.batch_safe
     }
 
+    /// Whether this *stateful* plan still runs its stateless prefix through
+    /// the channel-batched drain: selections/projections are processed at
+    /// run granularity, and only events reaching a stateful m-op drop to
+    /// per-event delivery (in timestamp order). False when the plan is
+    /// fully stateless (the whole plan batches, see
+    /// [`ExecutablePlan::is_batch_safe`]) or when exact per-event
+    /// equivalence cannot be guaranteed statically (stateful operators
+    /// feeding stateful operators, or multi-emission ancestries).
+    pub fn is_prefix_batch_safe(&self) -> bool {
+        self.prefix_batch_safe
+    }
+
+    /// Per-m-op partitioning key reports (see
+    /// [`rumor_core::MultiOp::partition_keys`]), the physical input to
+    /// [`rumor_core::partition::analyze`].
+    pub fn partition_reports(&self) -> Vec<(MopId, PartitionKeys)> {
+        self.op_ids
+            .iter()
+            .zip(&self.ops)
+            .map(|(&id, op)| (id, op.partition_keys()))
+            .collect()
+    }
+
     /// Pushes a timestamp-ordered slice of source events through the plan.
     ///
     /// Per-query results are identical to pushing the events one at a time
@@ -374,15 +521,19 @@ impl ExecutablePlan {
     /// [`ExecutablePlan::is_batch_safe`]) events are routed at *run*
     /// granularity: consecutive same-channel events form one
     /// [`rumor_core::MultiOp::process_batch`] call per consumer, amortizing
-    /// routing, dispatch, and queue bookkeeping over the run. Stateful
-    /// plans fall back to the per-event drain, which preserves strict
-    /// global timestamp order (windowed operators rely on it).
+    /// routing, dispatch, and queue bookkeeping over the run. On stateful
+    /// plans whose shape permits it (see
+    /// [`ExecutablePlan::is_prefix_batch_safe`]) the stateless *prefix* is
+    /// still run-batched and only events reaching a stateful m-op fall back
+    /// to per-event delivery, in global timestamp order; chunks containing
+    /// equal timestamps, and plans where the hybrid cannot be proven exact,
+    /// take the strict per-event drain for the whole chunk.
     pub fn push_batch(
         &mut self,
         events: &[(SourceId, Tuple)],
         sink: &mut dyn QuerySink,
     ) -> Result<()> {
-        if !self.batch_safe {
+        if !self.batch_safe && !self.prefix_batch_safe {
             for (source, tuple) in events {
                 self.push(*source, tuple.clone(), sink)?;
             }
@@ -393,6 +544,16 @@ impl ExecutablePlan {
         // level in full, trading the per-event queue overhead for memory
         // traffic.
         for chunk in events.chunks(BATCH_CHUNK) {
+            // The hybrid drain delivers strict events in a stable sort by
+            // timestamp, which reproduces per-event order only when the
+            // chunk's timestamps are strictly increasing; a chunk with ties
+            // takes the per-event path instead.
+            if !self.batch_safe && chunk.windows(2).any(|w| w[0].1.ts >= w[1].1.ts) {
+                for (source, tuple) in chunk {
+                    self.push(*source, tuple.clone(), sink)?;
+                }
+                continue;
+            }
             // On an unknown source, match `push`: the valid prefix is
             // fully processed (drained, counted) before the error — no
             // staged events may leak into a later call.
@@ -410,6 +571,7 @@ impl ExecutablePlan {
                 }
             }
             self.drain_batched(sink);
+            self.drain_strict(sink);
             if let Some(source) = bad_source {
                 return Err(RumorError::exec(format!("unknown source {source}")));
             }
@@ -418,10 +580,13 @@ impl ExecutablePlan {
     }
 
     /// Level-order batched drain: consumes the whole current buffer (runs
-    /// of consecutive same-channel events feed each consumer through one
-    /// `process_batch` call), with all emissions collected into the next
-    /// buffer; then the buffers swap. Per-channel event order is preserved,
-    /// which is all stateless consumers and query delivery observe.
+    /// of consecutive same-channel events feed each *stateless* consumer
+    /// through one `process_batch` call), with all emissions collected into
+    /// the next buffer; then the buffers swap. Per-channel event order is
+    /// preserved, which is all stateless consumers and query delivery
+    /// observe. Events on channels with stateful consumers are staged into
+    /// `strict` for the per-event phase ([`ExecutablePlan::drain_strict`]);
+    /// on fully stateless plans that staging never triggers.
     fn drain_batched(&mut self, sink: &mut dyn QuerySink) {
         let detailed = sink.wants_tuples();
         while !self.cur.is_empty() {
@@ -437,7 +602,10 @@ impl ExecutablePlan {
                 }
                 let run = &cur.tuples[i..j];
                 self.deliver_taps(ch, run, detailed, sink);
-                for &(idx, port) in &self.consumers[ch.index()] {
+                if !self.strict_consumers[ch.index()].is_empty() {
+                    self.strict.extend(run.iter().map(|ct| (ch, ct.clone())));
+                }
+                for &(idx, port) in &self.batch_consumers[ch.index()] {
                     let mut emit = BufEmit { buf: &mut self.nxt };
                     self.ops[idx].process_batch(port, run, &mut emit);
                 }
@@ -449,6 +617,32 @@ impl ExecutablePlan {
             self.cur.clear();
             std::mem::swap(&mut self.cur, &mut self.nxt);
         }
+    }
+
+    /// Per-event phase of the hybrid drain: delivers the staged strict
+    /// events to their stateful consumers in global timestamp order (the
+    /// sort is stable, and within one source event the staging order is the
+    /// per-event engine's BFS order), fully draining each seed's downstream
+    /// cascade — taps included — before the next seed, exactly as the
+    /// per-event engine would. The seeds themselves are not re-tapped:
+    /// their query taps were delivered during the batched phase.
+    fn drain_strict(&mut self, sink: &mut dyn QuerySink) {
+        if self.strict.is_empty() {
+            return;
+        }
+        let mut strict = std::mem::take(&mut self.strict);
+        strict.sort_by_key(|(_, ct)| ct.tuple.ts);
+        for (ch, ct) in strict.drain(..) {
+            for &(idx, port) in &self.strict_consumers[ch.index()] {
+                let mut emit = QueueEmit {
+                    pending: &mut self.pending,
+                };
+                self.ops[idx].process(port, &ct, &mut emit);
+            }
+            self.drain(sink);
+        }
+        // Recycle the staging allocation.
+        self.strict = strict;
     }
 
     /// Query-tap delivery for one run (identical per-query ordering to the
@@ -696,6 +890,118 @@ mod tests {
         exec_b.push_batch(&events, &mut b).unwrap();
         assert!(!a.of(q).is_empty(), "workload must produce matches");
         assert_eq!(a.of(q), b.of(q));
+    }
+
+    #[test]
+    fn push_batch_equal_timestamps_take_per_event_fallback_and_match_push() {
+        // Equal timestamps void the hybrid drain's exactness proof, so any
+        // chunk containing a tie must run strictly per-event — and still
+        // match push exactly, including per-query result order.
+        let build = || {
+            let mut plan = PlanGraph::new();
+            plan.add_source("S", Schema::ints(2), None).unwrap();
+            plan.add_source("T", Schema::ints(2), None).unwrap();
+            let q = plan
+                .add_query(
+                    &LogicalPlan::source("S")
+                        .select(Predicate::attr_eq_const(0, 1i64))
+                        .followed_by(
+                            LogicalPlan::source("T"),
+                            SeqSpec {
+                                predicate: Predicate::cmp(CmpOp::Eq, Expr::col(1), Expr::rcol(1)),
+                                window: 9,
+                            },
+                        ),
+                )
+                .unwrap();
+            Optimizer::new(OptimizerConfig::default())
+                .optimize(&mut plan)
+                .unwrap();
+            (plan, q)
+        };
+        let (plan, q) = build();
+        let s = plan.source_by_name("S").unwrap().id;
+        let t = plan.source_by_name("T").unwrap().id;
+        // Every timestamp occurs twice (once per source): all-tied input.
+        let events: Vec<(SourceId, Tuple)> = (0..160u64)
+            .map(|i| {
+                let src = if i % 2 == 0 { s } else { t };
+                (
+                    src,
+                    Tuple::ints(i / 2, &[(i % 3) as i64, ((i / 2) % 4) as i64]),
+                )
+            })
+            .collect();
+
+        let mut exec_a = ExecutablePlan::new(&plan).unwrap();
+        assert!(exec_a.is_prefix_batch_safe());
+        let mut a = CollectingSink::default();
+        for (src, tu) in &events {
+            exec_a.push(*src, tu.clone(), &mut a).unwrap();
+        }
+        let mut exec_b = ExecutablePlan::new(&plan).unwrap();
+        let mut b = CollectingSink::default();
+        exec_b.push_batch(&events, &mut b).unwrap();
+        assert!(!a.of(q).is_empty(), "workload must produce matches");
+        assert_eq!(a.of(q), b.of(q));
+        assert_eq!(exec_a.events_in, exec_b.events_in);
+    }
+
+    #[test]
+    fn hybrid_gate_engages_on_select_prefix_but_not_on_stateful_cascade() {
+        // Select prefix feeding a sequence: stateless-prefix batching is
+        // provably exact, so the hybrid drain engages.
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(2), None).unwrap();
+        plan.add_source("T", Schema::ints(2), None).unwrap();
+        plan.add_query(
+            &LogicalPlan::source("S")
+                .select(Predicate::attr_eq_const(0, 1i64))
+                .followed_by(
+                    LogicalPlan::source("T"),
+                    SeqSpec {
+                        predicate: Predicate::cmp(CmpOp::Eq, Expr::col(1), Expr::rcol(1)),
+                        window: 8,
+                    },
+                ),
+        )
+        .unwrap();
+        let exec = ExecutablePlan::new(&plan).unwrap();
+        assert!(!exec.is_batch_safe());
+        assert!(exec.is_prefix_batch_safe());
+
+        // An aggregate feeding an iterate is a stateful cascade: the hybrid
+        // cannot be proven exact, so push_batch stays strictly per-event.
+        let mut plan = PlanGraph::new();
+        plan.add_source("cpu", Schema::ints(2), None).unwrap();
+        plan.add_query(
+            &LogicalPlan::source("cpu")
+                .aggregate(rumor_core::AggSpec {
+                    func: rumor_core::AggFunc::Avg,
+                    input: Expr::col(1),
+                    group_by: vec![0],
+                    window: 5,
+                })
+                .iterate(
+                    LogicalPlan::source("cpu"),
+                    rumor_core::IterSpec {
+                        filter: Predicate::cmp(CmpOp::Ne, Expr::col(0), Expr::rcol(0)),
+                        rebind: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                        rebind_map: rumor_expr::SchemaMap::new(vec![
+                            rumor_expr::NamedExpr::new("a0", Expr::col(0)),
+                            rumor_expr::NamedExpr::new("avg", Expr::col(1)),
+                        ]),
+                        window: 10,
+                    },
+                )
+                // A trailing selection keeps a stateless op in the plan, so
+                // the gate closes specifically because of the cascade.
+                .select(Predicate::attr_eq_const(0, 7i64)),
+        )
+        .unwrap();
+        let exec = ExecutablePlan::new(&plan).unwrap();
+        assert!(!exec.is_batch_safe());
+        assert!(!exec.is_prefix_batch_safe());
     }
 
     #[test]

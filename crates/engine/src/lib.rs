@@ -4,6 +4,26 @@
 //! query-language scripts), runs the rule-based multi-query optimizer, and
 //! executes the resulting shared plan over pushed stream tuples.
 //!
+//! Three execution paths share one compiled plan representation:
+//!
+//! * [`ExecutablePlan`] — the single-threaded push engine. Fully stateless
+//!   plans batch at channel-run granularity
+//!   ([`ExecutablePlan::push_batch`]); stateful plans run *hybrid*, still
+//!   batching the stateless prefix and dropping to timestamp-ordered
+//!   per-event delivery only at the first stateful m-op
+//!   ([`ExecutablePlan::is_prefix_batch_safe`]).
+//! * [`run_pipelined_config`] — operator parallelism: topological-depth
+//!   stages on threads exchanging batched messages.
+//! * [`ShardedRuntime`] ([`Rumor::sharded_runtime`]) — data parallelism:
+//!   `n` clones of the whole plan behind a static router. The
+//!   partitioning analysis (`rumor_core::partition`) decides per plan
+//!   component whether tuples may round-robin (stateless), must hash on a
+//!   consistent key (join/sequence/iterate/aggregate state), or must pin
+//!   to one worker; per-worker sinks fold deterministically at drain time
+//!   ([`MergeSink`]). Sharding pays off when there are physical cores to
+//!   spare and per-event work is nontrivial; on a single core it measures
+//!   the routing overhead (see `BENCH_throughput.json`).
+//!
 //! ```
 //! use rumor_engine::{Rumor, CollectingSink};
 //! use rumor_core::OptimizerConfig;
@@ -34,12 +54,14 @@
 pub mod exec;
 pub mod metrics;
 pub mod pipeline;
+pub mod shard;
 
 pub use exec::{CollectingSink, CountingSink, DiscardSink, ExecutablePlan, QuerySink};
 pub use metrics::{
     measure, measure_batched, measure_mode, FeedMode, InputEvent, Measurement, Protocol,
 };
 pub use pipeline::{run_pipelined, run_pipelined_config, PipelineConfig};
+pub use shard::{MergeSink, ShardedRuntime};
 
 use std::collections::HashMap;
 
@@ -149,6 +171,42 @@ impl Rumor {
     /// as-is: call [`Rumor::optimize`] first to get the shared plan.
     pub fn runtime(&self) -> Result<ExecutablePlan> {
         ExecutablePlan::new(&self.plan)
+    }
+
+    /// Compiles the plan into a partition-parallel runtime of `n` workers
+    /// (see [`ShardedRuntime`]): the whole shared plan is cloned per
+    /// worker and input tuples are routed by the static partitioning
+    /// analysis — round-robin for stateless components, hashed on the
+    /// per-source key for key-partitionable ones, worker 0 for pinned
+    /// ones. Call [`Rumor::optimize`] first, as with [`Rumor::runtime`].
+    ///
+    /// ```
+    /// use rumor_engine::{CollectingSink, Rumor, ShardedRuntime};
+    /// use rumor_core::OptimizerConfig;
+    /// use rumor_types::Tuple;
+    ///
+    /// let mut rumor = Rumor::new(OptimizerConfig::default());
+    /// rumor
+    ///     .execute(
+    ///         "CREATE STREAM s (a0 INT, a1 INT);
+    ///          QUERY q0 AS SELECT * FROM s WHERE a0 = 1;
+    ///          QUERY q1 AS SELECT * FROM s WHERE a0 = 2;",
+    ///     )
+    ///     .unwrap();
+    /// rumor.optimize().unwrap();
+    /// let mut rt: ShardedRuntime<CollectingSink> = rumor.sharded_runtime(4).unwrap();
+    /// let s = rumor.source_id("s").unwrap();
+    /// let events: Vec<_> = (0..8u64)
+    ///     .map(|ts| (s, Tuple::ints(ts, &[ts as i64 % 3, 0])))
+    ///     .collect();
+    /// rt.push_batch(&events).unwrap();
+    /// assert_eq!(rt.into_results().len(), 5); // a0=1 at ts 1,4,7; a0=2 at ts 2,5
+    /// ```
+    pub fn sharded_runtime<S: shard::MergeSink + Default>(
+        &self,
+        n: usize,
+    ) -> Result<ShardedRuntime<S>> {
+        ShardedRuntime::new(&self.plan, n)
     }
 
     /// Renders the current plan as text (diagnostics).

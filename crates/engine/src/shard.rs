@@ -1,0 +1,468 @@
+//! The partition-parallel shared-plan runtime.
+//!
+//! [`ShardedRuntime`] clones a compiled plan across `n` workers and routes
+//! every pushed source tuple to exactly one of them, following the static
+//! [`PartitionScheme`] computed by `rumor-core`'s partitioning analysis
+//! from the compiled m-ops' key reports
+//! ([`rumor_core::MultiOp::partition_keys`]):
+//!
+//! * tuples of **stateless** components round-robin across workers (any
+//!   distribution preserves per-query result multisets);
+//! * tuples of **key-partitionable** components hash on the component's
+//!   per-source key attributes, so every pair of tuples that can meet in
+//!   stateful operator state (join/sequence/iterate partners, aggregate
+//!   group members) lands on the same worker;
+//! * tuples of **pinned** components all go to worker 0.
+//!
+//! Each worker owns a full [`ExecutablePlan`] clone plus its own sink;
+//! [`ShardedRuntime::push_batch`] partitions the input slice, runs the
+//! workers on scoped threads, and [`ShardedRuntime::finish`] folds the
+//! per-worker sinks into one deterministic result ([`MergeSink`]).
+//!
+//! Within one worker the routed sub-stream preserves global timestamp
+//! order (routing never reorders), so each clone sees a valid input and
+//! per-query results across workers form exactly the multiset the
+//! single-threaded engine produces. For fully pinned plans the runtime
+//! degenerates to the single-threaded engine on worker 0.
+
+use rumor_core::{analyze_partitioning, PartitionScheme, PlanGraph};
+use rumor_types::{QueryId, Result, RumorError, SourceId, Tuple};
+
+use crate::exec::{CollectingSink, CountingSink, DiscardSink, ExecutablePlan, QuerySink};
+
+/// A sink sharded workers can each own privately and fold deterministically
+/// at drain time.
+pub trait MergeSink: QuerySink + Send {
+    /// Folds `other` into `self`. Implementations must be associative and
+    /// produce an order that does not depend on how results were
+    /// distributed across workers (e.g. [`CollectingSink`] re-sorts by
+    /// timestamp, then query id).
+    fn merge(&mut self, other: Self)
+    where
+        Self: Sized;
+
+    /// Called exactly once after every worker sink has been folded in —
+    /// including the single-worker case, where [`MergeSink::merge`] never
+    /// runs. Implementations whose canonical order is established by
+    /// merging (again, [`CollectingSink`]) normalize here so `n = 1`
+    /// results obey the same contract as `n > 1`.
+    fn finalize(&mut self) {}
+}
+
+impl MergeSink for CountingSink {
+    fn merge(&mut self, other: Self) {
+        CountingSink::merge(self, other);
+    }
+}
+
+impl MergeSink for CollectingSink {
+    fn merge(&mut self, other: Self) {
+        CollectingSink::merge(self, other);
+    }
+
+    fn finalize(&mut self) {
+        // A single worker's results arrive in engine order (the hybrid
+        // drain interleaves batched and strict phases), not in the merged
+        // contract order.
+        self.results.sort_by_key(|(q, t)| (t.ts, *q));
+    }
+}
+
+impl MergeSink for DiscardSink {
+    fn merge(&mut self, _other: Self) {}
+}
+
+struct Worker<S> {
+    exec: ExecutablePlan,
+    sink: S,
+}
+
+/// The partition-parallel runtime: `n` plan clones behind a static router.
+pub struct ShardedRuntime<S: MergeSink> {
+    workers: Vec<Worker<S>>,
+    scheme: PartitionScheme,
+    /// Per-source round-robin cursors (kept per source so one source's
+    /// distribution is independent of how sources interleave).
+    rr_cursors: Vec<usize>,
+    /// Every route is round-robin: batch calls split the input into
+    /// contiguous zero-copy segments instead of routing per event.
+    all_round_robin: bool,
+    /// Per-worker staging buffers, reused across [`ShardedRuntime::push_batch`] calls.
+    bufs: Vec<Vec<(SourceId, Tuple)>>,
+}
+
+impl<S: MergeSink + Default> ShardedRuntime<S> {
+    /// Compiles `plan` into `n` worker clones (n ≥ 1) and computes the
+    /// routing scheme from the compiled operators' key reports.
+    pub fn new(plan: &PlanGraph, n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(RumorError::exec("sharded runtime needs n >= 1".to_string()));
+        }
+        let mut workers = Vec::with_capacity(n);
+        for _ in 0..n {
+            workers.push(Worker {
+                exec: ExecutablePlan::new(plan)?,
+                sink: S::default(),
+            });
+        }
+        let scheme = analyze_partitioning(plan, &workers[0].exec.partition_reports())?;
+        let n_sources = scheme.routes().len();
+        let all_round_robin = scheme
+            .routes()
+            .iter()
+            .all(|r| matches!(r, rumor_core::SourceRoute::RoundRobin));
+        Ok(ShardedRuntime {
+            workers,
+            scheme,
+            rr_cursors: vec![0; n_sources],
+            all_round_robin,
+            bufs: vec![Vec::new(); n],
+        })
+    }
+}
+
+impl<S: MergeSink> ShardedRuntime<S> {
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The routing scheme in force.
+    pub fn scheme(&self) -> &PartitionScheme {
+        &self.scheme
+    }
+
+    /// Whether the scheme lets more than one worker do useful work.
+    pub fn is_parallelizable(&self) -> bool {
+        self.scheme.is_parallelizable()
+    }
+
+    /// Total events accepted across workers.
+    pub fn events_in(&self) -> u64 {
+        self.workers.iter().map(|w| w.exec.events_in).sum()
+    }
+
+    /// Events accepted per worker — the load-balance metric (a pinned
+    /// component shows up as worker 0 carrying its whole stream).
+    pub fn worker_events(&self) -> Vec<u64> {
+        self.workers.iter().map(|w| w.exec.events_in).collect()
+    }
+
+    fn route(&mut self, source: SourceId, tuple: &Tuple) -> Result<usize> {
+        let cursor = self
+            .rr_cursors
+            .get_mut(source.index())
+            .ok_or_else(|| RumorError::exec(format!("unknown source {source}")))?;
+        Ok(self
+            .scheme
+            .worker_for(source, tuple.values(), self.workers.len(), cursor))
+    }
+
+    /// Routes and processes one source tuple (inline, on the caller's
+    /// thread). Tuples must arrive in global timestamp order.
+    pub fn push(&mut self, source: SourceId, tuple: Tuple) -> Result<()> {
+        let w = self.route(source, &tuple)?;
+        let worker = &mut self.workers[w];
+        worker.exec.push(source, tuple, &mut worker.sink)
+    }
+
+    /// Routes a timestamp-ordered event slice across the workers and runs
+    /// them in parallel (scoped threads), one
+    /// [`ExecutablePlan::push_batch`] call per worker per call.
+    ///
+    /// Fully stateless schemes (every route round-robin) skip per-event
+    /// routing entirely: the slice is split into `n` contiguous segments
+    /// consumed zero-copy, which is the optimal stateless distribution for
+    /// a batch — equal load, maximal channel-run lengths per worker, no
+    /// tuple clones. Keyed and pinned routes take the per-event router.
+    ///
+    /// Unlike [`ExecutablePlan::push_batch`], an unknown source fails the
+    /// whole call up front: routing validates every event before any worker
+    /// processes anything.
+    pub fn push_batch(&mut self, events: &[(SourceId, Tuple)]) -> Result<()> {
+        if let Some((source, _)) = events
+            .iter()
+            .find(|(s, _)| s.index() >= self.rr_cursors.len())
+        {
+            return Err(RumorError::exec(format!("unknown source {source}")));
+        }
+        if self.workers.len() == 1 {
+            let worker = &mut self.workers[0];
+            return worker.exec.push_batch(events, &mut worker.sink);
+        }
+        if self.all_round_robin {
+            let per = events.len().div_ceil(self.workers.len()).max(1);
+            return self.run_workers(|w| {
+                let lo = (w * per).min(events.len());
+                let hi = ((w + 1) * per).min(events.len());
+                &events[lo..hi]
+            });
+        }
+        for buf in &mut self.bufs {
+            buf.clear();
+        }
+        for (source, tuple) in events {
+            let w = self.route(*source, tuple)?;
+            self.bufs[w].push((*source, tuple.clone()));
+        }
+        let bufs = std::mem::take(&mut self.bufs);
+        let outcome = self.run_workers(|w| bufs[w].as_slice());
+        self.bufs = bufs;
+        outcome
+    }
+
+    /// Runs every worker with a non-empty share on its own scoped thread.
+    fn run_workers<'a>(
+        &mut self,
+        share: impl Fn(usize) -> &'a [(SourceId, Tuple)] + Sync,
+    ) -> Result<()> {
+        let mut outcomes: Vec<Result<()>> = Vec::with_capacity(self.workers.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workers
+                .iter_mut()
+                .enumerate()
+                .filter(|(w, _)| !share(*w).is_empty())
+                .map(|(w, worker)| {
+                    let share = &share;
+                    scope.spawn(move || worker.exec.push_batch(share(w), &mut worker.sink))
+                })
+                .collect();
+            for h in handles {
+                outcomes.push(h.join().unwrap_or_else(|_| {
+                    Err(RumorError::exec("sharded worker panicked".to_string()))
+                }));
+            }
+        });
+        outcomes.into_iter().collect()
+    }
+
+    /// Merges the per-worker sinks (worker 0 first) into the final sink.
+    pub fn finish(self) -> S {
+        let mut it = self.workers.into_iter();
+        let mut acc = it.next().expect("n >= 1 workers").sink;
+        for w in it {
+            acc.merge(w.sink);
+        }
+        acc.finalize();
+        acc
+    }
+}
+
+impl ShardedRuntime<CollectingSink> {
+    /// Convenience: merged `(query, tuple)` results sorted by
+    /// `(timestamp, query)`, consuming the runtime.
+    pub fn into_results(self) -> Vec<(QueryId, Tuple)> {
+        self.finish().results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_core::{LogicalPlan, Optimizer, OptimizerConfig, SeqSpec, SourceRoute, Verdict};
+    use rumor_expr::{CmpOp, Expr, Predicate};
+    use rumor_types::Schema;
+
+    fn optimized(queries: &[LogicalPlan]) -> (PlanGraph, Vec<QueryId>) {
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(3), None).unwrap();
+        plan.add_source("T", Schema::ints(3), None).unwrap();
+        let qs = queries.iter().map(|q| plan.add_query(q).unwrap()).collect();
+        Optimizer::new(OptimizerConfig::default())
+            .optimize(&mut plan)
+            .unwrap();
+        (plan, qs)
+    }
+
+    fn interleaved(plan: &PlanGraph, n: u64) -> Vec<(SourceId, Tuple)> {
+        let s = plan.source_by_name("S").unwrap().id;
+        let t = plan.source_by_name("T").unwrap().id;
+        (0..n)
+            .map(|ts| {
+                let src = if ts % 2 == 0 { s } else { t };
+                (
+                    src,
+                    Tuple::ints(ts, &[(ts % 5) as i64, (ts % 3) as i64, ts as i64]),
+                )
+            })
+            .collect()
+    }
+
+    fn reference(plan: &PlanGraph, events: &[(SourceId, Tuple)]) -> CollectingSink {
+        let mut exec = ExecutablePlan::new(plan).unwrap();
+        let mut sink = CollectingSink::default();
+        for (src, t) in events {
+            exec.push(*src, t.clone(), &mut sink).unwrap();
+        }
+        sink
+    }
+
+    fn sorted_of(sink: &CollectingSink, q: QueryId) -> Vec<String> {
+        let mut v: Vec<String> = sink.of(q).iter().map(|t| t.to_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn stateless_plan_round_robins_and_matches() {
+        let (plan, qs) = optimized(&[
+            LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64)),
+            LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 2i64)),
+        ]);
+        let events = interleaved(&plan, 60);
+        let want = reference(&plan, &events);
+        for n in [1, 2, 4] {
+            let mut rt: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, n).unwrap();
+            assert_eq!(rt.scheme().count(Verdict::Stateless), 2);
+            rt.push_batch(&events).unwrap();
+            assert_eq!(rt.events_in(), 60);
+            if n > 1 {
+                let per_worker = rt.worker_events();
+                assert!(per_worker.iter().all(|&e| e > 0), "{per_worker:?}");
+            }
+            let got = rt.finish();
+            for &q in &qs {
+                assert_eq!(sorted_of(&got, q), sorted_of(&want, q), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_sequence_partitions_by_hash() {
+        let (plan, qs) = optimized(&[LogicalPlan::source("S")
+            .select(Predicate::attr_eq_const(1, 0i64))
+            .followed_by(
+                LogicalPlan::source("T"),
+                SeqSpec {
+                    predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                    window: 20,
+                },
+            )]);
+        let events = interleaved(&plan, 120);
+        let want = reference(&plan, &events);
+        let mut rt: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, 4).unwrap();
+        assert_eq!(rt.scheme().count(Verdict::Keyed), 1);
+        let s = plan.source_by_name("S").unwrap().id;
+        assert_eq!(*rt.scheme().route(s), SourceRoute::Key(vec![0]));
+        rt.push_batch(&events).unwrap();
+        let got = rt.finish();
+        assert!(!want.results.is_empty());
+        for &q in &qs {
+            assert_eq!(sorted_of(&got, q), sorted_of(&want, q));
+        }
+    }
+
+    #[test]
+    fn unkeyed_sequence_pins_to_worker_zero() {
+        let (plan, qs) = optimized(&[LogicalPlan::source("S").followed_by(
+            LogicalPlan::source("T"),
+            SeqSpec {
+                predicate: Predicate::cmp(CmpOp::Lt, Expr::col(2), Expr::rcol(2)),
+                window: 10,
+            },
+        )]);
+        let events = interleaved(&plan, 80);
+        let want = reference(&plan, &events);
+        let mut rt: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, 4).unwrap();
+        assert_eq!(rt.scheme().count(Verdict::Pinned), 1);
+        assert!(!rt.is_parallelizable());
+        rt.push_batch(&events).unwrap();
+        assert_eq!(rt.worker_events(), vec![80, 0, 0, 0]);
+        let got = rt.finish();
+        for &q in &qs {
+            assert_eq!(sorted_of(&got, q), sorted_of(&want, q));
+        }
+    }
+
+    #[test]
+    fn push_and_push_batch_agree() {
+        let (plan, qs) = optimized(&[
+            LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 3i64)),
+            LogicalPlan::source("S")
+                .select(Predicate::attr_eq_const(1, 1i64))
+                .followed_by(
+                    LogicalPlan::source("T"),
+                    SeqSpec {
+                        predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                        window: 15,
+                    },
+                ),
+        ]);
+        let events = interleaved(&plan, 90);
+        let mut a: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, 3).unwrap();
+        for (src, t) in &events {
+            a.push(*src, t.clone()).unwrap();
+        }
+        let mut b: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, 3).unwrap();
+        b.push_batch(&events).unwrap();
+        let (a, b) = (a.finish(), b.finish());
+        for &q in &qs {
+            assert_eq!(sorted_of(&a, q), sorted_of(&b, q));
+        }
+    }
+
+    #[test]
+    fn single_worker_results_obey_merge_order() {
+        // With n = 1 no merge runs; finalize must still establish the
+        // (ts, query) contract order, which the hybrid drain's phase split
+        // (batched stateless results first, strict results after) breaks.
+        let (plan, _) = optimized(&[
+            LogicalPlan::source("S").select(Predicate::True),
+            LogicalPlan::source("S").followed_by(
+                LogicalPlan::source("T"),
+                SeqSpec {
+                    predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                    window: 20,
+                },
+            ),
+        ]);
+        let events = interleaved(&plan, 60);
+        let mut rt: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, 1).unwrap();
+        rt.push_batch(&events).unwrap();
+        let results = rt.into_results();
+        assert!(!results.is_empty());
+        let keys: Vec<(u64, u32)> = results.iter().map(|(q, t)| (t.ts, q.0)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "n=1 results must be (ts, query)-sorted");
+    }
+
+    #[test]
+    fn unknown_source_fails_before_processing() {
+        let (plan, _) = optimized(&[LogicalPlan::source("S").select(Predicate::True)]);
+        let mut rt: ShardedRuntime<CountingSink> = ShardedRuntime::new(&plan, 2).unwrap();
+        let s = plan.source_by_name("S").unwrap().id;
+        let events = vec![
+            (s, Tuple::ints(0, &[1, 0, 0])),
+            (SourceId(9), Tuple::ints(1, &[1, 0, 0])),
+        ];
+        assert!(rt.push_batch(&events).is_err());
+        assert_eq!(rt.events_in(), 0);
+    }
+
+    #[test]
+    fn counting_sink_merge_folds_counts() {
+        let mut a = CountingSink::default();
+        a.on_result(QueryId(0), &Tuple::ints(0, &[1]));
+        let mut b = CountingSink::default();
+        b.on_result(QueryId(0), &Tuple::ints(1, &[1]));
+        b.on_result(QueryId(2), &Tuple::ints(1, &[1]));
+        a.merge(b);
+        assert_eq!(a.count(QueryId(0)), 2);
+        assert_eq!(a.count(QueryId(2)), 1);
+        assert_eq!(a.total, 3);
+    }
+
+    #[test]
+    fn collecting_sink_merge_sorts_by_ts_then_query() {
+        let mut a = CollectingSink::default();
+        a.on_result(QueryId(1), &Tuple::ints(5, &[1]));
+        a.on_result(QueryId(0), &Tuple::ints(7, &[2]));
+        let mut b = CollectingSink::default();
+        b.on_result(QueryId(0), &Tuple::ints(5, &[3]));
+        a.merge(b);
+        let order: Vec<(u32, u64)> = a.results.iter().map(|(q, t)| (q.0, t.ts)).collect();
+        assert_eq!(order, vec![(0, 5), (1, 5), (0, 7)]);
+    }
+}

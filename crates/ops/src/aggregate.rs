@@ -126,6 +126,25 @@ impl MultiOp for SharedAggregate {
         }
     }
 
+    fn partition_keys(&self) -> rumor_core::PartitionKeys {
+        // A group's state depends only on the tuples of that group (the
+        // shared window buffer is per-group at eviction time, and eviction
+        // is a pure ts horizon), so any hash key that every member's
+        // group-by refines keeps each group whole: report the intersection
+        // of the members' group-by attribute sets.
+        let mut common: Vec<usize> = self.specs[0].group_by.clone();
+        common.sort_unstable();
+        common.dedup();
+        for spec in &self.specs[1..] {
+            common.retain(|a| spec.group_by.contains(a));
+        }
+        if common.is_empty() {
+            rumor_core::PartitionKeys::Opaque
+        } else {
+            rumor_core::PartitionKeys::Grouped { group_by: common }
+        }
+    }
+
     fn name(&self) -> &'static str {
         "shared-aggregate"
     }
@@ -241,6 +260,17 @@ impl MultiOp for FragmentAggregate {
         for (_, result, members) in by_result {
             let row = output_row(tuple, &self.spec.group_by, result);
             self.outputs.emit_members(out, &row, &members);
+        }
+    }
+
+    fn partition_keys(&self) -> rumor_core::PartitionKeys {
+        if self.spec.group_by.is_empty() {
+            rumor_core::PartitionKeys::Opaque
+        } else {
+            let mut group_by = self.spec.group_by.clone();
+            group_by.sort_unstable();
+            group_by.dedup();
+            rumor_core::PartitionKeys::Grouped { group_by }
         }
     }
 

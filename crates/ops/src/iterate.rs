@@ -451,6 +451,34 @@ impl MultiOp for SharedIterate {
         }
     }
 
+    fn partition_keys(&self) -> rumor_core::PartitionKeys {
+        // Keyed mode already proves that events of a foreign key leave an
+        // instance untouched (the filter passes them, the rebind's equi
+        // conjunct fails), so per-key behaviour is self-contained — but a
+        // rebind may still *rewrite* the key attribute, migrating the
+        // instance to another bucket. A single-process engine just re-files
+        // it; a partitioned one cannot move state across workers, so the
+        // key is only partition-safe when the rebind map passes every key
+        // attribute through unchanged.
+        let key_preserved = self.keys.iter().all(|&(l, _)| {
+            self.spec.rebind_map.outputs.get(l).is_some_and(|ne| {
+                ne.expr
+                    == rumor_expr::Expr::Col {
+                        side: rumor_expr::Side::Left,
+                        index: l,
+                    }
+            })
+        });
+        if self.keyed && key_preserved {
+            let (l, r): (Vec<usize>, Vec<usize>) = self.keys.iter().copied().unzip();
+            rumor_core::PartitionKeys::Equi {
+                per_port: vec![l, r],
+            }
+        } else {
+            rumor_core::PartitionKeys::Opaque
+        }
+    }
+
     fn name(&self) -> &'static str {
         if self.channel_mode {
             "channel-iterate"

@@ -220,6 +220,20 @@ impl MultiOp for SharedJoin {
         }
     }
 
+    fn partition_keys(&self) -> rumor_core::PartitionKeys {
+        // Matches require equal key values, window checks are pairwise, and
+        // eviction is a pure ts horizon — per-key behaviour is independent
+        // of other keys' tuples, so hash partitioning on the equi key is
+        // exact. Without an equi key every pair can interact: opaque.
+        if self.left_attrs.is_empty() {
+            rumor_core::PartitionKeys::Opaque
+        } else {
+            rumor_core::PartitionKeys::Equi {
+                per_port: vec![self.left_attrs.clone(), self.right_attrs.clone()],
+            }
+        }
+    }
+
     fn name(&self) -> &'static str {
         "shared-join"
     }
@@ -344,6 +358,18 @@ impl MultiOp for PrecisionJoin {
         let p = port.index();
         for input in inputs {
             self.process_one(p, input, out);
+        }
+    }
+
+    fn partition_keys(&self) -> rumor_core::PartitionKeys {
+        // Same argument as the shared join; memberships ride along with the
+        // stored tuples and never cross keys.
+        if self.left_attrs.is_empty() {
+            rumor_core::PartitionKeys::Opaque
+        } else {
+            rumor_core::PartitionKeys::Equi {
+                per_port: vec![self.left_attrs.clone(), self.right_attrs.clone()],
+            }
         }
     }
 

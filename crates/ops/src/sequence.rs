@@ -435,6 +435,22 @@ impl MultiOp for SharedSequence {
         }
     }
 
+    fn partition_keys(&self) -> rumor_core::PartitionKeys {
+        // With the AI index active an event only probes (and deletes)
+        // instances of its own key, matches are window-guarded pairwise,
+        // and eviction is a pure ts horizon — exact under hash partitioning
+        // on the equi key. An unindexed sequence scans every instance per
+        // event, so any tuple pair can interact: opaque.
+        if self.keyed {
+            let (l, r): (Vec<usize>, Vec<usize>) = self.keys.iter().copied().unzip();
+            rumor_core::PartitionKeys::Equi {
+                per_port: vec![l, r],
+            }
+        } else {
+            rumor_core::PartitionKeys::Opaque
+        }
+    }
+
     fn name(&self) -> &'static str {
         if self.channel_mode {
             "channel-sequence"

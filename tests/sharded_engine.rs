@@ -1,0 +1,262 @@
+//! Sharded-runtime equivalence: running the optimized shared plan under
+//! the partition-parallel runtime (any worker count) must produce, per
+//! query, exactly the result multiset of the single-threaded per-event
+//! engine — across all three partitionability verdicts (stateless
+//! round-robin, key-partitioned hashing, pinned single-worker), and for
+//! mixed plans where only some components are partitionable.
+
+use proptest::prelude::*;
+
+use rumor::{
+    CollectingSink, ExecutablePlan, LogicalPlan, Optimizer, OptimizerConfig, PlanGraph, Predicate,
+    QueryId, Schema, SeqSpec, ShardedRuntime, SourceRoute, Tuple, Verdict,
+};
+use rumor_expr::{CmpOp, Expr, NamedExpr, SchemaMap};
+use rumor_types::SourceId;
+
+/// Stateless templates over source `U`: partition-transparent.
+fn stateless_query() -> impl Strategy<Value = LogicalPlan> {
+    let sel = (0usize..3, 0i64..4)
+        .prop_map(|(a, c)| LogicalPlan::source("U").select(Predicate::attr_eq_const(a, c)));
+    let proj = (0i64..4, 1i64..4).prop_map(|(c, k)| {
+        LogicalPlan::source("U")
+            .select(Predicate::attr_eq_const(0, c))
+            .project(SchemaMap::new(vec![NamedExpr::new(
+                "x",
+                Expr::col(1).mul(Expr::lit(k)),
+            )]))
+    });
+    prop_oneof![sel, proj]
+}
+
+/// Keyed templates over the `S`/`T` pair: sequences whose AI index keys on
+/// attribute 0 of both sides, and iterations whose keyed mode is sound and
+/// key-preserving — the key-partitionable verdict.
+fn keyed_query() -> impl Strategy<Value = LogicalPlan> {
+    let seq = (0i64..4, 1u64..25).prop_map(|(c, w)| {
+        LogicalPlan::source("S")
+            .select(Predicate::attr_eq_const(1, c))
+            .followed_by(
+                LogicalPlan::source("T"),
+                SeqSpec {
+                    predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                    window: w,
+                },
+            )
+    });
+    let mu = (0i64..4, 1u64..25).prop_map(|(c, w)| {
+        LogicalPlan::source("S")
+            .select(Predicate::attr_eq_const(1, c))
+            .iterate(
+                LogicalPlan::source("T"),
+                rumor::IterSpec {
+                    filter: Predicate::cmp(CmpOp::Ne, Expr::col(0), Expr::rcol(0)),
+                    rebind: Predicate::and(vec![
+                        Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                        Predicate::cmp(CmpOp::Gt, Expr::rcol(1), Expr::col(1)),
+                    ]),
+                    rebind_map: SchemaMap::new(vec![
+                        NamedExpr::new("a0", Expr::col(0)),
+                        NamedExpr::new("a1", Expr::rcol(1)),
+                        NamedExpr::new("a2", Expr::col(2)),
+                    ]),
+                    window: w,
+                },
+            )
+    });
+    prop_oneof![seq, mu]
+}
+
+/// Pinned templates over the `V`/`W` pair: a sequence with no equi key
+/// (every instance can match every event), forcing single-worker execution.
+fn pinned_query() -> impl Strategy<Value = LogicalPlan> {
+    (1u64..25).prop_map(|w| {
+        LogicalPlan::source("V").followed_by(
+            LogicalPlan::source("W"),
+            SeqSpec {
+                predicate: Predicate::cmp(CmpOp::Lt, Expr::col(2), Expr::rcol(2)),
+                window: w,
+            },
+        )
+    })
+}
+
+/// Aggregate templates: window aggregations over `A` with several group-by
+/// shapes (grouped → key-partitionable via the group-by intersection;
+/// ungrouped → opaque → pinned), plus aggregations over the keyed source
+/// `S`, whose group-by either contains the sequences' exact key attribute
+/// (staying keyed) or conflicts with it (pinning the S/T component).
+fn agg_query() -> impl Strategy<Value = LogicalPlan> {
+    let funcs = prop_oneof![
+        Just(rumor::AggFunc::Sum),
+        Just(rumor::AggFunc::Count),
+        Just(rumor::AggFunc::Max),
+    ];
+    let group_bys = prop_oneof![Just(vec![0usize]), Just(vec![0usize, 1]), Just(Vec::new()),];
+    let srcs = prop_oneof![Just("A"), Just("S")];
+    (funcs, group_bys, srcs, 1u64..25).prop_map(|(func, group_by, src, window)| {
+        LogicalPlan::source(src).aggregate(rumor::AggSpec {
+            func,
+            input: Expr::col(2),
+            group_by,
+            window,
+        })
+    })
+}
+
+fn any_query() -> impl Strategy<Value = LogicalPlan> {
+    prop_oneof![
+        stateless_query(),
+        keyed_query(),
+        pinned_query(),
+        agg_query()
+    ]
+}
+
+/// Events spread over the six sources. Timestamps are non-decreasing but
+/// may tie (`advance == false`), exercising the hybrid drain's per-event
+/// tie fallback under sharding.
+fn events_strategy() -> impl Strategy<Value = Vec<(usize, bool, Vec<i64>)>> {
+    prop::collection::vec(
+        (0usize..5, any::<bool>(), prop::collection::vec(0i64..4, 3)),
+        1..150,
+    )
+}
+
+fn build(queries: &[LogicalPlan]) -> (PlanGraph, Vec<QueryId>, Vec<SourceId>) {
+    let mut plan = PlanGraph::new();
+    let sources = ["U", "S", "T", "V", "W", "A"]
+        .iter()
+        .map(|n| plan.add_source(*n, Schema::ints(3), None).unwrap())
+        .collect::<Vec<_>>();
+    let qs: Vec<QueryId> = queries.iter().map(|q| plan.add_query(q).unwrap()).collect();
+    Optimizer::new(OptimizerConfig::default())
+        .optimize(&mut plan)
+        .unwrap();
+    plan.validate().unwrap();
+    (plan, qs, sources)
+}
+
+fn to_events(raw: &[(usize, bool, Vec<i64>)], sources: &[SourceId]) -> Vec<(SourceId, Tuple)> {
+    let mut ts = 0u64;
+    raw.iter()
+        .enumerate()
+        .map(|(i, (which, advance, vals))| {
+            if *advance {
+                ts += 1;
+            }
+            // Source index 0 is U; the S/T and V/W pairs alternate so both
+            // stateful pairs see instance and event tuples.
+            let src = sources[match which {
+                0 => 0,
+                1 => 1 + (i % 2),       // S or T
+                2 => 3 + (i % 2),       // V or W
+                3 => 5,                 // A
+                _ => i % sources.len(), // everything
+            }];
+            (src, Tuple::ints(ts, vals))
+        })
+        .collect()
+}
+
+fn per_query_sorted(sink: &CollectingSink, qs: &[QueryId]) -> Vec<Vec<String>> {
+    qs.iter()
+        .map(|&q| {
+            let mut v: Vec<String> = sink.of(q).iter().map(|t| t.to_string()).collect();
+            v.sort();
+            v
+        })
+        .collect()
+}
+
+fn reference(plan: &PlanGraph, events: &[(SourceId, Tuple)]) -> CollectingSink {
+    let mut exec = ExecutablePlan::new(plan).unwrap();
+    let mut sink = CollectingSink::default();
+    for (src, t) in events {
+        exec.push(*src, t.clone(), &mut sink).unwrap();
+    }
+    sink
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharded execution with n ∈ {1, 2, 4, 7} workers reproduces the
+    /// single-threaded per-event engine's per-query result multisets on
+    /// workloads mixing all three partitionability verdicts.
+    #[test]
+    fn sharded_matches_per_event_engine(
+        queries in prop::collection::vec(any_query(), 1..8),
+        raw in events_strategy(),
+    ) {
+        let (plan, qs, sources) = build(&queries);
+        let events = to_events(&raw, &sources);
+        let want = per_query_sorted(&reference(&plan, &events), &qs);
+
+        for n in [1usize, 2, 4, 7] {
+            let mut rt: ShardedRuntime<CollectingSink> =
+                ShardedRuntime::new(&plan, n).unwrap();
+            rt.push_batch(&events).unwrap();
+            prop_assert_eq!(rt.events_in(), events.len() as u64);
+            let got = per_query_sorted(&rt.finish(), &qs);
+            prop_assert_eq!(&got, &want, "sharded n={} diverged", n);
+        }
+    }
+
+    /// Single-event pushes through the sharded runtime agree with the
+    /// batched entry point (state lives in the workers across calls).
+    #[test]
+    fn sharded_push_matches_push_batch(
+        queries in prop::collection::vec(keyed_query(), 1..4),
+        raw in events_strategy(),
+    ) {
+        let (plan, qs, sources) = build(&queries);
+        let events = to_events(&raw, &sources);
+        let mut a: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, 3).unwrap();
+        for (src, t) in &events {
+            a.push(*src, t.clone()).unwrap();
+        }
+        let mut b: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, 3).unwrap();
+        b.push_batch(&events).unwrap();
+        let (a, b) = (a.finish(), b.finish());
+        prop_assert_eq!(per_query_sorted(&a, &qs), per_query_sorted(&b, &qs));
+    }
+}
+
+/// The mixed plan's scheme exposes all three verdicts at once, and the
+/// routes follow them: U round-robins, S/T hash on attribute 0, V/W pin.
+#[test]
+fn mixed_plan_scheme_has_all_three_verdicts() {
+    let queries = vec![
+        LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64)),
+        LogicalPlan::source("S")
+            .select(Predicate::attr_eq_const(1, 2i64))
+            .followed_by(
+                LogicalPlan::source("T"),
+                SeqSpec {
+                    predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                    window: 10,
+                },
+            ),
+        LogicalPlan::source("V").followed_by(
+            LogicalPlan::source("W"),
+            SeqSpec {
+                predicate: Predicate::cmp(CmpOp::Lt, Expr::col(2), Expr::rcol(2)),
+                window: 10,
+            },
+        ),
+    ];
+    let (plan, _, sources) = build(&queries);
+    let rt: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, 4).unwrap();
+    let scheme = rt.scheme();
+    // U plus the unconsumed source A are the stateless components.
+    assert_eq!(scheme.count(Verdict::Stateless), 2);
+    assert_eq!(scheme.count(Verdict::Keyed), 1);
+    assert_eq!(scheme.count(Verdict::Pinned), 1);
+    assert_eq!(*scheme.route(sources[0]), SourceRoute::RoundRobin);
+    assert_eq!(*scheme.route(sources[1]), SourceRoute::Key(vec![0]));
+    assert_eq!(*scheme.route(sources[2]), SourceRoute::Key(vec![0]));
+    assert_eq!(*scheme.route(sources[3]), SourceRoute::Pinned);
+    assert_eq!(*scheme.route(sources[4]), SourceRoute::Pinned);
+    assert!(scheme.is_parallelizable());
+}
