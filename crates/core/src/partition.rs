@@ -31,7 +31,7 @@ use rumor_expr::{Expr, Side};
 use rumor_types::{MopId, Result, RumorError, SourceId, StreamId, Value};
 
 use crate::logical::OpDef;
-use crate::plan::PlanGraph;
+use crate::plan::{PlanGraph, Producer};
 
 /// How a physical m-op's state is partitioned over its input attributes —
 /// the key introspection report backing the partitioning analysis.
@@ -83,6 +83,26 @@ pub enum SourceRoute {
     Key(Vec<usize>),
     /// Always worker 0.
     Pinned,
+    /// Split delivery for a pinned component with stateless sibling
+    /// queries: the *stateful subgraph* (every m-op from which a stateful
+    /// m-op is reachable) still executes on worker 0, but the source also
+    /// feeds purely stateless consumers (and/or direct query taps), and
+    /// that stateless subgraph round-robins across workers. Runtimes
+    /// deliver such tuples twice — once scoped to each subgraph — so the
+    /// union of the two scoped deliveries equals one full delivery.
+    PinnedSplit,
+}
+
+/// How much of a pinned component actually forces single-worker execution
+/// — the per-subgraph refinement of [`Verdict::Pinned`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinScope {
+    /// Every consumer of the component's sources leads to a stateful m-op:
+    /// the whole component runs on worker 0.
+    WholeComponent,
+    /// Only the stateful subgraph is pinned; stateless sibling queries of
+    /// the same component round-robin ([`SourceRoute::PinnedSplit`]).
+    StatefulSubgraph,
 }
 
 /// One connected component of the plan's source/m-op graph.
@@ -92,6 +112,9 @@ pub struct ComponentReport {
     pub sources: Vec<SourceId>,
     /// The component verdict.
     pub verdict: Verdict,
+    /// For pinned components, how much of the component the pin covers
+    /// (`None` for stateless/keyed verdicts).
+    pub pin_scope: Option<PinScope>,
 }
 
 /// The partitioning scheme of a plan: a verdict per component and a
@@ -126,14 +149,22 @@ impl PartitionScheme {
             .count()
     }
 
-    /// Whether any component benefits from more than one worker.
+    /// Whether any component benefits from more than one worker. A pinned
+    /// component whose stateless subgraph splits off
+    /// ([`PinScope::StatefulSubgraph`]) counts: its sibling queries
+    /// round-robin even though the stateful subgraph stays on worker 0.
     pub fn is_parallelizable(&self) -> bool {
-        self.components.iter().any(|c| c.verdict != Verdict::Pinned)
+        self.components.iter().any(|c| {
+            c.verdict != Verdict::Pinned || c.pin_scope == Some(PinScope::StatefulSubgraph)
+        })
     }
 
     /// The worker index (out of `n`) for a tuple of `source` with the given
     /// attribute values, given a round-robin cursor for the source. The
-    /// cursor is advanced only on round-robin routes.
+    /// cursor is advanced only on round-robin routes. For
+    /// [`SourceRoute::PinnedSplit`] this returns the *stateful* leg
+    /// (worker 0) without touching the cursor; runtimes that implement the
+    /// split deliver the stateless leg separately.
     pub fn worker_for(
         &self,
         source: SourceId,
@@ -142,7 +173,7 @@ impl PartitionScheme {
         rr_cursor: &mut usize,
     ) -> usize {
         match &self.routes[source.index()] {
-            SourceRoute::Pinned => 0,
+            SourceRoute::Pinned | SourceRoute::PinnedSplit => 0,
             SourceRoute::RoundRobin => {
                 let w = *rr_cursor % n;
                 *rr_cursor = (*rr_cursor + 1) % n;
@@ -461,6 +492,57 @@ pub fn analyze(plan: &PlanGraph, reports: &[(MopId, PartitionKeys)]) -> Result<P
         pinned[r] = true;
     }
 
+    // --- stateful cone + per-source stateless subgraph -------------------
+    // An m-op is in the *stateful cone* when it is stateful itself (its key
+    // report is anything but `Stateless`) or a stateful m-op is reachable
+    // downstream of it. A pinned component only needs worker 0 for its
+    // stateful cone: source-channel consumers outside the cone (and query
+    // taps directly on a source stream) form a stateless subgraph whose
+    // work may round-robin across workers ([`SourceRoute::PinnedSplit`]).
+    let stateful_op: HashMap<MopId, bool> = reports
+        .iter()
+        .map(|(id, r)| (*id, !matches!(r, PartitionKeys::Stateless)))
+        .collect();
+    let mut channel_consumer_mops: Vec<Vec<MopId>> = vec![Vec::new(); plan.channel_slots()];
+    for &id in &order {
+        for &ch in &plan.mop(id).inputs {
+            channel_consumer_mops[ch.index()].push(id);
+        }
+    }
+    let mut in_cone: HashMap<MopId, bool> = HashMap::new();
+    for &id in order.iter().rev() {
+        let node = plan.mop(id);
+        // Missing reports are treated as stateful (maximally conservative).
+        let mut cone = stateful_op.get(&id).copied().unwrap_or(true);
+        if !cone {
+            'downstream: for m in &node.members {
+                let out_ch = plan.channel_of(m.output);
+                for consumer in &channel_consumer_mops[out_ch.index()] {
+                    if in_cone.get(consumer).copied().unwrap_or(true) {
+                        cone = true;
+                        break 'downstream;
+                    }
+                }
+            }
+        }
+        in_cone.insert(id, cone);
+    }
+    let mut has_free_part = vec![false; n_sources];
+    for src in plan.sources() {
+        let ch = plan.channel_of(src.stream);
+        if channel_consumer_mops[ch.index()]
+            .iter()
+            .any(|id| !in_cone.get(id).copied().unwrap_or(true))
+        {
+            has_free_part[src.id.index()] = true;
+        }
+    }
+    for &(_, stream) in plan.query_outputs() {
+        if let Producer::Source(source) = plan.stream(stream).producer {
+            has_free_part[source.index()] = true;
+        }
+    }
+
     // --- verdicts and routes ---------------------------------------------
     let mut by_root: HashMap<usize, Vec<SourceId>> = HashMap::new();
     for s in 0..n_sources {
@@ -487,7 +569,13 @@ pub fn analyze(plan: &PlanGraph, reports: &[(MopId, PartitionKeys)]) -> Result<P
         for &s in &sources {
             let si = s.index();
             routes[si] = match verdict {
-                Verdict::Pinned => SourceRoute::Pinned,
+                Verdict::Pinned => {
+                    if has_free_part[si] {
+                        SourceRoute::PinnedSplit
+                    } else {
+                        SourceRoute::Pinned
+                    }
+                }
                 Verdict::Stateless => SourceRoute::RoundRobin,
                 Verdict::Keyed => {
                     if let Some(key) = &exact[si] {
@@ -501,7 +589,18 @@ pub fn analyze(plan: &PlanGraph, reports: &[(MopId, PartitionKeys)]) -> Result<P
                 }
             };
         }
-        components.push(ComponentReport { sources, verdict });
+        let pin_scope = (verdict == Verdict::Pinned).then(|| {
+            if sources.iter().any(|s| has_free_part[s.index()]) {
+                PinScope::StatefulSubgraph
+            } else {
+                PinScope::WholeComponent
+            }
+        });
+        components.push(ComponentReport {
+            sources,
+            verdict,
+            pin_scope,
+        });
     }
 
     Ok(PartitionScheme { routes, components })
@@ -607,6 +706,77 @@ mod tests {
         assert_eq!(*scheme.route(s), SourceRoute::Pinned);
         assert_eq!(*scheme.route(t), SourceRoute::Pinned);
         assert_eq!(*scheme.route(u), SourceRoute::RoundRobin);
+    }
+
+    #[test]
+    fn pinned_component_with_stateless_siblings_splits() {
+        let mut p = PlanGraph::new();
+        let s = p.add_source("S", Schema::ints(2), None).unwrap();
+        let t = p.add_source("T", Schema::ints(2), None).unwrap();
+        // An unkeyed (opaque) sequence pins the S/T component...
+        p.add_query(&LogicalPlan::source("S").followed_by(
+            LogicalPlan::source("T"),
+            SeqSpec {
+                predicate: Predicate::True,
+                window: 5,
+            },
+        ))
+        .unwrap();
+        // ...but a purely stateless sibling query on S may round-robin.
+        p.add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64)))
+            .unwrap();
+        let reports: Vec<(MopId, PartitionKeys)> = p
+            .mops()
+            .map(|n| {
+                let key = match &n.members[0].def {
+                    OpDef::Sequence(_) => PartitionKeys::Opaque,
+                    _ => PartitionKeys::Stateless,
+                };
+                (n.id, key)
+            })
+            .collect();
+        let scheme = analyze(&p, &reports).unwrap();
+        assert_eq!(scheme.components().len(), 1);
+        assert_eq!(scheme.components()[0].verdict, Verdict::Pinned);
+        assert_eq!(
+            scheme.components()[0].pin_scope,
+            Some(PinScope::StatefulSubgraph)
+        );
+        // S feeds both subgraphs → split; T feeds only the sequence → pinned.
+        assert_eq!(*scheme.route(s), SourceRoute::PinnedSplit);
+        assert_eq!(*scheme.route(t), SourceRoute::Pinned);
+        assert!(scheme.is_parallelizable());
+    }
+
+    #[test]
+    fn whole_component_pin_reported_without_siblings() {
+        let mut p = PlanGraph::new();
+        p.add_source("S", Schema::ints(2), None).unwrap();
+        p.add_source("T", Schema::ints(2), None).unwrap();
+        p.add_query(&LogicalPlan::source("S").followed_by(
+            LogicalPlan::source("T"),
+            SeqSpec {
+                predicate: Predicate::True,
+                window: 5,
+            },
+        ))
+        .unwrap();
+        let reports: Vec<(MopId, PartitionKeys)> = p
+            .mops()
+            .map(|n| {
+                let key = match &n.members[0].def {
+                    OpDef::Sequence(_) => PartitionKeys::Opaque,
+                    _ => PartitionKeys::Stateless,
+                };
+                (n.id, key)
+            })
+            .collect();
+        let scheme = analyze(&p, &reports).unwrap();
+        assert_eq!(
+            scheme.components()[0].pin_scope,
+            Some(PinScope::WholeComponent)
+        );
+        assert!(!scheme.is_parallelizable());
     }
 
     #[test]

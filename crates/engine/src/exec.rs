@@ -191,6 +191,28 @@ impl Emit for BufEmit<'_> {
     }
 }
 
+/// Which subgraph of the plan a scoped push addresses.
+///
+/// Partition-parallel runtimes use scoped pushes to implement
+/// [`rumor_core::SourceRoute::PinnedSplit`]: a pinned component's source
+/// tuple is delivered twice — its *stateful cone* (every source consumer
+/// from which a stateful m-op is reachable) on worker 0, its stateless
+/// sibling subgraph on a round-robin worker. One [`ConeScope::Stateful`]
+/// push plus one [`ConeScope::Stateless`] push of the same tuple produce,
+/// together, exactly the results of one full [`ExecutablePlan::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConeScope {
+    /// The whole plan — identical to [`ExecutablePlan::push`].
+    Full,
+    /// Only source-channel consumers inside the stateful cone; the source
+    /// channel's own query taps are *not* delivered (the stateless leg
+    /// owns them). Derived events process normally.
+    Stateful,
+    /// Only source-channel consumers outside the stateful cone, plus the
+    /// source channel's query taps.
+    Stateless,
+}
+
 /// The compiled, executable form of a plan.
 pub struct ExecutablePlan {
     ops: Vec<Box<dyn rumor_core::MultiOp>>,
@@ -198,6 +220,13 @@ pub struct ExecutablePlan {
     op_ids: Vec<MopId>,
     /// channel index → (exec index, port) consumers, in topological order.
     consumers: Vec<Vec<(usize, PortId)>>,
+    /// source index → source-channel consumers inside the stateful cone
+    /// (ops from which a stateful m-op is reachable) — the
+    /// [`ConeScope::Stateful`] root set.
+    stateful_root: Vec<Vec<(usize, PortId)>>,
+    /// source index → source-channel consumers outside the stateful cone —
+    /// the [`ConeScope::Stateless`] root set.
+    free_root: Vec<Vec<(usize, PortId)>>,
     /// channel index → stateless consumers only (the hybrid drain routes
     /// these at run granularity).
     batch_consumers: Vec<Vec<(usize, PortId)>>,
@@ -272,11 +301,59 @@ impl ExecutablePlan {
             }
         }
 
-        let source_channels = plan
+        let source_channels: Vec<ChannelId> = plan
             .sources()
             .iter()
             .map(|s| plan.channel_of(s.stream))
             .collect();
+
+        // Stateful cone (for scoped pushes, see [`ConeScope`]): an op is in
+        // the cone when it reports stateful partition keys or any op
+        // consuming one of its output channels is. Uses the same
+        // introspection (`partition_keys`) as the partitioning analysis so
+        // the engine's cone always matches the analysis' split decision.
+        let in_stateful_cone = {
+            let stateless_key: Vec<bool> = ops
+                .iter()
+                .map(|op| matches!(op.partition_keys(), PartitionKeys::Stateless))
+                .collect();
+            let mut op_outputs: Vec<Vec<ChannelId>> = vec![Vec::new(); ops.len()];
+            for &id in &order {
+                let node = plan.mop(id);
+                for m in &node.members {
+                    op_outputs[exec_index[&id]].push(plan.channel_of(m.output));
+                }
+            }
+            let mut in_cone = vec![false; ops.len()];
+            // Exec indices are topological, so a reverse scan sees every
+            // consumer before its producer.
+            for idx in (0..ops.len()).rev() {
+                let mut cone = !stateless_key[idx];
+                if !cone {
+                    'downstream: for &ch in &op_outputs[idx] {
+                        for &(cidx, _) in &consumers[ch.index()] {
+                            if in_cone[cidx] {
+                                cone = true;
+                                break 'downstream;
+                            }
+                        }
+                    }
+                }
+                in_cone[idx] = cone;
+            }
+            in_cone
+        };
+        let mut stateful_root: Vec<Vec<(usize, PortId)>> = vec![Vec::new(); source_channels.len()];
+        let mut free_root: Vec<Vec<(usize, PortId)>> = vec![Vec::new(); source_channels.len()];
+        for (si, &ch) in source_channels.iter().enumerate() {
+            for &(idx, port) in &consumers[ch.index()] {
+                if in_stateful_cone[idx] {
+                    stateful_root[si].push((idx, port));
+                } else {
+                    free_root[si].push((idx, port));
+                }
+            }
+        }
 
         let tap_masks = query_taps
             .iter()
@@ -384,6 +461,8 @@ impl ExecutablePlan {
             ops,
             op_ids,
             consumers,
+            stateful_root,
+            free_root,
             batch_consumers,
             strict_consumers,
             query_taps,
@@ -481,6 +560,53 @@ impl ExecutablePlan {
             .ok_or_else(|| RumorError::exec(format!("unknown source {source}")))?;
         self.events_in += 1;
         self.pending.push_back((channel, ChannelTuple::solo(tuple)));
+        self.drain(sink);
+        Ok(())
+    }
+
+    /// Pushes one source tuple restricted to one subgraph of the plan (see
+    /// [`ConeScope`]). `Full` is identical to [`ExecutablePlan::push`];
+    /// `Stateful` processes only source consumers inside the stateful cone
+    /// (no source-channel taps); `Stateless` delivers the source channel's
+    /// taps and processes only consumers outside the cone. Either scoped
+    /// delivery fully drains its derived cascade before returning, and the
+    /// pair of scoped deliveries reproduces one full push exactly.
+    pub fn push_cone(
+        &mut self,
+        source: SourceId,
+        tuple: Tuple,
+        scope: ConeScope,
+        sink: &mut dyn QuerySink,
+    ) -> Result<()> {
+        let channel = *self
+            .source_channels
+            .get(source.index())
+            .ok_or_else(|| RumorError::exec(format!("unknown source {source}")))?;
+        self.events_in += 1;
+        let ct = ChannelTuple::solo(tuple);
+        match scope {
+            ConeScope::Full => {
+                self.pending.push_back((channel, ct));
+            }
+            ConeScope::Stateful => {
+                for &(idx, port) in &self.stateful_root[source.index()] {
+                    let mut emit = QueueEmit {
+                        pending: &mut self.pending,
+                    };
+                    self.ops[idx].process(port, &ct, &mut emit);
+                }
+            }
+            ConeScope::Stateless => {
+                let detailed = sink.wants_tuples();
+                self.deliver_taps(channel, std::slice::from_ref(&ct), detailed, sink);
+                for &(idx, port) in &self.free_root[source.index()] {
+                    let mut emit = QueueEmit {
+                        pending: &mut self.pending,
+                    };
+                    self.ops[idx].process(port, &ct, &mut emit);
+                }
+            }
+        }
         self.drain(sink);
         Ok(())
     }
@@ -1002,6 +1128,77 @@ mod tests {
         let exec = ExecutablePlan::new(&plan).unwrap();
         assert!(!exec.is_batch_safe());
         assert!(!exec.is_prefix_batch_safe());
+    }
+
+    #[test]
+    fn scoped_cone_pair_reproduces_full_push() {
+        // A pinned stateful subgraph (unkeyed sequence) plus stateless
+        // sibling queries on the same source: pushing each tuple once per
+        // cone scope must reproduce the full push exactly — every source
+        // consumer processed once, source-channel taps delivered once (by
+        // the stateless leg).
+        let mut plan = PlanGraph::new();
+        let s = plan.add_source("S", Schema::ints(2), None).unwrap();
+        let t = plan.add_source("T", Schema::ints(2), None).unwrap();
+        let q_seq = plan
+            .add_query(&LogicalPlan::source("S").followed_by(
+                LogicalPlan::source("T"),
+                SeqSpec {
+                    predicate: Predicate::cmp(CmpOp::Lt, Expr::col(1), Expr::rcol(1)),
+                    window: 10,
+                },
+            ))
+            .unwrap();
+        let q_sel = plan
+            .add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64)))
+            .unwrap();
+        // A query tapping the source stream directly (no operator at all):
+        // its results are source-channel taps, owned by the stateless leg.
+        let q_tap = plan.add_query(&LogicalPlan::source("S")).unwrap();
+
+        let events: Vec<(SourceId, Tuple)> = (0..60u64)
+            .map(|ts| {
+                let src = if ts % 2 == 0 { s } else { t };
+                (src, Tuple::ints(ts, &[(ts % 3) as i64, (ts % 7) as i64]))
+            })
+            .collect();
+
+        let mut full = ExecutablePlan::new(&plan).unwrap();
+        let mut want = CollectingSink::default();
+        for (src, tu) in &events {
+            full.push(*src, tu.clone(), &mut want).unwrap();
+        }
+
+        let mut scoped = ExecutablePlan::new(&plan).unwrap();
+        let mut got = CollectingSink::default();
+        for (src, tu) in &events {
+            scoped
+                .push_cone(*src, tu.clone(), ConeScope::Stateless, &mut got)
+                .unwrap();
+            scoped
+                .push_cone(*src, tu.clone(), ConeScope::Stateful, &mut got)
+                .unwrap();
+        }
+
+        assert!(!want.of(q_seq).is_empty());
+        assert!(!want.of(q_sel).is_empty());
+        assert!(!want.of(q_tap).is_empty());
+        for q in [q_seq, q_sel, q_tap] {
+            assert_eq!(
+                got.of(q),
+                want.of(q),
+                "query {q} diverged under scoped pushes"
+            );
+        }
+        // ConeScope::Full is push() verbatim.
+        let mut full2 = ExecutablePlan::new(&plan).unwrap();
+        let mut full2_sink = CollectingSink::default();
+        for (src, tu) in &events {
+            full2
+                .push_cone(*src, tu.clone(), ConeScope::Full, &mut full2_sink)
+                .unwrap();
+        }
+        assert_eq!(full2_sink.results, want.results);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! query-language scripts), runs the rule-based multi-query optimizer, and
 //! executes the resulting shared plan over pushed stream tuples.
 //!
-//! Three execution paths share one compiled plan representation:
+//! The execution paths share one compiled plan representation:
 //!
 //! * [`ExecutablePlan`] — the single-threaded push engine. Fully stateless
 //!   plans batch at channel-run granularity
@@ -12,17 +12,31 @@
 //!   batching the stateless prefix and dropping to timestamp-ordered
 //!   per-event delivery only at the first stateful m-op
 //!   ([`ExecutablePlan::is_prefix_batch_safe`]).
-//! * [`run_pipelined_config`] — operator parallelism: topological-depth
-//!   stages on threads exchanging batched messages.
-//! * [`ShardedRuntime`] ([`Rumor::sharded_runtime`]) — data parallelism:
-//!   `n` clones of the whole plan behind a static router. The
-//!   partitioning analysis (`rumor_core::partition`) decides per plan
-//!   component whether tuples may round-robin (stateless), must hash on a
-//!   consistent key (join/sequence/iterate/aggregate state), or must pin
-//!   to one worker; per-worker sinks fold deterministically at drain time
-//!   ([`MergeSink`]). Sharding pays off when there are physical cores to
-//!   spare and per-event work is nontrivial; on a single core it measures
-//!   the routing overhead (see `BENCH_throughput.json`).
+//! * [`ShardedRuntime`] ([`Rumor::sharded_runtime`]) — one-shot data
+//!   parallelism: `n` clones of the whole plan behind a static router,
+//!   scoped threads per batch call. The partitioning analysis
+//!   (`rumor_core::partition`) decides per plan component whether tuples
+//!   may round-robin (stateless), must hash on a consistent key
+//!   (join/sequence/iterate/aggregate state), or must pin their stateful
+//!   subgraph to one worker (stateless sibling queries of a pinned
+//!   component still round-robin); per-worker sinks fold deterministically
+//!   at drain time ([`MergeSink`]).
+//! * [`StreamingShardedRuntime`] ([`Rumor::streaming_runtime`]) — the same
+//!   router over a *persistent* worker pool: long-lived workers behind
+//!   bounded queues, a `push`/`push_batch`/`flush`/`finish` lifecycle, and
+//!   backpressure instead of unbounded buffering. Prefer it whenever
+//!   events arrive continuously or in small batches; the one-shot runtime
+//!   only wins when the whole input is already in memory as a few large
+//!   slices.
+//! * [`run_pipelined_config`] — the pipelined runner, rebuilt on
+//!   *shard-local stages*: a convenience wrapper that streams a prepared
+//!   input through a [`StreamingShardedRuntime`] pass. (The former
+//!   topological-depth staging lost to single-threaded execution on cheap
+//!   operators and was retired.)
+//!
+//! Sharding pays off when there are physical cores to spare and per-event
+//! work is nontrivial; on a single core it measures the routing overhead
+//! (see `BENCH_throughput.json`).
 //!
 //! ```
 //! use rumor_engine::{Rumor, CollectingSink};
@@ -56,12 +70,12 @@ pub mod metrics;
 pub mod pipeline;
 pub mod shard;
 
-pub use exec::{CollectingSink, CountingSink, DiscardSink, ExecutablePlan, QuerySink};
+pub use exec::{CollectingSink, ConeScope, CountingSink, DiscardSink, ExecutablePlan, QuerySink};
 pub use metrics::{
     measure, measure_batched, measure_mode, FeedMode, InputEvent, Measurement, Protocol,
 };
 pub use pipeline::{run_pipelined, run_pipelined_config, PipelineConfig};
-pub use shard::{MergeSink, ShardedRuntime};
+pub use shard::{MergeSink, ShardedRuntime, StreamingConfig, StreamingShardedRuntime};
 
 use std::collections::HashMap;
 
@@ -207,6 +221,58 @@ impl Rumor {
         n: usize,
     ) -> Result<ShardedRuntime<S>> {
         ShardedRuntime::new(&self.plan, n)
+    }
+
+    /// Compiles the plan into a persistent streaming shard pool of `n`
+    /// workers (see [`StreamingShardedRuntime`]): the same plan-clone /
+    /// static-router design as [`Rumor::sharded_runtime`], but with
+    /// long-lived workers behind bounded queues, so small and continuous
+    /// batches amortize thread costs across the runtime's whole lifetime.
+    /// Use the one-shot [`Rumor::sharded_runtime`] when the entire input
+    /// is available up front as a few large batches; use this when events
+    /// arrive continuously (`push`/`push_batch` as data shows up, `flush`
+    /// to drain, `finish` for the merged results). Call [`Rumor::optimize`]
+    /// first, as with [`Rumor::runtime`].
+    ///
+    /// ```
+    /// use rumor_engine::{CollectingSink, Rumor, StreamingShardedRuntime};
+    /// use rumor_core::OptimizerConfig;
+    /// use rumor_types::Tuple;
+    ///
+    /// let mut rumor = Rumor::new(OptimizerConfig::default());
+    /// rumor
+    ///     .execute(
+    ///         "CREATE STREAM s (a0 INT, a1 INT);
+    ///          QUERY q0 AS SELECT * FROM s WHERE a0 = 1;
+    ///          QUERY q1 AS SELECT * FROM s WHERE a0 = 2;",
+    ///     )
+    ///     .unwrap();
+    /// rumor.optimize().unwrap();
+    /// let mut rt: StreamingShardedRuntime<CollectingSink> =
+    ///     rumor.streaming_runtime(4).unwrap();
+    /// let s = rumor.source_id("s").unwrap();
+    /// for ts in 0..8u64 {
+    ///     rt.push(s, Tuple::ints(ts, &[ts as i64 % 3, 0])).unwrap();
+    /// }
+    /// rt.flush().unwrap(); // barrier: queues drained, pool still live
+    /// let results = rt.into_results().unwrap();
+    /// assert_eq!(results.len(), 5); // a0=1 at ts 1,4,7; a0=2 at ts 2,5
+    /// ```
+    pub fn streaming_runtime<S: shard::MergeSink + Default + Send + 'static>(
+        &self,
+        n: usize,
+    ) -> Result<StreamingShardedRuntime<S>> {
+        StreamingShardedRuntime::new(&self.plan, n)
+    }
+
+    /// [`Rumor::streaming_runtime`] with explicit [`StreamingConfig`]
+    /// tuning (staging batch size, queue depth).
+    pub fn streaming_runtime_with<S: shard::MergeSink + Default + Send + 'static>(
+        &self,
+        n: usize,
+        config: StreamingConfig,
+    ) -> Result<StreamingShardedRuntime<S>> {
+        StreamingShardedRuntime::with_config(&self.plan, n, config)
     }
 
     /// Renders the current plan as text (diagnostics).

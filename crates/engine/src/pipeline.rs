@@ -1,50 +1,37 @@
-//! Optional multi-threaded pipeline runner (an extension beyond the paper's
-//! single-threaded prototype).
+//! The multi-threaded pipelined runner, rebuilt on *shard-local stages*.
 //!
-//! The plan's m-ops are partitioned into pipeline *stages* by topological
-//! depth; each stage runs on its own thread connected by bounded
-//! crossbeam channels. M-ops keep all state thread-local, so the only
-//! synchronization is the inter-stage queues.
+//! The original runner partitioned the plan's m-ops into pipeline stages
+//! by topological depth, with one thread per stage exchanging batched
+//! messages and dense per-stage op-slot tables. Measured end to end
+//! (`BENCH_throughput.json` history), depth-staging lost to the
+//! single-threaded engine on cheap operators even with batched messages:
+//! every event crossed one queue per stage it traversed, and the stage
+//! split serialized exactly the per-event work the batched drain
+//! amortizes. That runner is retired.
 //!
-//! Routing is batch-granular: stages exchange [`Msg::Batch`] messages
-//! carrying up to [`PipelineConfig::batch_size`] events each, instead of
-//! one message per event, and each stage resolves `op index → local slot`
-//! through a dense table built at compile time (the per-event linear scan
-//! this replaced dominated the routing cost). On stateless plans the
-//! stages additionally process events at channel-*run* granularity through
-//! [`rumor_core::MultiOp::process_batch`], and events skip straight to the
-//! stage that consumes them. Stateful plans instead run in *ordered* mode:
-//! strict per-event processing, with events relayed hop-by-hop through
-//! every intermediate stage — one FIFO path end to end — so a windowed
-//! operator's ports can never observe events out of global timestamp
-//! order, and results match the single-threaded engine exactly.
+//! A pipelined run is now a [`StreamingShardedRuntime`] pass: each worker
+//! owns a **full plan clone** (a shard-local stage) fed by the static
+//! partition router, so events cross exactly one queue regardless of plan
+//! depth, and the per-worker engine keeps the run-batched drain it is fast
+//! with. [`PipelineConfig::stages`] names the worker count;
+//! [`PipelineConfig::batch_size`] the deliveries staged per message.
 //!
 //! Results are returned sorted by `(query, timestamp)`; per-query content
 //! matches the single-threaded engine exactly (tests cross-check).
 
-use std::collections::{HashMap, VecDeque};
-use std::thread;
+use rumor_core::{PlanGraph, SourceRoute};
+use rumor_types::{QueryId, Result, SourceId, Tuple};
 
-use crossbeam_channel::{bounded, Receiver, Sender};
-
-use rumor_core::{ChannelTuple, Emit, MopContext, PlanGraph, Producer};
-use rumor_ops::instantiate;
-use rumor_types::{
-    ChannelId, Membership, MopId, PortId, QueryId, Result, RumorError, SourceId, Tuple,
-};
-
-use crate::exec::QuerySink;
-
-/// Marker for a global op index absent from a stage's slot table.
-const NO_SLOT: usize = usize::MAX;
+use crate::exec::{CollectingSink, ExecutablePlan};
+use crate::shard::{StreamingConfig, StreamingShardedRuntime};
 
 /// Tuning knobs of the pipelined runner.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
-    /// Number of pipeline stages (threads); clamped to the plan depth.
-    /// Below 2 the runner degenerates to the single-threaded engine.
+    /// Number of shard-local stages (worker plan clones). Below 2 the
+    /// runner degenerates to the single-threaded engine.
     pub stages: usize,
-    /// Events per inter-stage message. Larger batches amortize the queue
+    /// Deliveries per worker message. Larger batches amortize the queue
     /// synchronization over more events; 1 reproduces per-event messaging.
     pub batch_size: usize,
 }
@@ -58,22 +45,9 @@ impl Default for PipelineConfig {
     }
 }
 
-/// A message flowing between stages.
-#[derive(Debug, Clone)]
-enum Msg {
-    /// A batch of routed events. `tapped` is true when an upstream stage
-    /// already delivered these events' query taps (forwarded events must
-    /// not be re-tapped).
-    Batch {
-        events: Vec<(ChannelId, ChannelTuple)>,
-        tapped: bool,
-    },
-    Flush,
-}
-
 /// Runs a plan over a prepared input with default batching, spreading
-/// stages across threads. Returns the `(query, tuple)` results sorted by
-/// `(query, timestamp)`.
+/// shard-local stages across threads. Returns the `(query, tuple)` results
+/// sorted by `(query, timestamp)`.
 pub fn run_pipelined(
     plan: &PlanGraph,
     events: &[(SourceId, Tuple)],
@@ -95,424 +69,59 @@ pub fn run_pipelined_config(
     events: &[(SourceId, Tuple)],
     config: &PipelineConfig,
 ) -> Result<Vec<(QueryId, Tuple)>> {
-    let order = plan.topo_order()?;
-    if order.is_empty() || config.stages < 2 {
-        // Degenerate: fall back to the single-threaded engine.
-        let mut exec = crate::exec::ExecutablePlan::new(plan)?;
-        let mut sink = Collect::default();
+    let mut results = if config.stages < 2 {
+        // Degenerate: the single-threaded engine.
+        let mut exec = ExecutablePlan::new(plan)?;
+        let mut sink = CollectingSink::default();
         for (src, tuple) in events {
             exec.push(*src, tuple.clone(), &mut sink)?;
         }
-        let mut results = sink.0;
-        results.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.ts.cmp(&b.1.ts)));
-        return Ok(results);
-    }
-    let batch_size = config.batch_size.max(1);
-
-    // Depth = longest producer chain; stage = depth scaled into stages.
-    let mut depth: HashMap<MopId, usize> = HashMap::new();
-    let mut max_depth = 0usize;
-    for &id in &order {
-        let node = plan.mop(id);
-        let mut d = 0usize;
-        for m in &node.members {
-            for &s in &m.inputs {
-                if let Producer::Mop { mop, .. } = plan.stream(s).producer {
-                    d = d.max(depth.get(&mop).copied().unwrap_or(0) + 1);
-                }
-            }
-        }
-        depth.insert(id, d);
-        max_depth = max_depth.max(d);
-    }
-    let stages = config.stages.min(max_depth + 1).max(1);
-    let stage_of = |id: MopId| -> usize {
-        (depth[&id] * (stages - 1))
-            .checked_div(max_depth)
-            .unwrap_or(0)
-    };
-
-    // Per stage: ops, a dense global-op-index → local-slot table, and the
-    // channel routing shared by every stage.
-    let mut stage_ops: Vec<Vec<Box<dyn rumor_core::MultiOp>>> =
-        (0..stages).map(|_| Vec::new()).collect();
-    let mut stage_slots: Vec<Vec<usize>> = vec![vec![NO_SLOT; order.len()]; stages];
-    let mut consumers: Vec<Vec<(usize, usize, PortId)>> = vec![Vec::new(); plan.channel_slots()];
-    let mut batch_safe = true;
-    for (i, &id) in order.iter().enumerate() {
-        let ctx = MopContext::build(plan, id)?;
-        let op = instantiate(&ctx)?;
-        batch_safe &= op.is_stateless();
-        let s = stage_of(id);
-        stage_slots[s][i] = stage_ops[s].len();
-        stage_ops[s].push(op);
-        let node = plan.mop(id);
-        for (p, &ch) in node.inputs.iter().enumerate() {
-            consumers[ch.index()].push((s, i, PortId(p as u8)));
-        }
-    }
-    for list in &mut consumers {
-        list.sort();
-        list.dedup();
-    }
-    let mut query_taps: Vec<Vec<(usize, Vec<QueryId>)>> = vec![Vec::new(); plan.channel_slots()];
-    for &(q, stream) in plan.query_outputs() {
-        let ch = plan.channel_of(stream);
-        let pos = plan.position_in_channel(stream);
-        let taps = &mut query_taps[ch.index()];
-        match taps.iter_mut().find(|(p, _)| *p == pos) {
-            Some((_, qs)) => qs.push(q),
-            None => taps.push((pos, vec![q])),
-        }
-    }
-
-    let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) =
-        (0..stages).map(|_| bounded::<Msg>(64)).unzip();
-    let (result_tx, result_rx) = bounded::<Vec<(QueryId, Tuple)>>(64);
-
-    let mut results: Vec<(QueryId, Tuple)> = Vec::new();
-    thread::scope(|scope| -> Result<()> {
-        // Drain results concurrently with the stages: workers block on the
-        // bounded result channel otherwise, deadlocking result-heavy runs.
-        let collector =
-            scope.spawn(|| -> Vec<(QueryId, Tuple)> { result_rx.iter().flatten().collect() });
-        for (s, (ops, slot_of)) in stage_ops.into_iter().zip(stage_slots).enumerate() {
-            let rx = rxs[s].clone();
-            let downstream: Vec<Sender<Msg>> = txs[s + 1..].to_vec();
-            let consumers = &consumers;
-            let query_taps = &query_taps;
-            let result_tx = result_tx.clone();
-            scope.spawn(move || {
-                let mut worker = StageWorker {
-                    stage: s,
-                    ops,
-                    slot_of,
-                    downstream,
-                    consumers,
-                    query_taps,
-                    results: ResultBuf::new(result_tx),
-                    forward_bufs: vec![Vec::new(); stages],
-                    local: VecDeque::new(),
-                    level: Vec::new(),
-                    next_level: Vec::new(),
-                    batch_size,
-                    batch_safe,
-                };
-                worker.run(rx);
-            });
-        }
-        drop(result_tx);
-
-        // Feed the sources into stage 0 in batches.
-        let feeder = txs[0].clone();
-        let source_channels: Vec<ChannelId> = plan
-            .sources()
+        sink.results
+    } else {
+        let mut rt: StreamingShardedRuntime<CollectingSink> = StreamingShardedRuntime::with_config(
+            plan,
+            config.stages,
+            StreamingConfig {
+                batch_size: config.batch_size.max(1),
+                ..StreamingConfig::default()
+            },
+        )?;
+        // The shared handoff only pays off on fully stateless schemes
+        // (zero-copy segment ranges); keyed/pinned/split schemes route per
+        // event anyway, so materializing an owned copy first would be a
+        // wasted full-input allocation.
+        if rt
+            .scheme()
+            .routes()
             .iter()
-            .map(|src| plan.channel_of(src.stream))
-            .collect();
-        for chunk in events.chunks(batch_size) {
-            let mut batch = Vec::with_capacity(chunk.len());
-            for (src, tuple) in chunk {
-                let ch = *source_channels
-                    .get(src.index())
-                    .ok_or_else(|| RumorError::exec(format!("unknown source {src}")))?;
-                batch.push((ch, ChannelTuple::solo(tuple.clone())));
-            }
-            feeder
-                .send(Msg::Batch {
-                    events: batch,
-                    tapped: false,
-                })
-                .map_err(|_| RumorError::exec("pipeline stage died".to_string()))?;
+            .all(|r| matches!(r, SourceRoute::RoundRobin))
+        {
+            rt.push_batch_shared(std::sync::Arc::new(events.to_vec()))?;
+        } else {
+            rt.push_batch(events)?;
         }
-        feeder
-            .send(Msg::Flush)
-            .map_err(|_| RumorError::exec("pipeline stage died".to_string()))?;
-        drop(feeder);
-        drop(txs);
-        results = collector
-            .join()
-            .map_err(|_| RumorError::exec("result collector died".to_string()))?;
-        Ok(())
-    })?;
-
+        rt.into_results()?
+    };
     results.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.ts.cmp(&b.1.ts)));
     Ok(results)
-}
-
-/// Batches result sends so the shared result channel is touched once per
-/// buffer, not once per query match.
-struct ResultBuf {
-    buf: Vec<(QueryId, Tuple)>,
-    tx: Sender<Vec<(QueryId, Tuple)>>,
-}
-
-impl ResultBuf {
-    fn new(tx: Sender<Vec<(QueryId, Tuple)>>) -> Self {
-        ResultBuf {
-            buf: Vec::new(),
-            tx,
-        }
-    }
-
-    fn push(&mut self, q: QueryId, tuple: Tuple) {
-        self.buf.push((q, tuple));
-        if self.buf.len() >= 1024 {
-            self.flush();
-        }
-    }
-
-    fn flush(&mut self) {
-        if !self.buf.is_empty() {
-            let _ = self.tx.send(std::mem::take(&mut self.buf));
-        }
-    }
-}
-
-struct StageWorker<'a> {
-    stage: usize,
-    ops: Vec<Box<dyn rumor_core::MultiOp>>,
-    /// Global op index → slot in `ops` (dense; `NO_SLOT` when the op lives
-    /// in another stage). Replaces the per-event linear scan.
-    slot_of: Vec<usize>,
-    downstream: Vec<Sender<Msg>>,
-    consumers: &'a [Vec<(usize, usize, PortId)>],
-    query_taps: &'a [Vec<(usize, Vec<QueryId>)>],
-    results: ResultBuf,
-    /// Outgoing batches, one buffer per absolute target stage.
-    forward_bufs: Vec<Vec<(ChannelId, ChannelTuple)>>,
-    /// Ordered mode: depth-first local queue (per-event drain).
-    local: VecDeque<(ChannelId, ChannelTuple)>,
-    /// Batch-safe mode: level-order double buffers.
-    level: Vec<(ChannelId, ChannelTuple)>,
-    next_level: Vec<(ChannelId, ChannelTuple)>,
-    batch_size: usize,
-    batch_safe: bool,
-}
-
-impl StageWorker<'_> {
-    fn run(&mut self, rx: Receiver<Msg>) {
-        while let Ok(msg) = rx.recv() {
-            match msg {
-                Msg::Flush => {
-                    self.flush_forwards();
-                    if let Some(next) = self.downstream.first() {
-                        let _ = next.send(Msg::Flush);
-                    }
-                    break;
-                }
-                Msg::Batch { events, tapped } => {
-                    if self.batch_safe {
-                        self.process_levelwise(events, tapped);
-                    } else {
-                        self.process_ordered(events, tapped);
-                    }
-                }
-            }
-        }
-        self.results.flush();
-        // Drain any remaining messages so senders never block forever.
-        for msg in rx.try_iter() {
-            if let Msg::Flush = msg {
-                self.flush_forwards();
-                if let Some(next) = self.downstream.first() {
-                    let _ = next.send(Msg::Flush);
-                }
-            }
-        }
-    }
-
-    /// Strict mode: each event is fully drained (its derived events
-    /// processed depth-first) before the next — the same arrival order per
-    /// operator as the single-threaded engine, required by stateful m-ops.
-    fn process_ordered(&mut self, events: Vec<(ChannelId, ChannelTuple)>, tapped: bool) {
-        for (ch, ct) in events {
-            if !tapped {
-                self.deliver_taps(ch, &ct);
-            }
-            self.route_one(ch, ct);
-            while let Some((ch, ct)) = self.local.pop_front() {
-                self.deliver_taps(ch, &ct);
-                self.route_one(ch, ct);
-            }
-        }
-    }
-
-    /// Stateless mode: the whole incoming batch is processed level by
-    /// level, with consecutive same-channel runs feeding each local
-    /// consumer through one `process_batch` call.
-    fn process_levelwise(&mut self, events: Vec<(ChannelId, ChannelTuple)>, tapped: bool) {
-        debug_assert!(self.level.is_empty());
-        self.level = events;
-        let mut fresh = !tapped;
-        while !self.level.is_empty() {
-            let level = std::mem::take(&mut self.level);
-            let mut i = 0;
-            while i < level.len() {
-                let ch = level[i].0;
-                let mut j = i + 1;
-                while j < level.len() && level[j].0 == ch {
-                    j += 1;
-                }
-                if fresh {
-                    for (_, ct) in &level[i..j] {
-                        self.deliver_taps(ch, ct);
-                    }
-                }
-                self.route_run(ch, &level[i..j]);
-                i = j;
-            }
-            let mut recycled = level;
-            recycled.clear();
-            self.level = recycled;
-            std::mem::swap(&mut self.level, &mut self.next_level);
-            // Derived levels are locally generated, so their taps are this
-            // stage's responsibility.
-            fresh = true;
-        }
-    }
-
-    fn deliver_taps(&mut self, ch: ChannelId, ct: &ChannelTuple) {
-        for (pos, queries) in &self.query_taps[ch.index()] {
-            if ct.belongs_to(*pos) {
-                for &q in queries {
-                    self.results.push(q, ct.tuple.clone());
-                }
-            }
-        }
-    }
-
-    /// Routes one event in ordered mode: local consumers process it
-    /// (emitting into the ordered queue); events needed by later stages
-    /// relay hop-by-hop through the *next* stage. Relaying (instead of
-    /// sending straight to the consuming stage) is what preserves global
-    /// timestamp order for stateful m-ops: every event and its derived
-    /// events travel the same single FIFO path, so a multi-port operator
-    /// can never see one port's events overtake another's.
-    fn route_one(&mut self, ch: ChannelId, ct: ChannelTuple) {
-        let mut forward = false;
-        for &(target_stage, op_idx, port) in &self.consumers[ch.index()] {
-            if target_stage == self.stage {
-                let slot = self.slot_of[op_idx];
-                if slot != NO_SLOT {
-                    let mut emit = LocalEmit {
-                        queue: &mut self.local,
-                    };
-                    self.ops[slot].process(port, &ct, &mut emit);
-                }
-            } else if target_stage > self.stage {
-                forward = true;
-            }
-        }
-        if forward {
-            self.forward(self.stage + 1, ch, ct);
-        }
-    }
-
-    /// Routes a channel run: one `process_batch` per local consumer, one
-    /// buffered forward per event for later-stage consumers.
-    fn route_run(&mut self, ch: ChannelId, run: &[(ChannelId, ChannelTuple)]) {
-        // The run is stored as (ChannelId, ChannelTuple) pairs, but
-        // `process_batch` takes a contiguous tuple slice; build the
-        // scratch copy lazily, once, and share it across every local
-        // consumer of the run (each clone is a refcount bump — payloads
-        // are shared).
-        let mut scratch: Option<Vec<ChannelTuple>> = None;
-        let mut forward_to: Option<usize> = None;
-        for &(target_stage, op_idx, port) in &self.consumers[ch.index()] {
-            if target_stage == self.stage {
-                let slot = self.slot_of[op_idx];
-                if slot != NO_SLOT {
-                    let mut emit = LevelEmit {
-                        queue: &mut self.next_level,
-                    };
-                    if run.len() == 1 {
-                        self.ops[slot].process(port, &run[0].1, &mut emit);
-                    } else {
-                        let tuples = scratch
-                            .get_or_insert_with(|| run.iter().map(|(_, ct)| ct.clone()).collect());
-                        self.ops[slot].process_batch(port, tuples, &mut emit);
-                    }
-                }
-            } else if target_stage > self.stage {
-                forward_to = Some(match forward_to {
-                    Some(existing) => existing.min(target_stage),
-                    None => target_stage,
-                });
-            }
-        }
-        if let Some(target) = forward_to {
-            for (_, ct) in run {
-                self.forward(target, ch, ct.clone());
-            }
-        }
-    }
-
-    fn forward(&mut self, target: usize, ch: ChannelId, ct: ChannelTuple) {
-        self.forward_bufs[target].push((ch, ct));
-        if self.forward_bufs[target].len() >= self.batch_size {
-            self.flush_forward(target);
-        }
-    }
-
-    fn flush_forward(&mut self, target: usize) {
-        if self.forward_bufs[target].is_empty() {
-            return;
-        }
-        let events = std::mem::take(&mut self.forward_bufs[target]);
-        let idx = target - self.stage - 1;
-        if let Some(tx) = self.downstream.get(idx.min(self.downstream.len() - 1)) {
-            let _ = tx.send(Msg::Batch {
-                events,
-                tapped: true,
-            });
-        }
-    }
-
-    fn flush_forwards(&mut self) {
-        for target in 0..self.forward_bufs.len() {
-            self.flush_forward(target);
-        }
-    }
-}
-
-struct LocalEmit<'a> {
-    queue: &'a mut VecDeque<(ChannelId, ChannelTuple)>,
-}
-
-impl Emit for LocalEmit<'_> {
-    fn emit(&mut self, channel: ChannelId, tuple: Tuple, membership: Membership) {
-        self.queue
-            .push_back((channel, ChannelTuple::new(tuple, membership)));
-    }
-}
-
-struct LevelEmit<'a> {
-    queue: &'a mut Vec<(ChannelId, ChannelTuple)>,
-}
-
-impl Emit for LevelEmit<'_> {
-    fn emit(&mut self, channel: ChannelId, tuple: Tuple, membership: Membership) {
-        self.queue
-            .push((channel, ChannelTuple::new(tuple, membership)));
-    }
-}
-
-#[derive(Default)]
-struct Collect(Vec<(QueryId, Tuple)>);
-
-impl QuerySink for Collect {
-    fn on_result(&mut self, query: QueryId, tuple: &Tuple) {
-        self.0.push((query, tuple.clone()));
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::QuerySink;
     use rumor_core::{LogicalPlan, Optimizer, OptimizerConfig};
     use rumor_expr::Predicate;
     use rumor_types::Schema;
+
+    #[derive(Default)]
+    struct Collect(Vec<(QueryId, Tuple)>);
+
+    impl QuerySink for Collect {
+        fn on_result(&mut self, query: QueryId, tuple: &Tuple) {
+            self.0.push((query, tuple.clone()));
+        }
+    }
 
     fn chain_plan() -> (PlanGraph, SourceId) {
         let mut plan = PlanGraph::new();
@@ -532,7 +141,7 @@ mod tests {
     }
 
     fn single_threaded(plan: &PlanGraph, events: &[(SourceId, Tuple)]) -> Vec<(QueryId, Tuple)> {
-        let mut exec = crate::exec::ExecutablePlan::new(plan).unwrap();
+        let mut exec = ExecutablePlan::new(plan).unwrap();
         let mut sink = Collect::default();
         for (src, tuple) in events {
             exec.push(*src, tuple.clone(), &mut sink).unwrap();
@@ -580,11 +189,10 @@ mod tests {
 
     #[test]
     fn pipelined_stateful_plan_matches_single_threaded() {
-        // Regression: a stateful op whose ports reach its stage over
-        // different-length paths (T forwarded from stage 0, S-derived
-        // events via the select chain in stage 1) used to observe its
-        // ports out of timestamp order when events skipped intermediate
-        // stages, dropping matches. Ordered mode now relays hop-by-hop.
+        // A stateful plan with an unkeyed sequence pins to worker 0, where
+        // the hybrid drain reproduces per-event order exactly; shard-local
+        // stages must therefore match the single-threaded engine in full
+        // result order, not just multisets.
         use rumor_core::SeqSpec;
         use rumor_expr::{CmpOp, Expr};
 

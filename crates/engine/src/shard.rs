@@ -25,10 +25,17 @@
 //! single-threaded engine produces. For fully pinned plans the runtime
 //! degenerates to the single-threaded engine on worker 0.
 
-use rumor_core::{analyze_partitioning, PartitionScheme, PlanGraph};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+
+use rumor_core::{analyze_partitioning, PartitionScheme, PlanGraph, SourceRoute};
 use rumor_types::{QueryId, Result, RumorError, SourceId, Tuple};
 
-use crate::exec::{CollectingSink, CountingSink, DiscardSink, ExecutablePlan, QuerySink};
+use crate::exec::{
+    CollectingSink, ConeScope, CountingSink, DiscardSink, ExecutablePlan, QuerySink,
+};
 
 /// A sink sharded workers can each own privately and fold deterministically
 /// at drain time.
@@ -77,6 +84,82 @@ struct Worker<S> {
     sink: S,
 }
 
+/// One routed delivery: where a tuple goes and how much of the plan it
+/// addresses there ([`ConeScope::Full`] for every route except the two
+/// legs of a [`SourceRoute::PinnedSplit`]).
+enum Routed {
+    One(usize),
+    /// Pinned-split: stateful leg on worker 0, stateless leg round-robin.
+    Split {
+        free: usize,
+    },
+}
+
+/// The single routing step shared by both shard runtimes: resolves one
+/// source tuple against the scheme, advancing the source's round-robin
+/// cursor (split routes advance it for their stateless leg). Any change
+/// to routing semantics lands in both runtimes at once — the conformance
+/// harness depends on them splitting input identically.
+fn route_event(
+    scheme: &PartitionScheme,
+    rr_cursors: &mut [usize],
+    n: usize,
+    source: SourceId,
+    tuple: &Tuple,
+) -> Result<Routed> {
+    let cursor = rr_cursors
+        .get_mut(source.index())
+        .ok_or_else(|| RumorError::exec(format!("unknown source {source}")))?;
+    if matches!(scheme.route(source), SourceRoute::PinnedSplit) {
+        let free = *cursor % n;
+        *cursor = (*cursor + 1) % n;
+        return Ok(Routed::Split { free });
+    }
+    Ok(Routed::One(scheme.worker_for(
+        source,
+        tuple.values(),
+        n,
+        cursor,
+    )))
+}
+
+/// The `w`-th of `n` contiguous segments of a length-`len` slice — the
+/// stateless batch distribution both runtimes use.
+fn segment(len: usize, n: usize, w: usize) -> (usize, usize) {
+    let per = len.div_ceil(n).max(1);
+    ((w * per).min(len), ((w + 1) * per).min(len))
+}
+
+/// Processes a run of scope-tagged deliveries on one worker: consecutive
+/// full-scope deliveries are regrouped (via `scratch`) into one
+/// [`ExecutablePlan::push_batch`] call; scoped legs go through
+/// [`ExecutablePlan::push_cone`] per event.
+fn process_tagged<S: MergeSink>(
+    exec: &mut ExecutablePlan,
+    sink: &mut S,
+    items: &[(ConeScope, SourceId, Tuple)],
+    scratch: &mut Vec<(SourceId, Tuple)>,
+) -> Result<()> {
+    let mut i = 0;
+    while i < items.len() {
+        if items[i].0 == ConeScope::Full {
+            scratch.clear();
+            let mut j = i;
+            while j < items.len() && items[j].0 == ConeScope::Full {
+                scratch.push((items[j].1, items[j].2.clone()));
+                j += 1;
+            }
+            exec.push_batch(scratch, sink)?;
+            i = j;
+        } else {
+            let (scope, source, tuple) = &items[i];
+            exec.push_cone(*source, tuple.clone(), *scope, sink)?;
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
 /// The partition-parallel runtime: `n` plan clones behind a static router.
 pub struct ShardedRuntime<S: MergeSink> {
     workers: Vec<Worker<S>>,
@@ -87,8 +170,15 @@ pub struct ShardedRuntime<S: MergeSink> {
     /// Every route is round-robin: batch calls split the input into
     /// contiguous zero-copy segments instead of routing per event.
     all_round_robin: bool,
+    /// Some route is [`SourceRoute::PinnedSplit`]: batch calls stage
+    /// scope-tagged deliveries instead of plain events.
+    has_split: bool,
     /// Per-worker staging buffers, reused across [`ShardedRuntime::push_batch`] calls.
     bufs: Vec<Vec<(SourceId, Tuple)>>,
+    /// Per-worker scope-tagged staging (split schemes only).
+    tagged_bufs: Vec<Vec<(ConeScope, SourceId, Tuple)>>,
+    /// Source events accepted (a split delivery counts once).
+    accepted: u64,
 }
 
 impl<S: MergeSink + Default> ShardedRuntime<S> {
@@ -110,13 +200,20 @@ impl<S: MergeSink + Default> ShardedRuntime<S> {
         let all_round_robin = scheme
             .routes()
             .iter()
-            .all(|r| matches!(r, rumor_core::SourceRoute::RoundRobin));
+            .all(|r| matches!(r, SourceRoute::RoundRobin));
+        let has_split = scheme
+            .routes()
+            .iter()
+            .any(|r| matches!(r, SourceRoute::PinnedSplit));
         Ok(ShardedRuntime {
             workers,
             scheme,
             rr_cursors: vec![0; n_sources],
             all_round_robin,
+            has_split,
             bufs: vec![Vec::new(); n],
+            tagged_bufs: vec![Vec::new(); n],
+            accepted: 0,
         })
     }
 }
@@ -137,33 +234,56 @@ impl<S: MergeSink> ShardedRuntime<S> {
         self.scheme.is_parallelizable()
     }
 
-    /// Total events accepted across workers.
+    /// Source events accepted (a [`SourceRoute::PinnedSplit`] delivery
+    /// counts once even though two workers observe it).
     pub fn events_in(&self) -> u64 {
-        self.workers.iter().map(|w| w.exec.events_in).sum()
+        self.accepted
     }
 
-    /// Events accepted per worker — the load-balance metric (a pinned
-    /// component shows up as worker 0 carrying its whole stream).
+    /// Deliveries processed per worker — the load-balance metric (a pinned
+    /// component shows up as worker 0 carrying its whole stream). Under a
+    /// split scheme the per-worker counts sum to more than
+    /// [`ShardedRuntime::events_in`]: both legs of a split delivery count.
     pub fn worker_events(&self) -> Vec<u64> {
         self.workers.iter().map(|w| w.exec.events_in).collect()
     }
 
-    fn route(&mut self, source: SourceId, tuple: &Tuple) -> Result<usize> {
-        let cursor = self
-            .rr_cursors
-            .get_mut(source.index())
-            .ok_or_else(|| RumorError::exec(format!("unknown source {source}")))?;
-        Ok(self
-            .scheme
-            .worker_for(source, tuple.values(), self.workers.len(), cursor))
+    fn route(&mut self, source: SourceId, tuple: &Tuple) -> Result<Routed> {
+        route_event(
+            &self.scheme,
+            &mut self.rr_cursors,
+            self.workers.len(),
+            source,
+            tuple,
+        )
     }
 
     /// Routes and processes one source tuple (inline, on the caller's
     /// thread). Tuples must arrive in global timestamp order.
     pub fn push(&mut self, source: SourceId, tuple: Tuple) -> Result<()> {
-        let w = self.route(source, &tuple)?;
-        let worker = &mut self.workers[w];
-        worker.exec.push(source, tuple, &mut worker.sink)
+        match self.route(source, &tuple)? {
+            Routed::One(w) => {
+                let worker = &mut self.workers[w];
+                worker.exec.push(source, tuple, &mut worker.sink)?;
+            }
+            Routed::Split { free } => {
+                // Stateless leg first (it owns the source-channel taps),
+                // matching the per-event engine's taps-then-operators order.
+                let worker = &mut self.workers[free];
+                worker.exec.push_cone(
+                    source,
+                    tuple.clone(),
+                    ConeScope::Stateless,
+                    &mut worker.sink,
+                )?;
+                let worker = &mut self.workers[0];
+                worker
+                    .exec
+                    .push_cone(source, tuple, ConeScope::Stateful, &mut worker.sink)?;
+            }
+        }
+        self.accepted += 1;
+        Ok(())
     }
 
     /// Routes a timestamp-ordered event slice across the workers and runs
@@ -186,29 +306,79 @@ impl<S: MergeSink> ShardedRuntime<S> {
         {
             return Err(RumorError::exec(format!("unknown source {source}")));
         }
+        self.accepted += events.len() as u64;
         if self.workers.len() == 1 {
             let worker = &mut self.workers[0];
             return worker.exec.push_batch(events, &mut worker.sink);
         }
         if self.all_round_robin {
-            let per = events.len().div_ceil(self.workers.len()).max(1);
+            let n = self.workers.len();
             return self.run_workers(|w| {
-                let lo = (w * per).min(events.len());
-                let hi = ((w + 1) * per).min(events.len());
+                let (lo, hi) = segment(events.len(), n, w);
                 &events[lo..hi]
             });
+        }
+        if self.has_split {
+            for buf in &mut self.tagged_bufs {
+                buf.clear();
+            }
+            for (source, tuple) in events {
+                match self.route(*source, tuple)? {
+                    Routed::One(w) => {
+                        self.tagged_bufs[w].push((ConeScope::Full, *source, tuple.clone()));
+                    }
+                    Routed::Split { free } => {
+                        self.tagged_bufs[free].push((ConeScope::Stateless, *source, tuple.clone()));
+                        self.tagged_bufs[0].push((ConeScope::Stateful, *source, tuple.clone()));
+                    }
+                }
+            }
+            let bufs = std::mem::take(&mut self.tagged_bufs);
+            let outcome = self.run_tagged_workers(&bufs);
+            self.tagged_bufs = bufs;
+            return outcome;
         }
         for buf in &mut self.bufs {
             buf.clear();
         }
         for (source, tuple) in events {
-            let w = self.route(*source, tuple)?;
+            let w = match self.route(*source, tuple)? {
+                Routed::One(w) => w,
+                Routed::Split { .. } => unreachable!("split routes take the tagged path"),
+            };
             self.bufs[w].push((*source, tuple.clone()));
         }
         let bufs = std::mem::take(&mut self.bufs);
         let outcome = self.run_workers(|w| bufs[w].as_slice());
         self.bufs = bufs;
         outcome
+    }
+
+    /// Runs every worker with a non-empty scope-tagged share on its own
+    /// scoped thread (split schemes).
+    fn run_tagged_workers(&mut self, bufs: &[Vec<(ConeScope, SourceId, Tuple)>]) -> Result<()> {
+        let mut outcomes: Vec<Result<()>> = Vec::with_capacity(self.workers.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workers
+                .iter_mut()
+                .enumerate()
+                .filter(|(w, _)| !bufs[*w].is_empty())
+                .map(|(w, worker)| {
+                    let items = bufs[w].as_slice();
+                    scope.spawn(move || {
+                        let mut scratch = Vec::new();
+                        process_tagged(&mut worker.exec, &mut worker.sink, items, &mut scratch)
+                    })
+                })
+                .collect();
+            for h in handles {
+                outcomes.push(h.join().unwrap_or_else(|_| {
+                    Err(RumorError::exec("sharded worker panicked".to_string()))
+                }));
+            }
+        });
+        outcomes.into_iter().collect()
     }
 
     /// Runs every worker with a non-empty share on its own scoped thread.
@@ -254,6 +424,525 @@ impl ShardedRuntime<CollectingSink> {
     /// `(timestamp, query)`, consuming the runtime.
     pub fn into_results(self) -> Vec<(QueryId, Tuple)> {
         self.finish().results
+    }
+}
+
+// ----------------------------------------------------------------------
+// The persistent streaming worker pool.
+// ----------------------------------------------------------------------
+
+/// Tuning knobs of the [`StreamingShardedRuntime`] worker pool.
+#[derive(Debug, Clone)]
+pub struct StreamingConfig {
+    /// Deliveries staged per worker before a message is dispatched. Larger
+    /// batches amortize channel synchronization; 1 sends every delivery
+    /// immediately.
+    pub batch_size: usize,
+    /// In-flight messages each worker's queue may hold before
+    /// [`StreamingShardedRuntime::push`] /
+    /// [`StreamingShardedRuntime::push_batch`] block (backpressure bound:
+    /// at most `queue_depth * batch_size` events buffered per worker).
+    pub queue_depth: usize,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        StreamingConfig {
+            batch_size: 1024,
+            queue_depth: 4,
+        }
+    }
+}
+
+/// One unit of work inside a worker message. Full-scope deliveries are
+/// staged as ready-made event runs so the worker feeds them straight into
+/// [`ExecutablePlan::push_batch`] — no per-event regrouping or second
+/// clone on the worker side; scoped legs of a split route travel
+/// individually. Shared-batch segments
+/// ([`StreamingShardedRuntime::push_batch_shared`]) carry a range of one
+/// refcounted input allocation — the zero-copy stateless path.
+enum Delivery {
+    Run(Vec<(SourceId, Tuple)>),
+    Shared(Arc<Vec<(SourceId, Tuple)>>, std::ops::Range<usize>),
+    Cone(ConeScope, SourceId, Tuple),
+}
+
+enum WorkerMsg {
+    Batch(Vec<Delivery>),
+    /// Barrier: ack once every previously sent message is processed.
+    Flush(Sender<()>),
+}
+
+struct WorkerOutcome<S> {
+    sink: S,
+    events_in: u64,
+    error: Option<RumorError>,
+}
+
+fn worker_loop<S: MergeSink + Default>(
+    mut exec: ExecutablePlan,
+    rx: Receiver<WorkerMsg>,
+) -> WorkerOutcome<S> {
+    let mut sink = S::default();
+    let mut error: Option<RumorError> = None;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Batch(deliveries) => {
+                // After the first error the worker keeps draining its
+                // queue (so producers never block on a dead consumer) but
+                // stops processing.
+                if error.is_some() {
+                    continue;
+                }
+                for d in &deliveries {
+                    let outcome = match d {
+                        Delivery::Run(run) => exec.push_batch(run, &mut sink),
+                        Delivery::Shared(events, range) => {
+                            exec.push_batch(&events[range.clone()], &mut sink)
+                        }
+                        Delivery::Cone(scope, source, tuple) => {
+                            exec.push_cone(*source, tuple.clone(), *scope, &mut sink)
+                        }
+                    };
+                    if let Err(e) = outcome {
+                        error = Some(e);
+                        break;
+                    }
+                }
+            }
+            WorkerMsg::Flush(ack) => {
+                // Channel FIFO: everything sent before this barrier has
+                // been processed by now.
+                let _ = ack.send(());
+            }
+        }
+    }
+    WorkerOutcome {
+        sink,
+        events_in: exec.events_in,
+        error,
+    }
+}
+
+/// Per-worker staging buffer: pending deliveries plus the number of
+/// events they carry (dispatch triggers on events, not deliveries).
+struct Staged {
+    items: Vec<Delivery>,
+    events: usize,
+    /// Capacity hint for fresh runs (the configured batch size), so
+    /// per-event staging fills one exact-sized allocation instead of
+    /// doubling its way up.
+    run_capacity: usize,
+}
+
+impl Staged {
+    fn with_capacity(run_capacity: usize) -> Self {
+        Staged {
+            items: Vec::new(),
+            events: 0,
+            run_capacity,
+        }
+    }
+
+    /// Appends one full-scope event, growing the trailing run.
+    fn push_full(&mut self, source: SourceId, tuple: Tuple) {
+        match self.items.last_mut() {
+            Some(Delivery::Run(run)) => run.push((source, tuple)),
+            _ => {
+                let mut run = Vec::with_capacity(self.run_capacity);
+                run.push((source, tuple));
+                self.items.push(Delivery::Run(run));
+            }
+        }
+        self.events += 1;
+    }
+
+    fn push_cone(&mut self, scope: ConeScope, source: SourceId, tuple: Tuple) {
+        self.items.push(Delivery::Cone(scope, source, tuple));
+        self.events += 1;
+    }
+}
+
+/// The persistent streaming shard pool: `n` long-lived workers, each
+/// owning a full [`ExecutablePlan`] clone and a private sink, fed over
+/// bounded channels by the same static partition router as
+/// [`ShardedRuntime`].
+///
+/// Where [`ShardedRuntime::push_batch`] spawns scoped threads per call —
+/// fine for large one-shot batches, wasteful for small or streaming ones —
+/// this runtime spawns its workers once at construction and streams
+/// deliveries to them for its whole lifetime:
+///
+/// * [`StreamingShardedRuntime::push`] /
+///   [`StreamingShardedRuntime::push_batch`] /
+///   [`StreamingShardedRuntime::push_batch_shared`] route events and
+///   stage them into per-worker buffers; a buffer reaching
+///   [`StreamingConfig::batch_size`] events is dispatched as one message.
+///   Bounded queues ([`StreamingConfig::queue_depth`]) provide
+///   backpressure: when a worker falls behind, the caller blocks instead
+///   of buffering without limit.
+/// * [`StreamingShardedRuntime::flush`] dispatches all staged deliveries
+///   and blocks until every worker has drained its queue — a barrier, not
+///   a shutdown. Flushing an empty or idle runtime is a no-op.
+/// * [`StreamingShardedRuntime::finish`] flushes, shuts the pool down,
+///   joins the workers, and folds their sinks deterministically (worker 0
+///   first, then [`MergeSink::finalize`]). Calling it again returns an
+///   empty default sink instead of panicking.
+///
+/// Per-worker delivery order equals global arrival order restricted to
+/// that worker (routing never reorders, queues are FIFO), so results are
+/// exactly those of [`ShardedRuntime`] over the same input split.
+pub struct StreamingShardedRuntime<S: MergeSink + Default + Send + 'static> {
+    txs: Vec<Sender<WorkerMsg>>,
+    handles: Vec<JoinHandle<WorkerOutcome<S>>>,
+    scheme: PartitionScheme,
+    rr_cursors: Vec<usize>,
+    all_round_robin: bool,
+    /// Per-worker staging buffers (dispatched at `batch_size` events).
+    staged: Vec<Staged>,
+    batch_size: usize,
+    accepted: u64,
+    finished: bool,
+    /// Deliveries processed per worker, recorded when the pool shuts down.
+    worker_events: Vec<u64>,
+}
+
+impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
+    /// Spawns `n` persistent workers (n ≥ 1) with default tuning.
+    pub fn new(plan: &PlanGraph, n: usize) -> Result<Self> {
+        Self::with_config(plan, n, StreamingConfig::default())
+    }
+
+    /// Spawns `n` persistent workers (n ≥ 1) with explicit tuning.
+    pub fn with_config(plan: &PlanGraph, n: usize, config: StreamingConfig) -> Result<Self> {
+        if n == 0 {
+            return Err(RumorError::exec(
+                "streaming sharded runtime needs n >= 1".to_string(),
+            ));
+        }
+        let batch_size = config.batch_size.max(1);
+        let queue_depth = config.queue_depth.max(1);
+        let mut execs = Vec::with_capacity(n);
+        for _ in 0..n {
+            execs.push(ExecutablePlan::new(plan)?);
+        }
+        let scheme = analyze_partitioning(plan, &execs[0].partition_reports())?;
+        let n_sources = scheme.routes().len();
+        let all_round_robin = scheme
+            .routes()
+            .iter()
+            .all(|r| matches!(r, SourceRoute::RoundRobin));
+        let mut txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for exec in execs {
+            let (tx, rx) = bounded::<WorkerMsg>(queue_depth);
+            txs.push(tx);
+            handles.push(std::thread::spawn(move || worker_loop::<S>(exec, rx)));
+        }
+        Ok(StreamingShardedRuntime {
+            txs,
+            handles,
+            scheme,
+            rr_cursors: vec![0; n_sources],
+            all_round_robin,
+            staged: std::iter::repeat_with(|| Staged::with_capacity(batch_size))
+                .take(n)
+                .collect(),
+            batch_size,
+            accepted: 0,
+            finished: false,
+            worker_events: Vec::new(),
+        })
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// The routing scheme in force.
+    pub fn scheme(&self) -> &PartitionScheme {
+        &self.scheme
+    }
+
+    /// Whether the scheme lets more than one worker do useful work.
+    pub fn is_parallelizable(&self) -> bool {
+        self.scheme.is_parallelizable()
+    }
+
+    /// Source events accepted so far (a split delivery counts once).
+    pub fn events_in(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Deliveries processed per worker — the load-balance metric. Only
+    /// known once the pool has shut down: empty before
+    /// [`StreamingShardedRuntime::finish`]. Under a split scheme the
+    /// per-worker counts sum to more than
+    /// [`StreamingShardedRuntime::events_in`]: both legs of a split
+    /// delivery count.
+    pub fn worker_events(&self) -> &[u64] {
+        &self.worker_events
+    }
+
+    fn ensure_live(&self) -> Result<()> {
+        if self.finished {
+            return Err(RumorError::exec(
+                "streaming runtime already finished".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn stage_full(&mut self, w: usize, source: SourceId, tuple: Tuple) -> Result<()> {
+        self.staged[w].push_full(source, tuple);
+        if self.staged[w].events >= self.batch_size {
+            self.dispatch(w)?;
+        }
+        Ok(())
+    }
+
+    fn stage_cone(
+        &mut self,
+        w: usize,
+        scope: ConeScope,
+        source: SourceId,
+        tuple: Tuple,
+    ) -> Result<()> {
+        self.staged[w].push_cone(scope, source, tuple);
+        if self.staged[w].events >= self.batch_size {
+            self.dispatch(w)?;
+        }
+        Ok(())
+    }
+
+    fn dispatch(&mut self, w: usize) -> Result<()> {
+        if self.staged[w].items.is_empty() {
+            return Ok(());
+        }
+        let staged = std::mem::replace(&mut self.staged[w], Staged::with_capacity(self.batch_size));
+        self.txs[w]
+            .send(WorkerMsg::Batch(staged.items))
+            .map_err(|_| RumorError::exec(format!("streaming shard worker {w} died")))
+    }
+
+    fn route(&mut self, source: SourceId, tuple: &Tuple) -> Result<Routed> {
+        route_event(
+            &self.scheme,
+            &mut self.rr_cursors,
+            self.txs.len(),
+            source,
+            tuple,
+        )
+    }
+
+    /// Routes one source tuple into the pool. Tuples must arrive in global
+    /// timestamp order; delivery is asynchronous (results are observable
+    /// only through [`StreamingShardedRuntime::finish`]). Blocks when the
+    /// target worker's queue is full.
+    pub fn push(&mut self, source: SourceId, tuple: Tuple) -> Result<()> {
+        self.ensure_live()?;
+        match self.route(source, &tuple)? {
+            Routed::One(w) => self.stage_full(w, source, tuple)?,
+            Routed::Split { free } => {
+                self.stage_cone(free, ConeScope::Stateless, source, tuple.clone())?;
+                self.stage_cone(0, ConeScope::Stateful, source, tuple)?;
+            }
+        }
+        self.accepted += 1;
+        Ok(())
+    }
+
+    /// Routes a timestamp-ordered event slice into the pool. An unknown
+    /// source fails the whole call before anything is staged. Fully
+    /// stateless schemes skip per-event routing: the slice is split into
+    /// `n` contiguous segments, exactly like [`ShardedRuntime::push_batch`].
+    pub fn push_batch(&mut self, events: &[(SourceId, Tuple)]) -> Result<()> {
+        self.ensure_live()?;
+        if let Some((source, _)) = events
+            .iter()
+            .find(|(s, _)| s.index() >= self.rr_cursors.len())
+        {
+            return Err(RumorError::exec(format!("unknown source {source}")));
+        }
+        self.push_batch_validated(events)
+    }
+
+    /// Per-event routing/staging behind the batch entry points (sources
+    /// already validated).
+    fn push_batch_validated(&mut self, events: &[(SourceId, Tuple)]) -> Result<()> {
+        if self.all_round_robin && self.txs.len() > 1 {
+            // Stateless scheme: contiguous segments per worker (the optimal
+            // stateless distribution, as in [`ShardedRuntime::push_batch`]),
+            // bulk-appended to the staged run without per-event routing.
+            let n = self.txs.len();
+            for w in 0..n {
+                let (lo, hi) = segment(events.len(), n, w);
+                let mut seg = &events[lo..hi];
+                while !seg.is_empty() {
+                    let room = self.batch_size.saturating_sub(self.staged[w].events).max(1);
+                    let take = room.min(seg.len());
+                    let staged = &mut self.staged[w];
+                    match staged.items.last_mut() {
+                        Some(Delivery::Run(run)) => run.extend_from_slice(&seg[..take]),
+                        _ => staged.items.push(Delivery::Run(seg[..take].to_vec())),
+                    }
+                    staged.events += take;
+                    if staged.events >= self.batch_size {
+                        self.dispatch(w)?;
+                    }
+                    seg = &seg[take..];
+                }
+            }
+        } else {
+            for (source, tuple) in events {
+                match self.route(*source, tuple)? {
+                    Routed::One(w) => {
+                        self.stage_full(w, *source, tuple.clone())?;
+                    }
+                    Routed::Split { free } => {
+                        self.stage_cone(free, ConeScope::Stateless, *source, tuple.clone())?;
+                        self.stage_cone(0, ConeScope::Stateful, *source, tuple.clone())?;
+                    }
+                }
+            }
+        }
+        self.accepted += events.len() as u64;
+        Ok(())
+    }
+
+    /// [`StreamingShardedRuntime::push_batch`] with ownership handoff: the
+    /// caller gives the pool a refcounted batch, and fully stateless
+    /// schemes ship each worker a *range* of that one allocation — no
+    /// per-tuple clone anywhere, the zero-copy equivalent of
+    /// [`ShardedRuntime::push_batch`]'s contiguous-segment path. Keyed,
+    /// pinned, and split schemes fall back to per-event routing off the
+    /// shared batch (per-tuple refcount bumps, as with plain
+    /// `push_batch`). Prefer this entry point whenever the batch is
+    /// already an owned allocation.
+    pub fn push_batch_shared(&mut self, events: Arc<Vec<(SourceId, Tuple)>>) -> Result<()> {
+        self.ensure_live()?;
+        if let Some((source, _)) = events
+            .iter()
+            .find(|(s, _)| s.index() >= self.rr_cursors.len())
+        {
+            return Err(RumorError::exec(format!("unknown source {source}")));
+        }
+        if self.all_round_robin && self.txs.len() > 1 {
+            let n = self.txs.len();
+            for w in 0..n {
+                let (lo, hi) = segment(events.len(), n, w);
+                let mut off = lo;
+                // Chunk the segment at batch-size granularity so queue
+                // backpressure keeps its meaning.
+                while off < hi {
+                    let take = self.batch_size.min(hi - off);
+                    let staged = &mut self.staged[w];
+                    staged
+                        .items
+                        .push(Delivery::Shared(events.clone(), off..off + take));
+                    staged.events += take;
+                    off += take;
+                    if staged.events >= self.batch_size {
+                        self.dispatch(w)?;
+                    }
+                }
+            }
+            self.accepted += events.len() as u64;
+            return Ok(());
+        }
+        self.push_batch_validated(&events)
+    }
+
+    /// Dispatches all staged deliveries and blocks until every worker has
+    /// drained its queue — a barrier, not a shutdown; the pool keeps
+    /// accepting events afterwards. On an empty or already-finished
+    /// runtime this is a no-op.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        for w in 0..self.txs.len() {
+            self.dispatch(w)?;
+        }
+        let mut acks = Vec::with_capacity(self.txs.len());
+        for (w, tx) in self.txs.iter().enumerate() {
+            let (ack_tx, ack_rx) = bounded(1);
+            tx.send(WorkerMsg::Flush(ack_tx))
+                .map_err(|_| RumorError::exec(format!("streaming shard worker {w} died")))?;
+            acks.push(ack_rx);
+        }
+        for (w, ack) in acks.into_iter().enumerate() {
+            ack.recv()
+                .map_err(|_| RumorError::exec(format!("streaming shard worker {w} died")))?;
+        }
+        Ok(())
+    }
+
+    /// Shuts the pool down: dispatches staged deliveries, joins every
+    /// worker, and folds the per-worker sinks (worker 0 first) into the
+    /// final, finalized sink. A second call is a no-op returning an empty
+    /// default sink. Worker errors (or panics) surface here.
+    pub fn finish(&mut self) -> Result<S> {
+        if self.finished {
+            return Ok(S::default());
+        }
+        self.finished = true;
+        for w in 0..self.txs.len() {
+            self.dispatch(w)?;
+        }
+        // Dropping the senders disconnects the queues; workers exit after
+        // draining them.
+        self.txs.clear();
+        let mut acc: Option<S> = None;
+        let mut first_error: Option<RumorError> = None;
+        for (w, handle) in self.handles.drain(..).enumerate() {
+            match handle.join() {
+                Ok(outcome) => {
+                    if first_error.is_none() {
+                        first_error = outcome.error;
+                    }
+                    self.worker_events.push(outcome.events_in);
+                    match &mut acc {
+                        None => acc = Some(outcome.sink),
+                        Some(sink) => sink.merge(outcome.sink),
+                    }
+                }
+                Err(_) => {
+                    if first_error.is_none() {
+                        first_error = Some(RumorError::exec(format!(
+                            "streaming shard worker {w} panicked"
+                        )));
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        let mut sink = acc.ok_or_else(|| RumorError::exec("no worker sinks".to_string()))?;
+        sink.finalize();
+        Ok(sink)
+    }
+}
+
+impl StreamingShardedRuntime<CollectingSink> {
+    /// Convenience: merged `(query, tuple)` results sorted by
+    /// `(timestamp, query)`, consuming the runtime.
+    pub fn into_results(mut self) -> Result<Vec<(QueryId, Tuple)>> {
+        Ok(self.finish()?.results)
+    }
+}
+
+impl<S: MergeSink + Default + Send + 'static> Drop for StreamingShardedRuntime<S> {
+    fn drop(&mut self) {
+        // Disconnect and reap the workers so no thread outlives the pool;
+        // staged-but-undispatched deliveries are discarded (results were
+        // never observable without `finish`).
+        self.txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -439,6 +1128,227 @@ mod tests {
         ];
         assert!(rt.push_batch(&events).is_err());
         assert_eq!(rt.events_in(), 0);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_across_worker_counts() {
+        let (plan, qs) = optimized(&[
+            LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64)),
+            LogicalPlan::source("S")
+                .select(Predicate::attr_eq_const(1, 1i64))
+                .followed_by(
+                    LogicalPlan::source("T"),
+                    SeqSpec {
+                        predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                        window: 15,
+                    },
+                ),
+        ]);
+        let events = interleaved(&plan, 120);
+        let want = reference(&plan, &events);
+        for n in [1usize, 2, 4] {
+            let mut rt: StreamingShardedRuntime<CollectingSink> =
+                StreamingShardedRuntime::with_config(
+                    &plan,
+                    n,
+                    StreamingConfig {
+                        batch_size: 7,
+                        queue_depth: 2,
+                    },
+                )
+                .unwrap();
+            rt.push_batch(&events).unwrap();
+            assert_eq!(rt.events_in(), 120);
+            let got = rt.finish().unwrap();
+            for &q in &qs {
+                assert_eq!(sorted_of(&got, q), sorted_of(&want, q), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_shared_batch_matches_reference_on_both_paths() {
+        // Stateless plan: zero-copy segment path. Keyed plan: per-event
+        // fallback off the shared allocation. Both must match per-event.
+        for queries in [
+            vec![
+                LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64)),
+                LogicalPlan::source("T").select(Predicate::attr_eq_const(1, 2i64)),
+            ],
+            vec![LogicalPlan::source("S")
+                .select(Predicate::attr_eq_const(1, 0i64))
+                .followed_by(
+                    LogicalPlan::source("T"),
+                    SeqSpec {
+                        predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                        window: 20,
+                    },
+                )],
+        ] {
+            let (plan, qs) = optimized(&queries);
+            let events = interleaved(&plan, 100);
+            let want = reference(&plan, &events);
+            let mut rt: StreamingShardedRuntime<CollectingSink> =
+                StreamingShardedRuntime::with_config(
+                    &plan,
+                    3,
+                    StreamingConfig {
+                        batch_size: 16,
+                        queue_depth: 2,
+                    },
+                )
+                .unwrap();
+            // Mix the shared entry point with staged per-event pushes to
+            // check ordering across delivery kinds.
+            rt.push_batch_shared(Arc::new(events[..40].to_vec()))
+                .unwrap();
+            for (src, t) in &events[40..60] {
+                rt.push(*src, t.clone()).unwrap();
+            }
+            rt.push_batch_shared(Arc::new(events[60..].to_vec()))
+                .unwrap();
+            assert_eq!(rt.events_in(), 100);
+            let got = rt.finish().unwrap();
+            for &q in &qs {
+                assert_eq!(sorted_of(&got, q), sorted_of(&want, q));
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_interleaved_pushes_match_reference() {
+        let (plan, qs) = optimized(&[
+            LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 2i64)),
+            LogicalPlan::source("S").followed_by(
+                LogicalPlan::source("T"),
+                SeqSpec {
+                    predicate: Predicate::cmp(CmpOp::Eq, Expr::col(1), Expr::rcol(1)),
+                    window: 12,
+                },
+            ),
+        ]);
+        let events = interleaved(&plan, 90);
+        let want = reference(&plan, &events);
+        let mut rt: StreamingShardedRuntime<CollectingSink> = StreamingShardedRuntime::with_config(
+            &plan,
+            3,
+            StreamingConfig {
+                batch_size: 5,
+                queue_depth: 2,
+            },
+        )
+        .unwrap();
+        // Mix the lifecycle: single pushes, mid-stream flush barriers, and
+        // slice pushes of varying size (including empty).
+        rt.push_batch(&events[0..10]).unwrap();
+        rt.flush().unwrap();
+        for (src, t) in &events[10..25] {
+            rt.push(*src, t.clone()).unwrap();
+        }
+        rt.push_batch(&[]).unwrap();
+        rt.flush().unwrap();
+        rt.flush().unwrap();
+        rt.push_batch(&events[25..]).unwrap();
+        let got = rt.finish().unwrap();
+        for &q in &qs {
+            assert_eq!(sorted_of(&got, q), sorted_of(&want, q));
+        }
+    }
+
+    #[test]
+    fn flush_on_empty_runtime_and_double_finish_are_noops() {
+        let (plan, _) = optimized(&[LogicalPlan::source("S").select(Predicate::True)]);
+        let mut rt: StreamingShardedRuntime<CollectingSink> =
+            StreamingShardedRuntime::new(&plan, 2).unwrap();
+        // Nothing pushed yet: flush must return cleanly, repeatedly.
+        rt.flush().unwrap();
+        rt.flush().unwrap();
+        let s = plan.source_by_name("S").unwrap().id;
+        rt.push(s, Tuple::ints(0, &[1, 0, 0])).unwrap();
+        let first = rt.finish().unwrap();
+        assert_eq!(first.results.len(), 1);
+        // Double finish: a no-op returning an empty sink, not a panic.
+        let second = rt.finish().unwrap();
+        assert!(second.results.is_empty());
+        // And flush after finish stays a no-op too.
+        rt.flush().unwrap();
+        // Further pushes are rejected (not panics): the pool is gone.
+        assert!(rt.push(s, Tuple::ints(1, &[1, 0, 0])).is_err());
+    }
+
+    #[test]
+    fn streaming_unknown_source_fails_before_staging() {
+        let (plan, _) = optimized(&[LogicalPlan::source("S").select(Predicate::True)]);
+        let mut rt: StreamingShardedRuntime<CountingSink> =
+            StreamingShardedRuntime::new(&plan, 2).unwrap();
+        let s = plan.source_by_name("S").unwrap().id;
+        let events = vec![
+            (s, Tuple::ints(0, &[1, 0, 0])),
+            (SourceId(9), Tuple::ints(1, &[1, 0, 0])),
+        ];
+        assert!(rt.push_batch(&events).is_err());
+        assert_eq!(rt.events_in(), 0);
+        assert!(rt.push(SourceId(9), Tuple::ints(2, &[1, 0, 0])).is_err());
+        assert_eq!(rt.finish().unwrap().total, 0);
+    }
+
+    #[test]
+    fn streaming_backpressure_bounded_queues_still_drain() {
+        // Tiny queues + tiny batches: pushes must block-and-resume rather
+        // than error or drop, and every event must come out the other end.
+        let (plan, _) = optimized(&[LogicalPlan::source("S").select(Predicate::True)]);
+        let events = interleaved(&plan, 500);
+        let mut rt: StreamingShardedRuntime<CountingSink> = StreamingShardedRuntime::with_config(
+            &plan,
+            2,
+            StreamingConfig {
+                batch_size: 1,
+                queue_depth: 1,
+            },
+        )
+        .unwrap();
+        rt.push_batch(&events).unwrap();
+        let got = rt.finish().unwrap();
+        // Every S event (even ts) passes the TRUE-selection.
+        assert_eq!(got.total, 250);
+    }
+
+    #[test]
+    fn pinned_split_routes_stateless_siblings_across_workers() {
+        // An unkeyed sequence pins the S/T component, but the stateless
+        // select on S must still round-robin: worker 0 gets every tuple's
+        // stateful leg, the stateless legs spread across all workers.
+        let (plan, qs) = optimized(&[
+            LogicalPlan::source("S").followed_by(
+                LogicalPlan::source("T"),
+                SeqSpec {
+                    predicate: Predicate::cmp(CmpOp::Lt, Expr::col(2), Expr::rcol(2)),
+                    window: 10,
+                },
+            ),
+            LogicalPlan::source("S").select(Predicate::True),
+        ]);
+        let events = interleaved(&plan, 80);
+        let want = reference(&plan, &events);
+        let s = plan.source_by_name("S").unwrap().id;
+        let t = plan.source_by_name("T").unwrap().id;
+        for n in [2usize, 4] {
+            let mut rt: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, n).unwrap();
+            assert_eq!(*rt.scheme().route(s), SourceRoute::PinnedSplit);
+            assert_eq!(*rt.scheme().route(t), SourceRoute::Pinned);
+            assert!(rt.is_parallelizable());
+            rt.push_batch(&events).unwrap();
+            assert_eq!(rt.events_in(), 80, "split deliveries must count once");
+            let per_worker = rt.worker_events();
+            assert!(
+                per_worker[1..].iter().any(|&e| e > 0),
+                "stateless legs must leave worker 0: {per_worker:?}"
+            );
+            let got = rt.finish();
+            for &q in &qs {
+                assert_eq!(sorted_of(&got, q), sorted_of(&want, q), "n={n}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,614 @@
+//! Differential cross-engine conformance harness.
+//!
+//! The load-bearing invariant of the whole optimizer/runtime stack (as in
+//! the multi-query-optimization literature: the shared plan must be a
+//! drop-in replacement for naive per-query execution) is that **every
+//! engine mode produces identical results**. This harness pins that down
+//! as one table-driven matrix instead of per-mode ad-hoc tests:
+//!
+//! * **modes** — per-event push, `push_batch` (channel-run batched /
+//!   hybrid), the shard-local-stage pipelined runner, the one-shot
+//!   sharded runtime, and the persistent streaming shard pool (several
+//!   worker counts, batch sizes, and lifecycle interleavings);
+//! * **workloads** — every partitioning verdict (stateless, keyed,
+//!   pinned, pinned-with-stateless-siblings) plus edge inputs (empty,
+//!   single event, timestamp ties);
+//! * **oracle** — results are canonicalized to a `(timestamp, query,
+//!   rendered tuple)`-sorted vector, a total order, so every mode must
+//!   match the per-event reference *byte for byte*.
+//!
+//! A generator-driven propcheck runs random query mixes and event streams
+//! through the same matrix, and a lifecycle propcheck exercises the
+//! streaming pool's `push`/`push_batch`/`flush` interleavings (batch
+//! sizes 0 and 1, tied timestamps included) against one-shot batching.
+
+use proptest::prelude::*;
+
+use rumor::{
+    AggFunc, AggSpec, CollectingSink, ExecutablePlan, IterSpec, LogicalPlan, Optimizer,
+    OptimizerConfig, PinScope, PlanGraph, Predicate, QueryId, Schema, SeqSpec, ShardedRuntime,
+    SourceRoute, StreamingConfig, StreamingShardedRuntime, Tuple, Verdict,
+};
+use rumor_engine::{run_pipelined_config, PipelineConfig};
+use rumor_expr::{CmpOp, Expr, NamedExpr, SchemaMap};
+use rumor_types::SourceId;
+
+/// Canonical result form: `(ts, query, rendered tuple)`, fully sorted — a
+/// total order, so two modes agree iff their canonical vectors are
+/// byte-identical.
+fn canonical(results: Vec<(QueryId, Tuple)>) -> Vec<(u64, u32, String)> {
+    let mut v: Vec<(u64, u32, String)> = results
+        .into_iter()
+        .map(|(q, t)| (t.ts, q.0, t.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+/// One engine mode of the conformance matrix.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Single-threaded per-event push — the reference oracle.
+    PerEvent,
+    /// `ExecutablePlan::push_batch`: channel-run batched / hybrid drain.
+    PushBatch,
+    /// The pipelined runner rebuilt on shard-local stages.
+    Pipelined { stages: usize, batch: usize },
+    /// One-shot sharded runtime (scoped threads per batch call).
+    Sharded { n: usize },
+    /// Persistent streaming shard pool, whole input in one `push_batch`.
+    Streaming { n: usize, batch: usize },
+    /// Streaming pool fed in small chunks with `flush` barriers between.
+    StreamingChunked { n: usize, chunk: usize },
+}
+
+/// The full matrix every workload must survive. `PerEvent` first: it is
+/// the reference everything else is compared against.
+const MODES: &[Mode] = &[
+    Mode::PerEvent,
+    Mode::PushBatch,
+    Mode::Pipelined {
+        stages: 3,
+        batch: 16,
+    },
+    Mode::Sharded { n: 1 },
+    Mode::Sharded { n: 2 },
+    Mode::Sharded { n: 4 },
+    Mode::Sharded { n: 7 },
+    Mode::Streaming { n: 2, batch: 1 },
+    Mode::Streaming { n: 4, batch: 64 },
+    Mode::StreamingChunked { n: 3, chunk: 17 },
+];
+
+fn run_mode(plan: &PlanGraph, events: &[(SourceId, Tuple)], mode: Mode) -> Vec<(u64, u32, String)> {
+    match mode {
+        Mode::PerEvent => {
+            let mut exec = ExecutablePlan::new(plan).unwrap();
+            let mut sink = CollectingSink::default();
+            for (src, t) in events {
+                exec.push(*src, t.clone(), &mut sink).unwrap();
+            }
+            canonical(sink.results)
+        }
+        Mode::PushBatch => {
+            let mut exec = ExecutablePlan::new(plan).unwrap();
+            let mut sink = CollectingSink::default();
+            exec.push_batch(events, &mut sink).unwrap();
+            canonical(sink.results)
+        }
+        Mode::Pipelined { stages, batch } => {
+            let results = run_pipelined_config(
+                plan,
+                events,
+                &PipelineConfig {
+                    stages,
+                    batch_size: batch,
+                },
+            )
+            .unwrap();
+            canonical(results)
+        }
+        Mode::Sharded { n } => {
+            let mut rt: ShardedRuntime<CollectingSink> = ShardedRuntime::new(plan, n).unwrap();
+            rt.push_batch(events).unwrap();
+            canonical(rt.finish().results)
+        }
+        Mode::Streaming { n, batch } => {
+            let mut rt: StreamingShardedRuntime<CollectingSink> =
+                StreamingShardedRuntime::with_config(
+                    plan,
+                    n,
+                    StreamingConfig {
+                        batch_size: batch,
+                        queue_depth: 2,
+                    },
+                )
+                .unwrap();
+            rt.push_batch(events).unwrap();
+            canonical(rt.finish().unwrap().results)
+        }
+        Mode::StreamingChunked { n, chunk } => {
+            let mut rt: StreamingShardedRuntime<CollectingSink> =
+                StreamingShardedRuntime::new(plan, n).unwrap();
+            for c in events.chunks(chunk.max(1)) {
+                rt.push_batch(c).unwrap();
+                rt.flush().unwrap();
+            }
+            canonical(rt.finish().unwrap().results)
+        }
+    }
+}
+
+/// Per-query result sequences in arrival order — the stricter contract
+/// the single-threaded entry points carry on top of the canonical
+/// multiset: `push_batch` promises results *identical to per-event
+/// order*, not merely the same multiset.
+fn per_query_ordered(results: &[(QueryId, Tuple)]) -> Vec<(u32, Vec<String>)> {
+    let mut by_query: std::collections::BTreeMap<u32, Vec<String>> = Default::default();
+    for (q, t) in results {
+        by_query.entry(q.0).or_default().push(t.to_string());
+    }
+    by_query.into_iter().collect()
+}
+
+/// Asserts every mode of the matrix reproduces the per-event reference
+/// byte for byte on the given workload, and that `push_batch` (the
+/// single-threaded batched entry point) additionally preserves exact
+/// per-query result order.
+fn assert_conformance(name: &str, plan: &PlanGraph, events: &[(SourceId, Tuple)]) {
+    let reference = run_mode(plan, events, MODES[0]);
+    for &mode in &MODES[1..] {
+        let got = run_mode(plan, events, mode);
+        assert_eq!(
+            got,
+            reference,
+            "workload `{name}` diverged under {mode:?} ({} events)",
+            events.len()
+        );
+    }
+    assert_push_batch_order(name, plan, events);
+}
+
+/// The documented `push_batch` order contract, uncanonicalized: per-query
+/// result sequences must equal the per-event engine's exactly.
+fn assert_push_batch_order(name: &str, plan: &PlanGraph, events: &[(SourceId, Tuple)]) {
+    let mut per_event = ExecutablePlan::new(plan).unwrap();
+    let mut want = CollectingSink::default();
+    for (src, t) in events {
+        per_event.push(*src, t.clone(), &mut want).unwrap();
+    }
+    let mut batched = ExecutablePlan::new(plan).unwrap();
+    let mut got = CollectingSink::default();
+    batched.push_batch(events, &mut got).unwrap();
+    assert_eq!(
+        per_query_ordered(&got.results),
+        per_query_ordered(&want.results),
+        "workload `{name}`: push_batch broke per-query result order"
+    );
+}
+
+// ----------------------------------------------------------------------
+// The deterministic workload table.
+// ----------------------------------------------------------------------
+
+/// Standard source layout: every workload builder registers the same four
+/// 3-int sources so event generators can be shared.
+fn sources(plan: &mut PlanGraph) -> Vec<SourceId> {
+    ["S", "T", "U", "A"]
+        .iter()
+        .map(|n| plan.add_source(*n, Schema::ints(3), None).unwrap())
+        .collect()
+}
+
+fn optimized(queries: &[LogicalPlan]) -> (PlanGraph, Vec<SourceId>) {
+    let mut plan = PlanGraph::new();
+    let srcs = sources(&mut plan);
+    for q in queries {
+        plan.add_query(q).unwrap();
+    }
+    Optimizer::new(OptimizerConfig::default())
+        .optimize(&mut plan)
+        .unwrap();
+    plan.validate().unwrap();
+    (plan, srcs)
+}
+
+/// Deterministic interleaved input over all four sources, strictly
+/// increasing timestamps.
+fn interleaved(srcs: &[SourceId], n: u64) -> Vec<(SourceId, Tuple)> {
+    (0..n)
+        .map(|ts| {
+            let src = srcs[(ts % srcs.len() as u64) as usize];
+            (
+                src,
+                Tuple::ints(ts, &[(ts % 4) as i64, (ts % 3) as i64, (ts % 5) as i64]),
+            )
+        })
+        .collect()
+}
+
+/// Same interleave but every timestamp occurs twice (ties on every pair).
+fn tied(srcs: &[SourceId], n: u64) -> Vec<(SourceId, Tuple)> {
+    (0..n)
+        .map(|i| {
+            let src = srcs[(i % srcs.len() as u64) as usize];
+            let ts = i / 2;
+            (
+                src,
+                Tuple::ints(ts, &[(i % 4) as i64, (i % 3) as i64, (i % 5) as i64]),
+            )
+        })
+        .collect()
+}
+
+fn equi_seq(window: u64) -> LogicalPlan {
+    LogicalPlan::source("S")
+        .select(Predicate::attr_eq_const(1, 1i64))
+        .followed_by(
+            LogicalPlan::source("T"),
+            SeqSpec {
+                predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                window,
+            },
+        )
+}
+
+fn unkeyed_seq(window: u64) -> LogicalPlan {
+    LogicalPlan::source("S").followed_by(
+        LogicalPlan::source("T"),
+        SeqSpec {
+            predicate: Predicate::cmp(CmpOp::Lt, Expr::col(2), Expr::rcol(2)),
+            window,
+        },
+    )
+}
+
+fn keyed_iterate(window: u64) -> LogicalPlan {
+    LogicalPlan::source("S")
+        .select(Predicate::attr_eq_const(1, 0i64))
+        .iterate(
+            LogicalPlan::source("T"),
+            IterSpec {
+                filter: Predicate::cmp(CmpOp::Ne, Expr::col(0), Expr::rcol(0)),
+                rebind: Predicate::and(vec![
+                    Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                    Predicate::cmp(CmpOp::Gt, Expr::rcol(1), Expr::col(1)),
+                ]),
+                rebind_map: SchemaMap::new(vec![
+                    NamedExpr::new("a0", Expr::col(0)),
+                    NamedExpr::new("a1", Expr::rcol(1)),
+                    NamedExpr::new("a2", Expr::col(2)),
+                ]),
+                window,
+            },
+        )
+}
+
+fn aggregate(group_by: Vec<usize>, window: u64) -> LogicalPlan {
+    LogicalPlan::source("A").aggregate(AggSpec {
+        func: AggFunc::Sum,
+        input: Expr::col(2),
+        group_by,
+        window,
+    })
+}
+
+/// One named workload: an optimized plan plus its prepared input.
+type Workload = (&'static str, PlanGraph, Vec<(SourceId, Tuple)>);
+
+/// The deterministic workload table: every partitioning verdict, the
+/// pinned-split shape, a mixed plan, and edge inputs.
+fn workload_table() -> Vec<Workload> {
+    let mut table = Vec::new();
+
+    let (plan, srcs) = optimized(&[
+        LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64)),
+        LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 2i64)),
+        LogicalPlan::source("U").select(Predicate::attr_eq_const(1, 0i64)),
+    ]);
+    let events = interleaved(&srcs, 160);
+    table.push(("shared_selects", plan, events));
+
+    let (plan, srcs) = optimized(&[
+        LogicalPlan::source("U")
+            .select(Predicate::attr_eq_const(0, 1i64))
+            .project(SchemaMap::new(vec![NamedExpr::new(
+                "x",
+                Expr::col(1).mul(Expr::lit(3i64)),
+            )])),
+        LogicalPlan::source("U")
+            .select(Predicate::attr_eq_const(0, 1i64))
+            .select(Predicate::attr_eq_const(1, 1i64)),
+    ]);
+    let events = interleaved(&srcs, 160);
+    table.push(("select_project_chain", plan, events));
+
+    let (plan, srcs) = optimized(&[equi_seq(12), equi_seq(25)]);
+    let events = interleaved(&srcs, 200);
+    table.push(("keyed_sequences", plan, events));
+
+    let (plan, srcs) = optimized(&[keyed_iterate(18)]);
+    let events = interleaved(&srcs, 160);
+    table.push(("keyed_iterate", plan, events));
+
+    let (plan, srcs) = optimized(&[aggregate(vec![0], 9), aggregate(vec![0, 1], 14)]);
+    let events = interleaved(&srcs, 160);
+    table.push(("grouped_aggregates", plan, events));
+
+    let (plan, srcs) = optimized(&[aggregate(Vec::new(), 11)]);
+    let events = interleaved(&srcs, 120);
+    table.push(("ungrouped_aggregate_pinned", plan, events));
+
+    let (plan, srcs) = optimized(&[unkeyed_seq(10)]);
+    let events = interleaved(&srcs, 160);
+    table.push(("unkeyed_sequence_pinned", plan, events));
+
+    // The pinned-split shape: a pinned stateful subgraph plus stateless
+    // sibling queries (and a direct source tap) on the same source.
+    let (plan, srcs) = optimized(&[
+        unkeyed_seq(10),
+        LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64)),
+        LogicalPlan::source("S"),
+    ]);
+    let events = interleaved(&srcs, 160);
+    table.push(("pinned_split_mixed", plan, events));
+
+    // All verdicts in one plan.
+    let (plan, srcs) = optimized(&[
+        LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64)),
+        equi_seq(15),
+        unkeyed_seq(8),
+        aggregate(vec![0], 10),
+    ]);
+    let events = interleaved(&srcs, 240);
+    table.push(("all_verdicts_mixed", plan, events));
+
+    // Tied timestamps void the hybrid drain's exactness proof chunk-wise
+    // and exercise the per-event fallback under every parallel mode.
+    let (plan, srcs) = optimized(&[equi_seq(12), aggregate(vec![0], 7)]);
+    let events = tied(&srcs, 200);
+    table.push(("timestamp_ties", plan, events));
+
+    let (plan, _) = optimized(&[equi_seq(10), LogicalPlan::source("U")]);
+    table.push(("empty_input", plan, Vec::new()));
+
+    let (plan, srcs) = optimized(&[LogicalPlan::source("U"), equi_seq(10)]);
+    let events = vec![(srcs[2], Tuple::ints(0, &[1, 1, 1]))];
+    table.push(("single_event", plan, events));
+
+    table
+}
+
+#[test]
+fn conformance_matrix_all_workloads_all_modes() {
+    for (name, plan, events) in workload_table() {
+        assert_conformance(name, &plan, &events);
+    }
+}
+
+/// The split verdict itself is part of the contract: the mixed pinned
+/// workload must report a stateful-subgraph pin and still produce
+/// identical results at every worker count.
+#[test]
+fn pinned_split_reports_subgraph_verdict_and_conforms() {
+    let (plan, srcs) = optimized(&[
+        unkeyed_seq(10),
+        LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64)),
+    ]);
+    let events = interleaved(&srcs, 200);
+    let reference = run_mode(&plan, &events, Mode::PerEvent);
+    for n in [1usize, 2, 4, 7] {
+        let mut rt: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, n).unwrap();
+        let scheme = rt.scheme();
+        let pinned: Vec<_> = scheme
+            .components()
+            .iter()
+            .filter(|c| c.verdict == Verdict::Pinned)
+            .collect();
+        assert_eq!(pinned.len(), 1);
+        assert_eq!(pinned[0].pin_scope, Some(PinScope::StatefulSubgraph));
+        assert_eq!(*scheme.route(srcs[0]), SourceRoute::PinnedSplit);
+        assert_eq!(*scheme.route(srcs[1]), SourceRoute::Pinned);
+        rt.push_batch(&events).unwrap();
+        assert_eq!(rt.events_in(), events.len() as u64);
+        assert_eq!(
+            canonical(rt.finish().results),
+            reference,
+            "one-shot sharded n={n}"
+        );
+
+        let mut rt: StreamingShardedRuntime<CollectingSink> = StreamingShardedRuntime::with_config(
+            &plan,
+            n,
+            StreamingConfig {
+                batch_size: 13,
+                queue_depth: 2,
+            },
+        )
+        .unwrap();
+        rt.push_batch(&events).unwrap();
+        assert_eq!(
+            canonical(rt.finish().unwrap().results),
+            reference,
+            "streaming n={n}"
+        );
+    }
+}
+
+/// The mixed plan's scheme exposes the verdict spectrum at once and the
+/// routes follow it (moved from the retired per-mode sharded test file).
+#[test]
+fn mixed_plan_scheme_has_all_three_verdicts() {
+    let (plan, srcs) = optimized(&[
+        LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64)),
+        equi_seq(10),
+        aggregate(Vec::new(), 10),
+    ]);
+    let rt: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, 4).unwrap();
+    let scheme = rt.scheme();
+    assert_eq!(scheme.count(Verdict::Stateless), 1);
+    assert_eq!(scheme.count(Verdict::Keyed), 1);
+    assert_eq!(scheme.count(Verdict::Pinned), 1);
+    assert_eq!(*scheme.route(srcs[2]), SourceRoute::RoundRobin); // U
+    assert_eq!(*scheme.route(srcs[0]), SourceRoute::Key(vec![0])); // S
+    assert_eq!(*scheme.route(srcs[1]), SourceRoute::Key(vec![0])); // T
+    assert_eq!(*scheme.route(srcs[3]), SourceRoute::Pinned); // A: ungrouped agg
+    for c in scheme.components() {
+        match c.verdict {
+            Verdict::Pinned => assert_eq!(c.pin_scope, Some(PinScope::WholeComponent)),
+            _ => assert_eq!(c.pin_scope, None),
+        }
+    }
+    assert!(scheme.is_parallelizable());
+}
+
+// ----------------------------------------------------------------------
+// Generator-driven oracle: random query mixes and event streams through
+// the same matrix.
+// ----------------------------------------------------------------------
+
+fn any_query() -> impl Strategy<Value = LogicalPlan> {
+    let sel = (0usize..3, 0i64..4)
+        .prop_map(|(a, c)| LogicalPlan::source("U").select(Predicate::attr_eq_const(a, c)));
+    let proj = (0i64..4, 1i64..4).prop_map(|(c, k)| {
+        LogicalPlan::source("U")
+            .select(Predicate::attr_eq_const(0, c))
+            .project(SchemaMap::new(vec![NamedExpr::new(
+                "x",
+                Expr::col(1).mul(Expr::lit(k)),
+            )]))
+    });
+    let seq = (1u64..25).prop_map(equi_seq);
+    let mu = (1u64..20).prop_map(keyed_iterate);
+    let pinned = (1u64..15).prop_map(unkeyed_seq);
+    let agg = (
+        prop_oneof![Just(vec![0usize]), Just(vec![0usize, 1]), Just(Vec::new())],
+        1u64..20,
+    )
+        .prop_map(|(g, w)| aggregate(g, w));
+    prop_oneof![sel, proj, seq, mu, pinned, agg]
+}
+
+/// Raw events: source selector, advance-timestamp flag (false ⇒ tie), and
+/// attribute values.
+fn events_strategy() -> impl Strategy<Value = Vec<(usize, bool, Vec<i64>)>> {
+    prop::collection::vec(
+        (0usize..4, any::<bool>(), prop::collection::vec(0i64..4, 3)),
+        0..120,
+    )
+}
+
+fn to_events(raw: &[(usize, bool, Vec<i64>)], srcs: &[SourceId]) -> Vec<(SourceId, Tuple)> {
+    let mut ts = 0u64;
+    raw.iter()
+        .map(|(which, advance, vals)| {
+            if *advance {
+                ts += 1;
+            }
+            (srcs[*which % srcs.len()], Tuple::ints(ts, vals))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random workloads through the full mode matrix: every mode must be
+    /// byte-identical to the per-event reference.
+    #[test]
+    fn random_workloads_conform_across_all_modes(
+        queries in prop::collection::vec(any_query(), 1..7),
+        raw in events_strategy(),
+    ) {
+        let (plan, srcs) = optimized(&queries);
+        let events = to_events(&raw, &srcs);
+        let reference = run_mode(&plan, &events, MODES[0]);
+        for &mode in &MODES[1..] {
+            let got = run_mode(&plan, &events, mode);
+            prop_assert_eq!(&got, &reference, "mode {:?} diverged", mode);
+        }
+        assert_push_batch_order("random", &plan, &events);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Streaming lifecycle: interleaved push / push_batch / flush sequences
+// must match one-shot batching, whatever the batch boundaries.
+// ----------------------------------------------------------------------
+
+/// One step of a streaming session: feed `k` events by single `push`es,
+/// feed `k` events as one `push_batch` slice (possibly empty), or insert a
+/// `flush` barrier.
+#[derive(Debug, Clone)]
+enum Step {
+    Push(usize),
+    Batch(usize),
+    Flush,
+}
+
+fn steps_strategy() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..5).prop_map(Step::Push),
+            (0usize..9).prop_map(Step::Batch),
+            Just(Step::Flush),
+        ],
+        1..30,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Streaming lifecycle oracle: any interleaving of push / push_batch
+    /// (sizes 0 and 1 included) / flush, over inputs with timestamp ties,
+    /// equals the one-shot batch result — for stateless, keyed, and
+    /// pinned-split workloads alike.
+    #[test]
+    fn streaming_lifecycle_matches_one_shot(
+        steps in steps_strategy(),
+        raw in events_strategy(),
+        batch_size in 1usize..8,
+        n in 1usize..5,
+    ) {
+        let (plan, srcs) = optimized(&[
+            LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64)),
+            equi_seq(12),
+            unkeyed_seq(7),
+            LogicalPlan::source("S").select(Predicate::attr_eq_const(1, 2i64)),
+        ]);
+        let events = to_events(&raw, &srcs);
+
+        let mut rt: StreamingShardedRuntime<CollectingSink> =
+            StreamingShardedRuntime::with_config(
+                &plan,
+                n,
+                StreamingConfig { batch_size, queue_depth: 2 },
+            )
+            .unwrap();
+        let mut fed = 0usize;
+        for step in &steps {
+            match step {
+                Step::Push(k) => {
+                    for (src, t) in events.iter().skip(fed).take(*k) {
+                        rt.push(*src, t.clone()).unwrap();
+                    }
+                    fed = (fed + k).min(events.len());
+                }
+                Step::Batch(k) => {
+                    let hi = (fed + k).min(events.len());
+                    rt.push_batch(&events[fed..hi]).unwrap();
+                    fed = hi;
+                }
+                Step::Flush => rt.flush().unwrap(),
+            }
+        }
+        rt.push_batch(&events[fed..]).unwrap();
+        rt.flush().unwrap();
+        prop_assert_eq!(rt.events_in(), events.len() as u64);
+        let got = canonical(rt.finish().unwrap().results);
+
+        let want = run_mode(&plan, &events, Mode::PerEvent);
+        prop_assert_eq!(got, want, "lifecycle (batch_size={}, n={}) diverged", batch_size, n);
+    }
+}

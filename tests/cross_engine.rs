@@ -11,12 +11,11 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use rumor::{
-    Automaton, CayugaEngine, CollectingSink, LogicalPlan, Optimizer, OptimizerConfig, PlanGraph,
-    Predicate, QueryId, Schema, SeqSpec, Tuple,
+    Automaton, CayugaEngine, CollectingSink, Optimizer, OptimizerConfig, PlanGraph, Predicate,
+    QueryId, Schema, Tuple,
 };
-use rumor_engine::{run_pipelined_config, ExecutablePlan, PipelineConfig};
+use rumor_engine::ExecutablePlan;
 use rumor_expr::{CmpOp, Expr, NamedExpr, SchemaMap};
-use rumor_types::SourceId;
 
 #[derive(Debug, Clone)]
 enum Spec {
@@ -142,158 +141,8 @@ proptest! {
     }
 }
 
-// ----------------------------------------------------------------------
-// Batched execution equivalence: push_batch and the batch-granular
-// pipelined runner must reproduce the per-event engine exactly.
-// ----------------------------------------------------------------------
-
-/// A stateless (select/project) query template: the shapes whose optimized
-/// plans qualify for the channel-batched fast path.
-fn stateless_query() -> impl Strategy<Value = LogicalPlan> {
-    let sel = (0usize..3, 0i64..4)
-        .prop_map(|(a, c)| LogicalPlan::source("S").select(Predicate::attr_eq_const(a, c)));
-    let chain = (0i64..4, 0i64..4).prop_map(|(c, d)| {
-        LogicalPlan::source("S")
-            .select(Predicate::attr_eq_const(0, c))
-            .select(Predicate::attr_eq_const(1, d))
-    });
-    let proj = (0i64..4, 1i64..4).prop_map(|(c, k)| {
-        LogicalPlan::source("S")
-            .select(Predicate::attr_eq_const(0, c))
-            .project(SchemaMap::new(vec![NamedExpr::new(
-                "x",
-                Expr::col(1).mul(Expr::lit(k)),
-            )]))
-    });
-    prop_oneof![sel, chain, proj]
-}
-
-/// A template pool that also contains stateful sequences, forcing the
-/// batched entry point onto its strict per-event fallback.
-fn mixed_query() -> impl Strategy<Value = LogicalPlan> {
-    let stateless = stateless_query();
-    let seq = (0i64..4, 1u64..20).prop_map(|(c, w)| {
-        LogicalPlan::source("S")
-            .select(Predicate::attr_eq_const(0, c))
-            .followed_by(
-                LogicalPlan::source("T"),
-                SeqSpec {
-                    predicate: Predicate::cmp(CmpOp::Eq, Expr::col(1), Expr::rcol(1)),
-                    window: w,
-                },
-            )
-    });
-    prop_oneof![stateless, seq]
-}
-
-fn batch_events_strategy() -> impl Strategy<Value = Vec<(bool, Tuple)>> {
-    prop::collection::vec((any::<bool>(), prop::collection::vec(0i64..4, 3)), 1..150).prop_map(
-        |items| {
-            items
-                .into_iter()
-                .enumerate()
-                .map(|(ts, (is_s, vals))| (is_s, Tuple::ints(ts as u64, &vals)))
-                .collect()
-        },
-    )
-}
-
-/// Builds an optimized plan over the given query templates, with both an S
-/// and a T source registered.
-fn optimized_plan(queries: &[LogicalPlan]) -> (PlanGraph, Vec<QueryId>, SourceId, SourceId) {
-    let mut plan = PlanGraph::new();
-    let s = plan.add_source("S", Schema::ints(3), None).unwrap();
-    let t = plan.add_source("T", Schema::ints(3), None).unwrap();
-    let qs: Vec<QueryId> = queries.iter().map(|q| plan.add_query(q).unwrap()).collect();
-    Optimizer::new(OptimizerConfig::default())
-        .optimize(&mut plan)
-        .unwrap();
-    plan.validate().unwrap();
-    (plan, qs, s, t)
-}
-
-/// Per-query result strings of the per-event reference engine.
-fn per_event_results(
-    plan: &PlanGraph,
-    events: &[(SourceId, Tuple)],
-    qs: &[QueryId],
-) -> Vec<Vec<String>> {
-    let mut exec = ExecutablePlan::new(plan).unwrap();
-    let mut sink = CollectingSink::default();
-    for (src, tuple) in events {
-        exec.push(*src, tuple.clone(), &mut sink).unwrap();
-    }
-    qs.iter()
-        .map(|&q| sink.of(q).iter().map(|t| t.to_string()).collect())
-        .collect()
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// `push_batch` over optimized workloads — both the channel-batched
-    /// fast path (stateless plans) and the per-event fallback (plans with
-    /// sequences) — must match the per-event engine query for query, in
-    /// per-query result order.
-    #[test]
-    fn push_batch_matches_per_event_engine(
-        queries in prop::collection::vec(mixed_query(), 1..8),
-        events in batch_events_strategy(),
-    ) {
-        let (plan, qs, s, t) = optimized_plan(&queries);
-        let events: Vec<(SourceId, Tuple)> = events
-            .iter()
-            .map(|(is_s, tuple)| (if *is_s { s } else { t }, tuple.clone()))
-            .collect();
-        let want = per_event_results(&plan, &events, &qs);
-
-        let mut exec = ExecutablePlan::new(&plan).unwrap();
-        let mut sink = CollectingSink::default();
-        exec.push_batch(&events, &mut sink).unwrap();
-        let got: Vec<Vec<String>> = qs
-            .iter()
-            .map(|&q| sink.of(q).iter().map(|t| t.to_string()).collect())
-            .collect();
-        prop_assert_eq!(got, want, "push_batch diverged (batch_safe={})", exec.is_batch_safe());
-    }
-
-    /// The batched pipelined runner over optimized workloads — stateless
-    /// plans take the run-batched levelwise path, plans with sequences the
-    /// ordered hop-by-hop relay — must produce the same per-query result
-    /// multisets as the per-event engine, across stage counts and batch
-    /// sizes.
-    #[test]
-    fn batched_pipeline_matches_per_event_engine(
-        queries in prop::collection::vec(mixed_query(), 1..8),
-        events in batch_events_strategy(),
-        stages in 2usize..5,
-        batch_size in 1usize..64,
-    ) {
-        let (plan, qs, s, t) = optimized_plan(&queries);
-        let events: Vec<(SourceId, Tuple)> = events
-            .iter()
-            .map(|(is_s, tuple)| (if *is_s { s } else { t }, tuple.clone()))
-            .collect();
-        let mut want = per_event_results(&plan, &events, &qs);
-        for v in &mut want {
-            v.sort();
-        }
-
-        let results = run_pipelined_config(
-            &plan,
-            &events,
-            &PipelineConfig { stages, batch_size },
-        )
-        .unwrap();
-        let mut got: Vec<Vec<String>> = vec![Vec::new(); qs.len()];
-        for (q, tuple) in &results {
-            if let Some(i) = qs.iter().position(|x| x == q) {
-                got[i].push(tuple.to_string());
-            }
-        }
-        for v in &mut got {
-            v.sort();
-        }
-        prop_assert_eq!(got, want, "pipelined(stages={}, batch={}) diverged", stages, batch_size);
-    }
-}
+// The former batched-execution and pipelined-runner equivalence proptests
+// that lived here were superseded by the table-driven differential
+// conformance harness in `tests/conformance.rs`, which runs every engine
+// mode (per-event, hybrid batch, pipelined, sharded, streaming sharded)
+// over one shared workload matrix.
