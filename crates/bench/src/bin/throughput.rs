@@ -1,11 +1,13 @@
-//! Regenerates `BENCH_throughput.json`: per-event vs batched vs pipelined
-//! engine throughput.
+//! Regenerates `BENCH_throughput.json`: per-event vs batched vs sharded
+//! engine throughput, plus the dynamic-query-lifecycle churn rows
+//! (integrate/remove latency against a live pool and steady-state
+//! throughput under churn).
 //!
 //! ```text
 //! cargo run --release -p rumor-bench --bin throughput [quick|full] [out.json]
 //! ```
 
-use rumor_bench::throughput::{render_json, run_all};
+use rumor_bench::throughput::{render_json, run_all, run_churn};
 use rumor_bench::Scale;
 
 fn main() {
@@ -35,7 +37,15 @@ fn main() {
             );
         }
     }
-    let json = render_json(&reports, scale);
+    let churn = run_churn(scale);
+    println!("churn (streaming pool n=2, add/remove every 4th chunk)");
+    for c in &churn {
+        println!(
+            "  {:>5} resident: integrate {:>7.3} ms, remove {:>7.3} ms, {:>12.0} ev/s under churn",
+            c.resident_queries, c.integrate_ms, c.remove_ms, c.churn_events_per_sec
+        );
+    }
+    let json = render_json(&reports, &churn, scale);
     std::fs::write(&out_path, json).expect("write report");
     println!("wrote {out_path}");
 }

@@ -38,9 +38,12 @@ pub use cost::{estimate as estimate_cost, MopCost, PlanCost};
 pub use logical::{AggFunc, AggSpec, IterSpec, JoinSpec, LogicalPlan, OpDef, SeqSpec};
 pub use mop::{CountingEmit, Emit, MemberCtx, MopContext, MultiOp, VecEmit};
 pub use partition::{
-    analyze as analyze_partitioning, ComponentReport, PartitionKeys, PartitionScheme, PinScope,
-    SourceRoute, Verdict,
+    analyze as analyze_partitioning, reanalyze as reanalyze_partitioning, ComponentReport,
+    PartitionKeys, PartitionScheme, PinScope, SourceRoute, Verdict,
 };
-pub use plan::{ChannelDef, Member, MopKind, MopNode, PlanGraph, Producer, SourceDef, StreamDef};
-pub use rules::{MRule, Optimizer, OptimizerConfig, RewriteTrace, TraceEntry};
+pub use plan::{
+    ChannelDef, Member, MopKind, MopNode, PlanDelta, PlanGraph, PlanSnapshot, Producer, SourceDef,
+    StreamDef,
+};
+pub use rules::{Integration, MRule, Optimizer, OptimizerConfig, RewriteTrace, TraceEntry};
 pub use sharable::{Sharability, SigId};

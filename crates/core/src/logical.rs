@@ -198,6 +198,16 @@ impl OpDef {
         matches!(self, OpDef::Select(_))
     }
 
+    /// Whether the operator keeps no state across input tuples. The plan
+    /// lifecycle uses this statically (before any physical instantiation):
+    /// stateless m-ops may be restructured freely by incremental
+    /// optimization and pruning, while stateful ones (windowed joins,
+    /// sequences, iterations, aggregates) carry live runtime state that a
+    /// hot swap must not disturb.
+    pub fn is_stateless(&self) -> bool {
+        matches!(self, OpDef::Select(_) | OpDef::Project(_))
+    }
+
     /// Output schema of the operator given its input schemas.
     pub fn output_schema(&self, inputs: &[&Schema]) -> Result<Schema> {
         if inputs.len() != self.arity() {

@@ -119,7 +119,12 @@ pub trait MultiOp: Send {
 
 /// Everything a physical implementation needs to know about one member
 /// operator, resolved against the plan.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is part of the hot-swap contract: two equal contexts compile
+/// to interchangeable operator instances, so [`crate::plan::PlanDelta`]
+/// classifies an m-op as *unchanged* (state may carry across a plan swap)
+/// exactly when its rebuilt context compares equal.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemberCtx {
     /// The member's operator definition.
     pub def: OpDef,
@@ -154,7 +159,7 @@ impl MemberCtx {
 
 /// The resolved execution context of an m-op: definition plus all channel
 /// positions, ready for a physical implementation to consume.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MopContext {
     /// Plan node id.
     pub id: MopId,

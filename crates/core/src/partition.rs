@@ -31,7 +31,7 @@ use rumor_expr::{Expr, Side};
 use rumor_types::{MopId, Result, RumorError, SourceId, StreamId, Value};
 
 use crate::logical::OpDef;
-use crate::plan::{PlanGraph, Producer};
+use crate::plan::{PlanDelta, PlanGraph, Producer};
 
 /// How a physical m-op's state is partitioned over its input attributes —
 /// the key introspection report backing the partitioning analysis.
@@ -106,7 +106,7 @@ pub enum PinScope {
 }
 
 /// One connected component of the plan's source/m-op graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ComponentReport {
     /// Sources in the component, ascending.
     pub sources: Vec<SourceId>,
@@ -119,7 +119,7 @@ pub struct ComponentReport {
 
 /// The partitioning scheme of a plan: a verdict per component and a
 /// routing rule per source.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionScheme {
     routes: Vec<SourceRoute>,
     components: Vec<ComponentReport>,
@@ -294,6 +294,35 @@ impl Uf {
 /// key spanning several sources, and any disagreement between stateful
 /// consumers of the same source pins the whole component.
 pub fn analyze(plan: &PlanGraph, reports: &[(MopId, PartitionKeys)]) -> Result<PartitionScheme> {
+    analyze_inner(plan, reports, None)
+}
+
+/// Incremental re-analysis after a plan mutation: recomputes verdicts and
+/// routes only for components the [`PlanDelta`] touched, copying every
+/// other component's report and routes verbatim from `prev`.
+///
+/// A component is *dirty* (recomputed) when its source set is not present
+/// in `prev` (the mutation split, grew, or connected components), when it
+/// contains an ancestor source of an added or rewired m-op, or — for
+/// removals, whose former ancestry the new plan no longer records — when
+/// its previous verdict was anything but stateless (removing operators can
+/// only relax constraints, and stateless cannot relax further). Under
+/// those rules the result is identical to a full [`analyze`]; the clean
+/// components just skip the constraint-resolution passes.
+pub fn reanalyze(
+    plan: &PlanGraph,
+    reports: &[(MopId, PartitionKeys)],
+    prev: &PartitionScheme,
+    delta: &PlanDelta,
+) -> Result<PartitionScheme> {
+    analyze_inner(plan, reports, Some((prev, delta)))
+}
+
+fn analyze_inner(
+    plan: &PlanGraph,
+    reports: &[(MopId, PartitionKeys)],
+    scope: Option<(&PartitionScheme, &PlanDelta)>,
+) -> Result<PartitionScheme> {
     let n_sources = plan.sources().len();
     let n_streams = plan.stream_count();
     let order = plan.topo_order()?;
@@ -361,6 +390,86 @@ pub fn analyze(plan: &PlanGraph, reports: &[(MopId, PartitionKeys)]) -> Result<P
         }
     }
 
+    // --- incremental scoping (see [`reanalyze`]) -------------------------
+    // `clean` maps a component root to the previous report to reuse; only
+    // dirty components run the constraint passes below.
+    let clean: HashMap<usize, (ComponentReport, Vec<(SourceId, SourceRoute)>)> = match scope {
+        None => HashMap::new(),
+        Some((prev, delta)) => {
+            let mut root_of = vec![0usize; n_sources];
+            for (s, r) in root_of.iter_mut().enumerate() {
+                *r = uf.find(s);
+            }
+            let mut sets: HashMap<usize, Vec<SourceId>> = HashMap::new();
+            for (s, &root) in root_of.iter().enumerate() {
+                sets.entry(root).or_default().push(SourceId::from_index(s));
+            }
+            let prev_by_set: HashMap<&[SourceId], &ComponentReport> = prev
+                .components()
+                .iter()
+                .map(|c| (c.sources.as_slice(), c))
+                .collect();
+            let mut touched_roots: BTreeSet<usize> = BTreeSet::new();
+            for &id in delta.added.iter().chain(delta.rewired.iter()) {
+                if let Some(node) = plan.mop_opt(id) {
+                    for m in &node.members {
+                        for &s in &m.inputs {
+                            for &a in &ancestors[s.index()] {
+                                touched_roots.insert(root_of[a.index()]);
+                            }
+                        }
+                    }
+                }
+            }
+            // Direct-tap changes add or remove a stateless leg without
+            // touching any m-op (`PinScope`/`PinnedSplit` shifts).
+            for &src in &delta.retapped {
+                if src.index() < n_sources {
+                    touched_roots.insert(root_of[src.index()]);
+                }
+            }
+            let mut clean = HashMap::new();
+            for (root, sources) in sets {
+                if touched_roots.contains(&root) {
+                    continue;
+                }
+                let Some(prev_component) = prev_by_set.get(sources.as_slice()) else {
+                    continue; // component shape changed: recompute
+                };
+                // A removal's former ancestry is unrecoverable here;
+                // removals only relax constraints, so all-stateless
+                // components (nothing left to relax) are provably
+                // unchanged and everything else is recomputed.
+                if !delta.removed.is_empty() && prev_component.verdict != Verdict::Stateless {
+                    continue;
+                }
+                let routes: Vec<(SourceId, SourceRoute)> = sources
+                    .iter()
+                    .map(|&s| (s, prev.route(s).clone()))
+                    .collect();
+                clean.insert(root, ((*prev_component).clone(), routes));
+            }
+            clean
+        }
+    };
+    let node_scoped = |uf: &mut Uf, node: &crate::plan::MopNode| -> bool {
+        if clean.is_empty() {
+            return true;
+        }
+        let mut any = false;
+        for m in &node.members {
+            for &s in &m.inputs {
+                for &a in &ancestors[s.index()] {
+                    any = true;
+                    if !clean.contains_key(&uf.find(a.index())) {
+                        return true;
+                    }
+                }
+            }
+        }
+        !any // an ancestorless node cannot be proven clean
+    };
+
     // --- constraint resolution -------------------------------------------
     let mut pinned = vec![false; n_sources];
     let mut exact: Vec<Option<Vec<usize>>> = vec![None; n_sources];
@@ -409,6 +518,9 @@ pub fn analyze(plan: &PlanGraph, reports: &[(MopId, PartitionKeys)]) -> Result<P
         let Some(node) = plan.mop_opt(*id) else {
             return Err(RumorError::plan(format!("report for retired m-op {id}")));
         };
+        if !node_scoped(&mut uf, node) {
+            continue;
+        }
         match report {
             PartitionKeys::Stateless | PartitionKeys::Grouped { .. } => {}
             PartitionKeys::Opaque => {
@@ -451,6 +563,9 @@ pub fn analyze(plan: &PlanGraph, reports: &[(MopId, PartitionKeys)]) -> Result<P
             continue;
         };
         let node = plan.mop(*id);
+        if !node_scoped(&mut uf, node) {
+            continue;
+        }
         let ch = plan.channel(node.inputs[0]).clone();
         let (lin, port_anc) = channel_info(ch);
         let mut allowed: HashMap<SourceId, BTreeSet<usize>> = HashMap::new();
@@ -556,6 +671,13 @@ pub fn analyze(plan: &PlanGraph, reports: &[(MopId, PartitionKeys)]) -> Result<P
     let mut components = Vec::with_capacity(roots.len());
     for r in roots {
         let sources = by_root.remove(&r).expect("root listed");
+        if let Some((report, prev_routes)) = clean.get(&r) {
+            for (s, route) in prev_routes {
+                routes[s.index()] = route.clone();
+            }
+            components.push(report.clone());
+            continue;
+        }
         let verdict = if pinned[r] {
             Verdict::Pinned
         } else if sources
@@ -890,6 +1012,131 @@ mod tests {
             .collect();
         let scheme = analyze(&p, &reports).unwrap();
         assert_eq!(scheme.components()[0].verdict, Verdict::Pinned);
+    }
+
+    #[test]
+    fn reanalyze_matches_full_analysis_across_churn() {
+        // Keyed S/T component + stateless U component; churn on U and on a
+        // new keyed pair, with removals — reanalyze must equal analyze at
+        // every step while only recomputing dirty components.
+        let mut p = PlanGraph::new();
+        p.add_source("S", Schema::ints(3), None).unwrap();
+        p.add_source("T", Schema::ints(3), None).unwrap();
+        p.add_source("U", Schema::ints(3), None).unwrap();
+        let reports = |p: &PlanGraph| -> Vec<(MopId, PartitionKeys)> {
+            p.mops()
+                .map(|n| {
+                    let key = match &n.members[0].def {
+                        OpDef::Sequence(spec) => {
+                            let (keys, _) = spec.predicate.split_equi_join();
+                            if keys.is_empty() {
+                                PartitionKeys::Opaque
+                            } else {
+                                let (l, r): (Vec<_>, Vec<_>) = keys.into_iter().unzip();
+                                PartitionKeys::Equi {
+                                    per_port: vec![l, r],
+                                }
+                            }
+                        }
+                        OpDef::Aggregate(spec) => PartitionKeys::Grouped {
+                            group_by: spec.group_by.clone(),
+                        },
+                        _ => PartitionKeys::Stateless,
+                    };
+                    (n.id, key)
+                })
+                .collect()
+        };
+        let seq = LogicalPlan::source("S").followed_by(
+            LogicalPlan::source("T"),
+            SeqSpec {
+                predicate: Predicate::cmp(
+                    CmpOp::Eq,
+                    rumor_expr::Expr::col(0),
+                    rumor_expr::Expr::rcol(0),
+                ),
+                window: 10,
+            },
+        );
+        p.add_query(&seq).unwrap();
+        let mut scheme = analyze(&p, &reports(&p)).unwrap();
+
+        // Add a stateless query on U: only U's component is dirty.
+        let snap = p.snapshot();
+        let qu = p
+            .add_query(&LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64)))
+            .unwrap();
+        let delta = snap.delta(&p);
+        let incremental = reanalyze(&p, &reports(&p), &scheme, &delta).unwrap();
+        assert_eq!(incremental, analyze(&p, &reports(&p)).unwrap());
+        scheme = incremental;
+
+        // Add an aggregate on U (stateless → keyed flip of that component).
+        let snap = p.snapshot();
+        p.add_query(&LogicalPlan::source("U").aggregate(AggSpec {
+            func: AggFunc::Sum,
+            input: rumor_expr::Expr::col(2),
+            group_by: vec![0],
+            window: 5,
+        }))
+        .unwrap();
+        let delta = snap.delta(&p);
+        let incremental = reanalyze(&p, &reports(&p), &scheme, &delta).unwrap();
+        assert_eq!(incremental, analyze(&p, &reports(&p)).unwrap());
+        scheme = incremental;
+
+        // Remove the stateless U query: removal-relaxation path.
+        let delta = p.remove_query(qu).unwrap();
+        let incremental = reanalyze(&p, &reports(&p), &scheme, &delta).unwrap();
+        assert_eq!(incremental, analyze(&p, &reports(&p)).unwrap());
+    }
+
+    #[test]
+    fn reanalyze_tracks_tap_only_deltas() {
+        // An opaque sequence pins S/T. A bare source tap adds/removes NO
+        // m-ops — the delta's op lists are empty — yet it flips S's route
+        // Pinned ↔ PinnedSplit. reanalyze must treat the tap change as
+        // dirtying the component, matching full analyze both ways.
+        let mut p = PlanGraph::new();
+        let s = p.add_source("S", Schema::ints(2), None).unwrap();
+        p.add_source("T", Schema::ints(2), None).unwrap();
+        p.add_query(&LogicalPlan::source("S").followed_by(
+            LogicalPlan::source("T"),
+            SeqSpec {
+                predicate: Predicate::True,
+                window: 5,
+            },
+        ))
+        .unwrap();
+        let reports = |p: &PlanGraph| -> Vec<(MopId, PartitionKeys)> {
+            p.mops()
+                .map(|n| {
+                    let key = match &n.members[0].def {
+                        OpDef::Sequence(_) => PartitionKeys::Opaque,
+                        _ => PartitionKeys::Stateless,
+                    };
+                    (n.id, key)
+                })
+                .collect()
+        };
+        let scheme = analyze(&p, &reports(&p)).unwrap();
+        assert_eq!(*scheme.route(s), SourceRoute::Pinned);
+
+        let snap = p.snapshot();
+        let q_tap = p.add_query(&LogicalPlan::source("S")).unwrap();
+        let delta = snap.delta(&p);
+        assert!(delta.added.is_empty() && delta.removed.is_empty() && delta.rewired.is_empty());
+        assert_eq!(delta.retapped, vec![s]);
+        assert!(!delta.is_empty());
+        let incremental = reanalyze(&p, &reports(&p), &scheme, &delta).unwrap();
+        assert_eq!(incremental, analyze(&p, &reports(&p)).unwrap());
+        assert_eq!(*incremental.route(s), SourceRoute::PinnedSplit);
+
+        let delta = p.remove_query(q_tap).unwrap();
+        assert_eq!(delta.retapped, vec![s]);
+        let back = reanalyze(&p, &reports(&p), &incremental, &delta).unwrap();
+        assert_eq!(back, analyze(&p, &reports(&p)).unwrap());
+        assert_eq!(*back.route(s), SourceRoute::Pinned);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use rumor_types::{ChannelId, MopId, QueryId, Result, RumorError, Schema, SourceId, StreamId};
 
 use crate::logical::{LogicalPlan, OpDef};
+use crate::mop::MopContext;
 
 /// How an m-op is implemented — chosen by the rewrite rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -149,6 +150,113 @@ impl MopNode {
     /// Output streams of all members, in member order.
     pub fn output_streams(&self) -> impl Iterator<Item = StreamId> + '_ {
         self.members.iter().map(|m| m.output)
+    }
+}
+
+/// The structural difference between two states of a plan, at m-op
+/// granularity — what an incremental optimization
+/// ([`crate::rules::Optimizer::integrate`]) or a query retirement
+/// ([`PlanGraph::remove_query`]) actually changed.
+///
+/// Engines consume this (via
+/// `rumor_engine::ExecutablePlan::apply_delta`) to hot-swap a compiled
+/// plan: `removed` ops are dropped, `added` ops compile cold, `rewired`
+/// ops — live on both sides but with a different resolved
+/// [`MopContext`] — are recompiled cold, and every m-op in none of the
+/// three lists keeps its existing instance *and its accumulated state*.
+#[derive(Debug, Clone, Default)]
+pub struct PlanDelta {
+    /// m-ops live after the change but not before, ascending.
+    pub added: Vec<MopId>,
+    /// m-ops live before the change but retired by it, ascending.
+    pub removed: Vec<MopId>,
+    /// m-ops live on both sides whose resolved execution context changed
+    /// (members, kinds, channel encodings, or positions), ascending.
+    pub rewired: Vec<MopId>,
+    /// Sources whose *direct query taps* changed, ascending. A bare
+    /// source tap (`LogicalPlan::Source` as a whole query) adds or
+    /// removes no m-ops, so the three lists above can all be empty while
+    /// the routing analysis still shifts (a pinned component flips
+    /// between `Pinned` and `PinnedSplit` with the tap): the incremental
+    /// re-analysis ([`crate::partition::reanalyze`]) dirties these
+    /// sources' components too.
+    pub retapped: Vec<SourceId>,
+}
+
+impl PlanDelta {
+    /// Whether the change left every live m-op's compiled form — and
+    /// every source's direct-tap set — intact.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty()
+            && self.removed.is_empty()
+            && self.rewired.is_empty()
+            && self.retapped.is_empty()
+    }
+
+    /// Total number of touched m-ops plus retapped sources (so
+    /// `len() == 0` exactly when [`PlanDelta::is_empty`]).
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len() + self.rewired.len() + self.retapped.len()
+    }
+
+    /// Whether the delta touches the given m-op.
+    pub fn touches(&self, id: MopId) -> bool {
+        self.added.contains(&id) || self.removed.contains(&id) || self.rewired.contains(&id)
+    }
+}
+
+/// A snapshot of every live m-op's resolved execution context (plus the
+/// query-tap set), taken before a plan mutation so the mutation can
+/// report a [`PlanDelta`].
+#[derive(Debug, Clone)]
+pub struct PlanSnapshot {
+    ctxs: HashMap<MopId, MopContext>,
+    taps: Vec<(QueryId, StreamId)>,
+}
+
+impl PlanSnapshot {
+    /// Whether the snapshot contains the m-op.
+    pub fn contains(&self, id: MopId) -> bool {
+        self.ctxs.contains_key(&id)
+    }
+
+    /// The delta from this snapshot to the plan's current state.
+    pub fn delta(&self, plan: &PlanGraph) -> PlanDelta {
+        let mut delta = PlanDelta::default();
+        for node in plan.mops() {
+            match self.ctxs.get(&node.id) {
+                None => delta.added.push(node.id),
+                Some(old) => {
+                    let now = MopContext::build(plan, node.id).expect("live m-op");
+                    if *old != now {
+                        delta.rewired.push(node.id);
+                    }
+                }
+            }
+        }
+        for &id in self.ctxs.keys() {
+            if plan.mop_opt(id).is_none() {
+                delta.removed.push(id);
+            }
+        }
+        // Direct source taps that appeared or disappeared (stream defs
+        // are never deleted, so producers of old taps still resolve).
+        for &(_, s) in self
+            .taps
+            .iter()
+            .filter(|t| !plan.query_outputs.contains(t))
+            .chain(plan.query_outputs.iter().filter(|t| !self.taps.contains(t)))
+        {
+            if let Producer::Source(src) = plan.stream(s).producer {
+                delta.retapped.push(src);
+            }
+        }
+        delta.added.sort_unstable();
+        delta.removed.sort_unstable();
+        delta.rewired.sort_unstable();
+        delta.retapped.sort_unstable();
+        delta.retapped.dedup();
+        delta
     }
 }
 
@@ -425,12 +533,36 @@ impl PlanGraph {
     /// Registers a logical query, building its naive (unshared) operator
     /// chain, and returns the query id. Optimization happens separately via
     /// the rule engine.
+    ///
+    /// Atomic: a failing registration (unknown source, schema error deep
+    /// in the tree) rolls the plan back to its prior state — essential on
+    /// a *live* plan, where orphaned operators would otherwise be
+    /// installed by the next hot swap and consume events forever.
     pub fn add_query(&mut self, plan: &LogicalPlan) -> Result<QueryId> {
-        let out = self.build_logical(plan)?;
-        let qid = QueryId(self.next_query);
-        self.next_query += 1;
-        self.query_outputs.push((qid, out));
-        Ok(qid)
+        let (n_streams, n_channels, n_mops) =
+            (self.streams.len(), self.channels.len(), self.mops.len());
+        match self.build_logical(plan) {
+            Ok(out) => {
+                let qid = QueryId(self.next_query);
+                self.next_query += 1;
+                self.query_outputs.push((qid, out));
+                Ok(qid)
+            }
+            Err(e) => {
+                // `build_logical` only ever appends (streams, channels,
+                // m-ops, and consumer entries referencing the new m-ops),
+                // so truncating to the entry marks undoes it exactly.
+                self.streams.truncate(n_streams);
+                self.consumers.truncate(n_streams);
+                self.stream_channel.truncate(n_streams);
+                self.channels.truncate(n_channels);
+                self.mops.truncate(n_mops);
+                for list in &mut self.consumers {
+                    list.retain(|c| c.index() < n_mops);
+                }
+                Err(e)
+            }
+        }
     }
 
     fn build_logical(&mut self, plan: &LogicalPlan) -> Result<StreamId> {
@@ -487,6 +619,171 @@ impl PlanGraph {
             .iter()
             .find(|(qid, _)| *qid == q)
             .map(|(_, s)| *s)
+    }
+
+    /// Snapshots every live m-op's resolved execution context (see
+    /// [`PlanSnapshot::delta`]). Take one before a plan mutation to report
+    /// what the mutation changed.
+    pub fn snapshot(&self) -> PlanSnapshot {
+        PlanSnapshot {
+            ctxs: self
+                .mops()
+                .map(|n| {
+                    (
+                        n.id,
+                        MopContext::build(self, n.id).expect("live m-op resolves"),
+                    )
+                })
+                .collect(),
+            taps: self.query_outputs.clone(),
+        }
+    }
+
+    /// Retires a query: drops its output tap, prunes operators and
+    /// channels no other query references, and un-splits stateless shared
+    /// m-ops left serving a single member (their kind reverts to
+    /// [`MopKind::Naive`] — no sharing apparatus for one query). Returns
+    /// the [`PlanDelta`] engines need to hot-swap a compiled plan.
+    ///
+    /// Stateful m-ops (joins, sequences, iterations, aggregates) are only
+    /// retired when *every* member is dead. A stateful m-op that still
+    /// serves other queries keeps its dead members instead of being
+    /// restructured: pruning them would change its compiled context, and a
+    /// hot swap would then have to restart the survivors' operator state
+    /// from cold. The retained members cost their per-tuple evaluation
+    /// until the whole m-op dies; full re-optimization (a fresh engine)
+    /// reclaims them.
+    pub fn remove_query(&mut self, q: QueryId) -> Result<PlanDelta> {
+        let before = self.snapshot();
+        let pos = self
+            .query_outputs
+            .iter()
+            .position(|(qid, _)| *qid == q)
+            .ok_or_else(|| RumorError::unknown(format!("query {q}")))?;
+        self.query_outputs.remove(pos);
+        self.prune()?;
+        if cfg!(debug_assertions) {
+            self.validate()?;
+        }
+        Ok(before.delta(self))
+    }
+
+    /// Removes operators no live query (transitively) observes. See
+    /// [`PlanGraph::remove_query`] for the stateless/stateful asymmetry.
+    fn prune(&mut self) -> Result<()> {
+        let order = self.topo_order()?;
+
+        // Which channels feed an m-op holding stateful members: removing a
+        // stream from such a channel would shift its channel-mates'
+        // positions and therefore the stateful consumer's compiled
+        // context, cold-starting state a hot swap must preserve.
+        let mut stateful_reader = vec![false; self.channels.len()];
+        for node in self.mops() {
+            if node.members.iter().all(|m| m.def.is_stateless()) {
+                continue;
+            }
+            for &ch in &node.inputs {
+                stateful_reader[ch.index()] = true;
+            }
+        }
+        // An m-op sheds dead members individually only when every member
+        // is stateless *and* no member output sits in a multi-stream
+        // channel read by a stateful consumer; otherwise a partially dead
+        // op is kept whole (retired only once every member is dead).
+        let splittable: HashMap<MopId, bool> = self
+            .mops()
+            .map(|node| {
+                let ok = node.members.iter().all(|m| m.def.is_stateless())
+                    && node.members.iter().all(|m| {
+                        let ch = self.channel_of(m.output);
+                        self.channel(ch).capacity() == 1 || !stateful_reader[ch.index()]
+                    });
+                (node.id, ok)
+            })
+            .collect();
+
+        // A stream is *needed* when a query taps it or a surviving member
+        // reads it. Reverse-topological pass: every consumer settles
+        // before its producer. A kept-whole m-op keeps all members, so all
+        // its member inputs stay needed; a splittable m-op keeps only
+        // needed members, so only their inputs propagate.
+        let mut needed = vec![false; self.streams.len()];
+        for &(_, s) in &self.query_outputs {
+            needed[s.index()] = true;
+        }
+        for &id in order.iter().rev() {
+            let node = self.mop(id);
+            if !node.members.iter().any(|m| needed[m.output.index()]) {
+                continue; // fully dead: consumes nothing
+            }
+            for m in &node.members {
+                if !splittable[&id] || needed[m.output.index()] {
+                    for &s in &m.inputs {
+                        needed[s.index()] = true;
+                    }
+                }
+            }
+        }
+
+        for &id in &order {
+            let node = self.mops[id.index()].as_ref().expect("live in topo order");
+            let alive = node.members.iter().any(|m| needed[m.output.index()]);
+            if !alive {
+                let node = self.mops[id.index()].take().expect("checked live");
+                for m in &node.members {
+                    for &s in &m.inputs {
+                        self.consumers[s.index()].retain(|&c| c != id);
+                    }
+                    self.drop_stream_encoding(m.output);
+                }
+                continue;
+            }
+            if !splittable[&id] || node.members.iter().all(|m| needed[m.output.index()]) {
+                continue; // kept whole, or fully live
+            }
+            // Stateless m-op with dead members: prune them.
+            let mut node = self.mops[id.index()].take().expect("checked live");
+            let (kept, dead): (Vec<Member>, Vec<Member>) = node
+                .members
+                .drain(..)
+                .partition(|m| needed[m.output.index()]);
+            for m in &dead {
+                for &s in &m.inputs {
+                    if !kept.iter().any(|k| k.inputs.contains(&s)) {
+                        self.consumers[s.index()].retain(|&c| c != id);
+                    }
+                }
+                self.drop_stream_encoding(m.output);
+                // The dead output stream dangles; point its producer at a
+                // surviving member so it reads as an orphaned (aliased-away)
+                // stream rather than an out-of-range member reference.
+                self.streams[m.output.index()].producer = Producer::Mop { mop: id, member: 0 };
+            }
+            for (idx, m) in kept.iter().enumerate() {
+                self.streams[m.output.index()].producer = Producer::Mop {
+                    mop: id,
+                    member: idx,
+                };
+            }
+            node.members = kept;
+            if node.members.len() == 1 {
+                node.kind = MopKind::Naive;
+            }
+            self.mops[id.index()] = Some(node);
+        }
+        Ok(())
+    }
+
+    /// Removes a stream from its channel, dropping the channel when it
+    /// becomes empty.
+    fn drop_stream_encoding(&mut self, s: StreamId) {
+        let cid = self.stream_channel[s.index()];
+        if let Some(ch) = self.channels[cid.index()].as_mut() {
+            ch.streams.retain(|&x| x != s);
+            if ch.streams.is_empty() {
+                self.channels[cid.index()] = None;
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -992,6 +1289,38 @@ mod tests {
     }
 
     #[test]
+    fn failed_add_query_rolls_back_completely() {
+        use crate::logical::SeqSpec;
+        let (mut p, _) = plan_with_source();
+        p.add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64)))
+            .unwrap();
+        let mops = p.mop_count();
+        let streams = p.stream_count();
+        let channels = p.channel_slots();
+        // The left leg (a stateful sequence input) builds before the
+        // unknown right-hand source errors: everything must roll back —
+        // on a live plan the orphans would be hot-swapped into workers.
+        let bad = LogicalPlan::source("S")
+            .select(Predicate::attr_eq_const(1, 2i64))
+            .followed_by(
+                LogicalPlan::source("TYPO"),
+                SeqSpec {
+                    predicate: Predicate::True,
+                    window: 5,
+                },
+            );
+        assert!(p.add_query(&bad).is_err());
+        assert_eq!(p.mop_count(), mops);
+        assert_eq!(p.stream_count(), streams);
+        assert_eq!(p.channel_slots(), channels);
+        p.validate().unwrap();
+        // And the plan still works afterwards.
+        p.add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(2, 3i64)))
+            .unwrap();
+        p.validate().unwrap();
+    }
+
+    #[test]
     fn merge_mops_same_stream() {
         let (mut p, s) = plan_with_source();
         let (a, out_a) = p
@@ -1153,6 +1482,134 @@ mod tests {
         let pos = |id: MopId| order.iter().position(|&x| x == id).unwrap();
         assert!(pos(a) < pos(b));
         assert!(pos(b) < pos(c));
+    }
+
+    #[test]
+    fn remove_query_prunes_dead_chain() {
+        let (mut p, _) = plan_with_source();
+        let q1 = p
+            .add_query(
+                &LogicalPlan::source("S")
+                    .select(Predicate::attr_eq_const(0, 1i64))
+                    .select(Predicate::attr_eq_const(1, 2i64)),
+            )
+            .unwrap();
+        let q2 = p
+            .add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(2, 3i64)))
+            .unwrap();
+        assert_eq!(p.mop_count(), 3);
+        let delta = p.remove_query(q1).unwrap();
+        assert_eq!(p.mop_count(), 1, "q1's two-op chain fully retired");
+        assert_eq!(delta.removed.len(), 2);
+        assert!(delta.added.is_empty() && delta.rewired.is_empty());
+        assert!(p.query_output(q1).is_none());
+        assert!(p.query_output(q2).is_some());
+        p.validate().unwrap();
+        // Removing an unknown or already-removed query errors.
+        assert!(p.remove_query(q1).is_err());
+        assert!(p.remove_query(QueryId(99)).is_err());
+    }
+
+    #[test]
+    fn remove_query_unsplits_shared_select_to_naive() {
+        let (mut p, s) = plan_with_source();
+        let (a, _) = p
+            .add_op(OpDef::Select(Predicate::attr_eq_const(0, 1i64)), vec![s])
+            .unwrap();
+        let (b, out_b) = p
+            .add_op(OpDef::Select(Predicate::attr_eq_const(0, 2i64)), vec![s])
+            .unwrap();
+        let merged = p.merge_mops(&[a, b], MopKind::IndexedSelect).unwrap();
+        let out_a = p.mop(merged).members[0].output;
+        p.query_outputs.push((QueryId(0), out_a));
+        p.query_outputs.push((QueryId(1), out_b));
+        p.next_query = 2;
+
+        let delta = p.remove_query(QueryId(1)).unwrap();
+        let node = p.mop(merged);
+        assert_eq!(node.members.len(), 1, "dead member pruned");
+        assert_eq!(node.kind, MopKind::Naive, "single member un-splits");
+        assert_eq!(delta.rewired, vec![merged]);
+        assert_eq!(
+            p.stream(out_a).producer,
+            Producer::Mop {
+                mop: merged,
+                member: 0
+            }
+        );
+        p.validate().unwrap();
+
+        // Removing the last query retires the m-op entirely.
+        let delta = p.remove_query(QueryId(0)).unwrap();
+        assert_eq!(p.mop_count(), 0);
+        assert_eq!(delta.removed, vec![merged]);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_query_keeps_cse_shared_stream() {
+        let (mut p, _) = plan_with_source();
+        let q = LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 7i64));
+        let q1 = p.add_query(&q).unwrap();
+        let q2 = p.add_query(&q).unwrap();
+        // Simulate CSE: both queries tap the same output stream.
+        let out = p.query_output(q1).unwrap();
+        let dup = p.query_output(q2).unwrap();
+        let (dup_mop, _) = match p.stream(dup).producer {
+            Producer::Mop { mop, member } => (mop, member),
+            _ => panic!(),
+        };
+        p.merge_mops(
+            &[
+                match p.stream(out).producer {
+                    Producer::Mop { mop, .. } => mop,
+                    _ => panic!(),
+                },
+                dup_mop,
+            ],
+            MopKind::IndexedSelect,
+        )
+        .unwrap();
+        assert_eq!(p.query_output(q1), p.query_output(q2), "CSE aliased");
+        let delta = p.remove_query(q1).unwrap();
+        assert!(delta.removed.is_empty(), "stream still tapped by q2");
+        assert!(p.query_output(q2).is_some());
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_query_keeps_partially_dead_stateful_mop_whole() {
+        use crate::logical::SeqSpec;
+        let mut p = PlanGraph::new();
+        p.add_source("S", Schema::ints(3), None).unwrap();
+        p.add_source("T", Schema::ints(3), None).unwrap();
+        let seq = |w| {
+            LogicalPlan::source("S").followed_by(
+                LogicalPlan::source("T"),
+                SeqSpec {
+                    predicate: rumor_expr::Predicate::True,
+                    window: w,
+                },
+            )
+        };
+        let q1 = p.add_query(&seq(5)).unwrap();
+        let q2 = p.add_query(&seq(9)).unwrap();
+        // Merge the two sequences into one shared stateful m-op.
+        let ids: Vec<MopId> = p.mops().map(|n| n.id).collect();
+        let merged = p.merge_mops(&ids, MopKind::SharedSequence).unwrap();
+        assert_eq!(p.mop(merged).members.len(), 2);
+
+        let delta = p.remove_query(q1).unwrap();
+        // The shared stateful m-op keeps its dead member (state
+        // continuity for q2's member): nothing rewired, nothing removed.
+        assert!(delta.is_empty(), "{delta:?}");
+        assert_eq!(p.mop(merged).members.len(), 2);
+        p.validate().unwrap();
+
+        // Once the last query goes, the whole m-op dies.
+        p.remove_query(q2).unwrap();
+        assert_eq!(p.mop_count(), 0);
+        p.validate().unwrap();
     }
 
     #[test]

@@ -243,6 +243,10 @@ impl MRule for MergeRule {
             plan.merge_mops(group, self.kind)
         }
     }
+
+    fn encodes_channels(&self) -> bool {
+        self.channel
+    }
 }
 
 /// Channel rules may only fire when the member input streams can actually be

@@ -16,9 +16,10 @@ pub mod catalog;
 
 use std::collections::HashSet;
 
-use rumor_types::{MopId, Result};
+use rumor_types::{MopId, QueryId, Result};
 
-use crate::plan::PlanGraph;
+use crate::logical::LogicalPlan;
+use crate::plan::{PlanDelta, PlanGraph, Producer};
 use crate::sharable::Sharability;
 
 /// A multi-query transformation rule.
@@ -44,6 +45,15 @@ pub trait MRule: Send + Sync {
 
     /// The action function: merges the group, returning the target m-op.
     fn apply(&self, plan: &mut PlanGraph, group: &[MopId]) -> Result<MopId>;
+
+    /// Whether the action encodes streams into channels (the c-rules of
+    /// §3.3/§4.4). Channel encoding rewires the compiled context of every
+    /// producer and consumer of the encoded streams, so incremental
+    /// optimization ([`Optimizer::integrate`]) must check the blast radius
+    /// before letting such a rule fire on a live plan.
+    fn encodes_channels(&self) -> bool {
+        false
+    }
 }
 
 /// One recorded rule application.
@@ -64,12 +74,24 @@ pub struct RewriteTrace {
     pub entries: Vec<TraceEntry>,
     /// Number of fixpoint passes executed.
     pub passes: usize,
+    /// Sharing opportunities an *incremental* run declined, with the
+    /// reason (see [`Optimizer::integrate`]): each notes a merge full
+    /// re-optimization would have performed but a live hot swap could not,
+    /// because it would have disturbed stateful operator state. Empty for
+    /// from-scratch [`Optimizer::optimize`] runs.
+    pub notes: Vec<String>,
 }
 
 impl RewriteTrace {
     /// Number of applications of a given rule.
     pub fn count(&self, rule: &str) -> usize {
         self.entries.iter().filter(|e| e.rule == rule).count()
+    }
+
+    /// Whether the incremental run fell short of the full-reoptimization
+    /// fixpoint (see [`RewriteTrace::notes`]).
+    pub fn fell_back(&self) -> bool {
+        !self.notes.is_empty()
     }
 }
 
@@ -200,6 +222,158 @@ impl Optimizer {
         }
         Ok(trace)
     }
+
+    /// Merges one *new* query into an already-optimized plan — the
+    /// incremental registration story of §1, made a first-class operation.
+    ///
+    /// Where [`Optimizer::optimize`] re-derives the whole shared plan,
+    /// `integrate` registers the query's naive operator chain and then runs
+    /// the m-rule catalogue *scoped to the touched region*: a group is only
+    /// considered when it contains at least one m-op created by this
+    /// integration (the new chain or a merge target derived from it). The
+    /// rest of the plan is never restructured, so a compiled runtime can
+    /// hot-swap to the result via the returned [`PlanDelta`] with every
+    /// untouched operator keeping its state.
+    ///
+    /// **Fallback.** A merge that would restructure an existing *stateful*
+    /// m-op (or re-encode a channel feeding/leaving one) cannot be applied
+    /// to a live plan without cold-starting that operator's state, so
+    /// `integrate` declines it and records the declined opportunity in
+    /// [`RewriteTrace::notes`]. On such workloads the incremental plan may
+    /// hold more operators than full re-optimization would produce — the
+    /// notes say exactly which merges were skipped and why; re-optimizing
+    /// from scratch (a fresh engine over the same queries) reclaims them.
+    /// Stateless merges (shared selections, projections, channel encodings
+    /// among stateless consumers) are applied exactly as a full run would.
+    pub fn integrate(&self, plan: &mut PlanGraph, query: &LogicalPlan) -> Result<Integration> {
+        let before = plan.snapshot();
+        // Stateful m-ops with (potentially) live runtime state: the
+        // integration must leave their compiled contexts bit-identical.
+        let protected: HashSet<MopId> = plan
+            .mops()
+            .filter(|n| n.members.iter().any(|m| !m.def.is_stateless()))
+            .map(|n| n.id)
+            .collect();
+        let query_id = plan.add_query(query)?;
+        let mut touched: HashSet<MopId> = plan
+            .mops()
+            .map(|n| n.id)
+            .filter(|&id| !before.contains(id))
+            .collect();
+
+        let mut trace = RewriteTrace::default();
+        'passes: for _pass in 0..self.config.max_passes {
+            trace.passes += 1;
+            let sharable = Sharability::analyze(plan);
+            for rule in &self.rules {
+                if self.config.disabled_rules.contains(rule.name()) {
+                    continue;
+                }
+                let groups = rule.find_groups(plan, &sharable);
+                let mut fired = false;
+                for group in groups {
+                    if group.len() < rule.min_group() {
+                        continue;
+                    }
+                    if !group.iter().any(|id| touched.contains(id)) {
+                        continue; // outside the touched region
+                    }
+                    if group.iter().any(|&id| plan.mop_opt(id).is_none()) {
+                        continue;
+                    }
+                    if !rule.condition(plan, &sharable, &group) {
+                        continue;
+                    }
+                    if let Some(reason) =
+                        integration_conflict(plan, rule.as_ref(), &group, &protected)
+                    {
+                        trace.notes.push(format!(
+                            "{}: declined {:?}: {}",
+                            rule.name(),
+                            group,
+                            reason
+                        ));
+                        continue;
+                    }
+                    let target = rule.apply(plan, &group)?;
+                    touched.insert(target);
+                    trace.entries.push(TraceEntry {
+                        rule: rule.name(),
+                        group,
+                        target,
+                    });
+                    fired = true;
+                }
+                if fired {
+                    if self.config.validate_each_pass {
+                        plan.validate()?;
+                    }
+                    continue 'passes;
+                }
+            }
+            break; // scoped fixpoint
+        }
+        let delta = before.delta(plan);
+        Ok(Integration {
+            query: query_id,
+            trace,
+            delta,
+        })
+    }
+}
+
+/// The outcome of one [`Optimizer::integrate`] call.
+#[derive(Debug, Clone)]
+pub struct Integration {
+    /// The id assigned to the merged-in query.
+    pub query: QueryId,
+    /// The scoped rewrite record, including any declined merges
+    /// ([`RewriteTrace::notes`]).
+    pub trace: RewriteTrace,
+    /// What the integration changed, for runtime hot-swap.
+    pub delta: PlanDelta,
+}
+
+/// Why a rule application must not fire during an incremental integration,
+/// or `None` when it is safe. Safe means: no *protected* (stateful, live)
+/// m-op is merged away, and no channel encoding rewires the compiled
+/// context of a protected producer or consumer outside the group.
+fn integration_conflict(
+    plan: &PlanGraph,
+    rule: &dyn MRule,
+    group: &[MopId],
+    protected: &HashSet<MopId>,
+) -> Option<String> {
+    if let Some(id) = group.iter().find(|id| protected.contains(id)) {
+        return Some(format!(
+            "merging would restructure stateful m-op {id} and cold-start its live state"
+        ));
+    }
+    if rule.encodes_channels() {
+        // The c-rule action encodes the group's port-0 input streams and
+        // the target's output streams into channels; both rewire every
+        // producer/consumer of those streams.
+        for &id in group {
+            let node = plan.mop(id);
+            for m in &node.members {
+                let mut affected: Vec<MopId> = Vec::new();
+                if let Producer::Mop { mop, .. } = plan.stream(m.inputs[0]).producer {
+                    affected.push(mop);
+                }
+                affected.extend(plan.consumers_of(m.inputs[0]).iter().copied());
+                affected.extend(plan.consumers_of(m.output).iter().copied());
+                if let Some(hit) = affected
+                    .iter()
+                    .find(|x| protected.contains(x) && !group.contains(x))
+                {
+                    return Some(format!(
+                        "channel encoding would rewire stateful m-op {hit} outside the group"
+                    ));
+                }
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -247,6 +421,117 @@ mod tests {
         assert_eq!(trace.count("s_sigma"), 1, "new nodes join the old m-op");
         assert_eq!(plan.mop_count(), 1);
         assert_eq!(plan.mops().next().unwrap().members.len(), 6);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn integrate_merges_stateless_query_into_shared_mop() {
+        // Incremental integration of a selection must reach the same
+        // operator count as full re-optimization: the new selection joins
+        // the existing predicate-indexed m-op.
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(2), None).unwrap();
+        for c in 0..3 {
+            plan.add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(0, c as i64)))
+                .unwrap();
+        }
+        let opt = Optimizer::new(OptimizerConfig::default());
+        opt.optimize(&mut plan).unwrap();
+        assert_eq!(plan.mop_count(), 1);
+        let old_id = plan.mops().next().unwrap().id;
+
+        let outcome = opt
+            .integrate(
+                &mut plan,
+                &LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 9i64)),
+            )
+            .unwrap();
+        assert_eq!(plan.mop_count(), 1, "new selection joined the shared m-op");
+        assert_eq!(plan.mops().next().unwrap().members.len(), 4);
+        assert_eq!(outcome.trace.count("s_sigma"), 1);
+        assert!(!outcome.trace.fell_back());
+        // The old m-op was merged away; the target is new.
+        assert!(outcome.delta.removed.contains(&old_id));
+        assert_eq!(outcome.delta.added.len(), 1);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn integrate_declines_stateful_merge_and_records_why() {
+        use crate::logical::SeqSpec;
+        let seq = || {
+            LogicalPlan::source("S").followed_by(
+                LogicalPlan::source("T"),
+                SeqSpec {
+                    predicate: Predicate::True,
+                    window: 10,
+                },
+            )
+        };
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(2), None).unwrap();
+        plan.add_source("T", Schema::ints(2), None).unwrap();
+        plan.add_query(&seq()).unwrap();
+        let opt = Optimizer::new(OptimizerConfig::default());
+        opt.optimize(&mut plan).unwrap();
+        let stateful: Vec<MopId> = plan.mops().map(|n| n.id).collect();
+
+        // An identical query: full re-optimization would CSE-merge it into
+        // the existing (stateful) sequence m-op; integration must decline
+        // — the existing op's AI-index state would not survive the merge —
+        // and say so in the notes.
+        let outcome = opt.integrate(&mut plan, &seq()).unwrap();
+        assert!(outcome.trace.fell_back(), "{:?}", outcome.trace.notes);
+        assert!(outcome.trace.notes[0].contains("stateful"));
+        assert_eq!(plan.mop_count(), 2, "new sequence op stays separate");
+        // The existing stateful op was not touched by the delta.
+        for id in stateful {
+            assert!(!outcome.delta.touches(id));
+        }
+        plan.validate().unwrap();
+
+        // The oracle check the acceptance criterion names: full
+        // re-optimization over the same queries reaches a smaller plan.
+        let mut fresh = PlanGraph::new();
+        fresh.add_source("S", Schema::ints(2), None).unwrap();
+        fresh.add_source("T", Schema::ints(2), None).unwrap();
+        fresh.add_query(&seq()).unwrap();
+        fresh.add_query(&seq()).unwrap();
+        opt.optimize(&mut fresh).unwrap();
+        assert_eq!(fresh.mop_count(), 1);
+    }
+
+    #[test]
+    fn integrate_leaves_unrelated_components_untouched() {
+        use crate::logical::SeqSpec;
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(2), None).unwrap();
+        plan.add_source("T", Schema::ints(2), None).unwrap();
+        plan.add_source("U", Schema::ints(2), None).unwrap();
+        plan.add_query(&LogicalPlan::source("S").followed_by(
+            LogicalPlan::source("T"),
+            SeqSpec {
+                predicate: Predicate::True,
+                window: 8,
+            },
+        ))
+        .unwrap();
+        let opt = Optimizer::new(OptimizerConfig::default());
+        opt.optimize(&mut plan).unwrap();
+        let existing: Vec<MopId> = plan.mops().map(|n| n.id).collect();
+
+        let outcome = opt
+            .integrate(
+                &mut plan,
+                &LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64)),
+            )
+            .unwrap();
+        assert!(outcome.delta.removed.is_empty());
+        assert!(outcome.delta.rewired.is_empty());
+        assert_eq!(outcome.delta.added.len(), 1);
+        for id in existing {
+            assert!(!outcome.delta.touches(id));
+        }
         plan.validate().unwrap();
     }
 

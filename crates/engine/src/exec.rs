@@ -8,7 +8,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use rumor_core::{ChannelTuple, Emit, MopContext, MopKind, PartitionKeys, PlanGraph};
+use rumor_core::{ChannelTuple, Emit, MopContext, MopKind, MultiOp, PartitionKeys, PlanGraph};
 use rumor_ops::instantiate;
 use rumor_types::{
     ChannelId, Membership, MopId, PortId, QueryId, Result, RumorError, SourceId, Tuple,
@@ -218,6 +218,11 @@ pub struct ExecutablePlan {
     ops: Vec<Box<dyn rumor_core::MultiOp>>,
     /// Parallel to `ops`: the plan node each op implements (diagnostics).
     op_ids: Vec<MopId>,
+    /// Parallel to `ops`: each op's resolved compile context. Hot swap
+    /// ([`ExecutablePlan::apply_delta`]) carries an instance — and its
+    /// state — across a plan change exactly when the rebuilt context
+    /// compares equal to this one.
+    op_ctxs: Vec<MopContext>,
     /// channel index → (exec index, port) consumers, in topological order.
     consumers: Vec<Vec<(usize, PortId)>>,
     /// source index → source-channel consumers inside the stateful cone
@@ -260,19 +265,85 @@ impl ExecutablePlan {
     /// Compiles a plan: instantiates every m-op and builds routing tables.
     pub fn new(plan: &PlanGraph) -> Result<Self> {
         let order = plan.topo_order()?;
-        let mut topo_rank: HashMap<MopId, usize> = HashMap::new();
-        for (rank, &id) in order.iter().enumerate() {
-            topo_rank.insert(id, rank);
-        }
         let mut ops = Vec::with_capacity(order.len());
-        let mut op_ids = Vec::with_capacity(order.len());
-        let mut exec_index: HashMap<MopId, usize> = HashMap::new();
+        let mut op_ctxs = Vec::with_capacity(order.len());
         for &id in &order {
             let ctx = MopContext::build(plan, id)?;
-            exec_index.insert(id, ops.len());
-            op_ids.push(id);
             ops.push(instantiate(&ctx)?);
+            op_ctxs.push(ctx);
         }
+        Ok(Self::assemble(plan, order, op_ctxs, ops))
+    }
+
+    /// Hot-swaps this compiled plan for `plan` without losing operator
+    /// state: every m-op whose resolved context is unchanged keeps its
+    /// existing instance — windows, sequence/iteration instance indexes,
+    /// aggregate buckets and all — while added or rewired m-ops compile
+    /// cold and retired ones are dropped. Routing tables, the batching
+    /// gates, and the stateful-cone split are rebuilt from scratch for the
+    /// new plan. `events_in` carries over.
+    ///
+    /// Call between pushes only (the engine fully drains every push
+    /// entry point before returning, so there is never buffered work to
+    /// lose). Compiled per-query results are unaffected for queries whose
+    /// operator chain the [`rumor_core::PlanDelta`] does not touch. On
+    /// error the engine is left exactly as it was (everything fallible
+    /// runs before any state moves).
+    pub fn apply_delta(&mut self, plan: &PlanGraph) -> Result<()> {
+        debug_assert!(self.pending.is_empty() && self.strict.is_empty() && self.cur.is_empty());
+        // Phase 1 — fallible, `self` untouched: resolve the new plan's
+        // contexts and compile cold instances for every op that cannot
+        // carry over.
+        let order = plan.topo_order()?;
+        let old_index: HashMap<MopId, usize> = self
+            .op_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        let mut op_ctxs = Vec::with_capacity(order.len());
+        let mut cold: HashMap<MopId, Box<dyn MultiOp>> = HashMap::new();
+        for &id in &order {
+            let ctx = MopContext::build(plan, id)?;
+            let reusable = old_index.get(&id).is_some_and(|&i| self.op_ctxs[i] == ctx);
+            if !reusable {
+                cold.insert(id, instantiate(&ctx)?);
+            }
+            op_ctxs.push(ctx);
+        }
+        // Phase 2 — infallible: move the reusable instances out of the
+        // old engine and assemble the new one around them.
+        let mut survivors: HashMap<MopId, Box<dyn MultiOp>> = self
+            .op_ids
+            .iter()
+            .copied()
+            .zip(std::mem::take(&mut self.ops))
+            .collect();
+        let ops: Vec<Box<dyn MultiOp>> = order
+            .iter()
+            .map(|id| match cold.remove(id) {
+                Some(op) => op,
+                None => survivors.remove(id).expect("reusable instance present"),
+            })
+            .collect();
+        let mut fresh = Self::assemble(plan, order, op_ctxs, ops);
+        fresh.events_in = self.events_in;
+        *self = fresh;
+        Ok(())
+    }
+
+    /// Builds the routing tables, batching gates, and cone split around
+    /// compiled operators (`ops`/`op_ctxs` parallel to the topological
+    /// `order`). Infallible: callers finish all fallible work first so
+    /// hot swaps cannot leave an engine half-built.
+    fn assemble(
+        plan: &PlanGraph,
+        order: Vec<MopId>,
+        op_ctxs: Vec<MopContext>,
+        ops: Vec<Box<dyn MultiOp>>,
+    ) -> Self {
+        let exec_index: HashMap<MopId, usize> =
+            order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
 
         // Channel consumer lists: an m-op consumes channel `c` on port `p`
         // iff its node lists `c` at that port.
@@ -438,7 +509,7 @@ impl ExecutablePlan {
                 let Some(p) = producer_of[c] else {
                     continue; // source-fed channel: one event per push
                 };
-                let node = plan.mop(op_ids[p]);
+                let node = plan.mop(order[p]);
                 let channelized =
                     matches!(node.kind, MopKind::ChannelSelect | MopKind::ChannelProject);
                 if plan.channel(ChannelId::from_index(c)).capacity() > 1 && !channelized {
@@ -457,9 +528,10 @@ impl ExecutablePlan {
                 .filter(|(_, l)| !l.is_empty())
                 .all(|(ch, _)| single_emission(ch));
 
-        Ok(ExecutablePlan {
+        ExecutablePlan {
             ops,
-            op_ids,
+            op_ids: order,
+            op_ctxs,
             consumers,
             stateful_root,
             free_root,
@@ -475,7 +547,7 @@ impl ExecutablePlan {
             nxt: EventBuf::default(),
             strict: Vec::new(),
             events_in: 0,
-        })
+        }
     }
 
     /// Number of compiled m-ops.
@@ -1199,6 +1271,89 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(full2_sink.results, want.results);
+    }
+
+    #[test]
+    fn apply_delta_preserves_untouched_stateful_state() {
+        // A windowed sequence query must keep matching across an
+        // unrelated add and remove: its compiled operator instance (and
+        // the AI-index state inside it) survives both hot swaps.
+        let mut plan = PlanGraph::new();
+        let s = plan.add_source("S", Schema::ints(2), None).unwrap();
+        let t = plan.add_source("T", Schema::ints(2), None).unwrap();
+        let seq_query = LogicalPlan::source("S")
+            .select(Predicate::attr_eq_const(0, 1i64))
+            .followed_by(
+                LogicalPlan::source("T"),
+                SeqSpec {
+                    predicate: Predicate::cmp(CmpOp::Eq, Expr::col(1), Expr::rcol(1)),
+                    window: 40,
+                },
+            );
+        let q_seq = plan.add_query(&seq_query).unwrap();
+        let q_sel = plan
+            .add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 2i64)))
+            .unwrap();
+        let optimizer = Optimizer::new(OptimizerConfig::default());
+        optimizer.optimize(&mut plan).unwrap();
+        let original = plan.clone();
+
+        let events: Vec<(SourceId, Tuple)> = (0..150u64)
+            .map(|ts| {
+                let src = if ts % 2 == 0 { s } else { t };
+                (
+                    src,
+                    Tuple::ints(ts, &[(ts % 3) as i64, ((ts / 2) % 4) as i64]),
+                )
+            })
+            .collect();
+
+        let mut exec = ExecutablePlan::new(&plan).unwrap();
+        let mut live = CollectingSink::default();
+        for (src, tu) in &events[..50] {
+            exec.push(*src, tu.clone(), &mut live).unwrap();
+        }
+        // Unrelated add: a new selection integrates into the live plan.
+        let added = optimizer
+            .integrate(
+                &mut plan,
+                &LogicalPlan::source("S").select(Predicate::attr_eq_const(1, 3i64)),
+            )
+            .unwrap();
+        exec.apply_delta(&plan).unwrap();
+        for (src, tu) in &events[50..100] {
+            exec.push(*src, tu.clone(), &mut live).unwrap();
+        }
+        // ...and unrelated remove.
+        plan.remove_query(added.query).unwrap();
+        exec.apply_delta(&plan).unwrap();
+        for (src, tu) in &events[100..] {
+            exec.push(*src, tu.clone(), &mut live).unwrap();
+        }
+
+        // Oracle: the original plan fed the whole history in one life.
+        let mut oracle_exec = ExecutablePlan::new(&original).unwrap();
+        let mut oracle = CollectingSink::default();
+        for (src, tu) in &events {
+            oracle_exec.push(*src, tu.clone(), &mut oracle).unwrap();
+        }
+        assert!(!oracle.of(q_seq).is_empty(), "sequence must match");
+        // The sequence query's results span both swap boundaries: pairs
+        // whose S-instance arrived before a swap and whose T-event arrived
+        // after it only exist if the operator state survived.
+        assert!(
+            oracle
+                .of(q_seq)
+                .iter()
+                .any(|tu| (50..100).contains(&tu.ts) || tu.ts >= 100),
+            "window must span the swaps for the test to mean anything"
+        );
+        assert_eq!(live.of(q_seq), oracle.of(q_seq));
+        assert_eq!(live.of(q_sel), oracle.of(q_sel));
+        // The added query saw exactly its lifetime's events.
+        let added_results: Vec<&Tuple> = live.of(added.query);
+        assert!(added_results.iter().all(|tu| tu.ts >= 50 && tu.ts < 100));
+        assert!(!added_results.is_empty());
     }
 
     #[test]

@@ -38,6 +38,41 @@
 //! work is nontrivial; on a single core it measures the routing overhead
 //! (see `BENCH_throughput.json`).
 //!
+//! ## Dynamic query lifecycle
+//!
+//! The query set may churn while runtimes are live — no rebuild, no lost
+//! state:
+//!
+//! * [`Rumor::add_query`] (and `QUERY`/`SELECT`/`PATTERN` statements in
+//!   [`Rumor::execute`] after [`Rumor::optimize`]) merges a new query into
+//!   the already-optimized shared plan via
+//!   [`rumor_core::Optimizer::integrate`]: the m-rule catalogue runs
+//!   scoped to the new operators, returning a
+//!   [`rumor_core::RewriteTrace`] for the integration and a
+//!   [`rumor_core::PlanDelta`] describing exactly which m-ops were added,
+//!   removed, or rewired.
+//! * [`Rumor::remove_query`] (and `DROP QUERY name;`) retires a query,
+//!   pruning operators and channels nothing else references and
+//!   un-splitting stateless shared m-ops left serving one member.
+//! * Runtimes hot-swap from the delta: [`ExecutablePlan::apply_delta`]
+//!   carries every untouched operator's instance — windows, sequence
+//!   instance indexes, aggregate buckets — across the swap (state moves
+//!   by m-op id; only new or rewired operators start cold), and both
+//!   shard runtimes implement the *epoch protocol*
+//!   ([`ShardedRuntime::update_plan`],
+//!   [`StreamingShardedRuntime::update_plan`]): quiesce at a flush
+//!   barrier, install the patched plan on every worker, re-derive the
+//!   routing scheme incrementally, resume — the pool never restarts.
+//!
+//! When incremental integration cannot reach the fully shared plan (a
+//! merge would restructure a stateful m-op holding live state, or
+//! re-encode a channel feeding one), it declines that merge and records
+//! why in [`rumor_core::RewriteTrace::notes`]; re-optimizing from scratch
+//! on a fresh engine reclaims the missed sharing. Similarly,
+//! `update_plan` refuses a swap that would re-route tuples away from live
+//! stateful state (for example a keyed component becoming pinned): that
+//! transition needs a fresh pool.
+//!
 //! ```
 //! use rumor_engine::{Rumor, CollectingSink};
 //! use rumor_core::OptimizerConfig;
@@ -79,7 +114,9 @@ pub use shard::{MergeSink, ShardedRuntime, StreamingConfig, StreamingShardedRunt
 
 use std::collections::HashMap;
 
-use rumor_core::{LogicalPlan, Optimizer, OptimizerConfig, PlanGraph, RewriteTrace};
+use rumor_core::{
+    Integration, LogicalPlan, Optimizer, OptimizerConfig, PlanDelta, PlanGraph, RewriteTrace,
+};
 use rumor_lang::{parse_script, LoweredStatement, Lowerer};
 use rumor_types::{QueryId, Result, RumorError, Schema, SourceId};
 
@@ -116,46 +153,148 @@ impl Rumor {
         Ok(id)
     }
 
-    /// Registers a logical query programmatically.
+    /// Registers a logical query programmatically. Before
+    /// [`Rumor::optimize`] this builds the naive chain for the coming
+    /// batch optimization; afterwards it delegates to [`Rumor::add_query`]
+    /// (incremental integration into the live shared plan).
     pub fn register(&mut self, plan: &LogicalPlan) -> Result<QueryId> {
-        if self.optimized {
-            return Err(RumorError::plan(
-                "cannot register queries after optimize(); build a new engine".to_string(),
-            ));
-        }
-        self.plan.add_query(plan)
+        Ok(self.add_query(plan)?.query)
     }
 
-    /// Executes a script of `CREATE STREAM` / `DEFINE` / query statements,
-    /// returning the ids of registered queries in statement order.
+    /// Adds one query to the engine — at any point in its life.
+    ///
+    /// Before [`Rumor::optimize`] the query simply joins the batch to be
+    /// optimized. *After* it (including while compiled runtimes exist),
+    /// the query is merged into the already-optimized shared plan by
+    /// [`rumor_core::Optimizer::integrate`]: the m-rule catalogue runs
+    /// scoped to the new query's operators, and the returned
+    /// [`Integration`] carries the [`RewriteTrace`] of that scoped run
+    /// (including any declined stateful merges in its `notes`) plus the
+    /// [`PlanDelta`] describing what changed. Hand the *plan* to
+    /// [`ExecutablePlan::apply_delta`] / [`ShardedRuntime::update_plan`] /
+    /// [`StreamingShardedRuntime::update_plan`] for a live hot swap —
+    /// runtimes track what they have installed and diff against it
+    /// themselves. If a runtime refuses the swap (it would re-route live
+    /// stateful state), remove the offending query and update again; the
+    /// runtime keeps refusing until the plan it is offered is
+    /// installable.
+    pub fn add_query(&mut self, plan: &LogicalPlan) -> Result<Integration> {
+        if !self.optimized {
+            // No runtime can exist yet, so the delta needs no context
+            // diffing (a full snapshot per registration would make bulk
+            // setup quadratic): registering only ever appends m-ops and
+            // one query tap.
+            let first_new = self.plan.mop_slots();
+            let query = self.plan.add_query(plan)?;
+            let mut delta = PlanDelta {
+                added: (first_new..self.plan.mop_slots())
+                    .map(rumor_types::MopId::from_index)
+                    .collect(),
+                ..PlanDelta::default()
+            };
+            if let Some(out) = self.plan.query_output(query) {
+                if let rumor_core::Producer::Source(src) = self.plan.stream(out).producer {
+                    delta.retapped.push(src);
+                }
+            }
+            return Ok(Integration {
+                query,
+                trace: RewriteTrace::default(),
+                delta,
+            });
+        }
+        let optimizer = Optimizer::new(self.config.clone());
+        optimizer.integrate(&mut self.plan, plan)
+    }
+
+    /// Retires a query (see [`rumor_core::PlanGraph::remove_query`]):
+    /// its output tap is dropped, operators and channels no other query
+    /// references are pruned, and stateless shared m-ops left serving one
+    /// member un-split back to plain operators. The returned [`PlanDelta`]
+    /// hot-swaps live runtimes exactly as with [`Rumor::add_query`].
+    pub fn remove_query(&mut self, query: QueryId) -> Result<PlanDelta> {
+        let delta = self.plan.remove_query(query)?;
+        self.query_names.retain(|_, &mut q| q != query);
+        Ok(delta)
+    }
+
+    /// [`Rumor::remove_query`] by registered name (`QUERY name AS ...`).
+    pub fn remove_query_named(&mut self, name: &str) -> Result<PlanDelta> {
+        let query = self
+            .query_id(name)
+            .ok_or_else(|| RumorError::unknown(format!("query `{name}`")))?;
+        self.remove_query(query)
+    }
+
+    /// Executes a script of `CREATE STREAM` / `DEFINE` / query /
+    /// `DROP QUERY` statements, returning the ids of registered queries in
+    /// statement order.
+    ///
+    /// Valid at any point in the engine's life: after [`Rumor::optimize`]
+    /// (including while compiled runtimes exist) `QUERY`/`SELECT`/
+    /// `PATTERN` statements integrate incrementally into the live shared
+    /// plan and `DROP QUERY` retires named queries — see
+    /// [`Rumor::execute_live`] for the variant that also returns the
+    /// combined [`PlanDelta`] runtimes need to hot-swap.
+    /// Scripts are **transactional**: every statement applies to a
+    /// scratch copy of the engine state, committed only when the whole
+    /// script succeeds. A failing statement mid-script therefore cannot
+    /// leave earlier integrations half-applied — which matters for live
+    /// engines, where a lost [`PlanDelta`] would permanently desync
+    /// already-running runtimes.
     pub fn execute(&mut self, script: &str) -> Result<Vec<QueryId>> {
         let statements = parse_script(script)?;
+        let mut plan = self.plan.clone();
+        let mut lowerer = self.lowerer.clone();
+        let mut query_names = self.query_names.clone();
         let mut registered = Vec::new();
         for stmt in &statements {
-            match self.lowerer.lower(stmt)? {
+            match lowerer.lower(stmt)? {
                 LoweredStatement::CreateStream {
                     name,
                     schema,
                     sharable_label,
                 } => {
-                    self.plan.add_source(name, schema, sharable_label)?;
+                    plan.add_source(name, schema, sharable_label)?;
                 }
                 LoweredStatement::Defined { .. } => {}
-                LoweredStatement::Register { name, plan, .. } => {
-                    if self.optimized {
-                        return Err(RumorError::plan(
-                            "cannot register queries after optimize()".to_string(),
-                        ));
-                    }
-                    let q = self.plan.add_query(&plan)?;
+                LoweredStatement::Register {
+                    name, plan: query, ..
+                } => {
+                    let q = if self.optimized {
+                        Optimizer::new(self.config.clone())
+                            .integrate(&mut plan, &query)?
+                            .query
+                    } else {
+                        plan.add_query(&query)?
+                    };
                     if let Some(n) = name {
-                        self.query_names.insert(n, q);
+                        query_names.insert(n, q);
                     }
                     registered.push(q);
                 }
+                LoweredStatement::DropQuery { name } => {
+                    let q = query_names
+                        .remove(&name)
+                        .ok_or_else(|| RumorError::unknown(format!("query `{name}`")))?;
+                    plan.remove_query(q)?;
+                }
             }
         }
+        self.plan = plan;
+        self.lowerer = lowerer;
+        self.query_names = query_names;
         Ok(registered)
+    }
+
+    /// [`Rumor::execute`] for a *live* engine: additionally returns the
+    /// combined [`PlanDelta`] across every statement of the script —
+    /// useful for inspecting what changed before handing the plan to a
+    /// running runtime's `update_plan`/`apply_delta`.
+    pub fn execute_live(&mut self, script: &str) -> Result<(Vec<QueryId>, PlanDelta)> {
+        let before = self.plan.snapshot();
+        let registered = self.execute(script)?;
+        Ok((registered, before.delta(&self.plan)))
     }
 
     /// Runs the rule-based optimizer over the registered queries.
@@ -344,14 +483,43 @@ mod tests {
     }
 
     #[test]
-    fn register_after_optimize_rejected() {
+    fn register_after_optimize_integrates_incrementally() {
         let mut rumor = Rumor::new(OptimizerConfig::default());
         rumor
-            .execute("CREATE STREAM s (a INT); SELECT * FROM s;")
+            .execute("CREATE STREAM s (a INT); QUERY q0 AS SELECT * FROM s WHERE a = 1;")
             .unwrap();
         rumor.optimize().unwrap();
-        assert!(rumor.execute("SELECT * FROM s;").is_err());
-        assert!(rumor.register(&LogicalPlan::source("s")).is_err());
+        // Post-optimize registration goes through the incremental path:
+        // the new selection joins the live shared plan.
+        let before = rumor.plan().mop_count();
+        let qs = rumor
+            .execute("QUERY q1 AS SELECT * FROM s WHERE a = 2;")
+            .unwrap();
+        assert_eq!(qs.len(), 1);
+        assert_eq!(rumor.plan().mop_count(), before, "selection merged in");
+        assert_eq!(rumor.query_id("q1"), Some(qs[0]));
+        // And DROP QUERY retires it again.
+        rumor.execute("DROP QUERY q1;").unwrap();
+        assert_eq!(rumor.query_id("q1"), None);
+        assert!(rumor.execute("DROP QUERY q1;").is_err(), "already dropped");
+        rumor.plan().validate().unwrap();
+    }
+
+    #[test]
+    fn execute_live_reports_combined_delta() {
+        let mut rumor = Rumor::new(OptimizerConfig::default());
+        rumor
+            .execute("CREATE STREAM s (a INT); QUERY q0 AS SELECT * FROM s WHERE a = 1;")
+            .unwrap();
+        rumor.optimize().unwrap();
+        let (qs, delta) = rumor
+            .execute_live("QUERY q1 AS SELECT * FROM s WHERE a = 2; DROP QUERY q0;")
+            .unwrap();
+        assert_eq!(qs.len(), 1);
+        assert!(!delta.is_empty());
+        // The delta is exactly what a compiled runtime needs to hot-swap.
+        let mut rt = rumor.runtime().unwrap();
+        rt.apply_delta(rumor.plan()).unwrap();
     }
 
     #[test]

@@ -25,13 +25,16 @@
 //! single-threaded engine produces. For fully pinned plans the runtime
 //! degenerates to the single-threaded engine on worker 0.
 
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use crossbeam_channel::{bounded, Receiver, Sender};
 
-use rumor_core::{analyze_partitioning, PartitionScheme, PlanGraph, SourceRoute};
-use rumor_types::{QueryId, Result, RumorError, SourceId, Tuple};
+use rumor_core::{
+    analyze_partitioning, reanalyze_partitioning, MopContext, PartitionKeys, PartitionScheme,
+    PlanDelta, PlanGraph, PlanSnapshot, SourceRoute, Verdict,
+};
+use rumor_types::{MopId, QueryId, Result, RumorError, SourceId, Tuple};
 
 use crate::exec::{
     CollectingSink, ConeScope, CountingSink, DiscardSink, ExecutablePlan, QuerySink,
@@ -130,6 +133,99 @@ fn segment(len: usize, n: usize, w: usize) -> (usize, usize) {
     ((w * per).min(len), ((w + 1) * per).min(len))
 }
 
+/// Re-derives the per-m-op partition-key reports after a plan delta.
+/// Untouched ops carry their previous report over — their resolved
+/// contexts compared equal, so re-instantiating them could not produce a
+/// different key structure — and only added/rewired ops are instantiated
+/// afresh. Swap cost thus scales with the delta, not the plan.
+fn refresh_reports(
+    plan: &PlanGraph,
+    prev: &[(MopId, PartitionKeys)],
+    delta: &PlanDelta,
+) -> Result<Vec<(MopId, PartitionKeys)>> {
+    let mut reports: Vec<(MopId, PartitionKeys)> = prev
+        .iter()
+        .filter(|(id, _)| !delta.removed.contains(id) && !delta.rewired.contains(id))
+        .cloned()
+        .collect();
+    for &id in delta.added.iter().chain(delta.rewired.iter()) {
+        let ctx = MopContext::build(plan, id)?;
+        reports.push((id, rumor_ops::instantiate(&ctx)?.partition_keys()));
+    }
+    Ok(reports)
+}
+
+/// The shared hot-swap preamble of both runtimes. The delta is computed
+/// here, against the runtime's *installed* snapshot — never taken from
+/// the caller: a plan can accumulate several mutations between swaps
+/// (including one whose swap was previously refused), and trusting a
+/// per-mutation delta would let the ops of the earlier mutations slip
+/// into the workers via `apply_delta` without a partition report or a
+/// re-derived route — silently wrong routing. From the cumulative delta
+/// this refreshes the key reports incrementally, re-derives the routing
+/// scheme for touched components only, and refuses the swap when it
+/// would re-route live stateful state ([`reroute_conflict`]). Nothing is
+/// mutated on failure — a refused swap keeps being refused until the
+/// caller resolves it (e.g. removes the offending query) and updates
+/// again.
+fn prepare_swap(
+    plan: &PlanGraph,
+    installed: &PlanSnapshot,
+    prev_scheme: &PartitionScheme,
+    prev_reports: &[(MopId, PartitionKeys)],
+) -> Result<(PartitionScheme, Vec<(MopId, PartitionKeys)>)> {
+    let delta = installed.delta(plan);
+    let reports = refresh_reports(plan, prev_reports, &delta)?;
+    let scheme = reanalyze_partitioning(plan, &reports, prev_scheme, &delta)?;
+    if let Some(src) = reroute_conflict(prev_scheme, &scheme) {
+        return Err(RumorError::exec(format!(
+            "cannot hot-swap plan: source {src} would be re-routed under live stateful \
+             state; rebuild the runtime for this change"
+        )));
+    }
+    Ok((scheme, reports))
+}
+
+/// Routing-continuity check for plan hot-swaps: a source whose tuples feed
+/// a stateful operator *with live state* must keep landing on the workers
+/// holding that state. Re-routing it (a keyed component changing its key,
+/// a keyed component becoming pinned, a pinned one becoming keyed) would
+/// separate new tuples from the state their partners accumulated, so such
+/// a swap is refused — the caller must rebuild the pool instead. Safe
+/// transitions: an unchanged route; a previously *stateless* component
+/// picking up its first stateful consumer (the new operator starts cold
+/// everywhere, so any routing is as good as any other); a component
+/// relaxing *to* stateless (no state left to mis-route); and
+/// `Pinned ↔ PinnedSplit` flips (the stateful cone stays on worker 0
+/// either way). Returns the first offending source.
+fn reroute_conflict(old: &PartitionScheme, new: &PartitionScheme) -> Option<SourceId> {
+    let verdicts = |s: &PartitionScheme| -> Vec<Option<Verdict>> {
+        let mut v = vec![None; s.routes().len()];
+        for c in s.components() {
+            for &src in &c.sources {
+                v[src.index()] = Some(c.verdict);
+            }
+        }
+        v
+    };
+    let old_v = verdicts(old);
+    let new_v = verdicts(new);
+    let pinnedish = |r: &SourceRoute| matches!(r, SourceRoute::Pinned | SourceRoute::PinnedSplit);
+    for (i, new_route) in new.routes().iter().enumerate() {
+        let Some(old_route) = old.routes().get(i) else {
+            continue; // source added by the swap: no history to honor
+        };
+        if old_route == new_route || (pinnedish(old_route) && pinnedish(new_route)) {
+            continue;
+        }
+        if old_v[i] == Some(Verdict::Stateless) || new_v[i] == Some(Verdict::Stateless) {
+            continue;
+        }
+        return Some(SourceId::from_index(i));
+    }
+    None
+}
+
 /// Processes a run of scope-tagged deliveries on one worker: consecutive
 /// full-scope deliveries are regrouped (via `scratch`) into one
 /// [`ExecutablePlan::push_batch`] call; scoped legs go through
@@ -164,6 +260,13 @@ fn process_tagged<S: MergeSink>(
 pub struct ShardedRuntime<S: MergeSink> {
     workers: Vec<Worker<S>>,
     scheme: PartitionScheme,
+    /// Per-m-op key reports backing `scheme`, refreshed incrementally on
+    /// [`ShardedRuntime::update_plan`].
+    reports: Vec<(MopId, PartitionKeys)>,
+    /// Snapshot of the plan the workers actually run — hot-swap deltas
+    /// are computed against this, not against whatever the caller thinks
+    /// changed.
+    installed: PlanSnapshot,
     /// Per-source round-robin cursors (kept per source so one source's
     /// distribution is independent of how sources interleave).
     rr_cursors: Vec<usize>,
@@ -195,7 +298,8 @@ impl<S: MergeSink + Default> ShardedRuntime<S> {
                 sink: S::default(),
             });
         }
-        let scheme = analyze_partitioning(plan, &workers[0].exec.partition_reports())?;
+        let reports = workers[0].exec.partition_reports();
+        let scheme = analyze_partitioning(plan, &reports)?;
         let n_sources = scheme.routes().len();
         let all_round_robin = scheme
             .routes()
@@ -208,6 +312,8 @@ impl<S: MergeSink + Default> ShardedRuntime<S> {
         Ok(ShardedRuntime {
             workers,
             scheme,
+            reports,
+            installed: plan.snapshot(),
             rr_cursors: vec![0; n_sources],
             all_round_robin,
             has_split,
@@ -407,6 +513,41 @@ impl<S: MergeSink> ShardedRuntime<S> {
         outcomes.into_iter().collect()
     }
 
+    /// Hot-swaps every worker's compiled plan onto a mutated plan graph —
+    /// the one-shot runtime's half of the epoch protocol. Calls are
+    /// synchronous (workers only run inside `push_batch`), so the epoch
+    /// boundary is implicit: this re-derives the routing scheme
+    /// incrementally for everything that changed since the last installed
+    /// plan (the runtime tracks that itself — accumulated mutations,
+    /// including ones whose swap was previously refused, are all
+    /// accounted for) and applies [`ExecutablePlan::apply_delta`] on
+    /// every worker clone, carrying untouched operators' state across.
+    /// Fails without touching any worker when the new scheme would
+    /// re-route a source feeding surviving stateful state.
+    pub fn update_plan(&mut self, plan: &PlanGraph) -> Result<()> {
+        let (scheme, reports) = prepare_swap(plan, &self.installed, &self.scheme, &self.reports)?;
+        // `prepare_swap` already instantiated every delta-touched op from
+        // the same contexts the workers resolve, so per-worker
+        // `apply_delta` cannot fail here short of allocation failure —
+        // and `apply_delta` itself leaves a worker untouched on error.
+        for worker in &mut self.workers {
+            worker.exec.apply_delta(plan)?;
+        }
+        self.all_round_robin = scheme
+            .routes()
+            .iter()
+            .all(|r| matches!(r, SourceRoute::RoundRobin));
+        self.has_split = scheme
+            .routes()
+            .iter()
+            .any(|r| matches!(r, SourceRoute::PinnedSplit));
+        self.rr_cursors.resize(scheme.routes().len(), 0);
+        self.scheme = scheme;
+        self.reports = reports;
+        self.installed = plan.snapshot();
+        Ok(())
+    }
+
     /// Merges the per-worker sinks (worker 0 first) into the final sink.
     pub fn finish(self) -> S {
         let mut it = self.workers.into_iter();
@@ -469,8 +610,84 @@ enum Delivery {
 
 enum WorkerMsg {
     Batch(Vec<Delivery>),
-    /// Barrier: ack once every previously sent message is processed.
-    Flush(Sender<()>),
+    /// Barrier: publish the generation once every previously sent message
+    /// is processed (see [`FlushGate`]).
+    Flush(u64),
+    /// Epoch boundary of the hot-swap protocol: install the new plan via
+    /// [`ExecutablePlan::apply_delta`], carrying unchanged operators'
+    /// state across. Always preceded by a [`WorkerMsg::Flush`] barrier
+    /// (the quiesce), so the swap never races in-flight deliveries.
+    Update(Arc<PlanGraph>),
+}
+
+/// Published by a [`FlushGate`] when its worker exits (normally or by
+/// panic), so barrier waiters never hang on a dead worker.
+const GATE_DEAD: u64 = u64::MAX;
+
+/// Worker-side barrier acknowledgement: a monotonically increasing
+/// generation the worker publishes after draining everything sent before
+/// the matching [`WorkerMsg::Flush`]. This replaces the former per-call
+/// ack channel — the epoch protocol makes repeated barriers a hot path
+/// (every plan swap quiesces, latency-sensitive callers flush per chunk),
+/// and a generation bump on a long-lived gate costs no allocation.
+struct FlushGate {
+    gen: Mutex<u64>,
+    cv: Condvar,
+    /// First error the worker hit (processing or plan install). Barrier
+    /// waiters surface it instead of letting the worker silently drop
+    /// every subsequent delivery until `finish`.
+    error: Mutex<Option<String>>,
+}
+
+impl FlushGate {
+    fn new() -> Self {
+        FlushGate {
+            gen: Mutex::new(0),
+            cv: Condvar::new(),
+            error: Mutex::new(None),
+        }
+    }
+
+    /// Records the worker's first error for barrier waiters.
+    fn fail(&self, msg: String) {
+        let mut e = self.error.lock().expect("gate poisoned");
+        if e.is_none() {
+            *e = Some(msg);
+        }
+    }
+
+    /// The worker's recorded error, if any.
+    fn error(&self) -> Option<String> {
+        self.error.lock().expect("gate poisoned").clone()
+    }
+
+    fn publish(&self, g: u64) {
+        let mut cur = self.gen.lock().expect("gate poisoned");
+        if *cur < g {
+            *cur = g;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks until generation `g` (or later) is published; `false` when
+    /// the worker exited instead of reaching the barrier.
+    fn wait_for(&self, g: u64) -> bool {
+        let mut cur = self.gen.lock().expect("gate poisoned");
+        while *cur < g {
+            cur = self.cv.wait(cur).expect("gate poisoned");
+        }
+        *cur != GATE_DEAD
+    }
+}
+
+/// Publishes [`GATE_DEAD`] when dropped — including during unwind — so a
+/// worker can never exit without releasing its barrier waiters.
+struct GateGuard(Arc<FlushGate>);
+
+impl Drop for GateGuard {
+    fn drop(&mut self) {
+        self.0.publish(GATE_DEAD);
+    }
 }
 
 struct WorkerOutcome<S> {
@@ -482,7 +699,9 @@ struct WorkerOutcome<S> {
 fn worker_loop<S: MergeSink + Default>(
     mut exec: ExecutablePlan,
     rx: Receiver<WorkerMsg>,
+    gate: Arc<FlushGate>,
 ) -> WorkerOutcome<S> {
+    let _guard = GateGuard(Arc::clone(&gate));
     let mut sink = S::default();
     let mut error: Option<RumorError> = None;
     while let Ok(msg) = rx.recv() {
@@ -505,15 +724,24 @@ fn worker_loop<S: MergeSink + Default>(
                         }
                     };
                     if let Err(e) = outcome {
+                        gate.fail(e.to_string());
                         error = Some(e);
                         break;
                     }
                 }
             }
-            WorkerMsg::Flush(ack) => {
+            WorkerMsg::Flush(g) => {
                 // Channel FIFO: everything sent before this barrier has
                 // been processed by now.
-                let _ = ack.send(());
+                gate.publish(g);
+            }
+            WorkerMsg::Update(plan) => {
+                if error.is_none() {
+                    if let Err(e) = exec.apply_delta(&plan) {
+                        gate.fail(e.to_string());
+                        error = Some(e);
+                    }
+                }
             }
         }
     }
@@ -595,7 +823,17 @@ impl Staged {
 pub struct StreamingShardedRuntime<S: MergeSink + Default + Send + 'static> {
     txs: Vec<Sender<WorkerMsg>>,
     handles: Vec<JoinHandle<WorkerOutcome<S>>>,
+    /// Per-worker barrier gates (generation-counter acknowledgement).
+    gates: Vec<Arc<FlushGate>>,
+    /// Last barrier generation issued.
+    flush_gen: u64,
     scheme: PartitionScheme,
+    /// Per-m-op key reports backing `scheme`, refreshed incrementally on
+    /// [`StreamingShardedRuntime::update_plan`].
+    reports: Vec<(MopId, PartitionKeys)>,
+    /// Snapshot of the plan the workers actually run (see
+    /// [`ShardedRuntime`]'s field of the same name).
+    installed: PlanSnapshot,
     rr_cursors: Vec<usize>,
     all_round_robin: bool,
     /// Per-worker staging buffers (dispatched at `batch_size` events).
@@ -626,7 +864,8 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
         for _ in 0..n {
             execs.push(ExecutablePlan::new(plan)?);
         }
-        let scheme = analyze_partitioning(plan, &execs[0].partition_reports())?;
+        let reports = execs[0].partition_reports();
+        let scheme = analyze_partitioning(plan, &reports)?;
         let n_sources = scheme.routes().len();
         let all_round_robin = scheme
             .routes()
@@ -634,15 +873,22 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
             .all(|r| matches!(r, SourceRoute::RoundRobin));
         let mut txs = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
+        let mut gates = Vec::with_capacity(n);
         for exec in execs {
             let (tx, rx) = bounded::<WorkerMsg>(queue_depth);
+            let gate = Arc::new(FlushGate::new());
             txs.push(tx);
-            handles.push(std::thread::spawn(move || worker_loop::<S>(exec, rx)));
+            gates.push(Arc::clone(&gate));
+            handles.push(std::thread::spawn(move || worker_loop::<S>(exec, rx, gate)));
         }
         Ok(StreamingShardedRuntime {
             txs,
             handles,
+            gates,
+            flush_gen: 0,
             scheme,
+            reports,
+            installed: plan.snapshot(),
             rr_cursors: vec![0; n_sources],
             all_round_robin,
             staged: std::iter::repeat_with(|| Staged::with_capacity(batch_size))
@@ -857,7 +1103,8 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
     /// Dispatches all staged deliveries and blocks until every worker has
     /// drained its queue — a barrier, not a shutdown; the pool keeps
     /// accepting events afterwards. On an empty or already-finished
-    /// runtime this is a no-op.
+    /// runtime this is a no-op. Acknowledged through per-worker
+    /// generation counters, so repeated barriers allocate nothing.
     pub fn flush(&mut self) -> Result<()> {
         if self.finished {
             return Ok(());
@@ -865,17 +1112,73 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
         for w in 0..self.txs.len() {
             self.dispatch(w)?;
         }
-        let mut acks = Vec::with_capacity(self.txs.len());
+        self.barrier()
+    }
+
+    /// Issues one barrier generation and waits until every worker has
+    /// published it (everything previously queued is processed).
+    fn barrier(&mut self) -> Result<()> {
+        self.flush_gen += 1;
+        let g = self.flush_gen;
         for (w, tx) in self.txs.iter().enumerate() {
-            let (ack_tx, ack_rx) = bounded(1);
-            tx.send(WorkerMsg::Flush(ack_tx))
-                .map_err(|_| RumorError::exec(format!("streaming shard worker {w} died")))?;
-            acks.push(ack_rx);
-        }
-        for (w, ack) in acks.into_iter().enumerate() {
-            ack.recv()
+            tx.send(WorkerMsg::Flush(g))
                 .map_err(|_| RumorError::exec(format!("streaming shard worker {w} died")))?;
         }
+        for (w, gate) in self.gates.iter().enumerate() {
+            if !gate.wait_for(g) {
+                return Err(RumorError::exec(format!("streaming shard worker {w} died")));
+            }
+            // Surface the worker's first error at the barrier instead of
+            // letting it silently drop deliveries until `finish`.
+            if let Some(msg) = gate.error() {
+                return Err(RumorError::exec(format!(
+                    "streaming shard worker {w} failed: {msg}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Hot-swaps the pool onto a mutated plan — the epoch protocol of the
+    /// dynamic query lifecycle. The pool is **not** restarted:
+    ///
+    /// 1. **Quiesce** — staged deliveries are dispatched and a flush
+    ///    barrier drains every worker's queue, so the old epoch's events
+    ///    are fully processed under the old plan.
+    /// 2. **Install** — every worker receives the new plan and applies it
+    ///    via [`ExecutablePlan::apply_delta`]: operators unchanged since
+    ///    the last installed plan keep their instance *and their window/
+    ///    sequence/aggregate state*; added or rewired operators start
+    ///    cold. The router's partition scheme is re-derived incrementally
+    ///    ([`rumor_core::partition::reanalyze`]) — only components the
+    ///    change touched are recomputed. The runtime tracks the installed
+    ///    plan itself, so every mutation since the last *successful* swap
+    ///    is accounted for, including ones whose swap was refused.
+    /// 3. **Resume** — a second barrier confirms installation, then
+    ///    pushes route under the new scheme (queue FIFO already
+    ///    guarantees no event can reach a worker before its swap).
+    ///
+    /// Fails without touching the pool when the new scheme would re-route
+    /// a source feeding surviving stateful state (see the module docs):
+    /// that transition needs a fresh pool.
+    pub fn update_plan(&mut self, plan: &PlanGraph) -> Result<()> {
+        self.ensure_live()?;
+        let (scheme, reports) = prepare_swap(plan, &self.installed, &self.scheme, &self.reports)?;
+        self.flush()?;
+        let shared = Arc::new(plan.clone());
+        for (w, tx) in self.txs.iter().enumerate() {
+            tx.send(WorkerMsg::Update(Arc::clone(&shared)))
+                .map_err(|_| RumorError::exec(format!("streaming shard worker {w} died")))?;
+        }
+        self.barrier()?;
+        self.all_round_robin = scheme
+            .routes()
+            .iter()
+            .all(|r| matches!(r, SourceRoute::RoundRobin));
+        self.rr_cursors.resize(scheme.routes().len(), 0);
+        self.scheme = scheme;
+        self.reports = reports;
+        self.installed = plan.snapshot();
         Ok(())
     }
 
@@ -1349,6 +1652,184 @@ mod tests {
                 assert_eq!(sorted_of(&got, q), sorted_of(&want, q), "n={n}");
             }
         }
+    }
+
+    #[test]
+    fn streaming_update_plan_hot_swaps_without_pool_restart() {
+        // The acceptance pin: a windowed (keyed) sequence query keeps
+        // matching across an unrelated add and remove on a *running*
+        // streaming pool — no teardown, no lost in-flight state.
+        use rumor_core::Optimizer as Opt;
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(3), None).unwrap();
+        plan.add_source("T", Schema::ints(3), None).unwrap();
+        let q_seq = plan
+            .add_query(
+                &LogicalPlan::source("S")
+                    .select(Predicate::attr_eq_const(1, 0i64))
+                    .followed_by(
+                        LogicalPlan::source("T"),
+                        SeqSpec {
+                            predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                            window: 60,
+                        },
+                    ),
+            )
+            .unwrap();
+        let q_sel = plan
+            .add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64)))
+            .unwrap();
+        let optimizer = Opt::new(OptimizerConfig::default());
+        optimizer.optimize(&mut plan).unwrap();
+        let original = plan.clone();
+        let events = interleaved(&plan, 180);
+
+        let mut rt: StreamingShardedRuntime<CollectingSink> = StreamingShardedRuntime::with_config(
+            &plan,
+            3,
+            StreamingConfig {
+                batch_size: 7,
+                queue_depth: 2,
+            },
+        )
+        .unwrap();
+        rt.push_batch(&events[..60]).unwrap();
+        let added = optimizer
+            .integrate(
+                &mut plan,
+                &LogicalPlan::source("S").select(Predicate::attr_eq_const(1, 2i64)),
+            )
+            .unwrap();
+        rt.update_plan(&plan).unwrap();
+        rt.push_batch(&events[60..120]).unwrap();
+        plan.remove_query(added.query).unwrap();
+        rt.update_plan(&plan).unwrap();
+        rt.push_batch(&events[120..]).unwrap();
+        let got = rt.finish().unwrap();
+
+        // Oracle for the surviving queries: the original plan over the
+        // whole history in one uninterrupted life.
+        let want = reference(&original, &events);
+        assert!(!want.of(q_seq).is_empty());
+        assert!(
+            want.of(q_seq).iter().any(|tu| tu.ts >= 60),
+            "matches must span the swaps"
+        );
+        for q in [q_seq, q_sel] {
+            assert_eq!(sorted_of(&got, q), sorted_of(&want, q));
+        }
+        // The transient query observed exactly its lifetime's events.
+        let mid: Vec<&Tuple> = got.of(added.query);
+        assert!(!mid.is_empty());
+        assert!(mid.iter().all(|tu| (60..120).contains(&tu.ts)));
+    }
+
+    #[test]
+    fn one_shot_update_plan_hot_swaps_workers() {
+        use rumor_core::Optimizer as Opt;
+        let (mut plan, qs) = optimized(&[
+            LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64)),
+            LogicalPlan::source("S").followed_by(
+                LogicalPlan::source("T"),
+                SeqSpec {
+                    predicate: Predicate::cmp(CmpOp::Eq, Expr::col(1), Expr::rcol(1)),
+                    window: 50,
+                },
+            ),
+        ]);
+        let original = plan.clone();
+        let events = interleaved(&plan, 120);
+        let mut rt: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, 3).unwrap();
+        rt.push_batch(&events[..60]).unwrap();
+        let optimizer = Opt::new(OptimizerConfig::default());
+        let added = optimizer
+            .integrate(
+                &mut plan,
+                &LogicalPlan::source("T").select(Predicate::attr_eq_const(0, 3i64)),
+            )
+            .unwrap();
+        rt.update_plan(&plan).unwrap();
+        rt.push_batch(&events[60..]).unwrap();
+        let got = rt.finish();
+        let want = reference(&original, &events);
+        for &q in &qs {
+            assert_eq!(sorted_of(&got, q), sorted_of(&want, q));
+        }
+        let mid: Vec<&Tuple> = got.of(added.query);
+        assert!(mid.iter().all(|tu| tu.ts >= 60));
+        assert!(!mid.is_empty());
+    }
+
+    #[test]
+    fn update_plan_refuses_rerouting_live_stateful_state() {
+        // A keyed S/T component; integrating an ungrouped aggregate on S
+        // pins the component — tuples would have to move from hashed
+        // workers to worker 0, abandoning the sequence state accumulated
+        // under the old routing. The swap must be refused, pool intact.
+        use rumor_core::Optimizer as Opt;
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(3), None).unwrap();
+        plan.add_source("T", Schema::ints(3), None).unwrap();
+        plan.add_source("U", Schema::ints(3), None).unwrap();
+        plan.add_query(
+            &LogicalPlan::source("S")
+                .select(Predicate::attr_eq_const(1, 0i64))
+                .followed_by(
+                    LogicalPlan::source("T"),
+                    SeqSpec {
+                        predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                        window: 20,
+                    },
+                ),
+        )
+        .unwrap();
+        Opt::new(OptimizerConfig::default())
+            .optimize(&mut plan)
+            .unwrap();
+        let events = interleaved(&plan, 60);
+        let mut rt: StreamingShardedRuntime<CollectingSink> =
+            StreamingShardedRuntime::new(&plan, 2).unwrap();
+        rt.push_batch(&events).unwrap();
+        let optimizer = Opt::new(OptimizerConfig::default());
+        let added = optimizer
+            .integrate(
+                &mut plan,
+                &LogicalPlan::source("S").aggregate(rumor_core::AggSpec {
+                    func: rumor_core::AggFunc::Sum,
+                    input: Expr::col(2),
+                    group_by: Vec::new(),
+                    window: 10,
+                }),
+            )
+            .unwrap();
+        let err = rt.update_plan(&plan);
+        assert!(err.is_err(), "re-routing keyed → pinned must be refused");
+
+        // The runtime diffs against what it actually installed, so a
+        // later swap carrying an *unrelated* mutation must still refuse:
+        // accepting it would smuggle the refused aggregate into the
+        // workers with a stale keyed route (hash-partitioned partial
+        // sums — silent corruption).
+        optimizer
+            .integrate(
+                &mut plan,
+                &LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64)),
+            )
+            .unwrap();
+        assert!(
+            rt.update_plan(&plan).is_err(),
+            "cumulative delta must keep refusing while the offender is resident"
+        );
+
+        // Removing the offending query makes the plan installable again.
+        plan.remove_query(added.query).unwrap();
+        rt.update_plan(&plan).unwrap();
+        let s = plan.source_by_name("S").unwrap().id;
+        assert!(matches!(rt.scheme().route(s), SourceRoute::Key(_)));
+
+        // The pool survives it all and still finishes cleanly.
+        rt.flush().unwrap();
+        rt.finish().unwrap();
     }
 
     #[test]

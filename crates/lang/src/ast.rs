@@ -33,6 +33,14 @@ pub enum Statement {
         /// The query.
         query: QueryExpr,
     },
+    /// `DROP QUERY name;` — retire a named continuous query. Engines
+    /// accept this while a runtime is live (the dynamic query lifecycle):
+    /// the query's operators are pruned from the shared plan and running
+    /// executors hot-swap to the pruned plan.
+    DropQuery {
+        /// The `QUERY name AS ...` name being retired.
+        name: String,
+    },
 }
 
 /// A query expression.

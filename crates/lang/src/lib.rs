@@ -26,6 +26,9 @@
 //!   FILTER x.pid != y.pid
 //!   REBIND x.pid = y.pid AND y.load > x.load SET load = y.load
 //!   WITHIN 300;
+//!
+//! -- dynamic lifecycle: retire a named query (valid while running)
+//! DROP QUERY alerts;
 //! ```
 //!
 //! `parse_script` produces [`ast::Statement`]s; [`lower::Lowerer`] resolves

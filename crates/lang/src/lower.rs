@@ -35,6 +35,11 @@ pub enum LoweredStatement {
         /// Output schema.
         schema: Schema,
     },
+    /// Retire the named query (the engine resolves the name to an id).
+    DropQuery {
+        /// The registered query name.
+        name: String,
+    },
 }
 
 /// Resolution context for expressions: schemas plus the alias each side
@@ -155,7 +160,11 @@ impl<'a> Scope<'a> {
 }
 
 /// Resolves statements against a catalog of known streams.
-#[derive(Default)]
+///
+/// `Clone` supports transactional script execution: an engine lowers a
+/// whole script against a scratch copy and commits the catalog only when
+/// every statement succeeded.
+#[derive(Default, Clone)]
 pub struct Lowerer {
     catalog: HashMap<String, (LogicalPlan, Schema)>,
 }
@@ -213,6 +222,7 @@ impl Lowerer {
                     schema,
                 })
             }
+            Statement::DropQuery { name } => Ok(LoweredStatement::DropQuery { name: name.clone() }),
         }
     }
 
@@ -735,7 +745,7 @@ mod tests {
                 LoweredStatement::Register { plan, .. } => {
                     p.add_query(&plan).unwrap();
                 }
-                LoweredStatement::Defined { .. } => {}
+                LoweredStatement::Defined { .. } | LoweredStatement::DropQuery { .. } => {}
             }
         }
         assert_eq!(p.mop_count(), 1);

@@ -140,6 +140,12 @@ impl Parser {
                 query,
             });
         }
+        if self.at_kw("drop") {
+            self.bump();
+            self.expect_kw("query")?;
+            let name = self.ident()?;
+            return Ok(Statement::DropQuery { name });
+        }
         let query = self.query_expr()?;
         Ok(Statement::Register { name: None, query })
     }
@@ -745,6 +751,20 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn drop_query_statement() {
+        let s = one("DROP QUERY alerts;");
+        assert_eq!(
+            s,
+            Statement::DropQuery {
+                name: "alerts".to_string()
+            }
+        );
+        // DROP without QUERY, or without a name, is rejected.
+        assert!(parse_script("DROP alerts;").is_err());
+        assert!(parse_script("DROP QUERY;").is_err());
     }
 
     #[test]

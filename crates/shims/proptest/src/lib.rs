@@ -2,7 +2,7 @@
 //!
 //! The build environment has no access to crates.io, so this crate
 //! implements the subset of proptest the workspace's property tests use:
-//! the [`proptest!`] macro (with `#![proptest_config]`), [`Strategy`] with
+//! the [`proptest!`] macro (with `#![proptest_config]`), `Strategy` with
 //! `prop_map`, integer-range and tuple strategies, `prop::collection::vec`,
 //! [`prop_oneof!`], `Just`, `any::<bool>()`, and the `prop_assert*`
 //! macros.
@@ -283,7 +283,7 @@ pub mod prop {
         use crate::test_runner::TestRng;
         use std::ops::{Range, RangeInclusive};
 
-        /// Inclusive length bounds for [`vec`].
+        /// Inclusive length bounds for [`vec()`].
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
             lo: usize,

@@ -93,6 +93,21 @@
 //! differential conformance harness (`tests/conformance.rs`) pins that
 //! equivalence across the full workload matrix.
 //!
+//! ## Dynamic query lifecycle
+//!
+//! Queries can be added and removed *while runtimes are live*:
+//! [`Rumor::add_query`] merges a new query into the optimized shared plan
+//! incrementally (`Optimizer::integrate`, scoped m-rule application with
+//! a [`RewriteTrace`] per integration), [`Rumor::remove_query`] — or a
+//! `DROP QUERY name;` statement — prunes a retired query's operators, and
+//! the resulting [`PlanDelta`] hot-swaps compiled runtimes in place:
+//! [`ExecutablePlan::apply_delta`] for the single-threaded engine, and an
+//! epoch protocol (`update_plan`: quiesce at a flush barrier, install,
+//! resume) for both shard runtimes. Operators untouched by the delta keep
+//! their state — a windowed sequence keeps matching straight through an
+//! unrelated add/remove; the churn conformance suite pins this
+//! byte-identically against fresh-compile oracles.
+//!
 //! `BENCH_throughput.json` (regenerated by
 //! `cargo run --release -p rumor-bench --bin throughput`) records the
 //! measured per-path throughput.
@@ -101,9 +116,9 @@
 
 pub use rumor_cayuga::{Automaton, CayugaEngine};
 pub use rumor_core::{
-    AggFunc, AggSpec, ChannelTuple, IterSpec, JoinSpec, LogicalPlan, MopKind, OpDef, Optimizer,
-    OptimizerConfig, PartitionKeys, PartitionScheme, PinScope, PlanGraph, RewriteTrace, SeqSpec,
-    SourceRoute, Verdict,
+    AggFunc, AggSpec, ChannelTuple, Integration, IterSpec, JoinSpec, LogicalPlan, MopKind, OpDef,
+    Optimizer, OptimizerConfig, PartitionKeys, PartitionScheme, PinScope, PlanDelta, PlanGraph,
+    RewriteTrace, SeqSpec, SourceRoute, Verdict,
 };
 pub use rumor_engine::{
     measure, measure_batched, run_pipelined, run_pipelined_config, CollectingSink, ConeScope,

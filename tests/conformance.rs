@@ -532,6 +532,480 @@ proptest! {
 }
 
 // ----------------------------------------------------------------------
+// Dynamic query lifecycle: churn scripts (add → push → add → push →
+// remove → push) against a fresh-compile oracle, across engine modes.
+//
+// The oracle leans on the load-bearing invariant the rest of this file
+// pins (the shared plan is a drop-in replacement for naive per-query
+// execution): a query's results are independent of which other queries
+// share the plan. So the reference for each query that ever lived is a
+// *fresh* engine compiled with that query alone, replaying exactly the
+// events pushed during the query's lifetime — byte-identical or bust.
+// Queries whose operators the deltas never touch must match over their
+// whole life (stateful operators keep matching across unrelated churn);
+// added queries must see exactly their post-birth events; removed ones
+// must stop at their death.
+// ----------------------------------------------------------------------
+
+/// One step of a churn script.
+#[derive(Debug, Clone)]
+enum ChurnStep {
+    /// Integrate a new query into the live plan (hot-swap follows).
+    Add(LogicalPlan),
+    /// Remove the `i`-th query (in overall registration order).
+    Remove(usize),
+    /// Push the next `k` events from the prepared log.
+    Push(usize),
+}
+
+/// Engine modes the churn scripts run under.
+#[derive(Debug, Clone, Copy)]
+enum ChurnMode {
+    PerEvent,
+    PushBatch,
+    Sharded(usize),
+    Streaming(usize, usize),
+}
+
+const CHURN_MODES: &[ChurnMode] = &[
+    ChurnMode::PerEvent,
+    ChurnMode::PushBatch,
+    ChurnMode::Sharded(2),
+    ChurnMode::Sharded(4),
+    ChurnMode::Streaming(3, 5),
+    ChurnMode::Streaming(2, 64),
+];
+
+/// A live engine under churn: pushes events and hot-swaps plans.
+#[allow(clippy::large_enum_variant)] // test scaffolding, built a handful of times
+enum ChurnEngine {
+    Exec {
+        exec: ExecutablePlan,
+        sink: CollectingSink,
+        batched: bool,
+    },
+    Sharded(Option<ShardedRuntime<CollectingSink>>),
+    Streaming(StreamingShardedRuntime<CollectingSink>),
+}
+
+impl ChurnEngine {
+    fn new(mode: ChurnMode, plan: &PlanGraph) -> ChurnEngine {
+        match mode {
+            ChurnMode::PerEvent => ChurnEngine::Exec {
+                exec: ExecutablePlan::new(plan).unwrap(),
+                sink: CollectingSink::default(),
+                batched: false,
+            },
+            ChurnMode::PushBatch => ChurnEngine::Exec {
+                exec: ExecutablePlan::new(plan).unwrap(),
+                sink: CollectingSink::default(),
+                batched: true,
+            },
+            ChurnMode::Sharded(n) => {
+                ChurnEngine::Sharded(Some(ShardedRuntime::new(plan, n).unwrap()))
+            }
+            ChurnMode::Streaming(n, batch) => ChurnEngine::Streaming(
+                StreamingShardedRuntime::with_config(
+                    plan,
+                    n,
+                    StreamingConfig {
+                        batch_size: batch,
+                        queue_depth: 2,
+                    },
+                )
+                .unwrap(),
+            ),
+        }
+    }
+
+    fn push(&mut self, events: &[(SourceId, Tuple)]) {
+        match self {
+            ChurnEngine::Exec {
+                exec,
+                sink,
+                batched,
+            } => {
+                if *batched {
+                    exec.push_batch(events, sink).unwrap();
+                } else {
+                    for (src, t) in events {
+                        exec.push(*src, t.clone(), sink).unwrap();
+                    }
+                }
+            }
+            ChurnEngine::Sharded(rt) => rt.as_mut().unwrap().push_batch(events).unwrap(),
+            ChurnEngine::Streaming(rt) => rt.push_batch(events).unwrap(),
+        }
+    }
+
+    fn swap(&mut self, plan: &PlanGraph) {
+        match self {
+            ChurnEngine::Exec { exec, .. } => exec.apply_delta(plan).unwrap(),
+            ChurnEngine::Sharded(rt) => rt.as_mut().unwrap().update_plan(plan).unwrap(),
+            ChurnEngine::Streaming(rt) => rt.update_plan(plan).unwrap(),
+        }
+    }
+
+    /// Results so far without ending the engine (single-threaded modes
+    /// only — the step-wise oracle checks use this).
+    fn peek(&self) -> Option<Vec<(QueryId, Tuple)>> {
+        match self {
+            ChurnEngine::Exec { sink, .. } => Some(sink.results.clone()),
+            _ => None,
+        }
+    }
+
+    fn finish(self) -> Vec<(QueryId, Tuple)> {
+        match self {
+            ChurnEngine::Exec { sink, .. } => sink.results,
+            ChurnEngine::Sharded(rt) => rt.unwrap().finish().results,
+            ChurnEngine::Streaming(mut rt) => rt.finish().unwrap().results,
+        }
+    }
+}
+
+/// One query's life under a churn run: its logical plan, id, and the
+/// event-log window during which it was registered.
+#[derive(Debug, Clone)]
+struct QueryLife {
+    plan: LogicalPlan,
+    qid: QueryId,
+    birth: usize,
+    death: Option<usize>,
+}
+
+struct ChurnOutcome {
+    lives: Vec<QueryLife>,
+    results: Vec<(QueryId, Tuple)>,
+    fed: usize,
+}
+
+/// Runs a churn script under one engine mode. When `stepwise` is true
+/// (single-threaded modes), every step is followed by a full oracle
+/// check of every query's results so far.
+fn run_churn(
+    name: &str,
+    mode: ChurnMode,
+    initial: &[LogicalPlan],
+    steps: &[ChurnStep],
+    events: &[(SourceId, Tuple)],
+    stepwise: bool,
+) -> ChurnOutcome {
+    let optimizer = Optimizer::new(OptimizerConfig::default());
+    let mut plan = PlanGraph::new();
+    sources(&mut plan);
+    let mut lives: Vec<QueryLife> = Vec::new();
+    for q in initial {
+        let qid = plan.add_query(q).unwrap();
+        lives.push(QueryLife {
+            plan: q.clone(),
+            qid,
+            birth: 0,
+            death: None,
+        });
+    }
+    optimizer.optimize(&mut plan).unwrap();
+    plan.validate().unwrap();
+
+    let mut engine = ChurnEngine::new(mode, &plan);
+    let mut fed = 0usize;
+    for step in steps {
+        match step {
+            ChurnStep::Push(k) => {
+                let hi = (fed + k).min(events.len());
+                engine.push(&events[fed..hi]);
+                fed = hi;
+            }
+            ChurnStep::Add(q) => {
+                let integration = optimizer.integrate(&mut plan, q).unwrap();
+                plan.validate().unwrap();
+                engine.swap(&plan);
+                lives.push(QueryLife {
+                    plan: q.clone(),
+                    qid: integration.query,
+                    birth: fed,
+                    death: None,
+                });
+            }
+            ChurnStep::Remove(i) => {
+                let qid = lives[*i].qid;
+                plan.remove_query(qid).unwrap();
+                plan.validate().unwrap();
+                engine.swap(&plan);
+                lives[*i].death = Some(fed);
+            }
+        }
+        if stepwise {
+            if let Some(results) = engine.peek() {
+                assert_churn_oracle(
+                    name,
+                    &format!("{mode:?} (step-wise)"),
+                    &lives,
+                    &results,
+                    fed,
+                    events,
+                );
+            }
+        }
+    }
+    ChurnOutcome {
+        lives,
+        results: engine.finish(),
+        fed,
+    }
+}
+
+/// Byte-identical check of every query's lifetime results against its
+/// fresh-compile oracle.
+fn assert_churn_oracle(
+    name: &str,
+    mode: &str,
+    lives: &[QueryLife],
+    results: &[(QueryId, Tuple)],
+    fed: usize,
+    events: &[(SourceId, Tuple)],
+) {
+    for life in lives {
+        let mut fresh = PlanGraph::new();
+        sources(&mut fresh);
+        let oracle_q = fresh.add_query(&life.plan).unwrap();
+        Optimizer::new(OptimizerConfig::default())
+            .optimize(&mut fresh)
+            .unwrap();
+        let mut exec = ExecutablePlan::new(&fresh).unwrap();
+        let mut sink = CollectingSink::default();
+        let hi = life.death.unwrap_or(fed).min(fed);
+        for (src, t) in &events[life.birth.min(hi)..hi] {
+            exec.push(*src, t.clone(), &mut sink).unwrap();
+        }
+        let mut want: Vec<(u64, String)> = sink
+            .results
+            .iter()
+            .filter(|(q, _)| *q == oracle_q)
+            .map(|(_, t)| (t.ts, t.to_string()))
+            .collect();
+        want.sort();
+        let mut got: Vec<(u64, String)> = results
+            .iter()
+            .filter(|(q, _)| *q == life.qid)
+            .map(|(_, t)| (t.ts, t.to_string()))
+            .collect();
+        got.sort();
+        assert_eq!(
+            got, want,
+            "churn `{name}`: query {} (born {}, died {:?}) diverged from its \
+             fresh-compile oracle under {mode}",
+            life.qid, life.birth, life.death
+        );
+    }
+}
+
+/// The deterministic churn scripts: each is (initial queries, steps).
+/// Scripts only use lifecycle transitions the hot-swap protocol supports
+/// (no re-routing of live stateful state — `update_plan` refuses those).
+fn churn_scripts() -> Vec<(&'static str, Vec<LogicalPlan>, Vec<ChurnStep>)> {
+    use ChurnStep::*;
+    vec![
+        (
+            // Stateless churn around live stateful state: the keyed
+            // sequence and the grouped aggregate must keep matching
+            // across every add/remove.
+            "stateless_churn_over_stateful",
+            vec![equi_seq(30), aggregate(vec![0], 12)],
+            vec![
+                Push(40),
+                Add(LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64))),
+                Push(40),
+                Add(LogicalPlan::source("S").select(Predicate::attr_eq_const(1, 2i64))),
+                Push(40),
+                Remove(2),
+                Push(40),
+                Remove(3),
+                Add(LogicalPlan::source("U").select(Predicate::attr_eq_const(2, 3i64))),
+                Push(40),
+            ],
+        ),
+        (
+            // A stateful query arriving on (and later leaving) a
+            // previously stateless component: stateless → keyed → back.
+            "stateful_add_then_remove",
+            vec![LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 2i64))],
+            vec![
+                Push(40),
+                Add(equi_seq(15)),
+                Push(60),
+                Add(LogicalPlan::source("T").select(Predicate::attr_eq_const(1, 1i64))),
+                Push(40),
+                Remove(1),
+                Push(40),
+            ],
+        ),
+        (
+            // Churn around a *pinned* component: the unkeyed sequence
+            // stays on worker 0 while stateless siblings come and go
+            // (Pinned ↔ PinnedSplit flips).
+            "churn_around_pinned",
+            vec![unkeyed_seq(12)],
+            vec![
+                Push(40),
+                Add(LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64))),
+                Push(40),
+                Add(LogicalPlan::source("S")),
+                Push(30),
+                Remove(1),
+                Push(30),
+                Remove(2),
+                Push(30),
+            ],
+        ),
+        (
+            // Duplicate-query churn: the added select is CSE-identical to
+            // a resident one (their output streams alias), then leaves.
+            "cse_alias_churn",
+            vec![LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64))],
+            vec![
+                Push(30),
+                Add(LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64))),
+                Push(40),
+                Remove(1),
+                Push(40),
+            ],
+        ),
+        (
+            // Stateful arrival + churn on an independent component while
+            // an iterate holds state.
+            "iterate_resident_churn",
+            vec![keyed_iterate(20)],
+            vec![
+                Push(50),
+                Add(LogicalPlan::source("A").select(Predicate::attr_eq_const(2, 0i64))),
+                Push(50),
+                Add(aggregate(vec![0, 1], 9)),
+                Push(40),
+                Remove(1),
+                Push(40),
+            ],
+        ),
+    ]
+}
+
+#[test]
+fn churn_scripts_conform_to_fresh_compile_oracle_across_modes() {
+    for (name, initial, steps) in churn_scripts() {
+        let mut probe = PlanGraph::new();
+        let srcs = sources(&mut probe);
+        let events = interleaved(&srcs, 260);
+        for &mode in CHURN_MODES {
+            let stepwise = matches!(mode, ChurnMode::PerEvent);
+            let outcome = run_churn(name, mode, &initial, &steps, &events, stepwise);
+            assert_churn_oracle(
+                name,
+                &format!("{mode:?}"),
+                &outcome.lives,
+                &outcome.results,
+                outcome.fed,
+                &events,
+            );
+        }
+    }
+}
+
+/// Churn steps as generated data: pushes interleaved with adds/removes of
+/// stateless queries while a keyed sequence holds state throughout.
+#[derive(Debug, Clone)]
+enum RandomChurnStep {
+    Push(usize),
+    AddSelect(usize, i64),
+    RemoveOldest,
+}
+
+fn random_churn_strategy() -> impl Strategy<Value = Vec<RandomChurnStep>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..25).prop_map(RandomChurnStep::Push),
+            (0usize..3, 0i64..4).prop_map(|(a, c)| RandomChurnStep::AddSelect(a, c)),
+            Just(RandomChurnStep::RemoveOldest),
+        ],
+        1..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random interleavings of pushes with query add/remove: the
+    /// streaming pool (hot-swapped, never restarted) must match the
+    /// single-threaded per-event engine run through the same lifecycle,
+    /// and both must match the fresh-compile oracle per query.
+    #[test]
+    fn random_churn_interleavings_conform(
+        raw_steps in random_churn_strategy(),
+        raw in events_strategy(),
+        batch_size in 1usize..8,
+        n in 1usize..4,
+    ) {
+        let mut probe = PlanGraph::new();
+        let srcs = sources(&mut probe);
+        let events = to_events(&raw, &srcs);
+        let initial = vec![equi_seq(14), LogicalPlan::source("A").select(Predicate::attr_eq_const(1, 1i64))];
+        // Materialize the generated steps into a concrete script,
+        // resolving RemoveOldest against the add history.
+        let mut steps: Vec<ChurnStep> = Vec::new();
+        let mut added: Vec<usize> = Vec::new(); // indices into `lives` order
+        let mut next_index = initial.len();
+        for s in &raw_steps {
+            match s {
+                RandomChurnStep::Push(k) => steps.push(ChurnStep::Push(*k)),
+                RandomChurnStep::AddSelect(a, c) => {
+                    steps.push(ChurnStep::Add(
+                        LogicalPlan::source("U").select(Predicate::attr_eq_const(*a, *c)),
+                    ));
+                    added.push(next_index);
+                    next_index += 1;
+                }
+                RandomChurnStep::RemoveOldest => {
+                    if !added.is_empty() {
+                        steps.push(ChurnStep::Remove(added.remove(0)));
+                    }
+                }
+            }
+        }
+        steps.push(ChurnStep::Push(events.len()));
+
+        let reference = run_churn("random", ChurnMode::PerEvent, &initial, &steps, &events, false);
+        assert_churn_oracle(
+            "random",
+            "PerEvent",
+            &reference.lives,
+            &reference.results,
+            reference.fed,
+            &events,
+        );
+        let candidate = run_churn(
+            "random",
+            ChurnMode::Streaming(n, batch_size),
+            &initial,
+            &steps,
+            &events,
+            false,
+        );
+        let canon = |r: &[(QueryId, Tuple)]| {
+            let mut v: Vec<(u64, u32, String)> =
+                r.iter().map(|(q, t)| (t.ts, q.0, t.to_string())).collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(
+            canon(&candidate.results),
+            canon(&reference.results),
+            "streaming churn (n={}, batch_size={}) diverged from per-event",
+            n,
+            batch_size
+        );
+    }
+}
+
+// ----------------------------------------------------------------------
 // Streaming lifecycle: interleaved push / push_batch / flush sequences
 // must match one-shot batching, whatever the batch boundaries.
 // ----------------------------------------------------------------------
