@@ -4,39 +4,36 @@
 //! query-language scripts), runs the rule-based multi-query optimizer, and
 //! executes the resulting shared plan over pushed stream tuples.
 //!
-//! The execution paths share one compiled plan representation:
+//! ## One execution API
 //!
-//! * [`ExecutablePlan`] — the single-threaded push engine. Fully stateless
-//!   plans batch at channel-run granularity
-//!   ([`ExecutablePlan::push_batch`]); stateful plans run *hybrid*, still
-//!   batching the stateless prefix and dropping to timestamp-ordered
-//!   per-event delivery only at the first stateful m-op
-//!   ([`ExecutablePlan::is_prefix_batch_safe`]).
-//! * [`ShardedRuntime`] ([`Rumor::sharded_runtime`]) — one-shot data
-//!   parallelism: `n` clones of the whole plan behind a static router,
-//!   scoped threads per batch call. The partitioning analysis
-//!   (`rumor_core::partition`) decides per plan component whether tuples
-//!   may round-robin (stateless), must hash on a consistent key
-//!   (join/sequence/iterate/aggregate state), or must pin their stateful
-//!   subgraph to one worker (stateless sibling queries of a pinned
-//!   component still round-robin); per-worker sinks fold deterministically
-//!   at drain time ([`MergeSink`]).
-//! * [`StreamingShardedRuntime`] ([`Rumor::streaming_runtime`]) — the same
-//!   router over a *persistent* worker pool: long-lived workers behind
-//!   bounded queues, a `push`/`push_batch`/`flush`/`finish` lifecycle, and
-//!   backpressure instead of unbounded buffering. Prefer it whenever
-//!   events arrive continuously or in small batches; the one-shot runtime
-//!   only wins when the whole input is already in memory as a few large
-//!   slices.
-//! * [`run_pipelined_config`] — the pipelined runner, rebuilt on
-//!   *shard-local stages*: a convenience wrapper that streams a prepared
-//!   input through a [`StreamingShardedRuntime`] pass. (The former
-//!   topological-depth staging lost to single-threaded execution on cheap
-//!   operators and was retired.)
+//! Every engine speaks the same lifecycle — the [`EventRuntime`] trait
+//! (`push` / `push_batch` / `push_batch_shared` / `flush` / `finish` /
+//! `update_plan`) — and is constructed through one builder:
+//! [`Rumor::session`]. The builder chain picks the engine; results come
+//! back through per-query [`Subscription`]s or the [`Session::collect_all`]
+//! catch-all:
 //!
-//! Sharding pays off when there are physical cores to spare and per-event
-//! work is nontrivial; on a single core it measures the routing overhead
-//! (see `BENCH_throughput.json`).
+//! * `session().build()?` — [`LocalRuntime`], the single-threaded push
+//!   engine. Fully stateless plans batch at channel-run granularity;
+//!   stateful plans run *hybrid*, batching the stateless prefix and
+//!   dropping to timestamp-ordered per-event delivery only at the first
+//!   stateful m-op ([`ExecutablePlan::is_prefix_batch_safe`]).
+//! * `session().workers(n).build()?` — [`StreamingShardedRuntime`], the
+//!   persistent worker pool: long-lived workers behind bounded queues
+//!   with backpressure, fed by the static partition router
+//!   (`rumor_core::partition`): round-robin for stateless components,
+//!   hashed on consistent keys for key-partitionable ones, worker 0 for
+//!   pinned stateful subgraphs (stateless siblings still round-robin).
+//! * `session().workers(n).one_shot().build()?` — [`ShardedRuntime`],
+//!   the same router with scoped threads spawned per batch call; for
+//!   inputs already in memory as a few large slices.
+//!
+//! Per-worker sinks fold deterministically at every delivery barrier
+//! ([`MergeSink`]); all engines produce identical per-query results (the
+//! differential conformance harness pins this byte-for-byte). Sharding
+//! pays off when there are physical cores to spare and per-event work is
+//! nontrivial; on a single core it measures the routing overhead (see
+//! `BENCH_throughput.json` and the [`SessionBuilder`] docs).
 //!
 //! ## Dynamic query lifecycle
 //!
@@ -54,15 +51,14 @@
 //! * [`Rumor::remove_query`] (and `DROP QUERY name;`) retires a query,
 //!   pruning operators and channels nothing else references and
 //!   un-splitting stateless shared m-ops left serving one member.
-//! * Runtimes hot-swap from the delta: [`ExecutablePlan::apply_delta`]
-//!   carries every untouched operator's instance — windows, sequence
-//!   instance indexes, aggregate buckets — across the swap (state moves
-//!   by m-op id; only new or rewired operators start cold), and both
-//!   shard runtimes implement the *epoch protocol*
-//!   ([`ShardedRuntime::update_plan`],
-//!   [`StreamingShardedRuntime::update_plan`]): quiesce at a flush
-//!   barrier, install the patched plan on every worker, re-derive the
-//!   routing scheme incrementally, resume — the pool never restarts.
+//! * Runtimes hot-swap from the delta via [`EventRuntime::update_plan`]:
+//!   [`ExecutablePlan::apply_delta`] carries every untouched operator's
+//!   instance — windows, sequence instance indexes, aggregate buckets —
+//!   across the swap (state moves by m-op id; only new or rewired
+//!   operators start cold), and both shard engines implement the *epoch
+//!   protocol*: quiesce at a flush barrier, install the patched plan on
+//!   every worker, re-derive the routing scheme incrementally, resume —
+//!   the pool never restarts.
 //!
 //! When incremental integration cannot reach the fully shared plan (a
 //! merge would restructure a stateful m-op holding live state, or
@@ -74,7 +70,7 @@
 //! transition needs a fresh pool.
 //!
 //! ```
-//! use rumor_engine::{Rumor, CollectingSink};
+//! use rumor_engine::{EventRuntime, Rumor};
 //! use rumor_core::OptimizerConfig;
 //! use rumor_types::Tuple;
 //!
@@ -89,27 +85,31 @@
 //! let trace = rumor.optimize().unwrap();
 //! assert_eq!(trace.count("s_sigma"), 1); // both selections share one index
 //!
-//! let mut rt = rumor.runtime().unwrap();
-//! let mut sink = CollectingSink::default();
+//! let mut session = rumor.session().build().unwrap();
+//! let mut q0 = session.subscribe_named("q0").unwrap();
 //! let s = rumor.source_id("s").unwrap();
 //! for ts in 0..4u64 {
-//!     rt.push(s, Tuple::ints(ts, &[ts as i64 % 3, 0]), &mut sink).unwrap();
+//!     session.push(s, Tuple::ints(ts, &[ts as i64 % 3, 0])).unwrap();
 //! }
-//! assert_eq!(sink.results.len(), 2); // a0=1 at ts 1, a0=2 at ts 2
+//! session.finish().unwrap();
+//! assert_eq!(q0.drain().len(), 1); // a0=1 at ts 1, routed to q0's owner
+//! assert_eq!(session.collect_all().len(), 1); // unsubscribed q1: a0=2 at ts 2
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod exec;
 pub mod metrics;
-pub mod pipeline;
+pub mod session;
 pub mod shard;
 
 pub use exec::{CollectingSink, ConeScope, CountingSink, DiscardSink, ExecutablePlan, QuerySink};
 pub use metrics::{
     measure, measure_batched, measure_mode, FeedMode, InputEvent, Measurement, Protocol,
 };
-pub use pipeline::{run_pipelined, run_pipelined_config, PipelineConfig};
+pub use session::{
+    EventRuntime, LocalRuntime, Session, SessionBuilder, SessionConfig, Subscription,
+};
 pub use shard::{MergeSink, ShardedRuntime, StreamingConfig, StreamingShardedRuntime};
 
 use std::collections::HashMap;
@@ -153,6 +153,15 @@ impl Rumor {
         Ok(id)
     }
 
+    /// Registers a *channel source* (see
+    /// [`rumor_core::PlanGraph::add_source_group`]): `k` union-compatible
+    /// streams pre-encoded into one channel, fed with
+    /// [`Session::push_channel`]. The member streams are named
+    /// `{name}.{i}` and usable from logical plans like any stream.
+    pub fn add_source_group(&mut self, name: &str, schema: Schema, k: usize) -> Result<SourceId> {
+        self.plan.add_source_group(name, schema, k)
+    }
+
     /// Registers a logical query programmatically. Before
     /// [`Rumor::optimize`] this builds the naive chain for the coming
     /// batch optimization; afterwards it delegates to [`Rumor::add_query`]
@@ -170,9 +179,8 @@ impl Rumor {
     /// scoped to the new query's operators, and the returned
     /// [`Integration`] carries the [`RewriteTrace`] of that scoped run
     /// (including any declined stateful merges in its `notes`) plus the
-    /// [`PlanDelta`] describing what changed. Hand the *plan* to
-    /// [`ExecutablePlan::apply_delta`] / [`ShardedRuntime::update_plan`] /
-    /// [`StreamingShardedRuntime::update_plan`] for a live hot swap —
+    /// [`PlanDelta`] describing what changed. Hand the *plan* to a live
+    /// session's [`EventRuntime::update_plan`] for the hot swap —
     /// runtimes track what they have installed and diff against it
     /// themselves. If a runtime refuses the swap (it would re-route live
     /// stateful state), remove the offending query and update again; the
@@ -320,21 +328,17 @@ impl Rumor {
         self.query_names.get(name).copied()
     }
 
-    /// Compiles the plan into an executable runtime. The plan is used
-    /// as-is: call [`Rumor::optimize`] first to get the shared plan.
-    pub fn runtime(&self) -> Result<ExecutablePlan> {
-        ExecutablePlan::new(&self.plan)
-    }
-
-    /// Compiles the plan into a partition-parallel runtime of `n` workers
-    /// (see [`ShardedRuntime`]): the whole shared plan is cloned per
-    /// worker and input tuples are routed by the static partitioning
-    /// analysis — round-robin for stateless components, hashed on the
-    /// per-source key for key-partitionable ones, worker 0 for pinned
-    /// ones. Call [`Rumor::optimize`] first, as with [`Rumor::runtime`].
+    /// Opens a [`SessionBuilder`] over the current plan — the one way to
+    /// construct an execution runtime. The plan is used as-is: call
+    /// [`Rumor::optimize`] first to get the shared plan. The builder
+    /// chain picks the engine (single-threaded when
+    /// [`SessionBuilder::workers`] is omitted; see the builder docs for
+    /// guidance on choosing); the resulting [`Session`] speaks the
+    /// [`EventRuntime`] lifecycle and routes results to per-query
+    /// [`Subscription`]s.
     ///
     /// ```
-    /// use rumor_engine::{CollectingSink, Rumor, ShardedRuntime};
+    /// use rumor_engine::{EventRuntime, Rumor};
     /// use rumor_core::OptimizerConfig;
     /// use rumor_types::Tuple;
     ///
@@ -347,71 +351,20 @@ impl Rumor {
     ///     )
     ///     .unwrap();
     /// rumor.optimize().unwrap();
-    /// let mut rt: ShardedRuntime<CollectingSink> = rumor.sharded_runtime(4).unwrap();
+    /// // A 4-worker streaming session; `q1`'s owner subscribes.
+    /// let mut session = rumor.session().workers(4).build().unwrap();
+    /// let mut q1 = session.subscribe_named("q1").unwrap();
     /// let s = rumor.source_id("s").unwrap();
     /// let events: Vec<_> = (0..8u64)
     ///     .map(|ts| (s, Tuple::ints(ts, &[ts as i64 % 3, 0])))
     ///     .collect();
-    /// rt.push_batch(&events).unwrap();
-    /// assert_eq!(rt.into_results().len(), 5); // a0=1 at ts 1,4,7; a0=2 at ts 2,5
+    /// session.push_batch(&events).unwrap();
+    /// session.finish().unwrap();
+    /// assert_eq!(q1.drain().len(), 2); // a0=2 at ts 2,5 — q1's results only
+    /// assert_eq!(session.collect_all().len(), 3); // q0: a0=1 at ts 1,4,7
     /// ```
-    pub fn sharded_runtime<S: shard::MergeSink + Default>(
-        &self,
-        n: usize,
-    ) -> Result<ShardedRuntime<S>> {
-        ShardedRuntime::new(&self.plan, n)
-    }
-
-    /// Compiles the plan into a persistent streaming shard pool of `n`
-    /// workers (see [`StreamingShardedRuntime`]): the same plan-clone /
-    /// static-router design as [`Rumor::sharded_runtime`], but with
-    /// long-lived workers behind bounded queues, so small and continuous
-    /// batches amortize thread costs across the runtime's whole lifetime.
-    /// Use the one-shot [`Rumor::sharded_runtime`] when the entire input
-    /// is available up front as a few large batches; use this when events
-    /// arrive continuously (`push`/`push_batch` as data shows up, `flush`
-    /// to drain, `finish` for the merged results). Call [`Rumor::optimize`]
-    /// first, as with [`Rumor::runtime`].
-    ///
-    /// ```
-    /// use rumor_engine::{CollectingSink, Rumor, StreamingShardedRuntime};
-    /// use rumor_core::OptimizerConfig;
-    /// use rumor_types::Tuple;
-    ///
-    /// let mut rumor = Rumor::new(OptimizerConfig::default());
-    /// rumor
-    ///     .execute(
-    ///         "CREATE STREAM s (a0 INT, a1 INT);
-    ///          QUERY q0 AS SELECT * FROM s WHERE a0 = 1;
-    ///          QUERY q1 AS SELECT * FROM s WHERE a0 = 2;",
-    ///     )
-    ///     .unwrap();
-    /// rumor.optimize().unwrap();
-    /// let mut rt: StreamingShardedRuntime<CollectingSink> =
-    ///     rumor.streaming_runtime(4).unwrap();
-    /// let s = rumor.source_id("s").unwrap();
-    /// for ts in 0..8u64 {
-    ///     rt.push(s, Tuple::ints(ts, &[ts as i64 % 3, 0])).unwrap();
-    /// }
-    /// rt.flush().unwrap(); // barrier: queues drained, pool still live
-    /// let results = rt.into_results().unwrap();
-    /// assert_eq!(results.len(), 5); // a0=1 at ts 1,4,7; a0=2 at ts 2,5
-    /// ```
-    pub fn streaming_runtime<S: shard::MergeSink + Default + Send + 'static>(
-        &self,
-        n: usize,
-    ) -> Result<StreamingShardedRuntime<S>> {
-        StreamingShardedRuntime::new(&self.plan, n)
-    }
-
-    /// [`Rumor::streaming_runtime`] with explicit [`StreamingConfig`]
-    /// tuning (staging batch size, queue depth).
-    pub fn streaming_runtime_with<S: shard::MergeSink + Default + Send + 'static>(
-        &self,
-        n: usize,
-        config: StreamingConfig,
-    ) -> Result<StreamingShardedRuntime<S>> {
-        StreamingShardedRuntime::with_config(&self.plan, n, config)
+    pub fn session(&self) -> SessionBuilder<'_> {
+        SessionBuilder::new(&self.plan, self.query_names.clone())
     }
 
     /// Renders the current plan as text (diagnostics).
@@ -448,20 +401,29 @@ mod tests {
         assert_eq!(trace.count("s_sigma"), 1);
         assert_eq!(rumor.plan().mop_count(), 1);
 
-        let mut rt = rumor.runtime().unwrap();
-        let mut sink = CollectingSink::default();
+        let mut session = rumor.session().build().unwrap();
+        // Per-query delivery: a's owner subscribes; b and c go unclaimed.
+        let mut sub_a = session.subscribe_named("a").unwrap();
         let cpu = rumor.source_id("cpu").unwrap();
         for ts in 0..6u64 {
-            rt.push(cpu, Tuple::ints(ts, &[(ts % 3) as i64, 0]), &mut sink)
+            session
+                .push(cpu, Tuple::ints(ts, &[(ts % 3) as i64, 0]))
                 .unwrap();
         }
-        let a = rumor.query_id("a").unwrap();
+        session.finish().unwrap();
         let b = rumor.query_id("b").unwrap();
         let c = rumor.query_id("c").unwrap();
-        assert_eq!(sink.of(a).len(), 2);
-        assert_eq!(sink.of(b).len(), 2);
+        let a_results = sub_a.drain();
+        assert_eq!(a_results.len(), 2);
+        let rest = session.collect_all();
+        assert_eq!(rest.iter().filter(|(q, _)| *q == b).count(), 2);
         // Identical queries a and c were CSE-merged but both still report.
-        assert_eq!(sink.of(a), sink.of(c));
+        let c_results: Vec<&Tuple> = rest
+            .iter()
+            .filter(|(q, _)| *q == c)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(c_results, a_results.iter().collect::<Vec<_>>());
     }
 
     #[test]
@@ -517,9 +479,9 @@ mod tests {
             .unwrap();
         assert_eq!(qs.len(), 1);
         assert!(!delta.is_empty());
-        // The delta is exactly what a compiled runtime needs to hot-swap.
-        let mut rt = rumor.runtime().unwrap();
-        rt.apply_delta(rumor.plan()).unwrap();
+        // The mutated plan is exactly what a live session hot-swaps onto.
+        let mut session = rumor.session().build().unwrap();
+        session.update_plan(rumor.plan()).unwrap();
     }
 
     #[test]
@@ -543,20 +505,21 @@ mod tests {
             )
             .unwrap();
         rumor.optimize().unwrap();
-        let mut rt = rumor.runtime().unwrap();
-        let mut sink = CollectingSink::default();
+        let mut session = rumor.session().build().unwrap();
+        let mut alerts = session.subscribe_named("alerts").unwrap();
         let cpu = rumor.source_id("cpu").unwrap();
         // Process 7 ramps from 10 upward in steps of 20; process 8 stays flat.
         let mut ts = 0u64;
         for step in 0..10i64 {
-            rt.push(cpu, Tuple::ints(ts, &[7, 10 + step * 20]), &mut sink)
+            session
+                .push(cpu, Tuple::ints(ts, &[7, 10 + step * 20]))
                 .unwrap();
             ts += 1;
-            rt.push(cpu, Tuple::ints(ts, &[8, 50]), &mut sink).unwrap();
+            session.push(cpu, Tuple::ints(ts, &[8, 50])).unwrap();
             ts += 1;
         }
-        let alerts = rumor.query_id("alerts").unwrap();
-        let got = sink.of(alerts);
+        session.finish().unwrap();
+        let got = alerts.drain();
         assert!(!got.is_empty(), "ramping process must trigger the alert");
         // Every alert is for process 7 with smoothed load > 90.
         for t in got {

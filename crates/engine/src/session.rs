@@ -1,0 +1,888 @@
+//! The unified execution API: one [`EventRuntime`] trait over all three
+//! engines, one [`SessionBuilder`] to construct them, and a per-query
+//! [`Subscription`] layer for result delivery.
+//!
+//! RUMOR's premise is that *one* shared plan serves every registered
+//! query; this module makes the execution surface match. Instead of three
+//! runtime types with three incompatible lifecycles, every engine — the
+//! single-threaded push engine, the one-shot sharded runtime, and the
+//! persistent streaming shard pool — implements the same
+//! `push`/`push_batch`/`push_batch_shared`/`flush`/`finish`/`update_plan`
+//! trait, and a [`Session`] built by [`crate::Rumor::session`] wraps
+//! whichever engine the builder selected behind one result-delivery
+//! story:
+//!
+//! * [`Session::subscribe`] / [`Session::subscribe_named`] hand out a
+//!   [`Subscription`] that receives exactly *that* query's results — the
+//!   consumer-facing decomposition of the shared plan (each of many users
+//!   owns a query; results route back to that user, not into one
+//!   monolithic sink).
+//! * [`Session::collect_all`] is the escape hatch for everything no
+//!   subscriber claimed; the old pass-a-sink-at-every-call surface
+//!   survives only as an internal detail beneath it.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, Weak};
+
+use rumor_core::{PartitionScheme, PlanGraph};
+use rumor_types::{Membership, QueryId, Result, RumorError, SourceId, Tuple};
+
+use crate::exec::{CollectingSink, ExecutablePlan, QuerySink};
+use crate::shard::{ShardedRuntime, StreamingConfig, StreamingShardedRuntime};
+
+/// The one execution lifecycle every RUMOR engine speaks.
+///
+/// Implemented by all three engines — [`LocalRuntime`] (the
+/// single-threaded push engine), [`ShardedRuntime`] (one-shot partition
+/// parallelism), and [`StreamingShardedRuntime`] (the persistent worker
+/// pool) — and by [`Session`], which wraps any of them behind the
+/// subscription layer. Generic drivers (the conformance harness, the
+/// throughput bench) are written once against this trait and run
+/// unchanged over every engine.
+///
+/// Lifecycle contract, identical across implementations:
+///
+/// * Events are fed with [`EventRuntime::push`] (one tuple),
+///   [`EventRuntime::push_batch`] (a timestamp-ordered slice), or
+///   [`EventRuntime::push_batch_shared`] (a refcounted batch the
+///   streaming pool can ship zero-copy). Timestamps must be globally
+///   non-decreasing across all calls.
+/// * [`EventRuntime::flush`] is a barrier, not a shutdown: every event
+///   accepted so far is fully processed when it returns, and the runtime
+///   keeps accepting events afterwards.
+/// * [`EventRuntime::finish`] ends the lifecycle. After it, *every*
+///   method of this trait — including a second `finish` — returns
+///   [`RumorError::Finished`]; no implementation panics or silently
+///   no-ops on misuse.
+/// * [`EventRuntime::update_plan`] hot-swaps the runtime onto a mutated
+///   plan graph (the dynamic query lifecycle): operators untouched since
+///   the last installed plan keep their state, and swaps that would
+///   re-route tuples away from live stateful state are refused without
+///   touching the runtime.
+pub trait EventRuntime {
+    /// Processes one source tuple.
+    fn push(&mut self, source: SourceId, tuple: Tuple) -> Result<()>;
+
+    /// Processes a timestamp-ordered event slice.
+    fn push_batch(&mut self, events: &[(SourceId, Tuple)]) -> Result<()>;
+
+    /// [`EventRuntime::push_batch`] with ownership handoff: engines that
+    /// can use the shared allocation (the streaming pool ships stateless
+    /// schemes per-worker *ranges* of it, zero-copy) do; everyone else
+    /// falls back to the plain batched path.
+    fn push_batch_shared(&mut self, events: Arc<Vec<(SourceId, Tuple)>>) -> Result<()> {
+        self.push_batch(&events)
+    }
+
+    /// Drain barrier: blocks until every event accepted so far is fully
+    /// processed. The runtime keeps accepting events afterwards.
+    fn flush(&mut self) -> Result<()>;
+
+    /// Ends the lifecycle: drains all outstanding work and shuts worker
+    /// pools down. Every later call on this runtime (including a second
+    /// `finish`) returns [`RumorError::Finished`].
+    fn finish(&mut self) -> Result<()>;
+
+    /// Hot-swaps the runtime onto a mutated plan graph, carrying the
+    /// state of every operator the change does not touch. Refused (with
+    /// an error, runtime untouched) when the change would re-route
+    /// tuples away from live stateful state.
+    fn update_plan(&mut self, plan: &PlanGraph) -> Result<()>;
+}
+
+/// The single-threaded engine behind the [`EventRuntime`] lifecycle: an
+/// [`ExecutablePlan`] paired with the sink it feeds. This is the engine a
+/// [`Session`] runs when the builder's worker count is omitted — and the
+/// reference semantics every parallel engine must reproduce.
+pub struct LocalRuntime<S: QuerySink + Default> {
+    exec: ExecutablePlan,
+    sink: S,
+    finished: bool,
+}
+
+impl<S: QuerySink + Default> LocalRuntime<S> {
+    /// Compiles `plan` into a single-threaded runtime with a default sink.
+    pub fn new(plan: &PlanGraph) -> Result<Self> {
+        Ok(LocalRuntime {
+            exec: ExecutablePlan::new(plan)?,
+            sink: S::default(),
+            finished: false,
+        })
+    }
+
+    fn ensure_live(&self, op: &str) -> Result<()> {
+        if self.finished {
+            return Err(RumorError::finished(op));
+        }
+        Ok(())
+    }
+
+    /// Source events accepted so far.
+    pub fn events_in(&self) -> u64 {
+        self.exec.events_in
+    }
+
+    /// Takes everything the sink accumulated since the last drain,
+    /// leaving a fresh default sink in place. Valid after
+    /// [`EventRuntime::finish`] (that is how the final results get out).
+    pub fn drain_sink(&mut self) -> S {
+        std::mem::take(&mut self.sink)
+    }
+
+    /// Pushes one channel tuple on a channel-group source (Workload 3's
+    /// input shape): `membership` says which of the group's streams the
+    /// tuple belongs to. Channel input is a single-threaded capability —
+    /// the partition router has no channel routes.
+    pub fn push_channel(
+        &mut self,
+        source: SourceId,
+        tuple: Tuple,
+        membership: Membership,
+    ) -> Result<()> {
+        self.ensure_live("push_channel")?;
+        self.exec
+            .push_channel(source, tuple, membership, &mut self.sink)
+    }
+}
+
+impl<S: QuerySink + Default> EventRuntime for LocalRuntime<S> {
+    fn push(&mut self, source: SourceId, tuple: Tuple) -> Result<()> {
+        self.ensure_live("push")?;
+        self.exec.push(source, tuple, &mut self.sink)
+    }
+
+    fn push_batch(&mut self, events: &[(SourceId, Tuple)]) -> Result<()> {
+        self.ensure_live("push_batch")?;
+        self.exec.push_batch(events, &mut self.sink)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        // The single-threaded engine drains every push inline; the
+        // barrier is trivially satisfied.
+        self.ensure_live("flush")
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.ensure_live("finish")?;
+        self.finished = true;
+        Ok(())
+    }
+
+    fn update_plan(&mut self, plan: &PlanGraph) -> Result<()> {
+        self.ensure_live("update_plan")?;
+        self.exec.apply_delta(plan)
+    }
+}
+
+// ----------------------------------------------------------------------
+// The session builder.
+// ----------------------------------------------------------------------
+
+/// Plain-data description of a session's engine choice — everything
+/// [`SessionBuilder`] configures, as a value. Useful for table-driven
+/// harnesses that run one generic driver over many engine configurations
+/// (`engine.session().config(cfg).build()?`).
+#[derive(Debug, Clone, Default)]
+pub struct SessionConfig {
+    /// Worker count. `None` selects the single-threaded engine.
+    pub workers: Option<usize>,
+    /// With `workers` set: use the one-shot sharded runtime (scoped
+    /// threads per batch call) instead of the persistent streaming pool.
+    pub one_shot: bool,
+    /// With `workers` set and `one_shot` false: tuning for the streaming
+    /// pool (staging batch size, queue depth). `None` uses the defaults.
+    pub streaming: Option<StreamingConfig>,
+}
+
+/// Builds a [`Session`] over the engine's current (optimized) plan.
+///
+/// Constructed by [`crate::Rumor::session`]; the chain picks the engine:
+///
+/// ```text
+/// engine.session().build()?                          // single-threaded
+/// engine.session().workers(4).build()?               // streaming pool, 4 workers
+/// engine.session().workers(4).streaming(cfg).build()?// ... with explicit tuning
+/// engine.session().workers(4).one_shot().build()?    // one-shot sharded
+/// ```
+///
+/// **Which engine should I pick?** Omit [`SessionBuilder::workers`]
+/// (single-threaded) unless there are physical cores to spare: on one
+/// core the parallel engines only measure their routing overhead. With
+/// cores available, prefer `workers(n)` — the *persistent streaming
+/// pool* — whenever events arrive continuously or in small batches:
+/// long-lived workers behind bounded queues amortize thread costs over
+/// the session's whole lifetime and give backpressure instead of
+/// unbounded buffering. Add [`SessionBuilder::one_shot`] only when the
+/// entire input is already in memory as a few large batches; it spawns
+/// scoped worker threads per `push_batch` call, which is cheaper than a
+/// pool it would barely use but recurs on every call. Either way the
+/// shared plan is cloned per worker and tuples are routed by the static
+/// partitioning analysis (round-robin for stateless components, hashed
+/// on consistent keys for key-partitionable ones, worker 0 for pinned
+/// stateful subgraphs); results are identical across all engines.
+#[must_use = "a session builder does nothing until `.build()`"]
+pub struct SessionBuilder<'a> {
+    plan: &'a PlanGraph,
+    names: HashMap<String, QueryId>,
+    config: SessionConfig,
+}
+
+impl<'a> SessionBuilder<'a> {
+    pub(crate) fn new(plan: &'a PlanGraph, names: HashMap<String, QueryId>) -> Self {
+        SessionBuilder {
+            plan,
+            names,
+            config: SessionConfig::default(),
+        }
+    }
+
+    /// Runs the session on `n` parallel workers (default: the persistent
+    /// streaming pool). Omit for the single-threaded engine.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = Some(n);
+        self
+    }
+
+    /// Explicit streaming-pool tuning (staging batch size, queue depth).
+    /// Requires [`SessionBuilder::workers`].
+    pub fn streaming(mut self, config: StreamingConfig) -> Self {
+        self.config.streaming = Some(config);
+        self
+    }
+
+    /// Selects the one-shot sharded runtime (scoped threads per batch
+    /// call) instead of the streaming pool. Requires
+    /// [`SessionBuilder::workers`].
+    pub fn one_shot(mut self) -> Self {
+        self.config.one_shot = true;
+        self
+    }
+
+    /// Replaces the whole configuration at once (table-driven harnesses).
+    pub fn config(mut self, config: SessionConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Compiles the session. Fails on contradictory configuration
+    /// (`one_shot` or `streaming` without `workers`, or both together)
+    /// and on plan compilation errors.
+    pub fn build(self) -> Result<Session> {
+        let backend = match self.config.workers {
+            None => {
+                if self.config.one_shot {
+                    return Err(RumorError::plan(
+                        "one_shot() requires workers(n)".to_string(),
+                    ));
+                }
+                if self.config.streaming.is_some() {
+                    return Err(RumorError::plan(
+                        "streaming(cfg) requires workers(n)".to_string(),
+                    ));
+                }
+                Backend::Local(LocalRuntime::new(self.plan)?)
+            }
+            Some(n) => {
+                if self.config.one_shot {
+                    if self.config.streaming.is_some() {
+                        return Err(RumorError::plan(
+                            "one_shot() sessions take no streaming(cfg)".to_string(),
+                        ));
+                    }
+                    Backend::OneShot(ShardedRuntime::new(self.plan, n)?)
+                } else {
+                    let cfg = self.config.streaming.unwrap_or_default();
+                    Backend::Streaming(StreamingShardedRuntime::with_config(self.plan, n, cfg)?)
+                }
+            }
+        };
+        Ok(Session {
+            backend,
+            names: self.names,
+            subs: HashMap::new(),
+            unclaimed: Vec::new(),
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// The session and its subscription layer.
+// ----------------------------------------------------------------------
+
+/// The per-query buffer a [`Subscription`] handle and its session share.
+struct SubChannel {
+    query: QueryId,
+    buf: Mutex<VecDeque<Tuple>>,
+}
+
+/// A handle to one query's result stream (from [`Session::subscribe`]).
+///
+/// Results the session delivers for this query land here instead of in
+/// [`Session::collect_all`]'s catch-all. Drain them with
+/// [`Subscription::drain`] or iterate the handle directly (the iterator
+/// is non-blocking: it ends when the buffer is currently empty and
+/// resumes yielding once more results are delivered).
+///
+/// **Unsubscribing** is dropping the handle (or calling the explicit
+/// [`Subscription::unsubscribe`]): the session notices on the next
+/// delivery and routes the query's further results back to the
+/// catch-all. At most one subscription per query is live at a time — a
+/// newer [`Session::subscribe`] for the same query supersedes the old
+/// handle, which keeps what it already received but gets nothing new.
+#[must_use = "dropping a subscription unsubscribes it; hold it to receive results"]
+pub struct Subscription {
+    chan: Arc<SubChannel>,
+}
+
+impl Subscription {
+    /// The subscribed query.
+    pub fn query(&self) -> QueryId {
+        self.chan.query
+    }
+
+    /// Takes every result delivered since the last drain, in delivery
+    /// order.
+    pub fn drain(&mut self) -> Vec<Tuple> {
+        std::mem::take(&mut *self.chan.buf.lock().expect("subscription poisoned")).into()
+    }
+
+    /// Takes the oldest undrained result, if one is buffered.
+    pub fn try_next(&mut self) -> Option<Tuple> {
+        self.chan
+            .buf
+            .lock()
+            .expect("subscription poisoned")
+            .pop_front()
+    }
+
+    /// Currently buffered (undrained) result count.
+    pub fn len(&self) -> usize {
+        self.chan.buf.lock().expect("subscription poisoned").len()
+    }
+
+    /// Whether nothing is currently buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Explicit unsubscribe — equivalent to dropping the handle: the
+    /// query's further results go to [`Session::collect_all`].
+    pub fn unsubscribe(self) {}
+}
+
+impl Iterator for Subscription {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        self.try_next()
+    }
+}
+
+enum Backend {
+    Local(LocalRuntime<CollectingSink>),
+    OneShot(ShardedRuntime<CollectingSink>),
+    Streaming(StreamingShardedRuntime<CollectingSink>),
+}
+
+impl Backend {
+    /// Barrier + drain on a *live* engine — the mid-stream delivery
+    /// point. Pulls everything accumulated since the last drain (for the
+    /// parallel engines: merged across workers, worker 0 first, then
+    /// `(ts, query)`-normalized by `MergeSink::finalize`). Returns the
+    /// typed [`RumorError::Finished`] after `finish`, like every other
+    /// lifecycle call.
+    fn drain_live(&mut self) -> Result<CollectingSink> {
+        match self {
+            // `flush` doubles as the liveness check on the engines whose
+            // barrier is free (both run workers synchronously inside the
+            // push calls).
+            Backend::Local(rt) => {
+                rt.flush()?;
+                Ok(rt.drain_sink())
+            }
+            Backend::OneShot(rt) => {
+                EventRuntime::flush(rt)?;
+                Ok(rt.drain_sink())
+            }
+            // The streaming sink handoff is itself a drain barrier (queue
+            // FIFO + blocking recv) — one cross-worker round-trip; a
+            // separate flush here would pay a second one.
+            Backend::Streaming(rt) => {
+                if rt.is_finished() {
+                    return Err(RumorError::finished("flush"));
+                }
+                rt.drain_sink()
+            }
+        }
+    }
+
+    /// The final drain after a successful `finish` (lifecycle checks
+    /// already passed): whatever the shutdown engine still holds.
+    fn drain_final(&mut self) -> CollectingSink {
+        match self {
+            Backend::Local(rt) => rt.drain_sink(),
+            Backend::OneShot(rt) => rt.drain_sink(),
+            Backend::Streaming(rt) => rt.take_final_sink(),
+        }
+    }
+}
+
+impl EventRuntime for Backend {
+    fn push(&mut self, source: SourceId, tuple: Tuple) -> Result<()> {
+        match self {
+            Backend::Local(rt) => rt.push(source, tuple),
+            Backend::OneShot(rt) => rt.push(source, tuple),
+            Backend::Streaming(rt) => rt.push(source, tuple),
+        }
+    }
+
+    fn push_batch(&mut self, events: &[(SourceId, Tuple)]) -> Result<()> {
+        match self {
+            Backend::Local(rt) => rt.push_batch(events),
+            Backend::OneShot(rt) => rt.push_batch(events),
+            Backend::Streaming(rt) => rt.push_batch(events),
+        }
+    }
+
+    fn push_batch_shared(&mut self, events: Arc<Vec<(SourceId, Tuple)>>) -> Result<()> {
+        match self {
+            Backend::Local(rt) => rt.push_batch_shared(events),
+            Backend::OneShot(rt) => rt.push_batch_shared(events),
+            Backend::Streaming(rt) => rt.push_batch_shared(events),
+        }
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        match self {
+            Backend::Local(rt) => rt.flush(),
+            Backend::OneShot(rt) => rt.flush(),
+            Backend::Streaming(rt) => rt.flush(),
+        }
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        match self {
+            Backend::Local(rt) => rt.finish(),
+            Backend::OneShot(rt) => rt.finish(),
+            Backend::Streaming(rt) => rt.finish(),
+        }
+    }
+
+    fn update_plan(&mut self, plan: &PlanGraph) -> Result<()> {
+        match self {
+            Backend::Local(rt) => rt.update_plan(plan),
+            Backend::OneShot(rt) => rt.update_plan(plan),
+            Backend::Streaming(rt) => rt.update_plan(plan),
+        }
+    }
+}
+
+/// One execution session over the shared plan: an engine (selected by
+/// [`SessionBuilder`]) plus the per-query result-delivery layer.
+///
+/// `Session` itself implements [`EventRuntime`], so generic drivers treat
+/// it exactly like the bare engines; on top of the trait it adds:
+///
+/// * [`Session::subscribe`] — a [`Subscription`] receiving exactly one
+///   query's results;
+/// * [`Session::collect_all`] — the catch-all for results no live
+///   subscription claimed;
+/// * [`Session::update_plan`] (via the trait) — live query add/remove
+///   with operator state carried across.
+///
+/// ## When results are delivered
+///
+/// Results surface to subscriptions and the catch-all at *delivery
+/// points*: immediately after every push for the single-threaded
+/// session, and at every [`EventRuntime::flush`] /
+/// [`EventRuntime::finish`] barrier for the parallel sessions (worker
+/// sinks are merged deterministically at the barrier — worker 0 first,
+/// then `(ts, query)`-ordered within the barrier epoch). `flush()` is
+/// therefore the portable "make results visible now" call.
+///
+/// ## Results produced before the first subscriber
+///
+/// A subscription receives exactly the results *delivered after it was
+/// created*. Anything delivered earlier — including everything produced
+/// while no subscriber existed — stays in the catch-all, retrievable via
+/// [`Session::collect_all`]; it is never retroactively moved. To see a
+/// query's entire output through its subscription, subscribe before
+/// pushing events. (For the parallel sessions, results of *pushed but
+/// not yet flushed* events are delivered at the next barrier, so a
+/// subscription created before that barrier still receives them.)
+pub struct Session {
+    backend: Backend,
+    names: HashMap<String, QueryId>,
+    subs: HashMap<QueryId, Weak<SubChannel>>,
+    unclaimed: Vec<(QueryId, Tuple)>,
+}
+
+impl Session {
+    /// Subscribes to one query's results. Supersedes any previous live
+    /// subscription for the same query (see [`Subscription`]).
+    pub fn subscribe(&mut self, query: QueryId) -> Subscription {
+        let chan = Arc::new(SubChannel {
+            query,
+            buf: Mutex::new(VecDeque::new()),
+        });
+        self.subs.insert(query, Arc::downgrade(&chan));
+        Subscription { chan }
+    }
+
+    /// [`Session::subscribe`] by registered query name (`QUERY name AS
+    /// ...`), resolved against the names known when the session was
+    /// built. Queries added live afterwards are subscribed by the id
+    /// their [`rumor_core::Integration`] reports.
+    pub fn subscribe_named(&mut self, name: &str) -> Result<Subscription> {
+        let query = self
+            .names
+            .get(name)
+            .copied()
+            .ok_or_else(|| RumorError::unknown(format!("query `{name}`")))?;
+        Ok(self.subscribe(query))
+    }
+
+    /// Drains every result delivered so far that no live subscription
+    /// claimed, in delivery order. This is the whole-plan escape hatch —
+    /// the moral successor of handing one monolithic sink to every push
+    /// call. Reflects deliveries up to the most recent delivery point
+    /// (see the type docs); call [`EventRuntime::flush`] first to force
+    /// one.
+    pub fn collect_all(&mut self) -> Vec<(QueryId, Tuple)> {
+        std::mem::take(&mut self.unclaimed)
+    }
+
+    /// Source events accepted so far.
+    pub fn events_in(&self) -> u64 {
+        match &self.backend {
+            Backend::Local(rt) => rt.events_in(),
+            Backend::OneShot(rt) => rt.events_in(),
+            Backend::Streaming(rt) => rt.events_in(),
+        }
+    }
+
+    /// Worker count of the underlying engine (1 for single-threaded).
+    pub fn workers(&self) -> usize {
+        match &self.backend {
+            Backend::Local(_) => 1,
+            Backend::OneShot(rt) => rt.workers(),
+            Backend::Streaming(rt) => rt.workers(),
+        }
+    }
+
+    /// The partition-routing scheme in force — `None` for the
+    /// single-threaded session, which routes nothing.
+    pub fn scheme(&self) -> Option<&PartitionScheme> {
+        match &self.backend {
+            Backend::Local(_) => None,
+            Backend::OneShot(rt) => Some(rt.scheme()),
+            Backend::Streaming(rt) => Some(rt.scheme()),
+        }
+    }
+
+    /// Pushes one channel tuple on a channel-group source (Workload 3's
+    /// input shape). Single-threaded sessions only: the partition router
+    /// has no channel routes, so parallel sessions reject this.
+    pub fn push_channel(
+        &mut self,
+        source: SourceId,
+        tuple: Tuple,
+        membership: Membership,
+    ) -> Result<()> {
+        match &mut self.backend {
+            Backend::Local(rt) => rt.push_channel(source, tuple, membership)?,
+            _ => {
+                return Err(RumorError::exec(
+                    "channel input requires a single-threaded session (omit workers)".to_string(),
+                ))
+            }
+        }
+        self.deliver_local();
+        Ok(())
+    }
+
+    /// Routes a batch of drained results: each to its query's live
+    /// subscription, the rest to the catch-all.
+    fn deliver(&mut self, results: Vec<(QueryId, Tuple)>) {
+        for (query, tuple) in results {
+            match self.subs.get(&query).and_then(Weak::upgrade) {
+                Some(chan) => chan
+                    .buf
+                    .lock()
+                    .expect("subscription poisoned")
+                    .push_back(tuple),
+                None => {
+                    // Dead weak handles (dropped subscriptions) are
+                    // pruned lazily, right when a result would have gone
+                    // to them.
+                    self.subs.remove(&query);
+                    self.unclaimed.push((query, tuple));
+                }
+            }
+        }
+    }
+
+    /// Single-threaded delivery point: the local engine produced results
+    /// synchronously during the last push; route them now.
+    fn deliver_local(&mut self) {
+        if let Backend::Local(rt) = &mut self.backend {
+            if !rt.sink.results.is_empty() {
+                let sink = rt.drain_sink();
+                self.deliver(sink.results);
+            }
+        }
+    }
+
+    /// Barrier delivery point on the live session: drain whatever the
+    /// engine accumulated and route it.
+    fn deliver_barrier(&mut self) -> Result<()> {
+        let sink = self.backend.drain_live()?;
+        if !sink.results.is_empty() {
+            self.deliver(sink.results);
+        }
+        Ok(())
+    }
+}
+
+impl EventRuntime for Session {
+    fn push(&mut self, source: SourceId, tuple: Tuple) -> Result<()> {
+        self.backend.push(source, tuple)?;
+        self.deliver_local();
+        Ok(())
+    }
+
+    fn push_batch(&mut self, events: &[(SourceId, Tuple)]) -> Result<()> {
+        self.backend.push_batch(events)?;
+        self.deliver_local();
+        Ok(())
+    }
+
+    fn push_batch_shared(&mut self, events: Arc<Vec<(SourceId, Tuple)>>) -> Result<()> {
+        self.backend.push_batch_shared(events)?;
+        self.deliver_local();
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        // drain_live is itself the barrier (it flushes or hands the
+        // worker sinks off), so no separate backend.flush() round-trip.
+        self.deliver_barrier()
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.backend.finish()?;
+        let sink = self.backend.drain_final();
+        if !sink.results.is_empty() {
+            self.deliver(sink.results);
+        }
+        Ok(())
+    }
+
+    fn update_plan(&mut self, plan: &PlanGraph) -> Result<()> {
+        self.backend.update_plan(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rumor;
+    use rumor_core::OptimizerConfig;
+
+    fn engine() -> Rumor {
+        let mut rumor = Rumor::new(OptimizerConfig::default());
+        rumor
+            .execute(
+                "CREATE STREAM s (a INT, b INT);
+                 QUERY q0 AS SELECT * FROM s WHERE a = 0;
+                 QUERY q1 AS SELECT * FROM s WHERE a = 1;",
+            )
+            .unwrap();
+        rumor.optimize().unwrap();
+        rumor
+    }
+
+    fn events(n: u64) -> Vec<Tuple> {
+        (0..n)
+            .map(|ts| Tuple::ints(ts, &[(ts % 3) as i64, ts as i64]))
+            .collect()
+    }
+
+    /// Every engine configuration the builder can produce.
+    fn all_configs() -> Vec<SessionConfig> {
+        vec![
+            SessionConfig::default(),
+            SessionConfig {
+                workers: Some(2),
+                one_shot: true,
+                streaming: None,
+            },
+            SessionConfig {
+                workers: Some(2),
+                one_shot: false,
+                streaming: Some(StreamingConfig {
+                    batch_size: 4,
+                    queue_depth: 2,
+                }),
+            },
+        ]
+    }
+
+    #[test]
+    fn builder_rejects_contradictory_configs() {
+        let rumor = engine();
+        assert!(rumor.session().one_shot().build().is_err());
+        assert!(rumor
+            .session()
+            .streaming(StreamingConfig::default())
+            .build()
+            .is_err());
+        assert!(rumor
+            .session()
+            .workers(2)
+            .one_shot()
+            .streaming(StreamingConfig::default())
+            .build()
+            .is_err());
+        assert!(rumor.session().workers(0).build().is_err());
+    }
+
+    #[test]
+    fn lifecycle_misuse_returns_the_same_typed_error_on_every_engine() {
+        let rumor = engine();
+        let s = rumor.source_id("s").unwrap();
+        for cfg in all_configs() {
+            let mut session = rumor.session().config(cfg.clone()).build().unwrap();
+            session.push(s, Tuple::ints(0, &[0, 0])).unwrap();
+            session.finish().unwrap();
+            // Push-after-finish, flush-after-finish, double-finish,
+            // update-after-finish: all the *same* typed error.
+            for err in [
+                session.push(s, Tuple::ints(1, &[0, 0])),
+                session.push_batch(&[]),
+                session.push_batch_shared(Arc::new(Vec::new())),
+                session.flush(),
+                session.finish(),
+                session.update_plan(rumor.plan()),
+            ] {
+                assert!(
+                    matches!(err, Err(RumorError::Finished(_))),
+                    "{cfg:?}: {err:?}"
+                );
+            }
+            // The already-delivered results stay retrievable.
+            assert_eq!(session.collect_all().len(), 1);
+        }
+    }
+
+    #[test]
+    fn subscriptions_route_per_query_on_every_engine() {
+        let rumor = engine();
+        let s = rumor.source_id("s").unwrap();
+        let q0 = rumor.query_id("q0").unwrap();
+        let q1 = rumor.query_id("q1").unwrap();
+        for cfg in all_configs() {
+            let mut session = rumor.session().config(cfg.clone()).build().unwrap();
+            let mut sub = session.subscribe(q0);
+            let batch: Vec<_> = events(30).into_iter().map(|t| (s, t)).collect();
+            session.push_batch(&batch).unwrap();
+            session.finish().unwrap();
+            let got = sub.drain();
+            assert_eq!(got.len(), 10, "{cfg:?}");
+            assert!(got.iter().all(|t| t.ts % 3 == 0));
+            let rest = session.collect_all();
+            assert!(rest.iter().all(|(q, _)| *q == q1), "{cfg:?}: {rest:?}");
+            assert_eq!(rest.len(), 10, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn results_before_first_subscriber_stay_in_collect_all() {
+        let rumor = engine();
+        let s = rumor.source_id("s").unwrap();
+        let q0 = rumor.query_id("q0").unwrap();
+        let mut session = rumor.session().build().unwrap();
+        session.push(s, Tuple::ints(0, &[0, 0])).unwrap();
+        session.flush().unwrap();
+        // Everything delivered so far predates the subscription: it is
+        // never retroactively moved.
+        let mut sub = session.subscribe(q0);
+        session.push(s, Tuple::ints(3, &[0, 1])).unwrap();
+        session.finish().unwrap();
+        assert_eq!(sub.drain().len(), 1);
+        assert_eq!(session.collect_all().len(), 1);
+    }
+
+    #[test]
+    fn dropping_a_subscription_unsubscribes() {
+        let rumor = engine();
+        let s = rumor.source_id("s").unwrap();
+        let q0 = rumor.query_id("q0").unwrap();
+        let mut session = rumor.session().build().unwrap();
+        let sub = session.subscribe(q0);
+        drop(sub);
+        session.push(s, Tuple::ints(0, &[0, 0])).unwrap();
+        session.finish().unwrap();
+        assert_eq!(session.collect_all().len(), 1, "routed to the catch-all");
+    }
+
+    #[test]
+    fn newer_subscription_supersedes_older() {
+        let rumor = engine();
+        let s = rumor.source_id("s").unwrap();
+        let q0 = rumor.query_id("q0").unwrap();
+        let mut session = rumor.session().build().unwrap();
+        let mut old = session.subscribe(q0);
+        session.push(s, Tuple::ints(0, &[0, 0])).unwrap();
+        let mut new = session.subscribe(q0);
+        session.push(s, Tuple::ints(3, &[0, 1])).unwrap();
+        session.finish().unwrap();
+        // The old handle keeps what it already received, nothing more.
+        assert_eq!(old.drain().len(), 1);
+        assert_eq!(new.drain().len(), 1);
+        assert!(session.collect_all().is_empty());
+    }
+
+    #[test]
+    fn subscription_iterates_nonblocking() {
+        let rumor = engine();
+        let s = rumor.source_id("s").unwrap();
+        let mut session = rumor.session().build().unwrap();
+        let mut sub = session.subscribe_named("q1").unwrap();
+        assert!(session.subscribe_named("nope").is_err());
+        let batch: Vec<_> = events(9).into_iter().map(|t| (s, t)).collect();
+        session.push_batch(&batch).unwrap();
+        session.flush().unwrap();
+        assert_eq!(sub.len(), 3);
+        assert!(!sub.is_empty());
+        let drained: Vec<Tuple> = sub.by_ref().collect();
+        assert_eq!(drained.len(), 3);
+        assert!(sub.next().is_none(), "iterator ends when buffer is empty");
+        session.finish().unwrap();
+    }
+
+    #[test]
+    fn push_channel_requires_single_threaded_session() {
+        let mut rumor = Rumor::new(OptimizerConfig::default());
+        let c = rumor
+            .add_source_group("C", rumor_types::Schema::ints(2), 3)
+            .unwrap();
+        // Group member streams are plan-level names; register via the
+        // logical-plan path.
+        rumor
+            .register(&rumor_core::LogicalPlan::source("C.0"))
+            .unwrap();
+        rumor.optimize().unwrap();
+        let mut local = rumor.session().build().unwrap();
+        local
+            .push_channel(c, Tuple::ints(0, &[1, 2]), Membership::all(3))
+            .unwrap();
+        local.finish().unwrap();
+        assert_eq!(local.collect_all().len(), 1);
+        let mut parallel = rumor.session().workers(2).build().unwrap();
+        assert!(parallel
+            .push_channel(c, Tuple::ints(1, &[1, 2]), Membership::all(3))
+            .is_err());
+        parallel.finish().unwrap();
+    }
+}

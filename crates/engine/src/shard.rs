@@ -34,11 +34,12 @@ use rumor_core::{
     analyze_partitioning, reanalyze_partitioning, MopContext, PartitionKeys, PartitionScheme,
     PlanDelta, PlanGraph, PlanSnapshot, SourceRoute, Verdict,
 };
-use rumor_types::{MopId, QueryId, Result, RumorError, SourceId, Tuple};
+use rumor_types::{MopId, Result, RumorError, SourceId, Tuple};
 
 use crate::exec::{
     CollectingSink, ConeScope, CountingSink, DiscardSink, ExecutablePlan, QuerySink,
 };
+use crate::session::EventRuntime;
 
 /// A sink sharded workers can each own privately and fold deterministically
 /// at drain time.
@@ -282,6 +283,9 @@ pub struct ShardedRuntime<S: MergeSink> {
     tagged_bufs: Vec<Vec<(ConeScope, SourceId, Tuple)>>,
     /// Source events accepted (a split delivery counts once).
     accepted: u64,
+    /// [`EventRuntime::finish`] has been called: every further lifecycle
+    /// call returns [`RumorError::Finished`].
+    finished: bool,
 }
 
 impl<S: MergeSink + Default> ShardedRuntime<S> {
@@ -320,6 +324,7 @@ impl<S: MergeSink + Default> ShardedRuntime<S> {
             bufs: vec![Vec::new(); n],
             tagged_bufs: vec![Vec::new(); n],
             accepted: 0,
+            finished: false,
         })
     }
 }
@@ -364,9 +369,17 @@ impl<S: MergeSink> ShardedRuntime<S> {
         )
     }
 
+    fn ensure_live(&self, op: &str) -> Result<()> {
+        if self.finished {
+            return Err(RumorError::finished(op));
+        }
+        Ok(())
+    }
+
     /// Routes and processes one source tuple (inline, on the caller's
     /// thread). Tuples must arrive in global timestamp order.
     pub fn push(&mut self, source: SourceId, tuple: Tuple) -> Result<()> {
+        self.ensure_live("push")?;
         match self.route(source, &tuple)? {
             Routed::One(w) => {
                 let worker = &mut self.workers[w];
@@ -406,6 +419,7 @@ impl<S: MergeSink> ShardedRuntime<S> {
     /// whole call up front: routing validates every event before any worker
     /// processes anything.
     pub fn push_batch(&mut self, events: &[(SourceId, Tuple)]) -> Result<()> {
+        self.ensure_live("push_batch")?;
         if let Some((source, _)) = events
             .iter()
             .find(|(s, _)| s.index() >= self.rr_cursors.len())
@@ -525,6 +539,7 @@ impl<S: MergeSink> ShardedRuntime<S> {
     /// Fails without touching any worker when the new scheme would
     /// re-route a source feeding surviving stateful state.
     pub fn update_plan(&mut self, plan: &PlanGraph) -> Result<()> {
+        self.ensure_live("update_plan")?;
         let (scheme, reports) = prepare_swap(plan, &self.installed, &self.scheme, &self.reports)?;
         // `prepare_swap` already instantiated every delta-touched op from
         // the same contexts the workers resolve, so per-worker
@@ -548,23 +563,49 @@ impl<S: MergeSink> ShardedRuntime<S> {
         Ok(())
     }
 
-    /// Merges the per-worker sinks (worker 0 first) into the final sink.
-    pub fn finish(self) -> S {
-        let mut it = self.workers.into_iter();
-        let mut acc = it.next().expect("n >= 1 workers").sink;
+    /// Takes and merges everything the per-worker sinks accumulated since
+    /// the last drain (worker 0 first, then [`MergeSink::finalize`]),
+    /// leaving fresh default sinks in place. Workers only run inside
+    /// `push`/`push_batch` calls, so there is never in-flight work to wait
+    /// for; valid after [`EventRuntime::finish`] — that is how the final
+    /// results get out.
+    pub fn drain_sink(&mut self) -> S
+    where
+        S: Default,
+    {
+        let mut it = self.workers.iter_mut();
+        let mut acc = std::mem::take(&mut it.next().expect("n >= 1 workers").sink);
         for w in it {
-            acc.merge(w.sink);
+            acc.merge(std::mem::take(&mut w.sink));
         }
         acc.finalize();
         acc
     }
 }
 
-impl ShardedRuntime<CollectingSink> {
-    /// Convenience: merged `(query, tuple)` results sorted by
-    /// `(timestamp, query)`, consuming the runtime.
-    pub fn into_results(self) -> Vec<(QueryId, Tuple)> {
-        self.finish().results
+impl<S: MergeSink + Default> EventRuntime for ShardedRuntime<S> {
+    fn push(&mut self, source: SourceId, tuple: Tuple) -> Result<()> {
+        ShardedRuntime::push(self, source, tuple)
+    }
+
+    fn push_batch(&mut self, events: &[(SourceId, Tuple)]) -> Result<()> {
+        ShardedRuntime::push_batch(self, events)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        // Workers run synchronously inside the push calls; the barrier is
+        // trivially satisfied.
+        self.ensure_live("flush")
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.ensure_live("finish")?;
+        self.finished = true;
+        Ok(())
+    }
+
+    fn update_plan(&mut self, plan: &PlanGraph) -> Result<()> {
+        ShardedRuntime::update_plan(self, plan)
     }
 }
 
@@ -608,7 +649,7 @@ enum Delivery {
     Cone(ConeScope, SourceId, Tuple),
 }
 
-enum WorkerMsg {
+enum WorkerMsg<S> {
     Batch(Vec<Delivery>),
     /// Barrier: publish the generation once every previously sent message
     /// is processed (see [`FlushGate`]).
@@ -618,6 +659,11 @@ enum WorkerMsg {
     /// state across. Always preceded by a [`WorkerMsg::Flush`] barrier
     /// (the quiesce), so the swap never races in-flight deliveries.
     Update(Arc<PlanGraph>),
+    /// Mid-stream sink handoff (the session delivery point): the worker
+    /// ships everything its sink accumulated back over the enclosed
+    /// channel and continues with a fresh default sink. Queue FIFO means
+    /// every previously sent delivery is reflected in the shipped sink.
+    Drain(Sender<S>),
 }
 
 /// Published by a [`FlushGate`] when its worker exits (normally or by
@@ -698,7 +744,7 @@ struct WorkerOutcome<S> {
 
 fn worker_loop<S: MergeSink + Default>(
     mut exec: ExecutablePlan,
-    rx: Receiver<WorkerMsg>,
+    rx: Receiver<WorkerMsg<S>>,
     gate: Arc<FlushGate>,
 ) -> WorkerOutcome<S> {
     let _guard = GateGuard(Arc::clone(&gate));
@@ -742,6 +788,13 @@ fn worker_loop<S: MergeSink + Default>(
                         error = Some(e);
                     }
                 }
+            }
+            WorkerMsg::Drain(tx) => {
+                // Ship the accumulated results back (even after an error:
+                // the partial sink is what the caller gets, the error
+                // itself surfaces at the barrier). A failed send means the
+                // runtime stopped waiting; nothing to do.
+                let _ = tx.send(std::mem::take(&mut sink));
             }
         }
     }
@@ -821,7 +874,7 @@ impl Staged {
 /// that worker (routing never reorders, queues are FIFO), so results are
 /// exactly those of [`ShardedRuntime`] over the same input split.
 pub struct StreamingShardedRuntime<S: MergeSink + Default + Send + 'static> {
-    txs: Vec<Sender<WorkerMsg>>,
+    txs: Vec<Sender<WorkerMsg<S>>>,
     handles: Vec<JoinHandle<WorkerOutcome<S>>>,
     /// Per-worker barrier gates (generation-counter acknowledgement).
     gates: Vec<Arc<FlushGate>>,
@@ -841,6 +894,8 @@ pub struct StreamingShardedRuntime<S: MergeSink + Default + Send + 'static> {
     batch_size: usize,
     accepted: u64,
     finished: bool,
+    /// The merged results of the shutdown pool, until drained.
+    final_sink: Option<S>,
     /// Deliveries processed per worker, recorded when the pool shuts down.
     worker_events: Vec<u64>,
 }
@@ -875,7 +930,7 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
         let mut handles = Vec::with_capacity(n);
         let mut gates = Vec::with_capacity(n);
         for exec in execs {
-            let (tx, rx) = bounded::<WorkerMsg>(queue_depth);
+            let (tx, rx) = bounded::<WorkerMsg<S>>(queue_depth);
             let gate = Arc::new(FlushGate::new());
             txs.push(tx);
             gates.push(Arc::clone(&gate));
@@ -897,6 +952,7 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
             batch_size,
             accepted: 0,
             finished: false,
+            final_sink: None,
             worker_events: Vec::new(),
         })
     }
@@ -921,6 +977,11 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
         self.accepted
     }
 
+    /// Whether [`EventRuntime::finish`] has been called on this pool.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
     /// Deliveries processed per worker — the load-balance metric. Only
     /// known once the pool has shut down: empty before
     /// [`StreamingShardedRuntime::finish`]. Under a split scheme the
@@ -931,11 +992,9 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
         &self.worker_events
     }
 
-    fn ensure_live(&self) -> Result<()> {
+    fn ensure_live(&self, op: &str) -> Result<()> {
         if self.finished {
-            return Err(RumorError::exec(
-                "streaming runtime already finished".to_string(),
-            ));
+            return Err(RumorError::finished(op));
         }
         Ok(())
     }
@@ -987,7 +1046,7 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
     /// only through [`StreamingShardedRuntime::finish`]). Blocks when the
     /// target worker's queue is full.
     pub fn push(&mut self, source: SourceId, tuple: Tuple) -> Result<()> {
-        self.ensure_live()?;
+        self.ensure_live("push")?;
         match self.route(source, &tuple)? {
             Routed::One(w) => self.stage_full(w, source, tuple)?,
             Routed::Split { free } => {
@@ -1004,7 +1063,7 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
     /// stateless schemes skip per-event routing: the slice is split into
     /// `n` contiguous segments, exactly like [`ShardedRuntime::push_batch`].
     pub fn push_batch(&mut self, events: &[(SourceId, Tuple)]) -> Result<()> {
-        self.ensure_live()?;
+        self.ensure_live("push_batch")?;
         if let Some((source, _)) = events
             .iter()
             .find(|(s, _)| s.index() >= self.rr_cursors.len())
@@ -1067,7 +1126,7 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
     /// `push_batch`). Prefer this entry point whenever the batch is
     /// already an owned allocation.
     pub fn push_batch_shared(&mut self, events: Arc<Vec<(SourceId, Tuple)>>) -> Result<()> {
-        self.ensure_live()?;
+        self.ensure_live("push_batch_shared")?;
         if let Some((source, _)) = events
             .iter()
             .find(|(s, _)| s.index() >= self.rr_cursors.len())
@@ -1102,17 +1161,71 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
 
     /// Dispatches all staged deliveries and blocks until every worker has
     /// drained its queue — a barrier, not a shutdown; the pool keeps
-    /// accepting events afterwards. On an empty or already-finished
-    /// runtime this is a no-op. Acknowledged through per-worker
-    /// generation counters, so repeated barriers allocate nothing.
+    /// accepting events afterwards. On an empty runtime this is a no-op;
+    /// on a finished one it returns [`RumorError::Finished`] like every
+    /// other lifecycle call. Acknowledged through per-worker generation
+    /// counters, so repeated barriers allocate nothing.
     pub fn flush(&mut self) -> Result<()> {
-        if self.finished {
-            return Ok(());
-        }
+        self.ensure_live("flush")?;
         for w in 0..self.txs.len() {
             self.dispatch(w)?;
         }
         self.barrier()
+    }
+
+    /// Takes and merges everything the worker sinks accumulated since the
+    /// last drain (worker 0 first, then [`MergeSink::finalize`]), leaving
+    /// fresh default sinks on the workers — the pool keeps running. On a
+    /// finished pool, returns the merged final results (once; empty
+    /// afterwards).
+    ///
+    /// The sink handoff is itself a drain barrier: queue FIFO means a
+    /// worker ships its sink only after processing every delivery sent
+    /// before the `Drain` message, and the blocking `recv` waits for
+    /// exactly that — one cross-worker round-trip total, no separate
+    /// generation barrier.
+    pub fn drain_sink(&mut self) -> Result<S> {
+        if self.finished {
+            return Ok(self.final_sink.take().unwrap_or_default());
+        }
+        let mut handoffs = Vec::with_capacity(self.txs.len());
+        for w in 0..self.txs.len() {
+            self.dispatch(w)?;
+            let (stx, srx) = bounded::<S>(1);
+            self.txs[w]
+                .send(WorkerMsg::Drain(stx))
+                .map_err(|_| RumorError::exec(format!("streaming shard worker {w} died")))?;
+            handoffs.push(srx);
+        }
+        let mut acc: Option<S> = None;
+        for (w, srx) in handoffs.into_iter().enumerate() {
+            let sink = srx
+                .recv()
+                .map_err(|_| RumorError::exec(format!("streaming shard worker {w} died")))?;
+            // The worker has processed everything that preceded the
+            // handoff, so any processing error is recorded by now —
+            // surface it like the flush barrier would.
+            if let Some(msg) = self.gates[w].error() {
+                return Err(RumorError::exec(format!(
+                    "streaming shard worker {w} failed: {msg}"
+                )));
+            }
+            match &mut acc {
+                None => acc = Some(sink),
+                Some(into) => into.merge(sink),
+            }
+        }
+        let mut sink = acc.ok_or_else(|| RumorError::exec("no worker sinks".to_string()))?;
+        sink.finalize();
+        Ok(sink)
+    }
+
+    /// Takes the merged final results of a finished pool (empty when
+    /// already taken or never finished) — the post-`finish` counterpart
+    /// of [`StreamingShardedRuntime::drain_sink`] for callers that track
+    /// the lifecycle themselves.
+    pub fn take_final_sink(&mut self) -> S {
+        self.final_sink.take().unwrap_or_default()
     }
 
     /// Issues one barrier generation and waits until every worker has
@@ -1162,7 +1275,7 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
     /// a source feeding surviving stateful state (see the module docs):
     /// that transition needs a fresh pool.
     pub fn update_plan(&mut self, plan: &PlanGraph) -> Result<()> {
-        self.ensure_live()?;
+        self.ensure_live("update_plan")?;
         let (scheme, reports) = prepare_swap(plan, &self.installed, &self.scheme, &self.reports)?;
         self.flush()?;
         let shared = Arc::new(plan.clone());
@@ -1184,12 +1297,8 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
 
     /// Shuts the pool down: dispatches staged deliveries, joins every
     /// worker, and folds the per-worker sinks (worker 0 first) into the
-    /// final, finalized sink. A second call is a no-op returning an empty
-    /// default sink. Worker errors (or panics) surface here.
-    pub fn finish(&mut self) -> Result<S> {
-        if self.finished {
-            return Ok(S::default());
-        }
+    /// final, finalized sink. Worker errors (or panics) surface here.
+    fn shutdown(&mut self) -> Result<S> {
         self.finished = true;
         for w in 0..self.txs.len() {
             self.dispatch(w)?;
@@ -1229,11 +1338,32 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
     }
 }
 
-impl StreamingShardedRuntime<CollectingSink> {
-    /// Convenience: merged `(query, tuple)` results sorted by
-    /// `(timestamp, query)`, consuming the runtime.
-    pub fn into_results(mut self) -> Result<Vec<(QueryId, Tuple)>> {
-        Ok(self.finish()?.results)
+impl<S: MergeSink + Default + Send + 'static> EventRuntime for StreamingShardedRuntime<S> {
+    fn push(&mut self, source: SourceId, tuple: Tuple) -> Result<()> {
+        StreamingShardedRuntime::push(self, source, tuple)
+    }
+
+    fn push_batch(&mut self, events: &[(SourceId, Tuple)]) -> Result<()> {
+        StreamingShardedRuntime::push_batch(self, events)
+    }
+
+    fn push_batch_shared(&mut self, events: Arc<Vec<(SourceId, Tuple)>>) -> Result<()> {
+        StreamingShardedRuntime::push_batch_shared(self, events)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        StreamingShardedRuntime::flush(self)
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.ensure_live("finish")?;
+        let sink = self.shutdown()?;
+        self.final_sink = Some(sink);
+        Ok(())
+    }
+
+    fn update_plan(&mut self, plan: &PlanGraph) -> Result<()> {
+        StreamingShardedRuntime::update_plan(self, plan)
     }
 }
 
@@ -1254,7 +1384,7 @@ mod tests {
     use super::*;
     use rumor_core::{LogicalPlan, Optimizer, OptimizerConfig, SeqSpec, SourceRoute, Verdict};
     use rumor_expr::{CmpOp, Expr, Predicate};
-    use rumor_types::Schema;
+    use rumor_types::{QueryId, Schema};
 
     fn optimized(queries: &[LogicalPlan]) -> (PlanGraph, Vec<QueryId>) {
         let mut plan = PlanGraph::new();
@@ -1313,7 +1443,7 @@ mod tests {
                 let per_worker = rt.worker_events();
                 assert!(per_worker.iter().all(|&e| e > 0), "{per_worker:?}");
             }
-            let got = rt.finish();
+            let got = rt.drain_sink();
             for &q in &qs {
                 assert_eq!(sorted_of(&got, q), sorted_of(&want, q), "n={n}");
             }
@@ -1338,7 +1468,7 @@ mod tests {
         let s = plan.source_by_name("S").unwrap().id;
         assert_eq!(*rt.scheme().route(s), SourceRoute::Key(vec![0]));
         rt.push_batch(&events).unwrap();
-        let got = rt.finish();
+        let got = rt.drain_sink();
         assert!(!want.results.is_empty());
         for &q in &qs {
             assert_eq!(sorted_of(&got, q), sorted_of(&want, q));
@@ -1361,7 +1491,7 @@ mod tests {
         assert!(!rt.is_parallelizable());
         rt.push_batch(&events).unwrap();
         assert_eq!(rt.worker_events(), vec![80, 0, 0, 0]);
-        let got = rt.finish();
+        let got = rt.drain_sink();
         for &q in &qs {
             assert_eq!(sorted_of(&got, q), sorted_of(&want, q));
         }
@@ -1388,7 +1518,7 @@ mod tests {
         }
         let mut b: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, 3).unwrap();
         b.push_batch(&events).unwrap();
-        let (a, b) = (a.finish(), b.finish());
+        let (a, b) = (a.drain_sink(), b.drain_sink());
         for &q in &qs {
             assert_eq!(sorted_of(&a, q), sorted_of(&b, q));
         }
@@ -1412,7 +1542,7 @@ mod tests {
         let events = interleaved(&plan, 60);
         let mut rt: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, 1).unwrap();
         rt.push_batch(&events).unwrap();
-        let results = rt.into_results();
+        let results = rt.drain_sink().results;
         assert!(!results.is_empty());
         let keys: Vec<(u64, u32)> = results.iter().map(|(q, t)| (t.ts, q.0)).collect();
         let mut sorted = keys.clone();
@@ -1462,7 +1592,7 @@ mod tests {
                 .unwrap();
             rt.push_batch(&events).unwrap();
             assert_eq!(rt.events_in(), 120);
-            let got = rt.finish().unwrap();
+            let got = rt.drain_sink().unwrap();
             for &q in &qs {
                 assert_eq!(sorted_of(&got, q), sorted_of(&want, q), "n={n}");
             }
@@ -1511,7 +1641,7 @@ mod tests {
             rt.push_batch_shared(Arc::new(events[60..].to_vec()))
                 .unwrap();
             assert_eq!(rt.events_in(), 100);
-            let got = rt.finish().unwrap();
+            let got = rt.drain_sink().unwrap();
             for &q in &qs {
                 assert_eq!(sorted_of(&got, q), sorted_of(&want, q));
             }
@@ -1552,14 +1682,14 @@ mod tests {
         rt.flush().unwrap();
         rt.flush().unwrap();
         rt.push_batch(&events[25..]).unwrap();
-        let got = rt.finish().unwrap();
+        let got = rt.drain_sink().unwrap();
         for &q in &qs {
             assert_eq!(sorted_of(&got, q), sorted_of(&want, q));
         }
     }
 
     #[test]
-    fn flush_on_empty_runtime_and_double_finish_are_noops() {
+    fn flush_on_empty_runtime_is_a_noop_and_finish_misuse_is_typed() {
         let (plan, _) = optimized(&[LogicalPlan::source("S").select(Predicate::True)]);
         let mut rt: StreamingShardedRuntime<CollectingSink> =
             StreamingShardedRuntime::new(&plan, 2).unwrap();
@@ -1568,15 +1698,72 @@ mod tests {
         rt.flush().unwrap();
         let s = plan.source_by_name("S").unwrap().id;
         rt.push(s, Tuple::ints(0, &[1, 0, 0])).unwrap();
-        let first = rt.finish().unwrap();
+        EventRuntime::finish(&mut rt).unwrap();
+        // The final results come out of the finished pool exactly once.
+        let first = rt.drain_sink().unwrap();
         assert_eq!(first.results.len(), 1);
-        // Double finish: a no-op returning an empty sink, not a panic.
-        let second = rt.finish().unwrap();
-        assert!(second.results.is_empty());
-        // And flush after finish stays a no-op too.
-        rt.flush().unwrap();
-        // Further pushes are rejected (not panics): the pool is gone.
-        assert!(rt.push(s, Tuple::ints(1, &[1, 0, 0])).is_err());
+        assert!(rt.drain_sink().unwrap().results.is_empty());
+        // Lifecycle misuse after finish returns the typed error — same
+        // variant for every entry point, no panics, no silent no-ops.
+        for err in [
+            EventRuntime::finish(&mut rt),
+            rt.flush(),
+            rt.push(s, Tuple::ints(1, &[1, 0, 0])),
+            rt.push_batch(&[]),
+            rt.update_plan(&plan),
+        ] {
+            assert!(matches!(err, Err(RumorError::Finished(_))), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn one_shot_finish_misuse_is_typed() {
+        let (plan, _) = optimized(&[LogicalPlan::source("S").select(Predicate::True)]);
+        let mut rt: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, 2).unwrap();
+        let s = plan.source_by_name("S").unwrap().id;
+        rt.push(s, Tuple::ints(0, &[1, 0, 0])).unwrap();
+        EventRuntime::finish(&mut rt).unwrap();
+        assert_eq!(rt.drain_sink().results.len(), 1);
+        assert!(rt.drain_sink().results.is_empty(), "drained once");
+        for err in [
+            EventRuntime::finish(&mut rt),
+            EventRuntime::flush(&mut rt),
+            rt.push(s, Tuple::ints(1, &[1, 0, 0])),
+            rt.push_batch(&[]),
+            rt.update_plan(&plan),
+        ] {
+            assert!(matches!(err, Err(RumorError::Finished(_))), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_mid_stream_drain_keeps_pool_live() {
+        // drain_sink is a delivery point, not a shutdown: results drained
+        // mid-stream plus results drained at the end must equal the
+        // one-shot total, and the pool keeps accepting events in between.
+        let (plan, qs) =
+            optimized(&[LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64))]);
+        let events = interleaved(&plan, 80);
+        let want = reference(&plan, &events);
+        let mut rt: StreamingShardedRuntime<CollectingSink> = StreamingShardedRuntime::with_config(
+            &plan,
+            3,
+            StreamingConfig {
+                batch_size: 4,
+                queue_depth: 2,
+            },
+        )
+        .unwrap();
+        rt.push_batch(&events[..30]).unwrap();
+        let mut got = rt.drain_sink().unwrap();
+        rt.push_batch(&events[30..]).unwrap();
+        got.merge(rt.drain_sink().unwrap());
+        assert!(rt.push(SourceId(9), Tuple::ints(999, &[0, 0, 0])).is_err());
+        EventRuntime::finish(&mut rt).unwrap();
+        got.merge(rt.drain_sink().unwrap());
+        for &q in &qs {
+            assert_eq!(sorted_of(&got, q), sorted_of(&want, q));
+        }
     }
 
     #[test]
@@ -1592,7 +1779,7 @@ mod tests {
         assert!(rt.push_batch(&events).is_err());
         assert_eq!(rt.events_in(), 0);
         assert!(rt.push(SourceId(9), Tuple::ints(2, &[1, 0, 0])).is_err());
-        assert_eq!(rt.finish().unwrap().total, 0);
+        assert_eq!(rt.drain_sink().unwrap().total, 0);
     }
 
     #[test]
@@ -1611,7 +1798,7 @@ mod tests {
         )
         .unwrap();
         rt.push_batch(&events).unwrap();
-        let got = rt.finish().unwrap();
+        let got = rt.drain_sink().unwrap();
         // Every S event (even ts) passes the TRUE-selection.
         assert_eq!(got.total, 250);
     }
@@ -1647,7 +1834,7 @@ mod tests {
                 per_worker[1..].iter().any(|&e| e > 0),
                 "stateless legs must leave worker 0: {per_worker:?}"
             );
-            let got = rt.finish();
+            let got = rt.drain_sink();
             for &q in &qs {
                 assert_eq!(sorted_of(&got, q), sorted_of(&want, q), "n={n}");
             }
@@ -1705,7 +1892,7 @@ mod tests {
         plan.remove_query(added.query).unwrap();
         rt.update_plan(&plan).unwrap();
         rt.push_batch(&events[120..]).unwrap();
-        let got = rt.finish().unwrap();
+        let got = rt.drain_sink().unwrap();
 
         // Oracle for the surviving queries: the original plan over the
         // whole history in one uninterrupted life.
@@ -1750,7 +1937,7 @@ mod tests {
             .unwrap();
         rt.update_plan(&plan).unwrap();
         rt.push_batch(&events[60..]).unwrap();
-        let got = rt.finish();
+        let got = rt.drain_sink();
         let want = reference(&original, &events);
         for &q in &qs {
             assert_eq!(sorted_of(&got, q), sorted_of(&want, q));
@@ -1829,7 +2016,7 @@ mod tests {
 
         // The pool survives it all and still finishes cleanly.
         rt.flush().unwrap();
-        rt.finish().unwrap();
+        EventRuntime::finish(&mut rt).unwrap();
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub enum RumorError {
     Exec(String),
     /// Unknown name (stream, query, attribute...).
     Unknown(String),
+    /// Lifecycle misuse of a finished runtime: pushing, flushing, or
+    /// finishing again after `finish` has already been called. All
+    /// execution-session implementations return exactly this variant for
+    /// such misuse, so callers can match on it regardless of which engine
+    /// backs the session.
+    Finished(String),
 }
 
 impl RumorError {
@@ -63,6 +69,12 @@ impl RumorError {
         RumorError::Unknown(msg.into())
     }
 
+    /// Finished-lifecycle misuse constructor: `op` names the rejected
+    /// operation (e.g. `"push"`, `"finish"`).
+    pub fn finished(op: impl Into<String>) -> Self {
+        RumorError::Finished(op.into())
+    }
+
     /// Parse error constructor.
     pub fn parse(msg: impl Into<String>, line: u32, column: u32) -> Self {
         RumorError::Parse {
@@ -87,6 +99,9 @@ impl fmt::Display for RumorError {
             RumorError::Rule(m) => write!(f, "rule error: {m}"),
             RumorError::Exec(m) => write!(f, "execution error: {m}"),
             RumorError::Unknown(m) => write!(f, "unknown name: {m}"),
+            RumorError::Finished(op) => {
+                write!(f, "runtime already finished: `{op}` rejected")
+            }
         }
     }
 }
@@ -117,6 +132,10 @@ mod tests {
         assert_eq!(
             RumorError::expr("arity").to_string(),
             "expression error: arity"
+        );
+        assert_eq!(
+            RumorError::finished("push").to_string(),
+            "runtime already finished: `push` rejected"
         );
     }
 

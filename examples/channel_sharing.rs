@@ -9,8 +9,7 @@ use std::time::Instant;
 
 use rumor::workloads::synth::{w3_channel_events, w3_round_robin_events, W3Event};
 use rumor::workloads::{workload3, Params};
-use rumor::{Membership, Optimizer, OptimizerConfig, PlanGraph, Schema};
-use rumor_engine::exec::{CountingSink, ExecutablePlan};
+use rumor::{EventRuntime, Membership, OptimizerConfig, Rumor, Schema};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let capacity = 10;
@@ -21,33 +20,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Channel mode: the ten sharable streams arrive as ONE channel; rule c;
     // merges all sequence operators into a single channel m-op.
     // ------------------------------------------------------------------
-    let mut plan = PlanGraph::new();
-    let c = plan.add_source_group("C", Schema::ints(10), capacity)?;
-    let t = plan.add_source("T", Schema::ints(10), None)?;
+    let mut engine = Rumor::new(OptimizerConfig::default());
+    let c = engine.add_source_group("C", Schema::ints(10), capacity)?;
+    let t = engine.add_source("T", Schema::ints(10), None)?;
     for q in &queries {
-        plan.add_query(&q.channel_plan)?;
+        engine.register(&q.channel_plan)?;
     }
-    let trace = Optimizer::new(OptimizerConfig::default()).optimize(&mut plan)?;
+    let trace = engine.optimize()?;
     println!(
         "channel plan: {} m-ops ({} rewrites, c_seq fired {} times)",
-        plan.mop_count(),
+        engine.plan().mop_count(),
         trace.entries.len(),
         trace.count("c_seq")
     );
 
-    let mut exec = ExecutablePlan::new(&plan)?;
-    let mut sink = CountingSink::default();
+    // Channel input is a single-threaded capability (the partition router
+    // has no channel routes), so the session omits `.workers(n)`.
+    let mut session = engine.session().build()?;
     let start = Instant::now();
     let channel_events = w3_channel_events(&params, capacity);
     for ev in &channel_events {
         match ev {
             W3Event::Channel(tuple) => {
-                exec.push_channel(c, tuple.clone(), Membership::all(capacity), &mut sink)?
+                session.push_channel(c, tuple.clone(), Membership::all(capacity))?
             }
-            W3Event::T(tuple) => exec.push(t, tuple.clone(), &mut sink)?,
+            W3Event::T(tuple) => session.push(t, tuple.clone())?,
             W3Event::Si(..) => unreachable!(),
         }
     }
+    session.finish()?;
     // Count logical stream tuples: one channel tuple on k streams is k
     // tuples (§3.1), which keeps the two feeds comparable.
     let logical: usize = channel_events
@@ -58,50 +59,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .sum();
     let with_rate = logical as f64 / start.elapsed().as_secs_f64();
+    let with_results = session.collect_all().len();
     println!(
         "  with channel:    {:>10.0} events/s ({} results)",
-        with_rate, sink.total
+        with_rate, with_results
     );
-    let with_results = sink.total;
 
     // ------------------------------------------------------------------
     // No-channel baseline: the same content as ten separate streams fed
     // round-robin (§5.2's fairness protocol).
     // ------------------------------------------------------------------
-    let mut plan = PlanGraph::new();
+    let mut engine = Rumor::new(OptimizerConfig::without_channels());
     let mut sis = Vec::new();
     for i in 0..capacity {
-        sis.push(plan.add_source(format!("S{i}"), Schema::ints(10), Some("w3".into()))?);
+        sis.push(engine.add_source(&format!("S{i}"), Schema::ints(10), Some("w3".into()))?);
     }
-    let t = plan.add_source("T", Schema::ints(10), None)?;
+    let t = engine.add_source("T", Schema::ints(10), None)?;
     for q in &queries {
-        plan.add_query(&q.plain_plan)?;
+        engine.register(&q.plain_plan)?;
     }
-    Optimizer::new(OptimizerConfig::without_channels()).optimize(&mut plan)?;
+    engine.optimize()?;
     println!(
         "plain plan:   {} m-ops (one shared ; per stream)",
-        plan.mop_count()
+        engine.plan().mop_count()
     );
 
-    let mut exec = ExecutablePlan::new(&plan)?;
-    let mut sink = CountingSink::default();
+    let mut session = engine.session().build()?;
     let start = Instant::now();
     let rr_events = w3_round_robin_events(&params, capacity);
     for ev in &rr_events {
         match ev {
-            W3Event::Si(i, tuple) => exec.push(sis[*i], tuple.clone(), &mut sink)?,
-            W3Event::T(tuple) => exec.push(t, tuple.clone(), &mut sink)?,
+            W3Event::Si(i, tuple) => session.push(sis[*i], tuple.clone())?,
+            W3Event::T(tuple) => session.push(t, tuple.clone())?,
             W3Event::Channel(_) => unreachable!(),
         }
     }
+    session.finish()?;
     let without_rate = rr_events.len() as f64 / start.elapsed().as_secs_f64();
+    let without_results = session.collect_all().len();
     println!(
         "  without channel: {:>10.0} events/s ({} results)",
-        without_rate, sink.total
+        without_rate, without_results
     );
 
     assert_eq!(
-        with_results, sink.total,
+        with_results, without_results,
         "both plans must produce identical result counts"
     );
     println!(

@@ -1,6 +1,7 @@
 //! Event pattern queries two ways (§4.2–§4.3): run Cayuga-style automata
 //! directly in the baseline event engine, translate the same automata into
-//! RUMOR query plans, and verify both evaluations agree tuple-for-tuple.
+//! RUMOR query plans, and verify both evaluations agree tuple-for-tuple —
+//! with each translated query observed through its own subscription.
 //!
 //! Run with `cargo run --example event_patterns`.
 
@@ -9,10 +10,9 @@ use std::collections::HashMap;
 use rumor::workloads::synth::{st_events, StTag};
 use rumor::workloads::Params;
 use rumor::{
-    Automaton, CayugaEngine, CollectingSink, Optimizer, OptimizerConfig, PlanGraph, Predicate,
-    QueryId, Schema,
+    Automaton, CayugaEngine, EventRuntime, OptimizerConfig, Predicate, QueryId, Rumor, Schema,
+    Subscription,
 };
-use rumor_engine::ExecutablePlan;
 use rumor_expr::{CmpOp, Expr};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -65,46 +65,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
     }
 
-    // --- Translate to RUMOR plans and run the optimized plan. ------------
+    // --- Translate to RUMOR plans and run the optimized shared plan. ------
     let mut schemas = HashMap::new();
     schemas.insert("S".to_string(), schema.clone());
     schemas.insert("T".to_string(), schema.clone());
-    let mut plan = PlanGraph::new();
-    let s = plan.add_source("S", schema.clone(), None)?;
-    let t = plan.add_source("T", schema.clone(), None)?;
+    let mut engine = Rumor::new(OptimizerConfig::default());
+    let s = engine.add_source("S", schema.clone(), None)?;
+    let t = engine.add_source("T", schema.clone(), None)?;
     let mut query_map: Vec<(QueryId, QueryId)> = Vec::new(); // (cayuga, rumor)
     for a in &automata {
         for (cq, logical) in rumor_cayuga::translate(a, &schemas)? {
-            let rq = plan.add_query(&logical)?;
+            let rq = engine.register(&logical)?;
             query_map.push((cq, rq));
         }
     }
-    let trace = Optimizer::new(OptimizerConfig::default()).optimize(&mut plan)?;
+    let trace = engine.optimize()?;
     println!(
         "rumor plan after optimization: {} m-ops ({} rewrites: {:?})",
-        plan.mop_count(),
+        engine.plan().mop_count(),
         trace.entries.len(),
         trace.entries.iter().map(|e| e.rule).collect::<Vec<_>>()
     );
 
-    let mut exec = ExecutablePlan::new(&plan)?;
-    let mut sink = CollectingSink::default();
+    // One session; each translated query gets its own subscription, so the
+    // comparison below reads per-query result streams, not a shared sink.
+    let mut session = engine.session().build()?;
+    let mut subs: Vec<(QueryId, Subscription)> = query_map
+        .iter()
+        .map(|(cq, rq)| (*cq, session.subscribe(*rq)))
+        .collect();
     for ev in &events {
         let src = match ev.tag {
             StTag::S => s,
             StTag::T => t,
         };
-        exec.push(src, ev.tuple.clone(), &mut sink)?;
+        session.push(src, ev.tuple.clone())?;
     }
+    session.finish()?;
 
     // --- Compare per-query result multisets. ------------------------------
-    for (cq, rq) in &query_map {
+    for (cq, sub) in &mut subs {
         let mut from_cayuga: Vec<&String> = cayuga_results
             .iter()
             .filter(|(q, _)| q == cq)
             .map(|(_, t)| t)
             .collect();
-        let mut from_rumor: Vec<String> = sink.of(*rq).iter().map(|t| t.to_string()).collect();
+        let mut from_rumor: Vec<String> = sub.drain().iter().map(|t| t.to_string()).collect();
         from_cayuga.sort();
         from_rumor.sort();
         let agree = from_cayuga.len() == from_rumor.len()

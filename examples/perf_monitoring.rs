@@ -7,12 +7,13 @@
 //! per-query start threshold" — over a simulated performance-counter
 //! stream, and shows how the optimizer shares the aggregation, indexes the
 //! starting conditions, and (with channels) runs ONE µ pattern matcher for
-//! all queries.
+//! all queries — while each alert query's owner receives their alerts
+//! through their own subscription.
 //!
 //! Run with `cargo run --example perf_monitoring`.
 
 use rumor::workloads::perfmon::{generate, PerfmonConfig};
-use rumor::{CollectingSink, OptimizerConfig, Rumor};
+use rumor::{EventRuntime, OptimizerConfig, Rumor};
 
 fn build(n_queries: usize, config: OptimizerConfig) -> Result<Rumor, Box<dyn std::error::Error>> {
     let mut engine = Rumor::new(config);
@@ -62,11 +63,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Run the channelized plan over a simulated 10-minute trace of 16
-    // processes and report the alerts.
+    // processes. Each alert query is a separate "user": subscribe each
+    // before pushing, so every owner sees their whole alert stream.
     let mut engine = build(n, OptimizerConfig::default())?;
     engine.optimize()?;
-    let mut rt = engine.runtime()?;
-    let mut sink = CollectingSink::default();
+    let mut session = engine.session().build()?;
+    let mut alerts = Vec::new();
+    for i in 0..n {
+        alerts.push(session.subscribe_named(&format!("alert{i}"))?);
+    }
     let cpu = engine.source_id("cpu").expect("registered above");
     let trace = generate(&PerfmonConfig {
         processes: 16,
@@ -74,12 +79,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 42,
     });
     for tuple in &trace {
-        rt.push(cpu, tuple.clone(), &mut sink)?;
+        session.push(cpu, tuple.clone())?;
     }
+    session.finish()?;
     println!("\nprocessed {} readings", trace.len());
-    for i in 0..n {
-        let q = engine.query_id(&format!("alert{i}")).expect("registered");
-        let results = sink.of(q);
+    for (i, sub) in alerts.iter_mut().enumerate() {
+        let results = sub.drain();
         println!(
             "alert{i} (start threshold {}): {} ramp alerts{}",
             10 + 5 * i,

@@ -1,9 +1,11 @@
 //! Quickstart: register a handful of continuous queries, let the rule-based
-//! optimizer share their work, and stream tuples through the result.
+//! optimizer share their work, and stream tuples through one session —
+//! with each query's owner receiving exactly their results through a
+//! subscription.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use rumor::{CollectingSink, OptimizerConfig, Rumor, Tuple};
+use rumor::{EventRuntime, OptimizerConfig, Rumor, Tuple};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Create the engine and register queries in the query language.
@@ -42,27 +44,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", engine.render_plan());
 
-    // 3. Stream some trades through the shared plan.
-    let mut rt = engine.runtime()?;
-    let mut sink = CollectingSink::default();
+    // 3. Open a session (single-threaded here; `.workers(n)` would run the
+    //    same plan on a parallel worker pool) and subscribe two "users" to
+    //    their queries BEFORE pushing, so each subscription sees its
+    //    query's entire output.
+    let mut session = engine.session().build()?;
+    let mut watch2 = session.subscribe_named("watch2")?;
+    let mut volume = session.subscribe_named("volume")?;
+
+    // 4. Stream some trades through the shared plan.
     let trades = engine.source_id("trades").expect("registered above");
     for ts in 0..20u64 {
         let ticker = (ts % 4) as i64;
         let price = 100 + (ts % 7) as i64;
         let size = 10 * (1 + ts % 3) as i64;
-        rt.push(trades, Tuple::ints(ts, &[ticker, price, size]), &mut sink)?;
+        session.push(trades, Tuple::ints(ts, &[ticker, price, size]))?;
     }
+    session.finish()?;
 
-    // 4. Inspect per-query results.
-    let watch2 = engine.query_id("watch2").expect("registered above");
+    // 5. Each subscriber drains exactly their query's results; everything
+    //    the other nine watch queries produced stays in the catch-all.
     println!("watch2 results (ticker = 2):");
-    for t in sink.of(watch2) {
+    for t in watch2.drain() {
         println!("  {t}");
     }
-    let volume = engine.query_id("volume").expect("registered above");
+    let volumes = volume.drain();
     println!("last running volumes:");
-    for t in sink.of(volume).iter().rev().take(4).rev() {
+    for t in volumes.iter().rev().take(4).rev() {
         println!("  {t}");
     }
+    println!(
+        "unsubscribed results left for collect_all: {}",
+        session.collect_all().len()
+    );
     Ok(())
 }

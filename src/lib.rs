@@ -16,8 +16,12 @@
 //!
 //! ## Quick start
 //!
+//! One shared plan, many query owners: each owner subscribes to *their*
+//! query and receives exactly its results; everything unclaimed lands in
+//! the session-wide [`Session::collect_all`] catch-all.
+//!
 //! ```
-//! use rumor::{OptimizerConfig, Rumor, CollectingSink, Tuple};
+//! use rumor::{EventRuntime, OptimizerConfig, Rumor, Tuple};
 //!
 //! let mut engine = Rumor::new(OptimizerConfig::default());
 //! engine
@@ -32,11 +36,13 @@
 //! let trace = engine.optimize().unwrap();
 //! assert_eq!(trace.count("s_sigma"), 1);
 //!
-//! let mut rt = engine.runtime().unwrap();
-//! let mut sink = CollectingSink::default();
+//! let mut session = engine.session().build().unwrap();
+//! let mut hot = session.subscribe_named("hot").unwrap();
 //! let src = engine.source_id("sensors").unwrap();
-//! rt.push(src, Tuple::ints(0, &[7, 40]), &mut sink).unwrap();
-//! assert_eq!(sink.results.len(), 2); // `hot` and `s7` both fire
+//! session.push(src, Tuple::ints(0, &[7, 40])).unwrap();
+//! session.finish().unwrap();
+//! assert_eq!(hot.drain().len(), 1);          // `hot` fired for its owner
+//! assert_eq!(session.collect_all().len(), 1); // unsubscribed `s7` fired too
 //! ```
 //!
 //! ## Crate map
@@ -46,71 +52,63 @@
 //! * `rumor-core` — plan graph, m-ops, channels, the m-rule optimizer.
 //! * `rumor-lang` — the CQL-style + event-pattern query language.
 //! * `rumor-ops` — physical implementations of every shared m-op.
-//! * `rumor-engine` — the push-based runtime ([`Rumor`] facade).
+//! * `rumor-engine` — the push-based runtime ([`Rumor`] facade, the
+//!   [`EventRuntime`] session API).
 //! * `rumor-cayuga` — the Cayuga-style automaton baseline engine (§4/§5).
 //! * `rumor-workloads` — the paper's benchmark workloads (§5).
 //! * `rumor-bench` — figure regeneration plus the engine-path throughput
 //!   harness behind `BENCH_throughput.json`.
 //!
-//! ## Batched and partition-parallel execution
+//! ## One execution API: sessions
 //!
-//! Event dispatch is batch-granular wherever semantics allow:
+//! All execution goes through [`Rumor::session`]: the builder picks the
+//! engine, the resulting [`Session`] speaks the uniform [`EventRuntime`]
+//! lifecycle (`push` / `push_batch` / `push_batch_shared` / `flush` /
+//! `finish` / `update_plan`), and results route to per-query
+//! [`Subscription`]s. Every configuration produces identical per-query
+//! results — the differential conformance harness (`tests/conformance.rs`)
+//! pins that byte-for-byte:
 //!
-//! * [`ExecutablePlan::push_batch`] feeds a timestamp-ordered event slice
-//!   through the plan. On stateless plans (every compiled m-op reports
-//!   [`rumor_core::MultiOp::is_stateless`]) events are routed as runs of
-//!   consecutive same-channel tuples, one
-//!   [`rumor_core::MultiOp::process_batch`] call per consumer per run.
-//!   Stateful plans run *hybrid*: the stateless prefix still batches and
-//!   only events reaching a stateful m-op drop to per-event delivery in
-//!   timestamp order (strict per-event fallback where that cannot be
-//!   proven exact). Per-query results are identical to per-event
-//!   [`ExecutablePlan::push`] either way.
-//! * [`ShardedRuntime`] (via [`Rumor::sharded_runtime`]) scales by *data*
-//!   parallelism: the shared plan is cloned across `n` workers and each
-//!   tuple is routed by the static partitioning analysis
+//! * `session().build()?` — the single-threaded push engine. Fully
+//!   stateless plans batch at channel-run granularity under
+//!   [`EventRuntime::push_batch`]; stateful plans run *hybrid* (stateless
+//!   prefix batched, timestamp-ordered per-event delivery from the first
+//!   stateful m-op; strict fallback where exactness cannot be proven).
+//! * `session().workers(n).build()?` — the persistent streaming shard
+//!   pool ([`StreamingShardedRuntime`] underneath): the shared plan is
+//!   cloned across `n` long-lived workers behind bounded queues with
+//!   backpressure; tuples are routed by the static partitioning analysis
 //!   ([`rumor_core::partition::analyze`]) — round-robin for stateless
-//!   components, hashed on consistent stateful-operator keys for
-//!   key-partitionable ones, worker 0 for the stateful subgraph of pinned
-//!   ones (stateless sibling queries of a pinned component still
-//!   round-robin, see [`SourceRoute::PinnedSplit`]) — with per-worker
-//!   sinks folded deterministically at drain time ([`MergeSink`]). Each
-//!   `push_batch` call runs the workers on scoped threads: right for a
-//!   few large in-memory batches.
-//! * [`StreamingShardedRuntime`] (via [`Rumor::streaming_runtime`]) runs
-//!   the same router over a *persistent* worker pool: long-lived workers
-//!   behind bounded queues with backpressure, and a streaming lifecycle —
-//!   `push`/`push_batch` as events arrive, `flush` as a drain barrier,
-//!   `finish` for the deterministically merged results. Prefer it
-//!   whenever events arrive continuously or in small batches, where
-//!   per-call thread spawning would dominate.
-//! * [`run_pipelined_config`] is the pipelined runner rebuilt on
-//!   shard-local stages (a streaming pass over a prepared input); the
-//!   former topological-depth staging lost to single-threaded execution
-//!   and was retired.
+//!   components, hashed on consistent keys for key-partitionable ones,
+//!   worker 0 for the stateful subgraph of pinned ones. Tune with
+//!   [`SessionBuilder::streaming`] ([`StreamingConfig`]).
+//! * `session().workers(n).one_shot().build()?` — the one-shot sharded
+//!   runtime ([`ShardedRuntime`] underneath): same router, scoped threads
+//!   per batch call; for inputs already in memory as a few large batches.
 //!
-//! Every mode above produces identical per-query results — the
-//! differential conformance harness (`tests/conformance.rs`) pins that
-//! equivalence across the full workload matrix.
+//! See the [`SessionBuilder`] docs for when to pick which engine.
+//! Subscriptions are delivered at *delivery points* — immediately for
+//! the single-threaded session, at `flush`/`finish` barriers for the
+//! parallel ones — and anything produced while a query had no live
+//! subscriber stays retrievable via [`Session::collect_all`].
 //!
 //! ## Dynamic query lifecycle
 //!
-//! Queries can be added and removed *while runtimes are live*:
+//! Queries can be added and removed *while sessions are live*:
 //! [`Rumor::add_query`] merges a new query into the optimized shared plan
 //! incrementally (`Optimizer::integrate`, scoped m-rule application with
 //! a [`RewriteTrace`] per integration), [`Rumor::remove_query`] — or a
 //! `DROP QUERY name;` statement — prunes a retired query's operators, and
-//! the resulting [`PlanDelta`] hot-swaps compiled runtimes in place:
-//! [`ExecutablePlan::apply_delta`] for the single-threaded engine, and an
-//! epoch protocol (`update_plan`: quiesce at a flush barrier, install,
-//! resume) for both shard runtimes. Operators untouched by the delta keep
-//! their state — a windowed sequence keeps matching straight through an
-//! unrelated add/remove; the churn conformance suite pins this
-//! byte-identically against fresh-compile oracles.
+//! [`EventRuntime::update_plan`] hot-swaps the live session in place
+//! (epoch protocol on the worker pools: quiesce at a flush barrier,
+//! install, resume). Operators untouched by the delta keep their state —
+//! a windowed sequence keeps matching straight through an unrelated
+//! add/remove; the churn conformance suite pins this byte-identically.
 //!
 //! `BENCH_throughput.json` (regenerated by
 //! `cargo run --release -p rumor-bench --bin throughput`) records the
-//! measured per-path throughput.
+//! measured per-path throughput, including the dispatch overhead of live
+//! subscriptions versus the catch-all.
 
 #![warn(missing_docs)]
 
@@ -121,15 +119,15 @@ pub use rumor_core::{
     RewriteTrace, SeqSpec, SourceRoute, Verdict,
 };
 pub use rumor_engine::{
-    measure, measure_batched, run_pipelined, run_pipelined_config, CollectingSink, ConeScope,
-    CountingSink, DiscardSink, ExecutablePlan, FeedMode, InputEvent, Measurement, MergeSink,
-    PipelineConfig, Protocol, QuerySink, Rumor, ShardedRuntime, StreamingConfig,
-    StreamingShardedRuntime,
+    measure, measure_batched, CollectingSink, ConeScope, CountingSink, DiscardSink, EventRuntime,
+    ExecutablePlan, FeedMode, InputEvent, LocalRuntime, Measurement, MergeSink, Protocol,
+    QuerySink, Rumor, Session, SessionBuilder, SessionConfig, ShardedRuntime, StreamingConfig,
+    StreamingShardedRuntime, Subscription,
 };
 pub use rumor_expr::{CmpOp, EvalCtx, Expr, NamedExpr, Predicate, SchemaMap};
 pub use rumor_types::{
-    ChannelId, Field, Membership, MopId, QueryId, Schema, SourceId, StreamId, Timestamp, Tuple,
-    Value, ValueType,
+    ChannelId, Field, Membership, MopId, QueryId, RumorError, Schema, SourceId, StreamId,
+    Timestamp, Tuple, Value, ValueType,
 };
 
 /// Workload generators for the paper's evaluation (re-exported for

@@ -3,13 +3,16 @@
 //! The load-bearing invariant of the whole optimizer/runtime stack (as in
 //! the multi-query-optimization literature: the shared plan must be a
 //! drop-in replacement for naive per-query execution) is that **every
-//! engine mode produces identical results**. This harness pins that down
-//! as one table-driven matrix instead of per-mode ad-hoc tests:
+//! engine configuration produces identical results**. Since PR 5 every
+//! engine is constructed the same way — `Rumor::session()` with a
+//! [`SessionConfig`] — and driven the same way — the [`EventRuntime`]
+//! trait — so the whole mode matrix is literally a table of configs run
+//! through ONE generic driver:
 //!
-//! * **modes** — per-event push, `push_batch` (channel-run batched /
-//!   hybrid), the shard-local-stage pipelined runner, the one-shot
-//!   sharded runtime, and the persistent streaming shard pool (several
-//!   worker counts, batch sizes, and lifecycle interleavings);
+//! * **modes** — the single-threaded session fed per-event and batched,
+//!   one-shot sharded sessions (several worker counts), and streaming
+//!   sessions (worker counts × batch sizes × feed styles, including the
+//!   zero-copy shared batch and chunked feeds with flush barriers);
 //! * **workloads** — every partitioning verdict (stateless, keyed,
 //!   pinned, pinned-with-stateless-siblings) plus edge inputs (empty,
 //!   single event, timestamp ties);
@@ -17,132 +20,209 @@
 //!   rendered tuple)`-sorted vector, a total order, so every mode must
 //!   match the per-event reference *byte for byte*.
 //!
+//! **Subscription conformance** rides inside the same matrix run: every
+//! mode subscribes to half the queries, and (a) each subscription's
+//! contents must be byte-identical to the oracle restricted to its query,
+//! (b) the subscribed queries must never leak into `collect_all`, and
+//! (c) subscriptions plus catch-all together must reproduce the full
+//! reference. The churn suite applies the same discipline across live
+//! query add/remove.
+//!
 //! A generator-driven propcheck runs random query mixes and event streams
 //! through the same matrix, and a lifecycle propcheck exercises the
-//! streaming pool's `push`/`push_batch`/`flush` interleavings (batch
+//! streaming session's `push`/`push_batch`/`flush` interleavings (batch
 //! sizes 0 and 1, tied timestamps included) against one-shot batching.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use rumor::{
-    AggFunc, AggSpec, CollectingSink, ExecutablePlan, IterSpec, LogicalPlan, Optimizer,
-    OptimizerConfig, PinScope, PlanGraph, Predicate, QueryId, Schema, SeqSpec, ShardedRuntime,
-    SourceRoute, StreamingConfig, StreamingShardedRuntime, Tuple, Verdict,
+    AggFunc, AggSpec, EventRuntime, IterSpec, LogicalPlan, OptimizerConfig, PinScope, Predicate,
+    QueryId, Rumor, Schema, SessionConfig, SourceRoute, StreamingConfig, Subscription, Tuple,
+    Verdict,
 };
-use rumor_engine::{run_pipelined_config, PipelineConfig};
 use rumor_expr::{CmpOp, Expr, NamedExpr, SchemaMap};
 use rumor_types::SourceId;
 
 /// Canonical result form: `(ts, query, rendered tuple)`, fully sorted — a
 /// total order, so two modes agree iff their canonical vectors are
 /// byte-identical.
-fn canonical(results: Vec<(QueryId, Tuple)>) -> Vec<(u64, u32, String)> {
+fn canonical(results: &[(QueryId, Tuple)]) -> Vec<(u64, u32, String)> {
     let mut v: Vec<(u64, u32, String)> = results
-        .into_iter()
+        .iter()
         .map(|(q, t)| (t.ts, q.0, t.to_string()))
         .collect();
     v.sort();
     v
 }
 
-/// One engine mode of the conformance matrix.
+/// How a mode feeds its session through the [`EventRuntime`] trait.
 #[derive(Debug, Clone, Copy)]
-enum Mode {
-    /// Single-threaded per-event push — the reference oracle.
+enum Feed {
+    /// One `push` call per event.
     PerEvent,
-    /// `ExecutablePlan::push_batch`: channel-run batched / hybrid drain.
-    PushBatch,
-    /// The pipelined runner rebuilt on shard-local stages.
-    Pipelined { stages: usize, batch: usize },
-    /// One-shot sharded runtime (scoped threads per batch call).
-    Sharded { n: usize },
-    /// Persistent streaming shard pool, whole input in one `push_batch`.
-    Streaming { n: usize, batch: usize },
-    /// Streaming pool fed in small chunks with `flush` barriers between.
-    StreamingChunked { n: usize, chunk: usize },
+    /// The whole input in one `push_batch` call.
+    Batch,
+    /// The whole input as one refcounted `push_batch_shared` batch.
+    SharedBatch,
+    /// Small `push_batch` chunks with a `flush` barrier after each.
+    ChunkedFlush(usize),
 }
 
-/// The full matrix every workload must survive. `PerEvent` first: it is
-/// the reference everything else is compared against.
-const MODES: &[Mode] = &[
-    Mode::PerEvent,
-    Mode::PushBatch,
-    Mode::Pipelined {
-        stages: 3,
-        batch: 16,
-    },
-    Mode::Sharded { n: 1 },
-    Mode::Sharded { n: 2 },
-    Mode::Sharded { n: 4 },
-    Mode::Sharded { n: 7 },
-    Mode::Streaming { n: 2, batch: 1 },
-    Mode::Streaming { n: 4, batch: 64 },
-    Mode::StreamingChunked { n: 3, chunk: 17 },
-];
+/// One engine mode of the conformance matrix: a session config plus a
+/// feed style. This *is* the whole per-mode plumbing now — everything
+/// else is the one generic driver below.
+#[derive(Debug, Clone)]
+struct ModeSpec {
+    name: &'static str,
+    cfg: SessionConfig,
+    feed: Feed,
+}
 
-fn run_mode(plan: &PlanGraph, events: &[(SourceId, Tuple)], mode: Mode) -> Vec<(u64, u32, String)> {
-    match mode {
-        Mode::PerEvent => {
-            let mut exec = ExecutablePlan::new(plan).unwrap();
-            let mut sink = CollectingSink::default();
+fn one_shot(n: usize) -> SessionConfig {
+    SessionConfig {
+        workers: Some(n),
+        one_shot: true,
+        streaming: None,
+    }
+}
+
+fn streaming(n: usize, batch_size: usize) -> SessionConfig {
+    SessionConfig {
+        workers: Some(n),
+        one_shot: false,
+        streaming: Some(StreamingConfig {
+            batch_size,
+            queue_depth: 2,
+        }),
+    }
+}
+
+/// The full matrix every workload must survive. `per_event` first: it is
+/// the reference everything else is compared against.
+fn modes() -> Vec<ModeSpec> {
+    vec![
+        ModeSpec {
+            name: "per_event",
+            cfg: SessionConfig::default(),
+            feed: Feed::PerEvent,
+        },
+        ModeSpec {
+            name: "push_batch",
+            cfg: SessionConfig::default(),
+            feed: Feed::Batch,
+        },
+        ModeSpec {
+            name: "one_shot/n1",
+            cfg: one_shot(1),
+            feed: Feed::Batch,
+        },
+        ModeSpec {
+            name: "one_shot/n2",
+            cfg: one_shot(2),
+            feed: Feed::Batch,
+        },
+        ModeSpec {
+            name: "one_shot/n4",
+            cfg: one_shot(4),
+            feed: Feed::Batch,
+        },
+        ModeSpec {
+            name: "one_shot/n7",
+            cfg: one_shot(7),
+            feed: Feed::Batch,
+        },
+        ModeSpec {
+            name: "streaming/n2/b1",
+            cfg: streaming(2, 1),
+            feed: Feed::Batch,
+        },
+        ModeSpec {
+            name: "streaming/n4/b64",
+            cfg: streaming(4, 64),
+            feed: Feed::Batch,
+        },
+        ModeSpec {
+            name: "streaming_shared/n3/b16",
+            cfg: streaming(3, 16),
+            feed: Feed::SharedBatch,
+        },
+        ModeSpec {
+            name: "streaming_chunked/n3",
+            cfg: SessionConfig {
+                workers: Some(3),
+                one_shot: false,
+                streaming: None,
+            },
+            feed: Feed::ChunkedFlush(17),
+        },
+    ]
+}
+
+/// Feeds a prepared input through any [`EventRuntime`] and finishes it.
+fn drive<R: EventRuntime>(rt: &mut R, events: &[(SourceId, Tuple)], feed: Feed) {
+    match feed {
+        Feed::PerEvent => {
             for (src, t) in events {
-                exec.push(*src, t.clone(), &mut sink).unwrap();
+                rt.push(*src, t.clone()).unwrap();
             }
-            canonical(sink.results)
         }
-        Mode::PushBatch => {
-            let mut exec = ExecutablePlan::new(plan).unwrap();
-            let mut sink = CollectingSink::default();
-            exec.push_batch(events, &mut sink).unwrap();
-            canonical(sink.results)
-        }
-        Mode::Pipelined { stages, batch } => {
-            let results = run_pipelined_config(
-                plan,
-                events,
-                &PipelineConfig {
-                    stages,
-                    batch_size: batch,
-                },
-            )
-            .unwrap();
-            canonical(results)
-        }
-        Mode::Sharded { n } => {
-            let mut rt: ShardedRuntime<CollectingSink> = ShardedRuntime::new(plan, n).unwrap();
-            rt.push_batch(events).unwrap();
-            canonical(rt.finish().results)
-        }
-        Mode::Streaming { n, batch } => {
-            let mut rt: StreamingShardedRuntime<CollectingSink> =
-                StreamingShardedRuntime::with_config(
-                    plan,
-                    n,
-                    StreamingConfig {
-                        batch_size: batch,
-                        queue_depth: 2,
-                    },
-                )
-                .unwrap();
-            rt.push_batch(events).unwrap();
-            canonical(rt.finish().unwrap().results)
-        }
-        Mode::StreamingChunked { n, chunk } => {
-            let mut rt: StreamingShardedRuntime<CollectingSink> =
-                StreamingShardedRuntime::new(plan, n).unwrap();
+        Feed::Batch => rt.push_batch(events).unwrap(),
+        Feed::SharedBatch => rt.push_batch_shared(Arc::new(events.to_vec())).unwrap(),
+        Feed::ChunkedFlush(chunk) => {
             for c in events.chunks(chunk.max(1)) {
                 rt.push_batch(c).unwrap();
                 rt.flush().unwrap();
             }
-            canonical(rt.finish().unwrap().results)
         }
+    }
+    rt.finish().unwrap();
+}
+
+/// Everything one mode run observes: per-subscription results and the
+/// catch-all leftovers.
+struct ModeOutcome {
+    subs: Vec<(QueryId, Vec<Tuple>)>,
+    leftovers: Vec<(QueryId, Tuple)>,
+}
+
+impl ModeOutcome {
+    /// Subscription and catch-all results combined (what a monolithic
+    /// sink would have seen).
+    fn combined(&self) -> Vec<(QueryId, Tuple)> {
+        let mut all = self.leftovers.clone();
+        for (q, tuples) in &self.subs {
+            all.extend(tuples.iter().map(|t| (*q, t.clone())));
+        }
+        all
+    }
+}
+
+/// THE generic driver: builds one session from the config, subscribes to
+/// the given queries, feeds the input through the [`EventRuntime`] trait,
+/// and reports what each subscriber and the catch-all saw.
+fn run_mode(
+    engine: &Rumor,
+    cfg: &SessionConfig,
+    feed: Feed,
+    events: &[(SourceId, Tuple)],
+    subscribe: &[QueryId],
+) -> ModeOutcome {
+    let mut session = engine.session().config(cfg.clone()).build().unwrap();
+    let mut subs: Vec<Subscription> = subscribe.iter().map(|&q| session.subscribe(q)).collect();
+    drive(&mut session, events, feed);
+    ModeOutcome {
+        subs: subs.iter_mut().map(|s| (s.query(), s.drain())).collect(),
+        leftovers: session.collect_all(),
     }
 }
 
 /// Per-query result sequences in arrival order — the stricter contract
-/// the single-threaded entry points carry on top of the canonical
-/// multiset: `push_batch` promises results *identical to per-event
-/// order*, not merely the same multiset.
+/// the single-threaded feeds carry on top of the canonical multiset:
+/// `push_batch` promises results *identical to per-event order*, not
+/// merely the same multiset.
 fn per_query_ordered(results: &[(QueryId, Tuple)]) -> Vec<(u32, Vec<String>)> {
     let mut by_query: std::collections::BTreeMap<u32, Vec<String>> = Default::default();
     for (q, t) in results {
@@ -152,37 +232,71 @@ fn per_query_ordered(results: &[(QueryId, Tuple)]) -> Vec<(u32, Vec<String>)> {
 }
 
 /// Asserts every mode of the matrix reproduces the per-event reference
-/// byte for byte on the given workload, and that `push_batch` (the
-/// single-threaded batched entry point) additionally preserves exact
-/// per-query result order.
-fn assert_conformance(name: &str, plan: &PlanGraph, events: &[(SourceId, Tuple)]) {
-    let reference = run_mode(plan, events, MODES[0]);
-    for &mode in &MODES[1..] {
-        let got = run_mode(plan, events, mode);
+/// byte for byte on the given workload — with half the queries observed
+/// through subscriptions: each subscription must match the oracle
+/// restricted to its query, subscribed queries must not leak into the
+/// catch-all, and the union must equal the reference. Additionally pins
+/// the `push_batch` per-query order contract.
+fn assert_conformance(
+    name: &str,
+    engine: &Rumor,
+    queries: &[QueryId],
+    events: &[(SourceId, Tuple)],
+) {
+    let table = modes();
+    let reference_run = run_mode(engine, &table[0].cfg, table[0].feed, events, &[]);
+    let reference = canonical(&reference_run.leftovers);
+    // The oracle per query, for the subscription checks.
+    let ref_of = |q: QueryId| -> Vec<(u64, u32, String)> {
+        reference
+            .iter()
+            .filter(|(_, qi, _)| *qi == q.0)
+            .cloned()
+            .collect()
+    };
+    // Every other query index gets a subscriber; the rest stays on the
+    // catch-all path, so both delivery paths are checked in one run.
+    let subscribed: Vec<QueryId> = queries.iter().copied().step_by(2).collect();
+    for mode in &table[1..] {
+        let out = run_mode(engine, &mode.cfg, mode.feed, events, &subscribed);
         assert_eq!(
-            got,
+            canonical(&out.combined()),
             reference,
-            "workload `{name}` diverged under {mode:?} ({} events)",
+            "workload `{name}` diverged under {} ({} events)",
+            mode.name,
             events.len()
         );
+        for (q, tuples) in &out.subs {
+            let got: Vec<(u64, u32, String)> = {
+                let pairs: Vec<(QueryId, Tuple)> = tuples.iter().map(|t| (*q, t.clone())).collect();
+                canonical(&pairs)
+            };
+            assert_eq!(
+                got,
+                ref_of(*q),
+                "workload `{name}`: subscription for {q} diverged from the oracle under {}",
+                mode.name
+            );
+        }
+        assert!(
+            out.leftovers.iter().all(|(q, _)| !subscribed.contains(q)),
+            "workload `{name}`: subscribed queries leaked into collect_all under {}",
+            mode.name
+        );
     }
-    assert_push_batch_order(name, plan, events);
+    assert_push_batch_order(name, engine, events);
 }
 
 /// The documented `push_batch` order contract, uncanonicalized: per-query
-/// result sequences must equal the per-event engine's exactly.
-fn assert_push_batch_order(name: &str, plan: &PlanGraph, events: &[(SourceId, Tuple)]) {
-    let mut per_event = ExecutablePlan::new(plan).unwrap();
-    let mut want = CollectingSink::default();
-    for (src, t) in events {
-        per_event.push(*src, t.clone(), &mut want).unwrap();
-    }
-    let mut batched = ExecutablePlan::new(plan).unwrap();
-    let mut got = CollectingSink::default();
-    batched.push_batch(events, &mut got).unwrap();
+/// result sequences of the batched single-threaded session must equal the
+/// per-event session's exactly.
+fn assert_push_batch_order(name: &str, engine: &Rumor, events: &[(SourceId, Tuple)]) {
+    let cfg = SessionConfig::default();
+    let want = run_mode(engine, &cfg, Feed::PerEvent, events, &[]);
+    let got = run_mode(engine, &cfg, Feed::Batch, events, &[]);
     assert_eq!(
-        per_query_ordered(&got.results),
-        per_query_ordered(&want.results),
+        per_query_ordered(&got.leftovers),
+        per_query_ordered(&want.leftovers),
         "workload `{name}`: push_batch broke per-query result order"
     );
 }
@@ -193,24 +307,23 @@ fn assert_push_batch_order(name: &str, plan: &PlanGraph, events: &[(SourceId, Tu
 
 /// Standard source layout: every workload builder registers the same four
 /// 3-int sources so event generators can be shared.
-fn sources(plan: &mut PlanGraph) -> Vec<SourceId> {
+fn sources(engine: &mut Rumor) -> Vec<SourceId> {
     ["S", "T", "U", "A"]
         .iter()
-        .map(|n| plan.add_source(*n, Schema::ints(3), None).unwrap())
+        .map(|n| engine.add_source(n, Schema::ints(3), None).unwrap())
         .collect()
 }
 
-fn optimized(queries: &[LogicalPlan]) -> (PlanGraph, Vec<SourceId>) {
-    let mut plan = PlanGraph::new();
-    let srcs = sources(&mut plan);
-    for q in queries {
-        plan.add_query(q).unwrap();
-    }
-    Optimizer::new(OptimizerConfig::default())
-        .optimize(&mut plan)
-        .unwrap();
-    plan.validate().unwrap();
-    (plan, srcs)
+fn optimized(queries: &[LogicalPlan]) -> (Rumor, Vec<SourceId>, Vec<QueryId>) {
+    let mut engine = Rumor::new(OptimizerConfig::default());
+    let srcs = sources(&mut engine);
+    let qids: Vec<QueryId> = queries
+        .iter()
+        .map(|q| engine.register(q).unwrap())
+        .collect();
+    engine.optimize().unwrap();
+    engine.plan().validate().unwrap();
+    (engine, srcs, qids)
 }
 
 /// Deterministic interleaved input over all four sources, strictly
@@ -246,7 +359,7 @@ fn equi_seq(window: u64) -> LogicalPlan {
         .select(Predicate::attr_eq_const(1, 1i64))
         .followed_by(
             LogicalPlan::source("T"),
-            SeqSpec {
+            rumor::SeqSpec {
                 predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
                 window,
             },
@@ -256,7 +369,7 @@ fn equi_seq(window: u64) -> LogicalPlan {
 fn unkeyed_seq(window: u64) -> LogicalPlan {
     LogicalPlan::source("S").followed_by(
         LogicalPlan::source("T"),
-        SeqSpec {
+        rumor::SeqSpec {
             predicate: Predicate::cmp(CmpOp::Lt, Expr::col(2), Expr::rcol(2)),
             window,
         },
@@ -293,23 +406,24 @@ fn aggregate(group_by: Vec<usize>, window: u64) -> LogicalPlan {
     })
 }
 
-/// One named workload: an optimized plan plus its prepared input.
-type Workload = (&'static str, PlanGraph, Vec<(SourceId, Tuple)>);
+/// One named workload: an optimized engine, its query ids, and the
+/// prepared input.
+type Workload = (&'static str, Rumor, Vec<QueryId>, Vec<(SourceId, Tuple)>);
 
 /// The deterministic workload table: every partitioning verdict, the
 /// pinned-split shape, a mixed plan, and edge inputs.
 fn workload_table() -> Vec<Workload> {
     let mut table = Vec::new();
 
-    let (plan, srcs) = optimized(&[
+    let (engine, srcs, qids) = optimized(&[
         LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64)),
         LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 2i64)),
         LogicalPlan::source("U").select(Predicate::attr_eq_const(1, 0i64)),
     ]);
     let events = interleaved(&srcs, 160);
-    table.push(("shared_selects", plan, events));
+    table.push(("shared_selects", engine, qids, events));
 
-    let (plan, srcs) = optimized(&[
+    let (engine, srcs, qids) = optimized(&[
         LogicalPlan::source("U")
             .select(Predicate::attr_eq_const(0, 1i64))
             .project(SchemaMap::new(vec![NamedExpr::new(
@@ -321,131 +435,129 @@ fn workload_table() -> Vec<Workload> {
             .select(Predicate::attr_eq_const(1, 1i64)),
     ]);
     let events = interleaved(&srcs, 160);
-    table.push(("select_project_chain", plan, events));
+    table.push(("select_project_chain", engine, qids, events));
 
-    let (plan, srcs) = optimized(&[equi_seq(12), equi_seq(25)]);
+    let (engine, srcs, qids) = optimized(&[equi_seq(12), equi_seq(25)]);
     let events = interleaved(&srcs, 200);
-    table.push(("keyed_sequences", plan, events));
+    table.push(("keyed_sequences", engine, qids, events));
 
-    let (plan, srcs) = optimized(&[keyed_iterate(18)]);
+    let (engine, srcs, qids) = optimized(&[keyed_iterate(18)]);
     let events = interleaved(&srcs, 160);
-    table.push(("keyed_iterate", plan, events));
+    table.push(("keyed_iterate", engine, qids, events));
 
-    let (plan, srcs) = optimized(&[aggregate(vec![0], 9), aggregate(vec![0, 1], 14)]);
+    let (engine, srcs, qids) = optimized(&[aggregate(vec![0], 9), aggregate(vec![0, 1], 14)]);
     let events = interleaved(&srcs, 160);
-    table.push(("grouped_aggregates", plan, events));
+    table.push(("grouped_aggregates", engine, qids, events));
 
-    let (plan, srcs) = optimized(&[aggregate(Vec::new(), 11)]);
+    let (engine, srcs, qids) = optimized(&[aggregate(Vec::new(), 11)]);
     let events = interleaved(&srcs, 120);
-    table.push(("ungrouped_aggregate_pinned", plan, events));
+    table.push(("ungrouped_aggregate_pinned", engine, qids, events));
 
-    let (plan, srcs) = optimized(&[unkeyed_seq(10)]);
+    let (engine, srcs, qids) = optimized(&[unkeyed_seq(10)]);
     let events = interleaved(&srcs, 160);
-    table.push(("unkeyed_sequence_pinned", plan, events));
+    table.push(("unkeyed_sequence_pinned", engine, qids, events));
 
     // The pinned-split shape: a pinned stateful subgraph plus stateless
     // sibling queries (and a direct source tap) on the same source.
-    let (plan, srcs) = optimized(&[
+    let (engine, srcs, qids) = optimized(&[
         unkeyed_seq(10),
         LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64)),
         LogicalPlan::source("S"),
     ]);
     let events = interleaved(&srcs, 160);
-    table.push(("pinned_split_mixed", plan, events));
+    table.push(("pinned_split_mixed", engine, qids, events));
 
     // All verdicts in one plan.
-    let (plan, srcs) = optimized(&[
+    let (engine, srcs, qids) = optimized(&[
         LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64)),
         equi_seq(15),
         unkeyed_seq(8),
         aggregate(vec![0], 10),
     ]);
     let events = interleaved(&srcs, 240);
-    table.push(("all_verdicts_mixed", plan, events));
+    table.push(("all_verdicts_mixed", engine, qids, events));
 
     // Tied timestamps void the hybrid drain's exactness proof chunk-wise
     // and exercise the per-event fallback under every parallel mode.
-    let (plan, srcs) = optimized(&[equi_seq(12), aggregate(vec![0], 7)]);
+    let (engine, srcs, qids) = optimized(&[equi_seq(12), aggregate(vec![0], 7)]);
     let events = tied(&srcs, 200);
-    table.push(("timestamp_ties", plan, events));
+    table.push(("timestamp_ties", engine, qids, events));
 
-    let (plan, _) = optimized(&[equi_seq(10), LogicalPlan::source("U")]);
-    table.push(("empty_input", plan, Vec::new()));
+    let (engine, _, qids) = optimized(&[equi_seq(10), LogicalPlan::source("U")]);
+    table.push(("empty_input", engine, qids, Vec::new()));
 
-    let (plan, srcs) = optimized(&[LogicalPlan::source("U"), equi_seq(10)]);
+    let (engine, srcs, qids) = optimized(&[LogicalPlan::source("U"), equi_seq(10)]);
     let events = vec![(srcs[2], Tuple::ints(0, &[1, 1, 1]))];
-    table.push(("single_event", plan, events));
+    table.push(("single_event", engine, qids, events));
 
     table
 }
 
 #[test]
 fn conformance_matrix_all_workloads_all_modes() {
-    for (name, plan, events) in workload_table() {
-        assert_conformance(name, &plan, &events);
+    for (name, engine, qids, events) in workload_table() {
+        assert_conformance(name, &engine, &qids, &events);
     }
 }
 
 /// The split verdict itself is part of the contract: the mixed pinned
 /// workload must report a stateful-subgraph pin and still produce
-/// identical results at every worker count.
+/// identical results at every worker count — observed through the
+/// session's scheme accessor.
 #[test]
 fn pinned_split_reports_subgraph_verdict_and_conforms() {
-    let (plan, srcs) = optimized(&[
+    let (engine, srcs, _) = optimized(&[
         unkeyed_seq(10),
         LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64)),
     ]);
     let events = interleaved(&srcs, 200);
-    let reference = run_mode(&plan, &events, Mode::PerEvent);
-    for n in [1usize, 2, 4, 7] {
-        let mut rt: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, n).unwrap();
-        let scheme = rt.scheme();
-        let pinned: Vec<_> = scheme
-            .components()
-            .iter()
-            .filter(|c| c.verdict == Verdict::Pinned)
-            .collect();
-        assert_eq!(pinned.len(), 1);
-        assert_eq!(pinned[0].pin_scope, Some(PinScope::StatefulSubgraph));
-        assert_eq!(*scheme.route(srcs[0]), SourceRoute::PinnedSplit);
-        assert_eq!(*scheme.route(srcs[1]), SourceRoute::Pinned);
-        rt.push_batch(&events).unwrap();
-        assert_eq!(rt.events_in(), events.len() as u64);
-        assert_eq!(
-            canonical(rt.finish().results),
-            reference,
-            "one-shot sharded n={n}"
-        );
-
-        let mut rt: StreamingShardedRuntime<CollectingSink> = StreamingShardedRuntime::with_config(
-            &plan,
-            n,
-            StreamingConfig {
-                batch_size: 13,
-                queue_depth: 2,
-            },
+    let reference = canonical(
+        &run_mode(
+            &engine,
+            &SessionConfig::default(),
+            Feed::PerEvent,
+            &events,
+            &[],
         )
-        .unwrap();
-        rt.push_batch(&events).unwrap();
-        assert_eq!(
-            canonical(rt.finish().unwrap().results),
-            reference,
-            "streaming n={n}"
-        );
+        .leftovers,
+    );
+    for n in [1usize, 2, 4, 7] {
+        for cfg in [one_shot(n), streaming(n, 13)] {
+            let mut session = engine.session().config(cfg.clone()).build().unwrap();
+            {
+                let scheme = session.scheme().expect("parallel sessions expose a scheme");
+                let pinned: Vec<_> = scheme
+                    .components()
+                    .iter()
+                    .filter(|c| c.verdict == Verdict::Pinned)
+                    .collect();
+                assert_eq!(pinned.len(), 1);
+                assert_eq!(pinned[0].pin_scope, Some(PinScope::StatefulSubgraph));
+                assert_eq!(*scheme.route(srcs[0]), SourceRoute::PinnedSplit);
+                assert_eq!(*scheme.route(srcs[1]), SourceRoute::Pinned);
+            }
+            drive(&mut session, &events, Feed::Batch);
+            assert_eq!(session.events_in(), events.len() as u64);
+            assert_eq!(
+                canonical(&session.collect_all()),
+                reference,
+                "{cfg:?} n={n}"
+            );
+        }
     }
 }
 
 /// The mixed plan's scheme exposes the verdict spectrum at once and the
-/// routes follow it (moved from the retired per-mode sharded test file).
+/// routes follow it.
 #[test]
 fn mixed_plan_scheme_has_all_three_verdicts() {
-    let (plan, srcs) = optimized(&[
+    let (engine, srcs, _) = optimized(&[
         LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64)),
         equi_seq(10),
         aggregate(Vec::new(), 10),
     ]);
-    let rt: ShardedRuntime<CollectingSink> = ShardedRuntime::new(&plan, 4).unwrap();
-    let scheme = rt.scheme();
+    let session = engine.session().workers(4).one_shot().build().unwrap();
+    let scheme = session.scheme().unwrap();
     assert_eq!(scheme.count(Verdict::Stateless), 1);
     assert_eq!(scheme.count(Verdict::Keyed), 1);
     assert_eq!(scheme.count(Verdict::Pinned), 1);
@@ -514,20 +626,16 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Random workloads through the full mode matrix: every mode must be
-    /// byte-identical to the per-event reference.
+    /// byte-identical to the per-event reference (subscriptions included —
+    /// the shared assert covers them).
     #[test]
     fn random_workloads_conform_across_all_modes(
         queries in prop::collection::vec(any_query(), 1..7),
         raw in events_strategy(),
     ) {
-        let (plan, srcs) = optimized(&queries);
+        let (engine, srcs, qids) = optimized(&queries);
         let events = to_events(&raw, &srcs);
-        let reference = run_mode(&plan, &events, MODES[0]);
-        for &mode in &MODES[1..] {
-            let got = run_mode(&plan, &events, mode);
-            prop_assert_eq!(&got, &reference, "mode {:?} diverged", mode);
-        }
-        assert_push_batch_order("random", &plan, &events);
+        assert_conformance("random", &engine, &qids, &events);
     }
 }
 
@@ -545,6 +653,11 @@ proptest! {
 // whole life (stateful operators keep matching across unrelated churn);
 // added queries must see exactly their post-birth events; removed ones
 // must stop at their death.
+//
+// Every life with an even index is observed through a Subscription taken
+// at its birth (live add included) — the subscription-under-churn
+// conformance case: subscribed lifetimes must match the oracle exactly,
+// and never leak into collect_all.
 // ----------------------------------------------------------------------
 
 /// One step of a churn script.
@@ -558,110 +671,41 @@ enum ChurnStep {
     Push(usize),
 }
 
-/// Engine modes the churn scripts run under.
-#[derive(Debug, Clone, Copy)]
-enum ChurnMode {
-    PerEvent,
-    PushBatch,
-    Sharded(usize),
-    Streaming(usize, usize),
-}
-
-const CHURN_MODES: &[ChurnMode] = &[
-    ChurnMode::PerEvent,
-    ChurnMode::PushBatch,
-    ChurnMode::Sharded(2),
-    ChurnMode::Sharded(4),
-    ChurnMode::Streaming(3, 5),
-    ChurnMode::Streaming(2, 64),
-];
-
-/// A live engine under churn: pushes events and hot-swaps plans.
-#[allow(clippy::large_enum_variant)] // test scaffolding, built a handful of times
-enum ChurnEngine {
-    Exec {
-        exec: ExecutablePlan,
-        sink: CollectingSink,
-        batched: bool,
-    },
-    Sharded(Option<ShardedRuntime<CollectingSink>>),
-    Streaming(StreamingShardedRuntime<CollectingSink>),
-}
-
-impl ChurnEngine {
-    fn new(mode: ChurnMode, plan: &PlanGraph) -> ChurnEngine {
-        match mode {
-            ChurnMode::PerEvent => ChurnEngine::Exec {
-                exec: ExecutablePlan::new(plan).unwrap(),
-                sink: CollectingSink::default(),
-                batched: false,
-            },
-            ChurnMode::PushBatch => ChurnEngine::Exec {
-                exec: ExecutablePlan::new(plan).unwrap(),
-                sink: CollectingSink::default(),
-                batched: true,
-            },
-            ChurnMode::Sharded(n) => {
-                ChurnEngine::Sharded(Some(ShardedRuntime::new(plan, n).unwrap()))
-            }
-            ChurnMode::Streaming(n, batch) => ChurnEngine::Streaming(
-                StreamingShardedRuntime::with_config(
-                    plan,
-                    n,
-                    StreamingConfig {
-                        batch_size: batch,
-                        queue_depth: 2,
-                    },
-                )
-                .unwrap(),
-            ),
-        }
-    }
-
-    fn push(&mut self, events: &[(SourceId, Tuple)]) {
-        match self {
-            ChurnEngine::Exec {
-                exec,
-                sink,
-                batched,
-            } => {
-                if *batched {
-                    exec.push_batch(events, sink).unwrap();
-                } else {
-                    for (src, t) in events {
-                        exec.push(*src, t.clone(), sink).unwrap();
-                    }
-                }
-            }
-            ChurnEngine::Sharded(rt) => rt.as_mut().unwrap().push_batch(events).unwrap(),
-            ChurnEngine::Streaming(rt) => rt.push_batch(events).unwrap(),
-        }
-    }
-
-    fn swap(&mut self, plan: &PlanGraph) {
-        match self {
-            ChurnEngine::Exec { exec, .. } => exec.apply_delta(plan).unwrap(),
-            ChurnEngine::Sharded(rt) => rt.as_mut().unwrap().update_plan(plan).unwrap(),
-            ChurnEngine::Streaming(rt) => rt.update_plan(plan).unwrap(),
-        }
-    }
-
-    /// Results so far without ending the engine (single-threaded modes
-    /// only — the step-wise oracle checks use this).
-    fn peek(&self) -> Option<Vec<(QueryId, Tuple)>> {
-        match self {
-            ChurnEngine::Exec { sink, .. } => Some(sink.results.clone()),
-            _ => None,
-        }
-    }
-
-    fn finish(self) -> Vec<(QueryId, Tuple)> {
-        match self {
-            ChurnEngine::Exec { sink, .. } => sink.results,
-            ChurnEngine::Sharded(rt) => rt.unwrap().finish().results,
-            ChurnEngine::Streaming(mut rt) => rt.finish().unwrap().results,
-        }
-    }
+/// Engine modes the churn scripts run under: session configs plus the
+/// feed style, like everywhere else in this harness.
+fn churn_modes() -> Vec<ModeSpec> {
+    vec![
+        ModeSpec {
+            name: "per_event",
+            cfg: SessionConfig::default(),
+            feed: Feed::PerEvent,
+        },
+        ModeSpec {
+            name: "push_batch",
+            cfg: SessionConfig::default(),
+            feed: Feed::Batch,
+        },
+        ModeSpec {
+            name: "one_shot/n2",
+            cfg: one_shot(2),
+            feed: Feed::Batch,
+        },
+        ModeSpec {
+            name: "one_shot/n4",
+            cfg: one_shot(4),
+            feed: Feed::Batch,
+        },
+        ModeSpec {
+            name: "streaming/n3/b5",
+            cfg: streaming(3, 5),
+            feed: Feed::Batch,
+        },
+        ModeSpec {
+            name: "streaming/n2/b64",
+            cfg: streaming(2, 64),
+            feed: Feed::Batch,
+        },
+    ]
 }
 
 /// One query's life under a churn run: its logical plan, id, and the
@@ -680,23 +724,41 @@ struct ChurnOutcome {
     fed: usize,
 }
 
-/// Runs a churn script under one engine mode. When `stepwise` is true
-/// (single-threaded modes), every step is followed by a full oracle
-/// check of every query's results so far.
+/// Drains every subscription and the catch-all into the accumulated
+/// result log, checking the routing invariant on the way: a subscribed
+/// query's results must never appear in `collect_all`.
+fn gather(
+    session: &mut rumor::Session,
+    subs: &mut HashMap<QueryId, Subscription>,
+    collected: &mut Vec<(QueryId, Tuple)>,
+) {
+    for (q, sub) in subs.iter_mut() {
+        collected.extend(sub.drain().into_iter().map(|t| (*q, t)));
+    }
+    let rest = session.collect_all();
+    assert!(
+        rest.iter().all(|(q, _)| !subs.contains_key(q)),
+        "subscribed queries leaked into collect_all"
+    );
+    collected.extend(rest);
+}
+
+/// Runs a churn script under one engine mode through the session API.
+/// When `stepwise` is true (the per-event mode), every step is followed
+/// by a flush + full oracle check of every query's results so far.
 fn run_churn(
     name: &str,
-    mode: ChurnMode,
+    mode: &ModeSpec,
     initial: &[LogicalPlan],
     steps: &[ChurnStep],
     events: &[(SourceId, Tuple)],
     stepwise: bool,
 ) -> ChurnOutcome {
-    let optimizer = Optimizer::new(OptimizerConfig::default());
-    let mut plan = PlanGraph::new();
-    sources(&mut plan);
+    let mut engine = Rumor::new(OptimizerConfig::default());
+    sources(&mut engine);
     let mut lives: Vec<QueryLife> = Vec::new();
     for q in initial {
-        let qid = plan.add_query(q).unwrap();
+        let qid = engine.register(q).unwrap();
         lives.push(QueryLife {
             plan: q.clone(),
             qid,
@@ -704,22 +766,40 @@ fn run_churn(
             death: None,
         });
     }
-    optimizer.optimize(&mut plan).unwrap();
-    plan.validate().unwrap();
+    engine.optimize().unwrap();
+    engine.plan().validate().unwrap();
 
-    let mut engine = ChurnEngine::new(mode, &plan);
+    let mut session = engine.session().config(mode.cfg.clone()).build().unwrap();
+    // Even-index lives get a subscriber from birth.
+    let mut subs: HashMap<QueryId, Subscription> = HashMap::new();
+    for (i, life) in lives.iter().enumerate() {
+        if i % 2 == 0 {
+            subs.insert(life.qid, session.subscribe(life.qid));
+        }
+    }
+    let mut collected: Vec<(QueryId, Tuple)> = Vec::new();
     let mut fed = 0usize;
     for step in steps {
         match step {
             ChurnStep::Push(k) => {
                 let hi = (fed + k).min(events.len());
-                engine.push(&events[fed..hi]);
+                match mode.feed {
+                    Feed::PerEvent => {
+                        for (src, t) in &events[fed..hi] {
+                            session.push(*src, t.clone()).unwrap();
+                        }
+                    }
+                    _ => session.push_batch(&events[fed..hi]).unwrap(),
+                }
                 fed = hi;
             }
             ChurnStep::Add(q) => {
-                let integration = optimizer.integrate(&mut plan, q).unwrap();
-                plan.validate().unwrap();
-                engine.swap(&plan);
+                let integration = engine.add_query(q).unwrap();
+                engine.plan().validate().unwrap();
+                session.update_plan(engine.plan()).unwrap();
+                if lives.len().is_multiple_of(2) {
+                    subs.insert(integration.query, session.subscribe(integration.query));
+                }
                 lives.push(QueryLife {
                     plan: q.clone(),
                     qid: integration.query,
@@ -729,34 +809,37 @@ fn run_churn(
             }
             ChurnStep::Remove(i) => {
                 let qid = lives[*i].qid;
-                plan.remove_query(qid).unwrap();
-                plan.validate().unwrap();
-                engine.swap(&plan);
+                engine.remove_query(qid).unwrap();
+                engine.plan().validate().unwrap();
+                session.update_plan(engine.plan()).unwrap();
                 lives[*i].death = Some(fed);
             }
         }
         if stepwise {
-            if let Some(results) = engine.peek() {
-                assert_churn_oracle(
-                    name,
-                    &format!("{mode:?} (step-wise)"),
-                    &lives,
-                    &results,
-                    fed,
-                    events,
-                );
-            }
+            session.flush().unwrap();
+            gather(&mut session, &mut subs, &mut collected);
+            assert_churn_oracle(
+                name,
+                &format!("{} (step-wise)", mode.name),
+                &lives,
+                &collected,
+                fed,
+                events,
+            );
         }
     }
+    session.finish().unwrap();
+    gather(&mut session, &mut subs, &mut collected);
     ChurnOutcome {
         lives,
-        results: engine.finish(),
+        results: collected,
         fed,
     }
 }
 
 /// Byte-identical check of every query's lifetime results against its
-/// fresh-compile oracle.
+/// fresh-compile oracle (itself a single-threaded session over a fresh
+/// engine holding that query alone).
 fn assert_churn_oracle(
     name: &str,
     mode: &str,
@@ -766,20 +849,18 @@ fn assert_churn_oracle(
     events: &[(SourceId, Tuple)],
 ) {
     for life in lives {
-        let mut fresh = PlanGraph::new();
+        let mut fresh = Rumor::new(OptimizerConfig::default());
         sources(&mut fresh);
-        let oracle_q = fresh.add_query(&life.plan).unwrap();
-        Optimizer::new(OptimizerConfig::default())
-            .optimize(&mut fresh)
-            .unwrap();
-        let mut exec = ExecutablePlan::new(&fresh).unwrap();
-        let mut sink = CollectingSink::default();
+        let oracle_q = fresh.register(&life.plan).unwrap();
+        fresh.optimize().unwrap();
+        let mut oracle = fresh.session().build().unwrap();
         let hi = life.death.unwrap_or(fed).min(fed);
         for (src, t) in &events[life.birth.min(hi)..hi] {
-            exec.push(*src, t.clone(), &mut sink).unwrap();
+            oracle.push(*src, t.clone()).unwrap();
         }
-        let mut want: Vec<(u64, String)> = sink
-            .results
+        oracle.finish().unwrap();
+        let mut want: Vec<(u64, String)> = oracle
+            .collect_all()
             .iter()
             .filter(|(q, _)| *q == oracle_q)
             .map(|(_, t)| (t.ts, t.to_string()))
@@ -892,15 +973,15 @@ fn churn_scripts() -> Vec<(&'static str, Vec<LogicalPlan>, Vec<ChurnStep>)> {
 #[test]
 fn churn_scripts_conform_to_fresh_compile_oracle_across_modes() {
     for (name, initial, steps) in churn_scripts() {
-        let mut probe = PlanGraph::new();
+        let mut probe = Rumor::new(OptimizerConfig::default());
         let srcs = sources(&mut probe);
         let events = interleaved(&srcs, 260);
-        for &mode in CHURN_MODES {
-            let stepwise = matches!(mode, ChurnMode::PerEvent);
-            let outcome = run_churn(name, mode, &initial, &steps, &events, stepwise);
+        for mode in churn_modes() {
+            let stepwise = matches!(mode.feed, Feed::PerEvent) && mode.cfg.workers.is_none();
+            let outcome = run_churn(name, &mode, &initial, &steps, &events, stepwise);
             assert_churn_oracle(
                 name,
-                &format!("{mode:?}"),
+                mode.name,
                 &outcome.lives,
                 &outcome.results,
                 outcome.fed,
@@ -934,8 +1015,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Random interleavings of pushes with query add/remove: the
-    /// streaming pool (hot-swapped, never restarted) must match the
-    /// single-threaded per-event engine run through the same lifecycle,
+    /// streaming session (hot-swapped, never restarted) must match the
+    /// single-threaded per-event session run through the same lifecycle,
     /// and both must match the fresh-compile oracle per query.
     #[test]
     fn random_churn_interleavings_conform(
@@ -944,7 +1025,7 @@ proptest! {
         batch_size in 1usize..8,
         n in 1usize..4,
     ) {
-        let mut probe = PlanGraph::new();
+        let mut probe = Rumor::new(OptimizerConfig::default());
         let srcs = sources(&mut probe);
         let events = to_events(&raw, &srcs);
         let initial = vec![equi_seq(14), LogicalPlan::source("A").select(Predicate::attr_eq_const(1, 1i64))];
@@ -972,32 +1053,29 @@ proptest! {
         }
         steps.push(ChurnStep::Push(events.len()));
 
-        let reference = run_churn("random", ChurnMode::PerEvent, &initial, &steps, &events, false);
+        let per_event = ModeSpec {
+            name: "per_event",
+            cfg: SessionConfig::default(),
+            feed: Feed::PerEvent,
+        };
+        let reference = run_churn("random", &per_event, &initial, &steps, &events, false);
         assert_churn_oracle(
             "random",
-            "PerEvent",
+            "per_event",
             &reference.lives,
             &reference.results,
             reference.fed,
             &events,
         );
-        let candidate = run_churn(
-            "random",
-            ChurnMode::Streaming(n, batch_size),
-            &initial,
-            &steps,
-            &events,
-            false,
-        );
-        let canon = |r: &[(QueryId, Tuple)]| {
-            let mut v: Vec<(u64, u32, String)> =
-                r.iter().map(|(q, t)| (t.ts, q.0, t.to_string())).collect();
-            v.sort();
-            v
+        let candidate_mode = ModeSpec {
+            name: "streaming",
+            cfg: streaming(n, batch_size),
+            feed: Feed::Batch,
         };
+        let candidate = run_churn("random", &candidate_mode, &initial, &steps, &events, false);
         prop_assert_eq!(
-            canon(&candidate.results),
-            canon(&reference.results),
+            canonical(&candidate.results),
+            canonical(&reference.results),
             "streaming churn (n={}, batch_size={}) diverged from per-event",
             n,
             batch_size
@@ -1045,7 +1123,7 @@ proptest! {
         batch_size in 1usize..8,
         n in 1usize..5,
     ) {
-        let (plan, srcs) = optimized(&[
+        let (engine, srcs, _) = optimized(&[
             LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64)),
             equi_seq(12),
             unkeyed_seq(7),
@@ -1053,36 +1131,37 @@ proptest! {
         ]);
         let events = to_events(&raw, &srcs);
 
-        let mut rt: StreamingShardedRuntime<CollectingSink> =
-            StreamingShardedRuntime::with_config(
-                &plan,
-                n,
-                StreamingConfig { batch_size, queue_depth: 2 },
-            )
+        let mut session = engine
+            .session()
+            .config(streaming(n, batch_size))
+            .build()
             .unwrap();
         let mut fed = 0usize;
         for step in &steps {
             match step {
                 Step::Push(k) => {
                     for (src, t) in events.iter().skip(fed).take(*k) {
-                        rt.push(*src, t.clone()).unwrap();
+                        session.push(*src, t.clone()).unwrap();
                     }
                     fed = (fed + k).min(events.len());
                 }
                 Step::Batch(k) => {
                     let hi = (fed + k).min(events.len());
-                    rt.push_batch(&events[fed..hi]).unwrap();
+                    session.push_batch(&events[fed..hi]).unwrap();
                     fed = hi;
                 }
-                Step::Flush => rt.flush().unwrap(),
+                Step::Flush => session.flush().unwrap(),
             }
         }
-        rt.push_batch(&events[fed..]).unwrap();
-        rt.flush().unwrap();
-        prop_assert_eq!(rt.events_in(), events.len() as u64);
-        let got = canonical(rt.finish().unwrap().results);
+        session.push_batch(&events[fed..]).unwrap();
+        session.flush().unwrap();
+        prop_assert_eq!(session.events_in(), events.len() as u64);
+        session.finish().unwrap();
+        let got = canonical(&session.collect_all());
 
-        let want = run_mode(&plan, &events, Mode::PerEvent);
+        let want = canonical(
+            &run_mode(&engine, &SessionConfig::default(), Feed::PerEvent, &events, &[]).leftovers,
+        );
         prop_assert_eq!(got, want, "lifecycle (batch_size={}, n={}) diverged", batch_size, n);
     }
 }

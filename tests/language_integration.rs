@@ -1,7 +1,7 @@
 //! Integration tests spanning the full stack through the query language:
-//! parse → lower → register → optimize → execute → observe results.
+//! parse → lower → register → optimize → session → observe results.
 
-use rumor::{CollectingSink, OptimizerConfig, Rumor, Tuple, Value};
+use rumor::{EventRuntime, OptimizerConfig, QueryId, Rumor, Tuple, Value};
 
 fn engine(script: &str) -> Rumor {
     let mut r = Rumor::new(OptimizerConfig::default());
@@ -10,19 +10,40 @@ fn engine(script: &str) -> Rumor {
     r
 }
 
+/// Pushes events through a fresh single-threaded session and returns the
+/// catch-all results.
+fn run(r: &Rumor, events: &[(&str, Tuple)]) -> Vec<(QueryId, Tuple)> {
+    let mut session = r.session().build().unwrap();
+    for (src, t) in events {
+        let s = r.source_id(src).unwrap();
+        session.push(s, t.clone()).unwrap();
+    }
+    session.finish().unwrap();
+    session.collect_all()
+}
+
+fn of(results: &[(QueryId, Tuple)], q: QueryId) -> Vec<&Tuple> {
+    results
+        .iter()
+        .filter(|(qi, _)| *qi == q)
+        .map(|(_, t)| t)
+        .collect()
+}
+
 #[test]
 fn projection_computes_values() {
     let r = engine(
         "CREATE STREAM s (a INT, b INT);
          QUERY q AS SELECT b, a * 10 + b AS combo FROM s WHERE a > 1;",
     );
-    let mut rt = r.runtime().unwrap();
-    let mut sink = CollectingSink::default();
-    let src = r.source_id("s").unwrap();
-    rt.push(src, Tuple::ints(0, &[1, 5]), &mut sink).unwrap(); // filtered
-    rt.push(src, Tuple::ints(1, &[3, 7]), &mut sink).unwrap();
-    let q = r.query_id("q").unwrap();
-    let got = sink.of(q);
+    let results = run(
+        &r,
+        &[
+            ("s", Tuple::ints(0, &[1, 5])), // filtered
+            ("s", Tuple::ints(1, &[3, 7])),
+        ],
+    );
+    let got = of(&results, r.query_id("q").unwrap());
     assert_eq!(got.len(), 1);
     assert_eq!(got[0].values(), &[Value::Int(7), Value::Int(37)]);
 }
@@ -34,15 +55,15 @@ fn join_within_window() {
          CREATE STREAM r (k INT, y INT);
          QUERY j AS SELECT * FROM l JOIN r ON l.k = r.k WITHIN 5;",
     );
-    let mut rt = r.runtime().unwrap();
-    let mut sink = CollectingSink::default();
-    let ls = r.source_id("l").unwrap();
-    let rs = r.source_id("r").unwrap();
-    rt.push(ls, Tuple::ints(0, &[7, 1]), &mut sink).unwrap();
-    rt.push(rs, Tuple::ints(2, &[7, 2]), &mut sink).unwrap(); // joins
-    rt.push(rs, Tuple::ints(9, &[7, 3]), &mut sink).unwrap(); // expired
-    let q = r.query_id("j").unwrap();
-    let got = sink.of(q);
+    let results = run(
+        &r,
+        &[
+            ("l", Tuple::ints(0, &[7, 1])),
+            ("r", Tuple::ints(2, &[7, 2])), // joins
+            ("r", Tuple::ints(9, &[7, 3])), // expired
+        ],
+    );
+    let got = of(&results, r.query_id("j").unwrap());
     assert_eq!(got.len(), 1);
     assert_eq!(got[0], &Tuple::ints(2, &[7, 1, 7, 2]));
 }
@@ -53,15 +74,12 @@ fn group_by_aggregate_stream() {
         "CREATE STREAM m (node INT, v INT);
          QUERY peak AS SELECT node, MAX(v) AS peak FROM m [RANGE 10] GROUP BY node;",
     );
-    let mut rt = r.runtime().unwrap();
-    let mut sink = CollectingSink::default();
-    let src = r.source_id("m").unwrap();
-    for (ts, node, v) in [(0, 1, 5), (1, 2, 9), (2, 1, 3), (15, 1, 1)] {
-        rt.push(src, Tuple::ints(ts, &[node, v]), &mut sink)
-            .unwrap();
-    }
-    let q = r.query_id("peak").unwrap();
-    let got = sink.of(q);
+    let events: Vec<(&str, Tuple)> = [(0, 1, 5), (1, 2, 9), (2, 1, 3), (15, 1, 1)]
+        .into_iter()
+        .map(|(ts, node, v)| ("m", Tuple::ints(ts, &[node, v])))
+        .collect();
+    let results = run(&r, &events);
+    let got = of(&results, r.query_id("peak").unwrap());
     assert_eq!(got.len(), 4);
     assert_eq!(got[0], &Tuple::ints(0, &[1, 5]));
     assert_eq!(got[1], &Tuple::ints(1, &[2, 9]));
@@ -76,15 +94,18 @@ fn sequence_pattern_via_language() {
          CREATE STREAM b (k INT);
          QUERY p AS PATTERN a AS x WHERE x.k = 1 THEN b AS y WHERE x.k = y.k WITHIN 10;",
     );
-    let mut rt = r.runtime().unwrap();
-    let mut sink = CollectingSink::default();
+    // The query owner subscribes; the pattern's single match arrives on
+    // the subscription, not in the catch-all.
+    let mut session = r.session().build().unwrap();
+    let mut sub = session.subscribe_named("p").unwrap();
     let sa = r.source_id("a").unwrap();
     let sb = r.source_id("b").unwrap();
-    rt.push(sa, Tuple::ints(0, &[1]), &mut sink).unwrap();
-    rt.push(sb, Tuple::ints(1, &[1]), &mut sink).unwrap(); // match + consume
-    rt.push(sb, Tuple::ints(2, &[1]), &mut sink).unwrap(); // no instance left
-    let q = r.query_id("p").unwrap();
-    assert_eq!(sink.of(q).len(), 1);
+    session.push(sa, Tuple::ints(0, &[1])).unwrap();
+    session.push(sb, Tuple::ints(1, &[1])).unwrap(); // match + consume
+    session.push(sb, Tuple::ints(2, &[1])).unwrap(); // no instance left
+    session.finish().unwrap();
+    assert_eq!(sub.drain().len(), 1);
+    assert!(session.collect_all().is_empty());
 }
 
 #[test]
@@ -97,16 +118,13 @@ fn shared_script_workload_counts() {
     }
     let r = engine(&script);
     assert_eq!(r.plan().mop_count(), 1, "all selections share one m-op");
-    let mut rt = r.runtime().unwrap();
-    let mut sink = CollectingSink::default();
-    let src = r.source_id("s").unwrap();
-    for ts in 0..80u64 {
-        rt.push(src, Tuple::ints(ts, &[(ts % 8) as i64, 0]), &mut sink)
-            .unwrap();
-    }
+    let events: Vec<(&str, Tuple)> = (0..80u64)
+        .map(|ts| ("s", Tuple::ints(ts, &[(ts % 8) as i64, 0])))
+        .collect();
+    let results = run(&r, &events);
     for c in 0..8 {
         let q = r.query_id(&format!("q{c}")).unwrap();
-        assert_eq!(sink.of(q).len(), 10, "query {c}");
+        assert_eq!(of(&results, q).len(), 10, "query {c}");
     }
 }
 
@@ -130,22 +148,24 @@ fn define_subplans_share_via_rules() {
         })
         .count();
     assert_eq!(aggs, 1, "one shared aggregation");
-    let mut rt = r.runtime().unwrap();
-    let mut sink = CollectingSink::default();
-    let src = r.source_id("cpu").unwrap();
-    rt.push(src, Tuple::ints(0, &[1, 90]), &mut sink).unwrap();
-    rt.push(src, Tuple::ints(1, &[2, 1]), &mut sink).unwrap();
-    assert_eq!(sink.of(r.query_id("hot").unwrap()).len(), 1);
-    assert_eq!(sink.of(r.query_id("cold").unwrap()).len(), 1);
+    let results = run(
+        &r,
+        &[
+            ("cpu", Tuple::ints(0, &[1, 90])),
+            ("cpu", Tuple::ints(1, &[2, 1])),
+        ],
+    );
+    assert_eq!(of(&results, r.query_id("hot").unwrap()).len(), 1);
+    assert_eq!(of(&results, r.query_id("cold").unwrap()).len(), 1);
 }
 
 #[test]
 fn parse_errors_surface_cleanly() {
     let mut r = Rumor::new(OptimizerConfig::default());
     let err = r.execute("SELECT FROM nowhere").unwrap_err();
-    assert!(matches!(err, rumor_types::RumorError::Parse { .. }));
+    assert!(matches!(err, rumor::RumorError::Parse { .. }));
     let err = r
         .execute("CREATE STREAM s (a INT); SELECT * FROM unknown_stream;")
         .unwrap_err();
-    assert!(matches!(err, rumor_types::RumorError::Unknown(_)));
+    assert!(matches!(err, rumor::RumorError::Unknown(_)));
 }
