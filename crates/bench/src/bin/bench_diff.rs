@@ -1,0 +1,194 @@
+//! Compares two `BENCH_throughput.json` documents — the committed
+//! baseline and a freshly generated run — and renders a per-path
+//! speedup-delta report. Used by the non-gating `bench-diff` CI step so
+//! every PR carries an artifact showing how each engine path moved
+//! relative to the numbers committed in the repository.
+//!
+//! ```text
+//! cargo run --release -p rumor-bench --bin bench_diff \
+//!     BENCH_throughput.json throughput-ci.json [bench-diff.md]
+//! ```
+//!
+//! The parser is deliberately minimal: it reads exactly the line-oriented
+//! shape `rumor_bench::throughput::render_json` emits (one path object
+//! per line), so the harness stays dependency-free. Absolute events/sec
+//! are expected to differ across hosts — the *speedup vs per-event*
+//! deltas are the comparable signal, which is why the report leads with
+//! them. The tool always exits 0; it reports, it does not gate.
+
+use std::fmt::Write as _;
+
+/// One measured path: label, absolute rate, speedup vs per-event.
+struct PathRow {
+    path: String,
+    events_per_sec: f64,
+    speedup: f64,
+}
+
+/// One workload's rows, keyed by the workload name.
+struct Workload {
+    name: String,
+    paths: Vec<PathRow>,
+}
+
+/// Extracts the string value of `"key": "..."` from a line, if present.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts the numeric value of `"key": 123.4` from a line, if present.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the workload sections of a rendered throughput document. Stops
+/// at the `"churn"` array (lifecycle latency is host-bound noise between
+/// runs and has no speedup baseline to diff).
+fn parse(doc: &str) -> Vec<Workload> {
+    let mut workloads: Vec<Workload> = Vec::new();
+    for line in doc.lines() {
+        if line.contains("\"churn\"") {
+            break;
+        }
+        if let Some(path) = field_str(line, "path") {
+            if let (Some(eps), Some(speedup), Some(w)) = (
+                field_num(line, "events_per_sec"),
+                field_num(line, "speedup_vs_per_event"),
+                workloads.last_mut(),
+            ) {
+                w.paths.push(PathRow {
+                    path,
+                    events_per_sec: eps,
+                    speedup,
+                });
+            }
+        } else if let Some(name) = field_str(line, "name") {
+            workloads.push(Workload {
+                name,
+                paths: Vec::new(),
+            });
+        }
+    }
+    workloads
+}
+
+fn pct(new: f64, old: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        (new / old - 1.0) * 100.0
+    }
+}
+
+fn render(baseline: &[Workload], fresh: &[Workload]) -> String {
+    let mut out = String::new();
+    out.push_str("# Throughput delta vs committed baseline\n\n");
+    out.push_str(
+        "Speedup columns (vs the run's own per-event row) are the \
+         host-independent signal; absolute ev/s move with the runner.\n\n",
+    );
+    for fw in fresh {
+        let Some(bw) = baseline.iter().find(|b| b.name == fw.name) else {
+            let _ = writeln!(out, "## {} — new workload (no baseline)\n", fw.name);
+            continue;
+        };
+        let _ = writeln!(out, "## {}\n", fw.name);
+        out.push_str(
+            "| path | base ev/s | fresh ev/s | Δ ev/s | base speedup | fresh speedup | Δ speedup |\n\
+             |---|---:|---:|---:|---:|---:|---:|\n",
+        );
+        for fp in &fw.paths {
+            match bw.paths.iter().find(|b| b.path == fp.path) {
+                Some(bp) => {
+                    let _ = writeln!(
+                        out,
+                        "| {} | {:.0} | {:.0} | {:+.1}% | {:.3} | {:.3} | {:+.3} |",
+                        fp.path,
+                        bp.events_per_sec,
+                        fp.events_per_sec,
+                        pct(fp.events_per_sec, bp.events_per_sec),
+                        bp.speedup,
+                        fp.speedup,
+                        fp.speedup - bp.speedup,
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "| {} | — | {:.0} | — | — | {:.3} | — |",
+                        fp.path, fp.events_per_sec, fp.speedup,
+                    );
+                }
+            }
+        }
+        out.push('\n');
+    }
+    for bw in baseline {
+        if !fresh.iter().any(|f| f.name == bw.name) {
+            let _ = writeln!(out, "## {} — dropped (baseline only)\n", bw.name);
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(base_path), Some(fresh_path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: bench_diff <baseline.json> <fresh.json> [out.md]");
+        std::process::exit(2);
+    };
+    let baseline = parse(&std::fs::read_to_string(base_path).expect("read baseline"));
+    let fresh = parse(&std::fs::read_to_string(fresh_path).expect("read fresh run"));
+    let report = render(&baseline, &fresh);
+    print!("{report}");
+    if let Some(out_path) = args.get(2) {
+        std::fs::write(out_path, &report).expect("write report");
+        eprintln!("wrote {out_path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "workloads": [
+    {
+      "name": "w",
+      "paths": [
+        {"path": "per_event", "events_per_sec": 1000.0, "results_out": 5, "speedup_vs_per_event": 1.000},
+        {"path": "push_batch", "events_per_sec": 2000.0, "results_out": 5, "speedup_vs_per_event": 2.000}
+      ]
+    }
+  ],
+  "churn": [
+    {"resident_queries": 8, "integrate_ms": 0.5, "remove_ms": 0.2, "churn_events_per_sec": 9.0, "results_out": 1}
+  ]
+}"#;
+
+    #[test]
+    fn parses_rendered_shape_and_skips_churn() {
+        let ws = parse(DOC);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].paths.len(), 2);
+        assert_eq!(ws[0].paths[1].path, "push_batch");
+        assert_eq!(ws[0].paths[1].speedup, 2.0);
+    }
+
+    #[test]
+    fn renders_deltas_for_matching_paths() {
+        let base = parse(DOC);
+        let fresh = parse(&DOC.replace("2000.0", "3000.0").replace("2.000", "3.000"));
+        let report = render(&base, &fresh);
+        assert!(report.contains("| push_batch | 2000 | 3000 | +50.0% | 2.000 | 3.000 | +1.000 |"));
+    }
+}

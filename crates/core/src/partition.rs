@@ -18,6 +18,13 @@
 //!   aggregate with no shared group attribute, lost attribute lineage):
 //!   the component must run on a single designated worker.
 //!
+//! Pinned *and keyed* verdicts are additionally refined per source by the
+//! stateful-cone analysis: only the subgraph from which a stateful m-op is
+//! reachable actually needs the constrained placement, so a source that
+//! also feeds purely stateless consumers splits its delivery
+//! ([`SourceRoute::PinnedSplit`] / [`SourceRoute::KeySplit`]) and the
+//! stateless leg round-robins for load balance.
+//!
 //! The m-op side of the contract is [`PartitionKeys`], reported by every
 //! physical implementation through
 //! [`MultiOp::partition_keys`](crate::mop::MultiOp::partition_keys);
@@ -81,6 +88,17 @@ pub enum SourceRoute {
     RoundRobin,
     /// Hash the listed attribute positions of the tuple.
     Key(Vec<usize>),
+    /// Split delivery for a *keyed* component with stateless sibling
+    /// queries: the stateful cone still receives every tuple on the
+    /// worker selected by hashing the listed attribute positions (exactly
+    /// as [`SourceRoute::Key`] would), but the source also feeds purely
+    /// stateless consumers (and/or direct query taps) outside the cone,
+    /// and that stateless subgraph round-robins across workers instead of
+    /// piling onto the hashed worker. Runtimes deliver such tuples twice —
+    /// once scoped to each subgraph — so the union of the two scoped
+    /// deliveries equals one full delivery. This is the keyed counterpart
+    /// of [`SourceRoute::PinnedSplit`].
+    KeySplit(Vec<usize>),
     /// Always worker 0.
     Pinned,
     /// Split delivery for a pinned component with stateless sibling
@@ -161,10 +179,11 @@ impl PartitionScheme {
 
     /// The worker index (out of `n`) for a tuple of `source` with the given
     /// attribute values, given a round-robin cursor for the source. The
-    /// cursor is advanced only on round-robin routes. For
-    /// [`SourceRoute::PinnedSplit`] this returns the *stateful* leg
-    /// (worker 0) without touching the cursor; runtimes that implement the
-    /// split deliver the stateless leg separately.
+    /// cursor is advanced only on round-robin routes. For the split routes
+    /// ([`SourceRoute::PinnedSplit`], [`SourceRoute::KeySplit`]) this
+    /// returns the *stateful* leg (worker 0 / the hashed worker) without
+    /// touching the cursor; runtimes that implement the split deliver the
+    /// stateless leg separately.
     pub fn worker_for(
         &self,
         source: SourceId,
@@ -179,7 +198,7 @@ impl PartitionScheme {
                 *rr_cursor = (*rr_cursor + 1) % n;
                 w
             }
-            SourceRoute::Key(attrs) => {
+            SourceRoute::Key(attrs) | SourceRoute::KeySplit(attrs) => {
                 use std::hash::{Hash, Hasher};
                 let mut h = std::collections::hash_map::DefaultHasher::new();
                 for &a in attrs {
@@ -610,10 +629,11 @@ fn analyze_inner(
     // --- stateful cone + per-source stateless subgraph -------------------
     // An m-op is in the *stateful cone* when it is stateful itself (its key
     // report is anything but `Stateless`) or a stateful m-op is reachable
-    // downstream of it. A pinned component only needs worker 0 for its
-    // stateful cone: source-channel consumers outside the cone (and query
-    // taps directly on a source stream) form a stateless subgraph whose
-    // work may round-robin across workers ([`SourceRoute::PinnedSplit`]).
+    // downstream of it. A pinned or keyed component only constrains its
+    // stateful cone (worker 0 / the hashed worker): source-channel
+    // consumers outside the cone (and query taps directly on a source
+    // stream) form a stateless subgraph whose work may round-robin across
+    // workers ([`SourceRoute::PinnedSplit`], [`SourceRoute::KeySplit`]).
     let stateful_op: HashMap<MopId, bool> = reports
         .iter()
         .map(|(id, r)| (*id, !matches!(r, PartitionKeys::Stateless)))
@@ -700,13 +720,20 @@ fn analyze_inner(
                 }
                 Verdict::Stateless => SourceRoute::RoundRobin,
                 Verdict::Keyed => {
-                    if let Some(key) = &exact[si] {
-                        SourceRoute::Key(key.clone())
-                    } else if let Some(rset) = &restrict[si] {
-                        SourceRoute::Key(rset.iter().copied().collect())
-                    } else {
+                    // Keyed-cone splitting: the hash route only has to cover
+                    // the stateful cone. When the source also feeds
+                    // consumers outside the cone (stateless sibling
+                    // queries, direct taps), those round-robin instead of
+                    // piling onto the hashed worker — the keyed analogue of
+                    // the pinned-split refinement below.
+                    let key = exact[si]
+                        .clone()
+                        .or_else(|| restrict[si].as_ref().map(|r| r.iter().copied().collect()));
+                    match key {
+                        Some(key) if has_free_part[si] => SourceRoute::KeySplit(key),
+                        Some(key) => SourceRoute::Key(key),
                         // Tuples of this source never reach stateful state.
-                        SourceRoute::RoundRobin
+                        None => SourceRoute::RoundRobin,
                     }
                 }
             };
@@ -868,6 +895,55 @@ mod tests {
         assert_eq!(*scheme.route(s), SourceRoute::PinnedSplit);
         assert_eq!(*scheme.route(t), SourceRoute::Pinned);
         assert!(scheme.is_parallelizable());
+    }
+
+    #[test]
+    fn keyed_component_with_stateless_siblings_splits() {
+        let mut p = PlanGraph::new();
+        let s = p.add_source("S", Schema::ints(3), None).unwrap();
+        let t = p.add_source("T", Schema::ints(3), None).unwrap();
+        // An equi-keyed sequence keys the S/T component...
+        p.add_query(&LogicalPlan::source("S").followed_by(
+            LogicalPlan::source("T"),
+            SeqSpec {
+                predicate: Predicate::cmp(
+                    CmpOp::Eq,
+                    rumor_expr::Expr::col(0),
+                    rumor_expr::Expr::rcol(0),
+                ),
+                window: 10,
+            },
+        ))
+        .unwrap();
+        // ...but a purely stateless sibling query on S may round-robin.
+        p.add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(1, 1i64)))
+            .unwrap();
+        let reports: Vec<(MopId, PartitionKeys)> = p
+            .mops()
+            .map(|n| {
+                let key = match &n.members[0].def {
+                    OpDef::Sequence(_) => PartitionKeys::Equi {
+                        per_port: vec![vec![0], vec![0]],
+                    },
+                    _ => PartitionKeys::Stateless,
+                };
+                (n.id, key)
+            })
+            .collect();
+        let scheme = analyze(&p, &reports).unwrap();
+        assert_eq!(scheme.components().len(), 1);
+        assert_eq!(scheme.components()[0].verdict, Verdict::Keyed);
+        // S feeds both subgraphs → split; T feeds only the sequence → keyed.
+        assert_eq!(*scheme.route(s), SourceRoute::KeySplit(vec![0]));
+        assert_eq!(*scheme.route(t), SourceRoute::Key(vec![0]));
+        assert!(scheme.is_parallelizable());
+        // The stateful leg hashes exactly like a plain Key route would.
+        let mut cursor = 0usize;
+        let vals = [Value::Int(42), Value::Int(0), Value::Int(0)];
+        let w_split = scheme.worker_for(s, &vals, 4, &mut cursor);
+        let w_key = scheme.worker_for(t, &vals, 4, &mut cursor);
+        assert_eq!(w_split, w_key);
+        assert_eq!(cursor, 0, "split hashing must not advance the rr cursor");
     }
 
     #[test]

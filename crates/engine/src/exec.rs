@@ -7,12 +7,15 @@
 //! channel.
 
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 use rumor_core::{ChannelTuple, Emit, MopContext, MopKind, MultiOp, PartitionKeys, PlanGraph};
 use rumor_ops::instantiate;
 use rumor_types::{
-    ChannelId, Membership, MopId, PortId, QueryId, Result, RumorError, SourceId, Tuple,
+    ChannelId, Membership, MopId, PortId, QueryId, Result, RumorError, SourceId, Timestamp, Tuple,
 };
+
+use crate::metrics::{BatchProfile, FeedMode};
 
 /// Receives query results during execution.
 pub trait QuerySink {
@@ -141,6 +144,12 @@ impl QuerySink for CollectingSink {
 /// buffers stay in cache.
 const BATCH_CHUNK: usize = 1024;
 
+/// Events risked on one exploration sample of the adaptive dispatch gate
+/// (see [`ExecutablePlan::push_batch`]): big enough for a meaningful rate
+/// estimate, small enough that probing a badly losing mode stays a
+/// bounded fraction of one chunk.
+const PROBE_CAP: usize = 128;
+
 /// An emitted event waiting to be routed.
 type Pending = VecDeque<(ChannelId, ChannelTuple)>;
 
@@ -188,6 +197,19 @@ struct BufEmit<'a> {
 impl Emit for BufEmit<'_> {
     fn emit(&mut self, channel: ChannelId, tuple: Tuple, membership: Membership) {
         self.buf.push(channel, ChannelTuple::new(tuple, membership));
+    }
+}
+
+/// Emit adapter collecting emissions for the channel-grouped strict drain
+/// (they are timestamp-sorted before cascading).
+struct CollectEmit<'a> {
+    out: &'a mut Vec<(ChannelId, ChannelTuple)>,
+}
+
+impl Emit for CollectEmit<'_> {
+    fn emit(&mut self, channel: ChannelId, tuple: Tuple, membership: Membership) {
+        self.out
+            .push((channel, ChannelTuple::new(tuple, membership)));
     }
 }
 
@@ -257,6 +279,30 @@ pub struct ExecutablePlan {
     nxt: EventBuf,
     /// Events bound for stateful consumers, staged by the hybrid drain.
     strict: Vec<(ChannelId, ChannelTuple)>,
+    /// Every strict consumer tolerates port-grouped delivery (see
+    /// [`rumor_core::MultiOp::port_batch_safe`]), so the hybrid drain may
+    /// run its strict phase channel-grouped through
+    /// [`rumor_core::MultiOp::process_batch_keyed`].
+    strict_regroup_safe: bool,
+    /// Highest port index among strict consumers (the channel-grouped
+    /// drain delivers lower ports first).
+    max_strict_port: usize,
+    /// Per-channel staging of the channel-grouped strict drain; entries
+    /// and their buffers persist across chunks so allocation amortizes.
+    strict_runs: Vec<(ChannelId, Vec<ChannelTuple>)>,
+    /// Emission collection buffer of the channel-grouped strict drain.
+    strict_emit: Vec<(ChannelId, ChannelTuple)>,
+    /// source index → connected component of the m-op graph. Components
+    /// share no operators, channels, or queries, so the dispatch gate may
+    /// choose a different feed mode per component.
+    component_of_source: Vec<usize>,
+    /// Adaptive dispatch gate, one profile per component: measured
+    /// profitability decides per chunk whether a hybrid-eligible stateful
+    /// component runs batched or per-event. Reset (like all routing state)
+    /// by [`ExecutablePlan::apply_delta`].
+    profiles: Vec<BatchProfile>,
+    /// Scratch for splitting a chunk's events by component.
+    comp_scratch: Vec<Vec<u32>>,
     /// Total tuples pushed.
     pub events_in: u64,
 }
@@ -498,7 +544,11 @@ impl ExecutablePlan {
             }
         }
         // Condition 2: ≤1 event per (source event, channel) upstream of
-        // every strict channel.
+        // every strict channel. A multi-capacity channel qualifies when
+        // its producer *groups* emissions — channelized m-ops by
+        // construction, and any op reporting
+        // [`rumor_core::MultiOp::grouped_emission`] (one channel tuple
+        // with union membership per channel per input tuple).
         let single_emission = |ch: usize| -> bool {
             let mut stack = vec![ch];
             let mut seen = vec![false; plan.channel_slots()];
@@ -512,21 +562,83 @@ impl ExecutablePlan {
                 let node = plan.mop(order[p]);
                 let channelized =
                     matches!(node.kind, MopKind::ChannelSelect | MopKind::ChannelProject);
-                if plan.channel(ChannelId::from_index(c)).capacity() > 1 && !channelized {
+                if plan.channel(ChannelId::from_index(c)).capacity() > 1
+                    && !channelized
+                    && !ops[p].grouped_emission()
+                {
                     return false; // several members may emit per input event
                 }
                 stack.extend(node.inputs.iter().map(|i| i.index()));
             }
             true
         };
+        // A plan with no stateless op at all still qualifies: its chunks
+        // stage straight into the strict phase, where channel-grouped
+        // delivery (`process_batch_keyed`) is the payoff.
         let prefix_batch_safe = !batch_safe
-            && stateless_op.iter().any(|&s| s)
             && !cascade
             && strict_consumers
                 .iter()
                 .enumerate()
                 .filter(|(_, l)| !l.is_empty())
                 .all(|(ch, _)| single_emission(ch));
+
+        // The strict phase may regroup by channel only when every strict
+        // consumer tolerates port-grouped delivery (see
+        // [`rumor_core::MultiOp::port_batch_safe`]); one intolerant op
+        // (joins, opaque naive plans) keeps the whole plan on the sorted
+        // per-event strict path.
+        let mut any_strict = false;
+        let mut all_tolerant = true;
+        let mut max_strict_port = 0usize;
+        for &(idx, port) in strict_consumers.iter().flatten() {
+            any_strict = true;
+            max_strict_port = max_strict_port.max(port.index());
+            all_tolerant &= ops[idx].port_batch_safe();
+        }
+        let strict_regroup_safe = any_strict && all_tolerant;
+
+        // Connected components of the m-op graph (entities: ops, then
+        // sources), via union-find over channel producer/consumer edges.
+        // Components are fully independent — no shared operators, channels,
+        // or query taps — so the adaptive dispatch gate can pick a feed
+        // mode per component without affecting any other's results.
+        fn uf_find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        fn uf_union(parent: &mut [usize], a: usize, b: usize) {
+            let (ra, rb) = (uf_find(parent, a), uf_find(parent, b));
+            parent[ra] = rb;
+        }
+        let n_ops = ops.len();
+        let mut parent: Vec<usize> = (0..n_ops + source_channels.len()).collect();
+        let mut chan_entity: Vec<Option<usize>> = producer_of.clone();
+        for (si, &ch) in source_channels.iter().enumerate() {
+            match chan_entity[ch.index()] {
+                Some(e) => uf_union(&mut parent, e, n_ops + si),
+                None => chan_entity[ch.index()] = Some(n_ops + si),
+            }
+        }
+        for (ch, list) in consumers.iter().enumerate() {
+            if let Some(e) = chan_entity[ch] {
+                for &(idx, _) in list {
+                    uf_union(&mut parent, e, idx);
+                }
+            }
+        }
+        let mut roots: HashMap<usize, usize> = HashMap::new();
+        let component_of_source: Vec<usize> = (0..source_channels.len())
+            .map(|si| {
+                let root = uf_find(&mut parent, n_ops + si);
+                let next = roots.len();
+                *roots.entry(root).or_insert(next)
+            })
+            .collect();
+        let n_components = roots.len().max(1);
 
         ExecutablePlan {
             ops,
@@ -546,6 +658,13 @@ impl ExecutablePlan {
             cur: EventBuf::default(),
             nxt: EventBuf::default(),
             strict: Vec::new(),
+            strict_regroup_safe,
+            max_strict_port,
+            strict_runs: Vec::new(),
+            strict_emit: Vec::new(),
+            component_of_source,
+            profiles: vec![BatchProfile::default(); n_components],
+            comp_scratch: Vec::new(),
             events_in: 0,
         }
     }
@@ -689,14 +808,20 @@ impl ExecutablePlan {
         self.batch_safe
     }
 
-    /// Whether this *stateful* plan still runs its stateless prefix through
-    /// the channel-batched drain: selections/projections are processed at
-    /// run granularity, and only events reaching a stateful m-op drop to
-    /// per-event delivery (in timestamp order). False when the plan is
-    /// fully stateless (the whole plan batches, see
-    /// [`ExecutablePlan::is_batch_safe`]) or when exact per-event
-    /// equivalence cannot be guaranteed statically (stateful operators
-    /// feeding stateful operators, or multi-emission ancestries).
+    /// Whether this *stateful* plan is eligible for the chunked, gated
+    /// batch dispatch: any stateless prefix runs through the
+    /// channel-batched drain, and events reaching stateful m-ops are
+    /// delivered channel-grouped (per-key sub-batched, see
+    /// [`rumor_core::MultiOp::process_batch_keyed`]) or per-event in
+    /// timestamp order, as the adaptive gate decides. Plans with no
+    /// stateless op at all qualify too — their chunks stage straight into
+    /// the strict phase. False when the plan is fully stateless (the
+    /// whole plan batches, see [`ExecutablePlan::is_batch_safe`]) or when
+    /// exact per-event equivalence cannot be guaranteed statically:
+    /// stateful operators feeding stateful operators, or an ancestry that
+    /// may emit more than one event per source event on one channel
+    /// (multi-member channels qualify only when their producer groups
+    /// emissions, see [`rumor_core::MultiOp::grouped_emission`]).
     pub fn is_prefix_batch_safe(&self) -> bool {
         self.prefix_batch_safe
     }
@@ -721,60 +846,264 @@ impl ExecutablePlan {
     /// [`rumor_core::MultiOp::process_batch`] call per consumer, amortizing
     /// routing, dispatch, and queue bookkeeping over the run. On stateful
     /// plans whose shape permits it (see
-    /// [`ExecutablePlan::is_prefix_batch_safe`]) the stateless *prefix* is
-    /// still run-batched and only events reaching a stateful m-op fall back
-    /// to per-event delivery, in global timestamp order; chunks containing
-    /// equal timestamps, and plans where the hybrid cannot be proven exact,
-    /// take the strict per-event drain for the whole chunk.
+    /// [`ExecutablePlan::is_prefix_batch_safe`]) the choice between the
+    /// hybrid drain and plain per-event delivery is no longer static: an
+    /// *adaptive dispatch gate* (one [`BatchProfile`] per plan component)
+    /// times both modes and keeps whichever measures faster, re-probing
+    /// the loser on a decaying schedule. Under the hybrid drain the
+    /// stateless prefix is run-batched and events reaching stateful m-ops
+    /// are delivered channel-grouped through
+    /// [`rumor_core::MultiOp::process_batch_keyed`] when every strict
+    /// consumer tolerates it, or per-event in global timestamp order
+    /// otherwise. Chunks containing equal timestamps, and plans where the
+    /// hybrid cannot be proven exact, always take the per-event drain for
+    /// the whole chunk; the gate never changes results, only speed.
     pub fn push_batch(
         &mut self,
         events: &[(SourceId, Tuple)],
         sink: &mut dyn QuerySink,
     ) -> Result<()> {
-        if !self.batch_safe && !self.prefix_batch_safe {
+        if self.batch_safe {
+            // Fully stateless: the run-batched drain is a statically
+            // proven win, no gating needed. Drain in bounded chunks so the
+            // level buffers stay cache-resident: one wave over the whole
+            // input would materialize every derived level in full, trading
+            // the per-event queue overhead for memory traffic.
+            for chunk in events.chunks(BATCH_CHUNK) {
+                self.run_chunk_hybrid(chunk.iter(), sink)?;
+            }
+            return Ok(());
+        }
+        if !self.prefix_batch_safe {
             for (source, tuple) in events {
                 self.push(*source, tuple.clone(), sink)?;
             }
             return Ok(());
         }
-        // Drain in bounded chunks so the level buffers stay cache-resident:
-        // one wave over the whole input would materialize every derived
-        // level in full, trading the per-event queue overhead for memory
-        // traffic.
         for chunk in events.chunks(BATCH_CHUNK) {
-            // The hybrid drain delivers strict events in a stable sort by
-            // timestamp, which reproduces per-event order only when the
-            // chunk's timestamps are strictly increasing; a chunk with ties
-            // takes the per-event path instead.
-            if !self.batch_safe && chunk.windows(2).any(|w| w[0].1.ts >= w[1].1.ts) {
+            self.push_chunk_gated(chunk.iter(), chunk.len(), sink)?;
+        }
+        Ok(())
+    }
+
+    /// [`ExecutablePlan::push_batch`] over a *selection* of `events`:
+    /// processes `events[i]` for each `i` in `indices`, in order. This is
+    /// the worker-side half of shared-batch delivery — partition-parallel
+    /// runtimes ship one shared event slice plus a per-worker index list
+    /// instead of materializing per-worker event runs, and each worker
+    /// feeds its selection through the same chunked, gated machinery as a
+    /// contiguous batch.
+    pub fn push_batch_indexed(
+        &mut self,
+        events: &[(SourceId, Tuple)],
+        indices: &[u32],
+        sink: &mut dyn QuerySink,
+    ) -> Result<()> {
+        if self.batch_safe {
+            for chunk in indices.chunks(BATCH_CHUNK) {
+                self.run_chunk_hybrid(chunk.iter().map(|&i| &events[i as usize]), sink)?;
+            }
+            return Ok(());
+        }
+        if !self.prefix_batch_safe {
+            for &i in indices {
+                let (source, tuple) = &events[i as usize];
+                self.push(*source, tuple.clone(), sink)?;
+            }
+            return Ok(());
+        }
+        for chunk in indices.chunks(BATCH_CHUNK) {
+            self.push_chunk_gated(
+                chunk.iter().map(|&i| &events[i as usize]),
+                chunk.len(),
+                sink,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// One hybrid-eligible chunk through the adaptive dispatch gate. With
+    /// a single component the whole chunk is gated as one unit; with
+    /// several, the chunk splits by component (components share nothing,
+    /// so their relative processing order is unobservable) and each
+    /// sub-chunk is gated independently.
+    fn push_chunk_gated<'a, I>(
+        &mut self,
+        chunk: I,
+        len: usize,
+        sink: &mut dyn QuerySink,
+    ) -> Result<()>
+    where
+        I: Iterator<Item = &'a (SourceId, Tuple)> + Clone,
+    {
+        if self.profiles.len() <= 1 {
+            return self.push_chunk_adaptive(0, len, chunk, sink);
+        }
+        let refs: Vec<&(SourceId, Tuple)> = chunk.collect();
+        let mut bufs = std::mem::take(&mut self.comp_scratch);
+        bufs.resize(self.profiles.len(), Vec::new());
+        for b in &mut bufs {
+            b.clear();
+        }
+        // An unknown source stops the split: everything before it (the
+        // valid prefix, across all components) is processed, then the
+        // error surfaces — matching `push` semantics.
+        let mut bad_source = None;
+        for (i, r) in refs.iter().enumerate() {
+            match self.component_of_source.get(r.0.index()) {
+                Some(&c) => bufs[c].push(i as u32),
+                None => {
+                    bad_source = Some(r.0);
+                    break;
+                }
+            }
+        }
+        let mut result = Ok(());
+        for (c, idxs) in bufs.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            result = self.push_chunk_adaptive(
+                c,
+                idxs.len(),
+                idxs.iter().map(|&i| refs[i as usize]),
+                sink,
+            );
+            if result.is_err() {
+                break;
+            }
+        }
+        self.comp_scratch = bufs;
+        result?;
+        if let Some(source) = bad_source {
+            return Err(RumorError::exec(format!("unknown source {source}")));
+        }
+        Ok(())
+    }
+
+    /// Feeds one component's chunk in the mode its [`BatchProfile`] picks,
+    /// timing the choice so the profile learns. Chunks with timestamp ties
+    /// are forced per-event (the hybrid drain's exactness proof needs
+    /// strictly increasing timestamps) but still recorded — a forced
+    /// per-event chunk is a genuine per-event sample.
+    ///
+    /// Exploration picks (warmup and probes of the non-standing mode) run
+    /// on a capped sub-chunk, with the remainder delivered in the standing
+    /// mode: a mode that loses badly — e.g. the hybrid drain on a plan
+    /// whose state access dominates — costs [`PROBE_CAP`] events of slow
+    /// dispatch, not a whole chunk. Both modes are exact at any split
+    /// point, so splitting never changes results. Chunks too small to
+    /// afford the split skip the sample and run the standing mode; the
+    /// probe waits for a bigger chunk.
+    fn push_chunk_adaptive<'a, I>(
+        &mut self,
+        comp: usize,
+        len: usize,
+        chunk: I,
+        sink: &mut dyn QuerySink,
+    ) -> Result<()>
+    where
+        I: Iterator<Item = &'a (SourceId, Tuple)> + Clone,
+    {
+        let mut tied = false;
+        let mut prev: Option<Timestamp> = None;
+        for (_, tuple) in chunk.clone() {
+            if prev.is_some_and(|p| p >= tuple.ts) {
+                tied = true;
+                break;
+            }
+            prev = Some(tuple.ts);
+        }
+        let (mode, exploratory) = if tied {
+            (FeedMode::PerEvent, false)
+        } else {
+            self.profiles[comp].choose()
+        };
+        if exploratory {
+            let steady = match mode {
+                FeedMode::PerEvent => FeedMode::Batched,
+                FeedMode::Batched => FeedMode::PerEvent,
+            };
+            if len >= 2 * PROBE_CAP {
+                let start = Instant::now();
+                let r = self.run_chunk_mode(mode, chunk.clone().take(PROBE_CAP), sink);
+                self.profiles[comp].record(mode, PROBE_CAP, start.elapsed().as_nanos() as u64);
+                r?;
+                let start = Instant::now();
+                let r = self.run_chunk_mode(steady, chunk.skip(PROBE_CAP), sink);
+                self.profiles[comp].record(
+                    steady,
+                    len - PROBE_CAP,
+                    start.elapsed().as_nanos() as u64,
+                );
+                return r;
+            }
+            let start = Instant::now();
+            let r = self.run_chunk_mode(steady, chunk, sink);
+            self.profiles[comp].record(steady, len, start.elapsed().as_nanos() as u64);
+            return r;
+        }
+        let start = Instant::now();
+        let result = self.run_chunk_mode(mode, chunk, sink);
+        self.profiles[comp].record(mode, len, start.elapsed().as_nanos() as u64);
+        result
+    }
+
+    /// One chunk through one feed mode (the adaptive gate's two arms).
+    fn run_chunk_mode<'a, I>(
+        &mut self,
+        mode: FeedMode,
+        chunk: I,
+        sink: &mut dyn QuerySink,
+    ) -> Result<()>
+    where
+        I: Iterator<Item = &'a (SourceId, Tuple)> + Clone,
+    {
+        match mode {
+            FeedMode::PerEvent => {
                 for (source, tuple) in chunk {
                     self.push(*source, tuple.clone(), sink)?;
                 }
-                continue;
+                Ok(())
             }
-            // On an unknown source, match `push`: the valid prefix is
-            // fully processed (drained, counted) before the error — no
-            // staged events may leak into a later call.
-            let mut bad_source = None;
-            for (source, tuple) in chunk {
-                match self.source_channels.get(source.index()) {
-                    Some(&channel) => {
-                        self.cur.push(channel, ChannelTuple::solo(tuple.clone()));
-                        self.events_in += 1;
-                    }
-                    None => {
-                        bad_source = Some(*source);
-                        break;
-                    }
+            FeedMode::Batched => self.run_chunk_hybrid(chunk, sink),
+        }
+    }
+
+    /// Stages one chunk and runs the hybrid drain (batched stateless
+    /// phase, then the strict phase). On an unknown source, matches
+    /// `push`: the valid prefix is fully processed (drained, counted)
+    /// before the error — no staged events may leak into a later call.
+    fn run_chunk_hybrid<'a, I>(&mut self, chunk: I, sink: &mut dyn QuerySink) -> Result<()>
+    where
+        I: Iterator<Item = &'a (SourceId, Tuple)>,
+    {
+        let mut bad_source = None;
+        for (source, tuple) in chunk {
+            match self.source_channels.get(source.index()) {
+                Some(&channel) => {
+                    self.cur.push(channel, ChannelTuple::solo(tuple.clone()));
+                    self.events_in += 1;
+                }
+                None => {
+                    bad_source = Some(*source);
+                    break;
                 }
             }
-            self.drain_batched(sink);
-            self.drain_strict(sink);
-            if let Some(source) = bad_source {
-                return Err(RumorError::exec(format!("unknown source {source}")));
-            }
+        }
+        self.drain_batched(sink);
+        self.drain_strict(sink);
+        if let Some(source) = bad_source {
+            return Err(RumorError::exec(format!("unknown source {source}")));
         }
         Ok(())
+    }
+
+    /// The dispatch gate's current preference for one source's component
+    /// (diagnostics; see [`BatchProfile`]).
+    pub fn gate_preference(&self, source: SourceId) -> Option<FeedMode> {
+        let comp = *self.component_of_source.get(source.index())?;
+        self.profiles.get(comp).map(|p| p.preferred())
     }
 
     /// Level-order batched drain: consumes the whole current buffer (runs
@@ -828,6 +1157,10 @@ impl ExecutablePlan {
         if self.strict.is_empty() {
             return;
         }
+        if self.strict_regroup_safe && self.strict.len() > 1 {
+            self.drain_strict_grouped(sink);
+            return;
+        }
         let mut strict = std::mem::take(&mut self.strict);
         strict.sort_by_key(|(_, ct)| ct.tuple.ts);
         for (ch, ct) in strict.drain(..) {
@@ -841,6 +1174,65 @@ impl ExecutablePlan {
         }
         // Recycle the staging allocation.
         self.strict = strict;
+    }
+
+    /// Channel-grouped strict phase: instead of sorting the staged events
+    /// into one global timestamp order and paying a hash, an eviction
+    /// sweep, and a full queue drain *per event*, deliver each strict
+    /// channel's whole run through
+    /// [`rumor_core::MultiOp::process_batch_keyed`] — lower ports first,
+    /// so state-writing arrivals land before the guarded probes that read
+    /// them (every strict consumer opted in via
+    /// [`rumor_core::MultiOp::port_batch_safe`]). The collected emissions
+    /// are stably sorted by timestamp, which reproduces the per-event
+    /// engine's emission sequence (the `process_batch_keyed` contract),
+    /// and cascaded through one queue drain; downstream consumers are
+    /// stateless (the hybrid gate forbids stateful cascades), so
+    /// per-channel — and therefore per-query — order is preserved.
+    fn drain_strict_grouped(&mut self, sink: &mut dyn QuerySink) {
+        let mut runs = std::mem::take(&mut self.strict_runs);
+        // Bucket staged events by channel, preserving staging order: the
+        // stateless prefix is unary, so each strict channel materializes
+        // at one drain level and its events are staged in strictly
+        // increasing timestamp order (asserted below).
+        for (ch, ct) in self.strict.drain(..) {
+            match runs.iter_mut().find(|(c, _)| *c == ch) {
+                Some((_, run)) => run.push(ct),
+                None => runs.push((ch, vec![ct])),
+            }
+        }
+        let mut emissions = std::mem::take(&mut self.strict_emit);
+        debug_assert!(emissions.is_empty());
+        for pass in 0..=self.max_strict_port {
+            for (ch, run) in &runs {
+                if run.is_empty() {
+                    continue;
+                }
+                debug_assert!(
+                    run.windows(2).all(|w| w[0].tuple.ts < w[1].tuple.ts),
+                    "strict channel run must be strictly timestamp-ordered"
+                );
+                for &(idx, port) in &self.strict_consumers[ch.index()] {
+                    if port.index() != pass {
+                        continue;
+                    }
+                    let mut emit = CollectEmit {
+                        out: &mut emissions,
+                    };
+                    self.ops[idx].process_batch_keyed(port, run, &mut emit);
+                }
+            }
+        }
+        // Recycle the per-channel buffers (entries persist so channel
+        // lookup and capacity amortize across chunks).
+        for (_, run) in &mut runs {
+            run.clear();
+        }
+        self.strict_runs = runs;
+        emissions.sort_by_key(|(_, ct)| ct.tuple.ts);
+        self.pending.extend(emissions.drain(..));
+        self.strict_emit = emissions;
+        self.drain(sink);
     }
 
     /// Query-tap delivery for one run (identical per-query ordering to the

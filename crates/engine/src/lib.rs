@@ -105,7 +105,8 @@ pub mod shard;
 
 pub use exec::{CollectingSink, ConeScope, CountingSink, DiscardSink, ExecutablePlan, QuerySink};
 pub use metrics::{
-    measure, measure_batched, measure_mode, FeedMode, InputEvent, Measurement, Protocol,
+    measure, measure_batched, measure_mode, BatchProfile, FeedMode, InputEvent, Measurement,
+    Protocol,
 };
 pub use session::{
     EventRuntime, LocalRuntime, Session, SessionBuilder, SessionConfig, Subscription,

@@ -220,6 +220,22 @@ pub struct SessionConfig {
 /// partitioning analysis (round-robin for stateless components, hashed
 /// on consistent keys for key-partitionable ones, worker 0 for pinned
 /// stateful subgraphs); results are identical across all engines.
+///
+/// **Batched input is self-tuning.** Every engine compiles its plan with
+/// a per-component *adaptive dispatch gate* ([`crate::BatchProfile`]):
+/// components whose operators opt into batch dispatch start on the
+/// batched path, and the gate keeps a decaying per-event-cost estimate
+/// for both dispatch styles, probing the road not taken on a sparse
+/// schedule — and only ever on a capped sub-chunk, so trying the losing
+/// style costs a bounded slice of one chunk — until the choice freezes.
+/// Feeding input through
+/// [`EventRuntime::push_batch`] (or `push_batch_shared`) therefore never
+/// commits a workload to a dispatch style that measures slower than
+/// per-event on this host — the gate converges to whichever is cheaper,
+/// per component, with zero effect on results. Keyed and pinned schemes
+/// additionally ship batches to workers as index lists into one shared
+/// allocation instead of per-worker tuple copies, so the parallel
+/// engines' routing cost no longer scales with tuple width.
 #[must_use = "a session builder does nothing until `.build()`"]
 pub struct SessionBuilder<'a> {
     plan: &'a PlanGraph,
@@ -280,7 +296,7 @@ impl<'a> SessionBuilder<'a> {
                         "streaming(cfg) requires workers(n)".to_string(),
                     ));
                 }
-                Backend::Local(LocalRuntime::new(self.plan)?)
+                Backend::Local(Box::new(LocalRuntime::new(self.plan)?))
             }
             Some(n) => {
                 if self.config.one_shot {
@@ -379,7 +395,10 @@ impl Iterator for Subscription {
 }
 
 enum Backend {
-    Local(LocalRuntime<CollectingSink>),
+    /// Boxed: the single-threaded runtime embeds the whole executable
+    /// plan (per-component scratch, dispatch profiles), dwarfing the
+    /// handle-sized parallel variants.
+    Local(Box<LocalRuntime<CollectingSink>>),
     OneShot(ShardedRuntime<CollectingSink>),
     Streaming(StreamingShardedRuntime<CollectingSink>),
 }
@@ -644,6 +663,13 @@ impl Session {
     }
 }
 
+/// Events per delivery slice of a single-threaded session's `push_batch`:
+/// results route to subscriptions while the producing slice is still
+/// cache-resident instead of accumulating in one sink that is drained
+/// cold after the whole batch. Matches the engine's internal batch chunk
+/// so slicing never splits a dispatch unit.
+const LOCAL_DELIVERY_CHUNK: usize = 1024;
+
 impl EventRuntime for Session {
     fn push(&mut self, source: SourceId, tuple: Tuple) -> Result<()> {
         self.backend.push(source, tuple)?;
@@ -652,12 +678,22 @@ impl EventRuntime for Session {
     }
 
     fn push_batch(&mut self, events: &[(SourceId, Tuple)]) -> Result<()> {
+        if matches!(self.backend, Backend::Local(_)) && !events.is_empty() {
+            for chunk in events.chunks(LOCAL_DELIVERY_CHUNK) {
+                self.backend.push_batch(chunk)?;
+                self.deliver_local();
+            }
+            return Ok(());
+        }
         self.backend.push_batch(events)?;
         self.deliver_local();
         Ok(())
     }
 
     fn push_batch_shared(&mut self, events: Arc<Vec<(SourceId, Tuple)>>) -> Result<()> {
+        if matches!(self.backend, Backend::Local(_)) {
+            return self.push_batch(&events);
+        }
         self.backend.push_batch_shared(events)?;
         self.deliver_local();
         Ok(())

@@ -90,12 +90,16 @@ struct Worker<S> {
 
 /// One routed delivery: where a tuple goes and how much of the plan it
 /// addresses there ([`ConeScope::Full`] for every route except the two
-/// legs of a [`SourceRoute::PinnedSplit`]).
+/// legs of a split route).
 enum Routed {
     One(usize),
-    /// Pinned-split: stateful leg on worker 0, stateless leg round-robin.
+    /// Split delivery: the stateful cone runs on `stateful` (worker 0 for
+    /// [`SourceRoute::PinnedSplit`], the hashed worker for
+    /// [`SourceRoute::KeySplit`]); the stateless sibling subgraph
+    /// round-robins to `free`.
     Split {
         free: usize,
+        stateful: usize,
     },
 }
 
@@ -114,10 +118,17 @@ fn route_event(
     let cursor = rr_cursors
         .get_mut(source.index())
         .ok_or_else(|| RumorError::exec(format!("unknown source {source}")))?;
-    if matches!(scheme.route(source), SourceRoute::PinnedSplit) {
+    if matches!(
+        scheme.route(source),
+        SourceRoute::PinnedSplit | SourceRoute::KeySplit(_)
+    ) {
         let free = *cursor % n;
         *cursor = (*cursor + 1) % n;
-        return Ok(Routed::Split { free });
+        // `worker_for` resolves the stateful leg of a split route without
+        // touching the cursor (worker 0 when pinned, the key hash when
+        // keyed — identical to the hash a plain `Key` route would use).
+        let stateful = scheme.worker_for(source, tuple.values(), n, cursor);
+        return Ok(Routed::Split { free, stateful });
     }
     Ok(Routed::One(scheme.worker_for(
         source,
@@ -196,9 +207,11 @@ fn prepare_swap(
 /// transitions: an unchanged route; a previously *stateless* component
 /// picking up its first stateful consumer (the new operator starts cold
 /// everywhere, so any routing is as good as any other); a component
-/// relaxing *to* stateless (no state left to mis-route); and
-/// `Pinned ↔ PinnedSplit` flips (the stateful cone stays on worker 0
-/// either way). Returns the first offending source.
+/// relaxing *to* stateless (no state left to mis-route); and the split
+/// flips `Pinned ↔ PinnedSplit` and `Key ↔ KeySplit` *with equal key
+/// attributes* (the stateful cone stays on worker 0 / the identical hash
+/// either way — only the stateless sibling leg, which holds no state,
+/// changes delivery). Returns the first offending source.
 fn reroute_conflict(old: &PartitionScheme, new: &PartitionScheme) -> Option<SourceId> {
     let verdicts = |s: &PartitionScheme| -> Vec<Option<Verdict>> {
         let mut v = vec![None; s.routes().len()];
@@ -212,12 +225,23 @@ fn reroute_conflict(old: &PartitionScheme, new: &PartitionScheme) -> Option<Sour
     let old_v = verdicts(old);
     let new_v = verdicts(new);
     let pinnedish = |r: &SourceRoute| matches!(r, SourceRoute::Pinned | SourceRoute::PinnedSplit);
+    fn keyedish(r: &SourceRoute) -> Option<&[usize]> {
+        match r {
+            SourceRoute::Key(attrs) | SourceRoute::KeySplit(attrs) => Some(attrs),
+            _ => None,
+        }
+    }
     for (i, new_route) in new.routes().iter().enumerate() {
         let Some(old_route) = old.routes().get(i) else {
             continue; // source added by the swap: no history to honor
         };
         if old_route == new_route || (pinnedish(old_route) && pinnedish(new_route)) {
             continue;
+        }
+        if let (Some(a), Some(b)) = (keyedish(old_route), keyedish(new_route)) {
+            if a == b {
+                continue; // same hash for the stateful leg either way
+            }
         }
         if old_v[i] == Some(Verdict::Stateless) || new_v[i] == Some(Verdict::Stateless) {
             continue;
@@ -227,15 +251,19 @@ fn reroute_conflict(old: &PartitionScheme, new: &PartitionScheme) -> Option<Sour
     None
 }
 
-/// Processes a run of scope-tagged deliveries on one worker: consecutive
-/// full-scope deliveries are regrouped (via `scratch`) into one
-/// [`ExecutablePlan::push_batch`] call; scoped legs go through
-/// [`ExecutablePlan::push_cone`] per event.
+/// Processes a run of scope-tagged deliveries on one worker. Deliveries
+/// are `(scope, index)` pairs into one shared `events` slice — the worker
+/// never receives cloned tuples, only selections of the batch the caller
+/// already owns. Consecutive full-scope deliveries are regrouped (via
+/// `scratch`) into one [`ExecutablePlan::push_batch_indexed`] call; scoped
+/// legs of a split route go through [`ExecutablePlan::push_cone`] per
+/// event (the tuple clone there is a refcount bump).
 fn process_tagged<S: MergeSink>(
     exec: &mut ExecutablePlan,
     sink: &mut S,
-    items: &[(ConeScope, SourceId, Tuple)],
-    scratch: &mut Vec<(SourceId, Tuple)>,
+    events: &[(SourceId, Tuple)],
+    items: &[(ConeScope, u32)],
+    scratch: &mut Vec<u32>,
 ) -> Result<()> {
     let mut i = 0;
     while i < items.len() {
@@ -243,14 +271,15 @@ fn process_tagged<S: MergeSink>(
             scratch.clear();
             let mut j = i;
             while j < items.len() && items[j].0 == ConeScope::Full {
-                scratch.push((items[j].1, items[j].2.clone()));
+                scratch.push(items[j].1);
                 j += 1;
             }
-            exec.push_batch(scratch, sink)?;
+            exec.push_batch_indexed(events, scratch, sink)?;
             i = j;
         } else {
-            let (scope, source, tuple) = &items[i];
-            exec.push_cone(*source, tuple.clone(), *scope, sink)?;
+            let (scope, idx) = items[i];
+            let (source, tuple) = &events[idx as usize];
+            exec.push_cone(*source, tuple.clone(), scope, sink)?;
             i += 1;
         }
     }
@@ -274,13 +303,17 @@ pub struct ShardedRuntime<S: MergeSink> {
     /// Every route is round-robin: batch calls split the input into
     /// contiguous zero-copy segments instead of routing per event.
     all_round_robin: bool,
-    /// Some route is [`SourceRoute::PinnedSplit`]: batch calls stage
-    /// scope-tagged deliveries instead of plain events.
+    /// Some route is a split ([`SourceRoute::PinnedSplit`] /
+    /// [`SourceRoute::KeySplit`]): batch calls stage scope-tagged index
+    /// deliveries instead of plain index lists.
     has_split: bool,
-    /// Per-worker staging buffers, reused across [`ShardedRuntime::push_batch`] calls.
-    bufs: Vec<Vec<(SourceId, Tuple)>>,
-    /// Per-worker scope-tagged staging (split schemes only).
-    tagged_bufs: Vec<Vec<(ConeScope, SourceId, Tuple)>>,
+    /// Per-worker index staging (keyed/pinned schemes without splits):
+    /// each worker gets the indices of its share of the caller's batch —
+    /// no tuple is cloned on the routing side. Reused across
+    /// [`ShardedRuntime::push_batch`] calls.
+    index_bufs: Vec<Vec<u32>>,
+    /// Per-worker scope-tagged index staging (split schemes only).
+    tagged_bufs: Vec<Vec<(ConeScope, u32)>>,
     /// Source events accepted (a split delivery counts once).
     accepted: u64,
     /// [`EventRuntime::finish`] has been called: every further lifecycle
@@ -312,7 +345,7 @@ impl<S: MergeSink + Default> ShardedRuntime<S> {
         let has_split = scheme
             .routes()
             .iter()
-            .any(|r| matches!(r, SourceRoute::PinnedSplit));
+            .any(|r| matches!(r, SourceRoute::PinnedSplit | SourceRoute::KeySplit(_)));
         Ok(ShardedRuntime {
             workers,
             scheme,
@@ -321,7 +354,7 @@ impl<S: MergeSink + Default> ShardedRuntime<S> {
             rr_cursors: vec![0; n_sources],
             all_round_robin,
             has_split,
-            bufs: vec![Vec::new(); n],
+            index_bufs: vec![Vec::new(); n],
             tagged_bufs: vec![Vec::new(); n],
             accepted: 0,
             finished: false,
@@ -385,7 +418,7 @@ impl<S: MergeSink> ShardedRuntime<S> {
                 let worker = &mut self.workers[w];
                 worker.exec.push(source, tuple, &mut worker.sink)?;
             }
-            Routed::Split { free } => {
+            Routed::Split { free, stateful } => {
                 // Stateless leg first (it owns the source-channel taps),
                 // matching the per-event engine's taps-then-operators order.
                 let worker = &mut self.workers[free];
@@ -395,7 +428,7 @@ impl<S: MergeSink> ShardedRuntime<S> {
                     ConeScope::Stateless,
                     &mut worker.sink,
                 )?;
-                let worker = &mut self.workers[0];
+                let worker = &mut self.workers[stateful];
                 worker
                     .exec
                     .push_cone(source, tuple, ConeScope::Stateful, &mut worker.sink)?;
@@ -407,13 +440,19 @@ impl<S: MergeSink> ShardedRuntime<S> {
 
     /// Routes a timestamp-ordered event slice across the workers and runs
     /// them in parallel (scoped threads), one
-    /// [`ExecutablePlan::push_batch`] call per worker per call.
+    /// [`ExecutablePlan::push_batch`] /
+    /// [`ExecutablePlan::push_batch_indexed`] call per worker per call.
     ///
     /// Fully stateless schemes (every route round-robin) skip per-event
     /// routing entirely: the slice is split into `n` contiguous segments
     /// consumed zero-copy, which is the optimal stateless distribution for
     /// a batch — equal load, maximal channel-run lengths per worker, no
-    /// tuple clones. Keyed and pinned routes take the per-event router.
+    /// tuple clones. Keyed and pinned routes take the per-event router but
+    /// stay zero-copy too: routing only records per-worker *index lists*
+    /// into the caller's slice, and each worker feeds its selection of the
+    /// shared batch through the same chunked batch machinery. Split routes
+    /// ([`SourceRoute::PinnedSplit`] / [`SourceRoute::KeySplit`]) stage
+    /// scope-tagged indices — one shared allocation, two scoped legs.
     ///
     /// Unlike [`ExecutablePlan::push_batch`], an unknown source fails the
     /// whole call up front: routing validates every event before any worker
@@ -442,41 +481,46 @@ impl<S: MergeSink> ShardedRuntime<S> {
             for buf in &mut self.tagged_bufs {
                 buf.clear();
             }
-            for (source, tuple) in events {
+            for (i, (source, tuple)) in events.iter().enumerate() {
                 match self.route(*source, tuple)? {
                     Routed::One(w) => {
-                        self.tagged_bufs[w].push((ConeScope::Full, *source, tuple.clone()));
+                        self.tagged_bufs[w].push((ConeScope::Full, i as u32));
                     }
-                    Routed::Split { free } => {
-                        self.tagged_bufs[free].push((ConeScope::Stateless, *source, tuple.clone()));
-                        self.tagged_bufs[0].push((ConeScope::Stateful, *source, tuple.clone()));
+                    Routed::Split { free, stateful } => {
+                        self.tagged_bufs[free].push((ConeScope::Stateless, i as u32));
+                        self.tagged_bufs[stateful].push((ConeScope::Stateful, i as u32));
                     }
                 }
             }
             let bufs = std::mem::take(&mut self.tagged_bufs);
-            let outcome = self.run_tagged_workers(&bufs);
+            let outcome = self.run_tagged_workers(events, &bufs);
             self.tagged_bufs = bufs;
             return outcome;
         }
-        for buf in &mut self.bufs {
+        for buf in &mut self.index_bufs {
             buf.clear();
         }
-        for (source, tuple) in events {
+        for (i, (source, tuple)) in events.iter().enumerate() {
             let w = match self.route(*source, tuple)? {
                 Routed::One(w) => w,
                 Routed::Split { .. } => unreachable!("split routes take the tagged path"),
             };
-            self.bufs[w].push((*source, tuple.clone()));
+            self.index_bufs[w].push(i as u32);
         }
-        let bufs = std::mem::take(&mut self.bufs);
-        let outcome = self.run_workers(|w| bufs[w].as_slice());
-        self.bufs = bufs;
+        let bufs = std::mem::take(&mut self.index_bufs);
+        let outcome = self.run_indexed_workers(events, &bufs);
+        self.index_bufs = bufs;
         outcome
     }
 
     /// Runs every worker with a non-empty scope-tagged share on its own
-    /// scoped thread (split schemes).
-    fn run_tagged_workers(&mut self, bufs: &[Vec<(ConeScope, SourceId, Tuple)>]) -> Result<()> {
+    /// scoped thread (split schemes). Shares are index selections of the
+    /// one `events` slice every thread borrows.
+    fn run_tagged_workers(
+        &mut self,
+        events: &[(SourceId, Tuple)],
+        bufs: &[Vec<(ConeScope, u32)>],
+    ) -> Result<()> {
         let mut outcomes: Vec<Result<()>> = Vec::with_capacity(self.workers.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
@@ -488,7 +532,46 @@ impl<S: MergeSink> ShardedRuntime<S> {
                     let items = bufs[w].as_slice();
                     scope.spawn(move || {
                         let mut scratch = Vec::new();
-                        process_tagged(&mut worker.exec, &mut worker.sink, items, &mut scratch)
+                        process_tagged(
+                            &mut worker.exec,
+                            &mut worker.sink,
+                            events,
+                            items,
+                            &mut scratch,
+                        )
+                    })
+                })
+                .collect();
+            for h in handles {
+                outcomes.push(h.join().unwrap_or_else(|_| {
+                    Err(RumorError::exec("sharded worker panicked".to_string()))
+                }));
+            }
+        });
+        outcomes.into_iter().collect()
+    }
+
+    /// Runs every worker with a non-empty index share on its own scoped
+    /// thread (keyed/pinned schemes without splits): each worker consumes
+    /// its selection of the shared `events` slice zero-copy.
+    fn run_indexed_workers(
+        &mut self,
+        events: &[(SourceId, Tuple)],
+        bufs: &[Vec<u32>],
+    ) -> Result<()> {
+        let mut outcomes: Vec<Result<()>> = Vec::with_capacity(self.workers.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workers
+                .iter_mut()
+                .enumerate()
+                .filter(|(w, _)| !bufs[*w].is_empty())
+                .map(|(w, worker)| {
+                    let indices = bufs[w].as_slice();
+                    scope.spawn(move || {
+                        worker
+                            .exec
+                            .push_batch_indexed(events, indices, &mut worker.sink)
                     })
                 })
                 .collect();
@@ -555,7 +638,7 @@ impl<S: MergeSink> ShardedRuntime<S> {
         self.has_split = scheme
             .routes()
             .iter()
-            .any(|r| matches!(r, SourceRoute::PinnedSplit));
+            .any(|r| matches!(r, SourceRoute::PinnedSplit | SourceRoute::KeySplit(_)));
         self.rr_cursors.resize(scheme.routes().len(), 0);
         self.scheme = scheme;
         self.reports = reports;
@@ -642,10 +725,14 @@ impl Default for StreamingConfig {
 /// clone on the worker side; scoped legs of a split route travel
 /// individually. Shared-batch segments
 /// ([`StreamingShardedRuntime::push_batch_shared`]) carry a range of one
-/// refcounted input allocation — the zero-copy stateless path.
+/// refcounted input allocation — the zero-copy stateless path — while
+/// keyed, pinned, and split schemes ship scope-tagged index selections of
+/// that same allocation ([`Delivery::SharedTagged`]): one refcount bump
+/// per worker instead of one tuple clone per event.
 enum Delivery {
     Run(Vec<(SourceId, Tuple)>),
     Shared(Arc<Vec<(SourceId, Tuple)>>, std::ops::Range<usize>),
+    SharedTagged(Arc<Vec<(SourceId, Tuple)>>, Vec<(ConeScope, u32)>),
     Cone(ConeScope, SourceId, Tuple),
 }
 
@@ -750,6 +837,7 @@ fn worker_loop<S: MergeSink + Default>(
     let _guard = GateGuard(Arc::clone(&gate));
     let mut sink = S::default();
     let mut error: Option<RumorError> = None;
+    let mut scratch: Vec<u32> = Vec::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             WorkerMsg::Batch(deliveries) => {
@@ -764,6 +852,9 @@ fn worker_loop<S: MergeSink + Default>(
                         Delivery::Run(run) => exec.push_batch(run, &mut sink),
                         Delivery::Shared(events, range) => {
                             exec.push_batch(&events[range.clone()], &mut sink)
+                        }
+                        Delivery::SharedTagged(events, items) => {
+                            process_tagged(&mut exec, &mut sink, events, items, &mut scratch)
                         }
                         Delivery::Cone(scope, source, tuple) => {
                             exec.push_cone(*source, tuple.clone(), *scope, &mut sink)
@@ -1049,9 +1140,9 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
         self.ensure_live("push")?;
         match self.route(source, &tuple)? {
             Routed::One(w) => self.stage_full(w, source, tuple)?,
-            Routed::Split { free } => {
+            Routed::Split { free, stateful } => {
                 self.stage_cone(free, ConeScope::Stateless, source, tuple.clone())?;
-                self.stage_cone(0, ConeScope::Stateful, source, tuple)?;
+                self.stage_cone(stateful, ConeScope::Stateful, source, tuple)?;
             }
         }
         self.accepted += 1;
@@ -1105,9 +1196,9 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
                     Routed::One(w) => {
                         self.stage_full(w, *source, tuple.clone())?;
                     }
-                    Routed::Split { free } => {
+                    Routed::Split { free, stateful } => {
                         self.stage_cone(free, ConeScope::Stateless, *source, tuple.clone())?;
-                        self.stage_cone(0, ConeScope::Stateful, *source, tuple.clone())?;
+                        self.stage_cone(stateful, ConeScope::Stateful, *source, tuple.clone())?;
                     }
                 }
             }
@@ -1117,14 +1208,17 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
     }
 
     /// [`StreamingShardedRuntime::push_batch`] with ownership handoff: the
-    /// caller gives the pool a refcounted batch, and fully stateless
-    /// schemes ship each worker a *range* of that one allocation — no
-    /// per-tuple clone anywhere, the zero-copy equivalent of
+    /// caller gives the pool a refcounted batch, and no per-tuple clone
+    /// happens anywhere. Fully stateless schemes ship each worker a
+    /// *range* of that one allocation — the zero-copy equivalent of
     /// [`ShardedRuntime::push_batch`]'s contiguous-segment path. Keyed,
-    /// pinned, and split schemes fall back to per-event routing off the
-    /// shared batch (per-tuple refcount bumps, as with plain
-    /// `push_batch`). Prefer this entry point whenever the batch is
-    /// already an owned allocation.
+    /// pinned, and split schemes route per event but ship each worker a
+    /// scope-tagged *index selection* of the same shared allocation
+    /// (`Delivery::SharedTagged`): one refcount bump per delivery
+    /// message instead of one tuple clone per event, and the worker feeds
+    /// its selection through the chunked batch machinery
+    /// ([`ExecutablePlan::push_batch_indexed`]). Prefer this entry point
+    /// whenever the batch is already an owned allocation.
     pub fn push_batch_shared(&mut self, events: Arc<Vec<(SourceId, Tuple)>>) -> Result<()> {
         self.ensure_live("push_batch_shared")?;
         if let Some((source, _)) = events
@@ -1133,8 +1227,8 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
         {
             return Err(RumorError::exec(format!("unknown source {source}")));
         }
-        if self.all_round_robin && self.txs.len() > 1 {
-            let n = self.txs.len();
+        let n = self.txs.len();
+        if self.all_round_robin && n > 1 {
             for w in 0..n {
                 let (lo, hi) = segment(events.len(), n, w);
                 let mut off = lo;
@@ -1156,7 +1250,37 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
             self.accepted += events.len() as u64;
             return Ok(());
         }
-        self.push_batch_validated(&events)
+        if self.all_round_robin {
+            // One worker: the whole batch is its segment.
+            return self.push_batch_validated(&events);
+        }
+        // Keyed / pinned / split scheme: per-event routing, zero-copy
+        // delivery. Route the whole batch into per-worker tagged index
+        // lists first, then stage them in batch-size slices.
+        let mut idx_lists: Vec<Vec<(ConeScope, u32)>> = vec![Vec::new(); n];
+        for (i, (source, tuple)) in events.iter().enumerate() {
+            match self.route(*source, tuple)? {
+                Routed::One(w) => idx_lists[w].push((ConeScope::Full, i as u32)),
+                Routed::Split { free, stateful } => {
+                    idx_lists[free].push((ConeScope::Stateless, i as u32));
+                    idx_lists[stateful].push((ConeScope::Stateful, i as u32));
+                }
+            }
+        }
+        for (w, list) in idx_lists.into_iter().enumerate() {
+            for chunk in list.chunks(self.batch_size) {
+                let staged = &mut self.staged[w];
+                staged
+                    .items
+                    .push(Delivery::SharedTagged(events.clone(), chunk.to_vec()));
+                staged.events += chunk.len();
+                if staged.events >= self.batch_size {
+                    self.dispatch(w)?;
+                }
+            }
+        }
+        self.accepted += events.len() as u64;
+        Ok(())
     }
 
     /// Dispatches all staged deliveries and blocks until every worker has

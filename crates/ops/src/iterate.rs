@@ -370,6 +370,20 @@ impl SharedIterate {
         list.extend(appended);
     }
 
+    /// Whether the rebind map passes every key attribute through unchanged,
+    /// so a rebound instance can never migrate to another key bucket.
+    fn key_preserved(&self) -> bool {
+        self.keys.iter().all(|&(l, _)| {
+            self.spec.rebind_map.outputs.get(l).is_some_and(|ne| {
+                ne.expr
+                    == rumor_expr::Expr::Col {
+                        side: rumor_expr::Side::Left,
+                        index: l,
+                    }
+            })
+        })
+    }
+
     fn process_event(&mut self, event: &Tuple, out: &mut dyn Emit) {
         let horizon = event.ts.saturating_sub(self.max_window);
         // Split borrows: emissions need &mut outputs but not the stores.
@@ -451,6 +465,84 @@ impl MultiOp for SharedIterate {
         }
     }
 
+    fn process_batch_keyed(&mut self, port: PortId, inputs: &[ChannelTuple], out: &mut dyn Emit) {
+        // Per-key sub-batching is sound exactly when per-key behaviour is
+        // self-contained across the run: keyed mode guarantees foreign-key
+        // events never touch a bucket, and a key-preserving rebind map
+        // guarantees no instance migrates buckets mid-run. Expiry is pure
+        // GC (an instance past max_window can emit for no member), so
+        // inter-key reordering cannot change any emission; each emission
+        // carries its event's ts and the engine re-sorts (the
+        // `process_batch_keyed` contract). Everything else — port-0
+        // inserts, scan mode, key-rewriting rebinds — takes the per-tuple
+        // path.
+        if port.index() == 0 || !self.keyed || !self.key_preserved() {
+            for input in inputs {
+                self.process(port, input, out);
+            }
+            return;
+        }
+        let events: Vec<&Tuple> = inputs
+            .iter()
+            .filter(|ct| ct.belongs_to(self.right_position))
+            .map(|ct| &ct.tuple)
+            .collect();
+        if events.is_empty() {
+            return;
+        }
+        let mut order: Vec<Vec<ValueKey>> = Vec::new();
+        let mut groups: HashMap<Vec<ValueKey>, Vec<u32>> = HashMap::new();
+        for (i, e) in events.iter().enumerate() {
+            let key = self.event_key(e);
+            match groups.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut o) => o.get_mut().push(i as u32),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    order.push(v.key().clone());
+                    v.insert(vec![i as u32]);
+                }
+            }
+        }
+        for key in order {
+            let idxs = groups.remove(&key).expect("grouped key listed once");
+            let Some(mut list) = self.buckets.remove(&key) else {
+                continue;
+            };
+            for &i in &idxs {
+                let event = events[i as usize];
+                let horizon = event.ts.saturating_sub(self.max_window);
+                let mut emissions: Vec<(Tuple, Membership, u64)> = Vec::new();
+                let mut emit = |t: &Tuple, m: &Membership, dt: u64| {
+                    emissions.push((t.clone(), m.clone(), dt));
+                };
+                let mut moved: Vec<(Vec<ValueKey>, Instance)> = Vec::new();
+                // The key-preservation proof makes migration impossible, so
+                // run_edges may skip the rebucketing check (keyed = false):
+                // every survivor stays in the held-out bucket.
+                Self::run_edges(
+                    &self.spec,
+                    &mut list,
+                    event,
+                    horizon,
+                    &mut emit,
+                    false,
+                    &self.keys,
+                    &mut moved,
+                    &mut self.live,
+                );
+                debug_assert!(moved.is_empty());
+                for (tuple, membership, dt) in emissions {
+                    self.emit_rebound(out, &tuple, &membership, dt);
+                }
+                if list.is_empty() {
+                    break;
+                }
+            }
+            if !list.is_empty() {
+                self.buckets.insert(key, list);
+            }
+        }
+    }
+
     fn partition_keys(&self) -> rumor_core::PartitionKeys {
         // Keyed mode already proves that events of a foreign key leave an
         // instance untouched (the filter passes them, the rebind's equi
@@ -460,16 +552,7 @@ impl MultiOp for SharedIterate {
         // it; a partitioned one cannot move state across workers, so the
         // key is only partition-safe when the rebind map passes every key
         // attribute through unchanged.
-        let key_preserved = self.keys.iter().all(|&(l, _)| {
-            self.spec.rebind_map.outputs.get(l).is_some_and(|ne| {
-                ne.expr
-                    == rumor_expr::Expr::Col {
-                        side: rumor_expr::Side::Left,
-                        index: l,
-                    }
-            })
-        });
-        if self.keyed && key_preserved {
+        if self.keyed && self.key_preserved() {
             let (l, r): (Vec<usize>, Vec<usize>) = self.keys.iter().copied().unzip();
             rumor_core::PartitionKeys::Equi {
                 per_port: vec![l, r],
@@ -477,6 +560,13 @@ impl MultiOp for SharedIterate {
         } else {
             rumor_core::PartitionKeys::Opaque
         }
+    }
+
+    fn port_batch_safe(&self) -> bool {
+        // Port 0 only appends instances; `run_edges` skips any instance
+        // with `start_ts >= event.ts` and expiry is a pure GC horizon, so
+        // early insertion of same-batch future instances is unobservable.
+        true
     }
 
     fn name(&self) -> &'static str {

@@ -467,6 +467,18 @@ fn workload_table() -> Vec<Workload> {
     let events = interleaved(&srcs, 160);
     table.push(("pinned_split_mixed", engine, qids, events));
 
+    // The keyed-split shape: a keyed stateful cone plus stateless sibling
+    // queries (and a direct source tap) on the same source — S hashes its
+    // stateful leg while the stateless subgraph round-robins
+    // (`SourceRoute::KeySplit`).
+    let (engine, srcs, qids) = optimized(&[
+        equi_seq(14),
+        LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64)),
+        LogicalPlan::source("S"),
+    ]);
+    let events = interleaved(&srcs, 200);
+    table.push(("keyed_split_mixed", engine, qids, events));
+
     // All verdicts in one plan.
     let (engine, srcs, qids) = optimized(&[
         LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64)),
@@ -542,6 +554,68 @@ fn pinned_split_reports_subgraph_verdict_and_conforms() {
                 canonical(&session.collect_all()),
                 reference,
                 "{cfg:?} n={n}"
+            );
+        }
+    }
+}
+
+/// The keyed counterpart of the pinned-split contract: a keyed stateful
+/// cone with a stateless sibling on the same source must report
+/// [`SourceRoute::KeySplit`] (stateful leg hashed, stateless leg
+/// round-robin) and stay byte-identical to the per-event oracle at every
+/// worker count, on the one-shot, streaming, and zero-copy shared-batch
+/// paths alike.
+#[test]
+fn keyed_split_reports_cone_route_and_conforms() {
+    // The sequence consumes S *directly* (no shared prefilter select —
+    // the optimizer would fuse it with the sibling select into one m-op
+    // inside the stateful cone, hiding the free part).
+    let keyed_bare = LogicalPlan::source("S").followed_by(
+        LogicalPlan::source("T"),
+        rumor::SeqSpec {
+            predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+            window: 14,
+        },
+    );
+    let (engine, srcs, _) = optimized(&[
+        keyed_bare,
+        LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64)),
+    ]);
+    let events = interleaved(&srcs, 200);
+    let reference = canonical(
+        &run_mode(
+            &engine,
+            &SessionConfig::default(),
+            Feed::PerEvent,
+            &events,
+            &[],
+        )
+        .leftovers,
+    );
+    for n in [1usize, 2, 4, 7] {
+        for (cfg, feed) in [
+            (one_shot(n), Feed::Batch),
+            (streaming(n, 13), Feed::Batch),
+            (streaming(n, 16), Feed::SharedBatch),
+        ] {
+            let mut session = engine.session().config(cfg.clone()).build().unwrap();
+            {
+                let scheme = session.scheme().expect("parallel sessions expose a scheme");
+                let keyed: Vec<_> = scheme
+                    .components()
+                    .iter()
+                    .filter(|c| c.verdict == Verdict::Keyed)
+                    .collect();
+                assert_eq!(keyed.len(), 1);
+                assert_eq!(*scheme.route(srcs[0]), SourceRoute::KeySplit(vec![0]));
+                assert_eq!(*scheme.route(srcs[1]), SourceRoute::Key(vec![0]));
+            }
+            drive(&mut session, &events, feed);
+            assert_eq!(session.events_in(), events.len() as u64);
+            assert_eq!(
+                canonical(&session.collect_all()),
+                reference,
+                "{cfg:?} n={n} {feed:?}"
             );
         }
     }
@@ -636,6 +710,36 @@ proptest! {
         let (engine, srcs, qids) = optimized(&queries);
         let events = to_events(&raw, &srcs);
         assert_conformance("random", &engine, &qids, &events);
+    }
+
+    /// Per-key sub-batching oracle: purely keyed stateful workloads
+    /// (sequence, iterate, grouped aggregate) under random inputs heavy
+    /// with timestamp ties and interleaved keys. Pins (a) the strict
+    /// single-threaded contract — `push_batch` per-query result order
+    /// identical to per-event, which routes through
+    /// `process_batch_keyed` whenever a chunk's timestamps strictly
+    /// increase and through the per-event fallback when they tie — and
+    /// (b) the keyed zero-copy shared-batch delivery against the same
+    /// reference.
+    #[test]
+    fn keyed_sub_batching_matches_per_event_under_ties(
+        raw in events_strategy(),
+        window in 1u64..25,
+    ) {
+        let (engine, srcs, _) = optimized(&[
+            equi_seq(window),
+            keyed_iterate(window),
+            aggregate(vec![0], window),
+        ]);
+        let events = to_events(&raw, &srcs);
+        assert_push_batch_order("keyed_ties", &engine, &events);
+        let want = canonical(
+            &run_mode(&engine, &SessionConfig::default(), Feed::PerEvent, &events, &[]).leftovers,
+        );
+        let got = canonical(
+            &run_mode(&engine, &streaming(3, 8), Feed::SharedBatch, &events, &[]).leftovers,
+        );
+        prop_assert_eq!(got, want, "keyed shared-batch diverged under ties");
     }
 }
 
