@@ -4,14 +4,23 @@
 //! throughput under churn).
 //!
 //! ```text
-//! cargo run --release -p rumor-bench --bin throughput [quick|full] [out.json]
+//! cargo run --release -p rumor-bench --bin throughput [quick|full] [out.json] [--stats]
 //! ```
+//!
+//! With `--stats`, one extra `shared_selects` run is made through a
+//! streaming session and its final `StatsSnapshot` JSON is written next
+//! to the throughput report (`<out stem>.stats.json`).
 
-use rumor_bench::throughput::{render_json, run_all, run_churn};
+use rumor_bench::throughput::{render_json, run_all, run_churn, stats_snapshot_json};
 use rumor_bench::Scale;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let want_stats = {
+        let before = args.len();
+        args.retain(|a| a != "--stats");
+        args.len() != before
+    };
     let scale = args
         .first()
         .map(|s| Scale::parse(s).expect("scale is `quick` or `full`"))
@@ -48,4 +57,13 @@ fn main() {
     let json = render_json(&reports, &churn, scale);
     std::fs::write(&out_path, json).expect("write report");
     println!("wrote {out_path}");
+
+    if want_stats {
+        let stats_path = match out_path.strip_suffix(".json") {
+            Some(stem) => format!("{stem}.stats.json"),
+            None => format!("{out_path}.stats.json"),
+        };
+        std::fs::write(&stats_path, stats_snapshot_json(scale)).expect("write stats snapshot");
+        println!("wrote {stats_path}");
+    }
 }

@@ -181,6 +181,15 @@ pub trait MultiOp: Send {
         }
     }
 
+    /// Current resident state size, in implementation-defined units —
+    /// live sequence/iterate instances, buffered join tuples, window
+    /// occupancy plus group count for aggregates. A gauge for the
+    /// introspection layer (`rumor-engine`'s `Session::stats`), not a
+    /// byte count; stateless operators keep the default `0`.
+    fn state_size(&self) -> usize {
+        0
+    }
+
     /// Implementation name for diagnostics.
     fn name(&self) -> &'static str;
 }

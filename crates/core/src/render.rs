@@ -3,6 +3,8 @@
 
 use std::fmt::Write as _;
 
+use rumor_types::MopId;
+
 use crate::plan::{MopKind, PlanGraph, Producer};
 
 fn kind_label(kind: MopKind) -> &'static str {
@@ -26,6 +28,14 @@ fn kind_label(kind: MopKind) -> &'static str {
 /// Renders a compact, deterministic text listing of the plan: sources,
 /// m-ops (kind, members, inputs, outputs) and multi-stream channels.
 pub fn render_text(plan: &PlanGraph) -> String {
+    render_annotated(plan, |_| None)
+}
+
+/// [`render_text`] with a caller-supplied annotation appended to each
+/// m-op header line (separated by ` — `). This is the hook the engine's
+/// `Session::explain` uses to attach live runtime counters to the plan
+/// listing without `rumor-core` knowing anything about execution.
+pub fn render_annotated(plan: &PlanGraph, mut note: impl FnMut(MopId) -> Option<String>) -> String {
     let mut out = String::new();
     for src in plan.sources() {
         let _ = writeln!(
@@ -38,7 +48,14 @@ pub fn render_text(plan: &PlanGraph) -> String {
     order.sort();
     for id in order {
         let node = plan.mop(id);
-        let _ = writeln!(out, "mop {} [{}]", node.id, kind_label(node.kind));
+        match note(node.id) {
+            Some(n) => {
+                let _ = writeln!(out, "mop {} [{}] — {}", node.id, kind_label(node.kind), n);
+            }
+            None => {
+                let _ = writeln!(out, "mop {} [{}]", node.id, kind_label(node.kind));
+            }
+        }
         for m in &node.members {
             let ins: Vec<String> = m.inputs.iter().map(|s| s.to_string()).collect();
             let _ = writeln!(out, "  {} ({}) -> {}", m.def, ins.join(", "), m.output);

@@ -16,6 +16,7 @@ use rumor_types::{
 };
 
 use crate::metrics::{BatchProfile, FeedMode};
+use crate::stats::{ExecStatsReport, GateStats, OpCounters, OpStats};
 
 /// Receives query results during execution.
 pub trait QuerySink {
@@ -245,6 +246,10 @@ pub struct ExecutablePlan {
     /// state — across a plan change exactly when the rebuilt context
     /// compares equal to this one.
     op_ctxs: Vec<MopContext>,
+    /// Parallel to `ops`: per-op dispatch counters for the introspection
+    /// layer (see [`crate::stats`]). Carried across hot swaps for
+    /// surviving op ids, like `events_in`.
+    op_counters: Vec<OpCounters>,
     /// channel index → (exec index, port) consumers, in topological order.
     consumers: Vec<Vec<(usize, PortId)>>,
     /// source index → source-channel consumers inside the stateful cone
@@ -374,6 +379,13 @@ impl ExecutablePlan {
             .collect();
         let mut fresh = Self::assemble(plan, order, op_ctxs, ops);
         fresh.events_in = self.events_in;
+        // Stats counters are cumulative for the engine's life: surviving
+        // ops keep theirs (cold-compiled replacements start at zero).
+        for (i, id) in fresh.op_ids.iter().enumerate() {
+            if let Some(&j) = old_index.get(id) {
+                fresh.op_counters[i] = self.op_counters[j];
+            }
+        }
         *self = fresh;
         Ok(())
     }
@@ -641,6 +653,7 @@ impl ExecutablePlan {
         let n_components = roots.len().max(1);
 
         ExecutablePlan {
+            op_counters: vec![OpCounters::default(); n_ops],
             ops,
             op_ids: order,
             op_ctxs,
@@ -734,10 +747,12 @@ impl ExecutablePlan {
                 }
             }
             for &(idx, port) in &self.consumers[ch.index()] {
+                let before = self.pending.len();
                 let mut emit = QueueEmit {
                     pending: &mut self.pending,
                 };
                 self.ops[idx].process(port, &ct, &mut emit);
+                self.op_counters[idx].record_event((self.pending.len() - before) as u64);
             }
         }
     }
@@ -781,20 +796,24 @@ impl ExecutablePlan {
             }
             ConeScope::Stateful => {
                 for &(idx, port) in &self.stateful_root[source.index()] {
+                    let before = self.pending.len();
                     let mut emit = QueueEmit {
                         pending: &mut self.pending,
                     };
                     self.ops[idx].process(port, &ct, &mut emit);
+                    self.op_counters[idx].record_event((self.pending.len() - before) as u64);
                 }
             }
             ConeScope::Stateless => {
                 let detailed = sink.wants_tuples();
                 self.deliver_taps(channel, std::slice::from_ref(&ct), detailed, sink);
                 for &(idx, port) in &self.free_root[source.index()] {
+                    let before = self.pending.len();
                     let mut emit = QueueEmit {
                         pending: &mut self.pending,
                     };
                     self.ops[idx].process(port, &ct, &mut emit);
+                    self.op_counters[idx].record_event((self.pending.len() - before) as u64);
                 }
             }
         }
@@ -835,6 +854,41 @@ impl ExecutablePlan {
             .zip(&self.ops)
             .map(|(&id, op)| (id, op.partition_keys()))
             .collect()
+    }
+
+    /// A point-in-time introspection report for this executor: per-op
+    /// dispatch counters (cumulative since construction, hot swaps
+    /// included) plus sampled state-size gauges and the adaptive gate's
+    /// per-component state. Partition-parallel runtimes fold one report
+    /// per worker with [`ExecStatsReport::absorb`].
+    pub fn stats_report(&self) -> ExecStatsReport {
+        let ops = self
+            .op_ids
+            .iter()
+            .zip(&self.ops)
+            .zip(&self.op_counters)
+            .map(|((&mop, op), c)| OpStats {
+                mop,
+                name: op.name().to_string(),
+                events_in: c.events_in,
+                events_out: c.events_out,
+                batch_calls: c.batch_calls,
+                event_calls: c.event_calls,
+                state_size: op.state_size() as u64,
+            })
+            .collect();
+        let gates = self
+            .profiles
+            .iter()
+            .enumerate()
+            .map(|(component, p)| GateStats {
+                component,
+                mode: p.preferred(),
+                frozen: p.is_frozen(),
+                forced: BatchProfile::forced(),
+            })
+            .collect();
+        ExecStatsReport { ops, gates }
     }
 
     /// Pushes a timestamp-ordered slice of source events through the plan.
@@ -1133,8 +1187,11 @@ impl ExecutablePlan {
                     self.strict.extend(run.iter().map(|ct| (ch, ct.clone())));
                 }
                 for &(idx, port) in &self.batch_consumers[ch.index()] {
+                    let before = self.nxt.chans.len();
                     let mut emit = BufEmit { buf: &mut self.nxt };
                     self.ops[idx].process_batch(port, run, &mut emit);
+                    self.op_counters[idx]
+                        .record_batch(run.len() as u64, (self.nxt.chans.len() - before) as u64);
                 }
                 i = j;
             }
@@ -1165,10 +1222,12 @@ impl ExecutablePlan {
         strict.sort_by_key(|(_, ct)| ct.tuple.ts);
         for (ch, ct) in strict.drain(..) {
             for &(idx, port) in &self.strict_consumers[ch.index()] {
+                let before = self.pending.len();
                 let mut emit = QueueEmit {
                     pending: &mut self.pending,
                 };
                 self.ops[idx].process(port, &ct, &mut emit);
+                self.op_counters[idx].record_event((self.pending.len() - before) as u64);
             }
             self.drain(sink);
         }
@@ -1216,10 +1275,13 @@ impl ExecutablePlan {
                     if port.index() != pass {
                         continue;
                     }
+                    let before = emissions.len();
                     let mut emit = CollectEmit {
                         out: &mut emissions,
                     };
                     self.ops[idx].process_batch_keyed(port, run, &mut emit);
+                    self.op_counters[idx]
+                        .record_batch(run.len() as u64, (emissions.len() - before) as u64);
                 }
             }
         }
@@ -1785,5 +1847,95 @@ mod tests {
         assert_eq!(sink2.of(q).len(), 1);
         assert_eq!(sink2.of(q)[0].ts, 3);
         assert_eq!(exec.events_in, 2);
+    }
+
+    #[test]
+    fn stats_report_tracks_per_event_dispatch() {
+        let mut plan = PlanGraph::new();
+        let s = plan.add_source("S", Schema::ints(1), None).unwrap();
+        plan.add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 0i64)))
+            .unwrap();
+        let mut exec = ExecutablePlan::new(&plan).unwrap();
+        let mut sink = CountingSink::default();
+        for ts in 0..10u64 {
+            exec.push(s, Tuple::ints(ts, &[(ts % 2) as i64]), &mut sink)
+                .unwrap();
+        }
+        let report = exec.stats_report();
+        assert_eq!(report.ops.len(), 1);
+        assert_eq!(report.gates.len(), 1);
+        if crate::stats::STATS_COMPILED {
+            let op = &report.ops[0];
+            assert_eq!(op.events_in, 10);
+            assert_eq!(op.event_calls, 10);
+            assert_eq!(op.events_out, 5, "half the tuples pass a0 = 0");
+            assert_eq!(op.batch_calls, 0);
+            assert!((op.selectivity() - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stats_report_tracks_batched_dispatch_and_state() {
+        // A stateless select batch-drains; a sequence keeps state the
+        // report samples.
+        let mut plan = PlanGraph::new();
+        let s = plan.add_source("S", Schema::ints(2), None).unwrap();
+        let t = plan.add_source("T", Schema::ints(2), None).unwrap();
+        plan.add_query(&LogicalPlan::source("S").followed_by(
+            LogicalPlan::source("T"),
+            SeqSpec {
+                predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                window: 100,
+            },
+        ))
+        .unwrap();
+        let mut exec = ExecutablePlan::new(&plan).unwrap();
+        let mut sink = CountingSink::default();
+        let events: Vec<(SourceId, Tuple)> = (0..20u64)
+            .map(|ts| {
+                let src = if ts % 2 == 0 { s } else { t };
+                (src, Tuple::ints(ts, &[(ts % 3) as i64, ts as i64]))
+            })
+            .collect();
+        exec.push_batch(&events, &mut sink).unwrap();
+        let report = exec.stats_report();
+        if crate::stats::STATS_COMPILED {
+            let total_in: u64 = report.ops.iter().map(|o| o.events_in).sum();
+            assert!(total_in >= 20, "every event reaches at least one op");
+            let seq = report
+                .ops
+                .iter()
+                .find(|o| o.state_size > 0)
+                .expect("the sequence op holds live instances");
+            assert!(seq.events_in > 0);
+        }
+    }
+
+    #[test]
+    fn stats_counters_survive_hot_swap() {
+        let mut plan = PlanGraph::new();
+        let s = plan.add_source("S", Schema::ints(1), None).unwrap();
+        plan.add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 0i64)))
+            .unwrap();
+        let mut exec = ExecutablePlan::new(&plan).unwrap();
+        let mut sink = CountingSink::default();
+        for ts in 0..6u64 {
+            exec.push(s, Tuple::ints(ts, &[0i64]), &mut sink).unwrap();
+        }
+        let before = exec.stats_report();
+        // Add a second query: the surviving select keeps its counters.
+        plan.add_query(&LogicalPlan::source("S").select(Predicate::attr_eq_const(0, 1i64)))
+            .unwrap();
+        exec.apply_delta(&plan).unwrap();
+        let after = exec.stats_report();
+        if crate::stats::STATS_COMPILED {
+            let surviving = after
+                .ops
+                .iter()
+                .find(|o| o.mop == before.ops[0].mop)
+                .expect("original op survives the swap");
+            assert_eq!(surviving.events_in, before.ops[0].events_in);
+        }
+        assert_eq!(exec.events_in, 6);
     }
 }

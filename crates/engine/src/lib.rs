@@ -102,6 +102,7 @@ pub mod exec;
 pub mod metrics;
 pub mod session;
 pub mod shard;
+pub mod stats;
 
 pub use exec::{CollectingSink, ConeScope, CountingSink, DiscardSink, ExecutablePlan, QuerySink};
 pub use metrics::{
@@ -112,6 +113,10 @@ pub use session::{
     EventRuntime, LocalRuntime, Session, SessionBuilder, SessionConfig, Subscription,
 };
 pub use shard::{MergeSink, ShardedRuntime, StreamingConfig, StreamingShardedRuntime};
+pub use stats::{
+    ExecStatsReport, GateStats, OpStats, QuerySharing, QueryStats, RuntimeStats, SharedOpRef,
+    StatsSnapshot, STATS_COMPILED,
+};
 
 use std::collections::HashMap;
 

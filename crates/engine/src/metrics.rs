@@ -147,14 +147,34 @@ impl BatchProfile {
     fn forced_mode() -> Option<FeedMode> {
         static FORCED: std::sync::OnceLock<Option<FeedMode>> = std::sync::OnceLock::new();
         *FORCED.get_or_init(|| {
-            if std::env::var_os("RUMOR_FORCE_PER_EVENT").is_some() {
-                Some(FeedMode::PerEvent)
-            } else if std::env::var_os("RUMOR_FORCE_BATCHED").is_some() {
-                Some(FeedMode::Batched)
-            } else {
-                None
-            }
+            Self::forced_from(
+                std::env::var_os("RUMOR_FORCE_PER_EVENT").is_some(),
+                std::env::var_os("RUMOR_FORCE_BATCHED").is_some(),
+            )
         })
+    }
+
+    /// The pure env-var → mode mapping behind [`BatchProfile::forced`]:
+    /// `RUMOR_FORCE_PER_EVENT` wins over `RUMOR_FORCE_BATCHED` when both
+    /// are set (per-event is the reference oracle's dispatch order).
+    /// Split out so the precedence is unit-testable despite the
+    /// once-per-process caching of the real environment read.
+    fn forced_from(per_event: bool, batched: bool) -> Option<FeedMode> {
+        if per_event {
+            Some(FeedMode::PerEvent)
+        } else if batched {
+            Some(FeedMode::Batched)
+        } else {
+            None
+        }
+    }
+
+    /// The process-wide pinned mode, if `RUMOR_FORCE_PER_EVENT` or
+    /// `RUMOR_FORCE_BATCHED` was set when the gate first consulted the
+    /// environment. Surfaced in [`crate::stats::GateStats`] so a forced
+    /// A/B run is visible in every snapshot it produced.
+    pub fn forced() -> Option<FeedMode> {
+        Self::forced_mode()
     }
 
     /// Folds one timed chunk into the profile. `nanos` is the chunk's
@@ -444,6 +464,45 @@ mod tests {
             FeedMode::PerEvent,
             "EWMA + margin must recover from a single wild sample"
         );
+    }
+
+    #[test]
+    fn force_env_vars_map_to_modes_with_per_event_precedence() {
+        // The OnceLock in `forced_mode` reads the environment once per
+        // process, so the mapping itself is pinned through the pure seam.
+        assert_eq!(BatchProfile::forced_from(false, false), None);
+        assert_eq!(
+            BatchProfile::forced_from(true, false),
+            Some(FeedMode::PerEvent)
+        );
+        assert_eq!(
+            BatchProfile::forced_from(false, true),
+            Some(FeedMode::Batched)
+        );
+        assert_eq!(
+            BatchProfile::forced_from(true, true),
+            Some(FeedMode::PerEvent),
+            "per-event (the oracle's order) wins when both are set"
+        );
+    }
+
+    #[test]
+    fn forced_and_frozen_state_are_publicly_visible() {
+        // The test harness sets neither env var, so the process-wide
+        // pinned mode must be absent — and a frozen gate reports both its
+        // freeze and its choice through the public accessors the stats
+        // layer snapshots.
+        assert_eq!(BatchProfile::forced(), None);
+        let mut p = BatchProfile::default();
+        assert!(!p.is_frozen());
+        for _ in 0..64 {
+            step(&mut p, |m| match m {
+                FeedMode::PerEvent => 1.0e6,
+                FeedMode::Batched => 1.4e6,
+            });
+        }
+        assert!(p.is_frozen());
+        assert_eq!(p.preferred(), FeedMode::Batched);
     }
 
     #[test]

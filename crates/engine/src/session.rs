@@ -22,13 +22,18 @@
 //!   survives only as an internal detail beneath it.
 
 use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
 use std::sync::{Arc, Mutex, Weak};
+use std::time::Instant;
 
-use rumor_core::{PartitionScheme, PlanGraph};
+use rumor_core::{render::render_annotated, PartitionScheme, PlanGraph};
 use rumor_types::{Membership, QueryId, Result, RumorError, SourceId, Tuple};
 
 use crate::exec::{CollectingSink, ExecutablePlan, QuerySink};
 use crate::shard::{ShardedRuntime, StreamingConfig, StreamingShardedRuntime};
+use crate::stats::{
+    mode_str, sharing_attribution, ExecStatsReport, QueryStats, RuntimeStats, StatsSnapshot,
+};
 
 /// The one execution lifecycle every RUMOR engine speaks.
 ///
@@ -236,6 +241,22 @@ pub struct SessionConfig {
 /// additionally ship batches to workers as index lists into one shared
 /// allocation instead of per-worker tuple copies, so the parallel
 /// engines' routing cost no longer scales with tuple width.
+///
+/// **Observability.** Every session keeps always-on runtime counters:
+/// [`Session::stats`] returns a [`StatsSnapshot`] (per-m-op dispatch
+/// counters and state sizes, adaptive-gate state, queue pressure,
+/// per-query delivery counts, sharing attribution) and
+/// [`Session::explain`] renders the live plan annotated with them.
+/// Snapshot semantics follow the delivery barriers: on the
+/// single-threaded session counters are exact after every push; on the
+/// parallel sessions a `stats()` call on a live pool is itself a
+/// barrier-consistent read (staged deliveries are dispatched first and
+/// each worker reports in queue order, so the snapshot reflects every
+/// event accepted before the call), and per-query emitted counts advance
+/// at the flush/finish delivery points. After [`EventRuntime::finish`]
+/// the final counters stay readable indefinitely. The counters can be
+/// compiled out wholesale with the engine crate's `stats-off` feature;
+/// snapshots then report zeros but keep their shape.
 #[must_use = "a session builder does nothing until `.build()`"]
 pub struct SessionBuilder<'a> {
     plan: &'a PlanGraph,
@@ -317,6 +338,12 @@ impl<'a> SessionBuilder<'a> {
             names: self.names,
             subs: HashMap::new(),
             unclaimed: Vec::new(),
+            plan: self.plan.clone(),
+            emitted: HashMap::new(),
+            flush_barriers: 0,
+            flush_nanos: 0,
+            update_epochs: 0,
+            update_nanos: 0,
         })
     }
 }
@@ -534,6 +561,21 @@ pub struct Session {
     names: HashMap<String, QueryId>,
     subs: HashMap<QueryId, Weak<SubChannel>>,
     unclaimed: Vec<(QueryId, Tuple)>,
+    /// The plan the backend currently runs (kept in step by
+    /// [`EventRuntime::update_plan`]) — what [`Session::stats`] attributes
+    /// sharing against and [`Session::explain`] renders.
+    plan: PlanGraph,
+    /// Results delivered per query at the subscription dispatch point
+    /// ([`Session::deliver`]) — subscription and catch-all alike.
+    emitted: HashMap<QueryId, u64>,
+    /// Flush barriers executed (every [`EventRuntime::flush`] and the
+    /// final [`EventRuntime::finish`]) and their total wall time.
+    flush_barriers: u64,
+    flush_nanos: u64,
+    /// Successful [`EventRuntime::update_plan`] epochs and their total
+    /// wall time (quiesce + install + resume).
+    update_epochs: u64,
+    update_nanos: u64,
 }
 
 impl Session {
@@ -624,6 +666,9 @@ impl Session {
     /// subscription, the rest to the catch-all.
     fn deliver(&mut self, results: Vec<(QueryId, Tuple)>) {
         for (query, tuple) in results {
+            if crate::stats::STATS_COMPILED {
+                *self.emitted.entry(query).or_insert(0) += 1;
+            }
             match self.subs.get(&query).and_then(Weak::upgrade) {
                 Some(chan) => chan
                     .buf
@@ -660,6 +705,191 @@ impl Session {
             self.deliver(sink.results);
         }
         Ok(())
+    }
+
+    /// A consistent snapshot of every runtime counter the session keeps:
+    /// per-m-op dispatch counters and state sizes, adaptive-gate state,
+    /// queue pressure and barrier latencies, per-query delivery counts,
+    /// and per-query sharing attribution against the current plan.
+    ///
+    /// On a live parallel session this is itself a barrier-consistent
+    /// read: staged deliveries are dispatched and each worker reports in
+    /// queue order, so the counters reflect every event accepted before
+    /// the call. After [`EventRuntime::finish`] the final counters stay
+    /// readable. Snapshots are plain data — diff two with
+    /// [`StatsSnapshot::diff`] to meter an interval, or serialize with
+    /// [`StatsSnapshot::to_json`].
+    pub fn stats(&mut self) -> Result<StatsSnapshot> {
+        let (engine, report): (&'static str, ExecStatsReport) = match &mut self.backend {
+            Backend::Local(rt) => ("local", rt.exec.stats_report()),
+            Backend::OneShot(rt) => ("sharded", rt.exec_stats()),
+            Backend::Streaming(rt) => ("streaming", rt.exec_stats()?),
+        };
+        let runtime = RuntimeStats {
+            queue_depth_hwm: match &self.backend {
+                Backend::Streaming(rt) => rt.queue_depth_hwm().to_vec(),
+                _ => Vec::new(),
+            },
+            blocking_sends: match &self.backend {
+                Backend::Streaming(rt) => rt.blocking_sends(),
+                _ => 0,
+            },
+            flush_barriers: self.flush_barriers,
+            flush_nanos: self.flush_nanos,
+            update_epochs: self.update_epochs,
+            update_nanos: self.update_nanos,
+        };
+        // Query rows come from the plan's registration order — not from
+        // the emitted map — so zero-emit queries appear and the snapshot
+        // shape is identical across engines.
+        let queries = self
+            .plan
+            .query_outputs()
+            .iter()
+            .map(|&(q, _)| QueryStats {
+                query: q,
+                emitted: self.emitted.get(&q).copied().unwrap_or(0),
+            })
+            .collect();
+        let sharing = sharing_attribution(&self.plan, &report.ops);
+        Ok(StatsSnapshot {
+            engine,
+            workers: self.workers(),
+            events_in: self.events_in(),
+            ops: report.ops,
+            gates: report.gates,
+            runtime,
+            queries,
+            sharing,
+        })
+    }
+
+    /// Renders the optimized plan annotated with live runtime counters,
+    /// followed by gate state, runtime pressure counters, and per-query
+    /// sharing attribution — the paper's benefit metric (events a shared
+    /// m-op absorbs once instead of once per subscribed query).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rumor_core::OptimizerConfig;
+    /// use rumor_engine::{EventRuntime, Rumor};
+    /// use rumor_types::Tuple;
+    ///
+    /// let mut rumor = Rumor::new(OptimizerConfig::default());
+    /// rumor.execute(
+    ///     "CREATE STREAM s (a INT, b INT);
+    ///      QUERY q0 AS SELECT * FROM s WHERE a = 0;
+    ///      QUERY q1 AS SELECT * FROM s WHERE a = 1;",
+    /// )?;
+    /// rumor.optimize()?;
+    /// let mut session = rumor.session().build()?;
+    /// let src = rumor.source_id("s").unwrap();
+    /// for ts in 0..10 {
+    ///     session.push(src, Tuple::ints(ts, &[(ts % 2) as i64, 1]))?;
+    /// }
+    /// session.finish()?;
+    /// let text = session.explain()?;
+    /// assert!(text.contains("engine=local"));
+    /// assert!(text.contains("mop op"), "annotated plan listing:\n{text}");
+    /// assert!(text.contains("fan-in"), "shared m-op fan-in:\n{text}");
+    /// assert!(text.contains("events saved"), "benefit metric:\n{text}");
+    /// # Ok::<(), rumor_types::RumorError>(())
+    /// ```
+    pub fn explain(&mut self) -> Result<String> {
+        let snap = self.stats()?;
+        let mut by_op = HashMap::new();
+        for op in &snap.ops {
+            by_op.insert(op.mop, op);
+        }
+        let plan = &self.plan;
+        let listing = render_annotated(plan, |id| {
+            by_op.get(&id).map(|op| {
+                let mut s = format!(
+                    "in={} out={} sel={:.3} calls={}ev+{}b state={}",
+                    op.events_in,
+                    op.events_out,
+                    op.selectivity(),
+                    op.event_calls,
+                    op.batch_calls,
+                    op.state_size
+                );
+                let fan_in = plan.mop(id).members.len();
+                if fan_in > 1 {
+                    let _ = write!(s, " fan-in={fan_in}");
+                }
+                s
+            })
+        });
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== plan (engine={}, workers={}, events_in={}) ==",
+            snap.engine, snap.workers, snap.events_in
+        );
+        out.push_str(&listing);
+        if !snap.gates.is_empty() {
+            let _ = writeln!(out, "== dispatch gates ==");
+            for g in &snap.gates {
+                let forced = match g.forced {
+                    Some(m) => format!(" forced={}", mode_str(m)),
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "component {}: mode={} frozen={}{}",
+                    g.component,
+                    mode_str(g.mode),
+                    g.frozen,
+                    forced
+                );
+            }
+        }
+        let _ = writeln!(out, "== runtime ==");
+        let _ = writeln!(
+            out,
+            "flush_barriers={} ({}us total), update_epochs={} ({}us total), blocking_sends={}",
+            snap.runtime.flush_barriers,
+            snap.runtime.flush_nanos / 1_000,
+            snap.runtime.update_epochs,
+            snap.runtime.update_nanos / 1_000,
+            snap.runtime.blocking_sends
+        );
+        if !snap.runtime.queue_depth_hwm.is_empty() {
+            let hwm: Vec<String> = snap
+                .runtime
+                .queue_depth_hwm
+                .iter()
+                .map(u64::to_string)
+                .collect();
+            let _ = writeln!(out, "queue_depth_hwm=[{}]", hwm.join(", "));
+        }
+        let _ = writeln!(out, "== sharing ==");
+        for q in &snap.queries {
+            let share = snap.sharing.iter().find(|s| s.query == q.query);
+            match share.filter(|s| !s.shared.is_empty()) {
+                Some(s) => {
+                    let ops: Vec<String> = s
+                        .shared
+                        .iter()
+                        .map(|r| format!("{} (fan-in {})", r.mop, r.fan_in))
+                        .collect();
+                    let _ = writeln!(
+                        out,
+                        "{}: emitted={}, shares {} — events saved vs unshared: {}",
+                        q.query,
+                        q.emitted,
+                        ops.join(", "),
+                        s.events_saved
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{}: emitted={}, no shared m-ops", q.query, q.emitted);
+                }
+            }
+        }
+        let _ = writeln!(out, "total events saved: {}", snap.total_events_saved());
+        Ok(out)
     }
 }
 
@@ -702,20 +932,32 @@ impl EventRuntime for Session {
     fn flush(&mut self) -> Result<()> {
         // drain_live is itself the barrier (it flushes or hands the
         // worker sinks off), so no separate backend.flush() round-trip.
-        self.deliver_barrier()
+        let t = Instant::now();
+        self.deliver_barrier()?;
+        self.flush_barriers += 1;
+        self.flush_nanos += t.elapsed().as_nanos() as u64;
+        Ok(())
     }
 
     fn finish(&mut self) -> Result<()> {
+        let t = Instant::now();
         self.backend.finish()?;
         let sink = self.backend.drain_final();
         if !sink.results.is_empty() {
             self.deliver(sink.results);
         }
+        self.flush_barriers += 1;
+        self.flush_nanos += t.elapsed().as_nanos() as u64;
         Ok(())
     }
 
     fn update_plan(&mut self, plan: &PlanGraph) -> Result<()> {
-        self.backend.update_plan(plan)
+        let t = Instant::now();
+        self.backend.update_plan(plan)?;
+        self.update_epochs += 1;
+        self.update_nanos += t.elapsed().as_nanos() as u64;
+        self.plan = plan.clone();
+        Ok(())
     }
 }
 
@@ -895,6 +1137,97 @@ mod tests {
         assert_eq!(drained.len(), 3);
         assert!(sub.next().is_none(), "iterator ends when buffer is empty");
         session.finish().unwrap();
+    }
+
+    #[test]
+    fn stats_shape_is_identical_across_engines() {
+        let rumor = engine();
+        let s = rumor.source_id("s").unwrap();
+        let q0 = rumor.query_id("q0").unwrap();
+        let q1 = rumor.query_id("q1").unwrap();
+        let mut shapes: Vec<(Vec<_>, Vec<_>)> = Vec::new();
+        for cfg in all_configs() {
+            let mut session = rumor.session().config(cfg.clone()).build().unwrap();
+            let batch: Vec<_> = events(30).into_iter().map(|t| (s, t)).collect();
+            session.push_batch(&batch).unwrap();
+            session.finish().unwrap();
+            let snap = session.stats().unwrap();
+            assert_eq!(snap.events_in, 30, "{cfg:?}");
+            if crate::stats::STATS_COMPILED {
+                let total_in: u64 = snap.ops.iter().map(|o| o.events_in).sum();
+                assert!(total_in >= 30, "{cfg:?}: {total_in}");
+                // q0 matches a%3==0 (10 events), q1 matches a%3==1 (10).
+                for (q, want) in [(q0, 10), (q1, 10)] {
+                    let got = snap.queries.iter().find(|r| r.query == q).unwrap();
+                    assert_eq!(got.emitted, want, "{cfg:?} {q}");
+                }
+            }
+            // Barrier latency counters cover the finish barrier.
+            assert!(snap.runtime.flush_barriers >= 1, "{cfg:?}");
+            shapes.push((
+                snap.ops.iter().map(|o| o.mop).collect(),
+                snap.queries.iter().map(|r| r.query).collect(),
+            ));
+        }
+        // Same plan → same snapshot shape on every engine.
+        for shape in &shapes[1..] {
+            assert_eq!(shape, &shapes[0]);
+        }
+    }
+
+    #[test]
+    fn streaming_stats_work_live_and_after_finish() {
+        let rumor = engine();
+        let s = rumor.source_id("s").unwrap();
+        let mut session = rumor
+            .session()
+            .workers(2)
+            .streaming(StreamingConfig {
+                batch_size: 4,
+                queue_depth: 2,
+            })
+            .build()
+            .unwrap();
+        let batch: Vec<_> = events(40).into_iter().map(|t| (s, t)).collect();
+        session.push_batch(&batch).unwrap();
+        // Live snapshot: a barrier-consistent read on a running pool.
+        let live = session.stats().unwrap();
+        assert_eq!(live.engine, "streaming");
+        assert_eq!(live.workers, 2);
+        assert_eq!(live.events_in, 40);
+        if crate::stats::STATS_COMPILED {
+            let total_in: u64 = live.ops.iter().map(|o| o.events_in).sum();
+            assert!(total_in >= 40, "{total_in}");
+        }
+        session.finish().unwrap();
+        let fin = session.stats().unwrap();
+        assert_eq!(fin.events_in, 40);
+        assert_eq!(
+            fin.ops.iter().map(|o| o.mop).collect::<Vec<_>>(),
+            live.ops.iter().map(|o| o.mop).collect::<Vec<_>>()
+        );
+        // The tiny queue saw at least one dispatch; the high-water mark
+        // is recorded per worker.
+        assert_eq!(fin.runtime.queue_depth_hwm.len(), 2);
+        let diff = fin.diff(&live);
+        assert_eq!(diff.events_in, 0, "all events were in before the barrier");
+    }
+
+    #[test]
+    fn explain_mentions_sharing_and_counters() {
+        let rumor = engine();
+        let s = rumor.source_id("s").unwrap();
+        let mut session = rumor.session().build().unwrap();
+        let batch: Vec<_> = events(12).into_iter().map(|t| (s, t)).collect();
+        session.push_batch(&batch).unwrap();
+        session.finish().unwrap();
+        let text = session.explain().unwrap();
+        assert!(text.contains("engine=local"), "{text}");
+        assert!(text.contains("mop op"), "{text}");
+        assert!(text.contains("== sharing =="), "{text}");
+        assert!(text.contains("total events saved:"), "{text}");
+        // The two eq-selects on `a` share one σ-index m-op: fan-in shows.
+        assert!(text.contains("fan-in"), "{text}");
     }
 
     #[test]

@@ -40,6 +40,7 @@ use crate::exec::{
     CollectingSink, ConeScope, CountingSink, DiscardSink, ExecutablePlan, QuerySink,
 };
 use crate::session::EventRuntime;
+use crate::stats::ExecStatsReport;
 
 /// A sink sharded workers can each own privately and fold deterministically
 /// at drain time.
@@ -390,6 +391,17 @@ impl<S: MergeSink> ShardedRuntime<S> {
     /// [`ShardedRuntime::events_in`]: both legs of a split delivery count.
     pub fn worker_events(&self) -> Vec<u64> {
         self.workers.iter().map(|w| w.exec.events_in).collect()
+    }
+
+    /// Per-m-op execution counters folded across all workers (counters and
+    /// state gauges sum; gate state is worker 0's view). Usable at any
+    /// point in the lifecycle — the workers are retained after `finish`.
+    pub fn exec_stats(&self) -> ExecStatsReport {
+        let mut acc = ExecStatsReport::default();
+        for w in &self.workers {
+            acc.absorb(&w.exec.stats_report());
+        }
+        acc
     }
 
     fn route(&mut self, source: SourceId, tuple: &Tuple) -> Result<Routed> {
@@ -751,6 +763,10 @@ enum WorkerMsg<S> {
     /// channel and continues with a fresh default sink. Queue FIFO means
     /// every previously sent delivery is reflected in the shipped sink.
     Drain(Sender<S>),
+    /// Mid-stream stats handoff: the worker ships a snapshot of its
+    /// executor's per-op counters and gate state. Like [`WorkerMsg::Drain`],
+    /// queue FIFO makes the reply reflect every previously sent delivery.
+    Stats(Sender<ExecStatsReport>),
 }
 
 /// Published by a [`FlushGate`] when its worker exits (normally or by
@@ -826,6 +842,10 @@ impl Drop for GateGuard {
 struct WorkerOutcome<S> {
     sink: S,
     events_in: u64,
+    /// Final per-op counters, folded into the pool's stored report at
+    /// shutdown so [`StreamingShardedRuntime::exec_stats`] keeps working
+    /// after `finish`.
+    stats: ExecStatsReport,
     error: Option<RumorError>,
 }
 
@@ -887,11 +907,15 @@ fn worker_loop<S: MergeSink + Default>(
                 // runtime stopped waiting; nothing to do.
                 let _ = tx.send(std::mem::take(&mut sink));
             }
+            WorkerMsg::Stats(tx) => {
+                let _ = tx.send(exec.stats_report());
+            }
         }
     }
     WorkerOutcome {
         sink,
         events_in: exec.events_in,
+        stats: exec.stats_report(),
         error,
     }
 }
@@ -989,6 +1013,15 @@ pub struct StreamingShardedRuntime<S: MergeSink + Default + Send + 'static> {
     final_sink: Option<S>,
     /// Deliveries processed per worker, recorded when the pool shuts down.
     worker_events: Vec<u64>,
+    /// Folded per-op counters of the shutdown pool, so stats stay readable
+    /// after `finish`.
+    final_exec: Option<ExecStatsReport>,
+    /// Per-worker high-water mark of the dispatch queue depth (sampled at
+    /// each dispatch: messages already queued plus the one being sent).
+    queue_hwm: Vec<u64>,
+    /// Dispatches that found a worker queue full and fell back to a
+    /// blocking send — the backpressure count.
+    blocking_sends: u64,
 }
 
 impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
@@ -1045,6 +1078,9 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
             finished: false,
             final_sink: None,
             worker_events: Vec::new(),
+            final_exec: None,
+            queue_hwm: vec![0; n],
+            blocking_sends: 0,
         })
     }
 
@@ -1083,6 +1119,46 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
         &self.worker_events
     }
 
+    /// Per-worker high-water mark of the dispatch queue depth (messages
+    /// observed queued at a dispatch, including the one being sent).
+    pub fn queue_depth_hwm(&self) -> &[u64] {
+        &self.queue_hwm
+    }
+
+    /// Dispatches that found a worker queue full and fell back to a
+    /// blocking send — how often backpressure actually engaged.
+    pub fn blocking_sends(&self) -> u64 {
+        self.blocking_sends
+    }
+
+    /// Per-m-op execution counters folded across all workers. On a live
+    /// pool this is a stats barrier: staged deliveries are dispatched and
+    /// each worker ships a snapshot over a reply channel (queue FIFO makes
+    /// it reflect everything sent before). On a finished pool the report
+    /// recorded at shutdown is returned.
+    pub fn exec_stats(&mut self) -> Result<ExecStatsReport> {
+        if self.finished {
+            return Ok(self.final_exec.clone().unwrap_or_default());
+        }
+        let mut handoffs = Vec::with_capacity(self.txs.len());
+        for w in 0..self.txs.len() {
+            self.dispatch(w)?;
+            let (stx, srx) = bounded::<ExecStatsReport>(1);
+            self.txs[w]
+                .send(WorkerMsg::Stats(stx))
+                .map_err(|_| RumorError::exec(format!("streaming shard worker {w} died")))?;
+            handoffs.push(srx);
+        }
+        let mut acc = ExecStatsReport::default();
+        for (w, srx) in handoffs.into_iter().enumerate() {
+            let report = srx
+                .recv()
+                .map_err(|_| RumorError::exec(format!("streaming shard worker {w} died")))?;
+            acc.absorb(&report);
+        }
+        Ok(acc)
+    }
+
     fn ensure_live(&self, op: &str) -> Result<()> {
         if self.finished {
             return Err(RumorError::finished(op));
@@ -1117,9 +1193,26 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
             return Ok(());
         }
         let staged = std::mem::replace(&mut self.staged[w], Staged::with_capacity(self.batch_size));
-        self.txs[w]
-            .send(WorkerMsg::Batch(staged.items))
-            .map_err(|_| RumorError::exec(format!("streaming shard worker {w} died")))
+        // Depth observed by this dispatch: whatever is already queued plus
+        // the message about to join it. try_send first so a full queue is
+        // *counted* (the backpressure signal) before falling back to the
+        // blocking send that provides the actual backpressure.
+        let depth = self.txs[w].len() as u64 + 1;
+        if depth > self.queue_hwm[w] {
+            self.queue_hwm[w] = depth;
+        }
+        match self.txs[w].try_send(WorkerMsg::Batch(staged.items)) {
+            Ok(()) => Ok(()),
+            Err(crossbeam_channel::TrySendError::Full(msg)) => {
+                self.blocking_sends += 1;
+                self.txs[w]
+                    .send(msg)
+                    .map_err(|_| RumorError::exec(format!("streaming shard worker {w} died")))
+            }
+            Err(crossbeam_channel::TrySendError::Disconnected(_)) => {
+                Err(RumorError::exec(format!("streaming shard worker {w} died")))
+            }
+        }
     }
 
     fn route(&mut self, source: SourceId, tuple: &Tuple) -> Result<Routed> {
@@ -1432,6 +1525,7 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
         self.txs.clear();
         let mut acc: Option<S> = None;
         let mut first_error: Option<RumorError> = None;
+        let mut final_exec = ExecStatsReport::default();
         for (w, handle) in self.handles.drain(..).enumerate() {
             match handle.join() {
                 Ok(outcome) => {
@@ -1439,6 +1533,7 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
                         first_error = outcome.error;
                     }
                     self.worker_events.push(outcome.events_in);
+                    final_exec.absorb(&outcome.stats);
                     match &mut acc {
                         None => acc = Some(outcome.sink),
                         Some(sink) => sink.merge(outcome.sink),
@@ -1453,6 +1548,7 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
                 }
             }
         }
+        self.final_exec = Some(final_exec);
         if let Some(e) = first_error {
             return Err(e);
         }

@@ -1,0 +1,599 @@
+//! Runtime introspection: always-on per-m-op counters, dispatch-gate and
+//! backpressure visibility, and the paper's sharing-benefit metric
+//! measured live.
+//!
+//! The layer is deliberately cheap: each executor owns plain `u64`
+//! counters bumped inline at its dispatch sites (no atomics on the hot
+//! path — per-worker executors are single-threaded by construction) and
+//! the shard runtimes fold the per-worker counters at the same barriers
+//! that already merge sinks. A [`StatsSnapshot`] is assembled on demand
+//! by [`Session::stats`](crate::session::Session::stats), serialized
+//! with [`StatsSnapshot::to_json`], and two snapshots bracketing a
+//! workload window subtract into a per-window view via
+//! [`StatsSnapshot::diff`].
+//!
+//! Compiling with the `stats-off` cargo feature turns every counter
+//! update into a no-op (the snapshot machinery stays, reporting zeros) —
+//! the baseline the overhead guard in the bench crate measures against.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+use rumor_core::plan::{PlanGraph, Producer};
+use rumor_types::{MopId, QueryId};
+
+use crate::metrics::FeedMode;
+
+/// Whether counter updates are compiled in. `false` when the engine was
+/// built with the `stats-off` feature (the overhead-guard baseline).
+pub const STATS_COMPILED: bool = cfg!(not(feature = "stats-off"));
+
+/// Raw per-operator counters owned by one executor, bumped inline at the
+/// dispatch sites. All updates compile to nothing under `stats-off`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Events fed into the operator (per-event calls + batched run lengths).
+    pub events_in: u64,
+    /// Events the operator emitted downstream.
+    pub events_out: u64,
+    /// Batched invocations (`process_batch` / `process_batch_keyed`).
+    pub batch_calls: u64,
+    /// Per-event invocations (`process`).
+    pub event_calls: u64,
+}
+
+impl OpCounters {
+    /// Records one per-event `process` invocation that emitted `emitted`
+    /// events.
+    #[inline(always)]
+    pub fn record_event(&mut self, emitted: u64) {
+        #[cfg(not(feature = "stats-off"))]
+        {
+            self.events_in += 1;
+            self.event_calls += 1;
+            self.events_out += emitted;
+        }
+        #[cfg(feature = "stats-off")]
+        let _ = emitted;
+    }
+
+    /// Records one batched invocation over `events` inputs that emitted
+    /// `emitted` events.
+    #[inline(always)]
+    pub fn record_batch(&mut self, events: u64, emitted: u64) {
+        #[cfg(not(feature = "stats-off"))]
+        {
+            self.events_in += events;
+            self.batch_calls += 1;
+            self.events_out += emitted;
+        }
+        #[cfg(feature = "stats-off")]
+        let _ = (events, emitted);
+    }
+}
+
+/// Counters plus sampled gauges for one m-op, as reported by one
+/// executor (or folded across all workers of a shard runtime).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpStats {
+    /// The plan node these counters belong to.
+    pub mop: MopId,
+    /// The operator implementation's name (`MultiOp::name`).
+    pub name: String,
+    /// Events fed in.
+    pub events_in: u64,
+    /// Events emitted.
+    pub events_out: u64,
+    /// Batched invocations.
+    pub batch_calls: u64,
+    /// Per-event invocations.
+    pub event_calls: u64,
+    /// Resident state (live NFA instances, buffered join tuples, window
+    /// occupancy + group count) sampled at snapshot time; 0 for
+    /// stateless operators. Summed across workers on shard runtimes.
+    pub state_size: u64,
+}
+
+impl OpStats {
+    /// Observed selectivity: events out per event in (0 when nothing was
+    /// fed).
+    pub fn selectivity(&self) -> f64 {
+        if self.events_in == 0 {
+            0.0
+        } else {
+            self.events_out as f64 / self.events_in as f64
+        }
+    }
+}
+
+/// The adaptive dispatch gate's state for one plan component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateStats {
+    /// Component index (parallel to the executor's component table).
+    pub component: usize,
+    /// The mode the gate currently believes faster.
+    pub mode: FeedMode,
+    /// Whether the gate has frozen its choice (probing stopped).
+    pub frozen: bool,
+    /// A process-wide forced mode (`RUMOR_FORCE_PER_EVENT` /
+    /// `RUMOR_FORCE_BATCHED`), if pinned.
+    pub forced: Option<FeedMode>,
+}
+
+/// One executor's full stats report: per-op counters plus gate state.
+/// Shard runtimes fold per-worker reports with [`ExecStatsReport::absorb`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStatsReport {
+    /// Per-op counters, in the executor's operator order.
+    pub ops: Vec<OpStats>,
+    /// Per-component gate state (worker 0's view after a fold — the gate
+    /// adapts independently per worker).
+    pub gates: Vec<GateStats>,
+}
+
+impl ExecStatsReport {
+    /// Folds another worker's report into this one: counters and state
+    /// gauges sum per op; gate state keeps the first (worker 0) view.
+    pub fn absorb(&mut self, other: &ExecStatsReport) {
+        if self.ops.is_empty() && self.gates.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        debug_assert_eq!(self.ops.len(), other.ops.len(), "same plan on all workers");
+        for (mine, theirs) in self.ops.iter_mut().zip(&other.ops) {
+            debug_assert_eq!(mine.mop, theirs.mop);
+            mine.events_in += theirs.events_in;
+            mine.events_out += theirs.events_out;
+            mine.batch_calls += theirs.batch_calls;
+            mine.event_calls += theirs.event_calls;
+            mine.state_size += theirs.state_size;
+        }
+    }
+}
+
+/// Runtime-level (not per-op) counters: queue pressure and barrier
+/// latencies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Per-worker high-water mark of the dispatch queue depth (streaming
+    /// pool only; empty for the local and one-shot backends).
+    pub queue_depth_hwm: Vec<u64>,
+    /// Dispatches that found the worker queue full and fell back to a
+    /// blocking send — the backpressure count (streaming pool only).
+    pub blocking_sends: u64,
+    /// Flush barriers executed (every `flush`, `drain`, and `finish`).
+    pub flush_barriers: u64,
+    /// Total wall time spent inside flush barriers, nanoseconds.
+    pub flush_nanos: u64,
+    /// `update_plan` epochs executed (quiesce → install → resume).
+    pub update_epochs: u64,
+    /// Total wall time spent inside `update_plan` epochs, nanoseconds.
+    pub update_nanos: u64,
+}
+
+/// Results delivered for one query at the subscription dispatch point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryStats {
+    /// The query.
+    pub query: QueryId,
+    /// Result tuples routed to this query (subscription or unclaimed).
+    pub emitted: u64,
+}
+
+/// One shared ancestor m-op of a query, with its fan-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedOpRef {
+    /// The shared m-op.
+    pub mop: MopId,
+    /// How many member operators (≈ queries) share it.
+    pub fan_in: usize,
+}
+
+/// Sharing attribution for one query: which shared m-ops sit in its
+/// ancestry and the paper's benefit metric — how many operator
+/// invocations sharing saved versus an unshared plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySharing {
+    /// The query.
+    pub query: QueryId,
+    /// Shared m-ops (fan-in > 1) in this query's ancestry, by id.
+    pub shared: Vec<SharedOpRef>,
+    /// Estimated events saved by sharing across this query's shared
+    /// ancestors: Σ `events_in(op) × (fan_in − 1)` — an unshared plan
+    /// would have run each member's private copy over the same input.
+    pub events_saved: u64,
+}
+
+/// A point-in-time, engine-independent view of the whole runtime.
+///
+/// Counters are cumulative since session construction; gauges
+/// (`state_size`, `queue_depth_hwm`, gate state) are the value at
+/// snapshot time. Serialize with [`to_json`](Self::to_json); subtract a
+/// baseline with [`diff`](Self::diff).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Backend label: `local`, `sharded`, or `streaming`.
+    pub engine: &'static str,
+    /// Worker count (1 for the local backend).
+    pub workers: usize,
+    /// Total events accepted by the session.
+    pub events_in: u64,
+    /// Per-m-op counters, folded across workers.
+    pub ops: Vec<OpStats>,
+    /// Adaptive-gate state per component.
+    pub gates: Vec<GateStats>,
+    /// Queue/backpressure/barrier counters.
+    pub runtime: RuntimeStats,
+    /// Per-query delivered-result counts, one entry per registered query.
+    pub queries: Vec<QueryStats>,
+    /// Per-query sharing attribution.
+    pub sharing: Vec<QuerySharing>,
+}
+
+impl StatsSnapshot {
+    /// The counter delta `self − baseline`: per-op and per-query counters
+    /// subtract (saturating, matched by id); gauges — `state_size`,
+    /// `queue_depth_hwm`, gate state — keep `self`'s value; per-query
+    /// `events_saved` is recomputed from the diffed op counters. Take a
+    /// snapshot before and after a workload window and diff them to see
+    /// just that window.
+    pub fn diff(&self, baseline: &StatsSnapshot) -> StatsSnapshot {
+        let base_ops: HashMap<MopId, &OpStats> = baseline.ops.iter().map(|o| (o.mop, o)).collect();
+        let ops: Vec<OpStats> = self
+            .ops
+            .iter()
+            .map(|o| {
+                let b = base_ops.get(&o.mop);
+                let sub =
+                    |f: fn(&OpStats) -> u64| f(o).saturating_sub(b.map(|b| f(b)).unwrap_or(0));
+                OpStats {
+                    mop: o.mop,
+                    name: o.name.clone(),
+                    events_in: sub(|o| o.events_in),
+                    events_out: sub(|o| o.events_out),
+                    batch_calls: sub(|o| o.batch_calls),
+                    event_calls: sub(|o| o.event_calls),
+                    state_size: o.state_size,
+                }
+            })
+            .collect();
+        let base_queries: HashMap<QueryId, u64> = baseline
+            .queries
+            .iter()
+            .map(|q| (q.query, q.emitted))
+            .collect();
+        let queries = self
+            .queries
+            .iter()
+            .map(|q| QueryStats {
+                query: q.query,
+                emitted: q
+                    .emitted
+                    .saturating_sub(base_queries.get(&q.query).copied().unwrap_or(0)),
+            })
+            .collect();
+        let in_by_op: HashMap<MopId, u64> = ops.iter().map(|o| (o.mop, o.events_in)).collect();
+        let sharing = self
+            .sharing
+            .iter()
+            .map(|s| QuerySharing {
+                query: s.query,
+                shared: s.shared.clone(),
+                events_saved: events_saved(&s.shared, &in_by_op),
+            })
+            .collect();
+        StatsSnapshot {
+            engine: self.engine,
+            workers: self.workers,
+            events_in: self.events_in.saturating_sub(baseline.events_in),
+            ops,
+            gates: self.gates.clone(),
+            runtime: RuntimeStats {
+                queue_depth_hwm: self.runtime.queue_depth_hwm.clone(),
+                blocking_sends: self
+                    .runtime
+                    .blocking_sends
+                    .saturating_sub(baseline.runtime.blocking_sends),
+                flush_barriers: self
+                    .runtime
+                    .flush_barriers
+                    .saturating_sub(baseline.runtime.flush_barriers),
+                flush_nanos: self
+                    .runtime
+                    .flush_nanos
+                    .saturating_sub(baseline.runtime.flush_nanos),
+                update_epochs: self
+                    .runtime
+                    .update_epochs
+                    .saturating_sub(baseline.runtime.update_epochs),
+                update_nanos: self
+                    .runtime
+                    .update_nanos
+                    .saturating_sub(baseline.runtime.update_nanos),
+            },
+            queries,
+            sharing,
+        }
+    }
+
+    /// Total estimated events saved by sharing across all queries'
+    /// shared ancestors (each shared op counted once).
+    pub fn total_events_saved(&self) -> u64 {
+        let mut seen: HashSet<MopId> = HashSet::new();
+        let in_by_op: HashMap<MopId, u64> = self.ops.iter().map(|o| (o.mop, o.events_in)).collect();
+        let mut total = 0u64;
+        for s in &self.sharing {
+            for op in &s.shared {
+                if seen.insert(op.mop) {
+                    total += in_by_op.get(&op.mop).copied().unwrap_or(0)
+                        * (op.fan_in.saturating_sub(1)) as u64;
+                }
+            }
+        }
+        total
+    }
+
+    /// Serializes the snapshot as a stable, hand-rolled JSON document
+    /// (the workspace deliberately carries no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"engine\": \"{}\",", self.engine);
+        let _ = writeln!(out, "  \"workers\": {},", self.workers);
+        let _ = writeln!(out, "  \"stats_compiled\": {},", STATS_COMPILED);
+        let _ = writeln!(out, "  \"events_in\": {},", self.events_in);
+        out.push_str("  \"ops\": [\n");
+        for (i, o) in self.ops.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"mop\": {}, \"name\": \"{}\", \"events_in\": {}, \"events_out\": {}, \"selectivity\": {:.4}, \"batch_calls\": {}, \"event_calls\": {}, \"state_size\": {}}}{}",
+                o.mop.index(),
+                json_escape(&o.name),
+                o.events_in,
+                o.events_out,
+                o.selectivity(),
+                o.batch_calls,
+                o.event_calls,
+                o.state_size,
+                comma(i, self.ops.len()),
+            );
+        }
+        out.push_str("  ],\n  \"gates\": [\n");
+        for (i, g) in self.gates.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"component\": {}, \"mode\": \"{}\", \"frozen\": {}, \"forced\": {}}}{}",
+                g.component,
+                mode_str(g.mode),
+                g.frozen,
+                match g.forced {
+                    Some(m) => format!("\"{}\"", mode_str(m)),
+                    None => "null".to_string(),
+                },
+                comma(i, self.gates.len()),
+            );
+        }
+        out.push_str("  ],\n");
+        let hwm: Vec<String> = self
+            .runtime
+            .queue_depth_hwm
+            .iter()
+            .map(u64::to_string)
+            .collect();
+        let _ = writeln!(
+            out,
+            "  \"runtime\": {{\"queue_depth_hwm\": [{}], \"blocking_sends\": {}, \"flush_barriers\": {}, \"flush_nanos\": {}, \"update_epochs\": {}, \"update_nanos\": {}}},",
+            hwm.join(", "),
+            self.runtime.blocking_sends,
+            self.runtime.flush_barriers,
+            self.runtime.flush_nanos,
+            self.runtime.update_epochs,
+            self.runtime.update_nanos,
+        );
+        out.push_str("  \"queries\": [\n");
+        for (i, q) in self.queries.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"query\": {}, \"emitted\": {}}}{}",
+                q.query.index(),
+                q.emitted,
+                comma(i, self.queries.len()),
+            );
+        }
+        out.push_str("  ],\n  \"sharing\": [\n");
+        for (i, s) in self.sharing.iter().enumerate() {
+            let shared: Vec<String> = s
+                .shared
+                .iter()
+                .map(|op| format!("{{\"mop\": {}, \"fan_in\": {}}}", op.mop.index(), op.fan_in))
+                .collect();
+            let _ = writeln!(
+                out,
+                "    {{\"query\": {}, \"shared\": [{}], \"events_saved\": {}}}{}",
+                s.query.index(),
+                shared.join(", "),
+                s.events_saved,
+                comma(i, self.sharing.len()),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  ],\n  \"total_events_saved\": {}\n}}",
+            self.total_events_saved()
+        );
+        out
+    }
+}
+
+/// Computes per-query sharing attribution from the plan structure and a
+/// folded op report: for each query, walk its output stream's ancestry
+/// through member-precise producer links, collect every m-op with more
+/// than one member, and price the saved work at `events_in × (fan_in −
+/// 1)` per shared ancestor.
+pub fn sharing_attribution(plan: &PlanGraph, ops: &[OpStats]) -> Vec<QuerySharing> {
+    let in_by_op: HashMap<MopId, u64> = ops.iter().map(|o| (o.mop, o.events_in)).collect();
+    plan.query_outputs()
+        .iter()
+        .map(|&(query, out)| {
+            let mut shared: Vec<SharedOpRef> = Vec::new();
+            let mut seen_mops: HashSet<MopId> = HashSet::new();
+            let mut stack = vec![out];
+            let mut seen_streams: HashSet<_> = HashSet::new();
+            while let Some(s) = stack.pop() {
+                if !seen_streams.insert(s) {
+                    continue;
+                }
+                if let Producer::Mop { mop, member } = plan.stream(s).producer {
+                    let node = plan.mop(mop);
+                    if seen_mops.insert(mop) && node.members.len() > 1 {
+                        shared.push(SharedOpRef {
+                            mop,
+                            fan_in: node.members.len(),
+                        });
+                    }
+                    // Member-precise lineage: only the producing member's
+                    // inputs are this query's ancestors.
+                    stack.extend(node.members[member].inputs.iter().copied());
+                }
+            }
+            shared.sort_by_key(|op| op.mop);
+            let events_saved = events_saved(&shared, &in_by_op);
+            QuerySharing {
+                query,
+                shared,
+                events_saved,
+            }
+        })
+        .collect()
+}
+
+fn events_saved(shared: &[SharedOpRef], in_by_op: &HashMap<MopId, u64>) -> u64 {
+    shared
+        .iter()
+        .map(|op| {
+            in_by_op.get(&op.mop).copied().unwrap_or(0) * (op.fan_in.saturating_sub(1)) as u64
+        })
+        .sum()
+}
+
+/// Stable label for a [`FeedMode`] in snapshots and `explain` output.
+pub fn mode_str(mode: FeedMode) -> &'static str {
+    match mode {
+        FeedMode::PerEvent => "per_event",
+        FeedMode::Batched => "batched",
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 == len {
+        ""
+    } else {
+        ","
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(mop: u32, events_in: u64, events_out: u64) -> OpStats {
+        OpStats {
+            mop: MopId(mop),
+            name: format!("op{mop}"),
+            events_in,
+            events_out,
+            batch_calls: 1,
+            event_calls: 2,
+            state_size: 3,
+        }
+    }
+
+    fn snap(ops: Vec<OpStats>) -> StatsSnapshot {
+        StatsSnapshot {
+            engine: "local",
+            workers: 1,
+            events_in: ops.iter().map(|o| o.events_in).sum(),
+            ops,
+            gates: vec![GateStats {
+                component: 0,
+                mode: FeedMode::Batched,
+                frozen: true,
+                forced: None,
+            }],
+            runtime: RuntimeStats::default(),
+            queries: vec![QueryStats {
+                query: QueryId(0),
+                emitted: 7,
+            }],
+            sharing: vec![QuerySharing {
+                query: QueryId(0),
+                shared: vec![SharedOpRef {
+                    mop: MopId(0),
+                    fan_in: 3,
+                }],
+                events_saved: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_keeps_gauges() {
+        let before = snap(vec![op(0, 100, 40)]);
+        let mut after = snap(vec![op(0, 250, 90)]);
+        after.queries[0].emitted = 19;
+        let d = after.diff(&before);
+        assert_eq!(d.ops[0].events_in, 150);
+        assert_eq!(d.ops[0].events_out, 50);
+        assert_eq!(d.ops[0].state_size, 3, "gauge keeps the later value");
+        assert_eq!(d.queries[0].emitted, 12);
+        // events_saved recomputed from the diffed window: 150 × (3−1).
+        assert_eq!(d.sharing[0].events_saved, 300);
+        assert_eq!(d.events_in, 150);
+    }
+
+    #[test]
+    fn json_is_balanced_and_names_escaped() {
+        let mut s = snap(vec![op(0, 10, 5)]);
+        s.ops[0].name = "weird\"name".into();
+        let json = s.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("weird\\\"name"));
+        assert!(json.contains("\"stats_compiled\""));
+        assert!(json.contains("\"queue_depth_hwm\""));
+    }
+
+    #[test]
+    fn counters_record_both_paths() {
+        let mut c = OpCounters::default();
+        c.record_event(2);
+        c.record_batch(10, 4);
+        if STATS_COMPILED {
+            assert_eq!(c.events_in, 11);
+            assert_eq!(c.events_out, 6);
+            assert_eq!(c.batch_calls, 1);
+            assert_eq!(c.event_calls, 1);
+        } else {
+            assert_eq!(c, OpCounters::default());
+        }
+    }
+
+    #[test]
+    fn total_events_saved_counts_each_shared_op_once() {
+        let mut s = snap(vec![op(0, 100, 40)]);
+        // Two queries sharing the same op: the op's saving counts once.
+        s.sharing.push(QuerySharing {
+            query: QueryId(1),
+            shared: vec![SharedOpRef {
+                mop: MopId(0),
+                fan_in: 3,
+            }],
+            events_saved: 200,
+        });
+        assert_eq!(s.total_events_saved(), 200);
+    }
+}

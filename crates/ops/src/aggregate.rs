@@ -184,6 +184,10 @@ impl MultiOp for SharedAggregate {
         true
     }
 
+    fn state_size(&self) -> usize {
+        self.window.len() + self.groups.iter().map(HashMap::len).sum::<usize>()
+    }
+
     fn name(&self) -> &'static str {
         "shared-aggregate"
     }
@@ -316,6 +320,10 @@ impl MultiOp for FragmentAggregate {
     fn port_batch_safe(&self) -> bool {
         // Single input port, same argument as the shared aggregate.
         true
+    }
+
+    fn state_size(&self) -> usize {
+        self.window.len() + self.fragment_count()
     }
 
     fn name(&self) -> &'static str {

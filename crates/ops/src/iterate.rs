@@ -569,6 +569,10 @@ impl MultiOp for SharedIterate {
         true
     }
 
+    fn state_size(&self) -> usize {
+        self.live
+    }
+
     fn name(&self) -> &'static str {
         if self.channel_mode {
             "channel-iterate"

@@ -60,6 +60,11 @@ impl<T> SideState<T> {
         }
     }
 
+    /// Number of buffered (not yet evicted) tuples on this side.
+    fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
     fn insert(&mut self, ts: Timestamp, key: Vec<ValueKey>, item: T) {
         self.buckets.entry(key.clone()).or_default().push_back(item);
         self.fifo.push_back((ts, key));
@@ -234,6 +239,10 @@ impl MultiOp for SharedJoin {
         }
     }
 
+    fn state_size(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
     fn name(&self) -> &'static str {
         "shared-join"
     }
@@ -371,6 +380,10 @@ impl MultiOp for PrecisionJoin {
                 per_port: vec![self.left_attrs.clone(), self.right_attrs.clone()],
             }
         }
+    }
+
+    fn state_size(&self) -> usize {
+        self.left.len() + self.right.len()
     }
 
     fn name(&self) -> &'static str {

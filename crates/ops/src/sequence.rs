@@ -549,6 +549,10 @@ impl MultiOp for SharedSequence {
         true
     }
 
+    fn state_size(&self) -> usize {
+        self.store.len()
+    }
+
     fn name(&self) -> &'static str {
         if self.channel_mode {
             "channel-sequence"

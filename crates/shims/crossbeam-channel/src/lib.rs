@@ -37,6 +37,25 @@ impl<T> fmt::Display for SendError<T> {
     }
 }
 
+/// Error returned by [`Sender::try_send`]; carries the unsent message back
+/// to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity; a blocking [`Sender::send`] would wait.
+    Full(T),
+    /// Every receiver has been dropped.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
 /// Error returned by [`Receiver::recv`] when the channel is empty and all
 /// senders are gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +114,39 @@ impl<T> Sender<T> {
             }
             state = self.shared.not_full.wait(state).expect("channel poisoned");
         }
+    }
+
+    /// Non-blocking send: enqueues `msg` if there is queue room, otherwise
+    /// hands it back immediately as [`TrySendError::Full`] (or
+    /// [`TrySendError::Disconnected`] when every receiver is gone).
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if state.queue.len() >= state.cap {
+            return Err(TrySendError::Full(msg));
+        }
+        state.queue.push_back(msg);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued (a racy gauge — only meaningful
+    /// as an instantaneous sample, e.g. for queue-depth instrumentation).
+    pub fn len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("channel poisoned")
+            .queue
+            .len()
+    }
+
+    /// True when no messages are currently queued (racy, like [`Sender::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -253,6 +305,18 @@ mod tests {
         let (tx, rx) = bounded(1);
         drop(rx);
         assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(tx.is_empty());
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
     }
 
     #[test]

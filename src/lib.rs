@@ -92,6 +92,49 @@
 //! parallel ones — and anything produced while a query had no live
 //! subscriber stays retrievable via [`Session::collect_all`].
 //!
+//! ## Observability
+//!
+//! Every session keeps always-on runtime counters (compile them out with
+//! the engine crate's `stats-off` feature). [`Session::stats`] returns a
+//! [`StatsSnapshot`] — per-m-op events in/out and selectivity, dispatch
+//! style (batched vs per-event calls) and adaptive-gate state, operator
+//! state sizes, queue pressure and barrier latencies on the parallel
+//! engines, per-query delivery counts, and per-query *sharing
+//! attribution*: which m-ops each query shares, their fan-in, and the
+//! events saved versus running every query on a private plan — the
+//! paper's benefit metric. Snapshots are plain data: diff two with
+//! [`StatsSnapshot::diff`] to meter an interval, or serialize with
+//! [`StatsSnapshot::to_json`]. [`Session::explain`] renders the live
+//! plan annotated with the same counters:
+//!
+//! ```
+//! use rumor::{EventRuntime, OptimizerConfig, Rumor, Tuple};
+//!
+//! let mut engine = Rumor::new(OptimizerConfig::default());
+//! engine
+//!     .execute(
+//!         "CREATE STREAM sensors (station INT, temp INT);
+//!          QUERY s7 AS SELECT * FROM sensors WHERE station = 7;
+//!          QUERY s9 AS SELECT * FROM sensors WHERE station = 9;",
+//!     )
+//!     .unwrap();
+//! engine.optimize().unwrap();
+//! let mut session = engine.session().build().unwrap();
+//! let src = engine.source_id("sensors").unwrap();
+//! for ts in 0..20 {
+//!     session.push(src, Tuple::ints(ts, &[(ts % 3) as i64 + 7, 30])).unwrap();
+//! }
+//! session.finish().unwrap();
+//!
+//! let stats = session.stats().unwrap();
+//! assert_eq!(stats.events_in, 20);
+//! // Both selections ride one shared σ-index m-op: 20 events enter it
+//! // once instead of twice — 20 events saved, attributed to each query.
+//! assert!(stats.sharing.iter().any(|q| !q.shared.is_empty()));
+//! println!("{}", session.explain().unwrap());
+//! println!("{}", stats.to_json());
+//! ```
+//!
 //! ## Dynamic query lifecycle
 //!
 //! Queries can be added and removed *while sessions are live*:
@@ -120,9 +163,10 @@ pub use rumor_core::{
 };
 pub use rumor_engine::{
     measure, measure_batched, CollectingSink, ConeScope, CountingSink, DiscardSink, EventRuntime,
-    ExecutablePlan, FeedMode, InputEvent, LocalRuntime, Measurement, MergeSink, Protocol,
-    QuerySink, Rumor, Session, SessionBuilder, SessionConfig, ShardedRuntime, StreamingConfig,
-    StreamingShardedRuntime, Subscription,
+    ExecStatsReport, ExecutablePlan, FeedMode, GateStats, InputEvent, LocalRuntime, Measurement,
+    MergeSink, OpStats, Protocol, QuerySharing, QuerySink, QueryStats, Rumor, RuntimeStats,
+    Session, SessionBuilder, SessionConfig, ShardedRuntime, SharedOpRef, StatsSnapshot,
+    StreamingConfig, StreamingShardedRuntime, Subscription, STATS_COMPILED,
 };
 pub use rumor_expr::{CmpOp, EvalCtx, Expr, NamedExpr, Predicate, SchemaMap};
 pub use rumor_types::{

@@ -181,11 +181,12 @@ fn drive<R: EventRuntime>(rt: &mut R, events: &[(SourceId, Tuple)], feed: Feed) 
     rt.finish().unwrap();
 }
 
-/// Everything one mode run observes: per-subscription results and the
-/// catch-all leftovers.
+/// Everything one mode run observes: per-subscription results, the
+/// catch-all leftovers, and the post-finish stats snapshot.
 struct ModeOutcome {
     subs: Vec<(QueryId, Vec<Tuple>)>,
     leftovers: Vec<(QueryId, Tuple)>,
+    stats: rumor::StatsSnapshot,
 }
 
 impl ModeOutcome {
@@ -213,9 +214,11 @@ fn run_mode(
     let mut session = engine.session().config(cfg.clone()).build().unwrap();
     let mut subs: Vec<Subscription> = subscribe.iter().map(|&q| session.subscribe(q)).collect();
     drive(&mut session, events, feed);
+    let stats = session.stats().unwrap();
     ModeOutcome {
         subs: subs.iter_mut().map(|s| (s.query(), s.drain())).collect(),
         leftovers: session.collect_all(),
+        stats,
     }
 }
 
@@ -257,6 +260,17 @@ fn assert_conformance(
     // Every other query index gets a subscriber; the rest stays on the
     // catch-all path, so both delivery paths are checked in one run.
     let subscribed: Vec<QueryId> = queries.iter().copied().step_by(2).collect();
+    // The snapshot shape (op ids and query rows) must be identical on
+    // every engine — same plan, same introspection surface.
+    let ref_shape: (Vec<_>, Vec<_>) = (
+        reference_run.stats.ops.iter().map(|o| o.mop).collect(),
+        reference_run
+            .stats
+            .queries
+            .iter()
+            .map(|r| r.query)
+            .collect(),
+    );
     for mode in &table[1..] {
         let out = run_mode(engine, &mode.cfg, mode.feed, events, &subscribed);
         assert_eq!(
@@ -265,6 +279,37 @@ fn assert_conformance(
             "workload `{name}` diverged under {} ({} events)",
             mode.name,
             events.len()
+        );
+        // Stats invariants, every mode: the snapshot accounts for exactly
+        // the fed events, per-query delivery counts equal the oracle's
+        // result counts, and the shape matches the reference engine.
+        assert_eq!(
+            out.stats.events_in,
+            events.len() as u64,
+            "workload `{name}`: stats events_in diverged under {}",
+            mode.name
+        );
+        if rumor::STATS_COMPILED {
+            for row in &out.stats.queries {
+                let want = reference
+                    .iter()
+                    .filter(|(_, qi, _)| *qi == row.query.0)
+                    .count() as u64;
+                assert_eq!(
+                    row.emitted, want,
+                    "workload `{name}`: emitted count for {} diverged under {}",
+                    row.query, mode.name
+                );
+            }
+        }
+        let shape: (Vec<_>, Vec<_>) = (
+            out.stats.ops.iter().map(|o| o.mop).collect(),
+            out.stats.queries.iter().map(|r| r.query).collect(),
+        );
+        assert_eq!(
+            shape, ref_shape,
+            "workload `{name}`: snapshot shape diverged under {}",
+            mode.name
         );
         for (q, tuples) in &out.subs {
             let got: Vec<(u64, u32, String)> = {
