@@ -1,8 +1,10 @@
 //! Compares two `BENCH_throughput.json` documents — the committed
 //! baseline and a freshly generated run — and renders a per-path
-//! speedup-delta report. Used by the non-gating `bench-diff` CI step so
-//! every PR carries an artifact showing how each engine path moved
-//! relative to the numbers committed in the repository.
+//! speedup-delta report plus the plan-quality table (greedy vs
+//! cost-based search m-op counts and their within-run throughput ratio).
+//! Used by the non-gating `bench-diff` CI step so every PR carries an
+//! artifact showing how each engine path moved relative to the numbers
+//! committed in the repository.
 //!
 //! ```text
 //! cargo run --release -p rumor-bench --bin bench_diff \
@@ -31,6 +33,23 @@ struct Workload {
     paths: Vec<PathRow>,
 }
 
+/// One plan-quality row: the same query set optimized under the greedy
+/// driver and the cost-based search.
+struct QualityRow {
+    workload: String,
+    queries: f64,
+    greedy_mops: f64,
+    cost_mops: f64,
+    greedy_eps: f64,
+    cost_eps: f64,
+}
+
+/// Everything the diff reads out of one rendered throughput document.
+struct Doc {
+    workloads: Vec<Workload>,
+    plan_quality: Vec<QualityRow>,
+}
+
 /// Extracts the string value of `"key": "..."` from a line, if present.
 fn field_str(line: &str, key: &str) -> Option<String> {
     let tag = format!("\"{key}\": \"");
@@ -50,16 +69,36 @@ fn field_num(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Parses the workload sections of a rendered throughput document. Stops
-/// at the `"churn"` array (lifecycle latency is host-bound noise between
-/// runs and has no speedup baseline to diff).
-fn parse(doc: &str) -> Vec<Workload> {
+/// Parses the workload and plan-quality sections of a rendered throughput
+/// document. Stops at the `"churn"` array (lifecycle latency is
+/// host-bound noise between runs and has no speedup baseline to diff).
+fn parse(doc: &str) -> Doc {
     let mut workloads: Vec<Workload> = Vec::new();
+    let mut plan_quality: Vec<QualityRow> = Vec::new();
     for line in doc.lines() {
         if line.contains("\"churn\"") {
             break;
         }
-        if let Some(path) = field_str(line, "path") {
+        if let Some(workload) = field_str(line, "workload") {
+            // Plan-quality rows carry a `workload` key (the path rows use
+            // `path`/`name`), so the two sections cannot shadow each other.
+            if let (Some(queries), Some(gm), Some(cm), Some(ge), Some(ce)) = (
+                field_num(line, "queries"),
+                field_num(line, "greedy_mops"),
+                field_num(line, "cost_mops"),
+                field_num(line, "greedy_events_per_sec"),
+                field_num(line, "cost_events_per_sec"),
+            ) {
+                plan_quality.push(QualityRow {
+                    workload,
+                    queries,
+                    greedy_mops: gm,
+                    cost_mops: cm,
+                    greedy_eps: ge,
+                    cost_eps: ce,
+                });
+            }
+        } else if let Some(path) = field_str(line, "path") {
             if let (Some(eps), Some(speedup), Some(w)) = (
                 field_num(line, "events_per_sec"),
                 field_num(line, "speedup_vs_per_event"),
@@ -78,7 +117,10 @@ fn parse(doc: &str) -> Vec<Workload> {
             });
         }
     }
-    workloads
+    Doc {
+        workloads,
+        plan_quality,
+    }
 }
 
 fn pct(new: f64, old: f64) -> f64 {
@@ -89,15 +131,15 @@ fn pct(new: f64, old: f64) -> f64 {
     }
 }
 
-fn render(baseline: &[Workload], fresh: &[Workload]) -> String {
+fn render(baseline: &Doc, fresh: &Doc) -> String {
     let mut out = String::new();
     out.push_str("# Throughput delta vs committed baseline\n\n");
     out.push_str(
         "Speedup columns (vs the run's own per-event row) are the \
          host-independent signal; absolute ev/s move with the runner.\n\n",
     );
-    for fw in fresh {
-        let Some(bw) = baseline.iter().find(|b| b.name == fw.name) else {
+    for fw in &fresh.workloads {
+        let Some(bw) = baseline.workloads.iter().find(|b| b.name == fw.name) else {
             let _ = writeln!(out, "## {} — new workload (no baseline)\n", fw.name);
             continue;
         };
@@ -132,9 +174,71 @@ fn render(baseline: &[Workload], fresh: &[Workload]) -> String {
         }
         out.push('\n');
     }
-    for bw in baseline {
-        if !fresh.iter().any(|f| f.name == bw.name) {
+    for bw in &baseline.workloads {
+        if !fresh.workloads.iter().any(|f| f.name == bw.name) {
             let _ = writeln!(out, "## {} — dropped (baseline only)\n", bw.name);
+        }
+    }
+    if !fresh.plan_quality.is_empty() {
+        out.push_str("## Plan quality (greedy vs cost-based search)\n\n");
+        out.push_str(
+            "m-op counts are deterministic plan-shape signal; the cost/greedy \
+             throughput ratio compares the two plans within one run, so it is \
+             host-independent too.\n\n",
+        );
+        out.push_str(
+            "| workload | queries | greedy m-ops | cost m-ops | m-ops saved | \
+             cost/greedy ev/s | base cost/greedy | base greedy/cost m-ops |\n\
+             |---|---:|---:|---:|---:|---:|---:|---:|\n",
+        );
+        for fq in &fresh.plan_quality {
+            let ratio = if fq.greedy_eps == 0.0 {
+                0.0
+            } else {
+                fq.cost_eps / fq.greedy_eps
+            };
+            match baseline
+                .plan_quality
+                .iter()
+                .find(|b| b.workload == fq.workload)
+            {
+                Some(bq) => {
+                    let base_ratio = if bq.greedy_eps == 0.0 {
+                        0.0
+                    } else {
+                        bq.cost_eps / bq.greedy_eps
+                    };
+                    let _ = writeln!(
+                        out,
+                        "| {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.2}x | {:.2}x | {:.0}/{:.0} |",
+                        fq.workload,
+                        fq.queries,
+                        fq.greedy_mops,
+                        fq.cost_mops,
+                        fq.greedy_mops - fq.cost_mops,
+                        ratio,
+                        base_ratio,
+                        bq.greedy_mops,
+                        bq.cost_mops,
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "| {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.2}x | — | — |",
+                        fq.workload,
+                        fq.queries,
+                        fq.greedy_mops,
+                        fq.cost_mops,
+                        fq.greedy_mops - fq.cost_mops,
+                        ratio,
+                    );
+                }
+            }
+        }
+        out.push('\n');
+        if baseline.plan_quality.is_empty() {
+            out.push_str("(baseline document predates the plan-quality section)\n\n");
         }
     }
     out
@@ -170,6 +274,9 @@ mod tests {
       ]
     }
   ],
+  "plan_quality": [
+    {"workload": "overlapping_aggs", "queries": 32, "greedy_mops": 26, "cost_mops": 3, "greedy_events_per_sec": 500.0, "cost_events_per_sec": 1250.0, "results_match": true}
+  ],
   "churn": [
     {"resident_queries": 8, "integrate_ms": 0.5, "remove_ms": 0.2, "churn_events_per_sec": 9.0, "results_out": 1}
   ]
@@ -177,11 +284,15 @@ mod tests {
 
     #[test]
     fn parses_rendered_shape_and_skips_churn() {
-        let ws = parse(DOC);
-        assert_eq!(ws.len(), 1);
-        assert_eq!(ws[0].paths.len(), 2);
-        assert_eq!(ws[0].paths[1].path, "push_batch");
-        assert_eq!(ws[0].paths[1].speedup, 2.0);
+        let doc = parse(DOC);
+        assert_eq!(doc.workloads.len(), 1);
+        assert_eq!(doc.workloads[0].paths.len(), 2);
+        assert_eq!(doc.workloads[0].paths[1].path, "push_batch");
+        assert_eq!(doc.workloads[0].paths[1].speedup, 2.0);
+        assert_eq!(doc.plan_quality.len(), 1);
+        assert_eq!(doc.plan_quality[0].workload, "overlapping_aggs");
+        assert_eq!(doc.plan_quality[0].greedy_mops, 26.0);
+        assert_eq!(doc.plan_quality[0].cost_mops, 3.0);
     }
 
     #[test]
@@ -190,5 +301,19 @@ mod tests {
         let fresh = parse(&DOC.replace("2000.0", "3000.0").replace("2.000", "3.000"));
         let report = render(&base, &fresh);
         assert!(report.contains("| push_batch | 2000 | 3000 | +50.0% | 2.000 | 3.000 | +1.000 |"));
+    }
+
+    #[test]
+    fn renders_plan_quality_with_and_without_baseline() {
+        let base = parse(DOC);
+        let fresh = parse(&DOC.replace("\"cost_mops\": 3", "\"cost_mops\": 4"));
+        let report = render(&base, &fresh);
+        assert!(report.contains("## Plan quality"));
+        assert!(report.contains("| overlapping_aggs | 32 | 26 | 4 | 22 | 2.50x | 2.50x | 26/3 |"));
+
+        // A baseline predating the section must not lose the fresh rows.
+        let old_base = parse(&DOC.replace("overlapping_aggs", "renamed"));
+        let report = render(&old_base, &fresh);
+        assert!(report.contains("| overlapping_aggs | 32 | 26 | 4 | 22 | 2.50x | — | — |"));
     }
 }

@@ -1,7 +1,8 @@
 //! Regenerates `BENCH_throughput.json`: per-event vs batched vs sharded
-//! engine throughput, plus the dynamic-query-lifecycle churn rows
-//! (integrate/remove latency against a live pool and steady-state
-//! throughput under churn).
+//! engine throughput, the plan-quality rows (greedy vs cost-based search
+//! m-op counts and throughput over identical query sets), plus the
+//! dynamic-query-lifecycle churn rows (integrate/remove latency against a
+//! live pool and steady-state throughput under churn).
 //!
 //! ```text
 //! cargo run --release -p rumor-bench --bin throughput [quick|full] [out.json] [--stats]
@@ -11,7 +12,9 @@
 //! streaming session and its final `StatsSnapshot` JSON is written next
 //! to the throughput report (`<out stem>.stats.json`).
 
-use rumor_bench::throughput::{render_json, run_all, run_churn, stats_snapshot_json};
+use rumor_bench::throughput::{
+    render_json, run_all, run_churn, run_plan_quality, stats_snapshot_json,
+};
 use rumor_bench::Scale;
 
 fn main() {
@@ -46,6 +49,20 @@ fn main() {
             );
         }
     }
+    let quality = run_plan_quality(scale);
+    println!("plan quality (greedy vs cost-based search, push_batch)");
+    for q in &quality {
+        println!(
+            "  {:<18} {:>5} queries: {:>4} vs {:>4} m-ops, {:>11.0} vs {:>11.0} ev/s, results_match={}",
+            q.workload,
+            q.queries,
+            q.greedy_mops,
+            q.cost_mops,
+            q.greedy_events_per_sec,
+            q.cost_events_per_sec,
+            q.results_match
+        );
+    }
     let churn = run_churn(scale);
     println!("churn (streaming pool n=2, add/remove every 4th chunk)");
     for c in &churn {
@@ -54,7 +71,7 @@ fn main() {
             c.resident_queries, c.integrate_ms, c.remove_ms, c.churn_events_per_sec
         );
     }
-    let json = render_json(&reports, &churn, scale);
+    let json = render_json(&reports, &quality, &churn, scale);
     std::fs::write(&out_path, json).expect("write report");
     println!("wrote {out_path}");
 

@@ -1,16 +1,115 @@
-//! Lightweight plan-cost annotations — the beginning of the cost-based
-//! rule driver the paper lists as future work (§7).
+//! The plan cost model behind the cost-based rule driver (the §7 future
+//! work the paper lists, implemented here as
+//! [`crate::rules::SearchStrategy::CostBased`]).
 //!
-//! The estimates are deliberately coarse: they model the *per-input-event
-//! work* of each m-op kind as a function of its member count and channel
-//! capacities, enough to (a) explain in diagnostics why a rewrite helped
-//! and (b) compare rule orderings in the ablation benchmarks. They are not
-//! used to veto rewrites (the §3.2 sharing criteria already encode the
-//! paper's lightweight heuristic); a true cost-driven optimizer would
-//! thread selectivity estimates through the plan, which remains future
-//! work here too.
+//! Two layers:
+//!
+//! * **Per-tuple work profile** — [`estimate`] models the *per-input-event
+//!   work* of each m-op kind as a function of its member count and channel
+//!   capacities (evaluations per tuple, state copies). These are the
+//!   numbers diagnostics and the ablation benchmarks report.
+//! * **Selectivity threading** — [`estimate_with`] additionally propagates
+//!   a per-stream event-rate estimate through the plan in topological
+//!   order: every source stream carries rate 1.0 (one event per source
+//!   arrival), and each member's output rate is its input rate scaled by
+//!   the member's selectivity. The per-node work is weighted by the rate
+//!   actually reaching the node, so a selective prefix makes everything
+//!   downstream cheap — the signal the cost-based search ranks candidate
+//!   rewrites by.
+//!
+//! ## Cost-model assumptions
+//!
+//! Selectivities come from a [`SelectivityModel`]: measured per-m-op
+//! values when calibrated from a live `StatsSnapshot` (see
+//! `rumor_engine::StatsSnapshot::selectivity_model`), defaults per
+//! operator kind otherwise:
+//!
+//! | operator | default selectivity | rationale |
+//! |---|---|---|
+//! | σ equality on a constant | 0.1 | point predicate on a modest domain |
+//! | σ general | 0.5 | coin-flip predicate |
+//! | π | 1.0 | projections pass everything |
+//! | α | 1.0 | sliding windows emit per input event |
+//! | ⋈ / `;` | 0.5 | windowed match against bounded state |
+//! | µ | 0.5 | iteration advance per input event |
+//!
+//! A measured override is recorded per *m-op* (the stats layer counts at
+//! m-op granularity) and applied uniformly to every member of that node —
+//! a coarse but calibrated approximation. Plans whose topological sort
+//! fails (a cycle introduced by a broken rewrite) do **not** estimate as
+//! free: [`estimate`] propagates the error, and the search layer scores
+//! such plans as infinitely expensive.
 
+use std::collections::HashMap;
+
+use rumor_types::{MopId, Result, StreamId};
+
+use crate::logical::OpDef;
 use crate::plan::{MopKind, PlanGraph};
+
+/// Per-member selectivity estimates used by [`estimate_with`].
+///
+/// Starts from the per-kind defaults documented in the module docs;
+/// [`SelectivityModel::from_measured`] (or
+/// `rumor_engine::StatsSnapshot::selectivity_model`) overrides them with
+/// live measured events-out/events-in ratios keyed by m-op id.
+#[derive(Debug, Clone, Default)]
+pub struct SelectivityModel {
+    overrides: HashMap<MopId, f64>,
+}
+
+impl SelectivityModel {
+    /// The default model: per-kind selectivities only, no measurements.
+    pub fn new() -> Self {
+        SelectivityModel::default()
+    }
+
+    /// Builds a model from measured per-m-op selectivities (typically a
+    /// `StatsSnapshot`'s `events_out / events_in` per op). Values are
+    /// clamped to `[0, 1e6]`; non-finite measurements are dropped.
+    pub fn from_measured(measured: impl IntoIterator<Item = (MopId, f64)>) -> Self {
+        let mut model = SelectivityModel::default();
+        for (mop, s) in measured {
+            model = model.with_override(mop, s);
+        }
+        model
+    }
+
+    /// Adds (or replaces) one measured per-m-op selectivity.
+    pub fn with_override(mut self, mop: MopId, selectivity: f64) -> Self {
+        if selectivity.is_finite() {
+            self.overrides.insert(mop, selectivity.clamp(0.0, 1e6));
+        }
+        self
+    }
+
+    /// The measured selectivity recorded for an m-op, if any.
+    pub fn override_for(&self, mop: MopId) -> Option<f64> {
+        self.overrides.get(&mop).copied()
+    }
+
+    /// Whether the model carries any measured overrides.
+    pub fn is_calibrated(&self) -> bool {
+        !self.overrides.is_empty()
+    }
+
+    /// Default per-kind selectivity of one member definition (see the
+    /// module docs for the table and rationale).
+    pub fn default_selectivity(def: &OpDef) -> f64 {
+        match def {
+            OpDef::Select(p) => {
+                if p.as_eq_const().is_some() {
+                    0.1
+                } else {
+                    0.5
+                }
+            }
+            OpDef::Project(_) => 1.0,
+            OpDef::Aggregate(_) => 1.0,
+            OpDef::Join(_) | OpDef::Sequence(_) | OpDef::Iterate(_) => 0.5,
+        }
+    }
+}
 
 /// Cost summary of one m-op.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +124,9 @@ pub struct MopCost {
     /// Estimated state copies kept per logical input tuple (1.0 = stored
     /// once; `n` = each member keeps its own copy).
     pub state_copies: f64,
+    /// Estimated events reaching this node per source arrival — the
+    /// selectivity-weighted input rate the node's work is scaled by.
+    pub input_rate: f64,
 }
 
 /// Cost summary of a whole plan.
@@ -34,17 +136,45 @@ pub struct PlanCost {
     pub mops: usize,
     /// Total member operators.
     pub members: usize,
-    /// Sum of per-node estimated evaluations per tuple.
+    /// Sum of per-node estimated evaluations per tuple (unweighted — the
+    /// per-tuple work profile diagnostics report).
     pub evals_per_tuple: f64,
     /// Sum of per-node state copies.
     pub state_copies: f64,
+    /// Selectivity-weighted total work: Σ over nodes of
+    /// `evals_per_tuple × input_rate` — estimated member evaluations per
+    /// source arrival, the primary signal of the cost-based search.
+    pub work: f64,
     /// Per-node details, in topological order.
     pub nodes: Vec<MopCost>,
 }
 
-/// Estimates the per-event cost profile of a plan.
+impl PlanCost {
+    /// The scalar the cost-based search minimizes:
+    /// `work + 0.25 × state_copies + 0.01 × mops`.
+    ///
+    /// Work dominates (it is the per-event CPU bill); the state term
+    /// prefers shared instance stores at equal work; the m-op term is a
+    /// tie-breaker toward smaller plans (fewer scheduler hops), small
+    /// enough never to outvote a real work difference.
+    pub fn score(&self) -> f64 {
+        self.work + 0.25 * self.state_copies + 0.01 * self.mops as f64
+    }
+}
+
+/// Estimates the per-event cost profile of a plan under the default
+/// (uncalibrated) selectivity model.
 ///
-/// Model assumptions, per kind:
+/// Errors when the plan has no topological order (a cycle): a broken plan
+/// must never estimate as free. See [`estimate_with`] for the model.
+pub fn estimate(plan: &PlanGraph) -> Result<PlanCost> {
+    estimate_with(plan, &SelectivityModel::default())
+}
+
+/// Estimates the per-event cost profile of a plan, threading selectivity
+/// estimates from `model` through the plan.
+///
+/// Per-tuple work assumptions, per kind:
 ///
 /// * `Naive`: every member evaluates every tuple — `n` evaluations, `n`
 ///   state copies.
@@ -53,13 +183,25 @@ pub struct PlanCost {
 /// * shared/channel kinds: one evaluation per *distinct definition* and a
 ///   single shared state copy; channelized kinds add a constant membership
 ///   decode/encode overhead (the §3.2 time overhead), counted as 0.1.
-pub fn estimate(plan: &PlanGraph) -> PlanCost {
+///
+/// Rate threading: source streams carry rate 1.0; a member's output rate
+/// is the sum of its input rates times its selectivity (measured per-m-op
+/// override when the model has one, per-kind default otherwise). A node's
+/// work contribution is its per-tuple evaluation count weighted by the
+/// rate arriving at the node.
+pub fn estimate_with(plan: &PlanGraph, model: &SelectivityModel) -> Result<PlanCost> {
+    let order = plan.topo_order()?;
+    let mut rate: HashMap<StreamId, f64> = HashMap::new();
+    for src in plan.sources() {
+        for &s in &src.streams {
+            rate.insert(s, 1.0);
+        }
+    }
     let mut total = PlanCost::default();
-    let order = plan.topo_order().unwrap_or_default();
     for id in order {
         let node = plan.mop(id);
         let n = node.members.len() as f64;
-        let mut distinct_defs: Vec<&crate::logical::OpDef> = Vec::new();
+        let mut distinct_defs: Vec<&OpDef> = Vec::new();
         for m in &node.members {
             if !distinct_defs.contains(&&m.def) {
                 distinct_defs.push(&m.def);
@@ -73,7 +215,7 @@ pub fn estimate(plan: &PlanGraph) -> PlanCost {
                     .members
                     .iter()
                     .filter(|m| match &m.def {
-                        crate::logical::OpDef::Select(p) => {
+                        OpDef::Select(p) => {
                             p.as_eq_const().is_none() && !matches!(p, rumor_expr::Predicate::And(_))
                         }
                         _ => true,
@@ -93,18 +235,44 @@ pub fn estimate(plan: &PlanGraph) -> PlanCost {
             | MopKind::ChannelSequence
             | MopKind::ChannelIterate => (d + 0.1, 1.0),
         };
+        // Rate arriving at the node: one delivery per distinct input
+        // stream arrival (members reading the same stream share it).
+        let mut seen: Vec<StreamId> = Vec::new();
+        let mut input_rate = 0.0;
+        for m in &node.members {
+            for &s in &m.inputs {
+                if !seen.contains(&s) {
+                    seen.push(s);
+                    input_rate += rate.get(&s).copied().unwrap_or(1.0);
+                }
+            }
+        }
+        // Thread member output rates for downstream nodes.
+        for m in &node.members {
+            let member_in: f64 = m
+                .inputs
+                .iter()
+                .map(|s| rate.get(s).copied().unwrap_or(1.0))
+                .sum();
+            let sel = model
+                .override_for(id)
+                .unwrap_or_else(|| SelectivityModel::default_selectivity(&m.def));
+            rate.insert(m.output, member_in * sel);
+        }
         total.mops += 1;
         total.members += node.members.len();
         total.evals_per_tuple += evals;
         total.state_copies += copies;
+        total.work += evals * input_rate;
         total.nodes.push(MopCost {
             kind: node.kind,
             members: node.members.len(),
             evals_per_tuple: evals,
             state_copies: copies,
+            input_rate,
         });
     }
-    total
+    Ok(total)
 }
 
 #[cfg(test)]
@@ -128,18 +296,19 @@ mod tests {
     #[test]
     fn optimization_reduces_estimated_cost() {
         let mut plan = selections(16);
-        let before = estimate(&plan);
+        let before = estimate(&plan).unwrap();
         assert_eq!(before.evals_per_tuple, 16.0);
         Optimizer::new(OptimizerConfig::default())
             .optimize(&mut plan)
             .unwrap();
-        let after = estimate(&plan);
+        let after = estimate(&plan).unwrap();
         assert_eq!(after.mops, 1);
         assert_eq!(after.members, 16);
         assert!(
             after.evals_per_tuple < before.evals_per_tuple / 4.0,
             "index should collapse evaluations: {after:?}"
         );
+        assert!(after.score() < before.score());
     }
 
     #[test]
@@ -159,25 +328,115 @@ mod tests {
             ))
             .unwrap();
         }
-        let before = estimate(&plan);
+        let before = estimate(&plan).unwrap();
         assert_eq!(before.state_copies, 3.0);
         Optimizer::new(OptimizerConfig::default())
             .optimize(&mut plan)
             .unwrap();
-        let after = estimate(&plan);
+        let after = estimate(&plan).unwrap();
         assert_eq!(after.state_copies, 1.0, "one shared instance store");
     }
 
     #[test]
     fn node_details_in_topo_order() {
         let mut plan = selections(2);
-        let cost = estimate(&plan);
+        let cost = estimate(&plan).unwrap();
         assert_eq!(cost.nodes.len(), 2);
         Optimizer::new(OptimizerConfig::default())
             .optimize(&mut plan)
             .unwrap();
-        let cost = estimate(&plan);
+        let cost = estimate(&plan).unwrap();
         assert_eq!(cost.nodes.len(), 1);
         assert_eq!(cost.nodes[0].members, 2);
+    }
+
+    /// Regression: a plan whose topological sort fails (a cycle smuggled
+    /// in by a broken rewrite) must error, not estimate as an empty —
+    /// free — plan that a cost-based search would happily commit to.
+    #[test]
+    fn cyclic_plan_errors_instead_of_estimating_free() {
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(2), None).unwrap();
+        let q = plan
+            .add_query(
+                &LogicalPlan::source("S")
+                    .select(Predicate::attr_eq_const(0, 1i64))
+                    .select(Predicate::attr_eq_const(1, 1i64)),
+            )
+            .unwrap();
+        // Feed the first select its own downstream select's output:
+        // schema-compatible (selections preserve schemas), topologically a
+        // cycle.
+        let out = plan.query_output(q).unwrap();
+        let first = plan
+            .mops()
+            .find(|n| plan.consumers_of(n.members[0].output).len() == 1)
+            .map(|n| n.id)
+            .unwrap();
+        plan.rewire_member_input(first, 0, 0, out).unwrap();
+        assert!(plan.topo_order().is_err(), "rewire created a cycle");
+        assert!(
+            estimate(&plan).is_err(),
+            "cyclic plan must not estimate as free"
+        );
+    }
+
+    /// Selectivity threading: a selective prefix discounts downstream
+    /// work, and a measured override changes the estimate.
+    #[test]
+    fn selectivity_threading_discounts_downstream_work() {
+        use crate::logical::{AggFunc, AggSpec};
+        use rumor_expr::Expr;
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(2), None).unwrap();
+        plan.add_query(
+            &LogicalPlan::source("S")
+                .select(Predicate::attr_eq_const(0, 1i64))
+                .aggregate(AggSpec {
+                    func: AggFunc::Sum,
+                    input: Expr::col(1),
+                    group_by: vec![],
+                    window: 10,
+                }),
+        )
+        .unwrap();
+        let cost = estimate(&plan).unwrap();
+        // The aggregate sits behind an eq-const select (default 0.1), so
+        // its weighted work is a tenth of its unweighted profile.
+        let agg = cost
+            .nodes
+            .iter()
+            .find(|n| n.evals_per_tuple == 1.0 && n.input_rate < 1.0)
+            .expect("aggregate node with discounted rate");
+        assert!((agg.input_rate - 0.1).abs() < 1e-9, "{agg:?}");
+
+        // Calibrate the select's selectivity to 1.0 (measured: everything
+        // passes) — downstream rate and total work must rise.
+        let select_id = plan
+            .mops()
+            .find(|n| matches!(n.members[0].def, OpDef::Select(_)))
+            .map(|n| n.id)
+            .unwrap();
+        let calibrated = estimate_with(
+            &plan,
+            &SelectivityModel::new().with_override(select_id, 1.0),
+        )
+        .unwrap();
+        assert!(calibrated.work > cost.work, "{calibrated:?} vs {cost:?}");
+        assert_eq!(calibrated.evals_per_tuple, cost.evals_per_tuple);
+    }
+
+    #[test]
+    fn selectivity_model_sanitizes_measurements() {
+        let model = SelectivityModel::from_measured(vec![
+            (MopId(0), 0.5),
+            (MopId(1), f64::NAN),
+            (MopId(2), -3.0),
+        ]);
+        assert!(model.is_calibrated());
+        assert_eq!(model.override_for(MopId(0)), Some(0.5));
+        assert_eq!(model.override_for(MopId(1)), None, "NaN dropped");
+        assert_eq!(model.override_for(MopId(2)), Some(0.0), "clamped");
+        assert!(!SelectivityModel::new().is_calibrated());
     }
 }

@@ -34,7 +34,10 @@ pub mod rules;
 pub mod sharable;
 
 pub use channel::ChannelTuple;
-pub use cost::{estimate as estimate_cost, MopCost, PlanCost};
+pub use cost::{
+    estimate as estimate_cost, estimate_with as estimate_cost_with, MopCost, PlanCost,
+    SelectivityModel,
+};
 pub use logical::{AggFunc, AggSpec, IterSpec, JoinSpec, LogicalPlan, OpDef, SeqSpec};
 pub use mop::{CountingEmit, Emit, MemberCtx, MopContext, MultiOp, VecEmit};
 pub use partition::{
@@ -45,5 +48,7 @@ pub use plan::{
     ChannelDef, Member, MopKind, MopNode, PlanDelta, PlanGraph, PlanSnapshot, Producer, SourceDef,
     StreamDef,
 };
-pub use rules::{Integration, MRule, Optimizer, OptimizerConfig, RewriteTrace, TraceEntry};
+pub use rules::{
+    Integration, MRule, Optimizer, OptimizerConfig, RewriteTrace, SearchStrategy, TraceEntry,
+};
 pub use sharable::{Sharability, SigId};

@@ -1110,6 +1110,50 @@ impl PlanGraph {
         Ok(order)
     }
 
+    /// Registration-order-independent structural identity for every live
+    /// m-op.
+    ///
+    /// Keys are canonical string renderings built bottom-up in topological
+    /// order: a source stream renders as `src:<name>#<position>`, a member
+    /// as its definition applied to its input-stream keys, and an m-op as
+    /// its kind over the *sorted* member keys. Two plans holding the same
+    /// operators under permuted `MopId`/`StreamId` numbering therefore
+    /// assign equal keys to corresponding nodes — which is what lets the
+    /// rule driver order rewrite candidates canonically instead of by
+    /// registration order.
+    ///
+    /// Cyclic plans (no topological order) return an empty map; callers
+    /// fall back to id order.
+    pub fn structural_keys(&self) -> HashMap<MopId, String> {
+        let Ok(order) = self.topo_order() else {
+            return HashMap::new();
+        };
+        let mut stream_key: HashMap<StreamId, String> = HashMap::new();
+        for src in &self.sources {
+            for (i, &s) in src.streams.iter().enumerate() {
+                stream_key.insert(s, format!("src:{}#{}", src.name, i));
+            }
+        }
+        let mut keys = HashMap::new();
+        for id in order {
+            let node = self.mop(id);
+            let mut member_keys = Vec::with_capacity(node.members.len());
+            for m in &node.members {
+                let ins: Vec<&str> = m
+                    .inputs
+                    .iter()
+                    .map(|s| stream_key.get(s).map(String::as_str).unwrap_or("?"))
+                    .collect();
+                let mk = format!("{:?}({})", m.def, ins.join(","));
+                stream_key.insert(m.output, mk.clone());
+                member_keys.push(mk);
+            }
+            member_keys.sort();
+            keys.insert(id, format!("{:?}[{}]", node.kind, member_keys.join(";")));
+        }
+        keys
+    }
+
     /// Validates every structural invariant of the plan. Used by tests and
     /// after rule applications in debug builds; not on the data path.
     pub fn validate(&self) -> Result<()> {

@@ -202,15 +202,21 @@ impl MRule for MergeRule {
                 by_key.entry(key).or_default().push(node.id);
             }
         }
+        // Canonical ordering: sort members and groups by structural key
+        // (registration-order independent), falling back to id order only
+        // between structurally identical nodes — otherwise the plan shape
+        // would depend on the order queries were registered in.
+        let canon = plan.structural_keys();
+        let key_of = |id: MopId| canon.get(&id).map(String::as_str).unwrap_or("");
         let mut groups: Vec<Vec<MopId>> = by_key
             .into_values()
             .filter(|g| g.len() >= 2)
             .map(|mut g| {
-                g.sort();
+                g.sort_by(|&a, &b| key_of(a).cmp(key_of(b)).then(a.cmp(&b)));
                 g
             })
             .collect();
-        groups.sort_by_key(|g| g[0]);
+        groups.sort_by(|a, b| key_of(a[0]).cmp(key_of(b[0])).then(a[0].cmp(&b[0])));
         groups
     }
 
@@ -599,12 +605,14 @@ impl MRule for SeqPushdown {
     }
 
     fn find_groups(&self, plan: &PlanGraph, _: &Sharability) -> Vec<Vec<MopId>> {
+        let canon = plan.structural_keys();
+        let key_of = |id: MopId| canon.get(&id).map(String::as_str).unwrap_or("");
         let mut groups: Vec<Vec<MopId>> = plan
             .mops()
             .filter(|n| SeqPushdown::pushable(n).is_some())
             .map(|n| vec![n.id])
             .collect();
-        groups.sort_by_key(|g| g[0]);
+        groups.sort_by(|a, b| key_of(a[0]).cmp(key_of(b[0])).then(a[0].cmp(&b[0])));
         groups
     }
 

@@ -18,6 +18,7 @@ use std::collections::HashSet;
 
 use rumor_types::{MopId, QueryId, Result};
 
+use crate::cost::{self, SelectivityModel};
 use crate::logical::LogicalPlan;
 use crate::plan::{PlanDelta, PlanGraph, Producer};
 use crate::sharable::Sharability;
@@ -88,11 +89,60 @@ impl RewriteTrace {
         self.entries.iter().filter(|e| e.rule == rule).count()
     }
 
+    /// Records a note, deduplicated: retry loops re-decline the same
+    /// (m-op group, reason) every pass, and diagnostics only need each
+    /// line once. Returns whether the note was newly added.
+    pub fn note(&mut self, line: String) -> bool {
+        if self.notes.contains(&line) {
+            return false;
+        }
+        self.notes.push(line);
+        true
+    }
+
     /// Whether the incremental run fell short of the full-reoptimization
     /// fixpoint (see [`RewriteTrace::notes`]).
     pub fn fell_back(&self) -> bool {
         !self.notes.is_empty()
     }
+}
+
+/// How [`Optimizer::optimize`] chooses among applicable rewrites.
+///
+/// The rule catalogue is the move generator either way; the strategy
+/// decides *which* applicable move commits next. Both strategies reach
+/// semantically identical plans (every rule preserves query results —
+/// the conformance matrix pins byte-identical outputs across both), but
+/// the plans can differ in shape: greedy can lock in a locally-good merge
+/// that blocks a better one (e.g. encoding a small stream family into a
+/// channel before a larger overlapping family, leaving the large family
+/// unmergeable), which a cost-scored search avoids.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// The paper's behavior (default): rules run in priority order and
+    /// the first applicable rule fires all its groups, then the pass
+    /// restarts. Cheapest; order-sensitive only up to the canonical
+    /// candidate ordering.
+    #[default]
+    Greedy,
+    /// Cost-based sharing search: every applicable (rule, group)
+    /// candidate across the whole catalogue is applied speculatively to a
+    /// clone of the plan, the outcome is scored with
+    /// [`crate::cost::estimate_with`] (see [`crate::cost::PlanCost::score`]
+    /// for the objective; plans that fail to topo-sort score as infinite),
+    /// and the best-scoring candidate commits. Repeats until no candidate
+    /// remains. Ties break toward the catalogue's priority/canonical
+    /// order, so the search degenerates to greedy when the model is
+    /// indifferent.
+    CostBased {
+        /// Scoring depth: `1` scores each candidate's immediate outcome;
+        /// `k > 1` additionally plays out `k − 1` best-immediate follow-up
+        /// moves on the speculative plan before scoring, so a candidate is
+        /// credited for the merges it *enables*. Values are clamped to at
+        /// least 1. Cost grows with plan clones per candidate; 2 is a good
+        /// default.
+        lookahead: usize,
+    },
 }
 
 /// Optimizer configuration: which rule families run.
@@ -110,6 +160,10 @@ pub struct OptimizerConfig {
     pub max_passes: usize,
     /// Run full plan validation after every pass (tests/debug).
     pub validate_each_pass: bool,
+    /// How [`Optimizer::optimize`] picks the next rewrite (the search
+    /// knob). Defaults to [`SearchStrategy::Greedy`] so existing behavior
+    /// is unchanged; see [`OptimizerConfig::cost_based`].
+    pub search: SearchStrategy,
 }
 
 impl Default for OptimizerConfig {
@@ -121,6 +175,7 @@ impl Default for OptimizerConfig {
             disabled_rules: HashSet::new(),
             max_passes: 64,
             validate_each_pass: cfg!(debug_assertions),
+            search: SearchStrategy::Greedy,
         }
     }
 }
@@ -150,12 +205,24 @@ impl OptimizerConfig {
         self.disabled_rules.insert(rule.to_string());
         self
     }
+
+    /// The cost-based sharing search with the default lookahead of 2
+    /// (each candidate is scored after its best single follow-up move, so
+    /// enabling merges counts in its favor). Everything else matches
+    /// [`OptimizerConfig::default`].
+    pub fn cost_based() -> Self {
+        OptimizerConfig {
+            search: SearchStrategy::CostBased { lookahead: 2 },
+            ..OptimizerConfig::default()
+        }
+    }
 }
 
 /// The rule-driven multi-query optimizer.
 pub struct Optimizer {
     rules: Vec<Box<dyn MRule>>,
     config: OptimizerConfig,
+    selectivity: SelectivityModel,
 }
 
 impl Optimizer {
@@ -168,7 +235,21 @@ impl Optimizer {
     /// Builds an optimizer over an explicit rule set.
     pub fn with_rules(mut rules: Vec<Box<dyn MRule>>, config: OptimizerConfig) -> Self {
         rules.sort_by_key(|r| r.priority());
-        Optimizer { rules, config }
+        Optimizer {
+            rules,
+            config,
+            selectivity: SelectivityModel::default(),
+        }
+    }
+
+    /// Calibrates the cost model with measured per-m-op selectivities
+    /// (typically `StatsSnapshot::selectivity_model` from the engine).
+    /// Affects [`SearchStrategy::CostBased`] scoring and the
+    /// refused-merge ranking of [`Optimizer::integrate`]; the greedy path
+    /// ignores it.
+    pub fn with_selectivity(mut self, model: SelectivityModel) -> Self {
+        self.selectivity = model;
+        self
     }
 
     /// Registered rule names in priority order.
@@ -176,13 +257,24 @@ impl Optimizer {
         self.rules.iter().map(|r| r.name()).collect()
     }
 
-    /// Runs the rules to fixpoint over the plan.
+    /// Runs the rules to fixpoint over the plan, using the configured
+    /// [`SearchStrategy`] to choose among applicable rewrites.
+    pub fn optimize(&self, plan: &mut PlanGraph) -> Result<RewriteTrace> {
+        match self.config.search {
+            SearchStrategy::Greedy => self.optimize_greedy(plan),
+            SearchStrategy::CostBased { lookahead } => {
+                self.optimize_cost_based(plan, lookahead.max(1))
+            }
+        }
+    }
+
+    /// The greedy fixpoint (the paper's driver).
     ///
     /// Each pass recomputes the sharable-streams analysis, then runs the
     /// rules in priority order; the first rule that fires applies *all* its
     /// (disjoint) groups, then the pass restarts so later rules observe the
     /// rewritten plan. Terminates when a full pass fires nothing.
-    pub fn optimize(&self, plan: &mut PlanGraph) -> Result<RewriteTrace> {
+    fn optimize_greedy(&self, plan: &mut PlanGraph) -> Result<RewriteTrace> {
         let mut trace = RewriteTrace::default();
         'passes: for _pass in 0..self.config.max_passes {
             trace.passes += 1;
@@ -221,6 +313,124 @@ impl Optimizer {
             return Ok(trace); // full pass fired nothing: fixpoint
         }
         Ok(trace)
+    }
+
+    /// The cost-based sharing search (see [`SearchStrategy::CostBased`]).
+    ///
+    /// One rewrite commits per step: all applicable (rule, group)
+    /// candidates are enumerated, each is played out on a clone of the
+    /// plan (to `lookahead` moves deep) and scored with the calibrated
+    /// cost model, and the best-scoring candidate is applied for real.
+    /// Candidates are enumerated in priority/canonical order and a later
+    /// candidate must beat the incumbent by a real margin, so ties fall
+    /// to the same rewrite greedy would pick.
+    fn optimize_cost_based(&self, plan: &mut PlanGraph, lookahead: usize) -> Result<RewriteTrace> {
+        let mut trace = RewriteTrace::default();
+        // One candidate commits per step; merges strictly shrink the plan
+        // and pushdown disables itself, so this budget is a backstop, not
+        // a tuning knob.
+        let budget = self
+            .config
+            .max_passes
+            .saturating_mul(plan.mop_count().max(4));
+        for _step in 0..budget {
+            trace.passes += 1;
+            let sharable = Sharability::analyze(plan);
+            let cands = self.candidates(plan, &sharable);
+            if cands.is_empty() {
+                break;
+            }
+            let mut best: Option<(f64, usize)> = None;
+            for (i, (rule, group)) in cands.iter().enumerate() {
+                let Some(score) = self.score_candidate(plan, *rule, group, lookahead) else {
+                    continue;
+                };
+                if best.is_none_or(|(b, _)| score < b - 1e-9) {
+                    best = Some((score, i));
+                }
+            }
+            let Some((_, i)) = best else { break };
+            let (rule, group) = cands.into_iter().nth(i).expect("index in range");
+            let target = self.rules[rule].apply(plan, &group)?;
+            trace.entries.push(TraceEntry {
+                rule: self.rules[rule].name(),
+                group,
+                target,
+            });
+            if self.config.validate_each_pass {
+                plan.validate()?;
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Every applicable (rule index, group) pair on the current plan, in
+    /// rule-priority order with groups in canonical order.
+    fn candidates(&self, plan: &PlanGraph, sharable: &Sharability) -> Vec<(usize, Vec<MopId>)> {
+        let mut out = Vec::new();
+        for (ri, rule) in self.rules.iter().enumerate() {
+            if self.config.disabled_rules.contains(rule.name()) {
+                continue;
+            }
+            for group in rule.find_groups(plan, sharable) {
+                if group.len() < rule.min_group() {
+                    continue;
+                }
+                if group.iter().any(|&id| plan.mop_opt(id).is_none()) {
+                    continue;
+                }
+                if !rule.condition(plan, sharable, &group) {
+                    continue;
+                }
+                out.push((ri, group));
+            }
+        }
+        out
+    }
+
+    /// Applies one candidate to a clone of the plan, optionally plays out
+    /// `lookahead − 1` further best-immediate moves, and returns the
+    /// resulting score. `None` when the candidate's action fails (it is
+    /// simply not in the running this step).
+    fn score_candidate(
+        &self,
+        plan: &PlanGraph,
+        rule: usize,
+        group: &[MopId],
+        lookahead: usize,
+    ) -> Option<f64> {
+        let mut probe = plan.clone();
+        self.rules[rule].apply(&mut probe, group).ok()?;
+        for _ in 1..lookahead {
+            let sharable = Sharability::analyze(&probe);
+            let followups = self.candidates(&probe, &sharable);
+            let mut best: Option<(f64, usize, Vec<MopId>)> = None;
+            for (ri, g) in followups {
+                let mut next = probe.clone();
+                if self.rules[ri].apply(&mut next, &g).is_err() {
+                    continue;
+                }
+                let s = score_plan(&next, &self.selectivity);
+                if best.as_ref().is_none_or(|(b, _, _)| s < *b - 1e-9) {
+                    best = Some((s, ri, g));
+                }
+            }
+            let Some((_, ri, g)) = best else { break };
+            self.rules[ri].apply(&mut probe, &g).ok()?;
+        }
+        Some(score_plan(&probe, &self.selectivity))
+    }
+
+    /// Estimated benefit (score reduction) of a rewrite `integrate` had
+    /// to decline: the refused-alternative ranking surfaced in
+    /// [`RewriteTrace::notes`]. `None` when the speculative application
+    /// fails or either plan cannot be scored.
+    fn refused_benefit(&self, plan: &PlanGraph, rule: &dyn MRule, group: &[MopId]) -> Option<f64> {
+        let before = cost::estimate_with(plan, &self.selectivity).ok()?.score();
+        let mut probe = plan.clone();
+        rule.apply(&mut probe, group).ok()?;
+        let after = cost::estimate_with(&probe, &self.selectivity).ok()?.score();
+        Some(before - after)
     }
 
     /// Merges one *new* query into an already-optimized plan — the
@@ -262,6 +472,10 @@ impl Optimizer {
             .collect();
 
         let mut trace = RewriteTrace::default();
+        // Refused-alternative ranking: each unique declined merge is
+        // scored once (estimated benefit had it been applied) so the best
+        // foregone rewrite can be surfaced in the notes.
+        let mut refused: Vec<(String, f64)> = Vec::new();
         'passes: for _pass in 0..self.config.max_passes {
             trace.passes += 1;
             let sharable = Sharability::analyze(plan);
@@ -287,12 +501,18 @@ impl Optimizer {
                     if let Some(reason) =
                         integration_conflict(plan, rule.as_ref(), &group, &protected)
                     {
-                        trace.notes.push(format!(
+                        let newly_declined = trace.note(format!(
                             "{}: declined {:?}: {}",
                             rule.name(),
                             group,
                             reason
                         ));
+                        if newly_declined {
+                            if let Some(benefit) = self.refused_benefit(plan, rule.as_ref(), &group)
+                            {
+                                refused.push((format!("{} {:?}", rule.name(), group), benefit));
+                            }
+                        }
                         continue;
                     }
                     let target = rule.apply(plan, &group)?;
@@ -313,6 +533,15 @@ impl Optimizer {
             }
             break; // scoped fixpoint
         }
+        if let Some((desc, benefit)) = refused
+            .into_iter()
+            .filter(|(_, b)| b.is_finite())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+        {
+            trace.note(format!(
+                "best refused alternative: {desc} (estimated score reduction {benefit:.3})"
+            ));
+        }
         let delta = before.delta(plan);
         Ok(Integration {
             query: query_id,
@@ -320,6 +549,15 @@ impl Optimizer {
             delta,
         })
     }
+}
+
+/// Scores a plan under a selectivity model; plans that cannot be scored
+/// (no topological order) are infinitely expensive so the search never
+/// commits to a broken rewrite.
+fn score_plan(plan: &PlanGraph, model: &SelectivityModel) -> f64 {
+    cost::estimate_with(plan, model)
+        .map(|c| c.score())
+        .unwrap_or(f64::INFINITY)
 }
 
 /// The outcome of one [`Optimizer::integrate`] call.
@@ -545,5 +783,208 @@ mod tests {
         });
         assert_eq!(t.count("s_sigma"), 1);
         assert_eq!(t.count("c_mu"), 0);
+    }
+
+    #[test]
+    fn trace_notes_deduplicate() {
+        let mut t = RewriteTrace::default();
+        assert!(t.note("s_seq: declined [op1, op2]: stateful".to_string()));
+        assert!(!t.note("s_seq: declined [op1, op2]: stateful".to_string()));
+        assert!(t.note("another".to_string()));
+        assert_eq!(t.notes.len(), 2);
+    }
+
+    /// A rule that keeps firing for a bounded number of passes without
+    /// changing anything — stand-in for the churn retry loops that made
+    /// `integrate` re-encounter (and re-note) the same declined merge on
+    /// every restarted pass.
+    struct PassChurner {
+        remaining: std::sync::atomic::AtomicUsize,
+    }
+
+    impl MRule for PassChurner {
+        fn name(&self) -> &'static str {
+            "pass_churner"
+        }
+        fn priority(&self) -> u32 {
+            99
+        }
+        fn min_group(&self) -> usize {
+            1
+        }
+        fn find_groups(&self, plan: &PlanGraph, _: &Sharability) -> Vec<Vec<MopId>> {
+            plan.mops().map(|n| vec![n.id]).collect()
+        }
+        fn condition(&self, _: &PlanGraph, _: &Sharability, _: &[MopId]) -> bool {
+            self.remaining.load(std::sync::atomic::Ordering::SeqCst) > 0
+        }
+        fn apply(&self, _: &mut PlanGraph, group: &[MopId]) -> Result<MopId> {
+            self.remaining
+                .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+            Ok(group[0])
+        }
+    }
+
+    #[test]
+    fn integrate_retry_passes_do_not_duplicate_decline_notes() {
+        use crate::logical::SeqSpec;
+        let seq = || {
+            LogicalPlan::source("S").followed_by(
+                LogicalPlan::source("T"),
+                SeqSpec {
+                    predicate: Predicate::True,
+                    window: 10,
+                },
+            )
+        };
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(2), None).unwrap();
+        plan.add_source("T", Schema::ints(2), None).unwrap();
+        plan.add_query(&seq()).unwrap();
+        let config = OptimizerConfig::default();
+        Optimizer::new(config.clone()).optimize(&mut plan).unwrap();
+
+        // A rule catalogue whose last rule keeps restarting passes: the
+        // stateful decline is re-encountered on every pass and must be
+        // recorded once, not once per pass.
+        let mut rules = catalog::standard_rules(&config);
+        rules.push(Box::new(PassChurner {
+            remaining: std::sync::atomic::AtomicUsize::new(3),
+        }));
+        let opt = Optimizer::with_rules(rules, config);
+        let outcome = opt.integrate(&mut plan, &seq()).unwrap();
+        assert!(outcome.trace.passes >= 3, "churner kept passes restarting");
+        let declines: Vec<&String> = outcome
+            .trace
+            .notes
+            .iter()
+            .filter(|n| n.contains("declined"))
+            .collect();
+        assert_eq!(declines.len(), 1, "{:?}", outcome.trace.notes);
+    }
+
+    #[test]
+    fn integrate_ranks_best_refused_alternative() {
+        use crate::logical::SeqSpec;
+        let seq = || {
+            LogicalPlan::source("S").followed_by(
+                LogicalPlan::source("T"),
+                SeqSpec {
+                    predicate: Predicate::True,
+                    window: 10,
+                },
+            )
+        };
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(2), None).unwrap();
+        plan.add_source("T", Schema::ints(2), None).unwrap();
+        plan.add_query(&seq()).unwrap();
+        let opt = Optimizer::new(OptimizerConfig::default());
+        opt.optimize(&mut plan).unwrap();
+
+        let outcome = opt.integrate(&mut plan, &seq()).unwrap();
+        assert!(outcome.trace.fell_back());
+        let ranking = outcome
+            .trace
+            .notes
+            .iter()
+            .find(|n| n.starts_with("best refused alternative"))
+            .expect("refused-merge ranking note");
+        assert!(ranking.contains("s_seq"), "{ranking}");
+        assert!(
+            ranking.contains("score reduction"),
+            "benefit surfaced: {ranking}"
+        );
+    }
+
+    /// The workload where greedy locks itself out: two aggregate families
+    /// over overlapping select outputs. Canonical ordering makes greedy
+    /// channel-encode the *small* family first, leaving the large family
+    /// spanning two channels — permanently unmergeable. The cost-based
+    /// search scores both candidates, commits the large merge first, and
+    /// then the small family (now wholly inside the large channel) merges
+    /// too.
+    fn overlapping_agg_families(small: i64, big: i64) -> PlanGraph {
+        use crate::logical::{AggFunc, AggSpec};
+        use rumor_expr::Expr;
+        let mut plan = PlanGraph::new();
+        plan.add_source("S", Schema::ints(3), None).unwrap();
+        let agg = |col: usize| AggSpec {
+            func: AggFunc::Sum,
+            input: Expr::col(col),
+            group_by: vec![],
+            window: 8,
+        };
+        for c in 0..small {
+            plan.add_query(
+                &LogicalPlan::source("S")
+                    .select(Predicate::attr_eq_const(0, c))
+                    .aggregate(agg(1)),
+            )
+            .unwrap();
+        }
+        for c in 0..big {
+            plan.add_query(
+                &LogicalPlan::source("S")
+                    .select(Predicate::attr_eq_const(0, c))
+                    .aggregate(agg(2)),
+            )
+            .unwrap();
+        }
+        plan
+    }
+
+    #[test]
+    fn cost_based_search_escapes_greedy_channel_lockout() {
+        let mut greedy_plan = overlapping_agg_families(3, 5);
+        Optimizer::new(OptimizerConfig::default())
+            .optimize(&mut greedy_plan)
+            .unwrap();
+        greedy_plan.validate().unwrap();
+
+        let mut cost_plan = overlapping_agg_families(3, 5);
+        Optimizer::new(OptimizerConfig::cost_based())
+            .optimize(&mut cost_plan)
+            .unwrap();
+        cost_plan.validate().unwrap();
+
+        assert!(
+            cost_plan.mop_count() < greedy_plan.mop_count(),
+            "cost-based {} vs greedy {}",
+            cost_plan.mop_count(),
+            greedy_plan.mop_count()
+        );
+        assert_eq!(
+            cost_plan.mop_count(),
+            3,
+            "index + two fragment aggregates: {:?}",
+            cost_plan.mops().map(|n| n.kind).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn cost_based_matches_greedy_on_plain_sharing() {
+        let build = || {
+            let mut plan = PlanGraph::new();
+            plan.add_source("S", Schema::ints(2), None).unwrap();
+            for c in 0..8 {
+                plan.add_query(
+                    &LogicalPlan::source("S").select(Predicate::attr_eq_const(0, c as i64)),
+                )
+                .unwrap();
+            }
+            plan
+        };
+        let mut greedy = build();
+        Optimizer::new(OptimizerConfig::default())
+            .optimize(&mut greedy)
+            .unwrap();
+        let mut cost = build();
+        Optimizer::new(OptimizerConfig::cost_based())
+            .optimize(&mut cost)
+            .unwrap();
+        assert_eq!(greedy.mop_count(), 1);
+        assert_eq!(cost.mop_count(), 1);
+        cost.validate().unwrap();
     }
 }

@@ -122,6 +122,7 @@ use std::collections::HashMap;
 
 use rumor_core::{
     Integration, LogicalPlan, Optimizer, OptimizerConfig, PlanDelta, PlanGraph, RewriteTrace,
+    SelectivityModel,
 };
 use rumor_lang::{parse_script, LoweredStatement, Lowerer};
 use rumor_types::{QueryId, Result, RumorError, Schema, SourceId};
@@ -133,6 +134,7 @@ pub struct Rumor {
     config: OptimizerConfig,
     query_names: HashMap<String, QueryId>,
     optimized: bool,
+    selectivity: SelectivityModel,
 }
 
 impl Rumor {
@@ -144,7 +146,34 @@ impl Rumor {
             config,
             query_names: HashMap::new(),
             optimized: false,
+            selectivity: SelectivityModel::default(),
         }
+    }
+
+    /// Calibrates the optimizer's cost model with measured per-m-op
+    /// selectivities. Every subsequent [`Rumor::optimize`] /
+    /// [`Rumor::add_query`] / [`Rumor::execute`] call scores candidate
+    /// rewrites against this model (relevant under
+    /// [`rumor_core::SearchStrategy::CostBased`] and for the
+    /// refused-merge ranking in [`RewriteTrace::notes`]; the greedy
+    /// search ignores it). See [`Rumor::calibrate_from_stats`] for the
+    /// usual source.
+    pub fn calibrate(&mut self, model: SelectivityModel) {
+        self.selectivity = model;
+    }
+
+    /// [`Rumor::calibrate`] from a live session's measured stats — the
+    /// stats → selectivity feedback loop: run a representative window,
+    /// take [`Session::stats`], feed it back, and re-optimize (or let
+    /// subsequent integrations use it).
+    pub fn calibrate_from_stats(&mut self, stats: &StatsSnapshot) {
+        self.calibrate(stats.selectivity_model());
+    }
+
+    /// The optimizer every plan-mutating path uses: configured rules plus
+    /// the current selectivity calibration.
+    fn optimizer(&self) -> Optimizer {
+        Optimizer::new(self.config.clone()).with_selectivity(self.selectivity.clone())
     }
 
     /// Registers a source stream programmatically.
@@ -217,7 +246,7 @@ impl Rumor {
                 delta,
             });
         }
-        let optimizer = Optimizer::new(self.config.clone());
+        let optimizer = self.optimizer();
         optimizer.integrate(&mut self.plan, plan)
     }
 
@@ -276,9 +305,7 @@ impl Rumor {
                     name, plan: query, ..
                 } => {
                     let q = if self.optimized {
-                        Optimizer::new(self.config.clone())
-                            .integrate(&mut plan, &query)?
-                            .query
+                        self.optimizer().integrate(&mut plan, &query)?.query
                     } else {
                         plan.add_query(&query)?
                     };
@@ -311,9 +338,11 @@ impl Rumor {
         Ok((registered, before.delta(&self.plan)))
     }
 
-    /// Runs the rule-based optimizer over the registered queries.
+    /// Runs the rule-based optimizer over the registered queries, using
+    /// the configured [`rumor_core::SearchStrategy`] and the current
+    /// selectivity calibration (see [`Rumor::calibrate`]).
     pub fn optimize(&mut self) -> Result<RewriteTrace> {
-        let optimizer = Optimizer::new(self.config.clone());
+        let optimizer = self.optimizer();
         let trace = optimizer.optimize(&mut self.plan)?;
         self.optimized = true;
         Ok(trace)
@@ -378,11 +407,12 @@ impl Rumor {
         rumor_core::render::render_text(&self.plan)
     }
 
-    /// Estimated cost profile of the current plan (see
-    /// [`rumor_core::cost`]): useful for comparing the effect of different
-    /// optimizer configurations on the same query set.
-    pub fn plan_cost(&self) -> rumor_core::PlanCost {
-        rumor_core::estimate_cost(&self.plan)
+    /// Estimated cost profile of the current plan under the current
+    /// selectivity calibration (see [`rumor_core::cost`]): useful for
+    /// comparing the effect of different optimizer configurations on the
+    /// same query set. Errors if the plan has no topological order.
+    pub fn plan_cost(&self) -> Result<rumor_core::PlanCost> {
+        rumor_core::estimate_cost_with(&self.plan, &self.selectivity)
     }
 }
 
@@ -443,11 +473,49 @@ mod tests {
                  SELECT * FROM s WHERE a = 3;",
             )
             .unwrap();
-        let before = rumor.plan_cost();
+        let before = rumor.plan_cost().unwrap();
         rumor.optimize().unwrap();
-        let after = rumor.plan_cost();
+        let after = rumor.plan_cost().unwrap();
         assert!(after.evals_per_tuple < before.evals_per_tuple);
         assert_eq!(after.members, before.members);
+        assert!(after.score() < before.score());
+    }
+
+    #[test]
+    fn stats_calibrate_feedback_loop() {
+        // Run a window, measure per-m-op selectivities, feed them back:
+        // the calibrated cost estimate must reflect the measured rates.
+        let mut rumor = Rumor::new(OptimizerConfig::cost_based());
+        rumor
+            .execute(
+                "CREATE STREAM s (a INT, b INT);
+                 DEFINE hot AS SELECT * FROM s WHERE a = 1;
+                 QUERY q0 AS SELECT a, SUM(b) AS total FROM hot [RANGE 5] GROUP BY a;",
+            )
+            .unwrap();
+        rumor.optimize().unwrap();
+        let mut session = rumor.session().build().unwrap();
+        let s = rumor.source_id("s").unwrap();
+        // Every event has a = 1: the selection passes everything, so its
+        // measured selectivity (1.0) is far above the 0.1 eq-const
+        // default, and the aggregate behind it is busier than assumed.
+        for ts in 0..10u64 {
+            session.push(s, Tuple::ints(ts, &[1, 2])).unwrap();
+        }
+        session.finish().unwrap();
+        let stats = session.stats().unwrap();
+        assert!(stats.selectivity_model().is_calibrated());
+        let uncalibrated = rumor.plan_cost().unwrap();
+        rumor.calibrate_from_stats(&stats);
+        let calibrated = rumor.plan_cost().unwrap();
+        // The per-tuple work profile ignores rates, but the weighted work
+        // must rise: the aggregate's input rate is measured at 1.0 per
+        // source event instead of the assumed 0.1.
+        assert_eq!(calibrated.evals_per_tuple, uncalibrated.evals_per_tuple);
+        assert!(
+            calibrated.work > uncalibrated.work,
+            "calibrated {calibrated:?} vs {uncalibrated:?}"
+        );
     }
 
     #[test]

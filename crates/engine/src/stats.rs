@@ -231,6 +231,22 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Measured per-m-op selectivities as a cost-model calibration (see
+    /// [`rumor_core::SelectivityModel`]): every op that has seen at least
+    /// one input event contributes its observed events-out/events-in
+    /// ratio. Feed the result to [`crate::Rumor::calibrate`] (or
+    /// `Optimizer::with_selectivity`) so the cost-based sharing search
+    /// scores candidate plans against this workload instead of the
+    /// per-kind defaults.
+    pub fn selectivity_model(&self) -> rumor_core::SelectivityModel {
+        rumor_core::SelectivityModel::from_measured(
+            self.ops
+                .iter()
+                .filter(|o| o.events_in > 0)
+                .map(|o| (o.mop, o.selectivity())),
+        )
+    }
+
     /// The counter delta `self − baseline`: per-op and per-query counters
     /// subtract (saturating, matched by id); gauges — `state_size`,
     /// `queue_depth_hwm`, gate state — keep `self`'s value; per-query

@@ -157,9 +157,10 @@
 
 pub use rumor_cayuga::{Automaton, CayugaEngine};
 pub use rumor_core::{
-    AggFunc, AggSpec, ChannelTuple, Integration, IterSpec, JoinSpec, LogicalPlan, MopKind, OpDef,
-    Optimizer, OptimizerConfig, PartitionKeys, PartitionScheme, PinScope, PlanDelta, PlanGraph,
-    RewriteTrace, SeqSpec, SourceRoute, Verdict,
+    estimate_cost, estimate_cost_with, AggFunc, AggSpec, ChannelTuple, Integration, IterSpec,
+    JoinSpec, LogicalPlan, MopCost, MopKind, OpDef, Optimizer, OptimizerConfig, PartitionKeys,
+    PartitionScheme, PinScope, PlanCost, PlanDelta, PlanGraph, RewriteTrace, SearchStrategy,
+    SelectivityModel, SeqSpec, SourceRoute, Verdict,
 };
 pub use rumor_engine::{
     measure, measure_batched, CollectingSink, ConeScope, CountingSink, DiscardSink, EventRuntime,

@@ -360,7 +360,14 @@ fn sources(engine: &mut Rumor) -> Vec<SourceId> {
 }
 
 fn optimized(queries: &[LogicalPlan]) -> (Rumor, Vec<SourceId>, Vec<QueryId>) {
-    let mut engine = Rumor::new(OptimizerConfig::default());
+    optimized_with(OptimizerConfig::default(), queries)
+}
+
+fn optimized_with(
+    config: OptimizerConfig,
+    queries: &[LogicalPlan],
+) -> (Rumor, Vec<SourceId>, Vec<QueryId>) {
+    let mut engine = Rumor::new(config);
     let srcs = sources(&mut engine);
     let qids: Vec<QueryId> = queries
         .iter()
@@ -555,6 +562,97 @@ fn conformance_matrix_all_workloads_all_modes() {
     for (name, engine, qids, events) in workload_table() {
         assert_conformance(name, &engine, &qids, &events);
     }
+}
+
+/// Both optimizer modes through every engine mode: the cost-based sharing
+/// search must produce byte-identical per-query results to the greedy
+/// plan on every workload family — while never ending with more m-ops.
+/// The `overlapping_aggs` family is the shape where the plans genuinely
+/// differ (greedy locks the large aggregate family out of its channel
+/// merge), so the equivalence there is the non-trivial acceptance bar.
+#[test]
+fn cost_based_search_conforms_across_modes() {
+    let overlap_agg = |input_col: usize, pred: i64| {
+        LogicalPlan::source("U")
+            .select(Predicate::attr_eq_const(0, pred))
+            .aggregate(AggSpec {
+                func: AggFunc::Sum,
+                input: Expr::col(input_col),
+                group_by: vec![],
+                window: 8,
+            })
+    };
+    let families: Vec<(&str, Vec<LogicalPlan>, u64)> = vec![
+        (
+            "shared_selects",
+            vec![
+                LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64)),
+                LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 2i64)),
+                LogicalPlan::source("U").select(Predicate::attr_eq_const(1, 0i64)),
+            ],
+            160,
+        ),
+        (
+            "overlapping_aggs",
+            (0..2i64)
+                .map(|c| overlap_agg(1, c))
+                .chain((0..3i64).map(|c| overlap_agg(2, c)))
+                .collect(),
+            160,
+        ),
+        (
+            "mixed_stateful",
+            vec![
+                LogicalPlan::source("U").select(Predicate::attr_eq_const(0, 1i64)),
+                equi_seq(15),
+                aggregate(vec![0], 10),
+            ],
+            200,
+        ),
+        ("tied_ts", vec![equi_seq(12), aggregate(vec![0], 7)], 200),
+    ];
+    for (name, queries, n) in families {
+        let (greedy, srcs, _) = optimized(&queries);
+        let (cost, _, qids) = optimized_with(OptimizerConfig::cost_based(), &queries);
+        assert!(
+            cost.plan().mop_count() <= greedy.plan().mop_count(),
+            "{name}: cost-based {} m-ops vs greedy {}",
+            cost.plan().mop_count(),
+            greedy.plan().mop_count()
+        );
+        let events = if name == "tied_ts" {
+            tied(&srcs, n)
+        } else {
+            interleaved(&srcs, n)
+        };
+        // Greedy per-event reference vs cost-based per-event run: the two
+        // optimizer modes must agree byte for byte...
+        let cfg = SessionConfig::default();
+        let greedy_ref =
+            canonical(&run_mode(&greedy, &cfg, Feed::PerEvent, &events, &[]).leftovers);
+        let cost_ref = canonical(&run_mode(&cost, &cfg, Feed::PerEvent, &events, &[]).leftovers);
+        assert_eq!(
+            cost_ref, greedy_ref,
+            "{name}: optimizer modes disagree on per-event results"
+        );
+        // ...and the cost-based plan must conform across the whole engine
+        // matrix, subscriptions included.
+        assert_conformance(name, &cost, &qids, &events);
+    }
+    // The strict-improvement case: at the overlapping-family shape the
+    // search must beat greedy outright, not merely tie.
+    let queries: Vec<LogicalPlan> = (0..2i64)
+        .map(|c| overlap_agg(1, c))
+        .chain((0..3i64).map(|c| overlap_agg(2, c)))
+        .collect();
+    let (greedy, _, _) = optimized(&queries);
+    let (cost, _, _) = optimized_with(OptimizerConfig::cost_based(), &queries);
+    assert!(
+        cost.plan().mop_count() < greedy.plan().mop_count(),
+        "cost-based must strictly beat greedy here: {} vs {}",
+        cost.plan().mop_count(),
+        greedy.plan().mop_count()
+    );
 }
 
 /// The split verdict itself is part of the contract: the mixed pinned

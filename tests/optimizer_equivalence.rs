@@ -89,6 +89,18 @@ fn events_strategy() -> impl Strategy<Value = Vec<(bool, Tuple)>> {
     )
 }
 
+fn build_plan(queries: &[LogicalPlan], config: OptimizerConfig) -> PlanGraph {
+    let mut plan = PlanGraph::new();
+    plan.add_source("S", Schema::ints(3), None).unwrap();
+    plan.add_source("T", Schema::ints(3), None).unwrap();
+    for q in queries {
+        plan.add_query(q).unwrap();
+    }
+    Optimizer::new(config).optimize(&mut plan).unwrap();
+    plan.validate().unwrap();
+    plan
+}
+
 fn run_plan(
     queries: &[LogicalPlan],
     config: OptimizerConfig,
@@ -115,6 +127,101 @@ fn run_plan(
         .collect()
 }
 
+/// The optimized plan's *shape* — m-op count plus the sorted multiset of
+/// (kind, member count) — which must not depend on the order queries were
+/// registered in.
+fn plan_shape(plan: &PlanGraph) -> (usize, Vec<String>) {
+    let mut kinds: Vec<String> = plan
+        .mops()
+        .map(|n| format!("{:?}x{}", n.kind, n.members.len()))
+        .collect();
+    kinds.sort();
+    (plan.mop_count(), kinds)
+}
+
+/// Query sets whose greedy outcome historically depended on registration
+/// order: overlapping aggregate families over CSE-shared select outputs
+/// (the channel-lockout shape), plus a mixed pool covering every rule.
+fn permutation_workloads() -> Vec<(&'static str, Vec<LogicalPlan>)> {
+    let agg = |input_col: usize, window: u64| AggSpec {
+        func: AggFunc::Sum,
+        input: Expr::col(input_col),
+        group_by: vec![],
+        window,
+    };
+    let overlapping: Vec<LogicalPlan> = (0..3i64)
+        .map(|c| {
+            LogicalPlan::source("S")
+                .select(Predicate::attr_eq_const(0, c))
+                .aggregate(agg(1, 8))
+        })
+        .chain((0..5i64).map(|c| {
+            LogicalPlan::source("S")
+                .select(Predicate::attr_eq_const(0, c))
+                .aggregate(agg(2, 8))
+        }))
+        .collect();
+    let mixed: Vec<LogicalPlan> = (0..4i64)
+        .map(|c| LogicalPlan::source("S").select(Predicate::attr_eq_const(0, c)))
+        .chain((0..3i64).map(|c| {
+            LogicalPlan::source("S")
+                .select(Predicate::attr_eq_const(1, c))
+                .followed_by(
+                    LogicalPlan::source("T"),
+                    SeqSpec {
+                        predicate: Predicate::cmp(CmpOp::Eq, Expr::rcol(1), Expr::lit(c)),
+                        window: 12,
+                    },
+                )
+        }))
+        .chain(std::iter::once(LogicalPlan::source("S").join(
+            LogicalPlan::source("T"),
+            JoinSpec {
+                predicate: Predicate::cmp(CmpOp::Eq, Expr::col(0), Expr::rcol(0)),
+                window: 9,
+            },
+        )))
+        .collect();
+    vec![("overlapping_aggs", overlapping), ("mixed_rules", mixed)]
+}
+
+/// Registration order must not change the optimized plan's shape — the
+/// greedy driver orders rewrite candidates canonically (structural keys),
+/// not by m-op id. Pinned for both search strategies.
+#[test]
+fn plan_shape_invariant_under_registration_order() {
+    for (name, queries) in permutation_workloads() {
+        for config in [OptimizerConfig::default(), OptimizerConfig::cost_based()] {
+            let reference = plan_shape(&build_plan(&queries, config.clone()));
+            let n = queries.len();
+            let mut orders: Vec<Vec<LogicalPlan>> = Vec::new();
+            orders.push(queries.iter().rev().cloned().collect());
+            for rot in [1, n / 2, n - 1] {
+                let mut q = queries.clone();
+                q.rotate_left(rot);
+                orders.push(q);
+            }
+            // Interleave front/back halves.
+            let (front, back) = queries.split_at(n / 2);
+            orders.push(
+                front
+                    .iter()
+                    .zip(back.iter())
+                    .flat_map(|(a, b)| [b.clone(), a.clone()])
+                    .chain(queries[2 * (n / 2).min(back.len())..].iter().cloned())
+                    .collect(),
+            );
+            for (i, order) in orders.iter().enumerate() {
+                let shape = plan_shape(&build_plan(order, config.clone()));
+                assert_eq!(
+                    shape, reference,
+                    "{name}: permutation {i} changed the plan shape ({config:?})"
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -128,5 +235,27 @@ proptest! {
         prop_assert_eq!(&naive, &shared, "s-rules changed results");
         let channel = run_plan(&queries, OptimizerConfig::default(), &events);
         prop_assert_eq!(&naive, &channel, "c-rules changed results");
+    }
+
+    /// The cost-based search must (a) preserve results exactly and (b)
+    /// never end with *more* m-ops than the greedy driver on the same
+    /// query set — it explores the same move space, just in a better
+    /// order.
+    #[test]
+    fn cost_based_no_worse_than_greedy(
+        queries in prop::collection::vec(query_strategy(), 1..10),
+        events in events_strategy(),
+    ) {
+        let greedy = build_plan(&queries, OptimizerConfig::default());
+        let cost = build_plan(&queries, OptimizerConfig::cost_based());
+        prop_assert!(
+            cost.mop_count() <= greedy.mop_count(),
+            "cost-based {} m-ops vs greedy {}",
+            cost.mop_count(),
+            greedy.mop_count()
+        );
+        let naive = run_plan(&queries, OptimizerConfig::unoptimized(), &events);
+        let searched = run_plan(&queries, OptimizerConfig::cost_based(), &events);
+        prop_assert_eq!(&naive, &searched, "cost-based search changed results");
     }
 }
