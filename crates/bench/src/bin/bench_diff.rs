@@ -1,7 +1,10 @@
 //! Compares two `BENCH_throughput.json` documents — the committed
 //! baseline and a freshly generated run — and renders a per-path
 //! speedup-delta report plus the plan-quality table (greedy vs
-//! cost-based search m-op counts and their within-run throughput ratio).
+//! cost-based search m-op counts and their within-run throughput ratio),
+//! the latency-percentile table (delivery / flush-barrier / update-epoch
+//! distributions from the instrumented run), and the per-m-op time
+//! attribution table (where sampled wall time went).
 //! Used by the non-gating `bench-diff` CI step so every PR carries an
 //! artifact showing how each engine path moved relative to the numbers
 //! committed in the repository.
@@ -44,10 +47,30 @@ struct QualityRow {
     cost_eps: f64,
 }
 
+/// One latency-distribution row from the instrumented run.
+struct LatencyRow {
+    metric: String,
+    count: f64,
+    p50_us: f64,
+    p90_us: f64,
+    p99_us: f64,
+    max_us: f64,
+}
+
+/// One per-m-op time-attribution row from the instrumented run.
+struct AttributionRow {
+    mop: String,
+    op: String,
+    events_in: f64,
+    time_share: f64,
+}
+
 /// Everything the diff reads out of one rendered throughput document.
 struct Doc {
     workloads: Vec<Workload>,
     plan_quality: Vec<QualityRow>,
+    latency: Vec<LatencyRow>,
+    time_attribution: Vec<AttributionRow>,
 }
 
 /// Extracts the string value of `"key": "..."` from a line, if present.
@@ -69,17 +92,52 @@ fn field_num(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Parses the workload and plan-quality sections of a rendered throughput
-/// document. Stops at the `"churn"` array (lifecycle latency is
-/// host-bound noise between runs and has no speedup baseline to diff).
+/// Parses the workload, plan-quality, latency, and time-attribution
+/// sections of a rendered throughput document. Stops at the `"churn"`
+/// array (lifecycle latency is host-bound noise between runs and has no
+/// speedup baseline to diff).
 fn parse(doc: &str) -> Doc {
     let mut workloads: Vec<Workload> = Vec::new();
     let mut plan_quality: Vec<QualityRow> = Vec::new();
+    let mut latency: Vec<LatencyRow> = Vec::new();
+    let mut time_attribution: Vec<AttributionRow> = Vec::new();
     for line in doc.lines() {
         if line.contains("\"churn\"") {
             break;
         }
-        if let Some(workload) = field_str(line, "workload") {
+        if let Some(metric) = field_str(line, "metric") {
+            // Latency rows carry a `metric` key nothing else uses.
+            if let (Some(count), Some(p50), Some(p90), Some(p99), Some(max)) = (
+                field_num(line, "count"),
+                field_num(line, "p50_us"),
+                field_num(line, "p90_us"),
+                field_num(line, "p99_us"),
+                field_num(line, "max_us"),
+            ) {
+                latency.push(LatencyRow {
+                    metric,
+                    count,
+                    p50_us: p50,
+                    p90_us: p90,
+                    p99_us: p99,
+                    max_us: max,
+                });
+            }
+        } else if let Some(mop) = field_str(line, "mop") {
+            // Time-attribution rows key on the stable m-op label.
+            if let (Some(op), Some(events_in), Some(share)) = (
+                field_str(line, "op"),
+                field_num(line, "events_in"),
+                field_num(line, "time_share"),
+            ) {
+                time_attribution.push(AttributionRow {
+                    mop,
+                    op,
+                    events_in,
+                    time_share: share,
+                });
+            }
+        } else if let Some(workload) = field_str(line, "workload") {
             // Plan-quality rows carry a `workload` key (the path rows use
             // `path`/`name`), so the two sections cannot shadow each other.
             if let (Some(queries), Some(gm), Some(cm), Some(ge), Some(ce)) = (
@@ -120,6 +178,8 @@ fn parse(doc: &str) -> Doc {
     Doc {
         workloads,
         plan_quality,
+        latency,
+        time_attribution,
     }
 }
 
@@ -241,6 +301,88 @@ fn render(baseline: &Doc, fresh: &Doc) -> String {
             out.push_str("(baseline document predates the plan-quality section)\n\n");
         }
     }
+    if !fresh.latency.is_empty() {
+        out.push_str("## Latency percentiles (instrumented run)\n\n");
+        out.push_str(
+            "Log-bucket lower bounds in microseconds; absolute values move \
+             with the runner, so the Δ p99 column is the signal to read.\n\n",
+        );
+        out.push_str(
+            "| metric | samples | p50 us | p90 us | p99 us | max us | base p99 us | Δ p99 |\n\
+             |---|---:|---:|---:|---:|---:|---:|---:|\n",
+        );
+        for fl in &fresh.latency {
+            match baseline.latency.iter().find(|b| b.metric == fl.metric) {
+                Some(bl) => {
+                    let _ = writeln!(
+                        out,
+                        "| {} | {:.0} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:+.1}% |",
+                        fl.metric,
+                        fl.count,
+                        fl.p50_us,
+                        fl.p90_us,
+                        fl.p99_us,
+                        fl.max_us,
+                        bl.p99_us,
+                        pct(fl.p99_us, bl.p99_us),
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "| {} | {:.0} | {:.1} | {:.1} | {:.1} | {:.1} | — | — |",
+                        fl.metric, fl.count, fl.p50_us, fl.p90_us, fl.p99_us, fl.max_us,
+                    );
+                }
+            }
+        }
+        out.push('\n');
+        if baseline.latency.is_empty() {
+            out.push_str("(baseline document predates the latency section)\n\n");
+        }
+    }
+    if !fresh.time_attribution.is_empty() {
+        out.push_str("## Time attribution (sampled per-m-op wall time)\n\n");
+        out.push_str(
+            "Share of attributed wall time per m-op in the instrumented run, \
+             busiest first; compare against the baseline's split, not its \
+             absolute nanoseconds.\n\n",
+        );
+        out.push_str(
+            "| m-op | op | events in | time share | base share | Δ share |\n\
+             |---|---|---:|---:|---:|---:|\n",
+        );
+        for ft in &fresh.time_attribution {
+            match baseline.time_attribution.iter().find(|b| b.mop == ft.mop) {
+                Some(bt) => {
+                    let _ = writeln!(
+                        out,
+                        "| {} | {} | {:.0} | {:.1}% | {:.1}% | {:+.1}pp |",
+                        ft.mop,
+                        ft.op,
+                        ft.events_in,
+                        ft.time_share * 100.0,
+                        bt.time_share * 100.0,
+                        (ft.time_share - bt.time_share) * 100.0,
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "| {} | {} | {:.0} | {:.1}% | — | — |",
+                        ft.mop,
+                        ft.op,
+                        ft.events_in,
+                        ft.time_share * 100.0,
+                    );
+                }
+            }
+        }
+        out.push('\n');
+        if baseline.time_attribution.is_empty() {
+            out.push_str("(baseline document predates the time-attribution section)\n\n");
+        }
+    }
     out
 }
 
@@ -277,6 +419,14 @@ mod tests {
   "plan_quality": [
     {"workload": "overlapping_aggs", "queries": 32, "greedy_mops": 26, "cost_mops": 3, "greedy_events_per_sec": 500.0, "cost_events_per_sec": 1250.0, "results_match": true}
   ],
+  "latency": [
+    {"metric": "delivery", "count": 420, "p50_us": 8.2, "p90_us": 32.8, "p99_us": 131.1, "max_us": 262.1},
+    {"metric": "flush_barrier", "count": 9, "p50_us": 524.3, "p90_us": 1048.6, "p99_us": 1048.6, "max_us": 1500.0}
+  ],
+  "time_attribution": [
+    {"mop": "m3", "op": "filter", "events_in": 500, "est_nanos": 120000, "time_share": 0.6100},
+    {"mop": "m7", "op": "project", "events_in": 500, "est_nanos": 76000, "time_share": 0.3900}
+  ],
   "churn": [
     {"resident_queries": 8, "integrate_ms": 0.5, "remove_ms": 0.2, "churn_events_per_sec": 9.0, "results_out": 1}
   ]
@@ -293,6 +443,36 @@ mod tests {
         assert_eq!(doc.plan_quality[0].workload, "overlapping_aggs");
         assert_eq!(doc.plan_quality[0].greedy_mops, 26.0);
         assert_eq!(doc.plan_quality[0].cost_mops, 3.0);
+        assert_eq!(doc.latency.len(), 2);
+        assert_eq!(doc.latency[0].metric, "delivery");
+        assert_eq!(doc.latency[0].count, 420.0);
+        assert_eq!(doc.latency[0].p99_us, 131.1);
+        assert_eq!(doc.latency[1].max_us, 1500.0);
+        assert_eq!(doc.time_attribution.len(), 2);
+        assert_eq!(doc.time_attribution[0].mop, "m3");
+        assert_eq!(doc.time_attribution[0].op, "filter");
+        assert_eq!(doc.time_attribution[0].time_share, 0.61);
+    }
+
+    #[test]
+    fn renders_latency_and_attribution_with_and_without_baseline() {
+        let base = parse(DOC);
+        let fresh = parse(&DOC.replace("\"p99_us\": 131.1", "\"p99_us\": 262.1"));
+        let report = render(&base, &fresh);
+        assert!(report.contains("## Latency percentiles"));
+        assert!(report.contains("| delivery | 420 | 8.2 | 32.8 | 262.1 | 262.1 | 131.1 | +99.9% |"));
+        assert!(report.contains("## Time attribution"));
+        assert!(report.contains("| m3 | filter | 500 | 61.0% | 61.0% | +0.0pp |"));
+
+        // A baseline predating the sections keeps the fresh rows, with
+        // em-dashes where the comparison columns would go.
+        let old_base = parse(
+            &DOC.replace("delivery", "renamed_metric")
+                .replace("\"mop\": \"m3\"", "\"mop\": \"m9\""),
+        );
+        let report = render(&old_base, &fresh);
+        assert!(report.contains("| delivery | 420 | 8.2 | 32.8 | 262.1 | 262.1 | — | — |"));
+        assert!(report.contains("| m3 | filter | 500 | 61.0% | — | — |"));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Regenerates `BENCH_throughput.json`: per-event vs batched vs sharded
 //! engine throughput, the plan-quality rows (greedy vs cost-based search
-//! m-op counts and throughput over identical query sets), plus the
+//! m-op counts and throughput over identical query sets), the
+//! time-domain observability rows (latency percentiles and per-m-op
+//! wall-time attribution from one instrumented run), plus the
 //! dynamic-query-lifecycle churn rows (integrate/remove latency against a
 //! live pool and steady-state throughput under churn).
 //!
@@ -8,12 +10,13 @@
 //! cargo run --release -p rumor-bench --bin throughput [quick|full] [out.json] [--stats]
 //! ```
 //!
-//! With `--stats`, one extra `shared_selects` run is made through a
-//! streaming session and its final `StatsSnapshot` JSON is written next
-//! to the throughput report (`<out stem>.stats.json`).
+//! With `--stats`, the instrumented run's final `StatsSnapshot` JSON is
+//! written next to the throughput report (`<out stem>.stats.json`) along
+//! with its interval-metering stream (`<out stem>.meter.jsonl`, one JSON
+//! line per arrival chunk from a `Meter`).
 
 use rumor_bench::throughput::{
-    render_json, run_all, run_churn, run_plan_quality, stats_snapshot_json,
+    render_json, run_all, run_churn, run_observability, run_plan_quality,
 };
 use rumor_bench::Scale;
 
@@ -63,6 +66,24 @@ fn main() {
             q.results_match
         );
     }
+    let obs = run_observability(scale);
+    println!("latency (instrumented shared_selects run, streaming n=2)");
+    for l in &obs.latency {
+        println!(
+            "  {:<14} {:>8} samples: p50 {:>9.1} us, p90 {:>9.1} us, p99 {:>9.1} us, max {:>9.1} us",
+            l.metric, l.count, l.p50_us, l.p90_us, l.p99_us, l.max_us
+        );
+    }
+    println!("time attribution (sampled per-m-op wall time, busiest first)");
+    for t in &obs.time_attribution {
+        println!(
+            "  {:<6} {:<20} {:>10} events, {:>5.1}% of attributed time",
+            t.mop,
+            t.op,
+            t.events_in,
+            t.time_share * 100.0
+        );
+    }
     let churn = run_churn(scale);
     println!("churn (streaming pool n=2, add/remove every 4th chunk)");
     for c in &churn {
@@ -71,16 +92,31 @@ fn main() {
             c.resident_queries, c.integrate_ms, c.remove_ms, c.churn_events_per_sec
         );
     }
-    let json = render_json(&reports, &quality, &churn, scale);
+    let json = render_json(
+        &reports,
+        &quality,
+        &obs.latency,
+        &obs.time_attribution,
+        &churn,
+        scale,
+    );
     std::fs::write(&out_path, json).expect("write report");
     println!("wrote {out_path}");
 
     if want_stats {
-        let stats_path = match out_path.strip_suffix(".json") {
-            Some(stem) => format!("{stem}.stats.json"),
-            None => format!("{out_path}.stats.json"),
-        };
-        std::fs::write(&stats_path, stats_snapshot_json(scale)).expect("write stats snapshot");
+        let stem = out_path
+            .strip_suffix(".json")
+            .map(str::to_string)
+            .unwrap_or_else(|| out_path.clone());
+        let stats_path = format!("{stem}.stats.json");
+        std::fs::write(&stats_path, &obs.snapshot_json).expect("write stats snapshot");
         println!("wrote {stats_path}");
+        let meter_path = format!("{stem}.meter.jsonl");
+        let mut meter = obs.meter_jsonl.clone();
+        if !meter.is_empty() && !meter.ends_with('\n') {
+            meter.push('\n');
+        }
+        std::fs::write(&meter_path, meter).expect("write meter stream");
+        println!("wrote {meter_path}");
     }
 }

@@ -56,6 +56,11 @@ use crate::plan::{MopKind, PlanGraph};
 #[derive(Debug, Clone, Default)]
 pub struct SelectivityModel {
     overrides: HashMap<MopId, f64>,
+    /// Measured relative wall-time weight per m-op (1.0 = the workload's
+    /// mean nanoseconds-per-event). Scales the per-node work term in
+    /// [`estimate_with`], so a calibrated search prices work where the
+    /// time was actually measured to go.
+    time_weights: HashMap<MopId, f64>,
 }
 
 impl SelectivityModel {
@@ -88,9 +93,27 @@ impl SelectivityModel {
         self.overrides.get(&mop).copied()
     }
 
+    /// Adds (or replaces) one measured per-m-op time weight: the op's
+    /// measured nanoseconds-per-event relative to the workload mean
+    /// (1.0). Non-finite or non-positive weights are dropped; values are
+    /// clamped to `[1e-3, 1e3]` so one noisy sample cannot dominate the
+    /// estimate.
+    pub fn with_time_weight(mut self, mop: MopId, weight: f64) -> Self {
+        if weight.is_finite() && weight > 0.0 {
+            self.time_weights.insert(mop, weight.clamp(1e-3, 1e3));
+        }
+        self
+    }
+
+    /// The time weight applied to an m-op's work term (1.0 when no
+    /// measurement was recorded).
+    pub fn time_weight_for(&self, mop: MopId) -> f64 {
+        self.time_weights.get(&mop).copied().unwrap_or(1.0)
+    }
+
     /// Whether the model carries any measured overrides.
     pub fn is_calibrated(&self) -> bool {
-        !self.overrides.is_empty()
+        !self.overrides.is_empty() || !self.time_weights.is_empty()
     }
 
     /// Default per-kind selectivity of one member definition (see the
@@ -188,7 +211,10 @@ pub fn estimate(plan: &PlanGraph) -> Result<PlanCost> {
 /// is the sum of its input rates times its selectivity (measured per-m-op
 /// override when the model has one, per-kind default otherwise). A node's
 /// work contribution is its per-tuple evaluation count weighted by the
-/// rate arriving at the node.
+/// rate arriving at the node, scaled by the model's measured time weight
+/// for the node ([`SelectivityModel::with_time_weight`], 1.0 when
+/// uncalibrated) — so an op measured to burn more wall time per event
+/// than its evaluation count suggests is priced accordingly.
 pub fn estimate_with(plan: &PlanGraph, model: &SelectivityModel) -> Result<PlanCost> {
     let order = plan.topo_order()?;
     let mut rate: HashMap<StreamId, f64> = HashMap::new();
@@ -263,7 +289,7 @@ pub fn estimate_with(plan: &PlanGraph, model: &SelectivityModel) -> Result<PlanC
         total.members += node.members.len();
         total.evals_per_tuple += evals;
         total.state_copies += copies;
-        total.work += evals * input_rate;
+        total.work += evals * input_rate * model.time_weight_for(id);
         total.nodes.push(MopCost {
             kind: node.kind,
             members: node.members.len(),
@@ -424,6 +450,32 @@ mod tests {
         .unwrap();
         assert!(calibrated.work > cost.work, "{calibrated:?} vs {cost:?}");
         assert_eq!(calibrated.evals_per_tuple, cost.evals_per_tuple);
+    }
+
+    /// Time calibration: a measured time weight scales a node's work
+    /// term without touching the unweighted per-tuple profile.
+    #[test]
+    fn time_weights_scale_work_only() {
+        let plan = selections(4);
+        let base = estimate(&plan).unwrap();
+        let ids: Vec<MopId> = plan.mops().map(|n| n.id).collect();
+        let mut model = SelectivityModel::new();
+        for &id in &ids {
+            model = model.with_time_weight(id, 2.0);
+        }
+        assert!(model.is_calibrated());
+        let weighted = estimate_with(&plan, &model).unwrap();
+        assert!((weighted.work - 2.0 * base.work).abs() < 1e-9);
+        assert_eq!(weighted.evals_per_tuple, base.evals_per_tuple);
+        assert_eq!(weighted.state_copies, base.state_copies);
+        // Sanitization: junk weights are dropped, big ones clamped.
+        let m = SelectivityModel::new()
+            .with_time_weight(MopId(0), f64::NAN)
+            .with_time_weight(MopId(1), -1.0)
+            .with_time_weight(MopId(2), 1e9);
+        assert_eq!(m.time_weight_for(MopId(0)), 1.0);
+        assert_eq!(m.time_weight_for(MopId(1)), 1.0);
+        assert_eq!(m.time_weight_for(MopId(2)), 1e3);
     }
 
     #[test]

@@ -73,6 +73,27 @@ pub fn render_annotated(plan: &PlanGraph, mut note: impl FnMut(MopId) -> Option<
     out
 }
 
+/// Renders a fixed-width proportional bar for a share in `[0.0, 1.0]`:
+/// `share_bar(0.3, 10)` yields `"[###-------]"`. Out-of-range and
+/// non-finite shares are clamped, so callers can pass raw ratios. The
+/// engine's `Session::explain` uses this to visualise per-m-op time
+/// share next to the plan listing.
+pub fn share_bar(share: f64, width: usize) -> String {
+    let share = if share.is_finite() {
+        share.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let filled = ((share * width as f64).round() as usize).min(width);
+    let mut out = String::with_capacity(width + 2);
+    out.push('[');
+    for i in 0..width {
+        out.push(if i < filled { '#' } else { '-' });
+    }
+    out.push(']');
+    out
+}
+
 /// Renders the plan as a Graphviz DOT digraph. Channels of capacity > 1 are
 /// drawn as dashed edges, as in the paper's figures.
 pub fn render_dot(plan: &PlanGraph) -> String {
@@ -174,6 +195,16 @@ mod tests {
             txt.contains("channel"),
             "multi-stream channels listed:\n{txt}"
         );
+    }
+
+    #[test]
+    fn share_bar_fills_proportionally_and_clamps() {
+        assert_eq!(share_bar(0.0, 10), "[----------]");
+        assert_eq!(share_bar(0.3, 10), "[###-------]");
+        assert_eq!(share_bar(1.0, 10), "[##########]");
+        assert_eq!(share_bar(7.5, 4), "[####]");
+        assert_eq!(share_bar(-2.0, 4), "[----]");
+        assert_eq!(share_bar(f64::NAN, 4), "[----]");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use rumor_types::{
 };
 
 use crate::metrics::{BatchProfile, FeedMode};
-use crate::stats::{ExecStatsReport, GateStats, OpCounters, OpStats};
+use crate::stats::{ExecStatsReport, GateStats, OpCounters, OpStats, TraceRing, TIME_SAMPLE_EVERY};
 
 /// Receives query results during execution.
 pub trait QuerySink {
@@ -308,8 +308,19 @@ pub struct ExecutablePlan {
     profiles: Vec<BatchProfile>,
     /// Scratch for splitting a chunk's events by component.
     comp_scratch: Vec<Vec<u32>>,
+    /// Flight recorder for this executor's runtime transitions (gate
+    /// flips and freezes). Shipped with [`ExecutablePlan::stats_report`];
+    /// carried across hot swaps like the counters.
+    trace: TraceRing,
     /// Total tuples pushed.
     pub events_in: u64,
+    /// One wall-time sampling decision per source event, cached at the
+    /// push entry points (every [`crate::stats::TIME_SAMPLE_EVERY`]th
+    /// event). The per-event dispatch sites test this flag instead of
+    /// re-deriving the stride from each m-op's counters, so an unsampled
+    /// event pays one register test per dispatch and no clock reads.
+    /// Always `false` under `stats-off`.
+    sample_this: bool,
 }
 
 impl ExecutablePlan {
@@ -379,6 +390,9 @@ impl ExecutablePlan {
             .collect();
         let mut fresh = Self::assemble(plan, order, op_ctxs, ops);
         fresh.events_in = self.events_in;
+        // The flight recorder spans hot swaps: a swap is exactly the kind
+        // of transition its timeline should keep.
+        fresh.trace = std::mem::take(&mut self.trace);
         // Stats counters are cumulative for the engine's life: surviving
         // ops keep theirs (cold-compiled replacements start at zero).
         for (i, id) in fresh.op_ids.iter().enumerate() {
@@ -678,7 +692,9 @@ impl ExecutablePlan {
             component_of_source,
             profiles: vec![BatchProfile::default(); n_components],
             comp_scratch: Vec::new(),
+            trace: TraceRing::with_capacity(64),
             events_in: 0,
+            sample_this: false,
         }
     }
 
@@ -711,10 +727,31 @@ impl ExecutablePlan {
             .get(source.index())
             .ok_or_else(|| RumorError::exec(format!("unknown source {source}")))?;
         self.events_in += 1;
+        self.tick_sample();
         self.pending
             .push_back((channel, ChannelTuple::new(tuple, membership)));
         self.drain(sink);
         Ok(())
+    }
+
+    /// Refreshes the cached per-event sampling decision — call right
+    /// after `events_in` advances at a push entry point.
+    #[inline(always)]
+    fn tick_sample(&mut self) {
+        if crate::stats::STATS_COMPILED {
+            self.sample_this = self.events_in & (TIME_SAMPLE_EVERY - 1) == 0;
+        }
+    }
+
+    /// A clock read for the current dispatch iff the current event is
+    /// sampled (see the `sample_this` field). Pair with
+    /// [`OpCounters::record_time`].
+    #[inline(always)]
+    fn sample_clock(&self) -> Option<Instant> {
+        if crate::stats::STATS_COMPILED && self.sample_this {
+            return Some(Instant::now());
+        }
+        None
     }
 
     fn drain(&mut self, sink: &mut dyn QuerySink) {
@@ -748,11 +785,13 @@ impl ExecutablePlan {
             }
             for &(idx, port) in &self.consumers[ch.index()] {
                 let before = self.pending.len();
+                let t0 = self.sample_clock();
                 let mut emit = QueueEmit {
                     pending: &mut self.pending,
                 };
                 self.ops[idx].process(port, &ct, &mut emit);
                 self.op_counters[idx].record_event((self.pending.len() - before) as u64);
+                self.op_counters[idx].record_time(t0, 1);
             }
         }
     }
@@ -765,6 +804,7 @@ impl ExecutablePlan {
             .get(source.index())
             .ok_or_else(|| RumorError::exec(format!("unknown source {source}")))?;
         self.events_in += 1;
+        self.tick_sample();
         self.pending.push_back((channel, ChannelTuple::solo(tuple)));
         self.drain(sink);
         Ok(())
@@ -789,6 +829,7 @@ impl ExecutablePlan {
             .get(source.index())
             .ok_or_else(|| RumorError::exec(format!("unknown source {source}")))?;
         self.events_in += 1;
+        self.tick_sample();
         let ct = ChannelTuple::solo(tuple);
         match scope {
             ConeScope::Full => {
@@ -797,11 +838,13 @@ impl ExecutablePlan {
             ConeScope::Stateful => {
                 for &(idx, port) in &self.stateful_root[source.index()] {
                     let before = self.pending.len();
+                    let t0 = self.sample_clock();
                     let mut emit = QueueEmit {
                         pending: &mut self.pending,
                     };
                     self.ops[idx].process(port, &ct, &mut emit);
                     self.op_counters[idx].record_event((self.pending.len() - before) as u64);
+                    self.op_counters[idx].record_time(t0, 1);
                 }
             }
             ConeScope::Stateless => {
@@ -809,11 +852,13 @@ impl ExecutablePlan {
                 self.deliver_taps(channel, std::slice::from_ref(&ct), detailed, sink);
                 for &(idx, port) in &self.free_root[source.index()] {
                     let before = self.pending.len();
+                    let t0 = self.sample_clock();
                     let mut emit = QueueEmit {
                         pending: &mut self.pending,
                     };
                     self.ops[idx].process(port, &ct, &mut emit);
                     self.op_counters[idx].record_event((self.pending.len() - before) as u64);
+                    self.op_counters[idx].record_time(t0, 1);
                 }
             }
         }
@@ -875,6 +920,9 @@ impl ExecutablePlan {
                 batch_calls: c.batch_calls,
                 event_calls: c.event_calls,
                 state_size: op.state_size() as u64,
+                sampled_nanos: c.sampled_nanos,
+                sampled_calls: c.sampled_calls,
+                sampled_events: c.sampled_events,
             })
             .collect();
         let gates = self
@@ -888,7 +936,11 @@ impl ExecutablePlan {
                 forced: BatchProfile::forced(),
             })
             .collect();
-        ExecStatsReport { ops, gates }
+        ExecStatsReport {
+            ops,
+            gates,
+            trace: self.trace.events().cloned().collect(),
+        }
     }
 
     /// Pushes a timestamp-ordered slice of source events through the plan.
@@ -1081,11 +1133,12 @@ impl ExecutablePlan {
             if len >= 2 * PROBE_CAP {
                 let start = Instant::now();
                 let r = self.run_chunk_mode(mode, chunk.clone().take(PROBE_CAP), sink);
-                self.profiles[comp].record(mode, PROBE_CAP, start.elapsed().as_nanos() as u64);
+                self.gate_record(comp, mode, PROBE_CAP, start.elapsed().as_nanos() as u64);
                 r?;
                 let start = Instant::now();
                 let r = self.run_chunk_mode(steady, chunk.skip(PROBE_CAP), sink);
-                self.profiles[comp].record(
+                self.gate_record(
+                    comp,
                     steady,
                     len - PROBE_CAP,
                     start.elapsed().as_nanos() as u64,
@@ -1094,13 +1147,48 @@ impl ExecutablePlan {
             }
             let start = Instant::now();
             let r = self.run_chunk_mode(steady, chunk, sink);
-            self.profiles[comp].record(steady, len, start.elapsed().as_nanos() as u64);
+            self.gate_record(comp, steady, len, start.elapsed().as_nanos() as u64);
             return r;
         }
         let start = Instant::now();
         let result = self.run_chunk_mode(mode, chunk, sink);
-        self.profiles[comp].record(mode, len, start.elapsed().as_nanos() as u64);
+        self.gate_record(comp, mode, len, start.elapsed().as_nanos() as u64);
         result
+    }
+
+    /// Feeds one measured sample into a component's gate profile,
+    /// journaling preference flips and freezes into the flight recorder.
+    /// The profile update itself is core behavior (the gate adapts with
+    /// or without stats); only the journaling is compiled out by
+    /// `stats-off`.
+    fn gate_record(&mut self, comp: usize, mode: FeedMode, events: usize, nanos: u64) {
+        #[cfg(not(feature = "stats-off"))]
+        let before = (
+            self.profiles[comp].is_frozen(),
+            self.profiles[comp].preferred(),
+        );
+        self.profiles[comp].record(mode, events, nanos);
+        #[cfg(not(feature = "stats-off"))]
+        {
+            let p = &self.profiles[comp];
+            if p.is_frozen() && !before.0 {
+                self.trace.record(
+                    "gate_freeze",
+                    format!(
+                        "component {comp} froze {}",
+                        crate::stats::mode_str(p.preferred())
+                    ),
+                );
+            } else if p.preferred() != before.1 {
+                self.trace.record(
+                    "gate_flip",
+                    format!(
+                        "component {comp} now prefers {}",
+                        crate::stats::mode_str(p.preferred())
+                    ),
+                );
+            }
+        }
     }
 
     /// One chunk through one feed mode (the adaptive gate's two arms).
@@ -1145,6 +1233,7 @@ impl ExecutablePlan {
                 }
             }
         }
+        self.tick_sample();
         self.drain_batched(sink);
         self.drain_strict(sink);
         if let Some(source) = bad_source {
@@ -1188,10 +1277,12 @@ impl ExecutablePlan {
                 }
                 for &(idx, port) in &self.batch_consumers[ch.index()] {
                     let before = self.nxt.chans.len();
+                    let t0 = self.op_counters[idx].sample_start();
                     let mut emit = BufEmit { buf: &mut self.nxt };
                     self.ops[idx].process_batch(port, run, &mut emit);
                     self.op_counters[idx]
                         .record_batch(run.len() as u64, (self.nxt.chans.len() - before) as u64);
+                    self.op_counters[idx].record_time(t0, run.len() as u64);
                 }
                 i = j;
             }
@@ -1223,11 +1314,13 @@ impl ExecutablePlan {
         for (ch, ct) in strict.drain(..) {
             for &(idx, port) in &self.strict_consumers[ch.index()] {
                 let before = self.pending.len();
+                let t0 = self.op_counters[idx].sample_start();
                 let mut emit = QueueEmit {
                     pending: &mut self.pending,
                 };
                 self.ops[idx].process(port, &ct, &mut emit);
                 self.op_counters[idx].record_event((self.pending.len() - before) as u64);
+                self.op_counters[idx].record_time(t0, 1);
             }
             self.drain(sink);
         }
@@ -1276,12 +1369,14 @@ impl ExecutablePlan {
                         continue;
                     }
                     let before = emissions.len();
+                    let t0 = self.op_counters[idx].sample_start();
                     let mut emit = CollectEmit {
                         out: &mut emissions,
                     };
                     self.ops[idx].process_batch_keyed(port, run, &mut emit);
                     self.op_counters[idx]
                         .record_batch(run.len() as u64, (emissions.len() - before) as u64);
+                    self.op_counters[idx].record_time(t0, run.len() as u64);
                 }
             }
         }

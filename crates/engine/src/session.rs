@@ -26,13 +26,17 @@ use std::fmt::Write as _;
 use std::sync::{Arc, Mutex, Weak};
 use std::time::Instant;
 
-use rumor_core::{render::render_annotated, PartitionScheme, PlanGraph};
+use rumor_core::{
+    render::{render_annotated, share_bar},
+    PartitionScheme, PlanGraph,
+};
 use rumor_types::{Membership, QueryId, Result, RumorError, SourceId, Tuple};
 
 use crate::exec::{CollectingSink, ExecutablePlan, QuerySink};
 use crate::shard::{ShardedRuntime, StreamingConfig, StreamingShardedRuntime};
 use crate::stats::{
-    mode_str, sharing_attribution, ExecStatsReport, QueryStats, RuntimeStats, StatsSnapshot,
+    mode_str, sharing_attribution, trace_json_lines, ExecStatsReport, Histogram, IdBuild, LatAcc,
+    QueryStats, RuntimeStats, StatsSnapshot, TraceEvent, TraceRing, TIME_SAMPLE_EVERY,
 };
 
 /// The one execution lifecycle every RUMOR engine speaks.
@@ -257,6 +261,22 @@ pub struct SessionConfig {
 /// the final counters stay readable indefinitely. The counters can be
 /// compiled out wholesale with the engine crate's `stats-off` feature;
 /// snapshots then report zeros but keep their shape.
+///
+/// **Time-domain sampling and overhead.** Wall-clock measurements are
+/// *sampled*, never per-event: one operator dispatch in
+/// [`crate::stats::TIME_SAMPLE_EVERY`] (64) is bracketed with `Instant`
+/// reads, and one `push` in 64 takes an ingest mark that subsequent
+/// deliveries measure latency against (batch entry points mark once per
+/// batch). The unsampled fast path pays a counter mask and a branch —
+/// measured overhead of the whole stats layer, timing included, is
+/// within ~2% of a `stats-off` build on the hottest single-threaded
+/// path (see ROADMAP's measured numbers). The trade-off: per-op time
+/// attribution ([`crate::OpStats::est_nanos`]) is an estimate scaled
+/// from 1/64 of dispatches, and latency histograms resolve sampled
+/// queue+processing delay, not every individual tuple's — both converge
+/// quickly on steady workloads. Barrier latencies (`flush`,
+/// `update_plan`) are exact; they are control-plane and record even
+/// under `stats-off`.
 #[must_use = "a session builder does nothing until `.build()`"]
 pub struct SessionBuilder<'a> {
     plan: &'a PlanGraph,
@@ -326,24 +346,29 @@ impl<'a> SessionBuilder<'a> {
                             "one_shot() sessions take no streaming(cfg)".to_string(),
                         ));
                     }
-                    Backend::OneShot(ShardedRuntime::new(self.plan, n)?)
+                    Backend::OneShot(Box::new(ShardedRuntime::new(self.plan, n)?))
                 } else {
                     let cfg = self.config.streaming.unwrap_or_default();
-                    Backend::Streaming(StreamingShardedRuntime::with_config(self.plan, n, cfg)?)
+                    Backend::Streaming(Box::new(StreamingShardedRuntime::with_config(
+                        self.plan, n, cfg,
+                    )?))
                 }
             }
         };
         Ok(Session {
             backend,
             names: self.names,
-            subs: HashMap::new(),
+            subs: HashMap::default(),
             unclaimed: Vec::new(),
             plan: self.plan.clone(),
-            emitted: HashMap::new(),
-            flush_barriers: 0,
-            flush_nanos: 0,
-            update_epochs: 0,
-            update_nanos: 0,
+            latency: HashMap::default(),
+            ingest_mark: None,
+            mark_fresh: false,
+            cached_latency: 0,
+            push_count: 0,
+            flush_hist: Histogram::new(),
+            update_hist: Histogram::new(),
+            flight: TraceRing::default(),
         })
     }
 }
@@ -356,6 +381,17 @@ impl<'a> SessionBuilder<'a> {
 struct SubChannel {
     query: QueryId,
     buf: Mutex<VecDeque<Tuple>>,
+}
+
+/// One query's slot in the session's subscription map: the weak channel
+/// handle plus that query's latency accumulator. Keeping the accumulator
+/// *in the entry* means the delivery hot path records latency with the
+/// same map probe it already pays to find the channel — no second
+/// per-tuple hash lookup. (Under `stats-off` the accumulator is dead
+/// weight that is never touched.)
+struct SubEntry {
+    chan: Weak<SubChannel>,
+    lat: LatAcc,
 }
 
 /// A handle to one query's result stream (from [`Session::subscribe`]).
@@ -426,8 +462,10 @@ enum Backend {
     /// plan (per-component scratch, dispatch profiles), dwarfing the
     /// handle-sized parallel variants.
     Local(Box<LocalRuntime<CollectingSink>>),
-    OneShot(ShardedRuntime<CollectingSink>),
-    Streaming(StreamingShardedRuntime<CollectingSink>),
+    /// Boxed too: both shard runtimes carry routing state, staging
+    /// buffers, and (streaming) a flight-recorder ring.
+    OneShot(Box<ShardedRuntime<CollectingSink>>),
+    Streaming(Box<StreamingShardedRuntime<CollectingSink>>),
 }
 
 impl Backend {
@@ -447,7 +485,7 @@ impl Backend {
                 Ok(rt.drain_sink())
             }
             Backend::OneShot(rt) => {
-                EventRuntime::flush(rt)?;
+                EventRuntime::flush(rt.as_mut())?;
                 Ok(rt.drain_sink())
             }
             // The streaming sink handoff is itself a drain barrier (queue
@@ -559,23 +597,45 @@ impl EventRuntime for Backend {
 pub struct Session {
     backend: Backend,
     names: HashMap<String, QueryId>,
-    subs: HashMap<QueryId, Weak<SubChannel>>,
+    subs: HashMap<QueryId, SubEntry, IdBuild>,
     unclaimed: Vec<(QueryId, Tuple)>,
     /// The plan the backend currently runs (kept in step by
     /// [`EventRuntime::update_plan`]) — what [`Session::stats`] attributes
     /// sharing against and [`Session::explain`] renders.
     plan: PlanGraph,
-    /// Results delivered per query at the subscription dispatch point
-    /// ([`Session::deliver`]) — subscription and catch-all alike.
-    emitted: HashMap<QueryId, u64>,
-    /// Flush barriers executed (every [`EventRuntime::flush`] and the
-    /// final [`EventRuntime::finish`]) and their total wall time.
-    flush_barriers: u64,
-    flush_nanos: u64,
-    /// Successful [`EventRuntime::update_plan`] epochs and their total
-    /// wall time (quiesce + install + resume).
-    update_epochs: u64,
-    update_nanos: u64,
+    /// Per-query ingest→delivery latency for queries with *no live
+    /// subscription entry*: catch-all deliveries, plus accumulators
+    /// reclaimed from dead or superseded subscriptions. Queries with a
+    /// live entry record into [`SubEntry::lat`] instead — riding the
+    /// `subs` probe the delivery path already pays — and the two are
+    /// merged at snapshot time. Compact [`LatAcc`]s behind a
+    /// multiply-shift hasher; they expand to full [`Histogram`]s only
+    /// when a snapshot is assembled.
+    latency: HashMap<QueryId, LatAcc, IdBuild>,
+    /// The freshest sampled ingest timestamp: one `push` in
+    /// [`TIME_SAMPLE_EVERY`] (every batch entry point) takes an
+    /// `Instant`, so deliveries can measure true queueing + processing
+    /// delay without a clock read per event.
+    ingest_mark: Option<Instant>,
+    /// Whether `ingest_mark` was re-taken since the last delivery (the
+    /// delivery point reads the clock once, then reuses the measured
+    /// value for every tuple of the batch).
+    mark_fresh: bool,
+    /// The last measured ingest→delivery latency (nanoseconds), reused
+    /// for deliveries between samples.
+    cached_latency: u64,
+    /// `push` calls seen — the sampling phase counter.
+    push_count: u64,
+    /// Flush-barrier latency (every [`EventRuntime::flush`] and the final
+    /// [`EventRuntime::finish`]), one sample per barrier.
+    flush_hist: Histogram,
+    /// [`EventRuntime::update_plan`] epoch latency (quiesce + install +
+    /// resume), one sample per successful epoch.
+    update_hist: Histogram,
+    /// Session-level flight recorder: plan-swap phases and caller notes
+    /// ([`Session::trace_event`]). Merged with the executor- and
+    /// runtime-level recorders by [`Session::trace`].
+    flight: TraceRing,
 }
 
 impl Session {
@@ -586,7 +646,17 @@ impl Session {
             query,
             buf: Mutex::new(VecDeque::new()),
         });
-        self.subs.insert(query, Arc::downgrade(&chan));
+        let entry = SubEntry {
+            chan: Arc::downgrade(&chan),
+            lat: LatAcc::default(),
+        };
+        if let Some(old) = self.subs.insert(query, entry) {
+            // A superseded subscription's latency samples still belong
+            // to the query — reclaim them into the session-side map.
+            if crate::stats::STATS_COMPILED && old.lat.emitted() > 0 {
+                self.latency.entry(query).or_default().absorb(&old.lat);
+            }
+        }
         Subscription { chan }
     }
 
@@ -663,13 +733,45 @@ impl Session {
     }
 
     /// Routes a batch of drained results: each to its query's live
-    /// subscription, the rest to the catch-all.
+    /// subscription, the rest to the catch-all. A delivery batch that
+    /// follows a fresh ingest mark is *sampled*: it reads the clock once
+    /// and records every tuple's ingest→delivery latency; unsampled
+    /// batches only advance the exact per-query emitted tallies (one
+    /// counter add riding the subscription probe).
     fn deliver(&mut self, results: Vec<(QueryId, Tuple)>) {
-        for (query, tuple) in results {
-            if crate::stats::STATS_COMPILED {
-                *self.emitted.entry(query).or_insert(0) += 1;
+        let sampled = crate::stats::STATS_COMPILED && self.mark_fresh;
+        if sampled {
+            if let Some(mark) = self.ingest_mark {
+                self.cached_latency = mark.elapsed().as_nanos() as u64;
             }
-            match self.subs.get(&query).and_then(Weak::upgrade) {
+            self.mark_fresh = false;
+        }
+        for (query, tuple) in results {
+            let chan = match self.subs.get_mut(&query) {
+                Some(entry) => {
+                    // The tally rides the probe that just found the
+                    // channel — no second per-tuple map lookup.
+                    if crate::stats::STATS_COMPILED {
+                        entry.lat.note_emit();
+                        if sampled {
+                            entry.lat.record(self.cached_latency);
+                        }
+                    }
+                    entry.chan.upgrade()
+                }
+                None => {
+                    if crate::stats::STATS_COMPILED {
+                        let acc = self.latency.entry(query).or_default();
+                        acc.note_emit();
+                        if sampled {
+                            acc.record(self.cached_latency);
+                        }
+                    }
+                    self.unclaimed.push((query, tuple));
+                    continue;
+                }
+            };
+            match chan {
                 Some(chan) => chan
                     .buf
                     .lock()
@@ -678,11 +780,24 @@ impl Session {
                 None => {
                     // Dead weak handles (dropped subscriptions) are
                     // pruned lazily, right when a result would have gone
-                    // to them.
-                    self.subs.remove(&query);
+                    // to them; their latency samples fold back into the
+                    // session-side map.
+                    let entry = self.subs.remove(&query).expect("probed above");
+                    if crate::stats::STATS_COMPILED && entry.lat.emitted() > 0 {
+                        self.latency.entry(query).or_default().absorb(&entry.lat);
+                    }
                     self.unclaimed.push((query, tuple));
                 }
             }
+        }
+    }
+
+    /// Takes a fresh ingest mark — the batch entry points always mark
+    /// (one clock read amortized over the whole batch).
+    fn mark_ingest(&mut self) {
+        if crate::stats::STATS_COMPILED {
+            self.ingest_mark = Some(Instant::now());
+            self.mark_fresh = true;
         }
     }
 
@@ -734,21 +849,29 @@ impl Session {
                 Backend::Streaming(rt) => rt.blocking_sends(),
                 _ => 0,
             },
-            flush_barriers: self.flush_barriers,
-            flush_nanos: self.flush_nanos,
-            update_epochs: self.update_epochs,
-            update_nanos: self.update_nanos,
+            flush: self.flush_hist.clone(),
+            update: self.update_hist.clone(),
         };
         // Query rows come from the plan's registration order — not from
-        // the emitted map — so zero-emit queries appear and the snapshot
+        // the latency map — so zero-emit queries appear and the snapshot
         // shape is identical across engines.
         let queries = self
             .plan
             .query_outputs()
             .iter()
-            .map(|&(q, _)| QueryStats {
-                query: q,
-                emitted: self.emitted.get(&q).copied().unwrap_or(0),
+            .map(|&(q, _)| {
+                // A query's samples can live in two places: the live
+                // subscription entry and the session-side map (catch-all
+                // deliveries + reclaimed dead subscriptions).
+                let mut acc = self.latency.get(&q).cloned().unwrap_or_default();
+                if let Some(entry) = self.subs.get(&q) {
+                    acc.absorb(&entry.lat);
+                }
+                QueryStats {
+                    query: q,
+                    emitted: acc.emitted(),
+                    latency: acc.to_histogram(),
+                }
             })
             .collect();
         let sharing = sharing_attribution(&self.plan, &report.ops);
@@ -802,6 +925,7 @@ impl Session {
         for op in &snap.ops {
             by_op.insert(op.mop, op);
         }
+        let shares: HashMap<_, _> = snap.time_shares().into_iter().collect();
         let plan = &self.plan;
         let listing = render_annotated(plan, |id| {
             by_op.get(&id).map(|op| {
@@ -817,6 +941,9 @@ impl Session {
                 let fan_in = plan.mop(id).members.len();
                 if fan_in > 1 {
                     let _ = write!(s, " fan-in={fan_in}");
+                }
+                if let Some(&share) = shares.get(&id) {
+                    let _ = write!(s, " time={:.1}% {}", share * 100.0, share_bar(share, 10));
                 }
                 s
             })
@@ -848,11 +975,13 @@ impl Session {
         let _ = writeln!(out, "== runtime ==");
         let _ = writeln!(
             out,
-            "flush_barriers={} ({}us total), update_epochs={} ({}us total), blocking_sends={}",
-            snap.runtime.flush_barriers,
-            snap.runtime.flush_nanos / 1_000,
-            snap.runtime.update_epochs,
-            snap.runtime.update_nanos / 1_000,
+            "flush_barriers={} ({}us total, p99={}us), update_epochs={} ({}us total, p99={}us), blocking_sends={}",
+            snap.runtime.flush.count(),
+            snap.runtime.flush.total() / 1_000,
+            snap.runtime.flush.p99() / 1_000,
+            snap.runtime.update.count(),
+            snap.runtime.update.total() / 1_000,
+            snap.runtime.update.p99() / 1_000,
             snap.runtime.blocking_sends
         );
         if !snap.runtime.queue_depth_hwm.is_empty() {
@@ -866,6 +995,15 @@ impl Session {
         }
         let _ = writeln!(out, "== sharing ==");
         for q in &snap.queries {
+            let lat = if q.latency.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " (latency p50={}us p99={}us)",
+                    q.latency.p50() / 1_000,
+                    q.latency.p99() / 1_000
+                )
+            };
             let share = snap.sharing.iter().find(|s| s.query == q.query);
             match share.filter(|s| !s.shared.is_empty()) {
                 Some(s) => {
@@ -874,22 +1012,81 @@ impl Session {
                         .iter()
                         .map(|r| format!("{} (fan-in {})", r.mop, r.fan_in))
                         .collect();
+                    let saved_time = if s.nanos_saved > 0 {
+                        format!(" (~{}us wall)", s.nanos_saved / 1_000)
+                    } else {
+                        String::new()
+                    };
                     let _ = writeln!(
                         out,
-                        "{}: emitted={}, shares {} — events saved vs unshared: {}",
+                        "{}: emitted={}{}, shares {} — events saved vs unshared: {}{}",
                         q.query,
                         q.emitted,
+                        lat,
                         ops.join(", "),
-                        s.events_saved
+                        s.events_saved,
+                        saved_time
                     );
                 }
                 None => {
-                    let _ = writeln!(out, "{}: emitted={}, no shared m-ops", q.query, q.emitted);
+                    let _ = writeln!(
+                        out,
+                        "{}: emitted={}{}, no shared m-ops",
+                        q.query, q.emitted, lat
+                    );
                 }
             }
         }
-        let _ = writeln!(out, "total events saved: {}", snap.total_events_saved());
+        let total_time = snap.total_nanos_saved();
+        let _ = writeln!(
+            out,
+            "total events saved: {}{}",
+            snap.total_events_saved(),
+            if total_time > 0 {
+                format!(" (~{}us wall)", total_time / 1_000)
+            } else {
+                String::new()
+            }
+        );
         Ok(out)
+    }
+
+    /// Journals one caller-level event into the session's flight
+    /// recorder — e.g. a declined merge from an
+    /// [`rumor_core::Integration`]'s rewrite-trace notes, or any
+    /// application milestone worth seeing on the runtime's timeline.
+    /// No-op under `stats-off`.
+    pub fn trace_event(&mut self, kind: &'static str, detail: impl Into<String>) {
+        if crate::stats::STATS_COMPILED {
+            self.flight.record(kind, detail.into());
+        }
+    }
+
+    /// Dumps the merged flight-recorder timeline as JSON lines (one
+    /// object per line, sorted by timestamp): session-level events
+    /// (plan-swap phases, [`Session::trace_event`] notes), executor-level
+    /// events (adaptive-gate flips and freezes, from every worker), and
+    /// runtime-level events (backpressure stalls on the streaming pool).
+    /// All recorders share one process-wide clock
+    /// ([`crate::stats::trace_clock_nanos`]), so cross-thread ordering is
+    /// coherent. Bounded: each recorder keeps its most recent events
+    /// (oldest evicted), so the dump is a flight recorder, not a full
+    /// log.
+    ///
+    /// Recording is compiled out under `stats-off`; the dump is then
+    /// empty but the call works.
+    pub fn trace(&mut self) -> Result<String> {
+        let mut events: Vec<TraceEvent> = self.flight.events().cloned().collect();
+        match &mut self.backend {
+            Backend::Local(rt) => events.extend(rt.exec.stats_report().trace),
+            Backend::OneShot(rt) => events.extend(rt.exec_stats().trace),
+            Backend::Streaming(rt) => {
+                events.extend(rt.exec_stats()?.trace);
+                events.extend(rt.trace_events());
+            }
+        }
+        events.sort_by_key(|e| e.at_nanos);
+        Ok(trace_json_lines(&events))
     }
 }
 
@@ -902,12 +1099,23 @@ const LOCAL_DELIVERY_CHUNK: usize = 1024;
 
 impl EventRuntime for Session {
     fn push(&mut self, source: SourceId, tuple: Tuple) -> Result<()> {
+        if crate::stats::STATS_COMPILED {
+            // Sampled ingest mark: one clock read in TIME_SAMPLE_EVERY
+            // pushes keeps the latency histograms honest without a
+            // per-event `Instant::now` on the hottest path.
+            if self.push_count & (TIME_SAMPLE_EVERY - 1) == 0 {
+                self.ingest_mark = Some(Instant::now());
+                self.mark_fresh = true;
+            }
+            self.push_count += 1;
+        }
         self.backend.push(source, tuple)?;
         self.deliver_local();
         Ok(())
     }
 
     fn push_batch(&mut self, events: &[(SourceId, Tuple)]) -> Result<()> {
+        self.mark_ingest();
         if matches!(self.backend, Backend::Local(_)) && !events.is_empty() {
             for chunk in events.chunks(LOCAL_DELIVERY_CHUNK) {
                 self.backend.push_batch(chunk)?;
@@ -924,6 +1132,7 @@ impl EventRuntime for Session {
         if matches!(self.backend, Backend::Local(_)) {
             return self.push_batch(&events);
         }
+        self.mark_ingest();
         self.backend.push_batch_shared(events)?;
         self.deliver_local();
         Ok(())
@@ -934,8 +1143,10 @@ impl EventRuntime for Session {
         // worker sinks off), so no separate backend.flush() round-trip.
         let t = Instant::now();
         self.deliver_barrier()?;
-        self.flush_barriers += 1;
-        self.flush_nanos += t.elapsed().as_nanos() as u64;
+        // Barriers are control-plane (rare by construction), so their
+        // latency histogram records even under `stats-off` — preserving
+        // the barrier-count semantics the scalar counters always had.
+        self.flush_hist.record(t.elapsed().as_nanos() as u64);
         Ok(())
     }
 
@@ -946,16 +1157,32 @@ impl EventRuntime for Session {
         if !sink.results.is_empty() {
             self.deliver(sink.results);
         }
-        self.flush_barriers += 1;
-        self.flush_nanos += t.elapsed().as_nanos() as u64;
+        self.flush_hist.record(t.elapsed().as_nanos() as u64);
         Ok(())
     }
 
     fn update_plan(&mut self, plan: &PlanGraph) -> Result<()> {
         let t = Instant::now();
-        self.backend.update_plan(plan)?;
-        self.update_epochs += 1;
-        self.update_nanos += t.elapsed().as_nanos() as u64;
+        if crate::stats::STATS_COMPILED {
+            self.flight.record(
+                "swap_begin",
+                format!("quiesce for plan with {} m-ops", plan.mop_count()),
+            );
+        }
+        if let Err(e) = self.backend.update_plan(plan) {
+            if crate::stats::STATS_COMPILED {
+                self.flight.record("swap_refused", e.to_string());
+            }
+            return Err(e);
+        }
+        let nanos = t.elapsed().as_nanos() as u64;
+        self.update_hist.record(nanos);
+        if crate::stats::STATS_COMPILED {
+            self.flight.record(
+                "swap_complete",
+                format!("installed and resumed in {}us", nanos / 1_000),
+            );
+        }
         self.plan = plan.clone();
         Ok(())
     }
@@ -1162,8 +1389,13 @@ mod tests {
                     assert_eq!(got.emitted, want, "{cfg:?} {q}");
                 }
             }
-            // Barrier latency counters cover the finish barrier.
-            assert!(snap.runtime.flush_barriers >= 1, "{cfg:?}");
+            // Barrier latency histograms cover the finish barrier (these
+            // record even under `stats-off` — control-plane, rare).
+            assert!(snap.runtime.flush.count() >= 1, "{cfg:?}");
+            assert!(
+                snap.runtime.flush.p50() <= snap.runtime.flush.max(),
+                "{cfg:?}"
+            );
             shapes.push((
                 snap.ops.iter().map(|o| o.mop).collect(),
                 snap.queries.iter().map(|r| r.query).collect(),

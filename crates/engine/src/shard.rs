@@ -40,7 +40,7 @@ use crate::exec::{
     CollectingSink, ConeScope, CountingSink, DiscardSink, ExecutablePlan, QuerySink,
 };
 use crate::session::EventRuntime;
-use crate::stats::ExecStatsReport;
+use crate::stats::{ExecStatsReport, TraceEvent, TraceRing};
 
 /// A sink sharded workers can each own privately and fold deterministically
 /// at drain time.
@@ -1022,6 +1022,11 @@ pub struct StreamingShardedRuntime<S: MergeSink + Default + Send + 'static> {
     /// Dispatches that found a worker queue full and fell back to a
     /// blocking send — the backpressure count.
     blocking_sends: u64,
+    /// Runtime-level flight recorder: backpressure stalls and streaming
+    /// swap phases, journaled on the routing thread and merged into the
+    /// session trace timeline
+    /// ([`Session::trace`](crate::session::Session::trace)).
+    trace: TraceRing,
 }
 
 impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
@@ -1081,6 +1086,7 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
             final_exec: None,
             queue_hwm: vec![0; n],
             blocking_sends: 0,
+            trace: TraceRing::with_capacity(256),
         })
     }
 
@@ -1129,6 +1135,13 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
     /// blocking send — how often backpressure actually engaged.
     pub fn blocking_sends(&self) -> u64 {
         self.blocking_sends
+    }
+
+    /// Runtime-level flight-recorder events (backpressure stalls,
+    /// streaming swap phases), oldest first. Bounded: the recorder keeps
+    /// its most recent 256 events. Empty under `stats-off`.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.events().cloned().collect()
     }
 
     /// Per-m-op execution counters folded across all workers. On a live
@@ -1205,6 +1218,11 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
             Ok(()) => Ok(()),
             Err(crossbeam_channel::TrySendError::Full(msg)) => {
                 self.blocking_sends += 1;
+                #[cfg(not(feature = "stats-off"))]
+                self.trace.record(
+                    "backpressure_stall",
+                    format!("worker {w} queue full at depth {depth}; blocking send"),
+                );
                 self.txs[w]
                     .send(msg)
                     .map_err(|_| RumorError::exec(format!("streaming shard worker {w} died")))
@@ -1494,13 +1512,26 @@ impl<S: MergeSink + Default + Send + 'static> StreamingShardedRuntime<S> {
     pub fn update_plan(&mut self, plan: &PlanGraph) -> Result<()> {
         self.ensure_live("update_plan")?;
         let (scheme, reports) = prepare_swap(plan, &self.installed, &self.scheme, &self.reports)?;
+        #[cfg(not(feature = "stats-off"))]
+        self.trace.record(
+            "swap_quiesce",
+            format!("draining {} worker queues", self.txs.len()),
+        );
         self.flush()?;
         let shared = Arc::new(plan.clone());
+        #[cfg(not(feature = "stats-off"))]
+        self.trace.record(
+            "swap_install",
+            format!("delta install on {} workers", self.txs.len()),
+        );
         for (w, tx) in self.txs.iter().enumerate() {
             tx.send(WorkerMsg::Update(Arc::clone(&shared)))
                 .map_err(|_| RumorError::exec(format!("streaming shard worker {w} died")))?;
         }
         self.barrier()?;
+        #[cfg(not(feature = "stats-off"))]
+        self.trace
+            .record("swap_resume", "routing under new scheme".to_string());
         self.all_round_robin = scheme
             .routes()
             .iter()

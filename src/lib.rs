@@ -135,6 +135,81 @@
 //! println!("{}", stats.to_json());
 //! ```
 //!
+//! ### Time domain: latency, per-m-op time share, metering, tracing
+//!
+//! The same snapshot carries the time domain: per-query ingest→delivery
+//! latency [`Histogram`]s (log-bucketed, mergeable, p50/p90/p99/max),
+//! flush-barrier and plan-swap epoch latencies, and sampled per-m-op
+//! wall-time attribution (one dispatch in [`TIME_SAMPLE_EVERY`] is
+//! timed), which `explain` renders as a per-op time-share bar and the
+//! sharing attribution converts into *time saved*. For continuous
+//! monitoring, a [`Meter`] diffs successive snapshots and emits one JSON
+//! line per interval to a pluggable [`MeterSink`]:
+//!
+//! ```
+//! use rumor::{CollectingMeterSink, EventRuntime, Meter, OptimizerConfig, Rumor, Tuple};
+//!
+//! let mut engine = Rumor::new(OptimizerConfig::default());
+//! engine
+//!     .execute(
+//!         "CREATE STREAM sensors (station INT, temp INT);
+//!          QUERY s7 AS SELECT * FROM sensors WHERE station = 7;",
+//!     )
+//!     .unwrap();
+//! engine.optimize().unwrap();
+//! let mut session = engine.session().build().unwrap();
+//! let src = engine.source_id("sensors").unwrap();
+//! let mut meter = Meter::new(CollectingMeterSink::default());
+//!
+//! // First tick establishes the baseline; each later tick emits the
+//! // interval diff as one JSON line.
+//! assert!(!meter.tick(session.stats().unwrap()));
+//! for ts in 0..10 {
+//!     session.push(src, Tuple::ints(ts, &[7, 30])).unwrap();
+//! }
+//! session.flush().unwrap();
+//! assert!(meter.tick(session.stats().unwrap()));
+//! let lines = meter.into_sink().lines;
+//! assert_eq!(lines.len(), 1);
+//! assert!(lines[0].contains("\"events_in\": 10"), "{}", lines[0]);
+//! session.finish().unwrap();
+//! ```
+//!
+//! When something *changed* — a gate froze, a swap stalled, backpressure
+//! engaged — [`Session::trace`] dumps the bounded flight recorder as JSON
+//! lines: timestamped runtime transitions journaled across the session,
+//! every executor clone, and the streaming pool, merged on one
+//! process-wide clock:
+//!
+//! ```
+//! use rumor::{EventRuntime, OptimizerConfig, Rumor, Tuple};
+//!
+//! let mut engine = Rumor::new(OptimizerConfig::default());
+//! engine
+//!     .execute(
+//!         "CREATE STREAM sensors (station INT, temp INT);
+//!          QUERY s7 AS SELECT * FROM sensors WHERE station = 7;",
+//!     )
+//!     .unwrap();
+//! engine.optimize().unwrap();
+//! let mut session = engine.session().build().unwrap();
+//! let src = engine.source_id("sensors").unwrap();
+//! session.push(src, Tuple::ints(0, &[7, 30])).unwrap();
+//! // Journal an application milestone onto the same timeline, then add
+//! // a query live: the swap phases land in the trace around it.
+//! session.trace_event("app_note", "warmup done");
+//! engine
+//!     .execute("QUERY s9 AS SELECT * FROM sensors WHERE station = 9;")
+//!     .unwrap();
+//! session.update_plan(engine.plan()).unwrap();
+//! session.finish().unwrap();
+//! let trace = session.trace().unwrap();
+//! if rumor::STATS_COMPILED {
+//!     assert!(trace.contains("\"kind\": \"app_note\""), "{trace}");
+//!     assert!(trace.contains("\"kind\": \"swap_complete\""), "{trace}");
+//! }
+//! ```
+//!
 //! ## Dynamic query lifecycle
 //!
 //! Queries can be added and removed *while sessions are live*:
@@ -163,11 +238,13 @@ pub use rumor_core::{
     SelectivityModel, SeqSpec, SourceRoute, Verdict,
 };
 pub use rumor_engine::{
-    measure, measure_batched, CollectingSink, ConeScope, CountingSink, DiscardSink, EventRuntime,
-    ExecStatsReport, ExecutablePlan, FeedMode, GateStats, InputEvent, LocalRuntime, Measurement,
-    MergeSink, OpStats, Protocol, QuerySharing, QuerySink, QueryStats, Rumor, RuntimeStats,
-    Session, SessionBuilder, SessionConfig, ShardedRuntime, SharedOpRef, StatsSnapshot,
-    StreamingConfig, StreamingShardedRuntime, Subscription, STATS_COMPILED,
+    measure, measure_batched, trace_clock_nanos, trace_json_lines, CollectingMeterSink,
+    CollectingSink, ConeScope, CountingSink, DiscardSink, EventRuntime, ExecStatsReport,
+    ExecutablePlan, FeedMode, FileMeterSink, GateStats, Histogram, InputEvent, LocalRuntime,
+    Measurement, MergeSink, Meter, MeterSink, OpStats, Protocol, QuerySharing, QuerySink,
+    QueryStats, Rumor, RuntimeStats, Session, SessionBuilder, SessionConfig, ShardedRuntime,
+    SharedOpRef, StatsSnapshot, StderrMeterSink, StreamingConfig, StreamingShardedRuntime,
+    Subscription, TraceEvent, TraceRing, STATS_COMPILED, TIME_SAMPLE_EVERY,
 };
 pub use rumor_expr::{CmpOp, EvalCtx, Expr, NamedExpr, Predicate, SchemaMap};
 pub use rumor_types::{

@@ -300,8 +300,48 @@ fn assert_conformance(
                     "workload `{name}`: emitted count for {} diverged under {}",
                     row.query, mode.name
                 );
+                // Latency histogram invariants: samples only come from
+                // delivered tuples (sampled delivery batches, so at most
+                // one per tuple), percentile lower bounds ordered and
+                // capped by the observed maximum — on every engine.
+                assert!(
+                    row.latency.count() <= row.emitted,
+                    "workload `{name}`: more latency samples than delivered \
+                     tuples for {} under {}",
+                    row.query,
+                    mode.name
+                );
+                if row.latency.count() > 0 {
+                    let (p50, p90, p99, max) = (
+                        row.latency.p50(),
+                        row.latency.p90(),
+                        row.latency.p99(),
+                        row.latency.max(),
+                    );
+                    assert!(
+                        p50 <= p90 && p90 <= p99 && p99 <= max,
+                        "workload `{name}`: latency percentiles disordered for {} \
+                         under {}: p50={p50} p90={p90} p99={p99} max={max}",
+                        row.query,
+                        mode.name
+                    );
+                }
             }
         }
+        // Flush-barrier latency records unconditionally (control-plane,
+        // rare): after `finish` every engine must have at least one
+        // ordered barrier sample, stats-off builds included.
+        let flush = &out.stats.runtime.flush;
+        assert!(
+            flush.count() >= 1,
+            "workload `{name}`: no flush-barrier latency sample under {}",
+            mode.name
+        );
+        assert!(
+            flush.p50() <= flush.p99() && flush.p99() <= flush.max(),
+            "workload `{name}`: flush-barrier percentiles disordered under {}",
+            mode.name
+        );
         let shape: (Vec<_>, Vec<_>) = (
             out.stats.ops.iter().map(|o| o.mop).collect(),
             out.stats.queries.iter().map(|r| r.query).collect(),
