@@ -65,12 +65,25 @@ struct AttributionRow {
     time_share: f64,
 }
 
+/// One multi-tenant server scenario row (loopback clients over TCP).
+struct MultiTenantRow {
+    scenario: String,
+    clients: f64,
+    registered: f64,
+    events_per_sec: f64,
+    delivery_p50_us: f64,
+    delivery_p99_us: f64,
+    shed_results: f64,
+    events_saved: f64,
+}
+
 /// Everything the diff reads out of one rendered throughput document.
 struct Doc {
     workloads: Vec<Workload>,
     plan_quality: Vec<QualityRow>,
     latency: Vec<LatencyRow>,
     time_attribution: Vec<AttributionRow>,
+    multi_tenant: Vec<MultiTenantRow>,
 }
 
 /// Extracts the string value of `"key": "..."` from a line, if present.
@@ -101,11 +114,42 @@ fn parse(doc: &str) -> Doc {
     let mut plan_quality: Vec<QualityRow> = Vec::new();
     let mut latency: Vec<LatencyRow> = Vec::new();
     let mut time_attribution: Vec<AttributionRow> = Vec::new();
+    let mut multi_tenant: Vec<MultiTenantRow> = Vec::new();
     for line in doc.lines() {
         if line.contains("\"churn\"") {
             break;
         }
-        if let Some(metric) = field_str(line, "metric") {
+        if let Some(scenario) = field_str(line, "scenario") {
+            // Multi-tenant rows carry a `scenario` key nothing else uses.
+            if let (
+                Some(clients),
+                Some(registered),
+                Some(eps),
+                Some(p50),
+                Some(p99),
+                Some(shed),
+                Some(saved),
+            ) = (
+                field_num(line, "clients"),
+                field_num(line, "registered"),
+                field_num(line, "events_per_sec"),
+                field_num(line, "delivery_p50_us"),
+                field_num(line, "delivery_p99_us"),
+                field_num(line, "shed_results"),
+                field_num(line, "events_saved"),
+            ) {
+                multi_tenant.push(MultiTenantRow {
+                    scenario,
+                    clients,
+                    registered,
+                    events_per_sec: eps,
+                    delivery_p50_us: p50,
+                    delivery_p99_us: p99,
+                    shed_results: shed,
+                    events_saved: saved,
+                });
+            }
+        } else if let Some(metric) = field_str(line, "metric") {
             // Latency rows carry a `metric` key nothing else uses.
             if let (Some(count), Some(p50), Some(p90), Some(p99), Some(max)) = (
                 field_num(line, "count"),
@@ -180,6 +224,7 @@ fn parse(doc: &str) -> Doc {
         plan_quality,
         latency,
         time_attribution,
+        multi_tenant,
     }
 }
 
@@ -383,6 +428,60 @@ fn render(baseline: &Doc, fresh: &Doc) -> String {
             out.push_str("(baseline document predates the time-attribution section)\n\n");
         }
     }
+    if !fresh.multi_tenant.is_empty() {
+        out.push_str("## Multi-tenant server (loopback clients, Zipf query popularity)\n\n");
+        out.push_str(
+            "End-to-end over TCP: many clients, one shared plan. Absolute ev/s \
+             and latency move with the runner; events saved is the deterministic \
+             sharing-attribution signal, and shed must stay 0.\n\n",
+        );
+        out.push_str(
+            "| scenario | clients | queries | ev/s | base ev/s | flush p50 us | flush p99 us | shed | events saved | base saved |\n\
+             |---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n",
+        );
+        for fm in &fresh.multi_tenant {
+            match baseline
+                .multi_tenant
+                .iter()
+                .find(|b| b.scenario == fm.scenario)
+            {
+                Some(bm) => {
+                    let _ = writeln!(
+                        out,
+                        "| {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} |",
+                        fm.scenario,
+                        fm.clients,
+                        fm.registered,
+                        fm.events_per_sec,
+                        bm.events_per_sec,
+                        fm.delivery_p50_us,
+                        fm.delivery_p99_us,
+                        fm.shed_results,
+                        fm.events_saved,
+                        bm.events_saved,
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "| {} | {:.0} | {:.0} | {:.0} | — | {:.0} | {:.0} | {:.0} | {:.0} | — |",
+                        fm.scenario,
+                        fm.clients,
+                        fm.registered,
+                        fm.events_per_sec,
+                        fm.delivery_p50_us,
+                        fm.delivery_p99_us,
+                        fm.shed_results,
+                        fm.events_saved,
+                    );
+                }
+            }
+        }
+        out.push('\n');
+        if baseline.multi_tenant.is_empty() {
+            out.push_str("(baseline document predates the multi-tenant section)\n\n");
+        }
+    }
     out
 }
 
@@ -427,6 +526,9 @@ mod tests {
     {"mop": "m3", "op": "filter", "events_in": 500, "est_nanos": 120000, "time_share": 0.6100},
     {"mop": "m7", "op": "project", "events_in": 500, "est_nanos": 76000, "time_share": 0.3900}
   ],
+  "multi_tenant": [
+    {"scenario": "zipf_selects_200c_1024q", "clients": 200, "registered": 1024, "distinct_bodies": 60, "events": 20000, "events_per_sec": 12345.6, "results_out": 9999, "delivery_p50_us": 100.0, "delivery_p90_us": 200.0, "delivery_p99_us": 400.0, "delivery_max_us": 800.0, "shed_results": 0, "events_saved": 7777}
+  ],
   "churn": [
     {"resident_queries": 8, "integrate_ms": 0.5, "remove_ms": 0.2, "churn_events_per_sec": 9.0, "results_out": 1}
   ]
@@ -452,6 +554,29 @@ mod tests {
         assert_eq!(doc.time_attribution[0].mop, "m3");
         assert_eq!(doc.time_attribution[0].op, "filter");
         assert_eq!(doc.time_attribution[0].time_share, 0.61);
+        assert_eq!(doc.multi_tenant.len(), 1);
+        assert_eq!(doc.multi_tenant[0].scenario, "zipf_selects_200c_1024q");
+        assert_eq!(doc.multi_tenant[0].clients, 200.0);
+        assert_eq!(doc.multi_tenant[0].registered, 1024.0);
+        assert_eq!(doc.multi_tenant[0].events_saved, 7777.0);
+    }
+
+    #[test]
+    fn renders_multi_tenant_with_and_without_baseline() {
+        let base = parse(DOC);
+        let fresh = parse(&DOC.replace("\"events_saved\": 7777", "\"events_saved\": 8888"));
+        let report = render(&base, &fresh);
+        assert!(report.contains("## Multi-tenant server"));
+        assert!(report.contains(
+            "| zipf_selects_200c_1024q | 200 | 1024 | 12346 | 12346 | 100 | 400 | 0 | 8888 | 7777 |"
+        ));
+
+        // A baseline predating the section must not lose the fresh rows.
+        let old_base = parse(&DOC.replace("zipf_selects", "renamed_scenario"));
+        let report = render(&old_base, &fresh);
+        assert!(report.contains(
+            "| zipf_selects_200c_1024q | 200 | 1024 | 12346 | — | 100 | 400 | 0 | 8888 | — |"
+        ));
     }
 
     #[test]

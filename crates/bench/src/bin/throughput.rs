@@ -4,7 +4,9 @@
 //! time-domain observability rows (latency percentiles and per-m-op
 //! wall-time attribution from one instrumented run), plus the
 //! dynamic-query-lifecycle churn rows (integrate/remove latency against a
-//! live pool and steady-state throughput under churn).
+//! live pool and steady-state throughput under churn), and the
+//! multi-tenant server row (hundreds of loopback clients with
+//! Zipf-popular queries pushed through `rumor-server` end to end).
 //!
 //! ```text
 //! cargo run --release -p rumor-bench --bin throughput [quick|full] [out.json] [--stats]
@@ -15,6 +17,7 @@
 //! with its interval-metering stream (`<out stem>.meter.jsonl`, one JSON
 //! line per arrival chunk from a `Meter`).
 
+use rumor_bench::multi_tenant::run_multi_tenant;
 use rumor_bench::throughput::{
     render_json, run_all, run_churn, run_observability, run_plan_quality,
 };
@@ -92,11 +95,28 @@ fn main() {
             c.resident_queries, c.integrate_ms, c.remove_ms, c.churn_events_per_sec
         );
     }
+    let mt = run_multi_tenant(scale);
+    println!("multi-tenant (loopback server, Zipf query popularity)");
+    println!(
+        "  {:<28} {:>4} clients, {} queries ({} distinct): {:>10.0} ev/s, {} results out, flush p50 {:.0} us / p99 {:.0} us, {} shed, {} events saved",
+        mt.scenario,
+        mt.clients,
+        mt.queries,
+        mt.distinct_bodies,
+        mt.events_per_sec,
+        mt.results_out,
+        mt.delivery_p50_us,
+        mt.delivery_p99_us,
+        mt.shed_results,
+        mt.events_saved
+    );
+    let multi_tenant = vec![mt];
     let json = render_json(
         &reports,
         &quality,
         &obs.latency,
         &obs.time_attribution,
+        &multi_tenant,
         &churn,
         scale,
     );

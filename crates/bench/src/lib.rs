@@ -21,6 +21,7 @@
 pub mod fig10;
 pub mod fig11;
 pub mod fig9;
+pub mod multi_tenant;
 pub mod throughput;
 
 use std::time::Instant;

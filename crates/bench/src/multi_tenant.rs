@@ -1,0 +1,212 @@
+//! Multi-tenant server benchmark: hundreds of loopback clients, one
+//! shared plan.
+//!
+//! This is the paper's economic argument measured end-to-end: sharing
+//! benefit is a function of the *concurrent query population*, and only
+//! a multi-tenant front door realistically generates one. The scenario:
+//!
+//! * `clients` loopback [`rumor_server::Client`] connections, together
+//!   registering **1024** selection queries whose predicate constants
+//!   are drawn from a Zipf distribution ([`rumor_workloads::zipf`]) —
+//!   the §5.1 model of commonality across independent tenants. Popular
+//!   constants are registered by many clients, so the optimizer folds
+//!   them into shared m-ops across connections.
+//! * one feeder client streams events in `PUSH_BATCH` frames, with a
+//!   `FLUSH` barrier per chunk;
+//! * after each chunk, every tenant issues its own `FLUSH` and the
+//!   round-trip (barrier to `FLUSHED`, results in between) is recorded
+//!   per client in a reused [`rumor_engine::Histogram`] — that is the
+//!   per-client delivery latency;
+//! * at the end, one `STATS` call reads the sharing attribution
+//!   (`total_events_saved`) and the server's shed counter off the wire.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rumor_core::OptimizerConfig;
+use rumor_engine::{Histogram, Rumor};
+use rumor_server::{Client, Server, ServerConfig};
+use rumor_types::Tuple;
+use rumor_workloads::zipf::Zipf;
+
+use crate::Scale;
+
+/// Registered queries across all tenants (the sharing-attribution point
+/// the report pins).
+pub const TOTAL_QUERIES: usize = 1024;
+
+/// Distinct predicate constants; queries concentrate on few of them
+/// (Zipf), events are spread uniformly.
+const CONSTANT_DOMAIN: usize = 64;
+
+/// One multi-tenant run, as a `BENCH_throughput.json` row.
+#[derive(Debug, Clone)]
+pub struct MultiTenantReport {
+    /// Row key in the JSON (`"scenario"`).
+    pub scenario: String,
+    /// Loopback client connections (excluding the feeder).
+    pub clients: usize,
+    /// Queries registered across all clients.
+    pub queries: usize,
+    /// Distinct query texts (distinct Zipf-drawn constants).
+    pub distinct_bodies: usize,
+    /// Events streamed by the feeder.
+    pub events: u64,
+    /// Aggregate ingest throughput: events / wall time of the whole
+    /// push + per-tenant-flush loop.
+    pub events_per_sec: f64,
+    /// Result tuples delivered to tenants over the wire.
+    pub results_out: u64,
+    /// Per-client delivery latency (flush round-trip), microseconds.
+    pub delivery_p50_us: f64,
+    /// 90th percentile.
+    pub delivery_p90_us: f64,
+    /// 99th percentile.
+    pub delivery_p99_us: f64,
+    /// Worst observed.
+    pub delivery_max_us: f64,
+    /// Result frames shed server-side (0 unless tenants stop reading).
+    pub shed_results: u64,
+    /// The engine's sharing attribution at this query population:
+    /// operator invocations saved versus unshared per-query plans.
+    pub events_saved: u64,
+}
+
+/// Scenario parameters per scale.
+fn params(scale: Scale) -> (usize, u64, usize) {
+    match scale {
+        // (clients, events, chunk)
+        Scale::Quick => (200, 20_000, 2_000),
+        Scale::Full => (256, 100_000, 5_000),
+    }
+}
+
+/// Runs the multi-tenant loopback scenario and reports one row.
+pub fn run_multi_tenant(scale: Scale) -> MultiTenantReport {
+    let (n_clients, n_events, chunk) = params(scale);
+
+    let mut engine = Rumor::new(OptimizerConfig::default());
+    engine
+        .execute("CREATE STREAM mt (a INT, b INT, c INT);")
+        .expect("seed stream");
+    let server = Server::spawn(engine, ServerConfig::default()).expect("spawn server");
+
+    // Zipf-popular constants: tenant queries crowd onto few predicates.
+    let zipf = Zipf::new(CONSTANT_DOMAIN, 1.1);
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut clients: Vec<Client> = (0..n_clients)
+        .map(|_| Client::connect(server.addr()).expect("tenant connect"))
+        .collect();
+    let mut distinct = std::collections::HashSet::new();
+    let mut registered = 0usize;
+    'outer: loop {
+        for client in clients.iter_mut() {
+            if registered == TOTAL_QUERIES {
+                break 'outer;
+            }
+            let k = zipf.sample_constant(&mut rng);
+            distinct.insert(k);
+            client
+                .register(
+                    &format!("q{registered}"),
+                    &format!("SELECT * FROM mt WHERE a = {k}"),
+                )
+                .expect("register");
+            registered += 1;
+        }
+    }
+
+    let mut feeder = Client::connect(server.addr()).expect("feeder connect");
+    let src = feeder.source("mt").expect("source table");
+
+    // Events spread uniformly over the constant domain; popular
+    // constants therefore fan out to many tenants per event.
+    let events: Vec<(rumor_types::SourceId, Tuple)> = (0..n_events)
+        .map(|i| {
+            (
+                src,
+                Tuple::ints(
+                    i,
+                    &[
+                        (i % CONSTANT_DOMAIN as u64) as i64,
+                        (i % 97) as i64,
+                        i as i64,
+                    ],
+                ),
+            )
+        })
+        .collect();
+
+    let mut delivery = Histogram::default();
+    let mut results_out = 0u64;
+    let start = Instant::now();
+    for batch in events.chunks(chunk) {
+        feeder.push_batch(batch.to_vec()).expect("push_batch");
+        feeder.flush().expect("feeder flush");
+        for client in clients.iter_mut() {
+            let t0 = Instant::now();
+            client.flush().expect("tenant flush");
+            delivery.record(t0.elapsed().as_micros() as u64);
+        }
+        // Drain what the flush delivered so buffers stay flat.
+        for client in clients.iter_mut() {
+            for (_, tuples) in client.take_results() {
+                results_out += tuples.len() as u64;
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let stats = feeder.stats_json().expect("stats over the wire");
+    let events_saved = scan_u64(&stats, "\"total_events_saved\": ").unwrap_or(0);
+    let shed_results = scan_u64(&stats, "\"shed_results\": ").unwrap_or(0);
+
+    for client in clients {
+        client.bye().expect("tenant bye");
+    }
+    feeder.bye().expect("feeder bye");
+    server.shutdown().expect("graceful shutdown");
+
+    MultiTenantReport {
+        scenario: format!("zipf_selects_{n_clients}c_{TOTAL_QUERIES}q"),
+        clients: n_clients,
+        queries: TOTAL_QUERIES,
+        distinct_bodies: distinct.len(),
+        events: n_events,
+        events_per_sec: n_events as f64 / elapsed,
+        results_out,
+        delivery_p50_us: delivery.p50() as f64,
+        delivery_p90_us: delivery.p90() as f64,
+        delivery_p99_us: delivery.p99() as f64,
+        delivery_max_us: delivery.max() as f64,
+        shed_results,
+        events_saved,
+    }
+}
+
+/// Pulls `<key><integer>` out of a JSON document the cheap way — the
+/// document is the engine's own hand-rolled JSON, so the key strings are
+/// stable and unambiguous.
+fn scan_u64(json: &str, key: &str) -> Option<u64> {
+    let at = json.find(key)? + key.len();
+    let digits: String = json[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_u64_reads_handrolled_json() {
+        let doc =
+            "{\"server\": {\"clients\": 3, \"shed_results\": 42}, \"total_events_saved\": 1234}";
+        assert_eq!(scan_u64(doc, "\"shed_results\": "), Some(42));
+        assert_eq!(scan_u64(doc, "\"total_events_saved\": "), Some(1234));
+        assert_eq!(scan_u64(doc, "\"missing\": "), None);
+    }
+}

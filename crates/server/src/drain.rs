@@ -1,0 +1,74 @@
+//! Shutdown coordination: how a running server stops without losing
+//! buffered results.
+//!
+//! The drain protocol, in order:
+//!
+//! 1. `Lifecycle::request_stop` flips the stop flag, then dials the
+//!    server's own listening address once. The accept loop blocks in
+//!    `TcpListener::accept`; the self-connection wakes it, it observes
+//!    the flag and exits without handing the connection to a reader —
+//!    **no new clients are admitted from this point**.
+//! 2. The server sends `Command::Shutdown` down the (still live) command
+//!    queue. Commands already queued ahead of it — pushes, registers,
+//!    flushes from connected clients — are processed first: shutdown
+//!    does not jump the admission queue.
+//! 3. The ingest thread runs its drain: a `flush` barrier, a final
+//!    subscription delivery, `finish`, one more delivery, then a
+//!    `GOODBYE` frame and an outbox close per client
+//!    ([`crate::ingest`]).
+//! 4. Each writer thread drains its outbox to the socket — every
+//!    buffered `RESULTS` frame is written before the `GOODBYE` — then
+//!    shuts the socket down, which unblocks that connection's reader.
+//! 5. `Lifecycle::join_workers` joins every reader and writer thread.
+//!
+//! The result: a client that connects, pushes, and then sees the server
+//! shut down still receives every result the engine produced for it,
+//! finished off by a `GOODBYE`, and then a clean EOF.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Shared stop flag plus the registry of per-connection threads.
+#[derive(Clone)]
+pub(crate) struct Lifecycle {
+    stop: Arc<AtomicBool>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Lifecycle {
+    pub(crate) fn new() -> Self {
+        Lifecycle {
+            stop: Arc::new(AtomicBool::new(false)),
+            workers: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    pub(crate) fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Step 1 of the drain: stop admitting and wake the accept loop.
+    pub(crate) fn request_stop(&self, addr: SocketAddr) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept; the connection is discarded on sight.
+        if let Ok(stream) = TcpStream::connect_timeout(&addr, Duration::from_secs(1)) {
+            drop(stream);
+        }
+    }
+
+    /// Registers a reader or writer thread for the final join.
+    pub(crate) fn adopt(&self, handle: JoinHandle<()>) {
+        self.workers.lock().unwrap().push(handle);
+    }
+
+    /// Step 5 of the drain: wait for every connection thread.
+    pub(crate) fn join_workers(&self) {
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Bounded per-client outboxes: the dispatcher half of the fan-out.
+//!
+//! The ingest thread (see [`crate::ingest`]) never writes to a socket.
+//! Each connection owns an `Outbox` — a bounded queue of encoded
+//! frames drained by that connection's dedicated writer thread. This is
+//! what keeps one slow client from stalling the shared engine:
+//!
+//! * **Control frames** (`REGISTERED`, `FLUSHED`, `ERROR`, `GOODBYE`, …)
+//!   always enqueue. They are few, small, and request-driven, so they
+//!   cannot grow without bound.
+//! * **Result frames** count against the configured capacity. When a
+//!   client's outbox is full — its writer is blocked on a socket the
+//!   client is not reading — the *oldest queued result frame for that
+//!   client* is shed to make room and a per-client shed counter is
+//!   bumped. The engine thread never blocks; other clients never notice.
+//!   Shedding is reported back to the affected client as a `SHED` notice
+//!   at its next flush barrier, and in the `STATS` server envelope.
+//!
+//! This mirrors the bounded-queue admission semantics the in-process
+//! engines already use ([`rumor_engine::StreamingConfig`]'s
+//! `queue_depth`): the bound is per-participant and overload is resolved
+//! locally, at the edge, not by backpressuring the shared plan.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// An encoded frame queued for one client, tagged with its shed class.
+#[derive(Debug)]
+pub(crate) enum OutFrame {
+    /// Never shed.
+    Control(Vec<u8>),
+    /// Counts against capacity; oldest shed first on overflow.
+    Result(Vec<u8>),
+}
+
+#[derive(Debug, Default)]
+struct State {
+    frames: VecDeque<OutFrame>,
+    results_queued: usize,
+    /// Total result frames shed since the connection opened.
+    shed_total: u64,
+    /// Result frames shed since the last `SHED` notice was emitted.
+    shed_unreported: u64,
+    closed: bool,
+}
+
+/// Handle to one client's bounded outbox; cloned between the ingest
+/// thread (producer) and the connection's writer thread (consumer).
+#[derive(Debug, Clone)]
+pub(crate) struct Outbox {
+    shared: Arc<Shared>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+impl Outbox {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Outbox {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State::default()),
+                cond: Condvar::new(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a control frame (unbounded, never shed).
+    pub(crate) fn push_control(&self, frame: Vec<u8>) {
+        let mut st = self.shared.state.lock().unwrap();
+        if st.closed {
+            return;
+        }
+        st.frames.push_back(OutFrame::Control(frame));
+        self.shared.cond.notify_one();
+    }
+
+    /// Enqueues a result frame, shedding the oldest queued result frame
+    /// if the client is already `capacity` frames behind.
+    pub(crate) fn push_result(&self, frame: Vec<u8>) {
+        let mut st = self.shared.state.lock().unwrap();
+        if st.closed {
+            return;
+        }
+        if st.results_queued >= self.capacity {
+            if let Some(idx) = st
+                .frames
+                .iter()
+                .position(|f| matches!(f, OutFrame::Result(_)))
+            {
+                st.frames.remove(idx);
+                st.results_queued -= 1;
+                st.shed_total += 1;
+                st.shed_unreported += 1;
+            }
+        }
+        st.frames.push_back(OutFrame::Result(frame));
+        st.results_queued += 1;
+        self.shared.cond.notify_one();
+    }
+
+    /// Result frames shed since the last call; used to emit `SHED`
+    /// notices at flush barriers.
+    pub(crate) fn take_unreported_shed(&self) -> u64 {
+        let mut st = self.shared.state.lock().unwrap();
+        std::mem::take(&mut st.shed_unreported)
+    }
+
+    /// Lifetime shed count (for the `STATS` server envelope).
+    pub(crate) fn shed_total(&self) -> u64 {
+        self.shared.state.lock().unwrap().shed_total
+    }
+
+    /// Marks the outbox closed: the writer drains what is queued, then
+    /// exits and closes the socket. Producers become no-ops.
+    pub(crate) fn close(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.closed = true;
+        self.shared.cond.notify_all();
+    }
+
+    /// Blocks until a frame is available or the outbox is closed *and*
+    /// drained. `None` means the writer should exit.
+    pub(crate) fn pop_blocking(&self) -> Option<Vec<u8>> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(frame) = st.frames.pop_front() {
+                let bytes = match frame {
+                    OutFrame::Control(b) => b,
+                    OutFrame::Result(b) => {
+                        st.results_queued -= 1;
+                        b
+                    }
+                };
+                return Some(bytes);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.shared.cond.wait(st).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_frames_never_shed() {
+        let ob = Outbox::new(2);
+        for i in 0..10u8 {
+            ob.push_control(vec![i]);
+        }
+        let mut seen = Vec::new();
+        ob.close();
+        while let Some(f) = ob.pop_blocking() {
+            seen.push(f[0]);
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<u8>>());
+        assert_eq!(ob.shed_total(), 0);
+    }
+
+    #[test]
+    fn result_overflow_sheds_oldest_result_only() {
+        let ob = Outbox::new(2);
+        ob.push_result(vec![1]);
+        ob.push_control(vec![100]);
+        ob.push_result(vec![2]);
+        ob.push_result(vec![3]); // capacity 2 → sheds [1]
+        assert_eq!(ob.shed_total(), 1);
+        assert_eq!(ob.take_unreported_shed(), 1);
+        assert_eq!(ob.take_unreported_shed(), 0);
+        ob.close();
+        let mut seen = Vec::new();
+        while let Some(f) = ob.pop_blocking() {
+            seen.push(f[0]);
+        }
+        // Control frame kept its queue position; oldest result gone.
+        assert_eq!(seen, vec![100, 2, 3]);
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let ob = Outbox::new(8);
+        ob.push_result(vec![7]);
+        ob.close();
+        assert_eq!(ob.pop_blocking(), Some(vec![7]));
+        assert_eq!(ob.pop_blocking(), None);
+        // Pushes after close are dropped.
+        ob.push_result(vec![9]);
+        assert_eq!(ob.pop_blocking(), None);
+    }
+}

@@ -1,0 +1,84 @@
+//! Graceful-drain contract: a server shutdown must deliver every
+//! buffered subscription result to every connected client, finish with
+//! `GOODBYE`, and only then close the sockets.
+
+use rumor_core::OptimizerConfig;
+use rumor_engine::Rumor;
+use rumor_server::{Client, Server, ServerConfig};
+use rumor_types::Tuple;
+
+fn spawn_server() -> Server {
+    let mut engine = Rumor::new(OptimizerConfig::default());
+    engine
+        .execute("CREATE STREAM s (a INT, b INT);")
+        .expect("seed stream");
+    Server::spawn(engine, ServerConfig::default()).expect("spawn server")
+}
+
+#[test]
+fn shutdown_drains_buffered_results_to_all_clients() {
+    let server = spawn_server();
+
+    // Three clients, each watching a different selection.
+    let mut clients: Vec<Client> = (0..3)
+        .map(|i| {
+            let mut c = Client::connect(server.addr()).expect("connect");
+            c.register("watch", &format!("SELECT * FROM s WHERE a = {i}"))
+                .expect("register");
+            c
+        })
+        .collect();
+
+    // One of them feeds events for everyone; nobody flushes, so results
+    // sit buffered server-side (outboxes + kernel buffers) at shutdown.
+    let src = clients[0].source("s").expect("source");
+    let events: Vec<Tuple> = (0..30)
+        .map(|t| Tuple::ints(t, &[(t % 3) as i64, t as i64]))
+        .collect();
+    for e in &events {
+        clients[0].push(src, e.clone()).expect("push");
+    }
+
+    // Give the pushes a moment to clear the command queue, then drain.
+    // (shutdown() itself is the barrier: the SHUTDOWN command queues
+    // behind the pushes and the ingest flushes before closing.)
+    server.shutdown().expect("graceful shutdown");
+
+    for (i, client) in clients.iter_mut().enumerate() {
+        client.wait_server_close().expect("drain to GOODBYE");
+        assert!(client.server_closed(), "client {i} missed GOODBYE");
+        let got = client.drain("watch");
+        let want: Vec<Tuple> = events
+            .iter()
+            .filter(|t| t.value(0) == Some(&rumor_types::Value::Int(i as i64)))
+            .cloned()
+            .collect();
+        assert_eq!(got, want, "client {i} lost buffered results in the drain");
+        assert_eq!(client.shed(), 0, "client {i} shed results unexpectedly");
+    }
+}
+
+#[test]
+fn clients_connected_at_shutdown_get_goodbye_even_when_idle() {
+    let server = spawn_server();
+    let mut idle = Client::connect(server.addr()).expect("connect");
+    server.shutdown().expect("shutdown");
+    idle.wait_server_close().expect("goodbye for idle client");
+    assert!(idle.server_closed());
+}
+
+#[test]
+fn bye_returns_results_produced_but_not_yet_flushed() {
+    let server = spawn_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client
+        .register("w", "SELECT * FROM s WHERE a = 4")
+        .expect("register");
+    let src = client.source("s").unwrap();
+    client.push(src, Tuple::ints(9, &[4, 44])).unwrap();
+    // No flush: BYE itself must barrier and hand the result back.
+    let results = client.bye_with_results().expect("bye");
+    let all: Vec<Tuple> = results.into_values().flatten().collect();
+    assert_eq!(all, vec![Tuple::ints(9, &[4, 44])]);
+    server.shutdown().expect("shutdown");
+}

@@ -1,0 +1,195 @@
+//! Malformed-input hardening: hostile or broken bytes on the wire must
+//! produce a clean `ERROR` reply or connection close — never a panic,
+//! and never a wedged ingest thread. Every abuse case ends by proving
+//! the server still serves a well-behaved client.
+
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use rumor_core::OptimizerConfig;
+use rumor_engine::Rumor;
+use rumor_server::frame::{read_frame, write_frame};
+use rumor_server::{Client, Reply, Request, Server, ServerConfig, PROTOCOL_VERSION};
+use rumor_types::Tuple;
+
+fn spawn_server() -> Server {
+    let mut engine = Rumor::new(OptimizerConfig::default());
+    engine
+        .execute("CREATE STREAM s (a INT, b INT);")
+        .expect("seed stream");
+    Server::spawn(engine, ServerConfig::default()).expect("spawn server")
+}
+
+/// Proves the ingest thread still works: register, push, flush, drain.
+fn assert_still_serving(server: &Server) {
+    let mut client = Client::connect(server.addr()).expect("connect after abuse");
+    client
+        .register("probe", "SELECT * FROM s WHERE a = 1")
+        .expect("register after abuse");
+    let src = client.source("s").expect("source table");
+    client.push(src, Tuple::ints(0, &[1, 7])).expect("push");
+    client.flush().expect("flush");
+    assert_eq!(client.drain("probe"), vec![Tuple::ints(0, &[1, 7])]);
+    client.bye().expect("bye");
+}
+
+fn raw_connect(server: &Server) -> TcpStream {
+    let stream = TcpStream::connect(server.addr()).expect("raw connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+}
+
+/// Reads server replies until EOF; returns them. Panics on a read that
+/// is neither a frame nor EOF (i.e. the server must close cleanly).
+fn read_replies_until_eof(stream: &mut TcpStream) -> Vec<Reply> {
+    let mut replies = Vec::new();
+    loop {
+        match read_frame(stream) {
+            Ok(Some(payload)) => replies.push(Reply::decode(&payload).expect("decodable reply")),
+            Ok(None) => return replies,
+            Err(e) => panic!("expected clean close, got {e}"),
+        }
+    }
+}
+
+#[test]
+fn garbage_payload_gets_error_then_close() {
+    let server = spawn_server();
+    let mut stream = raw_connect(&server);
+    // A well-formed frame whose payload is an unknown tag + noise.
+    write_frame(&mut stream, &[0xEE, 1, 2, 3, 4]).unwrap();
+    stream.flush().unwrap();
+    let replies = read_replies_until_eof(&mut stream);
+    assert!(
+        replies.iter().any(
+            |r| matches!(r, Reply::Error { message } if message.contains("unknown request tag"))
+        ),
+        "expected an ERROR reply, got {replies:?}"
+    );
+    assert_still_serving(&server);
+}
+
+#[test]
+fn oversized_length_prefix_closes_connection() {
+    let server = spawn_server();
+    let mut stream = raw_connect(&server);
+    stream.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    stream.flush().unwrap();
+    let replies = read_replies_until_eof(&mut stream);
+    assert!(
+        replies
+            .iter()
+            .any(|r| matches!(r, Reply::Error { message } if message.contains("oversized"))),
+        "expected an oversized-frame ERROR, got {replies:?}"
+    );
+    assert_still_serving(&server);
+}
+
+#[test]
+fn truncated_frame_then_half_close_is_rejected() {
+    let server = spawn_server();
+    let mut stream = raw_connect(&server);
+    // Prefix claims 100 bytes; send 10 and half-close the write side.
+    stream.write_all(&100u32.to_be_bytes()).unwrap();
+    stream.write_all(&[0u8; 10]).unwrap();
+    stream.flush().unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let replies = read_replies_until_eof(&mut stream);
+    assert!(
+        replies
+            .iter()
+            .any(|r| matches!(r, Reply::Error { message } if message.contains("truncated"))),
+        "expected a truncated-frame ERROR, got {replies:?}"
+    );
+    assert_still_serving(&server);
+}
+
+#[test]
+fn mid_frame_disconnect_does_not_wedge_ingest() {
+    let server = spawn_server();
+    {
+        let mut stream = raw_connect(&server);
+        stream.write_all(&1000u32.to_be_bytes()).unwrap();
+        stream.write_all(&[0xAB; 17]).unwrap();
+        stream.flush().unwrap();
+        // Drop the socket mid-frame: reset, no goodbye.
+    }
+    assert_still_serving(&server);
+}
+
+#[test]
+fn requests_before_hello_are_rejected() {
+    let server = spawn_server();
+    let mut stream = raw_connect(&server);
+    write_frame(&mut stream, &Request::Flush.encode()).unwrap();
+    stream.flush().unwrap();
+    let payload = read_frame(&mut stream)
+        .expect("reply readable")
+        .expect("reply frame");
+    match Reply::decode(&payload).expect("decodable") {
+        Reply::Error { message } => assert!(message.contains("HELLO"), "{message}"),
+        other => panic!("expected ERROR, got {other:?}"),
+    }
+    // The connection stays usable: HELLO now, then normal traffic.
+    write_frame(
+        &mut stream,
+        &Request::Hello {
+            version: PROTOCOL_VERSION,
+        }
+        .encode(),
+    )
+    .unwrap();
+    stream.flush().unwrap();
+    let payload = read_frame(&mut stream).unwrap().expect("welcome frame");
+    assert!(matches!(
+        Reply::decode(&payload).unwrap(),
+        Reply::Welcome { .. }
+    ));
+    assert_still_serving(&server);
+}
+
+#[test]
+fn statement_smuggling_in_register_body_is_rejected() {
+    let server = spawn_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let err = client
+        .register(
+            "evil",
+            "SELECT * FROM s WHERE a = 1; QUERY q2 AS SELECT * FROM s",
+        )
+        .expect_err("multi-statement body must be rejected");
+    assert!(err.to_string().contains(";"), "{err}");
+    let err = client
+        .register("1bad name", "SELECT * FROM s WHERE a = 1")
+        .expect_err("non-identifier name must be rejected");
+    assert!(err.to_string().contains("identifier"), "{err}");
+    // Same connection still serves valid registrations.
+    client
+        .register("fine", "SELECT * FROM s WHERE a = 1")
+        .expect("valid registration after rejected ones");
+    client.bye().expect("bye");
+    assert_still_serving(&server);
+}
+
+#[test]
+fn bad_engine_input_reports_without_dropping_connection() {
+    let server = spawn_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    // Unknown stream: the engine's parse/plan error must come back as an
+    // ERROR reply surfaced by the pending call, with the session intact.
+    let err = client
+        .register("ghost", "SELECT * FROM no_such_stream WHERE a = 1")
+        .expect_err("unknown stream must fail");
+    assert!(err.to_string().contains("server error"), "{err}");
+    client
+        .register("ok", "SELECT * FROM s WHERE a = 2")
+        .expect("register after engine error");
+    let src = client.source("s").unwrap();
+    client.push(src, Tuple::ints(0, &[2, 5])).unwrap();
+    client.flush().unwrap();
+    assert_eq!(client.drain("ok"), vec![Tuple::ints(0, &[2, 5])]);
+    client.bye().unwrap();
+}

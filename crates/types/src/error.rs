@@ -36,6 +36,11 @@ pub enum RumorError {
     /// such misuse, so callers can match on it regardless of which engine
     /// backs the session.
     Finished(String),
+    /// I/O or wire-protocol failure (socket read/write, framing, protocol
+    /// violations). The error is carried as a rendered string so the enum
+    /// stays `Clone + PartialEq`; the original `std::io::Error` kind is
+    /// folded into the message.
+    Io(String),
 }
 
 impl RumorError {
@@ -75,6 +80,11 @@ impl RumorError {
         RumorError::Finished(op.into())
     }
 
+    /// I/O / wire-protocol error constructor.
+    pub fn io(msg: impl Into<String>) -> Self {
+        RumorError::Io(msg.into())
+    }
+
     /// Parse error constructor.
     pub fn parse(msg: impl Into<String>, line: u32, column: u32) -> Self {
         RumorError::Parse {
@@ -102,7 +112,14 @@ impl fmt::Display for RumorError {
             RumorError::Finished(op) => {
                 write!(f, "runtime already finished: `{op}` rejected")
             }
+            RumorError::Io(m) => write!(f, "io error: {m}"),
         }
+    }
+}
+
+impl From<std::io::Error> for RumorError {
+    fn from(e: std::io::Error) -> Self {
+        RumorError::Io(format!("{} ({:?})", e, e.kind()))
     }
 }
 
@@ -137,6 +154,23 @@ mod tests {
             RumorError::finished("push").to_string(),
             "runtime already finished: `push` rejected"
         );
+        assert_eq!(
+            RumorError::io("short read").to_string(),
+            "io error: short read"
+        );
+    }
+
+    #[test]
+    fn from_io_error() {
+        let e = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "peer vanished");
+        let r: RumorError = e.into();
+        match &r {
+            RumorError::Io(m) => {
+                assert!(m.contains("peer vanished"), "message lost: {m}");
+                assert!(m.contains("UnexpectedEof"), "kind lost: {m}");
+            }
+            other => panic!("expected Io variant, got {other:?}"),
+        }
     }
 
     #[test]

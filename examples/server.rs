@@ -1,0 +1,56 @@
+//! Serving one shared plan to many clients over TCP: spawn a
+//! `rumor-server`, connect two tenants, and watch the optimizer fold
+//! their queries into shared m-ops even though they arrived on
+//! different connections.
+//!
+//! Run with `cargo run --example server`.
+
+use rumor::server::{Client, Server, ServerConfig};
+use rumor::{OptimizerConfig, Rumor, Tuple};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Seed an engine with the schema and hand it to the server. The
+    //    server owns the engine from here: registrations from any client
+    //    integrate into the one shared plan, live.
+    let mut engine = Rumor::new(OptimizerConfig::default());
+    engine.execute("CREATE STREAM trades (ticker INT, price INT, size INT);")?;
+    let server = Server::spawn(engine, ServerConfig::default())?;
+    println!("serving on {}", server.addr());
+
+    // 2. Two independent tenants connect and register queries. Both
+    //    watch ticker 7 — the predicate-indexed selection m-op serves
+    //    both subscriptions with one hash probe per trade.
+    let mut alice = Client::connect(server.addr())?;
+    let mut bo = Client::connect(server.addr())?;
+    alice.register("watch7", "SELECT * FROM trades WHERE ticker = 7")?;
+    alice.register("big", "SELECT * FROM trades WHERE size > 25")?;
+    bo.register("watch7", "SELECT * FROM trades WHERE ticker = 7")?;
+
+    // 3. One of them feeds the stream (any connection may push; events
+    //    fan out to every registered query).
+    let src = alice.source("trades").expect("created above");
+    for ts in 0..20u64 {
+        let ticker = (ts % 10) as i64;
+        let size = 10 * (1 + ts % 3) as i64;
+        alice.push(src, Tuple::ints(ts, &[ticker, 100, size]))?;
+    }
+
+    // 4. FLUSH is the barrier: once it returns, every result of the
+    //    pushed events is buffered client-side, ready to drain.
+    alice.flush()?;
+    bo.flush()?;
+    println!("\nalice watch7: {:?}", alice.drain("watch7").len());
+    println!("alice big:    {:?}", alice.drain("big").len());
+    println!("bo    watch7: {:?}", bo.drain("watch7").len());
+
+    // 5. EXPLAIN shows the live shared plan — the same rendering an
+    //    embedded session would give, served over the wire.
+    println!("\n{}", alice.explain()?);
+
+    // 6. Graceful teardown: clients say BYE (the server drains their
+    //    pending results first), then the server drains and closes.
+    alice.bye()?;
+    bo.bye()?;
+    server.shutdown()?;
+    Ok(())
+}

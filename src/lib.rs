@@ -54,6 +54,8 @@
 //! * `rumor-ops` — physical implementations of every shared m-op.
 //! * `rumor-engine` — the push-based runtime ([`Rumor`] facade, the
 //!   [`EventRuntime`] session API).
+//! * `rumor-server` — the std-only TCP front door multiplexing many
+//!   network clients onto one shared session (see [`server`]).
 //! * `rumor-cayuga` — the Cayuga-style automaton baseline engine (§4/§5).
 //! * `rumor-workloads` — the paper's benchmark workloads (§5).
 //! * `rumor-bench` — figure regeneration plus the engine-path throughput
@@ -210,6 +212,51 @@
 //! }
 //! ```
 //!
+//! ## Serving sessions over the network
+//!
+//! The sharing benefit the paper measures grows with the *concurrent
+//! query population*, and a realistic population comes from many
+//! independent clients. The [`server`] module (crate `rumor-server`)
+//! puts one engine + [`Session`] behind a TCP front door: clients speak
+//! a small length-prefixed binary protocol (`HELLO` / `REGISTER` /
+//! `PUSH` / `FLUSH` / `STATS` / `EXPLAIN` / `BYE`), registrations from
+//! any connection integrate into the one shared plan live, and results
+//! stream back on each registrant's own connection. One ingest thread
+//! owns the session — queries from different tenants share m-ops exactly
+//! as if one process had registered them all. Slow consumers shed from
+//! their own bounded outbox (reported via `SHED` and the stats
+//! envelope), never stalling the engine; shutdown is a graceful drain
+//! that delivers every buffered result before `GOODBYE`. The in-crate
+//! blocking [`server::Client`] mirrors the embedded session API, and the
+//! loopback conformance suite pins server-vs-embedded results
+//! byte-for-byte:
+//!
+//! ```
+//! use rumor::server::{Client, Server, ServerConfig};
+//! use rumor::{OptimizerConfig, Rumor, Tuple};
+//!
+//! let mut engine = Rumor::new(OptimizerConfig::default());
+//! engine
+//!     .execute("CREATE STREAM sensors (station INT, temp INT);")
+//!     .unwrap();
+//! let server = Server::spawn(engine, ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! client.register("s7", "SELECT * FROM sensors WHERE station = 7").unwrap();
+//! let src = client.source("sensors").unwrap();
+//! client.push(src, Tuple::ints(0, &[7, 30])).unwrap();
+//! client.push(src, Tuple::ints(1, &[9, 31])).unwrap();
+//! client.flush().unwrap(); // barrier: results now buffered locally
+//! assert_eq!(client.drain("s7"), vec![Tuple::ints(0, &[7, 30])]);
+//! client.bye().unwrap();
+//! server.shutdown().unwrap();
+//! ```
+//!
+//! The `multi_tenant` row of `BENCH_throughput.json` measures this path
+//! end to end: hundreds of loopback clients, 1024 Zipf-popular queries,
+//! aggregate throughput, per-client flush latency, and the sharing
+//! attribution at that population.
+//!
 //! ## Dynamic query lifecycle
 //!
 //! Queries can be added and removed *while sessions are live*:
@@ -251,6 +298,14 @@ pub use rumor_types::{
     ChannelId, Field, Membership, MopId, QueryId, RumorError, Schema, SourceId, StreamId,
     Timestamp, Tuple, Value, ValueType,
 };
+
+/// The TCP session server and its blocking client (crate
+/// `rumor-server`): many network clients multiplexed onto one shared
+/// plan. See the crate-level "Serving sessions over the network"
+/// section.
+pub mod server {
+    pub use rumor_server::{Client, Reply, Request, Server, ServerConfig, PROTOCOL_VERSION};
+}
 
 /// Workload generators for the paper's evaluation (re-exported for
 /// examples and downstream experimentation).

@@ -1452,3 +1452,293 @@ proptest! {
         prop_assert_eq!(got, want, "lifecycle (batch_size={}, n={}) diverged", batch_size, n);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Server loopback conformance: `rumor_server::Client` vs the embedded oracle
+// ---------------------------------------------------------------------------
+//
+// The network front door must be a drop-in replacement for the embedded
+// session, with the same per-query fresh-compile oracle discipline the
+// churn suite uses: for every query registered over the wire, the results
+// the client receives must be byte-identical to a fresh single-threaded
+// engine holding that query alone, fed exactly the events pushed during
+// the query's lifetime.
+
+use rumor_server::{Client, Server, ServerConfig};
+
+const LOOPBACK_STREAMS: &str =
+    "CREATE STREAM ls (a INT, b INT, c INT);\nCREATE STREAM lt (a INT, b INT, c INT);";
+
+fn loopback_server() -> Server {
+    let mut engine = Rumor::new(OptimizerConfig::default());
+    engine.execute(LOOPBACK_STREAMS).unwrap();
+    Server::spawn(engine, ServerConfig::default()).unwrap()
+}
+
+/// Canonical per-query form for wire-delivered results: `(ts, rendered)`,
+/// sorted — the same total order `canonical` uses, minus the query id
+/// (client and oracle ids differ by construction).
+fn canonical_tuples(tuples: &[Tuple]) -> Vec<(u64, String)> {
+    let mut v: Vec<(u64, String)> = tuples.iter().map(|t| (t.ts, t.to_string())).collect();
+    v.sort();
+    v
+}
+
+/// Fresh-compile oracle for one script-registered query: a fresh engine
+/// holding it alone, fed `events` per-event on the single-threaded
+/// session (the reference engine of the whole conformance matrix).
+fn loopback_oracle(body: &str, events: &[(&str, Tuple)]) -> Vec<(u64, String)> {
+    let mut fresh = Rumor::new(OptimizerConfig::default());
+    fresh.execute(LOOPBACK_STREAMS).unwrap();
+    let qids = fresh.execute(&format!("QUERY oracle AS {body};")).unwrap();
+    assert_eq!(qids.len(), 1);
+    fresh.optimize().unwrap();
+    let mut session = fresh.session().build().unwrap();
+    for (src_name, t) in events {
+        let src = fresh.source_id(src_name).unwrap();
+        session.push(src, t.clone()).unwrap();
+    }
+    session.finish().unwrap();
+    let tuples: Vec<Tuple> = session
+        .collect_all()
+        .into_iter()
+        .filter(|(q, _)| *q == qids[0])
+        .map(|(_, t)| t)
+        .collect();
+    canonical_tuples(&tuples)
+}
+
+/// Interleaved two-stream input with patterned attributes, mirroring the
+/// embedded matrix's `interleaved` builder.
+fn loopback_events(n: u64) -> Vec<(&'static str, Tuple)> {
+    (0..n)
+        .map(|i| {
+            let name = if i % 3 == 0 { "lt" } else { "ls" };
+            (
+                name,
+                Tuple::ints(i, &[(i % 5) as i64, (i % 97) as i64, i as i64]),
+            )
+        })
+        .collect()
+}
+
+/// The representative workload bodies: stateless selections, a computed
+/// projection, a keyed windowed aggregate, a window join, and a Cayuga
+/// sequence pattern — one per partitioning flavour of the main matrix.
+fn loopback_bodies() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("sel_eq", "SELECT * FROM ls WHERE a = 1"),
+        ("sel_gt", "SELECT * FROM ls WHERE b > 40"),
+        ("project", "SELECT a, b * 2 AS dbl FROM ls"),
+        (
+            "agg",
+            "SELECT a, SUM(b) AS total FROM ls [RANGE 5] GROUP BY a",
+        ),
+        ("join", "SELECT * FROM ls JOIN lt ON ls.a = lt.a WITHIN 50"),
+        (
+            "pattern",
+            "PATTERN ls AS x THEN lt AS y WHERE x.a = y.a WITHIN 50",
+        ),
+    ]
+}
+
+#[test]
+fn server_loopback_matches_embedded_oracle_across_workloads() {
+    let server = loopback_server();
+    let bodies = loopback_bodies();
+
+    // Two tenants register the *same* query texts: distinct QueryIds on
+    // the wire, shared m-ops in the plan — the paper's cross-tenant
+    // sharing, exercised over TCP.
+    let mut c0 = Client::connect(server.addr()).unwrap();
+    let mut c1 = Client::connect(server.addr()).unwrap();
+    for (name, body) in &bodies {
+        c0.register(name, body).unwrap();
+    }
+    for (name, body) in &bodies {
+        c1.register(name, body).unwrap();
+    }
+
+    let events = loopback_events(400);
+    for chunk in events.chunks(64) {
+        for (src_name, t) in chunk {
+            let src = c0.source(src_name).unwrap();
+            c0.push(src, t.clone()).unwrap();
+        }
+        // Barrier on the feeder, then on the passive tenant, so both
+        // have every result of the chunk buffered locally.
+        c0.flush().unwrap();
+        c1.flush().unwrap();
+    }
+
+    for (name, body) in &bodies {
+        let want = loopback_oracle(body, &events);
+        assert!(
+            !want.is_empty(),
+            "workload `{name}` produced nothing — not a representative test"
+        );
+        for (label, client) in [("c0", &mut c0), ("c1", &mut c1)] {
+            let got = canonical_tuples(&client.drain(name));
+            assert_eq!(
+                got, want,
+                "workload `{name}`: {label} results over the wire diverged \
+                 from the embedded fresh-compile oracle"
+            );
+        }
+    }
+
+    // Sharing must be visible across tenants: both clients' identical
+    // selections share m-ops, so the explain fan-out mentions multiple
+    // queries on shared nodes.
+    let explain = c0.explain().unwrap();
+    assert!(
+        explain.contains("q"),
+        "explain over the wire should render the shared plan: {explain}"
+    );
+    c0.bye().unwrap();
+    c1.bye().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn server_loopback_churn_script_matches_oracle() {
+    let server = loopback_server();
+    let mut c0 = Client::connect(server.addr()).unwrap();
+    let mut c1 = Client::connect(server.addr()).unwrap();
+    let events = loopback_events(400);
+    let src_of = |c: &Client, name: &str| c.source(name).unwrap();
+
+    let feed = |c: &mut Client, evs: &[(&str, Tuple)]| {
+        for (src_name, t) in evs {
+            let src = src_of(c, src_name);
+            c.push(src, t.clone()).unwrap();
+        }
+        c.flush().unwrap();
+    };
+
+    // add → push → add → push → drop → push → add → push, with flush
+    // barriers so both clients hold their deliveries at each step.
+    c0.register("sel", "SELECT * FROM ls WHERE a = 1").unwrap();
+    feed(&mut c0, &events[0..100]);
+    c1.flush().unwrap();
+
+    c1.register(
+        "agg",
+        "SELECT a, SUM(b) AS total FROM ls [RANGE 5] GROUP BY a",
+    )
+    .unwrap();
+    feed(&mut c0, &events[100..200]);
+    c1.flush().unwrap();
+
+    c0.drop_query("sel").unwrap();
+    feed(&mut c0, &events[200..300]);
+    c1.flush().unwrap();
+
+    c1.register("late", "SELECT * FROM lt WHERE a = 0").unwrap();
+    feed(&mut c0, &events[300..400]);
+    c1.flush().unwrap();
+
+    // Each query against its lifetime slice of the event stream.
+    assert_eq!(
+        canonical_tuples(&c0.drain("sel")),
+        loopback_oracle("SELECT * FROM ls WHERE a = 1", &events[0..200]),
+        "churn: dropped query kept or lost results"
+    );
+    assert_eq!(
+        canonical_tuples(&c1.drain("agg")),
+        loopback_oracle(
+            "SELECT a, SUM(b) AS total FROM ls [RANGE 5] GROUP BY a",
+            &events[100..400]
+        ),
+        "churn: live-added aggregate diverged"
+    );
+    assert_eq!(
+        canonical_tuples(&c1.drain("late")),
+        loopback_oracle("SELECT * FROM lt WHERE a = 0", &events[300..400]),
+        "churn: late registration diverged"
+    );
+    c0.bye().unwrap();
+    c1.bye().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn server_loopback_killed_client_leaves_others_unaffected() {
+    let server = loopback_server();
+    let mut survivor = Client::connect(server.addr()).unwrap();
+    survivor
+        .register("sel", "SELECT * FROM ls WHERE a = 2")
+        .unwrap();
+    survivor
+        .register(
+            "agg",
+            "SELECT a, SUM(c) AS total FROM ls [RANGE 10] GROUP BY a",
+        )
+        .unwrap();
+
+    let mut victim = Client::connect(server.addr()).unwrap();
+    victim
+        .register("v0", "SELECT * FROM ls WHERE a = 2")
+        .unwrap();
+    victim
+        .register("v1", "SELECT * FROM lt WHERE b > 10")
+        .unwrap();
+
+    let events = loopback_events(300);
+    for (src_name, t) in &events[0..150] {
+        let src = survivor.source(src_name).unwrap();
+        survivor.push(src, t.clone()).unwrap();
+    }
+    survivor.flush().unwrap();
+
+    // Kill the victim mid-stream: socket dropped, no BYE. The server
+    // notices the disconnect, removes its queries from the shared plan,
+    // and keeps serving.
+    drop(victim);
+
+    for (src_name, t) in &events[150..300] {
+        let src = survivor.source(src_name).unwrap();
+        survivor.push(src, t.clone()).unwrap();
+    }
+    survivor.flush().unwrap();
+
+    assert_eq!(
+        canonical_tuples(&survivor.drain("sel")),
+        loopback_oracle("SELECT * FROM ls WHERE a = 2", &events),
+        "survivor selection diverged after a co-tenant was killed"
+    );
+    assert_eq!(
+        canonical_tuples(&survivor.drain("agg")),
+        loopback_oracle(
+            "SELECT a, SUM(c) AS total FROM ls [RANGE 10] GROUP BY a",
+            &events
+        ),
+        "survivor aggregate diverged after a co-tenant was killed"
+    );
+    survivor.bye().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn server_loopback_graceful_drain_is_lossless() {
+    let server = loopback_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .register("all_ls", "SELECT * FROM ls WHERE c > -1")
+        .unwrap();
+    let events = loopback_events(120);
+    for (src_name, t) in &events {
+        let src = client.source(src_name).unwrap();
+        client.push(src, t.clone()).unwrap();
+    }
+    // No flush: everything rides on the shutdown drain.
+    server.shutdown().unwrap();
+    client.wait_server_close().unwrap();
+    assert!(client.server_closed(), "GOODBYE must terminate the drain");
+    assert_eq!(
+        canonical_tuples(&client.drain("all_ls")),
+        loopback_oracle("SELECT * FROM ls WHERE c > -1", &events),
+        "graceful drain lost buffered results"
+    );
+    assert_eq!(client.shed(), 0, "drain must not shed");
+}
